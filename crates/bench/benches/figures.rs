@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the analytical model itself: evaluating all
+//! three cost functions at one point, and solving a whole Figure 4 grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use trijoin_common::SystemParams;
+use trijoin_model::{all_costs, figure4_grid, formulas, Workload};
+
+fn model_bench(c: &mut Criterion) {
+    let params = SystemParams::paper_defaults();
+    let mut g = c.benchmark_group("model");
+    g.sample_size(30);
+
+    g.bench_function("all_costs_one_point", |b| {
+        let w = Workload::figure4_point(0.01, 0.06);
+        b.iter(|| black_box(all_costs(&params, &w)))
+    });
+
+    g.bench_function("figure4_grid_46x15", |b| {
+        b.iter(|| black_box(figure4_grid(&params, 46, 15)))
+    });
+
+    g.bench_function("yao_formula", |b| {
+        let mut k = 1.0;
+        b.iter(|| {
+            k = if k > 150_000.0 { 1.0 } else { k + 13.0 };
+            black_box(formulas::yao(k, 14_286.0, 200_000.0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, model_bench);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the storage/index substrate: wall-clock
+//! performance of the engine's own data structures (B⁺-tree, linear hash
+//! file, counted sort, slotted page). These measure *our code's* speed —
+//! the simulated 1989 costs are a separate, deterministic ledger.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use trijoin_btree::{BTree, BTreeConfig};
+use trijoin_common::{types::hash_key, Cost, SystemParams};
+use trijoin_exec::sort::counted_sort_by;
+use trijoin_linearhash::LinearHash;
+use trijoin_storage::{SimDisk, SlottedPage};
+
+fn bench_btree(c: &mut Criterion) {
+    let params = SystemParams::paper_defaults();
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+
+    g.bench_function("bulk_load_10k", |b| {
+        b.iter_batched(
+            || {
+                let disk = SimDisk::new(&params, Cost::new());
+                let entries: Vec<(u64, Vec<u8>)> =
+                    (0..10_000u64).map(|k| (k, vec![0u8; 64])).collect();
+                (disk, entries)
+            },
+            |(disk, entries)| {
+                black_box(
+                    BTree::bulk_load(&disk, BTreeConfig::clustered(&params, 64), entries).unwrap(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let disk = SimDisk::new(&params, Cost::new());
+    let entries: Vec<(u64, Vec<u8>)> = (0..50_000u64).map(|k| (k, vec![0u8; 64])).collect();
+    let tree = BTree::bulk_load(&disk, BTreeConfig::clustered(&params, 64), entries).unwrap();
+    g.bench_function("point_lookup_50k", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 50_000;
+            black_box(tree.lookup(k).unwrap())
+        })
+    });
+
+    g.bench_function("fetch_many_1k_of_50k", |b| {
+        let keys: Vec<u64> = (0..50_000u64).step_by(50).collect();
+        b.iter(|| {
+            let mut n = 0u64;
+            tree.fetch_many(&keys, |_, _| n += 1).unwrap();
+            black_box(n)
+        })
+    });
+
+    g.bench_function("insert_1k", |b| {
+        b.iter_batched(
+            || {
+                let disk = SimDisk::new(&params, Cost::new());
+                BTree::new(&disk, BTreeConfig::clustered(&params, 64)).unwrap()
+            },
+            |mut t| {
+                for k in 0..1_000u64 {
+                    t.insert((k * 37) % 1000, vec![0u8; 64]).unwrap();
+                }
+                black_box(t.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_linear_hash(c: &mut Criterion) {
+    let params = SystemParams::paper_defaults();
+    let mut g = c.benchmark_group("linear_hash");
+    g.sample_size(20);
+
+    g.bench_function("build_10k", |b| {
+        b.iter_batched(
+            || {
+                let disk = SimDisk::new(&params, Cost::new());
+                let records: Vec<(u64, Vec<u8>)> =
+                    (0..10_000u64).map(|k| (hash_key(k), vec![0u8; 48])).collect();
+                (disk, records)
+            },
+            |(disk, records)| {
+                black_box(LinearHash::build(&disk, &params, records, 10_000, 48).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let disk = SimDisk::new(&params, Cost::new());
+    let records: Vec<(u64, Vec<u8>)> =
+        (0..20_000u64).map(|k| (hash_key(k), vec![0u8; 48])).collect();
+    let lh = LinearHash::build(&disk, &params, records, 20_000, 48).unwrap();
+    g.bench_function("lookup_20k", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 20_000;
+            black_box(lh.lookup(hash_key(k)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort_and_pages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.sample_size(20);
+
+    g.bench_function("counted_sort_100k_u64", |b| {
+        b.iter_batched(
+            || (0..100_000u64).map(|i| (i * 2654435761) % 100_000).collect::<Vec<u64>>(),
+            |mut v| {
+                counted_sort_by(&mut v, |x| *x, &Cost::new());
+                black_box(v)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("slotted_page_fill_drain", |b| {
+        b.iter(|| {
+            let mut p = SlottedPage::new(4000);
+            let mut slots = Vec::new();
+            while p.fits(100) {
+                slots.push(p.insert(&[0xAB; 100]).unwrap());
+            }
+            for s in slots {
+                p.delete(s).unwrap();
+            }
+            black_box(p.live_count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_linear_hash, bench_sort_and_pages);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion benchmarks of the three strategies end to end: wall-clock
+//! time to run one update/query epoch at a scaled-down paper workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use trijoin::{Database, JoinStrategy, SystemParams, WorkloadSpec};
+use trijoin_common::Surrogate;
+
+fn epoch_bench(c: &mut Criterion) {
+    let params = SystemParams { mem_pages: 80, ..SystemParams::paper_defaults() };
+    let spec = WorkloadSpec {
+        r_tuples: 5_000,
+        s_tuples: 5_000,
+        tuple_bytes: 200,
+        sr: 0.02,
+        group_size: 5,
+        pra: 0.1,
+        update_rate: 0.05,
+        seed: 7,
+    };
+    let gen = spec.generate();
+
+    let mut g = c.benchmark_group("epoch_5k_tuples");
+    g.sample_size(10);
+
+    type MakeStrategy = fn(&Database) -> Box<dyn JoinStrategy>;
+    let cases: Vec<(&str, MakeStrategy)> = vec![
+        ("materialized_view", |db| Box::new(db.materialized_view().unwrap())),
+        ("join_index", |db| Box::new(db.join_index().unwrap())),
+        ("hybrid_hash", |db| Box::new(db.hybrid_hash())),
+    ];
+    for (name, make) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+                    let strategy = make(&db);
+                    (db, strategy, gen.update_stream())
+                },
+                |(mut db, mut strategy, mut stream)| {
+                    for _ in 0..gen.updates_per_epoch() {
+                        let u = stream.next_update();
+                        strategy.on_update(&u).unwrap();
+                        db.r_mut().apply_update(&u.old, &u.new).unwrap();
+                    }
+                    let mut n = 0u64;
+                    strategy.execute(db.r(), db.s(), &mut |_| n += 1).unwrap();
+                    black_box(n)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn point_lookup_bench(c: &mut Criterion) {
+    let params = SystemParams { mem_pages: 80, ..SystemParams::paper_defaults() };
+    let spec = WorkloadSpec {
+        r_tuples: 5_000,
+        s_tuples: 5_000,
+        tuple_bytes: 200,
+        sr: 0.02,
+        group_size: 5,
+        pra: 0.1,
+        update_rate: 0.0,
+        seed: 7,
+    };
+    let gen = spec.generate();
+    let db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+    let mv = db.materialized_view().unwrap();
+    let ji = db.join_index().unwrap();
+    let mut g = c.benchmark_group("point_lookup_5k");
+    g.sample_size(30);
+    g.bench_function("mv_lookup_key", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 20;
+            black_box(mv.lookup_key(k).unwrap())
+        })
+    });
+    g.bench_function("ji_partners_of_r", |b| {
+        let mut sur = 0u32;
+        b.iter(|| {
+            sur = (sur + 37) % 5_000;
+            black_box(ji.partners_of_r(Surrogate(sur)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn eager_bench(c: &mut Criterion) {
+    let params = SystemParams { mem_pages: 80, ..SystemParams::paper_defaults() };
+    let spec = WorkloadSpec {
+        r_tuples: 2_000,
+        s_tuples: 2_000,
+        tuple_bytes: 200,
+        sr: 0.02,
+        group_size: 5,
+        pra: 0.1,
+        update_rate: 0.05,
+        seed: 7,
+    };
+    let gen = spec.generate();
+    let mut g = c.benchmark_group("eager_epoch_2k");
+    g.sample_size(10);
+    g.bench_function("eager_view", |b| {
+        b.iter_batched(
+            || {
+                let db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+                let eager = db.eager_view().unwrap();
+                (db, eager, gen.update_stream())
+            },
+            |(mut db, mut eager, mut stream)| {
+                for _ in 0..gen.updates_per_epoch() {
+                    let u = stream.next_update();
+                    eager.on_update(&u).unwrap();
+                    db.r_mut().apply_update(&u.old, &u.new).unwrap();
+                }
+                let mut n = 0u64;
+                eager.execute(db.r(), db.s(), &mut |_| n += 1).unwrap();
+                black_box(n)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, epoch_bench, point_lookup_bench, eager_bench);
+criterion_main!(benches);

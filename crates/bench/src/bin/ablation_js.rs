@@ -1,0 +1,53 @@
+//! Ablation: the join-selectivity multiplier.
+//!
+//! The paper chose `JS = 100·SR/‖R‖` — "a join selectivity whose proportion
+//! to the semijoin is 10 times larger than the proportion used by
+//! Valduriez" — and observes that "the size of the area where the
+//! materialized view algorithm performs best varies inversely with the
+//! value of JS". This bin sweeps the multiplier (10 = Valduriez's setting,
+//! 100 = the paper's) and reports the MV band's boundaries at 2% activity.
+//!
+//! Run with: `cargo run -p trijoin-bench --bin ablation_js`
+
+use trijoin_bench::{axis, paper_params, row_boundaries};
+use trijoin_model::{all_costs, regions::log_space, Method, RegionCell, Workload};
+
+fn main() {
+    let params = paper_params();
+    println!("== MV region vs the JS multiplier (activity 2%, Pr_A 0.1) ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "multiplier", "JI->MV at SR", "MV->HH at SR", "MV cells/46"
+    );
+    for &mult in &[10.0, 30.0, 100.0, 300.0, 1000.0] {
+        let row: Vec<RegionCell> = log_space(0.001, 1.0, 46)
+            .into_iter()
+            .map(|sr| {
+                let mut w = Workload::figure4_point(sr, 0.02);
+                w.js = mult * sr / w.r_tuples;
+                let costs = all_costs(&params, &w);
+                let totals = [costs[0].total(), costs[1].total(), costs[2].total()];
+                let winner = costs
+                    .iter()
+                    .min_by(|a, b| a.total().total_cmp(&b.total()))
+                    .unwrap()
+                    .method;
+                RegionCell { sr, y: mult, winner, totals }
+            })
+            .collect();
+        let (mv, hh) = row_boundaries(&row);
+        let mv_cells = row.iter().filter(|c| c.winner == Method::MaterializedView).count();
+        println!(
+            "{:>10} {:>14} {:>14} {:>12}",
+            mult,
+            mv.map(axis).unwrap_or_else(|| "(no MV)".into()),
+            hh.map(axis).unwrap_or_else(|| "-".into()),
+            mv_cells
+        );
+    }
+    println!("\nreading: more partners per matching tuple inflate ‖V‖ (and ‖JI‖), so the");
+    println!("caches lose ground to recomputation as the multiplier grows — the MV band");
+    println!("shrinks and vanishes, exactly the inverse-in-JS behaviour the paper notes.");
+    println!("At Valduriez's multiplier (10) the caches dominate recomputation almost");
+    println!("everywhere, which is why the paper raised it to highlight the contrasts.");
+}

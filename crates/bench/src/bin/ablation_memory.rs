@@ -1,0 +1,43 @@
+//! Ablation: memory sensitivity — a vertical cut through Figure 6.
+//!
+//! §5's bullets: hash join barely benefits from memory "until the memory
+//! is made extremely large"; the join index "is favorably effected by an
+//! increase in memory" (single-pass processing arrives soonest); the view
+//! "does not appear to utilize additional main memory as well as the
+//! other two approaches".
+//!
+//! Run with: `cargo run -p trijoin-bench --bin ablation_memory`
+
+use trijoin_bench::paper_params;
+use trijoin_common::SystemParams;
+use trijoin_model::{all_costs, ji, mv, Workload};
+
+fn main() {
+    let base = paper_params();
+    let w = Workload::figure6_point(0.02);
+    println!("== |M| sweep at SR = 0.02, ‖iR‖ = 6000, Pr_A = 0.1 (model) ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}   {:>8} {:>8}",
+        "|M|", "MV secs", "JI secs", "HH secs", "JI |JIk|", "MV |W_R|"
+    );
+    let mut prev: Option<[f64; 3]> = None;
+    for &mem in &[500usize, 1_000, 2_000, 4_000, 8_000, 16_000, 24_000] {
+        let p = SystemParams { mem_pages: mem, ..base.clone() };
+        let costs = all_costs(&p, &w);
+        let t = [costs[0].total(), costs[1].total(), costs[2].total()];
+        let d = w.derived(&p);
+        let jik = ji::jik_pages(&p, &w, &d, 1.0);
+        let wr = mv::wr_pages(&p, &w, &d, 1.0);
+        println!(
+            "{:>8} {:>10.1} {:>10.1} {:>10.1}   {:>8.0} {:>8.0}",
+            mem, t[0], t[1], t[2], jik, wr
+        );
+        prev = Some(t);
+    }
+    let _ = prev;
+    println!("\nreading: JI's per-pass budget |JI_k| grows linearly with memory, so its");
+    println!("pass count (and its dominant per-pass S traffic) collapses first. MV's W_R");
+    println!("batches grow too but its cost floor is reading V, which memory cannot");
+    println!("shrink. HH stays flat until |M| approaches F*|R| ~ 17K pages, then drops");
+    println!("to its one-pass floor — the paper's 'extremely large' threshold.");
+}

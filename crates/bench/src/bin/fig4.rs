@@ -1,0 +1,65 @@
+//! Regenerates Figure 4: "Cheapest method as selectivity and update
+//! activity vary" — the region map over SR ∈ [0.001, 1.0] (x, log) and
+//! update activity ‖iR‖/‖R‖ ∈ [1%, 100%] (y, log) at |M| = 1000 pages,
+//! Pr_A = 0.1, ‖R‖ = ‖S‖ = 200 000.
+//!
+//! Run with: `cargo run -p trijoin-bench --bin fig4`
+
+use trijoin_bench::{axis, legend, paper_params, row_boundaries};
+use trijoin_model::{figure4_grid, regions::ascii_map};
+
+fn main() {
+    let params = paper_params();
+    let sr_steps = 46;
+    let act_steps = 15;
+    let cells = figure4_grid(&params, sr_steps, act_steps);
+
+    println!("== Figure 4: cheapest method over (SR, update activity) ==");
+    println!("   |M| = 1000 pages, Pr_A = 0.1, JS = 100·SR/‖R‖, ‖R‖ = ‖S‖ = 200 000");
+    println!("   y = update activity (fraction of R updated), x = SR from 0.001 to 1.0 (log)\n");
+    print!("{}", ascii_map(&cells, sr_steps));
+    println!("            {}", "-".repeat(sr_steps));
+    println!("             SR: 0.001 {:>width$}", "1.0", width = sr_steps - 7);
+    println!("\n{}", legend());
+
+    println!("\n== Region boundaries per activity row ==");
+    println!("{:>10}  {:>12}  {:>12}", "activity", "JI->MV at SR", "->HH at SR");
+    for row in cells.chunks(sr_steps) {
+        let (mv, hh) = row_boundaries(row);
+        println!(
+            "{:>10}  {:>12}  {:>12}",
+            axis(row[0].y),
+            mv.map(axis).unwrap_or_else(|| "(no MV)".into()),
+            hh.map(axis).unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    println!("\n== Paper-shape checks ==");
+    let checks = [
+        ("MV wins a middle band at low activity", {
+            let row = &cells[0..sr_steps];
+            let (mv, hh) = row_boundaries(row);
+            matches!((mv, hh), (Some(m), Some(h)) if m < h)
+        }),
+        ("JI wins the entire low-SR edge", {
+            cells
+                .chunks(sr_steps)
+                .all(|row| row[0].winner == trijoin_model::Method::JoinIndex)
+        }),
+        ("HH wins the entire high-SR edge", {
+            cells
+                .chunks(sr_steps)
+                .all(|row| row[sr_steps - 1].winner == trijoin_model::Method::HybridHash)
+        }),
+        ("MV band closes at extreme activity (figure's top)", {
+            let top = &cells[(act_steps - 1) * sr_steps..];
+            !top.iter().any(|c| c.winner == trijoin_model::Method::MaterializedView)
+        }),
+    ];
+    let mut ok = true;
+    for (name, pass) in checks {
+        println!("  [{}] {}", if pass { "PASS" } else { "FAIL" }, name);
+        ok &= pass;
+    }
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,47 @@
+//! Regenerates Table 7 (parameter settings) and the derived quantities
+//! (Table 6's database-dependent values at the default point), validating
+//! that the workspace's configuration matches the paper's exactly.
+//!
+//! Run with: `cargo run -p trijoin-bench --bin table7`
+
+use trijoin_bench::paper_params;
+use trijoin_model::Workload;
+
+fn main() {
+    let p = paper_params();
+    println!("== Table 7: parameter settings ==");
+    println!("  ‖R‖, ‖S‖      200,000 tuples      ssur, sptr   {} bytes", p.ssur);
+    println!("  |M|           {:>7} pages        IO           {} msec", p.mem_pages, p.io_us / 1000.0);
+    println!("  T_R, T_S          200 bytes        comp         {} µsec", p.comp_us);
+    println!("  PO            {:>7}              hash         {} µsec", p.page_occupancy, p.hash_us);
+    println!("  FO            {:>7} entries      move         {} µsec", p.fan_out, p.move_us);
+    println!("  P             {:>7} bytes        F            {}", p.page_size, p.hash_overhead);
+
+    println!("\n== Derived quantities at SR = 0.01 (‖V‖ = ‖R‖ — the paper's example) ==");
+    let w = Workload::paper_point(0.01, 12_000.0, 0.1);
+    let d = w.derived(&p);
+    let rows: Vec<(&str, f64, &str)> = vec![
+        ("n_R = n_S (tuples/page)", d.n_r, "⌊4000·0.7/200⌋ = 14"),
+        ("n_V (view tuples/page)", d.n_v, "⌊4000·0.7/400⌋ = 7"),
+        ("n_JI (JI entries/page)", d.n_ji, "⌊4000·0.7/8⌋ = 350"),
+        ("|R| = |S| (pages)", d.r_pages, "⌈200000/14⌉ = 14286"),
+        ("‖V‖ = ‖JI‖ (tuples)", d.join_tuples, "JS·‖R‖·‖S‖ = 200000"),
+        ("|V| (pages)", d.v_pages, "⌈200000/7⌉ = 28572"),
+        ("|JI| (pages)", d.ji_pages, "⌈200000/350⌉ = 572"),
+        ("|iR| at 6% activity (pages)", d.ir_pages, "⌈12000/20⌉ = 600"),
+    ];
+    let mut ok = true;
+    for (name, got, formula) in rows {
+        println!("  {name:<30} = {got:>9.0}   ({formula})");
+        let expect: f64 = formula.rsplit('=').next().unwrap().trim().parse().unwrap();
+        if (got - expect).abs() > 1e-9 {
+            println!("    !! MISMATCH: expected {expect}");
+            ok = false;
+        }
+    }
+    println!(
+        "\nvalidation: {}",
+        if ok { "all derived quantities match the paper" } else { "MISMATCHES FOUND" }
+    );
+    std::process::exit(i32::from(!ok));
+}

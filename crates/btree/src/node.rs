@@ -1,0 +1,199 @@
+//! B⁺-tree node representation and page serialization.
+//!
+//! Nodes are parsed eagerly into owned structures on read and re-serialized
+//! on write; at 4000-byte pages this is cheap, and it keeps the mutation
+//! code straightforward. Layout:
+//!
+//! ```text
+//! leaf:     [0]=0  [1..3]=count  [3..7]=next_leaf(u32, MAX=none)
+//!           then per entry: key(u64) | len(u16) | value bytes
+//! internal: [0]=1  [1..3]=key_count
+//!           then child0(u32), then per key: key(u64) | child(u32)
+//! ```
+
+use trijoin_common::{Error, Result};
+
+/// Sentinel for "no next leaf".
+pub const NO_PAGE: u32 = u32::MAX;
+
+/// An in-memory B⁺-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: key-sorted `(key, value)` entries (duplicates allowed; value
+    /// order among equal keys is unspecified once duplicates span leaves)
+    /// plus a right-sibling pointer.
+    Leaf {
+        /// Sorted entries.
+        entries: Vec<(u64, Vec<u8>)>,
+        /// Page number of the right sibling leaf, if any.
+        next: Option<u32>,
+    },
+    /// Internal: `keys[i]` separates `children[i]` from `children[i+1]`;
+    /// `keys[i]` is the minimum key reachable under `children[i+1]`.
+    Internal {
+        /// Separator keys (sorted).
+        keys: Vec<u64>,
+        /// Child page numbers (`keys.len() + 1` of them).
+        children: Vec<u32>,
+    },
+}
+
+impl Node {
+    /// A fresh empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf { entries: Vec::new(), next: None }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Serialized size in bytes.
+    pub fn serialized_len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                7 + entries.iter().map(|(_, v)| 8 + 2 + v.len()).sum::<usize>()
+            }
+            Node::Internal { keys, .. } => 3 + 4 + keys.len() * 12,
+        }
+    }
+
+    /// Serialize into a zero-padded page of `page_size` bytes.
+    pub fn to_page(&self, page_size: usize) -> Result<Vec<u8>> {
+        let need = self.serialized_len();
+        if need > page_size {
+            return Err(Error::PageOverflow { needed: need, available: page_size });
+        }
+        let mut out = Vec::with_capacity(page_size);
+        match self {
+            Node::Leaf { entries, next } => {
+                out.push(0);
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                out.extend_from_slice(&next.unwrap_or(NO_PAGE).to_le_bytes());
+                for (k, v) in entries {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                    out.extend_from_slice(v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                debug_assert_eq!(children.len(), keys.len() + 1);
+                out.push(1);
+                out.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+                out.extend_from_slice(&children[0].to_le_bytes());
+                for (k, c) in keys.iter().zip(&children[1..]) {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+        out.resize(page_size, 0);
+        Ok(out)
+    }
+
+    /// Parse a node from page bytes.
+    pub fn from_page(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 7 {
+            return Err(Error::Corrupt("btree page too small".into()));
+        }
+        let count = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+        match bytes[0] {
+            0 => {
+                let next_raw = u32::from_le_bytes(bytes[3..7].try_into().unwrap());
+                let next = if next_raw == NO_PAGE { None } else { Some(next_raw) };
+                let mut at = 7;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    if at + 10 > bytes.len() {
+                        return Err(Error::Corrupt("btree leaf truncated".into()));
+                    }
+                    let k = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+                    let len =
+                        u16::from_le_bytes(bytes[at + 8..at + 10].try_into().unwrap()) as usize;
+                    at += 10;
+                    if at + len > bytes.len() {
+                        return Err(Error::Corrupt("btree leaf value truncated".into()));
+                    }
+                    entries.push((k, bytes[at..at + len].to_vec()));
+                    at += len;
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            1 => {
+                if 7 + count * 12 > bytes.len() {
+                    return Err(Error::Corrupt("btree internal truncated".into()));
+                }
+                let mut children = Vec::with_capacity(count + 1);
+                children.push(u32::from_le_bytes(bytes[3..7].try_into().unwrap()));
+                let mut keys = Vec::with_capacity(count);
+                let mut at = 7;
+                for _ in 0..count {
+                    keys.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+                    children.push(u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap()));
+                    at += 12;
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            t => Err(Error::Corrupt(format!("unknown btree node tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = Node::Leaf {
+            entries: vec![(1, b"one".to_vec()), (2, b"two".to_vec()), (2, b"two-b".to_vec())],
+            next: Some(42),
+        };
+        let page = n.to_page(256).unwrap();
+        assert_eq!(page.len(), 256);
+        assert_eq!(Node::from_page(&page).unwrap(), n);
+    }
+
+    #[test]
+    fn leaf_without_next_roundtrip() {
+        let n = Node::Leaf { entries: vec![(7, vec![0xFF; 10])], next: None };
+        assert_eq!(Node::from_page(&n.to_page(128).unwrap()).unwrap(), n);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let n = Node::Internal { keys: vec![10, 20, 30], children: vec![1, 2, 3, 4] };
+        let page = n.to_page(128).unwrap();
+        assert_eq!(Node::from_page(&page).unwrap(), n);
+    }
+
+    #[test]
+    fn oversized_node_rejected() {
+        let n = Node::Leaf { entries: vec![(1, vec![0u8; 500])], next: None };
+        assert!(matches!(n.to_page(256), Err(Error::PageOverflow { .. })));
+    }
+
+    #[test]
+    fn corrupt_pages_rejected() {
+        assert!(Node::from_page(&[0u8; 3]).is_err());
+        let mut bad_tag = vec![0u8; 64];
+        bad_tag[0] = 9;
+        assert!(Node::from_page(&bad_tag).is_err());
+        // Leaf claiming more entries than the page holds.
+        let mut trunc = vec![0u8; 16];
+        trunc[0] = 0;
+        trunc[1..3].copy_from_slice(&100u16.to_le_bytes());
+        trunc[3..7].copy_from_slice(&NO_PAGE.to_le_bytes());
+        assert!(Node::from_page(&trunc).is_err());
+    }
+
+    #[test]
+    fn serialized_len_matches() {
+        let leaf = Node::Leaf { entries: vec![(1, vec![0u8; 9]), (2, vec![])], next: None };
+        assert_eq!(leaf.serialized_len(), 7 + (10 + 9) + 10);
+        let inner = Node::Internal { keys: vec![5], children: vec![0, 1] };
+        assert_eq!(inner.serialized_len(), 7 + 12);
+        assert_eq!(leaf.to_page(64).unwrap().len(), 64);
+    }
+}

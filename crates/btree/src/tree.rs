@@ -1,0 +1,660 @@
+//! The B⁺-tree proper.
+//!
+//! One tree = one file on the [`Disk`]. The root node is kept in memory and
+//! never charges I/O, matching the paper's Appendix assumption that "the
+//! root node is permanently stored in main memory"; every other node read
+//! or write charges one random I/O through the disk.
+//!
+//! Two usage modes, per Table 5 of the paper:
+//! * **clustered** — leaves hold full tuples keyed on the surrogate
+//!   (relations `R`, `S`, and the join index `JI` keyed on `r`);
+//! * **inverted** — a secondary index keyed on the join attribute whose
+//!   leaf values are surrogates (the non-clustered index on `S.A`, and the
+//!   non-clustered index on `JI.s`).
+//!
+//! Batch access ([`BTree::fetch_many`]) deduplicates page touches within the
+//! batch, which is exactly the semantics of Yao's formula ("a page is
+//! accessed at most once") that the analytical model charges for scheduled,
+//! pointer-sorted access.
+//!
+//! Deletes are *lazy*: entries are removed from leaves but nodes are never
+//! merged, and empty leaves stay chained. This keeps the paper's workloads
+//! exact (updates are delete+insert pairs of the same surrogate, so
+//! occupancy stays stable) while avoiding rebalancing machinery the cost
+//! model never prices.
+
+use std::collections::HashSet;
+
+use trijoin_common::{Error, Result, SystemParams};
+use trijoin_storage::{Disk, FileId, PageId};
+
+use crate::node::{Node, NO_PAGE};
+
+/// Capacity configuration for one tree.
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeConfig {
+    /// Maximum entries per leaf (occupancy-derived; also byte-bounded).
+    pub leaf_cap: usize,
+    /// Maximum separator keys per internal node (the paper's `FO`; also
+    /// byte-bounded by the page size).
+    pub internal_cap: usize,
+}
+
+impl BTreeConfig {
+    /// Hard byte-capacity of an internal node for a given page size.
+    pub fn max_internal_keys(page_size: usize) -> usize {
+        (page_size.saturating_sub(7)) / 12
+    }
+
+    /// Config for a clustered tree whose leaves hold full tuples of
+    /// `tuple_bytes` serialized bytes: `n = ⌊P·PO/T⌋` tuples per leaf page,
+    /// exactly the paper's `n_R` packing.
+    pub fn clustered(params: &SystemParams, tuple_bytes: usize) -> Self {
+        let leaf_cap = params.tuples_per_page(tuple_bytes).max(2);
+        BTreeConfig {
+            leaf_cap,
+            internal_cap: params
+                .fan_out
+                .min(Self::max_internal_keys(params.page_size))
+                .max(2),
+        }
+    }
+
+    /// Config for an inverted (secondary) index whose leaf values are
+    /// 4-byte surrogates: entry ≈ 14 bytes, capped at the paper's `FO`.
+    pub fn inverted(params: &SystemParams) -> Self {
+        let entry_bytes = 8 + 2 + params.ssur;
+        let leaf_cap = params
+            .fan_out
+            .min(params.tuples_per_page(entry_bytes))
+            .max(2);
+        BTreeConfig {
+            leaf_cap,
+            internal_cap: params
+                .fan_out
+                .min(Self::max_internal_keys(params.page_size))
+                .max(2),
+        }
+    }
+}
+
+/// A B⁺-tree over `u64` keys with byte-string values (duplicates allowed).
+pub struct BTree {
+    disk: Disk,
+    file: FileId,
+    cfg: BTreeConfig,
+    /// Memory-resident root (free of I/O charge).
+    root: Node,
+    root_page: u32,
+    height: usize,
+    entries: u64,
+    leaves: u64,
+}
+
+impl BTree {
+    /// Create an empty tree (root is an empty leaf).
+    pub fn new(disk: &Disk, cfg: BTreeConfig) -> Result<Self> {
+        let file = disk.create_file();
+        let root = Node::empty_leaf();
+        let pid = disk.allocate_page(file)?;
+        disk.write_page_free(pid, &root.to_page(disk.page_size())?)?;
+        Ok(BTree {
+            disk: disk.clone(),
+            file,
+            cfg,
+            root,
+            root_page: pid.page,
+            height: 1,
+            entries: 0,
+            leaves: 1,
+        })
+    }
+
+    /// Bulk-load from entries sorted by `(key, value)`. Charges one write
+    /// I/O per node page (leaves and internals); the root stays resident.
+    ///
+    /// Returns an error if the input is unsorted.
+    pub fn bulk_load(
+        disk: &Disk,
+        cfg: BTreeConfig,
+        entries: impl IntoIterator<Item = (u64, Vec<u8>)>,
+    ) -> Result<Self> {
+        let file = disk.create_file();
+        let page_size = disk.page_size();
+        // Pack leaves.
+        let mut leaves: Vec<Node> = Vec::new();
+        let mut current: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut current_bytes = 7usize;
+        let mut prev: Option<(u64, Vec<u8>)> = None;
+        let mut total = 0u64;
+        for (k, v) in entries {
+            if let Some((pk, pv)) = &prev {
+                if (*pk, pv.as_slice()) > (k, v.as_slice()) {
+                    return Err(Error::Invariant("bulk_load input not sorted".into()));
+                }
+            }
+            prev = Some((k, v.clone()));
+            let entry_bytes = 10 + v.len();
+            if current.len() >= cfg.leaf_cap || current_bytes + entry_bytes > page_size {
+                if current.is_empty() {
+                    return Err(Error::PageOverflow { needed: entry_bytes, available: page_size });
+                }
+                leaves.push(Node::Leaf { entries: std::mem::take(&mut current), next: None });
+                current_bytes = 7;
+            }
+            current.push((k, v));
+            current_bytes += entry_bytes;
+            total += 1;
+        }
+        if !current.is_empty() || leaves.is_empty() {
+            leaves.push(Node::Leaf { entries: current, next: None });
+        }
+        let leaf_count = leaves.len() as u64;
+
+        // Write leaves with sibling pointers: leaf i lands on page i.
+        let n_leaves = leaves.len();
+        let mut level: Vec<(u64, u32)> = Vec::with_capacity(n_leaves); // (min_key, page)
+        for (i, mut leaf) in leaves.into_iter().enumerate() {
+            if let Node::Leaf { ref mut next, ref entries } = leaf {
+                *next = if i + 1 < n_leaves { Some(i as u32 + 1) } else { None };
+                let min_key = entries.first().map(|(k, _)| *k).unwrap_or(0);
+                level.push((min_key, i as u32));
+            }
+            let pid = disk.allocate_page(file)?;
+            debug_assert_eq!(pid.page as usize, i);
+            disk.write_page(pid, &leaf.to_page(page_size)?)?;
+        }
+
+        // Build internal levels bottom-up.
+        let mut height = 1usize;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level = Vec::new();
+            for chunk in level.chunks(cfg.internal_cap + 1) {
+                let children: Vec<u32> = chunk.iter().map(|&(_, p)| p).collect();
+                let keys: Vec<u64> = chunk[1..].iter().map(|&(k, _)| k).collect();
+                let node = Node::Internal { keys, children };
+                let min_key = chunk[0].0;
+                if level.len() <= cfg.internal_cap + 1 {
+                    // This is the root: keep it resident.
+                    let pid = disk.allocate_page(file)?;
+                    disk.write_page_free(pid, &node.to_page(page_size)?)?;
+                    return Ok(BTree {
+                        disk: disk.clone(),
+                        file,
+                        cfg,
+                        root: node,
+                        root_page: pid.page,
+                        height,
+                        entries: total,
+                        leaves: leaf_count,
+                    });
+                }
+                let pid = disk.allocate_page(file)?;
+                disk.write_page(pid, &node.to_page(page_size)?)?;
+                next_level.push((min_key, pid.page));
+            }
+            level = next_level;
+        }
+        // Single leaf: it is the root.
+        let root = {
+            let raw = disk.read_page_free(PageId::new(file, level[0].1))?;
+            Node::from_page(&raw)?
+        };
+        Ok(BTree {
+            disk: disk.clone(),
+            file,
+            cfg,
+            root,
+            root_page: level[0].1,
+            height: 1,
+            entries: total,
+            leaves: leaf_count,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of leaf pages.
+    pub fn leaf_pages(&self) -> u64 {
+        self.leaves
+    }
+
+    /// Tree height in levels (1 = the root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The underlying file id (for space reporting).
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    // ---- node I/O -------------------------------------------------------
+
+    fn read_node(&self, page: u32) -> Result<Node> {
+        let raw = self.disk.read_page(PageId::new(self.file, page))?;
+        Node::from_page(&raw)
+    }
+
+    /// Batch read: charge only the first touch of each page within `seen`.
+    fn read_node_batch(&self, page: u32, seen: &mut HashSet<u32>) -> Result<Node> {
+        let pid = PageId::new(self.file, page);
+        let raw = if seen.insert(page) {
+            self.disk.read_page(pid)?
+        } else {
+            self.disk.read_page_free(pid)?
+        };
+        Node::from_page(&raw)
+    }
+
+    fn write_node(&self, page: u32, node: &Node) -> Result<()> {
+        self.disk
+            .write_page(PageId::new(self.file, page), &node.to_page(self.disk.page_size())?)
+    }
+
+    fn alloc_node(&self, node: &Node) -> Result<u32> {
+        let pid = self.disk.allocate_page(self.file)?;
+        self.disk.write_page(pid, &node.to_page(self.disk.page_size())?)?;
+        Ok(pid.page)
+    }
+
+    fn write_root_free(&self) -> Result<()> {
+        self.disk.write_page_free(
+            PageId::new(self.file, self.root_page),
+            &self.root.to_page(self.disk.page_size())?,
+        )
+    }
+
+    // ---- descent --------------------------------------------------------
+
+    /// Charge the binary-search comparisons of a `partition_point` over
+    /// `len` keys into the shared cost ledger.
+    fn charge_search(&self, len: usize) {
+        if len > 0 {
+            self.disk.cost().comp((len as u64).ilog2() as u64 + 1);
+        }
+    }
+
+    /// Child index for the *leftmost* occurrence of `key`.
+    fn child_left(keys: &[u64], key: u64) -> usize {
+        keys.partition_point(|&s| s < key)
+    }
+
+    /// Child index for inserting `key` (rightmost).
+    fn child_right(keys: &[u64], key: u64) -> usize {
+        keys.partition_point(|&s| s <= key)
+    }
+
+    /// Page number of the leftmost leaf that can contain `key`, reading
+    /// through `seen` if given.
+    fn descend_to_leaf(&self, key: u64, mut seen: Option<&mut HashSet<u32>>) -> Result<(u32, Node)> {
+        let mut node = self.root.clone();
+        let mut page = self.root_page;
+        loop {
+            match node {
+                Node::Leaf { .. } => return Ok((page, node)),
+                Node::Internal { ref keys, ref children } => {
+                    self.charge_search(keys.len());
+                    let idx = Self::child_left(keys, key);
+                    page = children[idx];
+                    node = match seen.as_deref_mut() {
+                        Some(s) => self.read_node_batch(page, s)?,
+                        None => self.read_node(page)?,
+                    };
+                }
+            }
+        }
+    }
+
+    // ---- queries --------------------------------------------------------
+
+    /// All values stored under `key`, in leaf-chain order (value order among
+    /// duplicates is unspecified).
+    pub fn lookup(&self, key: u64) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        self.for_each_range(key, key, |_, v| {
+            out.push(v.to_vec());
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Visit every entry with `lo <= key <= hi` in key order; the callback
+    /// returns `false` to stop early.
+    pub fn for_each_range(
+        &self,
+        lo: u64,
+        hi: u64,
+        mut f: impl FnMut(u64, &[u8]) -> bool,
+    ) -> Result<()> {
+        if lo > hi {
+            return Ok(());
+        }
+        let (_page, mut node) = self.descend_to_leaf(lo, None)?;
+        loop {
+            let (entries, next) = match node {
+                Node::Leaf { entries, next } => (entries, next),
+                Node::Internal { .. } => {
+                    return Err(Error::Invariant("descended to internal node".into()))
+                }
+            };
+            let mut examined = 0u64;
+            for (k, v) in &entries {
+                examined += 1;
+                if *k > hi {
+                    self.disk.cost().comp(examined);
+                    return Ok(());
+                }
+                if *k >= lo && !f(*k, v) {
+                    self.disk.cost().comp(examined);
+                    return Ok(());
+                }
+            }
+            self.disk.cost().comp(examined);
+            match next {
+                Some(p) if p != NO_PAGE => node = self.read_node(p)?,
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Collect a key range eagerly.
+    pub fn scan_range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each_range(lo, hi, |k, v| {
+            out.push((k, v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Visit every entry in key order (full scan through the leaf chain).
+    pub fn for_each(&self, mut f: impl FnMut(u64, &[u8]) -> bool) -> Result<()> {
+        self.for_each_range(0, u64::MAX, |k, v| f(k, v))
+    }
+
+    /// Batched point lookups for a *sorted* slice of keys. Each tree page is
+    /// charged at most once for the whole batch — the engine-side equivalent
+    /// of the Yao-formula access pattern the paper assumes for scheduled,
+    /// pointer-sorted probes. Calls `f(key, value)` for every match.
+    pub fn fetch_many(
+        &self,
+        sorted_keys: &[u64],
+        mut f: impl FnMut(u64, &[u8]),
+    ) -> Result<()> {
+        debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut i = 0;
+        while i < sorted_keys.len() {
+            let key = sorted_keys[i];
+            // Skip duplicate probe keys: one probe serves them all.
+            let mut dup = 1u64;
+            while i + 1 < sorted_keys.len() && sorted_keys[i + 1] == key {
+                i += 1;
+                dup += 1;
+            }
+            let (_page, mut node) = self.descend_to_leaf(key, Some(&mut seen))?;
+            'chain: loop {
+                let (entries, next) = match node {
+                    Node::Leaf { entries, next } => (entries, next),
+                    Node::Internal { .. } => {
+                        return Err(Error::Invariant("descended to internal node".into()))
+                    }
+                };
+                let mut examined = 0u64;
+                for (k, v) in &entries {
+                    examined += 1;
+                    if *k > key {
+                        self.disk.cost().comp(examined);
+                        break 'chain;
+                    }
+                    if *k == key {
+                        for _ in 0..dup {
+                            f(*k, v);
+                        }
+                    }
+                }
+                self.disk.cost().comp(examined);
+                match next {
+                    Some(p) => node = self.read_node_batch(p, &mut seen)?,
+                    None => break 'chain,
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    // ---- mutations ------------------------------------------------------
+
+    /// Insert `(key, value)`. Duplicates are allowed.
+    pub fn insert(&mut self, key: u64, value: Vec<u8>) -> Result<()> {
+        let entry_bytes = 10 + value.len();
+        if 7 + entry_bytes > self.disk.page_size() {
+            return Err(Error::PageOverflow {
+                needed: entry_bytes,
+                available: self.disk.page_size(),
+            });
+        }
+        let mut root = std::mem::replace(&mut self.root, Node::empty_leaf());
+        let split = self.insert_into(&mut root, key, value, true)?;
+        self.root = root;
+        if let Some((sep, right_pid)) = split {
+            // Move the (already-split) root's left half to a fresh page and
+            // grow the tree by one level; the new root stays resident.
+            let left = std::mem::replace(
+                &mut self.root,
+                Node::Internal { keys: vec![sep], children: vec![0, right_pid] },
+            );
+            let left_pid = self.alloc_node(&left)?;
+            if let Node::Internal { ref mut children, .. } = self.root {
+                children[0] = left_pid;
+            }
+            self.height += 1;
+        }
+        self.write_root_free()?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Recursive insert. Returns `Some((separator, new_right_page))` when
+    /// `node` split; the caller owns writing `node` back (the root wrapper
+    /// writes it free, inner levels write charged).
+    fn insert_into(
+        &mut self,
+        node: &mut Node,
+        key: u64,
+        value: Vec<u8>,
+        is_root: bool,
+    ) -> Result<Option<(u64, u32)>> {
+        match node {
+            Node::Leaf { entries, next } => {
+                self.charge_search(entries.len());
+                let at = entries.partition_point(|(k, v)| (*k, v.as_slice()) <= (key, value.as_slice()));
+                self.disk.cost().mov(1);
+                entries.insert(at, (key, value));
+                let over_cap = entries.len() > self.cfg.leaf_cap
+                    || node_bytes_leaf(entries) > self.disk.page_size();
+                if !over_cap {
+                    return Ok(None);
+                }
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0;
+                let right = Node::Leaf { entries: right_entries, next: *next };
+                let right_pid = self.alloc_node(&right)?;
+                *next = Some(right_pid);
+                self.leaves += 1;
+                Ok(Some((sep, right_pid)))
+            }
+            Node::Internal { keys, children } => {
+                self.charge_search(keys.len());
+                let idx = Self::child_right(keys, key);
+                let child_pid = children[idx];
+                let mut child = self.read_node(child_pid)?;
+                let split = self.insert_into(&mut child, key, value, false)?;
+                self.write_node(child_pid, &child)?;
+                let Some((sep, new_right)) = split else { return Ok(None) };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, new_right);
+                let over = keys.len() > self.cfg.internal_cap
+                    || node_bytes_internal(keys.len()) > self.disk.page_size();
+                if !over {
+                    let _ = is_root;
+                    return Ok(None);
+                }
+                let mid = keys.len() / 2;
+                let up = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `up` moves to the parent
+                let right_children = children.split_off(mid + 1);
+                let right = Node::Internal { keys: right_keys, children: right_children };
+                let right_pid = self.alloc_node(&right)?;
+                Ok(Some((up, right_pid)))
+            }
+        }
+    }
+
+    /// Remove the first entry equal to `(key, value)`. Returns whether an
+    /// entry was removed.
+    pub fn remove_exact(&mut self, key: u64, value: &[u8]) -> Result<bool> {
+        self.remove_where(key, |v| v == value)
+    }
+
+    /// Remove the first entry under `key` whose value satisfies `pred`.
+    ///
+    /// Lazy deletion: leaves may become under-full or empty; structure and
+    /// sibling pointers are untouched.
+    pub fn remove_where(&mut self, key: u64, pred: impl Fn(&[u8]) -> bool) -> Result<bool> {
+        // Root-resident leaf fast path.
+        if self.height == 1 {
+            if let Node::Leaf { ref mut entries, .. } = self.root {
+                let found = entries
+                    .iter()
+                    .position(|(k, v)| *k == key && pred(v));
+                if let Some(at) = found {
+                    entries.remove(at);
+                    self.entries -= 1;
+                    self.write_root_free()?;
+                    return Ok(true);
+                }
+                return Ok(false);
+            }
+        }
+        let (mut page, mut node) = self.descend_to_leaf(key, None)?;
+        loop {
+            let (entries, next) = match &mut node {
+                Node::Leaf { entries, next } => (entries, *next),
+                Node::Internal { .. } => {
+                    return Err(Error::Invariant("descended to internal node".into()))
+                }
+            };
+            self.disk.cost().comp(entries.len() as u64);
+            if let Some(at) = entries.iter().position(|(k, v)| *k == key && pred(v)) {
+                entries.remove(at);
+                self.write_node(page, &node)?;
+                self.entries -= 1;
+                return Ok(true);
+            }
+            if entries.iter().any(|(k, _)| *k > key) {
+                return Ok(false);
+            }
+            match next {
+                Some(p) => {
+                    page = p;
+                    node = self.read_node(p)?;
+                }
+                None => return Ok(false),
+            }
+        }
+    }
+
+    /// Sanity-check structural invariants (test helper; reads pages free of
+    /// charge). Verifies sortedness within and across leaves, separator
+    /// consistency, and the entry count.
+    pub fn check_invariants(&self) -> Result<()> {
+        // Walk the leaf chain.
+        let mut page = {
+            let mut node = self.root.clone();
+            let mut page = self.root_page;
+            loop {
+                match node {
+                    Node::Leaf { .. } => break page,
+                    Node::Internal { ref children, .. } => {
+                        page = children[0];
+                        let raw = self.disk.read_page_free(PageId::new(self.file, page))?;
+                        node = Node::from_page(&raw)?;
+                    }
+                }
+            }
+        };
+        let mut last: Option<u64> = None;
+        let mut count = 0u64;
+        let mut leaf_count = 0u64;
+        loop {
+            let raw = self.disk.read_page_free(PageId::new(self.file, page))?;
+            let node = Node::from_page(&raw)?;
+            let (entries, next) = match node {
+                Node::Leaf { entries, next } => (entries, next),
+                _ => return Err(Error::Invariant("leaf chain hit internal node".into())),
+            };
+            leaf_count += 1;
+            for (k, _v) in entries {
+                if let Some(lk) = last {
+                    // Keys must be globally sorted. Value order among equal
+                    // keys is unspecified (duplicates may span leaves).
+                    if lk > k {
+                        return Err(Error::Invariant(format!("entries out of order at key {k}")));
+                    }
+                }
+                last = Some(k);
+                count += 1;
+            }
+            match next {
+                Some(p) => page = p,
+                None => break,
+            }
+        }
+        if count != self.entries {
+            return Err(Error::Invariant(format!(
+                "entry count mismatch: chain has {count}, tree says {}",
+                self.entries
+            )));
+        }
+        if self.height == 1 {
+            // Root-resident leaf: the chain walk above read the stale disk
+            // copy only if we forgot to flush — verify agreement.
+            if leaf_count != 1 {
+                return Err(Error::Invariant("height-1 tree with multiple leaves".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn node_bytes_leaf(entries: &[(u64, Vec<u8>)]) -> usize {
+    7 + entries.iter().map(|(_, v)| 10 + v.len()).sum::<usize>()
+}
+
+fn node_bytes_internal(keys: usize) -> usize {
+    7 + keys * 12
+}
+
+impl std::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTree")
+            .field("entries", &self.entries)
+            .field("leaves", &self.leaves)
+            .field("height", &self.height)
+            .finish()
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests: the B⁺-tree must behave like a sorted multimap.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use trijoin_btree::{BTree, BTreeConfig};
+use trijoin_common::{Cost, SystemParams};
+use trijoin_storage::SimDisk;
+
+type Model = BTreeMap<(u64, Vec<u8>), u32>;
+
+fn model_insert(m: &mut Model, k: u64, v: Vec<u8>) {
+    *m.entry((k, v)).or_insert(0) += 1;
+}
+
+fn model_remove(m: &mut Model, k: u64, v: &[u8]) -> bool {
+    if let Some(c) = m.get_mut(&(k, v.to_vec())) {
+        *c -= 1;
+        if *c == 0 {
+            m.remove(&(k, v.to_vec()));
+        }
+        true
+    } else {
+        false
+    }
+}
+
+fn model_lookup(m: &Model, k: u64) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for ((mk, mv), c) in m.range((k, Vec::new())..) {
+        if *mk != k {
+            break;
+        }
+        for _ in 0..*c {
+            out.push(mv.clone());
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, Vec<u8>),
+    Remove(u64, Vec<u8>),
+    Lookup(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u64..40; // small domain => duplicates are common
+    let val = prop::collection::vec(any::<u8>(), 0..12);
+    prop_oneof![
+        4 => (key.clone(), val.clone()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (key.clone(), val).prop_map(|(k, v)| Op::Remove(k, v)),
+        2 => key.clone().prop_map(Op::Lookup),
+        1 => (key.clone(), key).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn btree_matches_multimap_model(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let cost = Cost::new();
+        let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+        let disk = SimDisk::new(&params, cost);
+        let mut tree = BTree::new(&disk, BTreeConfig { leaf_cap: 4, internal_cap: 4 }).unwrap();
+        let mut model: Model = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(k, v.clone()).unwrap();
+                    model_insert(&mut model, k, v);
+                }
+                Op::Remove(k, v) => {
+                    let tree_removed = tree.remove_exact(k, &v).unwrap();
+                    let model_removed = model_remove(&mut model, k, &v);
+                    prop_assert_eq!(tree_removed, model_removed);
+                }
+                Op::Lookup(k) => {
+                    // Value order among duplicates is unspecified: compare
+                    // as sorted multisets.
+                    let mut got = tree.lookup(k).unwrap();
+                    got.sort();
+                    prop_assert_eq!(got, model_lookup(&model, k));
+                }
+                Op::Range(lo, hi) => {
+                    let mut got = tree.scan_range(lo, hi).unwrap();
+                    // Keys must come back sorted...
+                    prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+                    // ...and as a multiset the range matches the model.
+                    got.sort();
+                    let want: Vec<(u64, Vec<u8>)> = model
+                        .range((lo, Vec::new())..)
+                        .take_while(|((k, _), _)| *k <= hi)
+                        .flat_map(|((k, v), c)| {
+                            std::iter::repeat_n((*k, v.clone()), *c as usize)
+                        })
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        let total: u64 = model.values().map(|&c| c as u64).sum();
+        prop_assert_eq!(tree.len(), total);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(keys in prop::collection::vec(0u64..1000, 0..300)) {
+        let cost = Cost::new();
+        let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+        let disk = SimDisk::new(&params, cost);
+        let cfg = BTreeConfig { leaf_cap: 5, internal_cap: 4 };
+
+        let mut sorted: Vec<(u64, Vec<u8>)> =
+            keys.iter().map(|&k| (k, k.to_le_bytes().to_vec())).collect();
+        sorted.sort();
+        let bulk = BTree::bulk_load(&disk, cfg, sorted.clone()).unwrap();
+
+        let mut incr = BTree::new(&disk, cfg).unwrap();
+        for &k in &keys {
+            incr.insert(k, k.to_le_bytes().to_vec()).unwrap();
+        }
+
+        for &k in &keys {
+            prop_assert_eq!(bulk.lookup(k).unwrap(), incr.lookup(k).unwrap());
+        }
+        prop_assert_eq!(bulk.len(), incr.len());
+        bulk.check_invariants().unwrap();
+        incr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fetch_many_equals_lookups(
+        stored in prop::collection::vec(0u64..200, 1..200),
+        probes in prop::collection::vec(0u64..200, 1..50),
+    ) {
+        let cost = Cost::new();
+        let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+        let disk = SimDisk::new(&params, cost);
+        let cfg = BTreeConfig { leaf_cap: 4, internal_cap: 4 };
+        let mut sorted: Vec<(u64, Vec<u8>)> =
+            stored.iter().map(|&k| (k, k.to_le_bytes().to_vec())).collect();
+        sorted.sort();
+        let tree = BTree::bulk_load(&disk, cfg, sorted).unwrap();
+
+        let mut sorted_probes = probes.clone();
+        sorted_probes.sort_unstable();
+        let mut batched: Vec<(u64, Vec<u8>)> = Vec::new();
+        tree.fetch_many(&sorted_probes, |k, v| batched.push((k, v.to_vec()))).unwrap();
+
+        let mut singles: Vec<(u64, Vec<u8>)> = Vec::new();
+        for &k in &sorted_probes {
+            for v in tree.lookup(k).unwrap() {
+                singles.push((k, v));
+            }
+        }
+        batched.sort();
+        singles.sort();
+        prop_assert_eq!(batched, singles);
+    }
+}

@@ -1,0 +1,153 @@
+//! A small self-describing value codec for example programs.
+//!
+//! The execution engine treats non-join attributes as opaque payload bytes
+//! (see [`crate::types::BaseTuple`]); examples like the paper's
+//! Student/Project scenario want named, typed attributes. This module
+//! encodes a row of [`Value`]s into payload bytes and back, so the worked
+//! examples of Section 2 (Tables 1–4) can round-trip human-readable data
+//! through the engine without the hot path knowing about strings.
+
+use crate::error::{Error, Result};
+
+/// A dynamically-typed attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` honours width/alignment flags, so rows line up in tables.
+        match self {
+            Value::Int(i) => f.pad(&i.to_string()),
+            Value::Str(s) => f.pad(s),
+        }
+    }
+}
+
+const TAG_INT: u8 = 0x01;
+const TAG_STR: u8 = 0x02;
+
+/// Encode a row of values. Layout: `count:u16` then per value a tag byte and
+/// the payload (`i64` little-endian for ints; `len:u16` + UTF-8 for strings).
+pub fn encode_row(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&(values.len() as u16).to_le_bytes());
+    for v in values {
+        match v {
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode a row previously produced by [`encode_row`]. Trailing padding
+/// bytes (from fixed-size tuples) are ignored.
+pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>> {
+    let take = |bytes: &[u8], at: usize, n: usize| -> Result<Vec<u8>> {
+        bytes
+            .get(at..at + n)
+            .map(|s| s.to_vec())
+            .ok_or_else(|| Error::Corrupt("row truncated".into()))
+    };
+    let count = u16::from_le_bytes(take(bytes, 0, 2)?.try_into().unwrap()) as usize;
+    let mut at = 2;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = *bytes.get(at).ok_or_else(|| Error::Corrupt("row tag missing".into()))?;
+        at += 1;
+        match tag {
+            TAG_INT => {
+                let raw = take(bytes, at, 8)?;
+                out.push(Value::Int(i64::from_le_bytes(raw.try_into().unwrap())));
+                at += 8;
+            }
+            TAG_STR => {
+                let len = u16::from_le_bytes(take(bytes, at, 2)?.try_into().unwrap()) as usize;
+                at += 2;
+                let raw = take(bytes, at, len)?;
+                let s = String::from_utf8(raw)
+                    .map_err(|_| Error::Corrupt("row string not UTF-8".into()))?;
+                out.push(Value::Str(s));
+                at += len;
+            }
+            other => return Err(Error::Corrupt(format!("unknown value tag {other:#x}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Stable 64-bit key for a string attribute, so string-valued join columns
+/// (e.g. `Country = NativeCountry` in the paper's example) can be joined by
+/// the engine's `u64` keys. FNV-1a.
+pub fn string_key(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_row() {
+        let row = vec![
+            Value::Str("S. Bando".into()),
+            Value::Str("Music".into()),
+            Value::Int(-42),
+        ];
+        let enc = encode_row(&row);
+        assert_eq!(decode_row(&enc).unwrap(), row);
+    }
+
+    #[test]
+    fn roundtrip_survives_padding() {
+        let row = vec![Value::Int(7)];
+        let mut enc = encode_row(&row);
+        enc.extend_from_slice(&[0u8; 50]); // fixed-size tuple padding
+        assert_eq!(decode_row(&enc).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_row() {
+        let enc = encode_row(&[]);
+        assert_eq!(decode_row(&enc).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_row(&[]).is_err());
+        assert!(decode_row(&[2, 0, 0xFF]).is_err()); // bad tag
+        let enc = encode_row(&[Value::Str("abcdef".into())]);
+        assert!(decode_row(&enc[..enc.len() - 2]).is_err()); // truncated
+    }
+
+    #[test]
+    fn string_keys_collide_only_on_equal_strings() {
+        assert_eq!(string_key("Mexico"), string_key("Mexico"));
+        assert_ne!(string_key("Mexico"), string_key("Italy"));
+        assert_ne!(string_key("USA"), string_key("Peru"));
+        assert_ne!(string_key(""), string_key(" "));
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Str("Coba".into()).to_string(), "Coba");
+    }
+}

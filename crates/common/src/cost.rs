@@ -1,0 +1,279 @@
+//! Simulated-cost accounting.
+//!
+//! The paper prices every algorithm as a weighted sum of four primitive
+//! operations: random page I/Os, key comparisons, key hashes, and in-memory
+//! tuple moves (Table 6). The execution engine performs those primitives for
+//! real and charges each one into a shared [`Cost`] ledger; the simulated
+//! elapsed time of a run is then `ios·IO + comps·comp + hashes·hash +
+//! moves·move` under a given [`SystemParams`].
+//!
+//! Charges can be attributed to named *sections* (e.g. `"mv.read_view"`),
+//! which is how the engine reproduces the cost breakdown of the paper's
+//! Figure 5 (non-update file processing vs. update/internal processing).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::params::SystemParams;
+
+/// Counts of the four primitive operations of Table 6.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Random page I/O operations (reads and writes are priced identically).
+    pub ios: u64,
+    /// In-memory key comparisons.
+    pub comps: u64,
+    /// Key hash computations.
+    pub hashes: u64,
+    /// In-memory tuple moves (any tuple size, per the paper).
+    pub moves: u64,
+}
+
+impl OpCounts {
+    /// Simulated elapsed time in microseconds under `params`.
+    pub fn time_us(&self, params: &SystemParams) -> f64 {
+        self.ios as f64 * params.io_us
+            + self.comps as f64 * params.comp_us
+            + self.hashes as f64 * params.hash_us
+            + self.moves as f64 * params.move_us
+    }
+
+    /// Simulated elapsed time in seconds under `params`.
+    pub fn time_secs(&self, params: &SystemParams) -> f64 {
+        self.time_us(params) / 1e6
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &OpCounts) {
+        self.ios += other.ios;
+        self.comps += other.comps;
+        self.hashes += other.hashes;
+        self.moves += other.moves;
+    }
+
+    /// Component-wise difference (saturating, for "since snapshot" deltas).
+    pub fn delta_since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            ios: self.ios.saturating_sub(earlier.ios),
+            comps: self.comps.saturating_sub(earlier.comps),
+            hashes: self.hashes.saturating_sub(earlier.hashes),
+            moves: self.moves.saturating_sub(earlier.moves),
+        }
+    }
+
+    /// True when no operation has been charged.
+    pub fn is_zero(&self) -> bool {
+        *self == OpCounts::default()
+    }
+}
+
+/// The underlying ledger. Use through the cheaply-clonable [`Cost`] handle.
+#[derive(Debug, Default)]
+pub struct CostTracker {
+    total: OpCounts,
+    /// Per-section accumulators. A charge is attributed to the innermost
+    /// active section (if any) in addition to the grand total.
+    sections: BTreeMap<String, OpCounts>,
+    stack: Vec<String>,
+}
+
+impl CostTracker {
+    fn charge(&mut self, delta: OpCounts) {
+        self.total.add(&delta);
+        if let Some(name) = self.stack.last() {
+            self.sections.entry(name.clone()).or_default().add(&delta);
+        }
+    }
+}
+
+/// Shared, cheaply-clonable handle to a [`CostTracker`].
+///
+/// The whole simulator is single-threaded by design (determinism is what
+/// makes the engine directly comparable to the analytical model), so an
+/// `Rc<RefCell<..>>` suffices.
+#[derive(Debug, Clone, Default)]
+pub struct Cost(Rc<RefCell<CostTracker>>);
+
+impl Cost {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` random page I/Os.
+    #[inline]
+    pub fn io(&self, n: u64) {
+        self.0.borrow_mut().charge(OpCounts { ios: n, ..OpCounts::default() });
+    }
+
+    /// Charge `n` key comparisons.
+    #[inline]
+    pub fn comp(&self, n: u64) {
+        self.0.borrow_mut().charge(OpCounts { comps: n, ..OpCounts::default() });
+    }
+
+    /// Charge `n` key hash computations.
+    // Named after the paper's `hash` primitive; not the `Hash` trait.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn hash(&self, n: u64) {
+        self.0.borrow_mut().charge(OpCounts { hashes: n, ..OpCounts::default() });
+    }
+
+    /// Charge `n` tuple moves.
+    #[inline]
+    pub fn mov(&self, n: u64) {
+        self.0.borrow_mut().charge(OpCounts { moves: n, ..OpCounts::default() });
+    }
+
+    /// Grand-total counts so far.
+    pub fn total(&self) -> OpCounts {
+        self.0.borrow().total
+    }
+
+    /// Counts attributed to a named section (zero if the section never ran).
+    pub fn section_counts(&self, name: &str) -> OpCounts {
+        self.0
+            .borrow()
+            .sections
+            .get(name)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All section names seen so far, with their counts.
+    pub fn sections(&self) -> Vec<(String, OpCounts)> {
+        self.0
+            .borrow()
+            .sections
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Enter a named section; charges are attributed to the innermost open
+    /// section until the returned guard is dropped.
+    pub fn section(&self, name: &str) -> SectionGuard {
+        self.0.borrow_mut().stack.push(name.to_string());
+        SectionGuard { cost: self.clone() }
+    }
+
+    /// Simulated elapsed seconds of everything charged so far.
+    pub fn elapsed_secs(&self, params: &SystemParams) -> f64 {
+        self.total().time_secs(params)
+    }
+
+    /// Reset the ledger (totals, sections, and the section stack).
+    pub fn reset(&self) {
+        let mut t = self.0.borrow_mut();
+        t.total = OpCounts::default();
+        t.sections.clear();
+        t.stack.clear();
+    }
+}
+
+/// RAII guard returned by [`Cost::section`]; closes the section on drop.
+#[derive(Debug)]
+pub struct SectionGuard {
+    cost: Cost,
+}
+
+impl Drop for SectionGuard {
+    fn drop(&mut self) {
+        self.cost.0.borrow_mut().stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let c = Cost::new();
+        c.io(3);
+        c.comp(10);
+        c.hash(2);
+        c.mov(7);
+        c.io(1);
+        let t = c.total();
+        assert_eq!(t, OpCounts { ios: 4, comps: 10, hashes: 2, moves: 7 });
+    }
+
+    #[test]
+    fn time_matches_table7_weights() {
+        let p = SystemParams::paper_defaults();
+        let t = OpCounts { ios: 2, comps: 4, hashes: 3, moves: 5 };
+        // 2*25000 + 4*3 + 3*9 + 5*20 = 50000 + 12 + 27 + 100 = 50139 µs.
+        assert!((t.time_us(&p) - 50_139.0).abs() < 1e-9);
+        assert!((t.time_secs(&p) - 0.050_139).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sections_attribute_to_innermost() {
+        let c = Cost::new();
+        {
+            let _outer = c.section("outer");
+            c.io(1);
+            {
+                let _inner = c.section("inner");
+                c.io(10);
+            }
+            c.io(100);
+        }
+        c.io(1000); // outside any section
+        assert_eq!(c.section_counts("outer").ios, 101);
+        assert_eq!(c.section_counts("inner").ios, 10);
+        assert_eq!(c.total().ios, 1111);
+    }
+
+    #[test]
+    fn section_reentry_accumulates() {
+        let c = Cost::new();
+        {
+            let _g = c.section("phase");
+            c.comp(5);
+        }
+        {
+            let _g = c.section("phase");
+            c.comp(7);
+        }
+        assert_eq!(c.section_counts("phase").comps, 12);
+        let names: Vec<String> = c.sections().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["phase".to_string()]);
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let a = Cost::new();
+        let b = a.clone();
+        a.mov(4);
+        b.mov(6);
+        assert_eq!(a.total().moves, 10);
+        assert_eq!(b.total().moves, 10);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = Cost::new();
+        let _g = c.section("s");
+        c.io(5);
+        drop(_g);
+        c.reset();
+        assert!(c.total().is_zero());
+        assert!(c.section_counts("s").is_zero());
+        assert!(c.sections().is_empty());
+    }
+
+    #[test]
+    fn delta_since_snapshots() {
+        let c = Cost::new();
+        c.io(5);
+        let snap = c.total();
+        c.io(3);
+        c.comp(2);
+        let d = c.total().delta_since(&snap);
+        assert_eq!(d, OpCounts { ios: 3, comps: 2, hashes: 0, moves: 0 });
+    }
+}

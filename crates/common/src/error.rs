@@ -1,0 +1,95 @@
+//! Workspace-wide error type.
+//!
+//! The task's dependency policy excludes `thiserror`, so this is a plain
+//! hand-rolled enum. Variants are deliberately coarse: the simulator is
+//! deterministic, so most of these indicate a programming error rather than
+//! an environmental failure, and carry enough context to debug a test.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage, index and execution layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A page id referenced a file or page that does not exist.
+    PageNotFound {
+        /// File the page was looked up in.
+        file: u32,
+        /// Page number within the file.
+        page: u32,
+    },
+    /// A record did not fit in a page, or a slot id was invalid.
+    PageOverflow {
+        /// Bytes that were requested.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// A slot id did not exist or was already deleted.
+    SlotNotFound {
+        /// The offending slot index.
+        slot: u16,
+    },
+    /// The buffer pool had no evictable frame (everything pinned).
+    BufferPoolExhausted,
+    /// A serialized record was malformed.
+    Corrupt(String),
+    /// A key was not found where it was required to exist.
+    KeyNotFound(u64),
+    /// A configuration is infeasible (e.g. memory budget too small for an
+    /// operator's fixed buffers).
+    Infeasible(String),
+    /// Catch-all for invariant violations.
+    Invariant(String),
+    /// A deliberately injected device fault (test harness; see
+    /// `SimDisk::inject_fault`).
+    Faulted,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageNotFound { file, page } => {
+                write!(f, "page not found: file {file}, page {page}")
+            }
+            Error::PageOverflow { needed, available } => {
+                write!(f, "page overflow: needed {needed} bytes, {available} available")
+            }
+            Error::SlotNotFound { slot } => write!(f, "slot {slot} not found"),
+            Error::BufferPoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            Error::Infeasible(msg) => write!(f, "infeasible configuration: {msg}"),
+            Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+            Error::Faulted => write!(f, "injected device fault"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::PageNotFound { file: 3, page: 9 };
+        assert_eq!(e.to_string(), "page not found: file 3, page 9");
+        let e = Error::PageOverflow { needed: 5000, available: 12 };
+        assert!(e.to_string().contains("5000"));
+        let e = Error::Infeasible("|M| too small".into());
+        assert!(e.to_string().contains("|M| too small"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::SlotNotFound { slot: 1 },
+            Error::SlotNotFound { slot: 1 }
+        );
+        assert_ne!(Error::BufferPoolExhausted, Error::KeyNotFound(0));
+    }
+}

@@ -1,0 +1,161 @@
+//! System parameters — Tables 6 and 7 of the paper.
+//!
+//! The *system dependent* parameters (|M|, F, P, PO, FO, ssur, sptr) and the
+//! *system performance dependent* parameters (IO, comp, hash, move) are
+//! bundled in [`SystemParams`]. [`SystemParams::paper_defaults`] reproduces
+//! Table 7 exactly; both the execution engine and the analytical model take
+//! the same struct, which is what makes their costs comparable.
+
+/// System and device parameters (Tables 6 and 7).
+///
+/// Times are expressed in microseconds of *simulated* time. The paper's
+/// defaults: `IO` = 25 ms, `comp` = 3 µs, `hash` = 9 µs, `move` = 20 µs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemParams {
+    /// `|M|` — number of usable pages of main memory.
+    pub mem_pages: usize,
+    /// `F` — space-overhead factor for hashing (hybrid-hash tables and the
+    /// linear hash file storing the materialized view).
+    pub hash_overhead: f64,
+    /// `P` — page size in bytes.
+    pub page_size: usize,
+    /// `PO` — average page occupancy factor for base relations and indexes.
+    pub page_occupancy: f64,
+    /// `FO` — average fan-out of an index node in a B⁺-tree.
+    pub fan_out: usize,
+    /// `ssur` — surrogate size in bytes.
+    pub ssur: usize,
+    /// `sptr` — pointer size in bytes.
+    pub sptr: usize,
+    /// `IO` — time for one random I/O operation, in µs.
+    pub io_us: f64,
+    /// `comp` — time to compare two keys in memory, in µs.
+    pub comp_us: f64,
+    /// `hash` — time to hash a key, in µs.
+    pub hash_us: f64,
+    /// `move` — time to move a tuple (of any size) in memory, in µs.
+    pub move_us: f64,
+}
+
+impl SystemParams {
+    /// The Table 7 defaults: |M| = 1000 pages, P = 4000 bytes, PO = 0.7,
+    /// FO = 400, ssur = sptr = 4 bytes, F = 1.2, IO = 25 ms, comp = 3 µs,
+    /// hash = 9 µs, move = 20 µs.
+    pub fn paper_defaults() -> Self {
+        SystemParams {
+            mem_pages: 1000,
+            hash_overhead: 1.2,
+            page_size: 4000,
+            page_occupancy: 0.7,
+            fan_out: 400,
+            ssur: 4,
+            sptr: 4,
+            io_us: 25_000.0,
+            comp_us: 3.0,
+            hash_us: 9.0,
+            move_us: 20.0,
+        }
+    }
+
+    /// A smaller configuration for fast unit/integration tests: the same
+    /// device constants but a small memory budget so multi-pass behaviour is
+    /// exercised at test scale.
+    pub fn test_small() -> Self {
+        SystemParams {
+            mem_pages: 64,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Number of tuples of `tuple_bytes` bytes that fit on one page at the
+    /// configured occupancy (`n_R`-style quantities in Table 6).
+    ///
+    /// The paper's packing: `n = ⌊P · PO / T⌋`, at least 1.
+    pub fn tuples_per_page(&self, tuple_bytes: usize) -> usize {
+        let n = ((self.page_size as f64 * self.page_occupancy) / tuple_bytes as f64).floor();
+        (n as usize).max(1)
+    }
+
+    /// Tuples per page for *working areas* (sort buffers, spill files), which
+    /// the paper packs fully (no occupancy slack): `⌊P / T⌋`, at least 1.
+    pub fn tuples_per_full_page(&self, tuple_bytes: usize) -> usize {
+        (self.page_size / tuple_bytes.max(1)).max(1)
+    }
+
+    /// Pages needed for `n_tuples` tuples of `tuple_bytes` bytes at the
+    /// configured occupancy (`|R|`-style quantities).
+    pub fn pages_for(&self, n_tuples: u64, tuple_bytes: usize) -> u64 {
+        if n_tuples == 0 {
+            return 0;
+        }
+        let per = self.tuples_per_page(tuple_bytes) as u64;
+        n_tuples.div_ceil(per)
+    }
+
+    /// Pages needed at full packing (spill/working files).
+    pub fn full_pages_for(&self, n_tuples: u64, tuple_bytes: usize) -> u64 {
+        if n_tuples == 0 {
+            return 0;
+        }
+        let per = self.tuples_per_full_page(tuple_bytes) as u64;
+        n_tuples.div_ceil(per)
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_defaults() {
+        let p = SystemParams::paper_defaults();
+        assert_eq!(p.mem_pages, 1000);
+        assert_eq!(p.page_size, 4000);
+        assert_eq!(p.fan_out, 400);
+        assert_eq!(p.ssur, 4);
+        assert_eq!(p.sptr, 4);
+        assert!((p.hash_overhead - 1.2).abs() < 1e-12);
+        assert!((p.page_occupancy - 0.7).abs() < 1e-12);
+        assert!((p.io_us - 25_000.0).abs() < 1e-12);
+        assert!((p.comp_us - 3.0).abs() < 1e-12);
+        assert!((p.hash_us - 9.0).abs() < 1e-12);
+        assert!((p.move_us - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_derived_packing() {
+        let p = SystemParams::paper_defaults();
+        // Tr = Ts = 200 bytes -> n_R = floor(4000 * 0.7 / 200) = 14.
+        assert_eq!(p.tuples_per_page(200), 14);
+        // |R| for 200 000 tuples = ceil(200000 / 14) = 14286 pages.
+        assert_eq!(p.pages_for(200_000, 200), 14_286);
+        // JI entry: two 4-byte surrogates = 8 bytes -> n_JI = 350.
+        assert_eq!(p.tuples_per_page(8), 350);
+        // View tuple Tr + Ts = 400 bytes -> n_V = 7.
+        assert_eq!(p.tuples_per_page(400), 7);
+    }
+
+    #[test]
+    fn full_packing_vs_occupancy() {
+        let p = SystemParams::paper_defaults();
+        assert_eq!(p.tuples_per_full_page(200), 20);
+        assert_eq!(p.full_pages_for(200, 200), 10);
+        assert_eq!(p.pages_for(0, 200), 0);
+        assert_eq!(p.full_pages_for(0, 200), 0);
+    }
+
+    #[test]
+    fn tiny_tuples_and_oversized_tuples() {
+        let p = SystemParams::paper_defaults();
+        // At least one tuple per page, even when the tuple exceeds the page.
+        assert_eq!(p.tuples_per_page(1_000_000), 1);
+        assert_eq!(p.tuples_per_full_page(1_000_000), 1);
+        assert_eq!(p.pages_for(3, 1_000_000), 3);
+    }
+}

@@ -1,0 +1,272 @@
+//! Self-adapting strategy selection — the paper's closing vision:
+//! "a system which used the designer's estimates to initially select among
+//! algorithms ... but also maintained usage statistics so that the system
+//! could automatically adapt to the appropriate structures and algorithms
+//! after a suitable period of time."
+//!
+//! [`AdaptiveStrategy`] wraps one concrete strategy and, at the end of
+//! every query, re-estimates the workload from what it just observed —
+//! mutation counts, the measured `Pr_A` fraction, and the *exact* semijoin
+//! selectivities read off the result stream — prices all three methods
+//! with the §3 cost model, and switches (rebuilding the cache, at full
+//! charged cost) when another method is predicted to win by more than a
+//! hysteresis factor.
+
+use std::collections::HashSet;
+
+use trijoin_common::{Cost, Result, Surrogate, SystemParams, ViewTuple};
+use trijoin_exec::{
+    HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, Mutation, StoredRelation,
+};
+use trijoin_model::{all_costs, Method, Workload};
+use trijoin_storage::Disk;
+
+/// A strategy that re-selects itself from observed statistics.
+pub struct AdaptiveStrategy {
+    disk: Disk,
+    params: SystemParams,
+    cost: Cost,
+    current: Box<dyn JoinStrategy>,
+    kind: Method,
+    /// Predicted-cost advantage another method must show before a switch
+    /// (e.g. 1.3 = 30% better). Guards against boundary flapping.
+    pub hysteresis: f64,
+    // Observed since the last query:
+    mutations: u64,
+    a_changes: u64,
+    // Rolling estimates:
+    pra_estimate: f64,
+    epoch: u64,
+    switch_log: Vec<(u64, Method, Method)>,
+}
+
+impl AdaptiveStrategy {
+    /// Start with `initial` (built and charged by the caller via
+    /// `Database`), typically the advisor's heuristic pick.
+    pub fn new(
+        disk: &Disk,
+        params: &SystemParams,
+        cost: &Cost,
+        initial: Box<dyn JoinStrategy>,
+        kind: Method,
+    ) -> Self {
+        AdaptiveStrategy {
+            disk: disk.clone(),
+            params: params.clone(),
+            cost: cost.clone(),
+            current: initial,
+            kind,
+            hysteresis: 1.3,
+            mutations: 0,
+            a_changes: 0,
+            pra_estimate: 0.5,
+            epoch: 0,
+            switch_log: Vec::new(),
+        }
+    }
+
+    /// The method currently in use.
+    pub fn current_method(&self) -> Method {
+        self.kind
+    }
+
+    /// Every switch performed: `(epoch, from, to)`.
+    pub fn switch_log(&self) -> &[(u64, Method, Method)] {
+        &self.switch_log
+    }
+
+    fn build(&self, kind: Method, r: &StoredRelation, s: &StoredRelation) -> Result<Box<dyn JoinStrategy>> {
+        Ok(match kind {
+            Method::MaterializedView => {
+                Box::new(MaterializedView::build(&self.disk, &self.params, &self.cost, r, s)?)
+            }
+            Method::JoinIndex => {
+                Box::new(JoinIndexStrategy::build(&self.disk, &self.params, &self.cost, r, s)?)
+            }
+            Method::HybridHash => Box::new(HybridHash::new(&self.disk, &self.params, &self.cost)),
+        })
+    }
+
+    /// Workload estimate from the epoch just observed.
+    fn estimate(
+        &self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        result_tuples: u64,
+        distinct_r: u64,
+        distinct_s: u64,
+    ) -> Workload {
+        let nr = (r.len() as f64).max(1.0);
+        let ns = (s.len() as f64).max(1.0);
+        Workload {
+            r_tuples: nr,
+            s_tuples: ns,
+            tr: r.tuple_bytes() as f64,
+            ts: s.tuple_bytes() as f64,
+            sr: distinct_r as f64 / nr,
+            ss: distinct_s as f64 / ns,
+            js: result_tuples as f64 / (nr * ns),
+            pra: self.pra_estimate,
+            updates: self.mutations as f64,
+        }
+    }
+}
+
+impl JoinStrategy for AdaptiveStrategy {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn on_mutation(&mut self, m: &Mutation) -> Result<()> {
+        self.mutations += 1;
+        if m.affects_join_index() {
+            self.a_changes += 1;
+        }
+        self.current.on_mutation(m)
+    }
+
+    fn execute(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
+        // Answer the query, measuring exact selectivities off the stream.
+        let mut distinct_r: HashSet<Surrogate> = HashSet::new();
+        let mut distinct_s: HashSet<Surrogate> = HashSet::new();
+        let n = self.current.execute(r, s, &mut |v| {
+            distinct_r.insert(v.r_sur);
+            distinct_s.insert(v.s_sur);
+            sink(v);
+        })?;
+        self.epoch += 1;
+
+        // Fold the observed Pr_A into the rolling estimate.
+        if self.mutations > 0 {
+            let observed = self.a_changes as f64 / self.mutations as f64;
+            self.pra_estimate = 0.5 * self.pra_estimate + 0.5 * observed;
+        }
+        let w = self.estimate(r, s, n, distinct_r.len() as u64, distinct_s.len() as u64);
+        self.mutations = 0;
+        self.a_changes = 0;
+
+        // Re-select. Switching rebuilds the cache at full charged cost.
+        let costs = all_costs(&self.params, &w);
+        let current_pred = costs
+            .iter()
+            .find(|c| c.method == self.kind)
+            .map(|c| c.total())
+            .unwrap_or(f64::INFINITY);
+        let (best, best_pred) = costs
+            .iter()
+            .map(|c| (c.method, c.total()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        if best != self.kind && current_pred > self.hysteresis * best_pred {
+            let _g = self.cost.section("adaptive.switch");
+            self.current = self.build(best, r, s)?;
+            self.switch_log.push((self.epoch, self.kind, best));
+            self.kind = best;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::workload::WorkloadSpec;
+    use trijoin_exec::{execute_collect, oracle};
+
+    fn spec(sr: f64, rate: f64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            r_tuples: 1_500,
+            s_tuples: 1_500,
+            tuple_bytes: 96,
+            sr,
+            group_size: 4,
+            pra: 0.1,
+            update_rate: rate,
+            seed,
+        }
+    }
+
+    fn adaptive_over(db: &Database, kind: Method) -> AdaptiveStrategy {
+        let initial: Box<dyn JoinStrategy> = match kind {
+            Method::MaterializedView => Box::new(db.materialized_view().unwrap()),
+            Method::JoinIndex => Box::new(db.join_index().unwrap()),
+            Method::HybridHash => Box::new(db.hybrid_hash()),
+        };
+        AdaptiveStrategy::new(db.disk(), db.params(), db.cost(), initial, kind)
+    }
+
+    #[test]
+    fn adapts_from_a_bad_initial_choice() {
+        // Tiny join, light updates: hash join is a terrible starting pick;
+        // the adaptive wrapper must move off it after the first epoch.
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let s = spec(0.005, 0.02, 401);
+        let gen = s.generate();
+        let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+        let mut adaptive = adaptive_over(&db, Method::HybridHash);
+        let mut stream = gen.update_stream();
+        db.reset_cost();
+        for _epoch in 0..3 {
+            for _ in 0..gen.updates_per_epoch() {
+                let u = stream.next_update();
+                adaptive.on_update(&u).unwrap();
+                db.r_mut().apply_update(&u.old, &u.new).unwrap();
+            }
+            let got = execute_collect(&mut adaptive, db.r(), db.s()).unwrap();
+            let want = oracle::join_tuples(stream.current(), &gen.s);
+            oracle::assert_same_join("adaptive", got, want);
+        }
+        assert_ne!(adaptive.current_method(), Method::HybridHash);
+        assert!(!adaptive.switch_log().is_empty());
+        assert_eq!(adaptive.switch_log()[0].1, Method::HybridHash);
+    }
+
+    #[test]
+    fn stays_put_when_the_choice_is_right() {
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let s = spec(0.002, 0.2, 402); // low SR, busy: join index country
+        let gen = s.generate();
+        let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+        let mut adaptive = adaptive_over(&db, Method::JoinIndex);
+        let mut stream = gen.update_stream();
+        db.reset_cost();
+        for _ in 0..3 {
+            for _ in 0..gen.updates_per_epoch() {
+                let u = stream.next_update();
+                adaptive.on_update(&u).unwrap();
+                db.r_mut().apply_update(&u.old, &u.new).unwrap();
+            }
+            execute_collect(&mut adaptive, db.r(), db.s()).unwrap();
+        }
+        assert_eq!(adaptive.current_method(), Method::JoinIndex);
+        assert!(adaptive.switch_log().is_empty(), "{:?}", adaptive.switch_log());
+    }
+
+    #[test]
+    fn adaptive_stays_correct_through_a_switch() {
+        // Verify tuple-exactness on the epoch where the switch happens.
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let s = spec(0.01, 0.3, 403);
+        let gen = s.generate();
+        let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+        let mut adaptive = adaptive_over(&db, Method::MaterializedView);
+        let mut stream = gen.update_stream();
+        db.reset_cost();
+        for epoch in 0..4 {
+            for _ in 0..gen.updates_per_epoch() {
+                let u = stream.next_update();
+                adaptive.on_update(&u).unwrap();
+                db.r_mut().apply_update(&u.old, &u.new).unwrap();
+            }
+            let got = execute_collect(&mut adaptive, db.r(), db.s()).unwrap();
+            let want = oracle::join_tuples(stream.current(), &gen.s);
+            oracle::assert_same_join(&format!("epoch {epoch}"), got, want);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! `trijoin` — command-line front end.
+//!
+//! ```text
+//! trijoin advise --sr 0.01 --activity 0.06 [--pra 0.1] [--mem 1000]
+//!     recommend a strategy (paper heuristic + cost model)
+//! trijoin model --sr 0.01 --activity 0.06 [--pra 0.1] [--mem 1000]
+//!     print the full per-term cost breakdown of all three methods
+//! trijoin run --scale 50 --sr 0.01 --activity 0.06 [--pra 0.1] [--mem 80]
+//!             [--strategy mv|ji|hh|eager|all] [--seed 42] [--epochs 1]
+//!     run the engine on a scaled paper workload and report measured cost
+//! ```
+//!
+//! (No external argument-parsing dependency: flags are `--name value`
+//! pairs, order-free.)
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use trijoin::{Advisor, Database, JoinStrategy, SystemParams, Workload, WorkloadSpec};
+use trijoin_model::all_costs;
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            let name = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: not a number: {v:?}")),
+        }
+    }
+
+    fn u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: not an integer: {v:?}")),
+        }
+    }
+
+    fn str(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match Args::parse(rest) {
+        Ok(args) => match cmd.as_str() {
+            "advise" => advise(&args),
+            "model" => model(&args),
+            "run" => run(&args),
+            other => Err(format!("unknown command {other:?}\n{}", usage())),
+        },
+        Err(e) => Err(e),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn params_from(args: &Args) -> Result<SystemParams, String> {
+    Ok(SystemParams {
+        mem_pages: args.u64("mem", 1000)? as usize,
+        ..SystemParams::paper_defaults()
+    })
+}
+
+fn workload_from(args: &Args) -> Result<Workload, String> {
+    let sr = args.f64("sr", 0.01)?;
+    let activity = args.f64("activity", 0.06)?;
+    let pra = args.f64("pra", 0.1)?;
+    if !(0.0..=1.0).contains(&sr) || !(0.0..=1.0).contains(&activity) || !(0.0..=1.0).contains(&pra)
+    {
+        return Err("--sr, --activity and --pra must be within [0, 1]".into());
+    }
+    let mut w = Workload::figure4_point(sr.max(1e-6), activity);
+    w.pra = pra;
+    Ok(w)
+}
+
+fn advise(args: &Args) -> Result<(), String> {
+    let params = params_from(args)?;
+    let w = workload_from(args)?;
+    let advisor = Advisor::new(&params);
+    let (heuristic, model_pick) = advisor.both(&w);
+    println!("workload: SR={} activity={} Pr_A={} |M|={} pages",
+        w.sr, w.updates / w.r_tuples, w.pra, params.mem_pages);
+    println!("paper heuristic : {}", heuristic.method);
+    println!("                  {}", heuristic.reason);
+    println!("cost-model pick : {}", model_pick.method);
+    println!("                  {}", model_pick.reason);
+    Ok(())
+}
+
+fn model(args: &Args) -> Result<(), String> {
+    let params = params_from(args)?;
+    let w = workload_from(args)?;
+    for report in all_costs(&params, &w) {
+        println!(
+            "== {} : {:.1} s total ({:.1} s base file, {:.1} s update+internal) ==",
+            report.method,
+            report.total(),
+            report.base_file(),
+            report.update_and_internal()
+        );
+        for term in &report.terms {
+            if term.secs >= 0.05 {
+                println!("  {:<48} {:>10.1} s", term.name, term.secs);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let scale = args.u64("scale", 50)? as u32;
+    let spec = WorkloadSpec::paper_scaled(
+        scale,
+        args.f64("sr", 0.01)?,
+        args.f64("activity", 0.06)?,
+        args.f64("pra", 0.1)?,
+        args.u64("seed", 42)?,
+    );
+    let params = params_from(args)?;
+    let epochs = args.u64("epochs", 1)?;
+    let which = args.str("strategy", "all");
+    let gen = spec.generate();
+    let measured = gen.measured();
+    println!(
+        "workload: ‖R‖=‖S‖={} SR={:.4} ‖iR‖={}/epoch Pr_A={} |M|={}",
+        gen.r.len(),
+        measured.sr,
+        gen.updates_per_epoch(),
+        measured.pra,
+        params.mem_pages
+    );
+    let wanted: Vec<&str> = match which.as_str() {
+        "all" => vec!["mv", "ji", "hh", "eager"],
+        one @ ("mv" | "ji" | "hh" | "eager") => vec![one],
+        other => return Err(format!("--strategy: unknown {other:?} (mv|ji|hh|eager|all)")),
+    };
+    for name in wanted {
+        let mut db = Database::new(&params, gen.r.clone(), gen.s.clone())
+            .map_err(|e| e.to_string())?;
+        let mut strategy: Box<dyn JoinStrategy> = match name {
+            "mv" => Box::new(db.materialized_view().map_err(|e| e.to_string())?),
+            "ji" => Box::new(db.join_index().map_err(|e| e.to_string())?),
+            "hh" => Box::new(db.hybrid_hash()),
+            "eager" => Box::new(db.eager_view().map_err(|e| e.to_string())?),
+            _ => unreachable!(),
+        };
+        let mut stream = gen.update_stream();
+        for epoch in 0..epochs {
+            db.reset_cost();
+            for _ in 0..gen.updates_per_epoch() {
+                let u = stream.next_update();
+                strategy.on_update(&u).map_err(|e| e.to_string())?;
+                db.r_mut().apply_update(&u.old, &u.new).map_err(|e| e.to_string())?;
+            }
+            let mut n = 0u64;
+            strategy
+                .execute(db.r(), db.s(), &mut |_| n += 1)
+                .map_err(|e| e.to_string())?;
+            let t = db.cost().total();
+            println!(
+                "{:<18} epoch {epoch}: {:>9.2} simulated s  ({} IOs, {} tuples)",
+                strategy.name(),
+                db.cost().elapsed_secs(db.params()),
+                t.ios,
+                n
+            );
+        }
+    }
+    // Model reference, priced at the measured (scaled) workload.
+    let model = all_costs(&params, &measured);
+    let preds: Vec<String> =
+        model.iter().map(|c| format!("{}={:.1}s", c.method, c.total())).collect();
+    println!("model prediction for this workload: {}", preds.join("  "));
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! A small database instance wiring the paper's storage organization
+//! (Table 5) to the simulated device.
+
+use trijoin_common::{BaseTuple, Cost, Result, SystemParams};
+use std::rc::Rc;
+
+use trijoin_exec::{
+    BilateralView, EagerView, HybridHash, JoinIndexStrategy, MaterializedView, StoredRelation,
+};
+use trijoin_storage::{Disk, SimDisk};
+
+/// One simulated database: a disk, a cost ledger, and the two base
+/// relations organized per Table 5 (`R` clustered on its surrogate; `S`
+/// clustered on its surrogate plus a non-clustered index on the join
+/// attribute).
+pub struct Database {
+    params: SystemParams,
+    cost: Cost,
+    disk: Disk,
+    r: StoredRelation,
+    s: Rc<StoredRelation>,
+}
+
+impl Database {
+    /// Build from tuple sets. Loading charges I/O; call
+    /// [`Database::reset_cost`] before measuring (the paper does not price
+    /// initial loading).
+    pub fn new(params: &SystemParams, r: Vec<BaseTuple>, s: Vec<BaseTuple>) -> Result<Self> {
+        Self::build(params, r, s, false)
+    }
+
+    /// Like [`Database::new`] but `R` also carries an inverted index on the
+    /// join attribute — the symmetric access path bilateral maintenance
+    /// (updates to `S` as well as `R`) requires.
+    pub fn new_bilateral(
+        params: &SystemParams,
+        r: Vec<BaseTuple>,
+        s: Vec<BaseTuple>,
+    ) -> Result<Self> {
+        Self::build(params, r, s, true)
+    }
+
+    fn build(
+        params: &SystemParams,
+        r: Vec<BaseTuple>,
+        s: Vec<BaseTuple>,
+        r_inverted: bool,
+    ) -> Result<Self> {
+        let cost = Cost::new();
+        let disk = SimDisk::new(params, cost.clone());
+        let r = StoredRelation::build(&disk, params, "R", r, r_inverted)?;
+        let s = Rc::new(StoredRelation::build(&disk, params, "S", s, true)?);
+        Ok(Database { params: params.clone(), cost, disk, r, s })
+    }
+
+    /// System parameters in force.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// The shared cost ledger.
+    pub fn cost(&self) -> &Cost {
+        &self.cost
+    }
+
+    /// The simulated disk.
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Relation `R`.
+    pub fn r(&self) -> &StoredRelation {
+        &self.r
+    }
+
+    /// Relation `S` (carries the inverted index on the join attribute).
+    pub fn s(&self) -> &StoredRelation {
+        &self.s
+    }
+
+    /// Mutable access to `R` for applying updates.
+    pub fn r_mut(&mut self) -> &mut StoredRelation {
+        &mut self.r
+    }
+
+    /// Mutable access to `S` for bilateral scenarios. Fails while any
+    /// strategy (e.g. an [`EagerView`]) still holds a shared handle to `S`.
+    pub fn s_mut(&mut self) -> Result<&mut StoredRelation> {
+        Rc::get_mut(&mut self.s).ok_or_else(|| {
+            trijoin_common::Error::Invariant(
+                "S is shared (an eager view is alive); cannot mutate".into(),
+            )
+        })
+    }
+
+    /// Zero the cost ledger (e.g. after setup).
+    pub fn reset_cost(&self) {
+        self.cost.reset();
+    }
+
+    /// Materialize `V = R ⋈ S` and return the MV strategy (§3.2).
+    pub fn materialized_view(&self) -> Result<MaterializedView> {
+        MaterializedView::build(&self.disk, &self.params, &self.cost, &self.r, &self.s)
+    }
+
+    /// Build the join index and return the JI strategy (§3.3).
+    pub fn join_index(&self) -> Result<JoinIndexStrategy> {
+        JoinIndexStrategy::build(&self.disk, &self.params, &self.cost, &self.r, &self.s)
+    }
+
+    /// The hybrid-hash strategy (§3.4; stateless).
+    pub fn hybrid_hash(&self) -> HybridHash {
+        HybridHash::new(&self.disk, &self.params, &self.cost)
+    }
+
+    /// Grace-hash variant (ablation baseline).
+    pub fn grace_hash(&self) -> HybridHash {
+        HybridHash::grace(&self.disk, &self.params, &self.cost)
+    }
+
+    /// Eagerly-maintained view (ablation baseline: maintenance per
+    /// mutation instead of the paper's deferral).
+    pub fn eager_view(&self) -> Result<EagerView> {
+        EagerView::build(&self.disk, &self.params, &self.cost, &self.r, Rc::clone(&self.s))
+    }
+
+    /// Bilateral view (deferred maintenance under mutations to both
+    /// relations); requires [`Database::new_bilateral`].
+    pub fn bilateral_view(&self) -> Result<BilateralView> {
+        BilateralView::build(&self.disk, &self.params, &self.cost, &self.r, &self.s)
+    }
+
+    /// A select-project view `π(σ_p(R) ⋈ σ_q(S))` (§5 future work).
+    pub fn spj_view(&self, def: trijoin_exec::ViewDef) -> Result<MaterializedView> {
+        MaterializedView::build_with(&self.disk, &self.params, &self.cost, &self.r, &self.s, def)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("r_tuples", &self.r.len())
+            .field("s_tuples", &self.s.len())
+            .field("mem_pages", &self.params.mem_pages)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trijoin_common::Surrogate;
+
+    fn tuples(n: u32) -> Vec<BaseTuple> {
+        (0..n).map(|i| BaseTuple::padded(Surrogate(i), (i % 7) as u64, 64)).collect()
+    }
+
+    #[test]
+    fn database_wires_table5_organization() {
+        let params = SystemParams { page_size: 512, mem_pages: 32, ..Default::default() };
+        let db = Database::new(&params, tuples(200), tuples(150)).unwrap();
+        assert_eq!(db.r().len(), 200);
+        assert_eq!(db.s().len(), 150);
+        assert!(!db.r().has_inverted(), "R has no inverted index per Table 5");
+        assert!(db.s().has_inverted(), "S carries the join-attribute index");
+        db.reset_cost();
+        assert!(db.cost().total().is_zero());
+    }
+
+    #[test]
+    fn strategies_construct_and_agree_on_cardinality() {
+        let params = SystemParams { page_size: 512, mem_pages: 32, ..Default::default() };
+        let db = Database::new(&params, tuples(100), tuples(100)).unwrap();
+        let mut mv = db.materialized_view().unwrap();
+        let mut ji = db.join_index().unwrap();
+        let mut hh = db.hybrid_hash();
+        db.reset_cost();
+        use trijoin_exec::execute_collect;
+        let a = execute_collect(&mut mv, db.r(), db.s()).unwrap();
+        let b = execute_collect(&mut ji, db.r(), db.s()).unwrap();
+        let c = execute_collect(&mut hh, db.r(), db.s()).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(b.len(), c.len());
+        // 100 tuples with keys mod 7: each key class squared.
+        let want: usize = (0..7u32)
+            .map(|k| {
+                let n = (0..100u32).filter(|i| i % 7 == k).count();
+                n * n
+            })
+            .sum();
+        assert_eq!(a.len(), want);
+    }
+}

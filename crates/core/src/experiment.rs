@@ -1,0 +1,196 @@
+//! End-to-end experiments: run a generated scenario on the execution
+//! engine, measure the simulated cost ledger per strategy, and put the
+//! analytical model's prediction next to it.
+
+use trijoin_common::{OpCounts, Result, SystemParams};
+use trijoin_exec::{oracle, JoinStrategy};
+use trijoin_model::{all_costs, Method, Workload};
+
+use crate::db::Database;
+use crate::workload::{GeneratedWorkload, WorkloadSpec};
+
+/// Measured engine cost + predicted model cost for one method.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Which method.
+    pub method: Method,
+    /// Engine op counts for the whole epoch (update observation + query).
+    pub engine_ops: OpCounts,
+    /// Engine simulated seconds.
+    pub engine_secs: f64,
+    /// Model-predicted seconds for the measured workload.
+    pub model_secs: f64,
+    /// Join cardinality the strategy produced.
+    pub tuples: u64,
+}
+
+/// Result of one update-then-query epoch over all three strategies.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// The workload statistics (measured, fed to the model).
+    pub workload: Workload,
+    /// Per-method outcomes in [`Method::all`] order.
+    pub outcomes: Vec<MethodOutcome>,
+}
+
+impl EpochReport {
+    /// The engine's cheapest method this epoch.
+    pub fn engine_winner(&self) -> Method {
+        self.outcomes
+            .iter()
+            .min_by(|a, b| a.engine_secs.total_cmp(&b.engine_secs))
+            .map(|o| o.method)
+            .unwrap()
+    }
+
+    /// The model's predicted cheapest method.
+    pub fn model_winner(&self) -> Method {
+        self.outcomes
+            .iter()
+            .min_by(|a, b| a.model_secs.total_cmp(&b.model_secs))
+            .map(|o| o.method)
+            .unwrap()
+    }
+
+    /// Per-method engine/model ratio (how far measurement sits from the
+    /// analytical prediction).
+    pub fn ratios(&self) -> Vec<(Method, f64)> {
+        self.outcomes
+            .iter()
+            .map(|o| (o.method, o.engine_secs / o.model_secs.max(1e-9)))
+            .collect()
+    }
+}
+
+/// Drives one scenario end to end.
+pub struct Experiment {
+    params: SystemParams,
+    generated: GeneratedWorkload,
+    /// Verify every strategy's output against the in-memory oracle
+    /// (quadratic-ish in result size; disable for large benches).
+    pub verify: bool,
+}
+
+impl Experiment {
+    /// Generate the scenario for `spec` under `params`.
+    pub fn new(params: &SystemParams, spec: &WorkloadSpec) -> Self {
+        Experiment { params: params.clone(), generated: spec.generate(), verify: true }
+    }
+
+    /// The generated workload (for inspection).
+    pub fn generated(&self) -> &GeneratedWorkload {
+        &self.generated
+    }
+
+    /// Run one epoch (apply `‖iR‖` updates, then query) for each strategy
+    /// *independently* — each method gets its own fresh database so its
+    /// ledger contains exactly its own work, like the paper's analysis.
+    pub fn run_epoch(&self) -> Result<EpochReport> {
+        let workload = self.generated.measured();
+        let mut outcomes = Vec::with_capacity(3);
+        let model = all_costs(&self.params, &workload);
+        for method in Method::all() {
+            let db = Database::new(&self.params, self.generated.r.clone(), self.generated.s.clone())?;
+            let mut strategy: Box<dyn JoinStrategy> = match method {
+                Method::MaterializedView => Box::new(db.materialized_view()?),
+                Method::JoinIndex => Box::new(db.join_index()?),
+                Method::HybridHash => Box::new(db.hybrid_hash()),
+            };
+            let mut db = db;
+            let mut stream = self.generated.update_stream();
+            db.reset_cost();
+            for _ in 0..self.generated.updates_per_epoch() {
+                let upd = stream.next_update();
+                strategy.on_update(&upd)?;
+                db.r_mut().apply_update(&upd.old, &upd.new)?;
+            }
+            let mut result = Vec::new();
+            let tuples = strategy.execute(db.r(), db.s(), &mut |v| {
+                if self.verify {
+                    result.push(v);
+                }
+            })?;
+            let total = db.cost().total();
+            // Applying updates to the base relation itself is shared work
+            // every method pays identically; the paper's per-method costs
+            // start at the differential log (C1). Subtract it via a paired
+            // replay that applies the same updates with no strategy
+            // observing.
+            let engine_ops = total.delta_since(&self.base_maintenance_ops()?);
+            if self.verify {
+                let want = oracle::join_tuples(stream.current(), &self.generated.s);
+                oracle::assert_same_join(method.label(), result, want);
+            }
+            let engine_secs = engine_ops.time_secs(&self.params);
+            let model_secs = model
+                .iter()
+                .find(|c| c.method == method)
+                .map(|c| c.total())
+                .unwrap();
+            outcomes.push(MethodOutcome { method, engine_ops, engine_secs, model_secs, tuples });
+        }
+        Ok(EpochReport { workload, outcomes })
+    }
+
+    /// Ops spent applying the epoch's updates to the base relation alone
+    /// (no strategy observing) — subtracted from each strategy's ledger so
+    /// comparisons match the paper's accounting, which charges only
+    /// strategy-attributable work.
+    fn base_maintenance_ops(&self) -> Result<OpCounts> {
+        let mut db =
+            Database::new(&self.params, self.generated.r.clone(), self.generated.s.clone())?;
+        let mut stream = self.generated.update_stream();
+        db.reset_cost();
+        for _ in 0..self.generated.updates_per_epoch() {
+            let upd = stream.next_update();
+            db.r_mut().apply_update(&upd.old, &upd.new)?;
+        }
+        Ok(db.cost().total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            r_tuples: 2_000,
+            s_tuples: 2_000,
+            tuple_bytes: 200,
+            sr: 0.05,
+            group_size: 5,
+            pra: 0.2,
+            update_rate: 0.05,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn epoch_runs_and_verifies_all_strategies() {
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let exp = Experiment::new(&params, &spec());
+        let report = exp.run_epoch().unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        let counts: Vec<u64> = report.outcomes.iter().map(|o| o.tuples).collect();
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[1], counts[2]);
+        assert!(report.outcomes.iter().all(|o| o.engine_secs > 0.0 && o.model_secs > 0.0));
+    }
+
+    #[test]
+    fn epoch_report_winners_are_consistent() {
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let exp = Experiment::new(&params, &spec());
+        let report = exp.run_epoch().unwrap();
+        let w = report.engine_winner();
+        let best = report
+            .outcomes
+            .iter()
+            .map(|o| o.engine_secs)
+            .fold(f64::INFINITY, f64::min);
+        let picked = report.outcomes.iter().find(|o| o.method == w).unwrap();
+        assert!((picked.engine_secs - best).abs() < 1e-12);
+        assert_eq!(report.ratios().len(), 3);
+    }
+}

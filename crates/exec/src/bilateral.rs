@@ -1,0 +1,467 @@
+//! Bilateral deferred maintenance — updates to *both* base relations.
+//!
+//! §3.2 opens with the general expression
+//!
+//! ```text
+//! V' = V ∪ (iR ⋈ S') ∪ (R' ⋈ iS) ∪ (iR ⋈ iS)
+//!        − ((dR ⋈ S) ∪ (R ⋈ dS) ∪ (dR ⋈ dS))
+//! ```
+//!
+//! and then restricts the analysis to R-only updates. This module
+//! implements the general case for the materialized view, using the
+//! duplicate-free sequential decomposition
+//!
+//! ```text
+//! V1 = V  −  {v : v.r ∈ dR}  ∪  (iR ⋈ (S_now − iS))
+//! V' = V1 −  {v : v.s ∈ dS}  ∪  (iS ⋈ R_now)
+//! ```
+//!
+//! i.e. R-insertions join against the *pre-epoch* S (probe the current S
+//! and skip net-inserted s tuples — `(iR ⋈ iS)` pairs arrive exactly once,
+//! from the S side, because `R_now ⊇ iR`), and S-insertions join against
+//! the *current* R through an inverted index on `R.A` (which Table 5 does
+//! not provide for the R-only analysis — bilateral maintenance needs the
+//! symmetric access path, so [`BilateralView`] requires it).
+//!
+//! Memory note: the R side streams exactly like [`crate::mv`]; the S-side
+//! net differentials are materialized in memory for the duration of one
+//! query (their runs are still logged/spilled/merged at full charge). For
+//! moderate S churn this is well within |M|; a fully symmetric streaming
+//! merge is possible but needs a two-dimensional bucket merge the paper
+//! never contemplates.
+
+use std::collections::{HashSet, VecDeque};
+
+use trijoin_common::{
+    types::hash_key, BaseTuple, Cost, Error, Result, Surrogate, SystemParams, ViewTuple,
+};
+use trijoin_linearhash::{Addressing, LinearHash};
+use trijoin_storage::Disk;
+
+use crate::diff::{mv_sort_key, net_differentials, DiffLog, Net, SortKey};
+use crate::mv::view_tuple_bytes;
+use crate::relation::StoredRelation;
+use crate::sort::counted_sort_by;
+use crate::strategy::{JoinStrategy, Mutation};
+
+/// Materialized view maintained under mutations to both `R` and `S`.
+pub struct BilateralView {
+    disk: Disk,
+    params: SystemParams,
+    cost: Cost,
+    v: LinearHash,
+    addressing: Addressing,
+    r_ins: DiffLog,
+    r_del: DiffLog,
+    s_ins: DiffLog,
+    s_del: DiffLog,
+    r_tuple_bytes: usize,
+    s_tuple_bytes: usize,
+}
+
+impl BilateralView {
+    /// Materialize `V = R ⋈ S`. Requires `R` to carry an inverted index on
+    /// the join attribute (the symmetric access path S-side insertions
+    /// probe).
+    pub fn build(
+        disk: &Disk,
+        params: &SystemParams,
+        cost: &Cost,
+        r: &StoredRelation,
+        s: &StoredRelation,
+    ) -> Result<Self> {
+        if !r.has_inverted() {
+            return Err(Error::Infeasible(
+                "bilateral maintenance needs an inverted index on R's join attribute".into(),
+            ));
+        }
+        let mut s_tuples: Vec<BaseTuple> = Vec::with_capacity(s.len() as usize);
+        s.scan(|t| s_tuples.push(t))?;
+        let mut by_key: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, st) in s_tuples.iter().enumerate() {
+            by_key.entry(st.key).or_default().push(i);
+        }
+        let mut view: Vec<(u64, Vec<u8>)> = Vec::new();
+        r.scan(|rt| {
+            if let Some(matches) = by_key.get(&rt.key) {
+                for &i in matches {
+                    let vt = ViewTuple::join(&rt, &s_tuples[i]);
+                    view.push((hash_key(vt.key), vt.to_bytes()));
+                }
+            }
+        })?;
+        let count = view.len() as u64;
+        let tv = view_tuple_bytes(r.tuple_bytes(), s.tuple_bytes());
+        let v = LinearHash::build(disk, params, view, count, tv)?;
+        let addressing = v.addressing();
+        let logs = |bytes: usize| {
+            let z = (crate::mv::MaterializedView::z_pages(params) / 2).max(1);
+            let per_page = params.tuples_per_full_page(bytes);
+            let key = move |t: &BaseTuple| -> SortKey {
+                let h = hash_key(t.key);
+                mv_sort_key(addressing.addr(h), h, t.sur.0)
+            };
+            DiffLog::new(disk, cost, z, per_page, true, key)
+        };
+        Ok(BilateralView {
+            disk: disk.clone(),
+            params: params.clone(),
+            cost: cost.clone(),
+            v,
+            addressing,
+            r_ins: logs(r.tuple_bytes()),
+            r_del: logs(r.tuple_bytes()),
+            s_ins: logs(s.tuple_bytes()),
+            s_del: logs(s.tuple_bytes()),
+            r_tuple_bytes: r.tuple_bytes(),
+            s_tuple_bytes: s.tuple_bytes(),
+        })
+    }
+
+    /// Observe a mutation of relation `S` (the extension this type exists
+    /// for). `R`-side mutations go through [`JoinStrategy::on_mutation`].
+    pub fn on_s_mutation(&mut self, m: &Mutation) -> Result<()> {
+        let _g = self.cost.section("mv2.log_s");
+        match m {
+            Mutation::Update(u) => {
+                self.s_del.add(u.old.clone())?;
+                self.s_ins.add(u.new.clone())?;
+            }
+            Mutation::Insert(t) => self.s_ins.add(t.clone())?,
+            Mutation::Delete(t) => self.s_del.add(t.clone())?,
+        }
+        Ok(())
+    }
+
+    /// View cardinality.
+    pub fn view_len(&self) -> u64 {
+        self.v.len()
+    }
+
+    /// View pages.
+    pub fn view_pages(&self) -> u64 {
+        self.v.num_pages()
+    }
+
+    /// Pending logged mutations `(R-side, S-side)`.
+    pub fn pending(&self) -> (u64, u64) {
+        (self.r_ins.len().max(self.r_del.len()), self.s_ins.len().max(self.s_del.len()))
+    }
+
+    /// Join a batch of R-insertions against `S_now − iS` (skip net-inserted
+    /// s so `(iR ⋈ iS)` pairs arrive exactly once, from the S side).
+    fn join_r_batch(
+        &self,
+        s: &StoredRelation,
+        mut batch: Vec<BaseTuple>,
+        skip_s: &HashSet<Surrogate>,
+    ) -> Result<Vec<ViewTuple>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _g = self.cost.section("mv2.join_ir");
+        counted_sort_by(&mut batch, |t| t.key, &self.cost);
+        let mut keys: Vec<u64> = batch.iter().map(|t| t.key).collect();
+        keys.dedup();
+        let mut postings: std::collections::BTreeMap<u64, Vec<Surrogate>> = Default::default();
+        s.probe_inverted(&keys, |k, sur| postings.entry(k).or_default().push(sur))?;
+        let mut surs: Vec<Surrogate> = postings
+            .values()
+            .flatten()
+            .filter(|sur| !skip_s.contains(sur))
+            .copied()
+            .collect();
+        self.cost.comp(surs.len() as u64);
+        counted_sort_by(&mut surs, |x| x.0, &self.cost);
+        let mut s_tuples: std::collections::HashMap<Surrogate, BaseTuple> = Default::default();
+        s.fetch_by_surrogates(&surs, |t| {
+            s_tuples.insert(t.sur, t);
+        })?;
+        let mut out = Vec::new();
+        for rt in &batch {
+            if let Some(ss) = postings.get(&rt.key) {
+                for sur in ss {
+                    if let Some(st) = s_tuples.get(sur) {
+                        out.push(ViewTuple::join(rt, st));
+                        self.cost.mov(1);
+                    }
+                }
+            }
+        }
+        self.cost.hash(out.len() as u64);
+        let addressing = self.addressing;
+        counted_sort_by(
+            &mut out,
+            |v| {
+                let h = hash_key(v.key);
+                mv_sort_key(addressing.addr(h), h, v.r_sur.0)
+            },
+            &self.cost,
+        );
+        Ok(out)
+    }
+
+    /// Join the (memory-resident) net S-insertions against the current `R`
+    /// through R's inverted index; result sorted by `(bucket, hash, ...)`.
+    fn join_s_inserts(
+        &self,
+        r: &StoredRelation,
+        mut ins_s: Vec<BaseTuple>,
+    ) -> Result<Vec<ViewTuple>> {
+        if ins_s.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _g = self.cost.section("mv2.join_is");
+        counted_sort_by(&mut ins_s, |t| t.key, &self.cost);
+        let mut keys: Vec<u64> = ins_s.iter().map(|t| t.key).collect();
+        keys.dedup();
+        let mut postings: std::collections::BTreeMap<u64, Vec<Surrogate>> = Default::default();
+        r.probe_inverted(&keys, |k, sur| postings.entry(k).or_default().push(sur))?;
+        let mut surs: Vec<Surrogate> = postings.values().flatten().copied().collect();
+        counted_sort_by(&mut surs, |x| x.0, &self.cost);
+        let mut r_tuples: std::collections::HashMap<Surrogate, BaseTuple> = Default::default();
+        r.fetch_by_surrogates(&surs, |t| {
+            r_tuples.insert(t.sur, t);
+        })?;
+        let mut out = Vec::new();
+        for st in &ins_s {
+            if let Some(rs) = postings.get(&st.key) {
+                for sur in rs {
+                    let rt = r_tuples.get(sur).ok_or_else(|| {
+                        Error::Invariant(format!("R posting {sur} has no tuple"))
+                    })?;
+                    out.push(ViewTuple::join(rt, st));
+                    self.cost.mov(1);
+                }
+            }
+        }
+        self.cost.hash(out.len() as u64);
+        let addressing = self.addressing;
+        counted_sort_by(
+            &mut out,
+            |v| {
+                let h = hash_key(v.key);
+                mv_sort_key(addressing.addr(h), h, v.s_sur.0)
+            },
+            &self.cost,
+        );
+        Ok(out)
+    }
+}
+
+impl JoinStrategy for BilateralView {
+    fn name(&self) -> &'static str {
+        "bilateral-view"
+    }
+
+    fn on_mutation(&mut self, m: &Mutation) -> Result<()> {
+        let _g = self.cost.section("mv2.log_r");
+        match m {
+            Mutation::Update(u) => {
+                self.r_del.add(u.old.clone())?;
+                self.r_ins.add(u.new.clone())?;
+            }
+            Mutation::Insert(t) => self.r_ins.add(t.clone())?,
+            Mutation::Delete(t) => self.r_del.add(t.clone())?,
+        }
+        Ok(())
+    }
+
+    fn execute(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
+        self.r_ins.seal()?;
+        self.r_del.seal()?;
+        self.s_ins.seal()?;
+        self.s_del.seal()?;
+
+        // ---- S side: materialize the net differential -------------------
+        let key_of = {
+            let addressing = self.addressing;
+            move |t: &BaseTuple| -> SortKey {
+                let h = hash_key(t.key);
+                mv_sort_key(addressing.addr(h), h, t.sur.0)
+            }
+        };
+        let (ins_s, del_s_surs) = {
+            let _g = self.cost.section("mv2.read_s_diffs");
+            let mut ins_s: Vec<BaseTuple> = Vec::new();
+            let mut del_s_surs: HashSet<Surrogate> = HashSet::new();
+            for item in net_differentials(
+                self.s_ins.merged()?,
+                self.s_del.merged()?,
+                key_of,
+                |a, b| a == b,
+                &self.cost,
+            ) {
+                match item {
+                    Net::Ins(t) => ins_s.push(t),
+                    Net::Del(t) => {
+                        del_s_surs.insert(t.sur);
+                    }
+                }
+            }
+            (ins_s, del_s_surs)
+        };
+        let ins_s_surs: HashSet<Surrogate> = ins_s.iter().map(|t| t.sur).collect();
+        // Stream B: iS ⋈ R_now, bucket-ordered.
+        let mut b_stream: VecDeque<ViewTuple> = self.join_s_inserts(r, ins_s)?.into();
+
+        // ---- R side: stream exactly like the unilateral view ------------
+        let wr_tuples = {
+            let partners = if r.is_empty() { 1.0 } else { self.v.len() as f64 / r.len() as f64 };
+            let n1 = self.r_ins.num_runs().max(self.r_del.num_runs());
+            let m = self.params.mem_pages as f64;
+            let avail = m - 2.0 * n1 as f64 - 5.0;
+            let n_ir = self.params.tuples_per_full_page(self.r_tuple_bytes) as f64;
+            let tv = view_tuple_bytes(self.r_tuple_bytes, self.s_tuple_bytes) as f64;
+            let per_w = 1.0 + n_ir * partners.max(0.1) * tv / self.params.page_size as f64;
+            (((avail / per_w).floor()).max(1.0) as usize)
+                * self.params.tuples_per_full_page(self.r_tuple_bytes)
+        };
+        let mut net_r = net_differentials(
+            self.r_ins.merged()?,
+            self.r_del.merged()?,
+            key_of,
+            |a, b| a == b,
+            &self.cost,
+        )
+        .peekable();
+
+        let bucket_of_key = |k: SortKey| -> u64 { (k >> 96) as u64 };
+        let mut del_q: VecDeque<(u64, Surrogate)> = VecDeque::new();
+        let mut emitted = 0u64;
+        let mut next_bucket = 0u64;
+        let total_buckets = self.v.num_buckets();
+
+        loop {
+            let mut batch: Vec<BaseTuple> = Vec::new();
+            {
+                let _g = self.cost.section("mv2.read_r_diffs");
+                while let Some(item) = net_r.peek() {
+                    let key = match item {
+                        Net::Ins(t) | Net::Del(t) => key_of(t),
+                    };
+                    let bucket = bucket_of_key(key);
+                    if batch.len() >= wr_tuples {
+                        let last_bucket =
+                            batch.last().map(|t| bucket_of_key(key_of(t))).unwrap_or(bucket);
+                        if bucket > last_bucket {
+                            break;
+                        }
+                    }
+                    match net_r.next().unwrap() {
+                        Net::Ins(t) => batch.push(t),
+                        Net::Del(t) => del_q.push_back((bucket, t.sur)),
+                    }
+                }
+            }
+            let batch_empty = batch.is_empty();
+            let scan_done = net_r.peek().is_none() && batch_empty;
+            let hi_bucket = if net_r.peek().is_none() {
+                total_buckets.saturating_sub(1)
+            } else {
+                batch
+                    .iter()
+                    .map(|t| bucket_of_key(key_of(t)))
+                    .max()
+                    .or_else(|| del_q.back().map(|&(b, _)| b))
+                    .unwrap_or(next_bucket)
+            };
+            let mut joined: VecDeque<ViewTuple> =
+                self.join_r_batch(s, batch, &ins_s_surs)?.into();
+
+            let last = if scan_done {
+                total_buckets.saturating_sub(1)
+            } else {
+                hi_bucket.min(total_buckets.saturating_sub(1))
+            };
+            for b in next_bucket..=last {
+                let old = {
+                    let _g = self.cost.section("mv2.scan_view");
+                    self.v.scan_bucket(b)?
+                };
+                let mut r_dels: HashSet<Surrogate> = HashSet::new();
+                while del_q.front().map(|&(db, _)| db == b).unwrap_or(false) {
+                    r_dels.insert(del_q.pop_front().unwrap().1);
+                }
+                let mut changed = false;
+                let mut new: Vec<(u64, Vec<u8>)> = Vec::with_capacity(old.len());
+                for (h, bytes) in old {
+                    let vt = ViewTuple::from_bytes(&bytes)?;
+                    self.cost.comp(2); // tested against both deletion sets
+                    if r_dels.contains(&vt.r_sur) || del_s_surs.contains(&vt.s_sur) {
+                        changed = true;
+                    } else {
+                        sink(vt);
+                        emitted += 1;
+                        new.push((h, bytes));
+                    }
+                }
+                let addressing = self.addressing;
+                let cost = self.cost.clone();
+                let absorb = move |stream: &mut VecDeque<ViewTuple>,
+                                       new: &mut Vec<(u64, Vec<u8>)>,
+                                       changed: &mut bool,
+                                       emitted: &mut u64,
+                                       sink: &mut dyn FnMut(ViewTuple)| {
+                    while stream
+                        .front()
+                        .map(|v| addressing.addr(hash_key(v.key)) == b)
+                        .unwrap_or(false)
+                    {
+                        let vt = stream.pop_front().unwrap();
+                        cost.mov(1);
+                        sink(vt.clone());
+                        *emitted += 1;
+                        new.push((hash_key(vt.key), vt.to_bytes()));
+                        *changed = true;
+                    }
+                };
+                absorb(&mut joined, &mut new, &mut changed, &mut emitted, sink);
+                absorb(&mut b_stream, &mut new, &mut changed, &mut emitted, sink);
+                if changed {
+                    let _g = self.cost.section("mv2.write_view");
+                    self.cost.mov(new.len() as u64);
+                    self.v.rewrite_bucket(b, new)?;
+                }
+            }
+            next_bucket = last + 1;
+            if scan_done || next_bucket >= total_buckets {
+                debug_assert!(net_r.peek().is_none() && joined.is_empty());
+                break;
+            }
+        }
+        debug_assert!(b_stream.is_empty(), "S-side insertions outlived the scan");
+
+        {
+            let _g = self.cost.section("mv2.rebalance");
+            self.v.rebalance()?;
+        }
+        self.addressing = self.v.addressing();
+        let addressing = self.addressing;
+        let mk_log = |bytes: usize, disk: &Disk, cost: &Cost, params: &SystemParams| {
+            let z = (crate::mv::MaterializedView::z_pages(params) / 2).max(1);
+            let per_page = params.tuples_per_full_page(bytes);
+            let key = move |t: &BaseTuple| -> SortKey {
+                let h = hash_key(t.key);
+                mv_sort_key(addressing.addr(h), h, t.sur.0)
+            };
+            DiffLog::new(disk, cost, z, per_page, true, key)
+        };
+        let (rb, sb) = (self.r_tuple_bytes, self.s_tuple_bytes);
+        std::mem::replace(&mut self.r_ins, mk_log(rb, &self.disk, &self.cost, &self.params))
+            .destroy();
+        std::mem::replace(&mut self.r_del, mk_log(rb, &self.disk, &self.cost, &self.params))
+            .destroy();
+        std::mem::replace(&mut self.s_ins, mk_log(sb, &self.disk, &self.cost, &self.params))
+            .destroy();
+        std::mem::replace(&mut self.s_del, mk_log(sb, &self.disk, &self.cost, &self.params))
+            .destroy();
+        Ok(emitted)
+    }
+}

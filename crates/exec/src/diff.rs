@@ -1,0 +1,448 @@
+//! Differential logging of base-relation updates (§3.2/§3.3 step 1,
+//! Figure 1).
+//!
+//! Updates arriving between two executions of the join query are logged as
+//! *deleted tuple* + *inserted tuple* pairs. Each side is buffered in a
+//! memory area of `Z` pages; when the buffer fills it is quicksorted on the
+//! strategy's sort key (hash of the join attribute for the materialized
+//! view, surrogate `r` for the join index) and spilled to disk as a sorted
+//! run. At query time the `N1` runs are merged back in key order.
+//!
+//! [`net_differentials`] performs pairwise cancellation of tuples that
+//! appear identically in both the insertion and deletion streams — the
+//! intermediate states of tuples updated more than once between queries —
+//! leaving exactly the *net* change (`V'`'s algebra in §3.2 assumes net
+//! sets; chains of updates produce intermediates that must cancel).
+
+use trijoin_common::{BaseTuple, Cost, Result};
+use trijoin_storage::{Disk, HeapFile};
+
+use crate::sort::{counted_sort_by, KWayMerge};
+
+/// 128-bit sort key for differential tuples.
+pub type SortKey = u128;
+
+/// Sort-key constructor for materialized-view differentials:
+/// `(bucket, hash(A), surrogate)` under a frozen linear-hash addressing.
+pub fn mv_sort_key(bucket: u64, hash: u64, sur: u32) -> SortKey {
+    debug_assert!(bucket < (1 << 32), "bucket index exceeds 32 bits");
+    ((bucket as u128) << 96) | ((hash as u128) << 32) | sur as u128
+}
+
+/// Sort-key constructor for join-index differentials: surrogate `r`.
+pub fn ji_sort_key(sur: u32) -> SortKey {
+    sur as u128
+}
+
+/// One side (`iR` or `dR`) of a differential log.
+pub struct DiffLog {
+    disk: Disk,
+    cost: Cost,
+    key_of: std::rc::Rc<dyn Fn(&BaseTuple) -> SortKey>,
+    /// True when the sort key involves hashing the join attribute (the MV
+    /// log); charges one `hash` per tuple at key-computation time.
+    hashed_key: bool,
+    buf: Vec<BaseTuple>,
+    buf_cap: usize,
+    tuples_per_run_page: usize,
+    runs: Vec<HeapFile>,
+    total: u64,
+    sealed: bool,
+}
+
+impl DiffLog {
+    /// A log buffering up to `mem_pages` pages of tuples (the paper's `Z`),
+    /// spilling runs packed at `tuples_per_run_page` (working files pack
+    /// fully: `⌊P/T⌋`).
+    pub fn new(
+        disk: &Disk,
+        cost: &Cost,
+        mem_pages: usize,
+        tuples_per_run_page: usize,
+        hashed_key: bool,
+        key_of: impl Fn(&BaseTuple) -> SortKey + 'static,
+    ) -> Self {
+        let per_page = tuples_per_run_page.max(1);
+        DiffLog {
+            disk: disk.clone(),
+            cost: cost.clone(),
+            key_of: std::rc::Rc::new(key_of),
+            hashed_key,
+            buf: Vec::new(),
+            buf_cap: (mem_pages.max(1)) * per_page,
+            tuples_per_run_page: per_page,
+            runs: Vec::new(),
+            total: 0,
+            sealed: false,
+        }
+    }
+
+    /// Log one tuple (one `move` into the buffer, per C1.1).
+    pub fn add(&mut self, t: BaseTuple) -> Result<()> {
+        debug_assert!(!self.sealed, "log already sealed");
+        self.cost.mov(1);
+        self.buf.push(t);
+        self.total += 1;
+        if self.buf.len() >= self.buf_cap {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Sort the buffer and write it out as one run (C1.3 sorting charges +
+    /// C1.1 write charges; one I/O per full-packed page).
+    fn spill(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if self.hashed_key {
+            // The sort key hashes the join attribute; keys are computed
+            // once per tuple (the paper's CPU_s-with-hashing charges two
+            // hashes per comparison — our engine memoizes, which is simply
+            // a better constant).
+            self.cost.hash(self.buf.len() as u64);
+        }
+        let key = self.key_of.clone();
+        counted_sort_by(&mut self.buf, |t| key(t), &self.cost);
+        let mut writer = trijoin_storage::heap::HeapWriter::create(&self.disk);
+        for t in self.buf.drain(..) {
+            writer.add_with_cap(&t.to_bytes(), self.tuples_per_run_page)?;
+        }
+        self.runs.push(writer.finish()?);
+        Ok(())
+    }
+
+    /// Flush the remaining buffer. After sealing, [`DiffLog::merged`] can
+    /// stream the log back; `add` is no longer allowed.
+    pub fn seal(&mut self) -> Result<()> {
+        if !self.sealed {
+            self.spill()?;
+            self.sealed = true;
+        }
+        Ok(())
+    }
+
+    /// Number of runs on disk (the paper's `N1`).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Tuples logged.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total pages across all runs (`|iR|`).
+    pub fn pages(&self) -> u64 {
+        self.runs.iter().map(|r| r.num_pages() as u64).sum()
+    }
+
+    /// Merge the sealed runs back in key order (C1.2 read charges as pages
+    /// stream in, C1.4 merge charges per emitted tuple).
+    pub fn merged(&self) -> Result<KWayMerge<BaseTuple, SortKey, RunReader>> {
+        debug_assert!(self.sealed, "seal() before merged()");
+        let sources: Vec<RunReader> = self
+            .runs
+            .iter()
+            .map(|r| RunReader { scan: r.scan() })
+            .collect();
+        let key = self.key_of.clone();
+        Ok(KWayMerge::new(sources, move |t| key(t), self.cost.clone()))
+    }
+
+    /// Drop all run files (after a query has consumed the log).
+    pub fn destroy(self) {
+        for r in self.runs {
+            r.destroy();
+        }
+    }
+}
+
+/// Streams tuples out of one sorted run (one read I/O per page).
+pub struct RunReader {
+    scan: trijoin_storage::heap::HeapScan,
+}
+
+impl Iterator for RunReader {
+    type Item = BaseTuple;
+
+    fn next(&mut self) -> Option<BaseTuple> {
+        self.scan.next().map(|r| {
+            let (_, bytes) = r.expect("differential run unreadable (simulator invariant)");
+            BaseTuple::from_bytes(&bytes).expect("differential run corrupt (simulator invariant)")
+        })
+    }
+}
+
+/// A net differential item after cancellation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Net {
+    /// Present in the insertion stream only.
+    Ins(BaseTuple),
+    /// Present in the deletion stream only.
+    Del(BaseTuple),
+}
+
+/// Merge the insertion and deletion streams (both sorted by `key_of`) into
+/// one key-ordered stream, cancelling pairs that are equivalent under
+/// `cancel_eq` on both sides (intermediate states of multiply-updated
+/// tuples).
+///
+/// The right equivalence depends on the consumer: the materialized view
+/// logs *every* update, so its chains are contiguous and byte-identity is
+/// exact; the join index logs only join-attribute updates, so an unlogged
+/// payload-only update can interpose between two logged states — its
+/// cancellation must compare `(surrogate, join key)` only (the index
+/// derives nothing from payloads, and output fetches `R` fresh).
+///
+/// Within one key group, deletions are emitted before insertions.
+pub fn net_differentials<I, D>(
+    ins: I,
+    del: D,
+    key_of: impl Fn(&BaseTuple) -> SortKey + 'static,
+    cancel_eq: impl Fn(&BaseTuple, &BaseTuple) -> bool + 'static,
+    cost: &Cost,
+) -> NetMerge<I, D>
+where
+    I: Iterator<Item = BaseTuple>,
+    D: Iterator<Item = BaseTuple>,
+{
+    NetMerge {
+        ins: ins.peekable(),
+        del: del.peekable(),
+        key_of: Box::new(key_of),
+        cancel_eq: Box::new(cancel_eq),
+        cost: cost.clone(),
+        pending: std::collections::VecDeque::new(),
+    }
+}
+
+/// Iterator returned by [`net_differentials`].
+pub struct NetMerge<I, D>
+where
+    I: Iterator<Item = BaseTuple>,
+    D: Iterator<Item = BaseTuple>,
+{
+    ins: std::iter::Peekable<I>,
+    del: std::iter::Peekable<D>,
+    key_of: Box<dyn Fn(&BaseTuple) -> SortKey>,
+    cancel_eq: CancelEq,
+    cost: Cost,
+    pending: std::collections::VecDeque<Net>,
+}
+
+/// The cancellation-equivalence predicate of a [`NetMerge`].
+type CancelEq = Box<dyn Fn(&BaseTuple, &BaseTuple) -> bool>;
+
+impl<I, D> Iterator for NetMerge<I, D>
+where
+    I: Iterator<Item = BaseTuple>,
+    D: Iterator<Item = BaseTuple>,
+{
+    type Item = Net;
+
+    fn next(&mut self) -> Option<Net> {
+        loop {
+            if let Some(item) = self.pending.pop_front() {
+                return Some(item);
+            }
+            let ik = self.ins.peek().map(|t| (self.key_of)(t));
+            let dk = self.del.peek().map(|t| (self.key_of)(t));
+            let group_key = match (ik, dk) {
+                (None, None) => return None,
+                (Some(k), None) => k,
+                (None, Some(k)) => k,
+                (Some(a), Some(b)) => {
+                    self.cost.comp(1);
+                    a.min(b)
+                }
+            };
+            // Collect the whole key group from both sides (groups share
+            // bucket+hash+surrogate, so they are tiny).
+            let mut gi: Vec<BaseTuple> = Vec::new();
+            while self.ins.peek().map(|t| (self.key_of)(t)) == Some(group_key) {
+                gi.push(self.ins.next().unwrap());
+            }
+            let mut gd: Vec<BaseTuple> = Vec::new();
+            while self.del.peek().map(|t| (self.key_of)(t)) == Some(group_key) {
+                gd.push(self.del.next().unwrap());
+            }
+            // Cancel equivalent pairs (multiset difference).
+            let mut comps = 0u64;
+            let mut keep_d: Vec<BaseTuple> = Vec::new();
+            'outer: for d in gd {
+                for (i, ins) in gi.iter().enumerate() {
+                    comps += 1;
+                    if (self.cancel_eq)(ins, &d) {
+                        gi.remove(i);
+                        continue 'outer;
+                    }
+                }
+                keep_d.push(d);
+            }
+            self.cost.comp(comps);
+            for d in keep_d {
+                self.pending.push_back(Net::Del(d));
+            }
+            for i in gi {
+                self.pending.push_back(Net::Ins(i));
+            }
+            // Loop: the group may have fully cancelled.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trijoin_common::{types::hash_key, Surrogate, SystemParams};
+    use trijoin_storage::SimDisk;
+
+    fn setup() -> (Disk, Cost) {
+        let cost = Cost::new();
+        let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+        (SimDisk::new(&params, cost.clone()), cost)
+    }
+
+    fn tup(sur: u32, key: u64) -> BaseTuple {
+        BaseTuple::padded(Surrogate(sur), key, 32)
+    }
+
+    #[test]
+    fn spills_and_merges_in_key_order() {
+        let (disk, cost) = setup();
+        // 2 pages of buffer, 7 tuples per run page -> spills every 14 adds.
+        let mut log = DiffLog::new(&disk, &cost, 2, 7, false, |t| ji_sort_key(t.sur.0));
+        for i in (0..50u32).rev() {
+            log.add(tup(i, i as u64)).unwrap();
+        }
+        log.seal().unwrap();
+        assert_eq!(log.len(), 50);
+        assert!(log.num_runs() >= 3, "50 tuples / 14-cap buffer spills several runs");
+        assert!(log.pages() > 0);
+        let got: Vec<u32> = log.merged().unwrap().map(|t| t.sur.0).collect();
+        assert_eq!(got, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn empty_and_single_run_logs() {
+        let (disk, cost) = setup();
+        let mut log = DiffLog::new(&disk, &cost, 2, 7, false, |t| ji_sort_key(t.sur.0));
+        log.seal().unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.num_runs(), 0);
+        assert_eq!(log.merged().unwrap().count(), 0);
+
+        let mut log = DiffLog::new(&disk, &cost, 4, 7, false, |t| ji_sort_key(t.sur.0));
+        for i in 0..5u32 {
+            log.add(tup(i, 0)).unwrap();
+        }
+        log.seal().unwrap();
+        assert_eq!(log.num_runs(), 1);
+        assert_eq!(log.merged().unwrap().count(), 5);
+    }
+
+    #[test]
+    fn hashed_key_charges_hashes() {
+        let (disk, cost) = setup();
+        let mut log = DiffLog::new(&disk, &cost, 1, 7, true, |t| {
+            mv_sort_key(0, hash_key(t.key), t.sur.0)
+        });
+        for i in 0..20u32 {
+            log.add(tup(i, i as u64)).unwrap();
+        }
+        log.seal().unwrap();
+        assert!(cost.total().hashes >= 20, "one hash per spilled tuple");
+        // Stream must come back ordered by the hashed key.
+        let keys: Vec<u128> = log
+            .merged()
+            .unwrap()
+            .map(|t| mv_sort_key(0, hash_key(t.key), t.sur.0))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn log_charges_moves_and_ios() {
+        let (disk, cost) = setup();
+        let mut log = DiffLog::new(&disk, &cost, 1, 7, false, |t| ji_sort_key(t.sur.0));
+        for i in 0..21u32 {
+            log.add(tup(i, 0)).unwrap();
+        }
+        log.seal().unwrap();
+        let t = cost.total();
+        assert!(t.moves >= 21, "one move per logged tuple");
+        assert_eq!(t.ios, log.pages(), "one write per run page so far");
+        let _ = log.merged().unwrap().count();
+        assert_eq!(cost.total().ios, 2 * log.pages(), "reading back re-charges");
+    }
+
+    #[test]
+    fn netting_cancels_intermediate_states() {
+        let (_disk, cost) = setup();
+        // Tuple 5 updated twice: old0 -> new1 -> new2. The log holds
+        // d = [old0, new1], i = [new1, new2]; new1 must cancel.
+        let old0 = tup(5, 10);
+        let new1 = BaseTuple::with_payload(Surrogate(5), 11, b"v1", 32).unwrap();
+        let new2 = BaseTuple::with_payload(Surrogate(5), 12, b"v2", 32).unwrap();
+        let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
+        let ins = vec![new1.clone(), new2.clone()];
+        let del = vec![old0.clone(), new1.clone()];
+        let net: Vec<Net> = net_differentials(ins.into_iter(), del.into_iter(), key, |a, b| a == b, &cost).collect();
+        assert_eq!(net, vec![Net::Del(old0), Net::Ins(new2)]);
+    }
+
+    #[test]
+    fn netting_cancels_full_roundtrip() {
+        let (_disk, cost) = setup();
+        // a -> b -> a: everything cancels except the old/new boundary, and
+        // since old == final, the whole group vanishes.
+        let a = tup(7, 1);
+        let b = BaseTuple::padded(Surrogate(7), 2, 32);
+        let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
+        let ins = vec![b.clone(), a.clone()];
+        let del = vec![a.clone(), b.clone()];
+        let net: Vec<Net> =
+            net_differentials(ins.into_iter(), del.into_iter(), key, |a, b| a == b, &cost).collect();
+        assert!(net.is_empty(), "round-trip updates cancel entirely, got {net:?}");
+    }
+
+    #[test]
+    fn netting_passes_disjoint_streams_through() {
+        let (_disk, cost) = setup();
+        let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
+        let ins = vec![tup(2, 0), tup(4, 0)];
+        let del = vec![tup(1, 0), tup(3, 0)];
+        let net: Vec<Net> =
+            net_differentials(ins.clone().into_iter(), del.clone().into_iter(), key, |a, b| a == b, &cost)
+                .collect();
+        assert_eq!(
+            net,
+            vec![
+                Net::Del(del[0].clone()),
+                Net::Ins(ins[0].clone()),
+                Net::Del(del[1].clone()),
+                Net::Ins(ins[1].clone()),
+            ]
+        );
+    }
+
+    #[test]
+    fn netting_dels_before_inss_within_group() {
+        let (_disk, cost) = setup();
+        // Same surrogate, different payloads (A changed then changed again
+        // with different content): both survive, Del first.
+        let d = BaseTuple::with_payload(Surrogate(9), 1, b"old", 32).unwrap();
+        let i = BaseTuple::with_payload(Surrogate(9), 2, b"new", 32).unwrap();
+        let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
+        let net: Vec<Net> =
+            net_differentials(vec![i.clone()].into_iter(), vec![d.clone()].into_iter(), key, |a, b| a == b, &cost)
+                .collect();
+        assert_eq!(net, vec![Net::Del(d), Net::Ins(i)]);
+    }
+}

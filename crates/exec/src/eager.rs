@@ -1,0 +1,175 @@
+//! Eagerly-maintained materialized view — the obvious alternative the
+//! paper's deferred design is implicitly compared against.
+//!
+//! Instead of logging differentials and merging them at query time (§3.2),
+//! this strategy maintains `V` *immediately* on every mutation: the old
+//! tuple's derived view rows are removed from their bucket, the new
+//! tuple's join partners are fetched through `S`'s inverted index and the
+//! fresh rows inserted. A query is then a clean read of `V`.
+//!
+//! The price is paid per mutation — an index probe whether or not partners
+//! exist, plus a bucket read-modify-write whenever they do — which is
+//! exactly what the deferred pipeline's batching, sorting and on-the-fly
+//! merge amortize away. The `ablation_eager` bench quantifies the gap in
+//! the cost model; this operator lets the engine measure it.
+
+use std::rc::Rc;
+
+use trijoin_common::{
+    types::hash_key, BaseTuple, Cost, Result, Surrogate, SystemParams, ViewTuple,
+};
+use trijoin_linearhash::LinearHash;
+use trijoin_storage::Disk;
+
+use crate::mv::view_tuple_bytes;
+use crate::relation::StoredRelation;
+use crate::strategy::{JoinStrategy, Mutation};
+
+/// The eagerly-maintained view strategy.
+pub struct EagerView {
+    cost: Cost,
+    v: LinearHash,
+    /// `S` is read-only in the paper's model, so the strategy may hold a
+    /// shared handle and probe it at mutation time.
+    s: Rc<StoredRelation>,
+}
+
+impl EagerView {
+    /// Materialize `V = R ⋈ S` (setup; callers normally reset the ledger).
+    pub fn build(
+        disk: &Disk,
+        params: &SystemParams,
+        cost: &Cost,
+        r: &StoredRelation,
+        s: Rc<StoredRelation>,
+    ) -> Result<Self> {
+        let mut s_tuples: Vec<BaseTuple> = Vec::with_capacity(s.len() as usize);
+        s.scan(|t| s_tuples.push(t))?;
+        let mut by_key: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, st) in s_tuples.iter().enumerate() {
+            by_key.entry(st.key).or_default().push(i);
+        }
+        let mut view: Vec<(u64, Vec<u8>)> = Vec::new();
+        r.scan(|rt| {
+            if let Some(matches) = by_key.get(&rt.key) {
+                for &i in matches {
+                    let vt = ViewTuple::join(&rt, &s_tuples[i]);
+                    view.push((hash_key(vt.key), vt.to_bytes()));
+                }
+            }
+        })?;
+        let count = view.len() as u64;
+        let tv = view_tuple_bytes(r.tuple_bytes(), s.tuple_bytes());
+        let v = LinearHash::build(disk, params, view, count, tv)?;
+        Ok(EagerView { cost: cost.clone(), v, s })
+    }
+
+    /// View cardinality.
+    pub fn view_len(&self) -> u64 {
+        self.v.len()
+    }
+
+    /// View pages (≈ `F·|V|`).
+    pub fn view_pages(&self) -> u64 {
+        self.v.num_pages()
+    }
+
+    /// Remove every view row derived from `t` (bucket read-modify-write
+    /// when any exist).
+    fn remove_derived(&mut self, t: &BaseTuple) -> Result<()> {
+        let h = hash_key(t.key);
+        self.cost.hash(1);
+        let bucket = self.v.addressing().addr(h);
+        let rows = self.v.scan_bucket(bucket)?;
+        self.cost.comp(rows.len() as u64);
+        let kept: Vec<(u64, Vec<u8>)> = rows
+            .into_iter()
+            .filter(|(rh, bytes)| {
+                if *rh != h {
+                    return true;
+                }
+                match ViewTuple::from_bytes(bytes) {
+                    Ok(vt) => vt.r_sur != t.sur,
+                    Err(_) => true,
+                }
+            })
+            .collect();
+        // rewrite_bucket tracks the count delta itself.
+        self.v.rewrite_bucket(bucket, kept)?;
+        Ok(())
+    }
+
+    /// Join `t` against `S` and insert the derived rows.
+    fn add_derived(&mut self, t: &BaseTuple) -> Result<()> {
+        // The probe happens whether or not partners exist — the eager tax.
+        let mut surs: Vec<Surrogate> = Vec::new();
+        self.s.probe_inverted(&[t.key], |_, sur| surs.push(sur))?;
+        if surs.is_empty() {
+            return Ok(());
+        }
+        surs.sort_unstable();
+        let mut rows: Vec<ViewTuple> = Vec::new();
+        let mut err = None;
+        self.s.fetch_by_surrogates(&surs, |st| {
+            if st.key == t.key {
+                rows.push(ViewTuple::join(t, &st));
+            } else if err.is_none() {
+                err = Some(trijoin_common::Error::Invariant(
+                    "inverted posting key mismatch".into(),
+                ));
+            }
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        // All rows share hash(t.key): one bucket read-modify-write.
+        let h = hash_key(t.key);
+        self.cost.hash(1);
+        let bucket = self.v.addressing().addr(h);
+        let mut contents = self.v.scan_bucket(bucket)?;
+        for vt in rows {
+            self.cost.mov(1);
+            contents.push((h, vt.to_bytes()));
+        }
+        self.v.rewrite_bucket(bucket, contents)?;
+        self.v.rebalance()?;
+        Ok(())
+    }
+}
+
+impl JoinStrategy for EagerView {
+    fn name(&self) -> &'static str {
+        "eager-view"
+    }
+
+    fn on_mutation(&mut self, m: &Mutation) -> Result<()> {
+        let _g = self.cost.section("eager.maintain");
+        match m {
+            Mutation::Update(u) => {
+                self.remove_derived(&u.old)?;
+                self.add_derived(&u.new)
+            }
+            Mutation::Insert(t) => self.add_derived(t),
+            Mutation::Delete(t) => self.remove_derived(t),
+        }
+    }
+
+    fn execute(
+        &mut self,
+        _r: &StoredRelation,
+        _s: &StoredRelation,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
+        // The view is always current: the query is a clean scan.
+        let _g = self.cost.section("eager.scan_view");
+        let mut emitted = 0u64;
+        for b in 0..self.v.num_buckets() {
+            for (_, bytes) in self.v.scan_bucket(b)? {
+                sink(ViewTuple::from_bytes(&bytes)?);
+                emitted += 1;
+            }
+        }
+        Ok(emitted)
+    }
+}

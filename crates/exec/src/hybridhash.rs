@@ -1,0 +1,271 @@
+//! Hybrid-hash join (§3.4) — full re-evaluation, no cached state.
+//!
+//! DeWitt et al.'s algorithm: compute `B = ⌈(|R|·F − |M|)/(|M| − 1)⌉`
+//! partitions beyond partition 0; while reading `R`, tuples of partition 0
+//! are built into an in-memory hash table (using the memory the other
+//! partitions don't need for output buffering) and the remaining `B`
+//! partitions spill; `S` then streams through, probing partition 0
+//! immediately and spilling the rest; finally each spilled pair
+//! `(R_i, S_i)` is joined in memory. A fraction `q = |R0|/|R|` of the data
+//! never touches disk twice — the "hybrid" advantage over Grace hash.
+//!
+//! Skewed partitions that still exceed memory are recursively
+//! repartitioned (a standard hardening the paper's uniform-hash analysis
+//! does not need).
+
+use std::collections::HashMap;
+
+use trijoin_common::{
+    types::hash_key, BaseTuple, Cost, JoinKey, Result, SystemParams, ViewTuple,
+};
+use trijoin_storage::{Disk, HeapFile};
+
+use crate::relation::StoredRelation;
+use crate::strategy::{JoinStrategy, Mutation};
+
+/// The hybrid-hash join strategy. Stateless between queries.
+pub struct HybridHash {
+    disk: Disk,
+    params: SystemParams,
+    cost: Cost,
+    /// Set when Grace-hash mode is forced (pass 0 spills too) — used by the
+    /// `ablation_grace` bench to quantify the hybrid advantage `q`.
+    grace_mode: bool,
+}
+
+/// Number of spilled partitions, per §3.4:
+/// `B = max(0, ⌈(|R|·F − |M|)/(|M| − 1)⌉)`.
+pub fn spilled_partitions(r_pages: u64, params: &SystemParams) -> u64 {
+    let m = params.mem_pages as f64;
+    let b = ((r_pages as f64 * params.hash_overhead - m) / (m - 1.0)).ceil();
+    b.max(0.0) as u64
+}
+
+/// Fraction of `R` joined during the first pass: `q = |R0|/|R|` with
+/// `|R0| = (|M| − B)/F`.
+pub fn first_pass_fraction(r_pages: u64, params: &SystemParams) -> f64 {
+    if r_pages == 0 {
+        return 1.0;
+    }
+    let b = spilled_partitions(r_pages, params) as f64;
+    let r0 = ((params.mem_pages as f64 - b) / params.hash_overhead).max(0.0);
+    (r0 / r_pages as f64).min(1.0)
+}
+
+impl HybridHash {
+    /// A hybrid-hash strategy over the given disk/parameters.
+    pub fn new(disk: &Disk, params: &SystemParams, cost: &Cost) -> Self {
+        HybridHash {
+            disk: disk.clone(),
+            params: params.clone(),
+            cost: cost.clone(),
+            grace_mode: false,
+        }
+    }
+
+    /// Force Grace-hash behaviour: every partition spills (q = 0).
+    pub fn grace(disk: &Disk, params: &SystemParams, cost: &Cost) -> Self {
+        HybridHash { grace_mode: true, ..Self::new(disk, params, cost) }
+    }
+
+    /// Partition id for a key: partition 0 owns the first `q` of the hash
+    /// space; the rest is divided evenly among partitions `1..=B`.
+    fn partition_of(&self, key: JoinKey, q: f64, b: u64) -> u64 {
+        self.cost.hash(1);
+        let h = hash_key(key);
+        let x = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform in [0,1)
+        if x < q || b == 0 {
+            0
+        } else {
+            let rest = ((x - q) / (1.0 - q).max(f64::MIN_POSITIVE)).clamp(0.0, 0.999_999);
+            1 + (rest * b as f64) as u64
+        }
+    }
+
+    /// Join two spilled runs entirely in memory (with recursive
+    /// repartitioning if the build side exceeds the memory budget).
+    fn join_runs(
+        &self,
+        r_run: HeapFile,
+        s_run: HeapFile,
+        depth: u32,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
+        let r_pages = r_run.num_pages() as u64;
+        let fits = (r_pages as f64 * self.params.hash_overhead)
+            <= (self.params.mem_pages.saturating_sub(2)) as f64;
+        if fits || depth >= 8 {
+            // Build (charge one hash per build tuple) ...
+            let mut table: HashMap<JoinKey, Vec<BaseTuple>> = HashMap::new();
+            for rec in r_run.scan() {
+                let (_, bytes) = rec?;
+                let t = BaseTuple::from_bytes(&bytes)?;
+                self.cost.hash(1);
+                table.entry(t.key).or_default().push(t);
+            }
+            // ... probe.
+            let mut emitted = 0u64;
+            for rec in s_run.scan() {
+                let (_, bytes) = rec?;
+                let st = BaseTuple::from_bytes(&bytes)?;
+                self.cost.hash(1);
+                if let Some(matches) = table.get(&st.key) {
+                    self.cost.comp(matches.len() as u64);
+                    for rt in matches {
+                        self.cost.mov(1);
+                        sink(ViewTuple::join(rt, &st));
+                        emitted += 1;
+                    }
+                } else {
+                    self.cost.comp(1);
+                }
+            }
+            r_run.destroy();
+            s_run.destroy();
+            return Ok(emitted);
+        }
+        // Recursive repartition of an oversized bucket.
+        let sub = spilled_partitions(r_pages, &self.params).max(2);
+        let mut r_writers: Vec<trijoin_storage::heap::HeapWriter> =
+            (0..sub).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
+        let mut s_writers: Vec<trijoin_storage::heap::HeapWriter> =
+            (0..sub).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
+        // Salt the hash by depth so the re-split actually separates keys.
+        let split = |key: JoinKey| -> usize {
+            (hash_key(key.rotate_left(depth * 13 + 7)) % sub) as usize
+        };
+        for rec in r_run.scan() {
+            let (_, bytes) = rec?;
+            let t = BaseTuple::from_bytes(&bytes)?;
+            self.cost.hash(1);
+            self.cost.mov(1);
+            r_writers[split(t.key)].add(&bytes)?;
+        }
+        for rec in s_run.scan() {
+            let (_, bytes) = rec?;
+            let t = BaseTuple::from_bytes(&bytes)?;
+            self.cost.hash(1);
+            self.cost.mov(1);
+            s_writers[split(t.key)].add(&bytes)?;
+        }
+        r_run.destroy();
+        s_run.destroy();
+        let mut emitted = 0u64;
+        for (rw, sw) in r_writers.into_iter().zip(s_writers) {
+            emitted += self.join_runs(rw.finish()?, sw.finish()?, depth + 1, sink)?;
+        }
+        Ok(emitted)
+    }
+}
+
+impl JoinStrategy for HybridHash {
+    fn name(&self) -> &'static str {
+        if self.grace_mode {
+            "grace-hash"
+        } else {
+            "hybrid-hash"
+        }
+    }
+
+    fn on_mutation(&mut self, _m: &Mutation) -> Result<()> {
+        // "This algorithm has the advantages of not requiring any permanent
+        // auxiliary relations and being unaffected by updates."
+        Ok(())
+    }
+
+    fn execute(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
+        let _g = self.cost.section("hh.execute");
+        let b = spilled_partitions(r.data_pages(), &self.params).max(u64::from(self.grace_mode));
+        let q = if self.grace_mode { 0.0 } else { first_pass_fraction(r.data_pages(), &self.params) };
+
+        // Pass 0 over R: build partition 0 in memory, spill 1..=B.
+        let mut table: HashMap<JoinKey, Vec<BaseTuple>> = HashMap::new();
+        let mut r_writers: Vec<trijoin_storage::heap::HeapWriter> =
+            (0..b).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
+        let mut scan_err = None;
+        r.scan(|t| {
+            if scan_err.is_some() {
+                return;
+            }
+            let p = self.partition_of(t.key, q, b);
+            if p == 0 {
+                table.entry(t.key).or_default().push(t);
+            } else {
+                self.cost.mov(1);
+                if let Err(e) = r_writers[(p - 1) as usize].add(&t.to_bytes()) {
+                    scan_err = Some(e);
+                }
+            }
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let r_runs: Vec<HeapFile> =
+            r_writers.into_iter().map(|w| w.finish()).collect::<Result<_>>()?;
+
+        // Pass 0 over S: probe partition 0 immediately, spill the rest.
+        let mut emitted = 0u64;
+        let mut s_writers: Vec<trijoin_storage::heap::HeapWriter> =
+            (0..b).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
+        let mut scan_err = None;
+        s.scan(|st| {
+            if scan_err.is_some() {
+                return;
+            }
+            let p = self.partition_of(st.key, q, b);
+            if p == 0 {
+                if let Some(matches) = table.get(&st.key) {
+                    self.cost.comp(matches.len() as u64);
+                    for rt in matches {
+                        self.cost.mov(1);
+                        sink(ViewTuple::join(rt, &st));
+                        emitted += 1;
+                    }
+                } else {
+                    self.cost.comp(1);
+                }
+            } else {
+                self.cost.mov(1);
+                if let Err(e) = s_writers[(p - 1) as usize].add(&st.to_bytes()) {
+                    scan_err = Some(e);
+                }
+            }
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let s_runs: Vec<HeapFile> =
+            s_writers.into_iter().map(|w| w.finish()).collect::<Result<_>>()?;
+        drop(table);
+
+        // Passes 1..=B.
+        for (r_run, s_run) in r_runs.into_iter().zip(s_runs) {
+            emitted += self.join_runs(r_run, s_run, 1, sink)?;
+        }
+        Ok(emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_count_formula_matches_paper() {
+        let p = SystemParams::paper_defaults();
+        // |R| = 14286 pages, F = 1.2, |M| = 1000:
+        // B = ceil((17143.2 - 1000)/999) = ceil(16.16) = 17.
+        assert_eq!(spilled_partitions(14_286, &p), 17);
+        // Everything fits: B = 0, q = 1.
+        assert_eq!(spilled_partitions(100, &p), 0);
+        assert!((first_pass_fraction(100, &p) - 1.0).abs() < 1e-9);
+        // Paper-scale q: |R0| = (1000-17)/1.2 = 819 pages -> q ≈ 0.0573.
+        let q = first_pass_fraction(14_286, &p);
+        assert!((q - 0.0573).abs() < 0.001, "q = {q}");
+    }
+}

@@ -1,0 +1,696 @@
+//! Join index with deferred, incremental, on-the-fly maintenance (§3.3).
+//!
+//! The join index `JI` caches only the surrogate pairs `(r, s)` of joining
+//! tuples (Valduriez \[25\]; the paper's Table 4). Because it is a "partially
+//! materialized view", only updates that modify the join attribute — a
+//! `Pr_A` fraction — are logged, sorted by surrogate `r` (§3.3 step 1).
+//!
+//! At query time the index is processed in one or more passes of `|JI_k|`
+//! pages (Figure 3). Per pass: the pass's pages are read (C2.1); merged net
+//! deletions *mark* dead entries (C2.2); the pass's net insertions are
+//! sorted on `A`, joined against `S` through the inverted index, and turned
+//! into new `(r, s)` pairs (C3.1/C2.3); the pass's `R` fragment is
+//! semijoin-fetched through the clustered index (C3.2); surviving entries
+//! are sorted on `s` and `S` is fetched through its clustered index to
+//! assemble the join output (C3.3/C3.4); finally changed index pages are
+//! written back in place (C2.4), splitting a page only if its slack
+//! (nominal occupancy 0.7 leaves ~30% headroom — the paper assumes no
+//! insert group overflows a page) is exhausted.
+//!
+//! Engine refinement over the paper: output tuples for *inserted* pairs
+//! fetch the `R` side fresh (the pass is already fetching that `r`-range),
+//! so the answer is exact even when a tuple receives a join-attribute
+//! update followed by payload-only updates the `Pr_A` filter never sees.
+//!
+//! Table 5 also lists a non-clustered B⁺-tree on `JI.s`; the §3.3 algorithm
+//! never traverses it (it sorts each memory-resident `JI_k` on `s`
+//! instead), so this implementation follows the algorithm and omits it.
+
+use std::collections::{HashMap, HashSet};
+
+use trijoin_common::{
+    BaseTuple, Cost, Error, JiEntry, Result, Surrogate, SystemParams, ViewTuple,
+};
+use trijoin_storage::{Disk, FileId, PageId};
+
+use crate::diff::{ji_sort_key, net_differentials, DiffLog, Net};
+use crate::mv::view_tuple_bytes;
+use crate::relation::StoredRelation;
+use crate::sort::counted_sort_by;
+use crate::strategy::{JoinStrategy, Mutation};
+
+// ---------------------------------------------------------------------
+// JiFile: the clustered-on-r paged storage of the join index.
+// ---------------------------------------------------------------------
+
+/// Page layout: `count:u16` then `count` 8-byte entries, zero padding.
+fn encode_ji_page(entries: &[JiEntry], page_size: usize) -> Vec<u8> {
+    debug_assert!(2 + entries.len() * JiEntry::BYTES <= page_size);
+    let mut out = Vec::with_capacity(page_size);
+    out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&e.to_bytes());
+    }
+    out.resize(page_size, 0);
+    out
+}
+
+fn decode_ji_page(bytes: &[u8]) -> Result<Vec<JiEntry>> {
+    if bytes.len() < 2 {
+        return Err(Error::Corrupt("join-index page truncated".into()));
+    }
+    let count = u16::from_le_bytes(bytes[0..2].try_into().unwrap()) as usize;
+    if 2 + count * JiEntry::BYTES > bytes.len() {
+        return Err(Error::Corrupt("join-index page count overflows page".into()));
+    }
+    (0..count)
+        .map(|i| JiEntry::from_bytes(&bytes[2 + i * JiEntry::BYTES..]))
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JiPageMeta {
+    page_no: u32,
+    /// `r` of the first entry when last written (stale-but-safe lower bound
+    /// for empty pages).
+    min_r: u32,
+}
+
+/// The join index stored clustered on `r`: a sequence of pages in `r`
+/// order, nominally packed at `n_JI = ⌊P·PO/(2·ssur)⌋` entries per page.
+pub struct JiFile {
+    disk: Disk,
+    file: FileId,
+    pages: Vec<JiPageMeta>,
+    count: u64,
+    nominal_cap: usize,
+    max_cap: usize,
+}
+
+/// Pack sorted entries into pages of at most `nominal` entries, never
+/// splitting an `r` group across pages unless the group alone exceeds
+/// `max` (pages grow past `nominal` up to `max` to keep a group whole).
+/// Group-aligned pages keep the query passes' r-ranges disjoint, so the
+/// pass-extension safety net (below) almost never fires.
+fn pack_group_aligned(entries: &[JiEntry], nominal: usize, max: usize) -> Vec<Vec<JiEntry>> {
+    let mut pages: Vec<Vec<JiEntry>> = Vec::new();
+    let mut cur: Vec<JiEntry> = Vec::new();
+    for &e in entries {
+        let full_at_boundary =
+            cur.len() >= nominal && cur.last().map(|l| l.r != e.r).unwrap_or(false);
+        let forced = cur.len() >= max;
+        if full_at_boundary || forced {
+            pages.push(std::mem::take(&mut cur));
+        }
+        cur.push(e);
+    }
+    if !cur.is_empty() || pages.is_empty() {
+        pages.push(cur);
+    }
+    pages
+}
+
+impl JiFile {
+    /// Bulk-build from entries sorted by `(r, s)` (one write I/O per page).
+    pub fn build(disk: &Disk, params: &SystemParams, entries: &[JiEntry]) -> Result<Self> {
+        debug_assert!(entries.windows(2).all(|w| w[0] <= w[1]), "JI build input unsorted");
+        let nominal_cap = params.tuples_per_page(JiEntry::BYTES).max(1);
+        let max_cap = (disk.page_size() - 2) / JiEntry::BYTES;
+        let mut ji = JiFile {
+            disk: disk.clone(),
+            file: disk.create_file(),
+            pages: Vec::new(),
+            count: entries.len() as u64,
+            nominal_cap,
+            max_cap,
+        };
+        for chunk in pack_group_aligned(entries, nominal_cap, max_cap) {
+            let pid = disk.append_page(ji.file, &encode_ji_page(&chunk, disk.page_size()))?;
+            ji.pages.push(JiPageMeta {
+                page_no: pid.page,
+                min_r: chunk.first().map(|e| e.r.0).unwrap_or(0),
+            });
+        }
+        Ok(ji)
+    }
+
+    /// Entry count (`‖JI‖`).
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when the index holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Page count (`|JI|`).
+    pub fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Read page `idx` (one I/O).
+    pub fn read_page(&self, idx: usize) -> Result<Vec<JiEntry>> {
+        let meta = self.pages.get(idx).ok_or(Error::Invariant("JI page out of range".into()))?;
+        decode_ji_page(&self.disk.read_page(PageId::new(self.file, meta.page_no))?)
+    }
+
+    fn write_page(&mut self, idx: usize, entries: &[JiEntry]) -> Result<()> {
+        if entries.len() > self.max_cap {
+            return Err(Error::PageOverflow {
+                needed: entries.len() * JiEntry::BYTES,
+                available: self.max_cap * JiEntry::BYTES,
+            });
+        }
+        let meta = &mut self.pages[idx];
+        if let Some(first) = entries.first() {
+            meta.min_r = first.r.0;
+        }
+        self.disk.write_page(
+            PageId::new(self.file, meta.page_no),
+            &encode_ji_page(entries, self.disk.page_size()),
+        )
+    }
+
+    fn insert_page_after(&mut self, idx: usize, entries: &[JiEntry]) -> Result<()> {
+        let pid = self
+            .disk
+            .append_page(self.file, &encode_ji_page(entries, self.disk.page_size()))?;
+        self.pages.insert(
+            idx + 1,
+            JiPageMeta { page_no: pid.page, min_r: entries.first().map(|e| e.r.0).unwrap_or(0) },
+        );
+        Ok(())
+    }
+
+    /// All entries, in `(r, s)` order, free of I/O charge (test helper).
+    pub fn snapshot_free(&self) -> Result<Vec<JiEntry>> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        for meta in &self.pages {
+            out.extend(decode_ji_page(
+                &self.disk.read_page_free(PageId::new(self.file, meta.page_no))?,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Structural invariants: entries globally sorted, count consistent,
+    /// no page over capacity (test helper; free reads).
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut count = 0u64;
+        let mut last: Option<JiEntry> = None;
+        for meta in &self.pages {
+            let entries =
+                decode_ji_page(&self.disk.read_page_free(PageId::new(self.file, meta.page_no))?)?;
+            if entries.len() > self.max_cap {
+                return Err(Error::Invariant("JI page over capacity".into()));
+            }
+            for e in entries {
+                if let Some(prev) = last {
+                    if prev > e {
+                        return Err(Error::Invariant(format!(
+                            "JI entries out of order at ({}, {})",
+                            e.r, e.s
+                        )));
+                    }
+                }
+                last = Some(e);
+                count += 1;
+            }
+        }
+        if count != self.count {
+            return Err(Error::Invariant(format!(
+                "JI count mismatch: stored {count}, tracked {}",
+                self.count
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The strategy.
+// ---------------------------------------------------------------------
+
+/// The join-index strategy with deferred incremental maintenance.
+pub struct JoinIndexStrategy {
+    disk: Disk,
+    params: SystemParams,
+    cost: Cost,
+    ji: JiFile,
+    ins_log: DiffLog,
+    del_log: DiffLog,
+    r_tuple_bytes: usize,
+    s_tuple_bytes: usize,
+    /// Distinct `r` surrogates present in the index (for pass-budget
+    /// estimation: `SR ≈ distinct_r/‖R‖`, partners ≈ `‖JI‖/distinct_r`).
+    distinct_r: u64,
+}
+
+impl JoinIndexStrategy {
+    /// Initially build the join index from the current `R ⋈ S` (setup;
+    /// callers normally reset the cost ledger afterwards).
+    pub fn build(
+        disk: &Disk,
+        params: &SystemParams,
+        cost: &Cost,
+        r: &StoredRelation,
+        s: &StoredRelation,
+    ) -> Result<Self> {
+        let mut s_by_key: HashMap<u64, Vec<Surrogate>> = HashMap::new();
+        s.scan(|t| {
+            s_by_key.entry(t.key).or_default().push(t.sur);
+        })?;
+        let mut entries: Vec<JiEntry> = Vec::new();
+        let mut distinct_r = 0u64;
+        r.scan(|t| {
+            if let Some(matches) = s_by_key.get(&t.key) {
+                distinct_r += 1;
+                for &sur in matches {
+                    entries.push(JiEntry { r: t.sur, s: sur });
+                }
+            }
+        })?;
+        entries.sort();
+        let ji = JiFile::build(disk, params, &entries)?;
+        let (ins_log, del_log) = Self::fresh_logs(disk, cost, params, r.tuple_bytes());
+        Ok(JoinIndexStrategy {
+            disk: disk.clone(),
+            params: params.clone(),
+            cost: cost.clone(),
+            ji,
+            ins_log,
+            del_log,
+            r_tuple_bytes: r.tuple_bytes(),
+            s_tuple_bytes: s.tuple_bytes(),
+            distinct_r,
+        })
+    }
+
+    fn fresh_logs(
+        disk: &Disk,
+        cost: &Cost,
+        params: &SystemParams,
+        r_tuple_bytes: usize,
+    ) -> (DiffLog, DiffLog) {
+        // Same Figure 1 memory layout as the MV log, but sorted on `r`
+        // with no hashing ("since iR and dR are ordered by r, no hashing
+        // needs to be done").
+        let z = crate::mv::MaterializedView::z_pages(params);
+        let per_page = params.tuples_per_full_page(r_tuple_bytes);
+        let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
+        (
+            DiffLog::new(disk, cost, z, per_page, false, key),
+            DiffLog::new(disk, cost, z, per_page, false, key),
+        )
+    }
+
+    /// Entries currently cached (`‖JI‖`).
+    pub fn index_len(&self) -> u64 {
+        self.ji.len()
+    }
+
+    /// Index pages (`|JI|`).
+    pub fn index_pages(&self) -> u64 {
+        self.ji.num_pages()
+    }
+
+    /// Pending logged (join-attribute-changing) updates.
+    pub fn pending_updates(&self) -> u64 {
+        self.ins_log.len()
+    }
+
+    /// Immutable access to the underlying index file (inspection/tests).
+    pub fn index(&self) -> &JiFile {
+        &self.ji
+    }
+
+    /// Point lookup: the S-surrogates joined with R-tuple `r`, straight
+    /// from the clustered index pages (binary search over the in-memory
+    /// page directory, then 1-2 page reads). Requires a clean index (no
+    /// deferred updates pending).
+    pub fn partners_of_r(&self, r: Surrogate) -> Result<Vec<Surrogate>> {
+        if self.pending_updates() > 0 {
+            return Err(Error::Infeasible(format!(
+                "{} deferred updates pending; execute() before point lookups",
+                self.pending_updates()
+            )));
+        }
+        let _g = self.cost.section("ji.point_lookup");
+        if self.ji.pages.is_empty() {
+            return Ok(Vec::new());
+        }
+        // First page of r's group: the first page with min_r == r when the
+        // group is page-aligned, else the last page with min_r < r (the
+        // group sits inside it).
+        let first_ge = self.ji.pages.partition_point(|m| m.min_r < r.0);
+        let mut idx = if self
+            .ji
+            .pages
+            .get(first_ge)
+            .map(|m| m.min_r == r.0)
+            .unwrap_or(false)
+        {
+            first_ge
+        } else {
+            first_ge.saturating_sub(1)
+        };
+        self.cost.comp((self.ji.pages.len().max(2)).ilog2() as u64 + 1);
+        let mut out = Vec::new();
+        // A group is page-aligned except when it alone exceeds a page:
+        // walk forward while pages can still contain r.
+        while idx < self.ji.pages.len() {
+            let entries = self.ji.read_page(idx)?;
+            self.cost.comp(entries.len() as u64);
+            let mut beyond = false;
+            for e in &entries {
+                match e.r.cmp(&r) {
+                    std::cmp::Ordering::Equal => out.push(e.s),
+                    std::cmp::Ordering::Greater => {
+                        beyond = true;
+                        break;
+                    }
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            if beyond || entries.last().map(|e| e.r > r).unwrap_or(false) {
+                break;
+            }
+            idx += 1;
+            if self.ji.pages.get(idx).map(|m| m.min_r > r.0).unwrap_or(true) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The paper's `|JI_k|` (Figure 3): pages of JI processed per pass,
+    /// leaving room for the pass's `R` fragment with pointers, its pending
+    /// insertions, the memory-resident `iR_k ⋈ S`, the `2·N1` run input
+    /// buffers, five fixed buffers, and sort/merge overhead.
+    /// The pass budget |JI_k| in pages (exposed for inspection/benches).
+    pub fn jik_pages(&self, n1: usize, r_len: u64) -> usize {
+        let m = self.params.mem_pages as f64;
+        let avail = m - 2.0 * n1 as f64 - 5.0;
+        if avail < 3.0 {
+            return 1;
+        }
+        let p = self.params.page_size as f64;
+        let n_ji = self.params.tuples_per_page(JiEntry::BYTES) as f64;
+        let total_pages = self.ji.num_pages().max(1) as f64;
+        let distinct = self.distinct_r.max(1) as f64;
+        let partners = self.ji.len().max(1) as f64 / distinct; // s per matching r
+        let _ = (r_len, distinct, partners);
+        let tv = view_tuple_bytes(self.r_tuple_bytes, self.s_tuple_bytes) as f64;
+        // The R ⋈ JI_k working area is budgeted per *entry* (one R-tuple
+        // slot per JI entry) — the same Figure 3 interpretation the
+        // analytical model uses, so engine and model agree on pass counts.
+        let rk_per_page = n_ji * self.r_tuple_bytes as f64 / p;
+        let ik_pages_per_page = self.ins_log.pages() as f64 / total_pages;
+        let ik_tuples_per_page = self.ins_log.len() as f64 / total_pages;
+        let ikjoin_per_page = ik_tuples_per_page * partners * tv / p;
+        let mrg = 2.0 * n1 as f64 * (self.r_tuple_bytes as f64 + self.params.sptr as f64) / p;
+        let sort_space = 1.0;
+        let mut k = 1usize;
+        loop {
+            let kf = (k + 1) as f64;
+            let need = 1.5 * kf
+                + kf * rk_per_page
+                + kf * ik_pages_per_page
+                + kf * ikjoin_per_page
+                + mrg
+                + sort_space;
+            if need > avail || k + 1 > self.ji.num_pages().max(1) as usize {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl JoinStrategy for JoinIndexStrategy {
+    fn name(&self) -> &'static str {
+        "join-index"
+    }
+
+    fn on_mutation(&mut self, m: &Mutation) -> Result<()> {
+        // Pr_A filtering: only join-attribute updates affect a join index.
+        // Inserts and deletes always do — a new tuple may join, a removed
+        // tuple's pairs must go.
+        if !m.affects_join_index() {
+            return Ok(());
+        }
+        let _g = self.cost.section("ji.log");
+        match m {
+            Mutation::Update(u) => {
+                self.del_log.add(u.old.clone())?;
+                self.ins_log.add(u.new.clone())?;
+            }
+            Mutation::Insert(t) => self.ins_log.add(t.clone())?,
+            Mutation::Delete(t) => self.del_log.add(t.clone())?,
+        }
+        Ok(())
+    }
+
+    fn execute(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
+        self.ins_log.seal()?;
+        self.del_log.seal()?;
+        let n1 = self.ins_log.num_runs().max(self.del_log.num_runs());
+        let jik = self.jik_pages(n1, r.len());
+
+        let ins_stream = {
+            let _g = self.cost.section("ji.read_diffs");
+            self.ins_log.merged()?
+        };
+        let del_stream = self.del_log.merged()?;
+        // The Pr_A filter hides payload-only updates from this log, so a
+        // logged chain may be interrupted by unlogged states: cancellation
+        // must compare (surrogate, join key) — all the index derives pairs
+        // from — rather than full bytes.
+        let mut net = net_differentials(
+            ins_stream,
+            del_stream,
+            |t| ji_sort_key(t.sur.0),
+            |a, b| a.sur == b.sur && a.key == b.key,
+            &self.cost,
+        )
+        .peekable();
+
+        let mut emitted = 0u64;
+        let mut new_count = 0u64;
+        let mut new_distinct_r = 0u64;
+        let mut pass_start = 0usize;
+
+        while pass_start < self.ji.pages.len() {
+            // ---- read this pass's JI pages (C2.1) -----------------------
+            let read_guard = self.cost.section("ji.read_index");
+            let mut pass_end = (pass_start + jik).min(self.ji.pages.len());
+            let mut pages: Vec<(usize, Vec<JiEntry>)> = Vec::new();
+            for idx in pass_start..pass_end {
+                pages.push((idx, self.ji.read_page(idx)?));
+            }
+            // Extend the pass so an `r` group never straddles a pass
+            // boundary (deletion marking must see the whole group).
+            let mut last_r = pages.iter().rev().find_map(|(_, e)| e.last()).map(|e| e.r.0);
+            while pass_end < self.ji.pages.len()
+                && last_r.is_some()
+                && self.ji.pages[pass_end].min_r <= last_r.unwrap()
+            {
+                let entries = self.ji.read_page(pass_end)?;
+                if let Some(e) = entries.last() {
+                    last_r = Some(e.r.0.max(last_r.unwrap()));
+                }
+                pages.push((pass_end, entries));
+                pass_end += 1;
+            }
+            drop(read_guard);
+            let final_pass = pass_end == self.ji.pages.len();
+            // Items with r < the next pass's min_r belong to this pass.
+            let r_hi: u64 = if final_pass {
+                u64::from(u32::MAX)
+            } else {
+                u64::from(self.ji.pages[pass_end].min_r).saturating_sub(1)
+            };
+
+            // ---- pull this pass's net differentials ---------------------
+            let mut dels: Vec<BaseTuple> = Vec::new();
+            let mut inss: Vec<BaseTuple> = Vec::new();
+            while let Some(item) = net.peek() {
+                let sur = match item {
+                    Net::Ins(t) | Net::Del(t) => t.sur.0 as u64,
+                };
+                if sur > r_hi {
+                    break;
+                }
+                match net.next().unwrap() {
+                    Net::Ins(t) => inss.push(t),
+                    Net::Del(t) => dels.push(t),
+                }
+            }
+
+            // ---- mark deletions (C2.2) ----------------------------------
+            let del_surs: HashSet<Surrogate> = dels.iter().map(|t| t.sur).collect();
+            let entry_total: usize = pages.iter().map(|(_, e)| e.len()).sum();
+            self.cost.comp(entry_total as u64 + dels.len() as u64);
+            let mut survivors: Vec<JiEntry> = Vec::with_capacity(entry_total);
+            for (_, entries) in &pages {
+                survivors.extend(entries.iter().filter(|e| !del_surs.contains(&e.r)));
+            }
+
+            // ---- join the pass's insertions with S (C3.1) ---------------
+            let ins_guard = self.cost.section("ji.join_ins");
+            counted_sort_by(&mut inss, |t| t.key, &self.cost);
+            let mut keys: Vec<u64> = inss.iter().map(|t| t.key).collect();
+            keys.dedup();
+            // Deterministic iteration order (feeds op-counted sorts).
+            let mut postings: std::collections::BTreeMap<u64, Vec<Surrogate>> =
+                std::collections::BTreeMap::new();
+            s.probe_inverted(&keys, |k, sur| postings.entry(k).or_default().push(sur))?;
+            let mut posting_surs: Vec<Surrogate> = postings.values().flatten().copied().collect();
+            counted_sort_by(&mut posting_surs, |x| x.0, &self.cost);
+            let mut s_from_postings: HashMap<Surrogate, BaseTuple> = HashMap::new();
+            s.fetch_by_surrogates(&posting_surs, |t| {
+                s_from_postings.insert(t.sur, t);
+            })?;
+            let mut new_pairs: Vec<JiEntry> = Vec::new();
+            for t in &inss {
+                if let Some(ss) = postings.get(&t.key) {
+                    for &sur in ss {
+                        self.cost.mov(1); // merge into the result/JI area (C2.3)
+                        new_pairs.push(JiEntry { r: t.sur, s: sur });
+                    }
+                }
+            }
+
+            drop(ins_guard);
+
+            // ---- semijoin-fetch the pass's R fragment (C3.2) ------------
+            let fetch_r_guard = self.cost.section("ji.fetch_r");
+            let mut rs: Vec<Surrogate> = survivors.iter().map(|e| e.r).collect();
+            rs.extend(new_pairs.iter().map(|e| e.r));
+            rs.sort_unstable();
+            rs.dedup();
+            let mut rmap: HashMap<Surrogate, BaseTuple> = HashMap::new();
+            r.fetch_by_surrogates(&rs, |t| {
+                self.cost.mov(1); // move into the R_k area
+                rmap.insert(t.sur, t);
+            })?;
+
+            drop(fetch_r_guard);
+
+            // ---- sort survivors on s, stream S, emit (C3.3/C3.4) --------
+            let fetch_s_guard = self.cost.section("ji.fetch_s");
+            // S tuples are *streamed*: survivors sorted by s probe the
+            // clustered index in order (Figure 3 reserves only one input
+            // page for S), emitting each joined tuple as its S page
+            // arrives — no memory-resident S map. fetch_by_surrogates calls
+            // back once per probe in probe order, so the k-th callback
+            // corresponds to survivors[k] (every surrogate exists in S).
+            counted_sort_by(&mut survivors, |e| (e.s, e.r), &self.cost);
+            let survivor_s: Vec<Surrogate> = survivors.iter().map(|e| e.s).collect();
+            {
+                let mut at = 0usize;
+                let mut stream_err: Option<Error> = None;
+                s.fetch_by_surrogates(&survivor_s, |st| {
+                    if stream_err.is_some() {
+                        return;
+                    }
+                    let e = &survivors[at];
+                    at += 1;
+                    debug_assert_eq!(st.sur, e.s, "S stream out of lockstep");
+                    match rmap.get(&e.r) {
+                        Some(rt) => {
+                            self.cost.mov(1);
+                            sink(ViewTuple::join(rt, &st));
+                            emitted += 1;
+                        }
+                        None => {
+                            stream_err = Some(Error::Invariant(format!(
+                                "JI entry ({}, {}) has no R tuple",
+                                e.r, e.s
+                            )));
+                        }
+                    }
+                })?;
+                if let Some(e) = stream_err {
+                    return Err(e);
+                }
+                if at != survivors.len() {
+                    return Err(Error::Invariant(format!(
+                        "JI entry references missing S tuple (matched {at} of {})",
+                        survivors.len()
+                    )));
+                }
+            }
+            // Emit the inserted pairs (R side fetched fresh above).
+            for e in &new_pairs {
+                let rt = rmap.get(&e.r).ok_or_else(|| {
+                    Error::Invariant(format!("inserted pair ({}, {}) lost its R tuple", e.r, e.s))
+                })?;
+                let st = s_from_postings.get(&e.s).ok_or_else(|| {
+                    Error::Invariant(format!("inserted pair ({}, {}) lost its S tuple", e.r, e.s))
+                })?;
+                self.cost.mov(1);
+                sink(ViewTuple::join(rt, st));
+                emitted += 1;
+            }
+
+            drop(fetch_s_guard);
+
+            // ---- write back changed JI pages (C2.4) ---------------------
+            let _wb_guard = self.cost.section("ji.writeback");
+            let mut merged: Vec<JiEntry> = survivors;
+            merged.extend(new_pairs.iter().copied());
+            counted_sort_by(&mut merged, |e| (e.r, e.s), &self.cost);
+            new_count += merged.len() as u64;
+            new_distinct_r += merged.iter().map(|e| e.r).collect::<HashSet<_>>().len() as u64;
+
+            // Redistribute by the pass pages' r-boundaries.
+            let mut inserted_pages = 0usize;
+            let n_pass_pages = pages.len();
+            let mut cursor = 0usize;
+            for (i, (orig_idx, old_entries)) in pages.iter().enumerate() {
+                let upper: Option<u32> = pages.get(i + 1).map(|(idx, _)| self.ji.pages[*idx].min_r);
+                let end = match upper {
+                    Some(bound) => {
+                        merged[cursor..].partition_point(|e| e.r.0 < bound) + cursor
+                    }
+                    None => merged.len(),
+                };
+                let slice = &merged[cursor..end];
+                cursor = end;
+                let idx_now = orig_idx + inserted_pages;
+                if slice.len() <= self.ji.max_cap {
+                    if slice != old_entries.as_slice() {
+                        self.ji.write_page(idx_now, slice)?;
+                    }
+                } else {
+                    // Page overflow: repack this range at nominal occupancy,
+                    // keeping r groups page-aligned.
+                    let chunks = pack_group_aligned(slice, self.ji.nominal_cap, self.ji.max_cap);
+                    self.ji.write_page(idx_now, &chunks[0])?;
+                    for (j, chunk) in chunks[1..].iter().enumerate() {
+                        self.ji.insert_page_after(idx_now + j, chunk)?;
+                        inserted_pages += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(cursor, merged.len(), "JI redistribution lost entries");
+            pass_start = pass_start + n_pass_pages + inserted_pages;
+        }
+        debug_assert!(net.peek().is_none(), "net differentials outlived the JI scan");
+
+        self.ji.count = new_count;
+        self.distinct_r = new_distinct_r;
+        let (ins, del) =
+            Self::fresh_logs(&self.disk, &self.cost, &self.params, self.r_tuple_bytes);
+        std::mem::replace(&mut self.ins_log, ins).destroy();
+        std::mem::replace(&mut self.del_log, del).destroy();
+        Ok(emitted)
+    }
+}

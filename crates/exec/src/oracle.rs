@@ -1,0 +1,115 @@
+//! Reference join implementations used as correctness oracles.
+//!
+//! These operate on plain in-memory tuple vectors (no storage, no cost
+//! charges) so tests can compare every strategy's output against ground
+//! truth computed by an independent, trivially-auditable algorithm.
+
+use std::collections::HashMap;
+
+use trijoin_common::{BaseTuple, JiEntry, JoinKey, ViewTuple};
+
+/// In-memory hash equi-join of two tuple sets (ground truth).
+pub fn join_tuples(r: &[BaseTuple], s: &[BaseTuple]) -> Vec<ViewTuple> {
+    let mut by_key: HashMap<JoinKey, Vec<&BaseTuple>> = HashMap::new();
+    for st in s {
+        by_key.entry(st.key).or_default().push(st);
+    }
+    let mut out = Vec::new();
+    for rt in r {
+        if let Some(matches) = by_key.get(&rt.key) {
+            for st in matches {
+                out.push(ViewTuple::join(rt, st));
+            }
+        }
+    }
+    out
+}
+
+/// The surrogate pairs of the join — exactly the join-index contents.
+pub fn join_pairs(r: &[BaseTuple], s: &[BaseTuple]) -> Vec<JiEntry> {
+    join_tuples(r, s).iter().map(|v| v.ji_entry()).collect()
+}
+
+/// Canonicalize a join result for comparison: sorted by (r, s) surrogates.
+/// Panics if the same pair appears twice (the paper's joins are over
+/// unique-surrogate relations, so pairs are unique).
+pub fn canonicalize(mut result: Vec<ViewTuple>) -> Vec<ViewTuple> {
+    result.sort_by_key(|v| (v.r_sur, v.s_sur));
+    for w in result.windows(2) {
+        assert!(
+            (w[0].r_sur, w[0].s_sur) != (w[1].r_sur, w[1].s_sur),
+            "duplicate join pair ({}, {})",
+            w[0].r_sur,
+            w[0].s_sur
+        );
+    }
+    result
+}
+
+/// Assert two join results are identical (pairs, keys, and payloads).
+pub fn assert_same_join(label: &str, got: Vec<ViewTuple>, want: Vec<ViewTuple>) {
+    let got = canonicalize(got);
+    let want = canonicalize(want);
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{label}: cardinality {} vs expected {}",
+        got.len(),
+        want.len()
+    );
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g, w, "{label}: tuple mismatch at pair ({}, {})", w.r_sur, w.s_sur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trijoin_common::Surrogate;
+
+    fn t(sur: u32, key: u64) -> BaseTuple {
+        BaseTuple::padded(Surrogate(sur), key, 32)
+    }
+
+    #[test]
+    fn small_join_ground_truth() {
+        let r = vec![t(1, 10), t(2, 20), t(3, 10)];
+        let s = vec![t(100, 10), t(101, 30), t(102, 10)];
+        let mut pairs = join_pairs(&r, &s);
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                JiEntry { r: Surrogate(1), s: Surrogate(100) },
+                JiEntry { r: Surrogate(1), s: Surrogate(102) },
+                JiEntry { r: Surrogate(3), s: Surrogate(100) },
+                JiEntry { r: Surrogate(3), s: Surrogate(102) },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(join_tuples(&[], &[t(1, 1)]).is_empty());
+        assert!(join_tuples(&[t(1, 1)], &[]).is_empty());
+        assert!(join_tuples(&[t(1, 1)], &[t(2, 2)]).is_empty());
+    }
+
+    #[test]
+    fn assert_same_join_accepts_permutations() {
+        let r = vec![t(1, 7), t(2, 7)];
+        let s = vec![t(9, 7)];
+        let a = join_tuples(&r, &s);
+        let mut b = a.clone();
+        b.reverse();
+        assert_same_join("perm", a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality")]
+    fn assert_same_join_rejects_mismatch() {
+        let r = vec![t(1, 7)];
+        let s = vec![t(9, 7)];
+        assert_same_join("bad", join_tuples(&r, &s), vec![]);
+    }
+}

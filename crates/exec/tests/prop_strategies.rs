@@ -1,0 +1,151 @@
+//! Property-based strategy equivalence: under *arbitrary* generated update
+//! scripts (which surrogates, which keys, matched or unmatched, repeated or
+//! not, interleaved with queries), all three strategies must equal the
+//! oracle join of the current relations.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use trijoin_common::{BaseTuple, Cost, Surrogate, SystemParams};
+use trijoin_exec::{
+    execute_collect, oracle, EagerView, HybridHash, JoinIndexStrategy, JoinStrategy,
+    MaterializedView, Mutation, StoredRelation, Update,
+};
+use trijoin_storage::SimDisk;
+
+const TUPLE: usize = 48;
+const N_R: u32 = 40;
+const N_S: u32 = 30;
+
+#[derive(Debug, Clone)]
+enum Script {
+    /// Update tuple `sur % live` to key `key` with payload byte `p`.
+    Update { sur: u32, key: u64, p: u8 },
+    /// Insert a fresh tuple with key `key`.
+    Insert { key: u64, p: u8 },
+    /// Delete tuple `sur % live`.
+    Delete { sur: u32 },
+    /// Run all strategies and compare against the oracle.
+    Query,
+}
+
+fn script() -> impl Strategy<Value = Vec<Script>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => (any::<u32>(), 0u64..8, any::<u8>())
+                .prop_map(|(sur, key, p)| Script::Update { sur, key, p }),
+            // Occasionally point keys at an unmatched range.
+            2 => (any::<u32>(), 100u64..110, any::<u8>())
+                .prop_map(|(sur, key, p)| Script::Update { sur, key, p }),
+            1 => (0u64..8, any::<u8>()).prop_map(|(key, p)| Script::Insert { key, p }),
+            1 => any::<u32>().prop_map(|sur| Script::Delete { sur }),
+            1 => Just(Script::Query),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    // Each case builds three strategies and runs a script; keep the count
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn strategies_match_oracle_under_arbitrary_scripts(ops in script()) {
+        let cost = Cost::new();
+        let params = SystemParams {
+            page_size: 512,
+            mem_pages: 16,
+            ..SystemParams::paper_defaults()
+        };
+        let disk = SimDisk::new(&params, cost.clone());
+        let r_tuples: Vec<BaseTuple> = (0..N_R)
+            .map(|i| BaseTuple::with_payload(Surrogate(i), (i % 6) as u64, &[i as u8], TUPLE).unwrap())
+            .collect();
+        let s_tuples: Vec<BaseTuple> = (0..N_S)
+            .map(|i| BaseTuple::with_payload(Surrogate(i), (i % 7) as u64, &[i as u8], TUPLE).unwrap())
+            .collect();
+        let mut r = StoredRelation::build(&disk, &params, "R", r_tuples.clone(), false).unwrap();
+        let s = StoredRelation::build(&disk, &params, "S", s_tuples.clone(), true).unwrap();
+        let mut r_now: HashMap<u32, BaseTuple> =
+            r_tuples.into_iter().map(|t| (t.sur.0, t)).collect();
+
+        let mut mv = MaterializedView::build(&disk, &params, &cost, &r, &s).unwrap();
+        let mut ji = JoinIndexStrategy::build(&disk, &params, &cost, &r, &s).unwrap();
+        let mut hh = HybridHash::new(&disk, &params, &cost);
+        let s_rc = Rc::new(StoredRelation::build(&disk, &params, "S2", s_tuples.clone(), true).unwrap());
+        let mut eager = EagerView::build(&disk, &params, &cost, &r, s_rc).unwrap();
+        let mut next_sur = N_R;
+
+        let live_pick = |r_now: &HashMap<u32, BaseTuple>, raw: u32| -> u32 {
+            let mut surs: Vec<u32> = r_now.keys().copied().collect();
+            surs.sort_unstable();
+            surs[(raw as usize) % surs.len()]
+        };
+        for (step, op) in ops.into_iter().enumerate() {
+            let mutation = match op {
+                Script::Update { sur, key, p } => {
+                    let sur = live_pick(&r_now, sur);
+                    let old = r_now[&sur].clone();
+                    let new = BaseTuple::with_payload(Surrogate(sur), key, &[p], TUPLE).unwrap();
+                    r_now.insert(sur, new.clone());
+                    Some(Mutation::Update(Update { old, new }))
+                }
+                Script::Insert { key, p } => {
+                    let t = BaseTuple::with_payload(Surrogate(next_sur), key, &[p], TUPLE).unwrap();
+                    next_sur += 1;
+                    r_now.insert(t.sur.0, t.clone());
+                    Some(Mutation::Insert(t))
+                }
+                Script::Delete { sur } => {
+                    if r_now.len() <= 1 {
+                        None // never empty the relation
+                    } else {
+                        let sur = live_pick(&r_now, sur);
+                        let t = r_now.remove(&sur).unwrap();
+                        Some(Mutation::Delete(t))
+                    }
+                }
+                Script::Query => None,
+            };
+            if let Some(m) = mutation {
+                mv.on_mutation(&m).unwrap();
+                ji.on_mutation(&m).unwrap();
+                hh.on_mutation(&m).unwrap();
+                eager.on_mutation(&m).unwrap();
+                r.apply_mutation(&m).unwrap();
+                continue;
+            }
+            match op {
+                Script::Query => {
+                    let current: Vec<BaseTuple> = r_now.values().cloned().collect();
+                    let want = oracle::join_tuples(&current, &s_tuples);
+                    let got_mv = execute_collect(&mut mv, &r, &s).unwrap();
+                    oracle::assert_same_join(&format!("step {step} mv"), got_mv, want.clone());
+                    let got_ji = execute_collect(&mut ji, &r, &s).unwrap();
+                    oracle::assert_same_join(&format!("step {step} ji"), got_ji, want.clone());
+                    let got_hh = execute_collect(&mut hh, &r, &s).unwrap();
+                    oracle::assert_same_join(&format!("step {step} hh"), got_hh, want.clone());
+                    let got_eager = execute_collect(&mut eager, &r, &s).unwrap();
+                    oracle::assert_same_join(&format!("step {step} eager"), got_eager, want);
+                    ji.index().check_invariants().unwrap();
+                }
+                _ => unreachable!("mutations handled above"),
+            }
+        }
+        // Always end with a final query so every script checks something.
+        let current: Vec<BaseTuple> = r_now.values().cloned().collect();
+        let want = oracle::join_tuples(&current, &s_tuples);
+        let got_mv = execute_collect(&mut mv, &r, &s).unwrap();
+        oracle::assert_same_join("final mv", got_mv, want.clone());
+        let got_ji = execute_collect(&mut ji, &r, &s).unwrap();
+        oracle::assert_same_join("final ji", got_ji, want.clone());
+        let got_hh = execute_collect(&mut hh, &r, &s).unwrap();
+        oracle::assert_same_join("final hh", got_hh, want.clone());
+        let got_eager = execute_collect(&mut eager, &r, &s).unwrap();
+        oracle::assert_same_join("final eager", got_eager, want);
+        prop_assert_eq!(mv.view_len(), ji.index_len());
+        prop_assert_eq!(mv.view_len(), eager.view_len());
+    }
+}

@@ -1,0 +1,408 @@
+//! Cross-strategy correctness: materialized view, join index and
+//! hybrid-hash must all produce exactly the current `R ⋈ S` — same pairs,
+//! same keys, same payloads — under arbitrary deferred update streams.
+
+use std::collections::HashMap;
+
+use rand::prelude::*;
+use trijoin_common::{rng, BaseTuple, Cost, Surrogate, SystemParams};
+use trijoin_exec::oracle;
+use trijoin_exec::{
+    execute_collect, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView,
+    StoredRelation, Update,
+};
+use trijoin_storage::{Disk, SimDisk};
+
+const TUPLE: usize = 64;
+
+struct TestDb {
+    cost: Cost,
+    params: SystemParams,
+    disk: Disk,
+    r: StoredRelation,
+    s: StoredRelation,
+    /// Ground-truth mirror of R (current state).
+    r_now: HashMap<u32, BaseTuple>,
+    s_now: Vec<BaseTuple>,
+}
+
+impl TestDb {
+    /// `n_r`/`n_s` tuples; join keys drawn from `0..key_domain` (small
+    /// domain ⇒ plenty of matches), plus some unmatched keys.
+    fn new(n_r: u32, n_s: u32, key_domain: u64, seed: u64) -> Self {
+        let mut rn = rng::seeded(rng::derive(seed, "build"));
+        let cost = Cost::new();
+        let params = SystemParams {
+            page_size: 512,
+            mem_pages: 24,
+            ..SystemParams::paper_defaults()
+        };
+        let disk = SimDisk::new(&params, cost.clone());
+        let mk = |i: u32, rn: &mut StdRng| {
+            let key = if rn.gen_bool(0.8) {
+                rn.gen_range(0..key_domain)
+            } else {
+                1_000_000 + rn.gen_range(0..1000) // unmatched range
+            };
+            let payload: Vec<u8> = (0..8).map(|_| rn.gen()).collect();
+            BaseTuple::with_payload(Surrogate(i), key, &payload, TUPLE).unwrap()
+        };
+        let r_tuples: Vec<BaseTuple> = (0..n_r).map(|i| mk(i, &mut rn)).collect();
+        let s_tuples: Vec<BaseTuple> = (0..n_s).map(|i| mk(i, &mut rn)).collect();
+        let r = StoredRelation::build(&disk, &params, "R", r_tuples.clone(), false).unwrap();
+        let s = StoredRelation::build(&disk, &params, "S", s_tuples.clone(), true).unwrap();
+        let r_now = r_tuples.into_iter().map(|t| (t.sur.0, t)).collect();
+        TestDb { cost, params, disk, r, s, r_now, s_now: s_tuples }
+    }
+
+    fn strategies(&self) -> (MaterializedView, JoinIndexStrategy, HybridHash) {
+        let mv = MaterializedView::build(&self.disk, &self.params, &self.cost, &self.r, &self.s)
+            .unwrap();
+        let ji = JoinIndexStrategy::build(&self.disk, &self.params, &self.cost, &self.r, &self.s)
+            .unwrap();
+        let hh = HybridHash::new(&self.disk, &self.params, &self.cost);
+        self.cost.reset();
+        (mv, ji, hh)
+    }
+
+    /// One random update; with probability `pra` the join attribute
+    /// changes. Observed by all `strategies`, then applied to R.
+    fn random_update(
+        &mut self,
+        strategies: &mut [&mut dyn JoinStrategy],
+        pra: f64,
+        key_domain: u64,
+        rn: &mut StdRng,
+    ) {
+        let mut surs: Vec<u32> = self.r_now.keys().copied().collect();
+        surs.sort_unstable(); // HashMap order is random; the pick must not be
+        let sur = surs[rn.gen_range(0..surs.len())];
+        let old = self.r_now[&sur].clone();
+        let new_key = if rn.gen_bool(pra) {
+            // Change A (may move between matched and unmatched ranges).
+            if rn.gen_bool(0.8) {
+                rn.gen_range(0..key_domain)
+            } else {
+                1_000_000 + rn.gen_range(0..1000)
+            }
+        } else {
+            old.key
+        };
+        let payload: Vec<u8> = (0..8).map(|_| rn.gen()).collect();
+        let new = BaseTuple::with_payload(Surrogate(sur), new_key, &payload, TUPLE).unwrap();
+        let upd = Update { old: old.clone(), new: new.clone() };
+        for st in strategies.iter_mut() {
+            st.on_update(&upd).unwrap();
+        }
+        self.r.apply_update(&old, &new).unwrap();
+        self.r_now.insert(sur, new);
+    }
+
+    fn oracle_join(&self) -> Vec<trijoin_common::ViewTuple> {
+        let r: Vec<BaseTuple> = self.r_now.values().cloned().collect();
+        oracle::join_tuples(&r, &self.s_now)
+    }
+
+    fn check_all(
+        &self,
+        mv: &mut MaterializedView,
+        ji: &mut JoinIndexStrategy,
+        hh: &mut HybridHash,
+        label: &str,
+    ) {
+        let want = self.oracle_join();
+        let got_hh = execute_collect(hh, &self.r, &self.s).unwrap();
+        oracle::assert_same_join(&format!("{label}/hybrid-hash"), got_hh, want.clone());
+        let got_mv = execute_collect(mv, &self.r, &self.s).unwrap();
+        oracle::assert_same_join(&format!("{label}/materialized-view"), got_mv, want.clone());
+        let got_ji = execute_collect(ji, &self.r, &self.s).unwrap();
+        oracle::assert_same_join(&format!("{label}/join-index"), got_ji, want.clone());
+        ji.index().check_invariants().unwrap();
+        assert_eq!(mv.view_len(), want.len() as u64, "{label}: view cardinality");
+        assert_eq!(ji.index_len(), want.len() as u64, "{label}: index cardinality");
+    }
+}
+
+#[test]
+fn no_updates_all_strategies_agree() {
+    let db = TestDb::new(120, 100, 12, 1);
+    let (mut mv, mut ji, mut hh) = db.strategies();
+    db.check_all(&mut mv, &mut ji, &mut hh, "fresh");
+}
+
+#[test]
+fn empty_join_everywhere() {
+    // Disjoint key ranges: R keys all unmatched.
+    let mut db = TestDb::new(40, 40, 5, 2);
+    // Force R to be fully unmatched.
+    let surs: Vec<u32> = db.r_now.keys().copied().collect();
+    for sur in surs {
+        let old = db.r_now[&sur].clone();
+        let new = BaseTuple::with_payload(Surrogate(sur), 9_999_999, b"x", TUPLE).unwrap();
+        db.r.apply_update(&old, &new).unwrap();
+        db.r_now.insert(sur, new);
+    }
+    let (mut mv, mut ji, mut hh) = db.strategies();
+    let want = db.oracle_join();
+    assert!(want.is_empty());
+    assert_eq!(execute_collect(&mut hh, &db.r, &db.s).unwrap().len(), 0);
+    assert_eq!(execute_collect(&mut mv, &db.r, &db.s).unwrap().len(), 0);
+    assert_eq!(execute_collect(&mut ji, &db.r, &db.s).unwrap().len(), 0);
+}
+
+#[test]
+fn updates_then_query_all_agree() {
+    let mut db = TestDb::new(150, 120, 10, 3);
+    let (mut mv, mut ji, mut hh) = db.strategies();
+    let mut rn = rng::seeded(rng::derive(3, "updates"));
+    for _ in 0..60 {
+        db.random_update(&mut [&mut mv, &mut ji, &mut hh], 0.4, 10, &mut rn);
+    }
+    db.check_all(&mut mv, &mut ji, &mut hh, "after-60-updates");
+}
+
+#[test]
+fn repeated_update_query_rounds() {
+    let mut db = TestDb::new(100, 80, 8, 4);
+    let (mut mv, mut ji, mut hh) = db.strategies();
+    let mut rn = rng::seeded(rng::derive(4, "updates"));
+    for round in 0..4 {
+        for _ in 0..25 {
+            db.random_update(&mut [&mut mv, &mut ji, &mut hh], 0.5, 8, &mut rn);
+        }
+        db.check_all(&mut mv, &mut ji, &mut hh, &format!("round-{round}"));
+    }
+}
+
+#[test]
+fn chained_updates_to_same_tuple_cancel_correctly() {
+    let mut db = TestDb::new(50, 50, 6, 5);
+    let (mut mv, mut ji, mut hh) = db.strategies();
+    // Hand-crafted chains on one tuple: a -> b -> c, then payload-only.
+    let sur = 7u32;
+    let steps: Vec<(u64, &[u8])> = vec![
+        (1, b"step1"),
+        (2, b"step2"),
+        (2, b"step3-payload-only"),
+        (3, b"step4"),
+        (3, b"step5-payload-only"),
+    ];
+    for (key, payload) in steps {
+        let old = db.r_now[&sur].clone();
+        let new = BaseTuple::with_payload(Surrogate(sur), key, payload, TUPLE).unwrap();
+        let upd = Update { old: old.clone(), new: new.clone() };
+        mv.on_update(&upd).unwrap();
+        ji.on_update(&upd).unwrap();
+        hh.on_update(&upd).unwrap();
+        db.r.apply_update(&old, &new).unwrap();
+        db.r_now.insert(sur, new);
+    }
+    db.check_all(&mut mv, &mut ji, &mut hh, "chained");
+}
+
+#[test]
+fn roundtrip_update_is_a_noop_for_the_join() {
+    let mut db = TestDb::new(60, 60, 6, 6);
+    let (mut mv, mut ji, mut hh) = db.strategies();
+    let sur = 3u32;
+    let orig = db.r_now[&sur].clone();
+    let detour =
+        BaseTuple::with_payload(Surrogate(sur), orig.key + 1, b"detour", TUPLE).unwrap();
+    for (old, new) in [(orig.clone(), detour.clone()), (detour, orig.clone())] {
+        let upd = Update { old: old.clone(), new: new.clone() };
+        mv.on_update(&upd).unwrap();
+        ji.on_update(&upd).unwrap();
+        hh.on_update(&upd).unwrap();
+        db.r.apply_update(&old, &new).unwrap();
+        db.r_now.insert(sur, new);
+    }
+    assert_eq!(db.r_now[&sur], orig);
+    db.check_all(&mut mv, &mut ji, &mut hh, "roundtrip");
+}
+
+#[test]
+fn grace_and_hybrid_hash_agree() {
+    let db = TestDb::new(200, 150, 10, 7);
+    let mut hybrid = HybridHash::new(&db.disk, &db.params, &db.cost);
+    let mut grace = HybridHash::grace(&db.disk, &db.params, &db.cost);
+    let want = db.oracle_join();
+    oracle::assert_same_join(
+        "hybrid",
+        execute_collect(&mut hybrid, &db.r, &db.s).unwrap(),
+        want.clone(),
+    );
+    db.cost.reset();
+    oracle::assert_same_join(
+        "grace",
+        execute_collect(&mut grace, &db.r, &db.s).unwrap(),
+        want,
+    );
+}
+
+#[test]
+fn second_query_without_updates_is_cheap_for_caches() {
+    let mut db = TestDb::new(150, 120, 10, 8);
+    let (mut mv, mut ji, mut hh) = db.strategies();
+    let mut rn = rng::seeded(rng::derive(8, "updates"));
+    for _ in 0..40 {
+        db.random_update(&mut [&mut mv, &mut ji, &mut hh], 0.5, 10, &mut rn);
+    }
+    // First query pays for update maintenance.
+    db.cost.reset();
+    execute_collect(&mut mv, &db.r, &db.s).unwrap();
+    let mv_first = db.cost.total().ios;
+    db.cost.reset();
+    execute_collect(&mut mv, &db.r, &db.s).unwrap();
+    let mv_second = db.cost.total().ios;
+    assert!(
+        mv_second < mv_first,
+        "clean MV re-read ({mv_second} IOs) should beat maintaining ({mv_first} IOs)"
+    );
+    db.cost.reset();
+    execute_collect(&mut ji, &db.r, &db.s).unwrap();
+    let ji_first = db.cost.total().ios;
+    db.cost.reset();
+    execute_collect(&mut ji, &db.r, &db.s).unwrap();
+    let ji_second = db.cost.total().ios;
+    assert!(
+        ji_second <= ji_first,
+        "JI without pending updates must not cost more: {ji_second} vs {ji_first} \
+         (pages {})",
+        ji.index_pages()
+    );
+    // Hybrid hash costs the same either way.
+    db.cost.reset();
+    execute_collect(&mut hh, &db.r, &db.s).unwrap();
+    let hh_a = db.cost.total().ios;
+    db.cost.reset();
+    execute_collect(&mut hh, &db.r, &db.s).unwrap();
+    let hh_b = db.cost.total().ios;
+    assert_eq!(hh_a, hh_b, "hybrid-hash is update-oblivious");
+}
+
+#[test]
+fn costs_are_deterministic() {
+    let run = || {
+        let mut db = TestDb::new(100, 90, 9, 42);
+        let (mut mv, mut ji, mut hh) = db.strategies();
+        let mut rn = rng::seeded(rng::derive(42, "updates"));
+        for _ in 0..30 {
+            db.random_update(&mut [&mut mv, &mut ji, &mut hh], 0.3, 9, &mut rn);
+        }
+        db.cost.reset();
+        execute_collect(&mut mv, &db.r, &db.s).unwrap();
+        execute_collect(&mut ji, &db.r, &db.s).unwrap();
+        execute_collect(&mut hh, &db.r, &db.s).unwrap();
+        db.cost.total()
+    };
+    assert_eq!(run(), run(), "same seed must reproduce identical op counts");
+}
+
+#[test]
+fn mv_io_cost_scales_with_view_not_base() {
+    // Low-selectivity case: tiny view, MV query should touch far fewer
+    // pages than hybrid hash (the heart of Figure 4's low-SR region).
+    let mut db = TestDb::new(300, 300, 2000, 9); // few matches
+    let (mut mv, _ji, mut hh) = db.strategies();
+    let mut rn = rng::seeded(rng::derive(9, "updates"));
+    for _ in 0..10 {
+        db.random_update(&mut [&mut mv, &mut hh], 0.2, 2000, &mut rn);
+    }
+    db.cost.reset();
+    execute_collect(&mut mv, &db.r, &db.s).unwrap();
+    let mv_ios = db.cost.total().ios;
+    db.cost.reset();
+    execute_collect(&mut hh, &db.r, &db.s).unwrap();
+    let hh_ios = db.cost.total().ios;
+    assert!(
+        mv_ios < hh_ios,
+        "low selectivity: MV ({mv_ios} IOs) must beat hybrid hash ({hh_ios} IOs)"
+    );
+}
+
+#[test]
+fn eager_view_stays_correct_and_pays_per_update() {
+    use std::rc::Rc;
+    use trijoin_exec::EagerView;
+    let mut db = TestDb::new(150, 120, 10, 21);
+    let s_rc = Rc::new(StoredRelation::build(&db.disk, &db.params, "S2", db.s_now.clone(), true).unwrap());
+    let mut eager =
+        EagerView::build(&db.disk, &db.params, &db.cost, &db.r, Rc::clone(&s_rc)).unwrap();
+    let mut mv = MaterializedView::build(&db.disk, &db.params, &db.cost, &db.r, &db.s).unwrap();
+    db.cost.reset();
+
+    let mut rn = rng::seeded(rng::derive(21, "updates"));
+    let eager_before = db.cost.total();
+    for _ in 0..40 {
+        db.random_update(&mut [&mut eager, &mut mv], 0.4, 10, &mut rn);
+    }
+    let maintain_ops = db.cost.total().delta_since(&eager_before);
+    assert!(
+        maintain_ops.ios > 40,
+        "eager maintenance must pay I/O per update, got {} IOs",
+        maintain_ops.ios
+    );
+
+    // Both answer correctly.
+    let want = db.oracle_join();
+    oracle::assert_same_join(
+        "eager",
+        execute_collect(&mut eager, &db.r, &db.s).unwrap(),
+        want.clone(),
+    );
+    oracle::assert_same_join("mv", execute_collect(&mut mv, &db.r, &db.s).unwrap(), want.clone());
+    assert_eq!(eager.view_len(), want.len() as u64);
+
+    // A clean query through the eager view is just the view scan.
+    db.cost.reset();
+    execute_collect(&mut eager, &db.r, &db.s).unwrap();
+    let clean_ios = db.cost.total().ios;
+    assert!(
+        clean_ios <= eager.view_pages() + 2,
+        "clean eager query reads only the view: {} IOs for {} pages",
+        clean_ios,
+        eager.view_pages()
+    );
+}
+
+#[test]
+fn eager_total_cost_exceeds_deferred_under_churn() {
+    // End-to-end epoch cost (maintenance + query): deferral must win once
+    // updates are plentiful — the engine-side counterpart of the
+    // ablation_eager model study.
+    use std::rc::Rc;
+    use trijoin_exec::EagerView;
+    let mut db = TestDb::new(300, 300, 12, 22);
+    let s_rc = Rc::new(StoredRelation::build(&db.disk, &db.params, "S2", db.s_now.clone(), true).unwrap());
+    let mut eager =
+        EagerView::build(&db.disk, &db.params, &db.cost, &db.r, Rc::clone(&s_rc)).unwrap();
+    let mut mv = MaterializedView::build(&db.disk, &db.params, &db.cost, &db.r, &db.s).unwrap();
+    db.cost.reset();
+
+    let mut rn = rng::seeded(rng::derive(22, "updates"));
+    let start = db.cost.total();
+    for _ in 0..150 {
+        db.random_update(&mut [&mut eager, &mut mv], 0.5, 12, &mut rn);
+    }
+    // Split the shared ledger by running the queries one at a time.
+    let after_updates = db.cost.total();
+    execute_collect(&mut eager, &db.r, &db.s).unwrap();
+    let after_eager_q = db.cost.total();
+    execute_collect(&mut mv, &db.r, &db.s).unwrap();
+    let after_mv_q = db.cost.total();
+
+    // Maintenance phase: eager paid I/O per update, deferred only logged
+    // (moves + occasional spills). The shared maintenance ledger is
+    // dominated by eager (MV logging is ~2 moves/update + spill pages).
+    let maintain = after_updates.delta_since(&start);
+    let eager_q = after_eager_q.delta_since(&after_updates);
+    let mv_q = after_mv_q.delta_since(&after_eager_q);
+    let p = &db.params;
+    let eager_total = maintain.time_secs(p) * 0.95 + eager_q.time_secs(p); // ≥95% of maintain is eager's
+    let deferred_total = maintain.time_secs(p) * 0.05 + mv_q.time_secs(p);
+    assert!(
+        eager_total > deferred_total,
+        "under churn, eager ({eager_total:.2}s) must cost more than deferred \
+         ({deferred_total:.2}s)"
+    );
+}

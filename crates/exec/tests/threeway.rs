@@ -1,0 +1,190 @@
+//! Three-way joins through cached two-way views stay exact under deferred
+//! updates, for every inner strategy.
+
+use rand::prelude::*;
+
+use trijoin_common::{rng, BaseTuple, Cost, Surrogate, SystemParams};
+use trijoin_exec::threeway::{
+    assert_same_three_way, key2_from_s_payload, three_way_execute, three_way_oracle,
+};
+use trijoin_exec::{
+    HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, StoredRelation, Update,
+};
+use trijoin_storage::{Disk, SimDisk};
+
+const TUPLE: usize = 64;
+
+/// S tuples carry the second join attribute B in their first 8 payload
+/// bytes; R and T are plain.
+type Fixture = (
+    Disk,
+    Cost,
+    SystemParams,
+    StoredRelation,
+    StoredRelation,
+    StoredRelation,
+    Vec<BaseTuple>,
+    Vec<BaseTuple>,
+    Vec<BaseTuple>,
+);
+
+fn setup(seed: u64) -> Fixture {
+    let cost = Cost::new();
+    let params = SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() };
+    let disk = SimDisk::new(&params, cost.clone());
+    let mut rn = rng::seeded(seed);
+    let r_tuples: Vec<BaseTuple> = (0..120)
+        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..8), TUPLE))
+        .collect();
+    let s_tuples: Vec<BaseTuple> = (0..100)
+        .map(|i| {
+            let a = rn.gen_range(0..8u64);
+            let b = rn.gen_range(0..6u64);
+            BaseTuple::with_payload(Surrogate(i), a, &b.to_le_bytes(), TUPLE).unwrap()
+        })
+        .collect();
+    let t_tuples: Vec<BaseTuple> = (0..80)
+        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..6), TUPLE))
+        .collect();
+    let r = StoredRelation::build(&disk, &params, "R", r_tuples.clone(), false).unwrap();
+    let s = StoredRelation::build(&disk, &params, "S", s_tuples.clone(), true).unwrap();
+    let t = StoredRelation::build(&disk, &params, "T", t_tuples.clone(), false).unwrap();
+    (disk, cost, params, r, s, t, r_tuples, s_tuples, t_tuples)
+}
+
+#[test]
+fn three_way_through_each_inner_strategy() {
+    let (disk, cost, params, r, s, t, r_now, s_now, t_now) = setup(71);
+    let want = three_way_oracle(&r_now, &s_now, &t_now, key2_from_s_payload);
+    assert!(!want.is_empty(), "fixture must produce rows");
+
+    let mut mv = MaterializedView::build(&disk, &params, &cost, &r, &s).unwrap();
+    let mut ji = JoinIndexStrategy::build(&disk, &params, &cost, &r, &s).unwrap();
+    let mut hh = HybridHash::new(&disk, &params, &cost);
+    let inners: Vec<(&str, &mut dyn JoinStrategy)> =
+        vec![("mv", &mut mv), ("ji", &mut ji), ("hh", &mut hh)];
+    for (label, inner) in inners {
+        let mut got = Vec::new();
+        let n = three_way_execute(
+            &disk,
+            &params,
+            &cost,
+            inner,
+            &r,
+            &s,
+            &t,
+            key2_from_s_payload,
+            &mut |row| got.push(row),
+        )
+        .unwrap();
+        assert_eq!(n as usize, got.len());
+        assert_same_three_way(label, got, want.clone());
+    }
+}
+
+#[test]
+fn three_way_stays_exact_under_r_updates() {
+    let (disk, cost, params, mut r, s, t, r_now, s_now, t_now) = setup(72);
+    let mut mv = MaterializedView::build(&disk, &params, &cost, &r, &s).unwrap();
+    let mut r_map: std::collections::HashMap<u32, BaseTuple> =
+        r_now.into_iter().map(|x| (x.sur.0, x)).collect();
+    let mut rn = rng::seeded(720);
+    for i in 0..60u64 {
+        let surs: Vec<u32> = {
+            let mut v: Vec<u32> = r_map.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let sur = surs[rn.gen_range(0..surs.len())];
+        let old = r_map[&sur].clone();
+        let new =
+            BaseTuple::with_payload(Surrogate(sur), rn.gen_range(0..8), &i.to_le_bytes(), TUPLE)
+                .unwrap();
+        mv.on_update(&Update { old: old.clone(), new: new.clone() }).unwrap();
+        r.apply_update(&old, &new).unwrap();
+        r_map.insert(sur, new);
+    }
+    let current: Vec<BaseTuple> = r_map.values().cloned().collect();
+    let want = three_way_oracle(&current, &s_now, &t_now, key2_from_s_payload);
+    let mut got = Vec::new();
+    three_way_execute(
+        &disk,
+        &params,
+        &cost,
+        &mut mv,
+        &r,
+        &s,
+        &t,
+        key2_from_s_payload,
+        &mut |row| got.push(row),
+    )
+    .unwrap();
+    assert_same_three_way("after updates", got, want);
+}
+
+#[test]
+fn three_way_spills_under_tiny_memory() {
+    // Force B > 0 on the second hop: tiny memory, larger T.
+    let cost = Cost::new();
+    let params = SystemParams { page_size: 512, mem_pages: 6, ..SystemParams::paper_defaults() };
+    let disk = SimDisk::new(&params, cost.clone());
+    let mut rn = rng::seeded(73);
+    let r_now: Vec<BaseTuple> = (0..200)
+        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..10), TUPLE))
+        .collect();
+    let s_now: Vec<BaseTuple> = (0..200)
+        .map(|i| {
+            let b = rn.gen_range(0..40u64);
+            BaseTuple::with_payload(Surrogate(i), rn.gen_range(0..10), &b.to_le_bytes(), TUPLE)
+                .unwrap()
+        })
+        .collect();
+    let t_now: Vec<BaseTuple> = (0..400)
+        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..40), TUPLE))
+        .collect();
+    let r = StoredRelation::build(&disk, &params, "R", r_now.clone(), false).unwrap();
+    let s = StoredRelation::build(&disk, &params, "S", s_now.clone(), true).unwrap();
+    let t = StoredRelation::build(&disk, &params, "T", t_now.clone(), false).unwrap();
+    assert!(
+        trijoin_exec::hybridhash::spilled_partitions(t.data_pages(), &params) > 0,
+        "fixture must actually spill"
+    );
+    let mut hh = HybridHash::new(&disk, &params, &cost);
+    let want = three_way_oracle(&r_now, &s_now, &t_now, key2_from_s_payload);
+    let mut got = Vec::new();
+    three_way_execute(
+        &disk,
+        &params,
+        &cost,
+        &mut hh,
+        &r,
+        &s,
+        &t,
+        key2_from_s_payload,
+        &mut |row| got.push(row),
+    )
+    .unwrap();
+    assert_same_three_way("spilled", got, want);
+}
+
+#[test]
+fn empty_t_side() {
+    let (disk, cost, params, r, s, _t, _r_now, _s_now, _t_now) = setup(74);
+    let t = StoredRelation::build(&disk, &params, "T0", Vec::new(), false).unwrap();
+    let mut hh = HybridHash::new(&disk, &params, &cost);
+    let mut got = Vec::new();
+    let n = three_way_execute(
+        &disk,
+        &params,
+        &cost,
+        &mut hh,
+        &r,
+        &s,
+        &t,
+        key2_from_s_payload,
+        &mut |row| got.push(row),
+    )
+    .unwrap();
+    assert_eq!(n, 0);
+    assert!(got.is_empty());
+}

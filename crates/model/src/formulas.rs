@@ -1,0 +1,208 @@
+//! The Appendix's basic formulas, transcribed directly.
+//!
+//! All time-valued functions return **seconds** of simulated time under the
+//! given [`SystemParams`]; space-valued functions return **pages** (real
+//! valued — the integer maximizations that consume them do the rounding).
+
+use trijoin_common::SystemParams;
+
+use crate::math::{lg, ln_gamma, ln_quicksort_factor};
+
+/// `CPU_s(n)`: average-case quicksort of `n` tuples on a plain key
+/// (Knuth): `2(n+1)ln((n+1)/11)·comp + (2/3)(n+1)ln((n+1)/11)·move`.
+pub fn cpu_sort(n: f64, p: &SystemParams) -> f64 {
+    if n <= 1.0 {
+        return 0.0;
+    }
+    let l = ln_quicksort_factor(n);
+    ((2.0 * (n + 1.0) * l) * p.comp_us + (2.0 / 3.0) * (n + 1.0) * l * p.move_us) / 1e6
+}
+
+/// `CPU_s(n)` when the sort key must be hashed: each comparison costs
+/// `comp + 2·hash`.
+pub fn cpu_sort_hashed(n: f64, p: &SystemParams) -> f64 {
+    if n <= 1.0 {
+        return 0.0;
+    }
+    let l = ln_quicksort_factor(n);
+    ((2.0 * (n + 1.0) * l) * (p.comp_us + 2.0 * p.hash_us)
+        + (2.0 / 3.0) * (n + 1.0) * l * p.move_us)
+        / 1e6
+}
+
+/// `SPACE_q(n)`: overhead pages to quicksort `n` in-memory items:
+/// `2·sptr·lg(n)/P`.
+pub fn space_quicksort(n: f64, p: &SystemParams) -> f64 {
+    2.0 * p.sptr as f64 * lg(n) / p.page_size as f64
+}
+
+/// `CPU_mrg(n, z)`: heap-merge `n` items through a heap of size `z`
+/// (Knuth): `((2n−1)lg z − 3.042n)·comp + (n·lg z + 1.13n + n/2 − 4)·move`,
+/// clamped at zero (the closed forms go negative for tiny z).
+pub fn cpu_merge(n: f64, z: f64, p: &SystemParams) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let comps = ((2.0 * n - 1.0) * lg(z) - 3.042 * n).max(0.0);
+    let moves = (n * lg(z) + 1.13 * n + n / 2.0 - 4.0).max(0.0);
+    (comps * p.comp_us + moves * p.move_us) / 1e6
+}
+
+/// `CPU_mrg(n, z)` with hashed merge keys (`comp + 2·hash` per comparison).
+pub fn cpu_merge_hashed(n: f64, z: f64, p: &SystemParams) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let comps = ((2.0 * n - 1.0) * lg(z) - 3.042 * n).max(0.0);
+    let moves = (n * lg(z) + 1.13 * n + n / 2.0 - 4.0).max(0.0);
+    (comps * (p.comp_us + 2.0 * p.hash_us) + moves * p.move_us) / 1e6
+}
+
+/// `SPACE_mrg(z, s)`: pages for a heap of `z` items of size `s`:
+/// `z·(s + sptr)/P`.
+pub fn space_merge(z: f64, item_bytes: f64, p: &SystemParams) -> f64 {
+    z * (item_bytes + p.sptr as f64) / p.page_size as f64
+}
+
+/// Yao's formula \[27\]: expected pages touched when fetching `k` records
+/// randomly chosen among `n` records stored in `m` pages, each page read
+/// at most once:
+///
+/// `Yao(k, m, n) = m · [1 − C(n − n/m, k) / C(n, k)]`
+///
+/// evaluated in log space; the real-valued `n/m` the paper's call sites
+/// produce is handled by the gamma generalization of the binomial.
+pub fn yao(k: f64, m: f64, n: f64) -> f64 {
+    if k <= 0.0 || m <= 0.0 || n <= 0.0 {
+        return 0.0;
+    }
+    let m_eff = m.min(n); // cannot have more (useful) pages than records
+    if k >= n {
+        return m_eff;
+    }
+    let d = n / m_eff; // records per page
+    let reduced = n - d; // records outside one page
+    if k > reduced {
+        return m_eff;
+    }
+    // ln [ C(reduced, k) / C(n, k) ]
+    //  = lnΓ(reduced+1) − lnΓ(reduced−k+1) − lnΓ(n+1) + lnΓ(n−k+1)
+    let ln_frac = ln_gamma(reduced + 1.0) - ln_gamma(reduced - k + 1.0) - ln_gamma(n + 1.0)
+        + ln_gamma(n - k + 1.0);
+    let miss = ln_frac.exp();
+    (m_eff * (1.0 - miss)).clamp(0.0, m_eff)
+}
+
+/// `IO_ci(k, m, n)`: seconds to fetch `k` of `n` records in `m` pages via a
+/// clustered B⁺-tree (two levels of index pages, root memory-resident):
+/// `[Yao(k,m,n) + Yao(Yao(k,m,n), m/FO, m)] · IO`.
+pub fn io_clustered(k: f64, m: f64, n: f64, p: &SystemParams) -> f64 {
+    let data = yao(k, m, n);
+    let index = yao(data, m / p.fan_out as f64, m);
+    (data + index) * p.io_us / 1e6
+}
+
+/// `IO_ii(k, m, n)`: seconds to fetch `k` of `n` records in `m` pages via an
+/// inverted (non-clustered) B⁺-tree with three index levels, root resident:
+/// `[Yao(k,m,n) + Yao(k, n/FO, n) + Yao(Yao(k, n/FO, n), n/FO², n/FO)] · IO`.
+pub fn io_inverted(k: f64, m: f64, n: f64, p: &SystemParams) -> f64 {
+    let fo = p.fan_out as f64;
+    let data = yao(k, m, n);
+    let leaves = yao(k, n / fo, n);
+    let internal = yao(leaves, n / (fo * fo), n / fo);
+    (data + leaves + internal) * p.io_us / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn yao_boundary_behaviour() {
+        // k = n touches every page.
+        assert!((yao(200.0, 10.0, 200.0) - 10.0).abs() < 1e-9);
+        // k = 0 touches nothing.
+        assert_eq!(yao(0.0, 10.0, 200.0), 0.0);
+        // One record touches ~one page.
+        let one = yao(1.0, 10.0, 200.0);
+        assert!((one - 1.0).abs() < 1e-9, "yao(1) = {one}");
+        // Monotone in k.
+        let mut last = 0.0;
+        for k in 1..=50 {
+            let v = yao(k as f64, 10.0, 200.0);
+            assert!(v >= last, "yao not monotone at k={k}");
+            last = v;
+        }
+        // Never exceeds m.
+        assert!(yao(150.0, 10.0, 200.0) <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn yao_matches_exact_small_case() {
+        // n=4 records, m=2 pages (2 per page), k=2:
+        // P(page untouched) = C(2,2)/C(4,2) = 1/6; Yao = 2·(1−1/6) = 5/3.
+        let v = yao(2.0, 2.0, 4.0);
+        assert!((v - 5.0 / 3.0).abs() < 1e-9, "yao = {v}");
+    }
+
+    #[test]
+    fn yao_large_arguments_stable() {
+        // Paper-scale: 12 000 of 200 000 records in 14 286 pages.
+        let v = yao(12_000.0, 14_286.0, 200_000.0);
+        assert!(v.is_finite());
+        // Each page holds 14 records; expect most touched pages distinct
+        // but with some collisions: strictly between k·0.6 and min(k, m).
+        assert!(v > 7_000.0 && v < 12_000.0, "yao = {v}");
+        // Huge k saturates at m.
+        assert!((yao(199_999.0, 14_286.0, 200_000.0) - 14_286.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cpu_formulas_positive_and_scaling() {
+        let p = p();
+        assert_eq!(cpu_sort(0.0, &p), 0.0);
+        assert_eq!(cpu_sort(1.0, &p), 0.0);
+        let s1k = cpu_sort(1_000.0, &p);
+        let s10k = cpu_sort(10_000.0, &p);
+        assert!(s1k > 0.0 && s10k > 10.0 * s1k * 0.8, "n log n growth");
+        // Hashed sort strictly more expensive.
+        assert!(cpu_sort_hashed(1_000.0, &p) > s1k);
+        // Merge through a 1-way "heap" costs (almost) nothing in comps.
+        assert!(cpu_merge(100.0, 1.0, &p) < cpu_merge(100.0, 8.0, &p));
+        assert!(cpu_merge_hashed(100.0, 8.0, &p) > cpu_merge(100.0, 8.0, &p));
+        assert_eq!(cpu_merge(0.0, 8.0, &p), 0.0);
+    }
+
+    #[test]
+    fn space_formulas() {
+        let p = p();
+        // Quicksort overhead is well under one page at any realistic n.
+        assert!(space_quicksort(1e6, &p) < 1.0);
+        assert_eq!(space_quicksort(1.0, &p), 0.0);
+        // Merge space: 10 items of 200 bytes + 4-byte pointers = 2040/4000.
+        assert!((space_merge(10.0, 200.0, &p) - 0.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustered_access_cheaper_than_inverted() {
+        let p = p();
+        // Same k records: the inverted path adds posting-page traffic.
+        let k = 500.0;
+        let ci = io_clustered(k, 14_286.0, 200_000.0, &p);
+        let ii = io_inverted(k, 14_286.0, 200_000.0, &p);
+        assert!(ci < ii, "ci = {ci}, ii = {ii}");
+        // And both are bounded by touching every page once.
+        assert!(ii < (14_286.0 + 500.0 + 2.0) * 0.025);
+    }
+
+    #[test]
+    fn io_formulas_zero_k() {
+        let p = p();
+        assert_eq!(io_clustered(0.0, 100.0, 1000.0, &p), 0.0);
+        assert_eq!(io_inverted(0.0, 100.0, 1000.0, &p), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! §3.4 — cost of the hybrid-hash join (after DeWitt et al. \[6\]).
+
+use trijoin_common::SystemParams;
+
+use crate::inputs::Workload;
+use crate::report::{CostReport, Method, Term, TermKind};
+
+/// `B = max(0, ⌈(|R|·F − |M|)/(|M| − 1)⌉)` — partitions that spill.
+pub fn partitions(r_pages: f64, params: &SystemParams) -> f64 {
+    let m = params.mem_pages as f64;
+    (((r_pages * params.hash_overhead - m) / (m - 1.0)).ceil()).max(0.0)
+}
+
+/// `q = |R0|/|R|` with `|R0| = (|M| − B)/F` — the fraction processed
+/// entirely in the first pass.
+pub fn first_pass_fraction(r_pages: f64, params: &SystemParams) -> f64 {
+    if r_pages <= 0.0 {
+        return 1.0;
+    }
+    let b = partitions(r_pages, params);
+    let r0 = ((params.mem_pages as f64 - b) / params.hash_overhead).max(0.0);
+    (r0 / r_pages).min(1.0)
+}
+
+/// The full §3.4 cost model:
+///
+/// `C = (|R|+|S|)·IO + (‖R‖+‖S‖)·hash + (‖R‖+‖S‖)(1−q)·move
+///    + (|R|+|S|)(1−q)·IO + (‖R‖+‖S‖)(1−q)·hash + ‖S‖·F·comp
+///    + ‖R‖·move + (|R|+|S|)(1−q)·IO`.
+pub fn cost(params: &SystemParams, w: &Workload) -> CostReport {
+    let d = w.derived(params);
+    let io = params.io_us / 1e6;
+    let comp = params.comp_us / 1e6;
+    let mv = params.move_us / 1e6;
+    let hash = params.hash_us / 1e6;
+    let pages = d.r_pages + d.s_pages;
+    let tuples = w.r_tuples + w.s_tuples;
+    let q = first_pass_fraction(d.r_pages, params);
+    let spill = 1.0 - q;
+
+    let terms = vec![
+        Term { name: "read R and S", secs: pages * io, kind: TermKind::BaseFile },
+        Term { name: "hash all tuples (pass 0)", secs: tuples * hash, kind: TermKind::BaseInternal },
+        Term {
+            name: "move spilled tuples to output buffers",
+            secs: tuples * spill * mv,
+            kind: TermKind::BaseInternal,
+        },
+        Term { name: "write spilled partitions", secs: pages * spill * io, kind: TermKind::BaseFile },
+        Term {
+            name: "re-hash spilled tuples",
+            secs: tuples * spill * hash,
+            kind: TermKind::BaseInternal,
+        },
+        Term { name: "probe comparisons", secs: w.s_tuples * params.hash_overhead * comp, kind: TermKind::BaseInternal },
+        Term { name: "move R tuples into tables", secs: w.r_tuples * mv, kind: TermKind::BaseInternal },
+        Term {
+            name: "read spilled partitions back",
+            secs: pages * spill * io,
+            kind: TermKind::BaseFile,
+        },
+    ];
+    CostReport { method: Method::HybridHash, terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::Workload;
+
+    fn p() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn paper_scale_constants() {
+        assert_eq!(partitions(14_286.0, &p()), 17.0);
+        let q = first_pass_fraction(14_286.0, &p());
+        assert!((q - 0.0573).abs() < 0.001, "q = {q}");
+        // Memory-resident case.
+        assert_eq!(partitions(500.0, &p()), 0.0);
+        assert!((first_pass_fraction(500.0, &p()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_matches_hand_computation() {
+        let w = Workload::paper_point(0.01, 0.0, 0.1);
+        let r = cost(&p(), &w);
+        // IO part: 28572·(1 + 2·(1−q))·25 ms with q ≈ 0.0573.
+        let q = first_pass_fraction(14_286.0, &p());
+        let want_io = 28_572.0 * (1.0 + 2.0 * (1.0 - q)) * 0.025;
+        assert!((r.base_file() - want_io).abs() < 1.0, "{} vs {want_io}", r.base_file());
+        // Total around half an hour of 1989 time.
+        assert!(r.total() > 1_900.0 && r.total() < 2_300.0, "total = {}", r.total());
+    }
+
+    #[test]
+    fn cost_is_selectivity_invariant_but_size_sensitive() {
+        let a = cost(&p(), &Workload::figure4_point(0.001, 0.06));
+        let b = cost(&p(), &Workload::figure4_point(0.5, 0.06));
+        assert!((a.total() - b.total()).abs() < 1e-9, "HH ignores selectivity");
+        let mut big = Workload::figure4_point(0.01, 0.06);
+        big.r_tuples *= 2.0;
+        let c = cost(&p(), &big);
+        assert!(c.total() > 1.4 * a.total(), "HH scales with relation size");
+    }
+
+    #[test]
+    fn internal_cost_is_about_one_percent() {
+        // The paper: hash-join internal costs ≈ 1% of total.
+        let r = cost(&p(), &Workload::figure5_point(0.01));
+        let dark = r.update_and_internal();
+        assert!(
+            dark > 0.002 * r.total() && dark < 0.03 * r.total(),
+            "dark fraction = {}",
+            dark / r.total()
+        );
+    }
+
+    #[test]
+    fn memory_only_helps_when_very_large() {
+        let w = Workload::figure4_point(0.01, 0.06);
+        let m1 = cost(&SystemParams { mem_pages: 1_000, ..p() }, &w).total();
+        let m4 = cost(&SystemParams { mem_pages: 4_000, ..p() }, &w).total();
+        let m20 = cost(&SystemParams { mem_pages: 20_000, ..p() }, &w).total();
+        // 1K -> 4K barely moves the needle; 20K (≈ |R|·F) collapses to one pass.
+        assert!((m1 - m4) / m1 < 0.25);
+        assert!(m20 < 0.55 * m1, "m20 = {m20}, m1 = {m1}");
+    }
+}

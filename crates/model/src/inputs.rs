@@ -1,0 +1,172 @@
+//! Workload parameters (the database-dependent half of Table 6) and
+//! derived sizes.
+
+use trijoin_common::{JiEntry, SystemParams};
+
+/// Database-dependent parameters of one analyzed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// `‖R‖` — tuples in R.
+    pub r_tuples: f64,
+    /// `‖S‖` — tuples in S.
+    pub s_tuples: f64,
+    /// `T_R` — bytes per R tuple.
+    pub tr: f64,
+    /// `T_S` — bytes per S tuple.
+    pub ts: f64,
+    /// `SR` — semijoin selectivity `‖R ⋉ S‖/‖R‖`.
+    pub sr: f64,
+    /// `SS` — semijoin selectivity `‖S ⋉ R‖/‖S‖`.
+    pub ss: f64,
+    /// `JS` — join selectivity `‖R ⋈ S‖/(‖R‖·‖S‖)`.
+    pub js: f64,
+    /// `Pr_A` — probability an update modifies the join attribute.
+    pub pra: f64,
+    /// `‖iR‖ = ‖dR‖` — updates to R deferred since the last query.
+    pub updates: f64,
+}
+
+impl Workload {
+    /// A point of the Figure 4/5/6 parameter family: `‖R‖ = ‖S‖ = 200 000`,
+    /// `T_R = T_S = 200`, `SS = SR`, `JS = 100·SR/‖R‖`, with the given
+    /// semijoin selectivity and update count.
+    pub fn paper_point(sr: f64, updates: f64, pra: f64) -> Self {
+        let r_tuples = 200_000.0;
+        Workload {
+            r_tuples,
+            s_tuples: 200_000.0,
+            tr: 200.0,
+            ts: 200.0,
+            sr,
+            ss: sr,
+            js: 100.0 * sr / r_tuples,
+            pra,
+            updates,
+        }
+    }
+
+    /// Figure 4 axes: update *activity* is `‖iR‖/‖R‖` (1% – 100%), `Pr_A`
+    /// fixed at 0.1.
+    pub fn figure4_point(sr: f64, activity: f64) -> Self {
+        let mut w = Self::paper_point(sr, 0.0, 0.1);
+        w.updates = activity * w.r_tuples;
+        w
+    }
+
+    /// Figure 5 points: update activity fixed at 6%.
+    pub fn figure5_point(sr: f64) -> Self {
+        Self::figure4_point(sr, 0.06)
+    }
+
+    /// Figure 6 points: `‖iR‖ = 6000` fixed, memory is swept externally.
+    pub fn figure6_point(sr: f64) -> Self {
+        Self::paper_point(sr, 6_000.0, 0.1)
+    }
+
+    /// Derived sizes under `params`.
+    pub fn derived(&self, params: &SystemParams) -> Derived {
+        let n_r = params.tuples_per_page(self.tr as usize) as f64;
+        let n_s = params.tuples_per_page(self.ts as usize) as f64;
+        let tv = self.tr + self.ts;
+        let n_v = params.tuples_per_page(tv as usize) as f64;
+        let n_ji = params.tuples_per_page(JiEntry::BYTES) as f64;
+        // Differential files are working files, packed fully.
+        let n_ir = params.tuples_per_full_page(self.tr as usize) as f64;
+        let join_tuples = self.js * self.r_tuples * self.s_tuples;
+        Derived {
+            n_r,
+            n_s,
+            n_v,
+            n_ji,
+            n_ir,
+            r_pages: (self.r_tuples / n_r).ceil(),
+            s_pages: (self.s_tuples / n_s).ceil(),
+            join_tuples,
+            v_pages: (join_tuples / n_v).ceil(),
+            ji_pages: (join_tuples / n_ji).ceil().max(1.0),
+            ir_pages: (self.updates / n_ir).ceil(),
+            tv,
+        }
+    }
+}
+
+/// Page-level quantities derived from a [`Workload`] and [`SystemParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derived {
+    /// Tuples per page of R (`n_R`).
+    pub n_r: f64,
+    /// Tuples per page of S (`n_S`).
+    pub n_s: f64,
+    /// Tuples per page of the view (`n_V`).
+    pub n_v: f64,
+    /// Entries per page of the join index (`n_JI`).
+    pub n_ji: f64,
+    /// Tuples per page of the differential files (`n_iR`, full packing).
+    pub n_ir: f64,
+    /// `|R|` pages.
+    pub r_pages: f64,
+    /// `|S|` pages.
+    pub s_pages: f64,
+    /// `‖R ⋈ S‖ = ‖V‖ = ‖JI‖` tuples.
+    pub join_tuples: f64,
+    /// `|V|` pages (before the `F` hashing overhead).
+    pub v_pages: f64,
+    /// `|JI|` pages.
+    pub ji_pages: f64,
+    /// `|iR| = |dR|` pages.
+    pub ir_pages: f64,
+    /// `T_V = T_R + T_S` bytes.
+    pub tv: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_relationships() {
+        let w = Workload::figure4_point(0.01, 0.06);
+        assert_eq!(w.r_tuples, 200_000.0);
+        assert_eq!(w.ss, w.sr);
+        // "when SR = 0.01 the resulting join relation has the same
+        // cardinality as an operand relation"
+        let d = w.derived(&SystemParams::paper_defaults());
+        assert!((d.join_tuples - 200_000.0).abs() < 1e-6);
+        assert!((w.updates - 12_000.0).abs() < 1e-9);
+        assert!((w.pra - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_table7_sizes() {
+        let p = SystemParams::paper_defaults();
+        let d = Workload::paper_point(0.01, 12_000.0, 0.1).derived(&p);
+        assert_eq!(d.n_r, 14.0);
+        assert_eq!(d.n_s, 14.0);
+        assert_eq!(d.n_v, 7.0);
+        assert_eq!(d.n_ji, 350.0);
+        assert_eq!(d.n_ir, 20.0);
+        assert_eq!(d.r_pages, 14_286.0);
+        assert_eq!(d.s_pages, 14_286.0);
+        // ‖V‖ = 200k -> |V| = ceil(200000/7) = 28572, |JI| = 572.
+        assert_eq!(d.v_pages, 28_572.0);
+        assert_eq!(d.ji_pages, 572.0);
+        assert_eq!(d.ir_pages, 600.0);
+        assert_eq!(d.tv, 400.0);
+    }
+
+    #[test]
+    fn selectivity_scales_join_sizes() {
+        let p = SystemParams::paper_defaults();
+        let lo = Workload::figure5_point(0.001).derived(&p);
+        let hi = Workload::figure5_point(0.1).derived(&p);
+        assert!((hi.join_tuples / lo.join_tuples - 100.0).abs() < 1e-6);
+        assert!(hi.v_pages > 99.0 * lo.v_pages && hi.v_pages < 101.0 * lo.v_pages);
+    }
+
+    #[test]
+    fn zero_updates_zero_ir_pages() {
+        let p = SystemParams::paper_defaults();
+        let d = Workload::paper_point(0.01, 0.0, 0.1).derived(&p);
+        assert_eq!(d.ir_pages, 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! §3.2 — cost of the materialized view with deferred updates.
+
+use trijoin_common::SystemParams;
+
+use crate::formulas::{
+    cpu_merge_hashed, cpu_sort, cpu_sort_hashed, io_inverted, space_merge, space_quicksort, yao,
+};
+use crate::inputs::{Derived, Workload};
+use crate::report::{CostReport, Method, Term, TermKind};
+
+/// Memory-layout solution for the differential logger (Figure 1): the
+/// largest `Z` with `2·Z + SPACE_q(Z·n_iR) ≤ |M|`.
+pub fn z_pages(params: &SystemParams, n_ir: f64) -> f64 {
+    let m = params.mem_pages as f64;
+    // SPACE_q is logarithmic (well under a page); two fixpoint rounds.
+    let mut z = ((m - 1.0) / 2.0).floor().max(1.0);
+    for _ in 0..3 {
+        z = ((m - space_quicksort(z * n_ir, params)) / 2.0).floor().max(1.0);
+    }
+    z
+}
+
+/// Number of sorted runs produced per differential set (Figure 1):
+/// `f = ⌊|iR|/Z⌋` full sorts plus `p = ⌈(|iR| − f·Z)/Z⌉` partial sorts.
+pub fn n1_runs(ir_pages: f64, z: f64) -> (f64, f64, f64) {
+    if ir_pages <= 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let f = (ir_pages / z).floor();
+    let p = ((ir_pages - f * z) / z).ceil().clamp(0.0, 1.0);
+    (f, p, f + p)
+}
+
+/// Memory-layout solution for the join passes (Figure 2): the largest `w`
+/// with `w + w·n_iR·‖S‖·JS·(T_R+T_S)/P + 2·SPACE_mrg(N1, T_R) +
+/// max(SPACE_q(w·n_iR), SPACE_q(w·n_iR·‖S‖·JS)) ≤ |M| − 2·N1 − 3`.
+pub fn wr_pages(params: &SystemParams, w: &Workload, d: &Derived, n1: f64) -> f64 {
+    let m = params.mem_pages as f64;
+    let avail = m - 2.0 * n1 - 3.0;
+    if avail < 2.0 {
+        return 1.0;
+    }
+    let p = params.page_size as f64;
+    let per_w = 1.0 + d.n_ir * w.s_tuples * w.js * d.tv / p;
+    let fixed = 2.0 * space_merge(n1, w.tr, params);
+    // SPACE_q is logarithmic; evaluate at the upper bound.
+    let approx = ((avail - fixed) / per_w).max(1.0);
+    let sq = space_quicksort(approx * d.n_ir, params)
+        .max(space_quicksort(approx * d.n_ir * w.s_tuples * w.js, params));
+    (((avail - fixed - sq) / per_w).floor()).max(1.0)
+}
+
+/// The full §3.2 cost model.
+pub fn cost(params: &SystemParams, w: &Workload) -> CostReport {
+    let d = w.derived(params);
+    let io = params.io_us / 1e6;
+    let comp = params.comp_us / 1e6;
+    let mv = params.move_us / 1e6;
+    let f_ov = params.hash_overhead;
+    let mut terms: Vec<Term> = Vec::new();
+    let upd = |name: &'static str, secs: f64, terms: &mut Vec<Term>| {
+        terms.push(Term { name, secs, kind: TermKind::Update });
+    };
+
+    // ---- (1) maintaining iR and dR -----------------------------------
+    let z = z_pages(params, d.n_ir);
+    let (f_runs, p_runs, n1) = n1_runs(d.ir_pages, z);
+    upd(
+        "C1.1 log + write differentials",
+        (w.updates * 2.0) * mv + (d.ir_pages * 2.0) * io,
+        &mut terms,
+    );
+    upd("C1.2 read differentials back", (d.ir_pages * 2.0) * io, &mut terms);
+    let leftover = (w.updates - f_runs * z * d.n_ir).max(0.0);
+    upd(
+        "C1.3 sort runs by hash(A)",
+        2.0 * f_runs * cpu_sort_hashed(z * d.n_ir, params)
+            + 2.0 * p_runs * cpu_sort_hashed(leftover, params),
+        &mut terms,
+    );
+    upd(
+        "C1.4 merge runs",
+        cpu_merge_hashed(w.updates, n1, params) + cpu_merge_hashed(w.updates, n1, params),
+        &mut terms,
+    );
+
+    // ---- (2) compute iR ⋈ S ------------------------------------------
+    // The paper prices N2 identical passes of |W_R| pages (its operating
+    // points have |iR| >> |W_R|, so the residual pass is negligible). We
+    // price the residual pass at its actual size so the model stays
+    // monotone in memory outside that regime too.
+    let wr = wr_pages(params, w, &d, n1).min(d.ir_pages.max(1.0));
+    if d.ir_pages > 0.0 {
+        let full = (d.ir_pages / wr).floor();
+        let residual_pages = d.ir_pages - full * wr;
+        let mut c21 = 0.0;
+        let mut c22 = 0.0;
+        let mut c23 = 0.0;
+        let pass = |pages: f64, count: f64, c21: &mut f64, c22: &mut f64, c23: &mut f64| {
+            if pages <= 0.0 || count <= 0.0 {
+                return;
+            }
+            let wr_tuples = (pages * d.n_ir).min(w.updates.max(1.0));
+            let k = w.sr * wr_tuples;
+            *c21 += count * cpu_sort(wr_tuples, params);
+            *c22 += count
+                * (io_inverted(k, d.s_pages, w.s_tuples, params)
+                    + yao(k, d.s_pages, w.s_tuples) * d.n_s * comp
+                    + wr_tuples * w.s_tuples * w.js * mv);
+            *c23 += count * cpu_sort_hashed(wr_tuples * w.s_tuples * w.js, params);
+        };
+        pass(wr, full, &mut c21, &mut c22, &mut c23);
+        pass(residual_pages, 1.0, &mut c21, &mut c22, &mut c23);
+        upd("C2.1 sort W_R on A (per pass)", c21, &mut terms);
+        upd("C2.2 probe S via inverted index (per pass)", c22, &mut terms);
+        upd("C2.3 sort W_R ⋈ S by hash(A) (per pass)", c23, &mut terms);
+    }
+
+    // ---- (3)/(4) update the view on the fly while reading it ----------
+    terms.push(Term {
+        name: "C3.1 read whole view",
+        secs: f_ov * d.v_pages * io,
+        kind: TermKind::BaseFile,
+    });
+    let groups = (w.updates * 2.0) * w.sr;
+    let changed = yao(groups, f_ov * d.v_pages, d.join_tuples);
+    upd("C3.2 write changed view pages", f_ov * changed * io, &mut terms);
+    upd(
+        "C3.3 merge differentials into view",
+        ((w.updates * 2.0) * w.s_tuples * w.js + d.join_tuples) * comp
+            + f_ov * changed * d.n_v * mv,
+        &mut terms,
+    );
+
+    CostReport { method: Method::MaterializedView, terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SystemParams {
+        SystemParams::paper_defaults()
+    }
+
+    #[test]
+    fn z_is_about_half_of_memory() {
+        let z = z_pages(&p(), 20.0);
+        assert!((490.0..=500.0).contains(&z), "Z = {z}");
+    }
+
+    #[test]
+    fn n1_run_counts() {
+        // 858 differential pages through Z=499: one full + one partial run.
+        let (f, pp, n1) = n1_runs(858.0, 499.0);
+        assert_eq!((f, pp, n1), (1.0, 1.0, 2.0));
+        let (f, pp, n1) = n1_runs(400.0, 499.0);
+        assert_eq!((f, pp, n1), (0.0, 1.0, 1.0));
+        assert_eq!(n1_runs(0.0, 499.0), (0.0, 0.0, 0.0));
+        // Exact multiple: no partial run.
+        let (f, pp, n1) = n1_runs(998.0, 499.0);
+        assert_eq!((f, pp, n1), (2.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn no_updates_means_pure_view_read() {
+        let w = Workload::paper_point(0.01, 0.0, 0.1);
+        let r = cost(&p(), &w);
+        // C3.1 = F·|V|·IO = 1.2 · 28572 · 25 ms ≈ 857 s.
+        let read = r.term("C3.1");
+        assert!((read - 1.2 * 28_572.0 * 0.025).abs() < 1e-6);
+        // With zero updates everything except C3.1 and the residual ‖V‖
+        // merge comparisons vanishes.
+        let dark = r.update_and_internal();
+        assert!(dark < 0.01 * r.total() + 1.0, "dark = {dark}");
+        assert!(r.total() < read + 1.0);
+    }
+
+    #[test]
+    fn six_percent_activity_at_sr_001_matches_hand_computation() {
+        let w = Workload::figure5_point(0.01);
+        let r = cost(&p(), &w);
+        // C1.1: 24 000 moves + 1200 page writes = 0.48 + 30 s = 30.48 s.
+        assert!((r.term("C1.1") - (24_000.0 * 20e-6 + 1_200.0 * 0.025)).abs() < 1e-6);
+        // C1.2 = 1200 reads = 30 s.
+        assert!((r.term("C1.2") - 30.0).abs() < 1e-9);
+        // Total is view-read dominated at this point.
+        assert!(r.term("C3.1") > 0.5 * r.total());
+        assert!(r.total() > r.term("C3.1"));
+    }
+
+    #[test]
+    fn update_cost_grows_with_activity() {
+        let lo = cost(&p(), &Workload::figure4_point(0.01, 0.01));
+        let hi = cost(&p(), &Workload::figure4_point(0.01, 0.5));
+        assert!(hi.total() > lo.total());
+        assert!(hi.update_and_internal() > 10.0 * lo.update_and_internal() * 0.5);
+        // The base file cost (reading V) does not change with activity.
+        assert!((hi.base_file() - lo.base_file()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn view_read_dominates_at_high_selectivity() {
+        let r = cost(&p(), &Workload::figure4_point(0.5, 0.06));
+        // ‖V‖ = 100·0.5·200000 = 10M tuples; reading it is the story.
+        assert!(r.term("C3.1") > 0.8 * r.total());
+    }
+
+    #[test]
+    fn wr_shrinks_with_more_partners() {
+        let p = p();
+        let w_small = Workload::paper_point(0.001, 6_000.0, 0.1);
+        let w_big = Workload::paper_point(0.5, 6_000.0, 0.1);
+        let d_small = w_small.derived(&p);
+        let d_big = w_big.derived(&p);
+        let wr_small = wr_pages(&p, &w_small, &d_small, 2.0);
+        let wr_big = wr_pages(&p, &w_big, &d_big, 2.0);
+        assert!(wr_big < wr_small, "more join partners ⇒ smaller batches");
+        assert!(wr_big >= 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cost reports: named terms with the Figure 5 classification.
+
+/// Which method a report prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// §3.2 — materialized view with deferred updates.
+    MaterializedView,
+    /// §3.3 — join index with deferred updates.
+    JoinIndex,
+    /// §3.4 — hybrid-hash join.
+    HybridHash,
+}
+
+impl Method {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::MaterializedView => "materialized-view",
+            Method::JoinIndex => "join-index",
+            Method::HybridHash => "hybrid-hash",
+        }
+    }
+
+    /// All three methods, in the paper's presentation order.
+    pub fn all() -> [Method; 3] {
+        [Method::MaterializedView, Method::JoinIndex, Method::HybridHash]
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Figure 5's two-way split: the *white* area is the non-update-related
+/// file cost of the basic algorithm; the *dark* area is update processing
+/// plus non-update internal processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermKind {
+    /// Non-update-related file (I/O) cost of the basic algorithm.
+    BaseFile,
+    /// Non-update-related internal (CPU) cost of the basic algorithm.
+    BaseInternal,
+    /// Cost attributable to supporting updates.
+    Update,
+}
+
+/// One named cost term (e.g. `"C3.1 read view"`).
+#[derive(Debug, Clone)]
+pub struct Term {
+    /// Equation label + description.
+    pub name: &'static str,
+    /// Seconds of simulated time.
+    pub secs: f64,
+    /// Figure 5 classification.
+    pub kind: TermKind,
+}
+
+/// A full cost report for one method at one parameter point.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// The method priced.
+    pub method: Method,
+    /// Every cost term, in equation order.
+    pub terms: Vec<Term>,
+}
+
+impl CostReport {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.terms.iter().map(|t| t.secs).sum()
+    }
+
+    /// Figure 5's white area: non-update file cost of the basic algorithm.
+    pub fn base_file(&self) -> f64 {
+        self.terms
+            .iter()
+            .filter(|t| t.kind == TermKind::BaseFile)
+            .map(|t| t.secs)
+            .sum()
+    }
+
+    /// Figure 5's dark area: update costs + non-update internal costs.
+    pub fn update_and_internal(&self) -> f64 {
+        self.total() - self.base_file()
+    }
+
+    /// Look up one term by its equation label prefix (e.g. `"C3.1"`).
+    pub fn term(&self, prefix: &str) -> f64 {
+        self.terms
+            .iter()
+            .filter(|t| t.name.starts_with(prefix))
+            .map(|t| t.secs)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accounting() {
+        let r = CostReport {
+            method: Method::MaterializedView,
+            terms: vec![
+                Term { name: "C1 log", secs: 2.0, kind: TermKind::Update },
+                Term { name: "C3.1 read view", secs: 10.0, kind: TermKind::BaseFile },
+                Term { name: "C3.3 merge", secs: 1.0, kind: TermKind::BaseInternal },
+            ],
+        };
+        assert!((r.total() - 13.0).abs() < 1e-12);
+        assert!((r.base_file() - 10.0).abs() < 1e-12);
+        assert!((r.update_and_internal() - 3.0).abs() < 1e-12);
+        assert!((r.term("C3") - 11.0).abs() < 1e-12);
+        assert_eq!(Method::all().len(), 3);
+        assert_eq!(Method::HybridHash.to_string(), "hybrid-hash");
+    }
+}

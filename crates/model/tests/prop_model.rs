@@ -1,0 +1,118 @@
+//! Property-based tests of the analytical model: numeric stability and
+//! the monotone responses the paper's conclusions rest on, over random
+//! parameter points (not just the Table 7 grid).
+
+use proptest::prelude::*;
+
+use trijoin_common::SystemParams;
+use trijoin_model::formulas::yao;
+use trijoin_model::{all_costs, hh, ji, mv, Workload};
+
+fn workloads() -> impl Strategy<Value = Workload> {
+    (
+        1_000.0f64..500_000.0, // r tuples
+        1_000.0f64..500_000.0, // s tuples
+        1e-4f64..1.0,          // sr
+        0.0f64..1.0,           // pra
+        0.0f64..1.0,           // activity
+        1.0f64..500.0,         // partners per matching tuple
+    )
+        .prop_map(|(r, s, sr, pra, act, partners)| Workload {
+            r_tuples: r,
+            s_tuples: s,
+            tr: 200.0,
+            ts: 200.0,
+            sr,
+            ss: sr,
+            js: (partners * sr / s).min(1.0),
+            pra,
+            updates: (act * r).round(),
+        })
+}
+
+fn params() -> impl Strategy<Value = SystemParams> {
+    (100usize..50_000).prop_map(|m| SystemParams { mem_pages: m, ..SystemParams::paper_defaults() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn yao_is_bounded_and_monotone(
+        k1 in 0.0f64..1e6, k2 in 0.0f64..1e6,
+        m in 1.0f64..1e5, n in 1.0f64..1e6,
+    ) {
+        prop_assume!(m <= n);
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        let y_lo = yao(lo, m, n);
+        let y_hi = yao(hi, m, n);
+        prop_assert!(y_lo.is_finite() && y_hi.is_finite());
+        prop_assert!(y_lo >= 0.0 && y_hi <= m + 1e-9, "bounds: {y_lo} {y_hi} m={m}");
+        prop_assert!(y_lo <= y_hi + 1e-9, "monotone in k: yao({lo})={y_lo} > yao({hi})={y_hi}");
+        // Fetching everything touches everything.
+        prop_assert!((yao(n, m, n) - m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_costs_are_finite_and_positive(w in workloads(), p in params()) {
+        for report in all_costs(&p, &w) {
+            let total = report.total();
+            prop_assert!(total.is_finite(), "{}: total not finite", report.method);
+            prop_assert!(total > 0.0, "{}: total = {total}", report.method);
+            prop_assert!(report.base_file() >= 0.0);
+            prop_assert!(report.update_and_internal() >= -1e-9);
+            for term in &report.terms {
+                prop_assert!(
+                    term.secs.is_finite() && term.secs >= -1e-9,
+                    "{}: term {} = {}",
+                    report.method,
+                    term.name,
+                    term.secs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conclusion_monotonicities(w in workloads(), p in params()) {
+        // MV is Pr_A-invariant.
+        let mut w2 = w.clone();
+        w2.pra = (w.pra + 0.37) % 1.0;
+        prop_assert!((mv::cost(&p, &w).total() - mv::cost(&p, &w2).total()).abs() < 1e-6);
+        // HH ignores updates and Pr_A entirely.
+        let mut w3 = w.clone();
+        w3.updates = (w.updates + 12_345.0).min(w.r_tuples);
+        w3.pra = (w.pra + 0.5) % 1.0;
+        prop_assert!((hh::cost(&p, &w).total() - hh::cost(&p, &w3).total()).abs() < 1e-6);
+        // More updates never make MV or JI meaningfully cheaper, and higher
+        // Pr_A never makes JI meaningfully cheaper. (Strict monotonicity
+        // does not hold to the last digit: the integer pass-budget
+        // maximizations |W_R|/|JI_k| step at boundaries, and Yao is
+        // sub-additive across pass splits — allow 2%.)
+        let mut w4 = w.clone();
+        w4.updates = w.updates * 2.0 + 100.0;
+        prop_assert!(mv::cost(&p, &w4).total() * 1.02 + 1e-6 >= mv::cost(&p, &w).total());
+        prop_assert!(ji::cost(&p, &w4).total() * 1.02 + 1e-6 >= ji::cost(&p, &w).total());
+        let mut w5 = w.clone();
+        w5.pra = (w.pra + 1.0) / 2.0; // strictly >= original
+        prop_assert!(ji::cost(&p, &w5).total() * 1.02 + 1e-6 >= ji::cost(&p, &w).total());
+    }
+
+    #[test]
+    fn memory_never_hurts_much(w in workloads()) {
+        // Doubling memory must not make any method meaningfully slower
+        // (tiny regressions can come from integer boundary effects in the
+        // layout maximizations; allow 2%).
+        let small = SystemParams { mem_pages: 1_000, ..SystemParams::paper_defaults() };
+        let large = SystemParams { mem_pages: 2_000, ..SystemParams::paper_defaults() };
+        for (a, b) in all_costs(&small, &w).iter().zip(all_costs(&large, &w).iter()) {
+            prop_assert!(
+                b.total() <= a.total() * 1.02 + 1.0,
+                "{}: {} -> {} with more memory",
+                a.method,
+                a.total(),
+                b.total()
+            );
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The simulated disk.
+//!
+//! [`SimDisk`] stores pages in memory and charges one random-I/O operation
+//! into the shared [`Cost`] ledger for every page read and every page write.
+//! The paper prices sequential and random accesses identically (a single
+//! `IO = 25 ms` constant), so the disk does not model seek locality — doing
+//! so would make the engine *diverge* from the analytical model.
+//!
+//! Page allocation and file creation are free: they are bookkeeping, not
+//! device traffic; a freshly allocated page only costs when it is written.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use trijoin_common::{Cost, Error, Result, SystemParams};
+
+/// Identifier of a simulated file (a growable array of pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// Identifier of one page: a file plus a page number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    /// Owning file.
+    pub file: FileId,
+    /// Zero-based page number within the file.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Convenience constructor.
+    pub fn new(file: FileId, page: u32) -> Self {
+        PageId { file, page }
+    }
+}
+
+struct FileSlot {
+    /// `None` once deleted.
+    pages: Option<Vec<Box<[u8]>>>,
+}
+
+/// In-memory page store with paper-accurate I/O accounting.
+pub struct SimDisk {
+    files: RefCell<Vec<FileSlot>>,
+    page_size: usize,
+    cost: Cost,
+    /// Remaining charged I/Os before the next one fails (fault injection
+    /// for error-path tests); `None` = healthy.
+    fault_in: RefCell<Option<u64>>,
+}
+
+/// Shared handle to a [`SimDisk`]; the simulator is single-threaded.
+pub type Disk = Rc<SimDisk>;
+
+impl SimDisk {
+    /// Create a disk with the page size of `params`, charging into `cost`.
+    pub fn new(params: &SystemParams, cost: Cost) -> Disk {
+        Rc::new(SimDisk {
+            files: RefCell::new(Vec::new()),
+            page_size: params.page_size,
+            cost,
+            fault_in: RefCell::new(None),
+        })
+    }
+
+    /// Arrange for the charged I/O operation `after` operations from now to
+    /// fail with [`Error::Faulted`] (0 = the very next one). The fault
+    /// fires once and clears; free (resident/test) accesses don't count.
+    pub fn inject_fault(&self, after: u64) {
+        *self.fault_in.borrow_mut() = Some(after);
+    }
+
+    /// Cancel a pending injected fault.
+    pub fn clear_fault(&self) {
+        *self.fault_in.borrow_mut() = None;
+    }
+
+    /// Returns `Err(Faulted)` when the pending fault fires on this
+    /// operation; counts down otherwise.
+    fn check_fault(&self) -> Result<()> {
+        let mut fault = self.fault_in.borrow_mut();
+        match fault.as_mut() {
+            Some(0) => {
+                *fault = None;
+                Err(Error::Faulted)
+            }
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The shared cost ledger this disk charges into.
+    pub fn cost(&self) -> &Cost {
+        &self.cost
+    }
+
+    /// Create a new, empty file.
+    pub fn create_file(&self) -> FileId {
+        let mut files = self.files.borrow_mut();
+        files.push(FileSlot { pages: Some(Vec::new()) });
+        FileId((files.len() - 1) as u32)
+    }
+
+    /// Delete a file, releasing its pages. Idempotent.
+    pub fn delete_file(&self, file: FileId) {
+        if let Some(slot) = self.files.borrow_mut().get_mut(file.0 as usize) {
+            slot.pages = None;
+        }
+    }
+
+    /// Number of pages currently allocated in `file`.
+    pub fn num_pages(&self, file: FileId) -> Result<u32> {
+        let files = self.files.borrow();
+        let slot = files
+            .get(file.0 as usize)
+            .and_then(|s| s.pages.as_ref())
+            .ok_or(Error::PageNotFound { file: file.0, page: 0 })?;
+        Ok(slot.len() as u32)
+    }
+
+    /// Append a zeroed page to `file`. Free of I/O charge (bookkeeping).
+    pub fn allocate_page(&self, file: FileId) -> Result<PageId> {
+        let mut files = self.files.borrow_mut();
+        let slot = files
+            .get_mut(file.0 as usize)
+            .and_then(|s| s.pages.as_mut())
+            .ok_or(Error::PageNotFound { file: file.0, page: 0 })?;
+        slot.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(PageId { file, page: (slot.len() - 1) as u32 })
+    }
+
+    /// Read a page, charging one random I/O.
+    pub fn read_page(&self, pid: PageId) -> Result<Vec<u8>> {
+        self.check_fault()?;
+        let files = self.files.borrow();
+        let page = files
+            .get(pid.file.0 as usize)
+            .and_then(|s| s.pages.as_ref())
+            .and_then(|pages| pages.get(pid.page as usize))
+            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        self.cost.io(1);
+        Ok(page.to_vec())
+    }
+
+    /// Write a page, charging one random I/O. `data` must be exactly one
+    /// page long.
+    pub fn write_page(&self, pid: PageId, data: &[u8]) -> Result<()> {
+        if data.len() != self.page_size {
+            return Err(Error::Invariant(format!(
+                "write_page: got {} bytes, page size is {}",
+                data.len(),
+                self.page_size
+            )));
+        }
+        self.check_fault()?;
+        let mut files = self.files.borrow_mut();
+        let page = files
+            .get_mut(pid.file.0 as usize)
+            .and_then(|s| s.pages.as_mut())
+            .and_then(|pages| pages.get_mut(pid.page as usize))
+            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        page.copy_from_slice(data);
+        self.cost.io(1);
+        Ok(())
+    }
+
+    /// Allocate a page and write it in one step (single I/O charge).
+    pub fn append_page(&self, file: FileId, data: &[u8]) -> Result<PageId> {
+        let pid = self.allocate_page(file)?;
+        self.write_page(pid, data)?;
+        Ok(pid)
+    }
+
+    /// Read a page **without** charging I/O. Reserved for pages the paper
+    /// assumes permanently memory-resident (B⁺-tree roots) and for test
+    /// assertions that must not perturb the ledger.
+    pub fn read_page_free(&self, pid: PageId) -> Result<Vec<u8>> {
+        let files = self.files.borrow();
+        let page = files
+            .get(pid.file.0 as usize)
+            .and_then(|s| s.pages.as_ref())
+            .and_then(|pages| pages.get(pid.page as usize))
+            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        Ok(page.to_vec())
+    }
+
+    /// Write a page **without** charging I/O (resident pages; see
+    /// [`SimDisk::read_page_free`]).
+    pub fn write_page_free(&self, pid: PageId, data: &[u8]) -> Result<()> {
+        if data.len() != self.page_size {
+            return Err(Error::Invariant("write_page_free: wrong length".into()));
+        }
+        let mut files = self.files.borrow_mut();
+        let page = files
+            .get_mut(pid.file.0 as usize)
+            .and_then(|s| s.pages.as_mut())
+            .and_then(|pages| pages.get_mut(pid.page as usize))
+            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        page.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Total pages currently allocated across all live files (for tests and
+    /// space reporting).
+    pub fn total_pages(&self) -> u64 {
+        self.files
+            .borrow()
+            .iter()
+            .filter_map(|s| s.pages.as_ref())
+            .map(|p| p.len() as u64)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for SimDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDisk")
+            .field("page_size", &self.page_size)
+            .field("total_pages", &self.total_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> (Disk, Cost) {
+        let cost = Cost::new();
+        let params = SystemParams::paper_defaults();
+        (SimDisk::new(&params, cost.clone()), cost)
+    }
+
+    #[test]
+    fn read_write_roundtrip_charges_io() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        assert_eq!(c.total().ios, 0, "allocation is free");
+        let mut data = vec![0u8; d.page_size()];
+        data[0] = 0xAB;
+        data[3999] = 0xCD;
+        d.write_page(pid, &data).unwrap();
+        assert_eq!(c.total().ios, 1);
+        let back = d.read_page(pid).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(c.total().ios, 2);
+    }
+
+    #[test]
+    fn free_access_does_not_charge() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let data = vec![7u8; d.page_size()];
+        d.write_page_free(pid, &data).unwrap();
+        assert_eq!(d.read_page_free(pid).unwrap(), data);
+        assert_eq!(c.total().ios, 0);
+    }
+
+    #[test]
+    fn missing_pages_error() {
+        let (d, _c) = disk();
+        let f = d.create_file();
+        let missing = PageId::new(f, 5);
+        assert!(matches!(d.read_page(missing), Err(Error::PageNotFound { .. })));
+        assert!(matches!(
+            d.read_page(PageId::new(FileId(99), 0)),
+            Err(Error::PageNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_sized_write_rejected() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        assert!(d.write_page(pid, &[0u8; 10]).is_err());
+        assert_eq!(c.total().ios, 0, "failed write must not charge");
+    }
+
+    #[test]
+    fn delete_file_releases_pages() {
+        let (d, _c) = disk();
+        let f = d.create_file();
+        d.allocate_page(f).unwrap();
+        d.allocate_page(f).unwrap();
+        assert_eq!(d.total_pages(), 2);
+        d.delete_file(f);
+        assert_eq!(d.total_pages(), 0);
+        assert!(d.num_pages(f).is_err());
+        d.delete_file(f); // idempotent
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let (d, _c) = disk();
+        let f1 = d.create_file();
+        let f2 = d.create_file();
+        let p1 = d.allocate_page(f1).unwrap();
+        let p2 = d.allocate_page(f2).unwrap();
+        d.write_page(p1, &vec![1u8; d.page_size()]).unwrap();
+        d.write_page(p2, &vec![2u8; d.page_size()]).unwrap();
+        assert_eq!(d.read_page(p1).unwrap()[0], 1);
+        assert_eq!(d.read_page(p2).unwrap()[0], 2);
+        assert_eq!(d.num_pages(f1).unwrap(), 1);
+    }
+
+    #[test]
+    fn append_page_is_one_io() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        let data = vec![9u8; d.page_size()];
+        let pid = d.append_page(f, &data).unwrap();
+        assert_eq!(pid.page, 0);
+        assert_eq!(c.total().ios, 1);
+        assert_eq!(d.append_page(f, &data).unwrap().page, 1);
+    }
+}

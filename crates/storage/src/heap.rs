@@ -1,0 +1,326 @@
+//! Heap files: append-oriented record files over slotted pages.
+//!
+//! Used for base-relation storage under the clustered B⁺-tree's leaves, for
+//! sort runs, differential files (`iR`, `dR`), hash-join bucket spills, and
+//! any other sequential working file. The paper charges one `IO` per page
+//! for sequential reads and writes (its cost model has a single I/O
+//! constant); [`HeapWriter`] therefore buffers one page in memory and emits
+//! exactly one I/O per filled page, and [`HeapFile::scan`] reads each page
+//! exactly once.
+
+use trijoin_common::{Error, Result};
+
+use crate::disk::{Disk, FileId, PageId};
+use crate::page::SlottedPage;
+
+/// Stable address of a record within a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Page number within the heap file.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// An existing heap file on a [`Disk`].
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    disk: Disk,
+    file: FileId,
+}
+
+impl HeapFile {
+    /// Create a new, empty heap file.
+    pub fn create(disk: &Disk) -> Self {
+        HeapFile { disk: disk.clone(), file: disk.create_file() }
+    }
+
+    /// Wrap an existing file id as a heap file.
+    pub fn open(disk: &Disk, file: FileId) -> Self {
+        HeapFile { disk: disk.clone(), file }
+    }
+
+    /// The underlying file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> u32 {
+        self.disk.num_pages(self.file).unwrap_or(0)
+    }
+
+    /// Fetch one record (one read I/O).
+    pub fn get(&self, rid: RecordId) -> Result<Vec<u8>> {
+        let raw = self.disk.read_page(PageId::new(self.file, rid.page))?;
+        let page = SlottedPage::from_bytes(raw)?;
+        Ok(page.get(rid.slot)?.to_vec())
+    }
+
+    /// Delete one record (one read + one write I/O).
+    pub fn delete(&self, rid: RecordId) -> Result<()> {
+        let pid = PageId::new(self.file, rid.page);
+        let raw = self.disk.read_page(pid)?;
+        let mut page = SlottedPage::from_bytes(raw)?;
+        page.delete(rid.slot)?;
+        self.disk.write_page(pid, page.bytes())
+    }
+
+    /// Replace one record in place (one read + one write I/O). Fails if the
+    /// new record does not fit on the page.
+    pub fn update(&self, rid: RecordId, record: &[u8]) -> Result<()> {
+        let pid = PageId::new(self.file, rid.page);
+        let raw = self.disk.read_page(pid)?;
+        let mut page = SlottedPage::from_bytes(raw)?;
+        page.update(rid.slot, record)?;
+        self.disk.write_page(pid, page.bytes())
+    }
+
+    /// Lazily scan every live record in file order, one read I/O per page.
+    pub fn scan(&self) -> HeapScan {
+        HeapScan {
+            heap: self.clone(),
+            next_page: 0,
+            current: Vec::new(),
+            current_at: 0,
+            total_pages: self.num_pages(),
+        }
+    }
+
+    /// Drop the file's pages.
+    pub fn destroy(self) {
+        self.disk.delete_file(self.file);
+    }
+
+    /// Read one full page of records (one I/O): `(rid, bytes)` pairs.
+    pub fn read_page_records(&self, page_no: u32) -> Result<Vec<(RecordId, Vec<u8>)>> {
+        let raw = self.disk.read_page(PageId::new(self.file, page_no))?;
+        let page = SlottedPage::from_bytes(raw)?;
+        Ok(page
+            .iter()
+            .map(|(slot, rec)| (RecordId { page: page_no, slot }, rec.to_vec()))
+            .collect())
+    }
+}
+
+/// Lazy full-scan iterator over a [`HeapFile`].
+pub struct HeapScan {
+    heap: HeapFile,
+    next_page: u32,
+    current: Vec<(RecordId, Vec<u8>)>,
+    current_at: usize,
+    total_pages: u32,
+}
+
+impl Iterator for HeapScan {
+    type Item = Result<(RecordId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.current_at < self.current.len() {
+                let item = self.current[self.current_at].clone();
+                self.current_at += 1;
+                return Some(Ok(item));
+            }
+            if self.next_page >= self.total_pages {
+                return None;
+            }
+            match self.heap.read_page_records(self.next_page) {
+                Ok(records) => {
+                    self.next_page += 1;
+                    self.current = records;
+                    self.current_at = 0;
+                }
+                Err(e) => {
+                    self.next_page = self.total_pages; // stop after error
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Buffered appender: accumulates one page in memory and writes each page
+/// with exactly one I/O when it fills (or on [`HeapWriter::finish`]).
+pub struct HeapWriter {
+    disk: Disk,
+    file: FileId,
+    current: SlottedPage,
+    page_no: u32,
+    records: u64,
+}
+
+impl HeapWriter {
+    /// Start writing a brand-new heap file.
+    pub fn create(disk: &Disk) -> Self {
+        let file = disk.create_file();
+        HeapWriter {
+            disk: disk.clone(),
+            file,
+            current: SlottedPage::new(disk.page_size()),
+            page_no: 0,
+            records: 0,
+        }
+    }
+
+    /// Append a record, returning its future [`RecordId`].
+    pub fn add(&mut self, record: &[u8]) -> Result<RecordId> {
+        if !self.current.fits(record.len()) {
+            if self.current.live_count() == 0 {
+                return Err(Error::PageOverflow {
+                    needed: record.len(),
+                    available: self.disk.page_size(),
+                });
+            }
+            self.flush_current()?;
+        }
+        let slot = self.current.insert(record)?;
+        self.records += 1;
+        Ok(RecordId { page: self.page_no, slot })
+    }
+
+    /// Append a record keeping at most `per_page` records per page — used to
+    /// reproduce the paper's occupancy-based packing (`n_R` tuples/page).
+    pub fn add_with_cap(&mut self, record: &[u8], per_page: usize) -> Result<RecordId> {
+        if self.current.live_count() >= per_page {
+            self.flush_current()?;
+        }
+        self.add(record)
+    }
+
+    fn flush_current(&mut self) -> Result<()> {
+        let page = std::mem::replace(&mut self.current, SlottedPage::new(self.disk.page_size()));
+        self.disk.append_page(self.file, page.bytes())?;
+        self.page_no += 1;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flush the trailing partial page and return the finished [`HeapFile`].
+    pub fn finish(mut self) -> Result<HeapFile> {
+        if self.current.live_count() > 0 {
+            self.flush_current()?;
+        }
+        Ok(HeapFile::open(&self.disk, self.file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::SimDisk;
+    use trijoin_common::{Cost, SystemParams};
+
+    fn disk() -> (Disk, Cost) {
+        let cost = Cost::new();
+        let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+        (SimDisk::new(&params, cost.clone()), cost)
+    }
+
+    #[test]
+    fn writer_emits_one_io_per_page() {
+        let (d, c) = disk();
+        let mut w = HeapWriter::create(&d);
+        // 20-byte records + 4-byte slots: 10 per 256-byte page (header 4).
+        for i in 0..25u8 {
+            w.add(&[i; 20]).unwrap();
+        }
+        let heap = w.finish().unwrap();
+        assert_eq!(heap.num_pages(), 3);
+        assert_eq!(c.total().ios, 3, "3 page writes, no read-modify-write");
+    }
+
+    #[test]
+    fn scan_reads_each_page_once_in_order() {
+        let (d, c) = disk();
+        let mut w = HeapWriter::create(&d);
+        for i in 0..30u8 {
+            w.add(&[i; 20]).unwrap();
+        }
+        let heap = w.finish().unwrap();
+        let write_ios = c.total().ios;
+        let recs: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(recs.len(), 30);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r[0], i as u8, "scan must preserve append order");
+        }
+        assert_eq!(c.total().ios - write_ios, heap.num_pages() as u64);
+    }
+
+    #[test]
+    fn get_update_delete_roundtrip() {
+        let (d, _c) = disk();
+        let mut w = HeapWriter::create(&d);
+        let rid0 = w.add(b"first-record").unwrap();
+        let rid1 = w.add(b"second-record").unwrap();
+        let heap = w.finish().unwrap();
+        assert_eq!(heap.get(rid0).unwrap(), b"first-record");
+        heap.update(rid1, b"SECOND").unwrap();
+        assert_eq!(heap.get(rid1).unwrap(), b"SECOND");
+        heap.delete(rid0).unwrap();
+        assert!(heap.get(rid0).is_err());
+        let live: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(live, vec![b"SECOND".to_vec()]);
+    }
+
+    #[test]
+    fn per_page_cap_reproduces_occupancy_packing() {
+        let (d, _c) = disk();
+        let mut w = HeapWriter::create(&d);
+        for i in 0..10u8 {
+            w.add_with_cap(&[i; 8], 4).unwrap();
+        }
+        let heap = w.finish().unwrap();
+        assert_eq!(heap.num_pages(), 3); // 4 + 4 + 2
+        let counts: Vec<usize> = (0..3)
+            .map(|p| heap.read_page_records(p).unwrap().len())
+            .collect();
+        assert_eq!(counts, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let (d, _c) = disk();
+        let mut w = HeapWriter::create(&d);
+        assert!(w.add(&[0u8; 300]).is_err());
+        // Writer still usable afterwards.
+        w.add(&[1u8; 20]).unwrap();
+        let heap = w.finish().unwrap();
+        assert_eq!(heap.scan().count(), 1);
+    }
+
+    #[test]
+    fn empty_file_scans_empty() {
+        let (d, c) = disk();
+        let heap = HeapWriter::create(&d).finish().unwrap();
+        assert_eq!(heap.num_pages(), 0);
+        assert_eq!(heap.scan().count(), 0);
+        assert_eq!(c.total().ios, 0);
+    }
+
+    #[test]
+    fn record_ids_from_writer_are_valid_after_finish() {
+        let (d, _c) = disk();
+        let mut w = HeapWriter::create(&d);
+        let rids: Vec<RecordId> = (0..15u8).map(|i| w.add(&[i; 20]).unwrap()).collect();
+        let heap = w.finish().unwrap();
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(heap.get(*rid).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn destroy_releases_pages() {
+        let (d, _c) = disk();
+        let mut w = HeapWriter::create(&d);
+        w.add(&[1u8; 20]).unwrap();
+        let heap = w.finish().unwrap();
+        assert_eq!(d.total_pages(), 1);
+        heap.destroy();
+        assert_eq!(d.total_pages(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Storage substrate: simulated disk, slotted pages, buffer pool, heap files.
+//!
+//! The paper's evaluation is entirely in terms of *counts* of random page
+//! I/Os and CPU primitives, weighted by 1989 device constants. [`SimDisk`]
+//! is therefore an in-memory page store that charges one `IO` into the
+//! shared [`Cost`](trijoin_common::Cost) ledger for every page read or
+//! written — never a wall-clock sleep — which keeps experiments laptop-scale
+//! and perfectly deterministic while preserving exactly the quantity the
+//! paper reasons about.
+//!
+//! On top of the disk sit:
+//! * [`page::SlottedPage`] — a classic slotted page layout for
+//!   variable-length records;
+//! * [`pool::BufferPool`] — a pin-counted clock-eviction buffer pool with
+//!   support for *resident* pages (the paper assumes B⁺-tree roots are
+//!   permanently memory-resident and charges no I/O for them);
+//! * [`heap::HeapFile`] — an append-oriented record file with full scans,
+//!   used for base relations, spill runs, and differential files.
+
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod pool;
+
+pub use disk::{Disk, FileId, PageId, SimDisk};
+pub use heap::{HeapFile, RecordId};
+pub use page::SlottedPage;
+pub use pool::BufferPool;

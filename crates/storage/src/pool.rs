@@ -1,0 +1,401 @@
+//! Buffer pool with pin counts, clock eviction, and resident pages.
+//!
+//! The pool fronts the [`SimDisk`](crate::SimDisk): a hit costs nothing, a
+//! miss charges the disk's normal read I/O, and evicting a dirty frame
+//! charges a write. Pages marked *resident* (B⁺-tree roots — the paper's
+//! Appendix assumes "the root node is permanently stored in main memory")
+//! are pinned outside the frame array and never charge I/O.
+//!
+//! Access is closure-based (`with_page` / `with_page_mut`) rather than
+//! guard-based: the engine is single-threaded, and closures make the pin
+//! lifetime explicit without fighting `RefCell` borrow lifetimes. Nested
+//! access to *different* pages is fine; nested access to the *same* page is
+//! a programming error and panics with a clear message.
+
+use std::collections::HashMap;
+
+use std::cell::RefCell;
+
+use trijoin_common::{Error, Result};
+
+use crate::disk::{Disk, PageId};
+
+struct Frame {
+    pid: Option<PageId>,
+    /// Empty while lent out to a closure.
+    data: Vec<u8>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+struct Inner {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    resident: HashMap<PageId, Vec<u8>>,
+    resident_dirty: HashMap<PageId, bool>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A pin-counted clock-eviction buffer pool over a [`Disk`].
+pub struct BufferPool {
+    disk: Disk,
+    inner: RefCell<Inner>,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `disk`.
+    pub fn new(disk: Disk, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame { pid: None, data: Vec::new(), dirty: false, pins: 0, referenced: false })
+            .collect();
+        BufferPool {
+            disk,
+            inner: RefCell::new(Inner {
+                frames,
+                map: HashMap::new(),
+                hand: 0,
+                resident: HashMap::new(),
+                resident_dirty: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().frames.len()
+    }
+
+    /// `(hits, misses)` counters for tests and reporting.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.hits, inner.misses)
+    }
+
+    /// Load a page into the permanently-resident set, free of I/O charge.
+    /// Subsequent reads and writes through the pool never charge for it.
+    pub fn mark_resident(&self, pid: PageId) -> Result<()> {
+        let data = self.disk.read_page_free(pid)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.resident.insert(pid, data);
+        inner.resident_dirty.insert(pid, false);
+        Ok(())
+    }
+
+    /// Drop a page from the resident set, writing it back (free) if dirty.
+    pub fn unmark_resident(&self, pid: PageId) -> Result<()> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(data) = inner.resident.remove(&pid) {
+            if inner.resident_dirty.remove(&pid).unwrap_or(false) {
+                drop(inner);
+                self.disk.write_page_free(pid, &data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read access to a page. Hit: free. Miss: one read I/O (plus one write
+    /// I/O if a dirty frame must be evicted).
+    pub fn with_page<T>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
+        self.access(pid, false, |data| f(data))
+    }
+
+    /// Write access to a page; the frame is marked dirty and flushed to disk
+    /// on eviction or [`BufferPool::flush_all`].
+    pub fn with_page_mut<T>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> T) -> Result<T> {
+        self.access(pid, true, f)
+    }
+
+    fn access<T>(&self, pid: PageId, write: bool, f: impl FnOnce(&mut [u8]) -> T) -> Result<T> {
+        // Resident fast path: no charge either way.
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.resident.contains_key(&pid) {
+                let mut data = inner.resident.remove(&pid).unwrap();
+                drop(inner);
+                let out = f(&mut data);
+                let mut inner = self.inner.borrow_mut();
+                if write {
+                    inner.resident_dirty.insert(pid, true);
+                }
+                inner.resident.insert(pid, data);
+                return Ok(out);
+            }
+        }
+        let idx = self.fetch_frame(pid)?;
+        // Lend the data out without holding the RefCell borrow.
+        let mut data = {
+            let mut inner = self.inner.borrow_mut();
+            let frame = &mut inner.frames[idx];
+            frame.pins += 1;
+            frame.referenced = true;
+            if frame.data.is_empty() {
+                panic!("BufferPool: re-entrant access to page {pid:?}");
+            }
+            std::mem::take(&mut frame.data)
+        };
+        let out = f(&mut data);
+        let mut inner = self.inner.borrow_mut();
+        let frame = &mut inner.frames[idx];
+        debug_assert_eq!(frame.pid, Some(pid), "frame stolen while pinned");
+        frame.data = data;
+        frame.pins -= 1;
+        if write {
+            frame.dirty = true;
+        }
+        Ok(out)
+    }
+
+    /// Ensure `pid` occupies a frame; return its index.
+    fn fetch_frame(&self, pid: PageId) -> Result<usize> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(&idx) = inner.map.get(&pid) {
+                inner.hits += 1;
+                return Ok(idx);
+            }
+            inner.misses += 1;
+        }
+        let victim = self.find_victim()?;
+        // Evict the victim (flush if dirty), outside the clock loop.
+        let flush: Option<(PageId, Vec<u8>)> = {
+            let mut inner = self.inner.borrow_mut();
+            let frame = &mut inner.frames[victim];
+            let out = match (frame.pid, frame.dirty) {
+                (Some(old), true) => Some((old, std::mem::take(&mut frame.data))),
+                _ => None,
+            };
+            if let Some(old) = frame.pid.take() {
+                inner.map.remove(&old);
+            }
+            out
+        };
+        if let Some((old, data)) = flush {
+            self.disk.write_page(old, &data)?; // charges one write I/O
+        }
+        let data = self.disk.read_page(pid)?; // charges one read I/O
+        let mut inner = self.inner.borrow_mut();
+        let frame = &mut inner.frames[victim];
+        frame.pid = Some(pid);
+        frame.data = data;
+        frame.dirty = false;
+        frame.pins = 0;
+        frame.referenced = true;
+        inner.map.insert(pid, victim);
+        Ok(victim)
+    }
+
+    /// Clock sweep: skip pinned frames, clear reference bits, pick the first
+    /// unpinned unreferenced frame.
+    fn find_victim(&self) -> Result<usize> {
+        let mut inner = self.inner.borrow_mut();
+        let n = inner.frames.len();
+        // Free frame first.
+        if let Some(idx) = inner.frames.iter().position(|fr| fr.pid.is_none()) {
+            return Ok(idx);
+        }
+        for _ in 0..2 * n {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let frame = &mut inner.frames[idx];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(idx);
+        }
+        Err(Error::BufferPoolExhausted)
+    }
+
+    /// Write every dirty frame (and dirty resident page) back to disk.
+    /// Dirty frames charge one write I/O each; resident pages are free.
+    pub fn flush_all(&self) -> Result<()> {
+        let dirty: Vec<(PageId, Vec<u8>)> = {
+            let mut inner = self.inner.borrow_mut();
+            let mut out = Vec::new();
+            for frame in inner.frames.iter_mut() {
+                if let (Some(pid), true) = (frame.pid, frame.dirty) {
+                    out.push((pid, frame.data.clone()));
+                    frame.dirty = false;
+                }
+            }
+            out
+        };
+        for (pid, data) in dirty {
+            self.disk.write_page(pid, &data)?;
+        }
+        let resident: Vec<(PageId, Vec<u8>)> = {
+            let mut inner = self.inner.borrow_mut();
+            let dirty_pids: Vec<PageId> = inner
+                .resident_dirty
+                .iter()
+                .filter(|&(_, &d)| d)
+                .map(|(&p, _)| p)
+                .collect();
+            let mut out = Vec::new();
+            for pid in dirty_pids {
+                inner.resident_dirty.insert(pid, false);
+                out.push((pid, inner.resident[&pid].clone()));
+            }
+            out
+        };
+        for (pid, data) in resident {
+            self.disk.write_page_free(pid, &data)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::SimDisk;
+    use trijoin_common::{Cost, SystemParams};
+
+    fn setup(frames: usize, pages: u32) -> (Disk, BufferPool, Vec<PageId>, Cost) {
+        let cost = Cost::new();
+        let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+        let disk = SimDisk::new(&params, cost.clone());
+        let f = disk.create_file();
+        let pids: Vec<PageId> = (0..pages)
+            .map(|i| {
+                let pid = disk.allocate_page(f).unwrap();
+                disk.write_page_free(pid, &vec![i as u8; 256]).unwrap();
+                pid
+            })
+            .collect();
+        let pool = BufferPool::new(disk.clone(), frames);
+        (disk, pool, pids, cost)
+    }
+
+    #[test]
+    fn hit_is_free_miss_charges() {
+        let (_d, pool, pids, cost) = setup(4, 2);
+        pool.with_page(pids[0], |d| assert_eq!(d[0], 0)).unwrap();
+        assert_eq!(cost.total().ios, 1);
+        pool.with_page(pids[0], |d| assert_eq!(d[0], 0)).unwrap();
+        assert_eq!(cost.total().ios, 1, "hit must be free");
+        assert_eq!(pool.stats(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_flushes_dirty_frames() {
+        let (disk, pool, pids, cost) = setup(2, 3);
+        pool.with_page_mut(pids[0], |d| d[0] = 0xEE).unwrap(); // 1 read
+        pool.with_page(pids[1], |_| ()).unwrap(); // 1 read
+        // Third page evicts page 0 (dirty): one write + one read.
+        pool.with_page(pids[2], |_| ()).unwrap();
+        assert_eq!(cost.total().ios, 4);
+        assert_eq!(disk.read_page_free(pids[0]).unwrap()[0], 0xEE);
+    }
+
+    #[test]
+    fn resident_pages_are_never_charged() {
+        let (disk, pool, pids, cost) = setup(1, 3);
+        pool.mark_resident(pids[0]).unwrap();
+        for _ in 0..10 {
+            pool.with_page(pids[0], |d| assert_eq!(d[0], 0)).unwrap();
+        }
+        pool.with_page_mut(pids[0], |d| d[0] = 0x55).unwrap();
+        assert_eq!(cost.total().ios, 0);
+        pool.flush_all().unwrap();
+        assert_eq!(cost.total().ios, 0, "resident flush is free");
+        assert_eq!(disk.read_page_free(pids[0]).unwrap()[0], 0x55);
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_only() {
+        let (disk, pool, pids, cost) = setup(4, 3);
+        pool.with_page_mut(pids[0], |d| d[1] = 1).unwrap();
+        pool.with_page(pids[1], |_| ()).unwrap();
+        let before = cost.total().ios; // 2 reads
+        pool.flush_all().unwrap();
+        assert_eq!(cost.total().ios, before + 1, "only the dirty frame is written");
+        assert_eq!(disk.read_page_free(pids[0]).unwrap()[1], 1);
+        // Second flush is a no-op.
+        pool.flush_all().unwrap();
+        assert_eq!(cost.total().ios, before + 1);
+    }
+
+    #[test]
+    fn nested_access_to_different_pages_works() {
+        let (_d, pool, pids, _cost) = setup(4, 2);
+        let sum = pool
+            .with_page(pids[0], |a| {
+                let a0 = a[0];
+                pool.with_page(pids[1], |b| a0 as u32 + b[0] as u32).unwrap()
+            })
+            .unwrap();
+        assert_eq!(sum, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant")]
+    fn nested_same_page_access_panics() {
+        let (_d, pool, pids, _cost) = setup(4, 1);
+        let _ = pool.with_page(pids[0], |_| {
+            let _ = pool.with_page(pids[0], |_| ());
+        });
+    }
+
+    #[test]
+    fn clock_cycles_through_working_set_larger_than_pool() {
+        let (_d, pool, pids, _cost) = setup(2, 6);
+        // Two passes over 6 pages through a 2-frame pool: everything works,
+        // data stays correct.
+        for pass in 0..2 {
+            for (i, pid) in pids.iter().enumerate() {
+                pool.with_page(*pid, |d| assert_eq!(d[0], i as u8, "pass {pass}")).unwrap();
+            }
+        }
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits + misses, 12);
+        assert!(misses >= 10, "2-frame pool cannot hold 6 pages");
+    }
+
+    #[test]
+    fn all_frames_pinned_is_a_clean_error() {
+        let (_d, pool, pids, _cost) = setup(1, 2);
+        // Capacity 1: the outer access pins the only frame; fetching a
+        // second page must fail with BufferPoolExhausted, not panic.
+        let result = pool.with_page(pids[0], |_| pool.with_page(pids[1], |_| ()));
+        match result {
+            Ok(inner) => assert!(matches!(inner, Err(Error::BufferPoolExhausted))),
+            Err(e) => panic!("outer access failed unexpectedly: {e}"),
+        }
+        // The pool still works afterwards.
+        pool.with_page(pids[1], |d| assert_eq!(d[0], 1)).unwrap();
+    }
+
+    #[test]
+    fn unmark_resident_writes_back_dirty() {
+        let (disk, pool, pids, cost) = setup(2, 2);
+        pool.mark_resident(pids[1]).unwrap();
+        pool.with_page_mut(pids[1], |d| d[5] = 99).unwrap();
+        pool.unmark_resident(pids[1]).unwrap();
+        assert_eq!(disk.read_page_free(pids[1]).unwrap()[5], 99);
+        assert_eq!(cost.total().ios, 0);
+        // Now it is a normal page again: access charges.
+        pool.with_page(pids[1], |_| ()).unwrap();
+        assert_eq!(cost.total().ios, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! The Section 5 advisor: describe your environment, get a strategy.
+//!
+//! Walks a selection of environments (the paper's three motivating ones —
+//! procedures in extensible databases, situation monitoring in active
+//! databases, object-oriented path queries) plus the Figure 4 corner
+//! cases, and prints both the paper's heuristic recommendation and the
+//! full cost-model pick, with predicted times.
+//!
+//! Run with: `cargo run --example advisor`
+
+use trijoin::{Advisor, SystemParams, Workload};
+use trijoin_model::all_costs;
+
+struct Scenario {
+    name: &'static str,
+    description: &'static str,
+    workload: Workload,
+}
+
+fn main() {
+    let params = SystemParams::paper_defaults();
+    let advisor = Advisor::new(&params);
+
+    let scenarios = vec![
+        Scenario {
+            name: "extensible-db procedures",
+            description: "cached procedure results; moderate selectivity, \
+                          occasional updates (the Postgres use case of §1)",
+            workload: Workload::figure4_point(0.02, 0.03),
+        },
+        Scenario {
+            name: "active-db situation monitor",
+            description: "millisecond-budget condition checks over a \
+                          selective join; heavy base-table churn",
+            workload: Workload::figure4_point(0.005, 0.40),
+        },
+        Scenario {
+            name: "OO path query",
+            description: "complex-object traversal: very low selectivity, \
+                          stable attributes (Valduriez's join-index setting)",
+            workload: Workload::figure4_point(0.001, 0.05),
+        },
+        Scenario {
+            name: "reporting cross-product",
+            description: "near-cartesian analytical join recomputed rarely",
+            workload: Workload::figure4_point(1.0, 0.01),
+        },
+        Scenario {
+            name: "volatile join attribute",
+            description: "like the OO case, but every update moves objects \
+                          between parents (Pr_A = 1)",
+            workload: {
+                let mut w = Workload::figure4_point(0.005, 0.40);
+                w.pra = 1.0;
+                w
+            },
+        },
+    ];
+
+    for s in scenarios {
+        println!("=== {} ===", s.name);
+        println!("    {}", s.description);
+        let (heuristic, model) = advisor.both(&s.workload);
+        println!("  paper heuristic : {:<17} — {}", heuristic.method.to_string(), heuristic.reason);
+        println!("  cost model pick : {:<17} — {}", model.method.to_string(), model.reason);
+        println!("  predicted totals:");
+        for report in all_costs(&params, &s.workload) {
+            println!(
+                "    {:<17} {:>10.1} s  (base file {:>9.1} s, update+internal {:>9.1} s)",
+                report.method.to_string(),
+                report.total(),
+                report.base_file(),
+                report.update_and_internal()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,227 @@
+//! Bilateral maintenance: the view stays exact when *both* relations
+//! mutate between queries — the general `V'` expression of §3.2 the paper
+//! scopes out of its analysis.
+
+use rand::prelude::*;
+use std::collections::HashMap;
+
+use trijoin::{Database, JoinStrategy, Mutation, SystemParams, Update};
+use trijoin_common::{rng, BaseTuple, Surrogate};
+use trijoin_exec::{execute_collect, oracle};
+
+const TUPLE: usize = 80;
+
+struct Mirror {
+    map: HashMap<u32, BaseTuple>,
+    next_sur: u32,
+}
+
+impl Mirror {
+    fn new(tuples: &[BaseTuple]) -> Self {
+        Mirror {
+            map: tuples.iter().map(|t| (t.sur.0, t.clone())).collect(),
+            next_sur: tuples.iter().map(|t| t.sur.0 + 1).max().unwrap_or(0),
+        }
+    }
+
+    fn tuples(&self) -> Vec<BaseTuple> {
+        self.map.values().cloned().collect()
+    }
+
+    fn random_mutation(&mut self, rn: &mut StdRng, key_domain: u64, counter: u64) -> Mutation {
+        let roll: f64 = rn.gen();
+        let fresh_key = |rn: &mut StdRng| {
+            if rn.gen_bool(0.7) {
+                rn.gen_range(0..key_domain)
+            } else {
+                5_000_000 + rn.gen_range(0..1000)
+            }
+        };
+        if roll < 0.2 {
+            let sur = Surrogate(self.next_sur);
+            self.next_sur += 1;
+            let key = fresh_key(rn);
+            let t = BaseTuple::with_payload(sur, key, &counter.to_le_bytes(), TUPLE).unwrap();
+            self.map.insert(sur.0, t.clone());
+            Mutation::Insert(t)
+        } else if roll < 0.35 && self.map.len() > 2 {
+            let mut surs: Vec<u32> = self.map.keys().copied().collect();
+            surs.sort_unstable();
+            let sur = surs[rn.gen_range(0..surs.len())];
+            Mutation::Delete(self.map.remove(&sur).unwrap())
+        } else {
+            let mut surs: Vec<u32> = self.map.keys().copied().collect();
+            surs.sort_unstable();
+            let sur = surs[rn.gen_range(0..surs.len())];
+            let old = self.map[&sur].clone();
+            let key = if rn.gen_bool(0.5) { fresh_key(rn) } else { old.key };
+            let new =
+                BaseTuple::with_payload(Surrogate(sur), key, &counter.to_le_bytes(), TUPLE)
+                    .unwrap();
+            self.map.insert(sur, new.clone());
+            Mutation::Update(Update { old, new })
+        }
+    }
+}
+
+fn mk_side(n: u32, key_domain: u64, seed: u64) -> Vec<BaseTuple> {
+    let mut rn = rng::seeded(seed);
+    (0..n)
+        .map(|i| {
+            let key = if rn.gen_bool(0.8) {
+                rn.gen_range(0..key_domain)
+            } else {
+                5_000_000 + rn.gen_range(0..1000)
+            };
+            BaseTuple::padded(Surrogate(i), key, TUPLE)
+        })
+        .collect()
+}
+
+#[test]
+fn bilateral_view_tracks_mutations_on_both_sides() {
+    let params = SystemParams { mem_pages: 40, page_size: 1024, ..Default::default() };
+    let r0 = mk_side(800, 10, 501);
+    let s0 = mk_side(700, 10, 502);
+    let mut db = Database::new_bilateral(&params, r0.clone(), s0.clone()).unwrap();
+    let mut view = db.bilateral_view().unwrap();
+    let mut hh = db.hybrid_hash();
+    let mut r_mirror = Mirror::new(&r0);
+    let mut s_mirror = Mirror::new(&s0);
+    let mut rn = rng::seeded(503);
+
+    for epoch in 0..4 {
+        for i in 0..120u64 {
+            if rn.gen_bool(0.5) {
+                let m = r_mirror.random_mutation(&mut rn, 10, epoch * 1000 + i);
+                view.on_mutation(&m).unwrap();
+                db.r_mut().apply_mutation(&m).unwrap();
+            } else {
+                let m = s_mirror.random_mutation(&mut rn, 10, epoch * 1000 + i);
+                view.on_s_mutation(&m).unwrap();
+                db.s_mut().unwrap().apply_mutation(&m).unwrap();
+            }
+        }
+        let want = oracle::join_tuples(&r_mirror.tuples(), &s_mirror.tuples());
+        let got = execute_collect(&mut view, db.r(), db.s()).unwrap();
+        oracle::assert_same_join(&format!("epoch {epoch} bilateral"), got, want.clone());
+        assert_eq!(view.view_len(), want.len() as u64);
+        // Hybrid hash recomputes and must agree.
+        let got_hh = execute_collect(&mut hh, db.r(), db.s()).unwrap();
+        oracle::assert_same_join(&format!("epoch {epoch} hh"), got_hh, want);
+    }
+}
+
+#[test]
+fn s_only_mutations() {
+    let params = SystemParams { mem_pages: 40, page_size: 1024, ..Default::default() };
+    let r0 = mk_side(400, 8, 511);
+    let s0 = mk_side(400, 8, 512);
+    let mut db = Database::new_bilateral(&params, r0.clone(), s0.clone()).unwrap();
+    let mut view = db.bilateral_view().unwrap();
+    let mut s_mirror = Mirror::new(&s0);
+    let mut rn = rng::seeded(513);
+    for i in 0..150u64 {
+        let m = s_mirror.random_mutation(&mut rn, 8, i);
+        view.on_s_mutation(&m).unwrap();
+        db.s_mut().unwrap().apply_mutation(&m).unwrap();
+    }
+    let want = oracle::join_tuples(&r0, &s_mirror.tuples());
+    let got = execute_collect(&mut view, db.r(), db.s()).unwrap();
+    oracle::assert_same_join("s-only", got, want);
+}
+
+#[test]
+fn correlated_both_side_churn_on_the_same_keys() {
+    // R and S tuples hopping on and off the same key simultaneously —
+    // exercises the (iR ⋈ iS) and (dR ⋈ dS) corners of the V' algebra.
+    let params = SystemParams { mem_pages: 32, page_size: 512, ..Default::default() };
+    let r0 = mk_side(100, 4, 521);
+    let s0 = mk_side(100, 4, 522);
+    let mut db = Database::new_bilateral(&params, r0.clone(), s0.clone()).unwrap();
+    let mut view = db.bilateral_view().unwrap();
+    let mut r_mirror = Mirror::new(&r0);
+    let mut s_mirror = Mirror::new(&s0);
+
+    // Insert an (r, s) pair on a brand-new key, then delete both before
+    // the query — net effect must be nil; then insert another pair that
+    // stays.
+    let key = 777u64;
+    let mk = |sur: u32, counter: u64| {
+        BaseTuple::with_payload(Surrogate(sur), key, &counter.to_le_bytes(), TUPLE).unwrap()
+    };
+    let r_new = mk(900, 1);
+    let s_new = mk(901, 2);
+    for (is_r, m) in [
+        (true, Mutation::Insert(r_new.clone())),
+        (false, Mutation::Insert(s_new.clone())),
+        (true, Mutation::Delete(r_new.clone())),
+        (false, Mutation::Delete(s_new.clone())),
+    ] {
+        if is_r {
+            view.on_mutation(&m).unwrap();
+            db.r_mut().apply_mutation(&m).unwrap();
+            match &m {
+                Mutation::Insert(t) => {
+                    r_mirror.map.insert(t.sur.0, t.clone());
+                }
+                Mutation::Delete(t) => {
+                    r_mirror.map.remove(&t.sur.0);
+                }
+                _ => {}
+            }
+        } else {
+            view.on_s_mutation(&m).unwrap();
+            db.s_mut().unwrap().apply_mutation(&m).unwrap();
+            match &m {
+                Mutation::Insert(t) => {
+                    s_mirror.map.insert(t.sur.0, t.clone());
+                }
+                Mutation::Delete(t) => {
+                    s_mirror.map.remove(&t.sur.0);
+                }
+                _ => {}
+            }
+        }
+    }
+    // A lasting correlated pair.
+    let r_keep = mk(910, 3);
+    let s_keep = mk(911, 4);
+    view.on_mutation(&Mutation::Insert(r_keep.clone())).unwrap();
+    db.r_mut().insert(&r_keep).unwrap();
+    r_mirror.map.insert(r_keep.sur.0, r_keep);
+    view.on_s_mutation(&Mutation::Insert(s_keep.clone())).unwrap();
+    db.s_mut().unwrap().insert(&s_keep).unwrap();
+    s_mirror.map.insert(s_keep.sur.0, s_keep);
+
+    let want = oracle::join_tuples(&r_mirror.tuples(), &s_mirror.tuples());
+    let got = execute_collect(&mut view, db.r(), db.s()).unwrap();
+    oracle::assert_same_join("correlated churn", got, want);
+    // The lasting pair must be present exactly once.
+    let pair_count = view.view_len();
+    let second = execute_collect(&mut view, db.r(), db.s()).unwrap();
+    assert_eq!(second.len() as u64, pair_count, "stable across idempotent queries");
+}
+
+#[test]
+fn bilateral_requires_symmetric_access_path() {
+    let params = SystemParams { mem_pages: 32, page_size: 512, ..Default::default() };
+    let r0 = mk_side(50, 4, 531);
+    let s0 = mk_side(50, 4, 532);
+    // A plain database (no inverted index on R) cannot host a bilateral
+    // view.
+    let db = Database::new(&params, r0, s0).unwrap();
+    assert!(db.bilateral_view().is_err());
+}
+
+#[test]
+fn s_mut_is_guarded_while_shared() {
+    let params = SystemParams { mem_pages: 32, page_size: 512, ..Default::default() };
+    let r0 = mk_side(50, 4, 541);
+    let s0 = mk_side(50, 4, 542);
+    let mut db = Database::new(&params, r0, s0).unwrap();
+    let eager = db.eager_view().unwrap();
+    assert!(db.s_mut().is_err(), "S is shared with the eager view");
+    drop(eager);
+    assert!(db.s_mut().is_ok());
+}

@@ -1,0 +1,150 @@
+//! End-to-end smoke tests of the public facade: the Section 2 worked
+//! example, the advisor, and long-running multi-epoch stability.
+
+use trijoin::{Advisor, Database, JoinStrategy, Method, SystemParams, Workload, WorkloadSpec};
+use trijoin_common::codec::{encode_row, string_key, Value};
+use trijoin_common::{BaseTuple, Surrogate};
+use trijoin_exec::{execute_collect, oracle};
+
+/// The paper's Section 2 archeology example, tuples verbatim from
+/// Tables 1 and 2.
+fn student_project() -> (Vec<BaseTuple>, Vec<BaseTuple>) {
+    let student = |sur: u32, name: &str, major: &str, country: &str| {
+        let payload = encode_row(&[Value::Str(name.into()), Value::Str(major.into()),
+                                   Value::Str(country.into())]);
+        BaseTuple::with_payload(Surrogate(sur), string_key(country), &payload, 100).unwrap()
+    };
+    let project = |sur: u32, title: &str, sup: &str, city: &str, country: &str| {
+        let payload = encode_row(&[Value::Str(title.into()), Value::Str(sup.into()),
+                                   Value::Str(city.into()), Value::Str(country.into())]);
+        BaseTuple::with_payload(Surrogate(sur), string_key(country), &payload, 100).unwrap()
+    };
+    let students = vec![
+        student(10, "S. Bando", "Music", "USA"),
+        student(11, "G. Jetson", "Art", "Great Britain"),
+        student(12, "C. Falerno", "History", "Italy"),
+        student(13, "L. LaPaz", "Art", "Mexico"),
+        student(14, "J. Jones", "English", "USA"),
+        student(15, "P. Valens", "Archeology", "Mexico"),
+    ];
+    let projects = vec![
+        project(30, "Deforestation", "N. Smith", "Coba", "Mexico"),
+        project(31, "Facade Res.", "E. Ruggeri", "Venice", "Italy"),
+        project(33, "Mural Res.", "A. Montez", "Tulum", "Mexico"),
+        project(34, "Excavation", "M. Cox", "Lima", "Peru"),
+    ];
+    (students, projects)
+}
+
+#[test]
+fn section2_example_produces_table3_and_table4() {
+    let (students, projects) = student_project();
+    let params = SystemParams { page_size: 512, mem_pages: 16, ..Default::default() };
+    // R = Project, S = Student (the paper's query lists Project first).
+    let db = Database::new(&params, projects, students).unwrap();
+    let mut mv = db.materialized_view().unwrap();
+    let mut ji = db.join_index().unwrap();
+    let result = execute_collect(&mut mv, db.r(), db.s()).unwrap();
+    // Table 3 has exactly 5 rows.
+    assert_eq!(result.len(), 5);
+    // Table 4's join index pairs: (030,013) (030,015) (031,012) (033,013)
+    // (033,015).
+    let mut pairs: Vec<(u32, u32)> = result.iter().map(|v| (v.r_sur.0, v.s_sur.0)).collect();
+    pairs.sort();
+    assert_eq!(pairs, vec![(30, 13), (30, 15), (31, 12), (33, 13), (33, 15)]);
+    let ji_result = execute_collect(&mut ji, db.r(), db.s()).unwrap();
+    assert_eq!(ji_result.len(), 5);
+    assert_eq!(ji.index_len(), 5);
+}
+
+#[test]
+fn section2_example_survives_an_update() {
+    let (students, projects) = student_project();
+    let params = SystemParams { page_size: 512, mem_pages: 16, ..Default::default() };
+    let mut db = Database::new(&params, projects.clone(), students).unwrap();
+    let mut mv = db.materialized_view().unwrap();
+    let mut ji = db.join_index().unwrap();
+    // The Excavation project moves from Peru to Mexico: it now matches the
+    // two Mexican students.
+    let old = db.r().get(Surrogate(34)).unwrap().unwrap();
+    let new = BaseTuple::with_payload(
+        Surrogate(34),
+        string_key("Mexico"),
+        &old.payload.clone(),
+        100,
+    )
+    .unwrap();
+    let upd = trijoin::Update { old: old.clone(), new: new.clone() };
+    mv.on_update(&upd).unwrap();
+    ji.on_update(&upd).unwrap();
+    db.r_mut().apply_update(&old, &new).unwrap();
+    assert_eq!(execute_collect(&mut mv, db.r(), db.s()).unwrap().len(), 7);
+    assert_eq!(execute_collect(&mut ji, db.r(), db.s()).unwrap().len(), 7);
+}
+
+#[test]
+fn advisor_recommendations_cover_all_rules() {
+    let advisor = Advisor::new(&SystemParams::paper_defaults());
+    let picks: Vec<Method> = [
+        Workload::figure4_point(1.0, 0.05),  // rule (a)
+        Workload::figure4_point(0.01, 0.05), // rule (b)
+        Workload::figure4_point(0.01, 0.5),  // rule (c)
+    ]
+    .iter()
+    .map(|w| advisor.heuristic(w).method)
+    .collect();
+    assert_eq!(
+        picks,
+        vec![Method::HybridHash, Method::MaterializedView, Method::JoinIndex]
+    );
+}
+
+#[test]
+fn ten_epochs_of_churn_stay_correct_and_stable() {
+    let params = SystemParams { mem_pages: 32, page_size: 1024, ..Default::default() };
+    let spec = WorkloadSpec {
+        r_tuples: 600,
+        s_tuples: 600,
+        tuple_bytes: 96,
+        sr: 0.1,
+        group_size: 3,
+        pra: 0.4,
+        update_rate: 0.15,
+        seed: 77,
+    };
+    let gen = spec.generate();
+    let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+    let mut mv = db.materialized_view().unwrap();
+    let mut ji = db.join_index().unwrap();
+    let mut stream = gen.update_stream();
+    let mut pages_history = Vec::new();
+    for epoch in 0..10 {
+        for _ in 0..gen.updates_per_epoch() {
+            let u = stream.next_update();
+            mv.on_update(&u).unwrap();
+            ji.on_update(&u).unwrap();
+            db.r_mut().apply_update(&u.old, &u.new).unwrap();
+        }
+        let want = oracle::join_tuples(stream.current(), &gen.s);
+        oracle::assert_same_join(
+            &format!("epoch {epoch} mv"),
+            execute_collect(&mut mv, db.r(), db.s()).unwrap(),
+            want.clone(),
+        );
+        oracle::assert_same_join(
+            &format!("epoch {epoch} ji"),
+            execute_collect(&mut ji, db.r(), db.s()).unwrap(),
+            want.clone(),
+        );
+        assert_eq!(mv.view_len(), want.len() as u64);
+        assert_eq!(ji.index_len(), want.len() as u64);
+        pages_history.push((mv.view_pages(), ji.index_pages()));
+    }
+    // Storage must not degrade (fragment) without bound under churn: the
+    // last epoch's footprint stays within 2x of the first's, given the
+    // join cardinality stays in the same ballpark.
+    let (v0, j0) = pages_history[0];
+    let (v9, j9) = pages_history[9];
+    assert!(v9 <= v0 * 2 + 8, "view file bloat: {pages_history:?}");
+    assert!(j9 <= j0 * 2 + 8, "join index bloat: {pages_history:?}");
+}

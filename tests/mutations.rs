@@ -1,0 +1,167 @@
+//! General mutation streams — the paper's future-work case of "arbitrary
+//! and possibly unequal sets of insertions and deletions". All three
+//! strategies must stay exact when tuples are inserted with fresh
+//! surrogates and deleted outright, not just updated in place.
+
+use trijoin::{Database, JoinStrategy, Mutation, MutationMix, SystemParams, WorkloadSpec};
+use trijoin_common::{BaseTuple, Surrogate};
+use trijoin_exec::{execute_collect, oracle};
+
+fn run_mix(mix: MutationMix, sr: f64, pra: f64, epochs: usize, seed: u64) {
+    let params = SystemParams {
+        mem_pages: 48,
+        page_size: 1024,
+        ..SystemParams::paper_defaults()
+    };
+    let spec = WorkloadSpec {
+        r_tuples: 1_000,
+        s_tuples: 900,
+        tuple_bytes: 96,
+        sr,
+        group_size: 4,
+        pra,
+        update_rate: 0.1,
+        seed,
+    };
+    let gen = spec.generate();
+    let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+    let mut mv = db.materialized_view().unwrap();
+    let mut ji = db.join_index().unwrap();
+    let mut hh = db.hybrid_hash();
+    let mut stream = gen.mutation_stream(mix);
+    for epoch in 0..epochs {
+        for _ in 0..100 {
+            let m = stream.next_mutation();
+            mv.on_mutation(&m).unwrap();
+            ji.on_mutation(&m).unwrap();
+            hh.on_mutation(&m).unwrap();
+            db.r_mut().apply_mutation(&m).unwrap();
+        }
+        assert_eq!(db.r().len(), stream.len() as u64, "mirror and relation agree");
+        let current = stream.current();
+        let want = oracle::join_tuples(&current, &gen.s);
+        let label = format!("epoch {epoch}");
+        oracle::assert_same_join(
+            &format!("{label}/mv"),
+            execute_collect(&mut mv, db.r(), db.s()).unwrap(),
+            want.clone(),
+        );
+        oracle::assert_same_join(
+            &format!("{label}/ji"),
+            execute_collect(&mut ji, db.r(), db.s()).unwrap(),
+            want.clone(),
+        );
+        oracle::assert_same_join(
+            &format!("{label}/hh"),
+            execute_collect(&mut hh, db.r(), db.s()).unwrap(),
+            want,
+        );
+        ji.index().check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn churn_mix_updates_inserts_deletes() {
+    run_mix(MutationMix::churn(), 0.05, 0.2, 3, 301);
+}
+
+#[test]
+fn insert_heavy_growth() {
+    run_mix(MutationMix { update: 0.1, insert: 0.8, delete: 0.1 }, 0.05, 0.2, 3, 302);
+}
+
+#[test]
+fn delete_heavy_shrink() {
+    run_mix(MutationMix { update: 0.2, insert: 0.1, delete: 0.7 }, 0.1, 0.2, 3, 303);
+}
+
+#[test]
+fn inserts_only_unequal_sets() {
+    // ‖iR‖ > 0, ‖dR‖ = 0 — the degenerate unequal case.
+    run_mix(MutationMix { update: 0.0, insert: 1.0, delete: 0.0 }, 0.05, 0.0, 2, 304);
+}
+
+#[test]
+fn deletes_only_unequal_sets() {
+    run_mix(MutationMix { update: 0.0, insert: 0.0, delete: 1.0 }, 0.1, 0.0, 2, 305);
+}
+
+#[test]
+fn updates_only_matches_legacy_model() {
+    run_mix(MutationMix::updates_only(), 0.05, 0.3, 3, 306);
+}
+
+#[test]
+fn insert_then_delete_same_tuple_cancels() {
+    let params = SystemParams { mem_pages: 32, page_size: 512, ..Default::default() };
+    let mk = |i: u32, key: u64| BaseTuple::padded(Surrogate(i), key, 64);
+    let r: Vec<BaseTuple> = (0..50).map(|i| mk(i, (i % 5) as u64)).collect();
+    let s: Vec<BaseTuple> = (0..50).map(|i| mk(i, (i % 5) as u64)).collect();
+    let mut db = Database::new(&params, r.clone(), s.clone()).unwrap();
+    let mut mv = db.materialized_view().unwrap();
+    let mut ji = db.join_index().unwrap();
+    let baseline = oracle::join_tuples(&r, &s);
+
+    // Insert a matching tuple, then delete it again before the query.
+    let t = mk(99, 2);
+    for m in [Mutation::Insert(t.clone()), Mutation::Delete(t.clone())] {
+        mv.on_mutation(&m).unwrap();
+        ji.on_mutation(&m).unwrap();
+        db.r_mut().apply_mutation(&m).unwrap();
+    }
+    oracle::assert_same_join(
+        "mv",
+        execute_collect(&mut mv, db.r(), db.s()).unwrap(),
+        baseline.clone(),
+    );
+    oracle::assert_same_join(
+        "ji",
+        execute_collect(&mut ji, db.r(), db.s()).unwrap(),
+        baseline,
+    );
+}
+
+#[test]
+fn delete_then_reinsert_same_surrogate_with_new_key() {
+    let params = SystemParams { mem_pages: 32, page_size: 512, ..Default::default() };
+    let mk = |i: u32, key: u64| BaseTuple::padded(Surrogate(i), key, 64);
+    let r: Vec<BaseTuple> = (0..50).map(|i| mk(i, (i % 5) as u64)).collect();
+    let s: Vec<BaseTuple> = (0..50).map(|i| mk(i, (i % 5) as u64)).collect();
+    let mut db = Database::new(&params, r.clone(), s.clone()).unwrap();
+    let mut mv = db.materialized_view().unwrap();
+    let mut ji = db.join_index().unwrap();
+
+    let old = mk(7, 2);
+    let new = mk(7, 4);
+    for m in [Mutation::Delete(old.clone()), Mutation::Insert(new.clone())] {
+        mv.on_mutation(&m).unwrap();
+        ji.on_mutation(&m).unwrap();
+        db.r_mut().apply_mutation(&m).unwrap();
+    }
+    let mut current = r.clone();
+    current[7] = new;
+    let want = oracle::join_tuples(&current, &s);
+    oracle::assert_same_join(
+        "mv",
+        execute_collect(&mut mv, db.r(), db.s()).unwrap(),
+        want.clone(),
+    );
+    oracle::assert_same_join("ji", execute_collect(&mut ji, db.r(), db.s()).unwrap(), want);
+}
+
+#[test]
+fn relation_rejects_bad_mutations() {
+    let params = SystemParams { mem_pages: 32, page_size: 512, ..Default::default() };
+    let mk = |i: u32, key: u64| BaseTuple::padded(Surrogate(i), key, 64);
+    let r: Vec<BaseTuple> = (0..10).map(|i| mk(i, 0)).collect();
+    let s: Vec<BaseTuple> = (0..10).map(|i| mk(i, 0)).collect();
+    let mut db = Database::new(&params, r, s).unwrap();
+    // Duplicate insert.
+    assert!(db.r_mut().insert(&mk(3, 1)).is_err());
+    // Delete of a ghost.
+    assert!(db.r_mut().delete(&mk(77, 0)).is_err());
+    // Wrong-size insert.
+    assert!(db.r_mut().insert(&BaseTuple::padded(Surrogate(50), 0, 128)).is_err());
+    // Relation unharmed.
+    assert_eq!(db.r().len(), 10);
+}

@@ -1,0 +1,125 @@
+//! Sanity of the Figure 4/6 region maps at paper scale (pure model — fast).
+
+use trijoin_common::SystemParams;
+use trijoin_model::{cheapest, figure4_grid, figure6_grid, Method, Workload};
+
+#[test]
+fn figure4_regions_are_contiguous_bands_per_row() {
+    // Along each fixed-activity row, the winner sequence over increasing SR
+    // must be JI+ (MV*) HH+ — three bands in the paper's order, the middle
+    // one possibly empty at high activity.
+    let params = SystemParams::paper_defaults();
+    let sr_steps = 25;
+    let cells = figure4_grid(&params, sr_steps, 9);
+    for (row_idx, row) in cells.chunks(sr_steps).enumerate() {
+        let seq: Vec<Method> = row.iter().map(|c| c.winner).collect();
+        let mut phase = 0; // 0 = JI, 1 = MV, 2 = HH
+        for (i, m) in seq.iter().enumerate() {
+            let want_phase = match m {
+                Method::JoinIndex => 0,
+                Method::MaterializedView => 1,
+                Method::HybridHash => 2,
+            };
+            assert!(
+                want_phase >= phase,
+                "row {row_idx} (activity {:.3}): non-monotone band at column {i}: {seq:?}",
+                row[0].y
+            );
+            phase = want_phase;
+        }
+        assert_eq!(seq.first(), Some(&Method::JoinIndex), "row {row_idx} must start JI");
+        assert_eq!(seq.last(), Some(&Method::HybridHash), "row {row_idx} must end HH");
+    }
+}
+
+#[test]
+fn figure4_mv_band_shrinks_with_activity() {
+    let params = SystemParams::paper_defaults();
+    let sr_steps = 25;
+    let cells = figure4_grid(&params, sr_steps, 9);
+    let mv_per_row: Vec<usize> = cells
+        .chunks(sr_steps)
+        .map(|row| row.iter().filter(|c| c.winner == Method::MaterializedView).count())
+        .collect();
+    // Rows are ascending activity: the MV band must (weakly) shrink and
+    // eventually close — the paper's Figure 4 top.
+    assert!(mv_per_row.first().unwrap() > &0, "MV band exists at 1% activity");
+    assert_eq!(*mv_per_row.last().unwrap(), 0, "MV band closes at 100% activity");
+    for w in mv_per_row.windows(2) {
+        assert!(w[1] <= w[0] + 1, "MV band should not grow with activity: {mv_per_row:?}");
+    }
+}
+
+#[test]
+fn figure6_ji_and_hh_regions_grow_with_memory() {
+    let params = SystemParams::paper_defaults();
+    let sr_steps = 25;
+    let mem_steps = 5;
+    let cells = figure6_grid(&params, sr_steps, mem_steps);
+    let count = |mem_row: usize, m: Method| {
+        cells[mem_row * sr_steps..(mem_row + 1) * sr_steps]
+            .iter()
+            .filter(|c| c.winner == m)
+            .count()
+    };
+    // Paper: JI exploits memory best (reaches single-pass soonest) — its
+    // region grows across the swept range; hash join's region only starts
+    // growing once memory approaches |R|·F (~17K pages; "if the memory
+    // size were increased by approximately 20K pages, the area where the
+    // hash join method is superior would be increased").
+    assert!(
+        count(mem_steps - 1, Method::JoinIndex) > count(0, Method::JoinIndex),
+        "JI region must grow from 1K to 16K pages"
+    );
+    let p24 = SystemParams { mem_pages: 24_000, ..params.clone() };
+    let p16 = SystemParams { mem_pages: 16_000, ..params };
+    // At 24K pages hybrid hash runs in one pass and reclaims moderate
+    // selectivities it lost at 16K.
+    let w = Workload::figure6_point(0.05);
+    let hh_24 = trijoin_model::hh::cost(&p24, &w).total();
+    let hh_16 = trijoin_model::hh::cost(&p16, &w).total();
+    assert!(hh_24 < hh_16, "one-pass hash join must be cheaper: {hh_24} vs {hh_16}");
+}
+
+#[test]
+fn paper_conclusion_bullets_hold_in_the_model() {
+    let p = SystemParams::paper_defaults();
+    // "hash join performs well when the selectivity is extremely high"
+    assert_eq!(cheapest(&p, &Workload::figure4_point(1.0, 0.06)).0, Method::HybridHash);
+    // "its performance is adversely effected by an increase in relation size"
+    let small = trijoin_model::hh::cost(&p, &Workload::figure4_point(0.01, 0.06)).total();
+    let mut big_w = Workload::figure4_point(0.01, 0.06);
+    big_w.r_tuples *= 2.0;
+    big_w.s_tuples *= 2.0;
+    let big = trijoin_model::hh::cost(&p, &big_w).total();
+    assert!(big > 1.8 * small);
+    // "join index ... favorably effected by an increase in memory"
+    let ji_1k = trijoin_model::ji::cost(&p, &Workload::figure6_point(0.05)).total();
+    let p8 = SystemParams { mem_pages: 8_000, ..p.clone() };
+    let ji_8k = trijoin_model::ji::cost(&p8, &Workload::figure6_point(0.05)).total();
+    assert!(ji_8k < ji_1k);
+    // "[JI] adversely effected by an increase in the attribute update
+    // probability"
+    let mut w = Workload::figure4_point(0.01, 0.2);
+    w.pra = 0.05;
+    let low_pra = trijoin_model::ji::cost(&p, &w).total();
+    w.pra = 0.9;
+    let high_pra = trijoin_model::ji::cost(&p, &w).total();
+    assert!(high_pra > low_pra);
+    // "[MV] is itself unaffected by increasing the join attribute update
+    // probability"
+    let mut w = Workload::figure4_point(0.01, 0.2);
+    w.pra = 0.05;
+    let a = trijoin_model::mv::cost(&p, &w).total();
+    w.pra = 0.9;
+    let b = trijoin_model::mv::cost(&p, &w).total();
+    assert!((a - b).abs() < 1e-9);
+    // "the size of the area where the MV algorithm performs best varies
+    // inversely with the value of JS": double the JS multiplier and the MV
+    // pick at a band point flips away from MV.
+    let base = Workload::figure4_point(0.02, 0.02);
+    assert_eq!(cheapest(&p, &base).0, Method::MaterializedView);
+    let mut denser = base.clone();
+    denser.js *= 4.0;
+    assert_ne!(cheapest(&p, &denser).0, Method::MaterializedView);
+}
