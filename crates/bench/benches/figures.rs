@@ -17,9 +17,7 @@ fn model_bench(c: &mut Criterion) {
         b.iter(|| black_box(all_costs(&params, &w)))
     });
 
-    g.bench_function("figure4_grid_46x15", |b| {
-        b.iter(|| black_box(figure4_grid(&params, 46, 15)))
-    });
+    g.bench_function("figure4_grid_46x15", |b| b.iter(|| black_box(figure4_grid(&params, 46, 15))));
 
     g.bench_function("yao_formula", |b| {
         let mut k = 1.0;

@@ -19,10 +19,7 @@ use trijoin_model::{formulas, mv, Workload};
 fn main() {
     let params = paper_params();
     println!("== Deferred (paper) vs eager view maintenance, SR = 0.01 ==");
-    println!(
-        "{:>10} {:>16} {:>16} {:>10}",
-        "activity", "deferred secs", "eager secs", "ratio"
-    );
+    println!("{:>10} {:>16} {:>16} {:>10}", "activity", "deferred secs", "eager secs", "ratio");
     for &activity in &[0.001, 0.01, 0.06, 0.2, 0.5, 1.0] {
         let w = Workload::figure4_point(0.01, activity);
         let deferred = mv::cost(&params, &w).total();
@@ -40,15 +37,8 @@ fn main() {
             let touch = 2.0 * w.sr * 2.0 * params.io_us / 1e6;
             probe + touch
         };
-        let eager = w.updates * per_update
-            + params.hash_overhead * d.v_pages * params.io_us / 1e6;
-        println!(
-            "{:>10} {:>16.1} {:>16.1} {:>9.2}x",
-            activity,
-            deferred,
-            eager,
-            eager / deferred
-        );
+        let eager = w.updates * per_update + params.hash_overhead * d.v_pages * params.io_us / 1e6;
+        println!("{:>10} {:>16.1} {:>16.1} {:>9.2}x", activity, deferred, eager, eager / deferred);
     }
     println!("\nreading: batching updates and merging them in one sorted pass over V is");
     println!("cheaper than eager point maintenance as soon as updates are plentiful;");

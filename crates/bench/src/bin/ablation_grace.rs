@@ -43,7 +43,12 @@ fn main() {
         let saved = 1.0 - measured[0] as f64 / measured[1] as f64;
         println!(
             "{:>10} {:>8} {:>12} {:>12} {:>9.1}% {:>10.3}",
-            n, mem, measured[0], measured[1], 100.0 * saved, q
+            n,
+            mem,
+            measured[0],
+            measured[1],
+            100.0 * saved,
+            q
         );
     }
     println!("\nreading: the hybrid savings track q = (|M|-B)/(F*|R|); with memory close");

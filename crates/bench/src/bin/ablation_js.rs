@@ -27,11 +27,8 @@ fn main() {
                 w.js = mult * sr / w.r_tuples;
                 let costs = all_costs(&params, &w);
                 let totals = [costs[0].total(), costs[1].total(), costs[2].total()];
-                let winner = costs
-                    .iter()
-                    .min_by(|a, b| a.total().total_cmp(&b.total()))
-                    .unwrap()
-                    .method;
+                let winner =
+                    costs.iter().min_by(|a, b| a.total().total_cmp(&b.total())).unwrap().method;
                 RegionCell { sr, y: mult, winner, totals }
             })
             .collect();

@@ -15,22 +15,13 @@ use trijoin_model::{mv, Workload};
 fn main() {
     let params = paper_params();
     println!("== Model: cost of a second view scan (naive two-pass maintenance) ==");
-    println!(
-        "{:>8} {:>14} {:>14} {:>10}",
-        "SR", "on-the-fly", "naive 2-pass", "overhead"
-    );
+    println!("{:>8} {:>14} {:>14} {:>10}", "SR", "on-the-fly", "naive 2-pass", "overhead");
     for &sr in &[0.001, 0.01, 0.05, 0.1] {
         let w = Workload::figure4_point(sr, 0.06);
         let fused = mv::cost(&params, &w).total();
         let extra_scan = mv::cost(&params, &w).term("C3.1"); // one more F·|V|·IO
         let naive = fused + extra_scan;
-        println!(
-            "{:>8} {:>14.1} {:>14.1} {:>9.1}%",
-            sr,
-            fused,
-            naive,
-            100.0 * extra_scan / fused
-        );
+        println!("{:>8} {:>14.1} {:>14.1} {:>9.1}%", sr, fused, naive, 100.0 * extra_scan / fused);
     }
 
     println!("\n== Engine: measured (4000-tuple scale, 6% activity) ==");

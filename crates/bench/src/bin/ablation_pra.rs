@@ -24,11 +24,7 @@ fn main() {
         w.pra = pra;
         let costs = all_costs(&params, &w);
         let t: Vec<f64> = costs.iter().map(|c| c.total()).collect();
-        let winner = costs
-            .iter()
-            .min_by(|a, b| a.total().total_cmp(&b.total()))
-            .unwrap()
-            .method;
+        let winner = costs.iter().min_by(|a, b| a.total().total_cmp(&b.total())).unwrap().method;
         println!("{pra:>6} {:>12.1} {:>12.1} {:>12.1}  {winner}", t[0], t[1], t[2]);
     }
 

@@ -28,15 +28,15 @@ fn main() {
     let gen = spec.generate();
 
     println!("== Projection: query cost vs view width (engine, measured) ==");
-    println!(
-        "{:>22} {:>10} {:>12} {:>14}",
-        "projection", "T_V bytes", "view pages", "query secs"
-    );
+    println!("{:>22} {:>10} {:>12} {:>14}", "projection", "T_V bytes", "view pages", "query secs");
     for (label, def) in [
         ("full view", ViewDef::full()),
         ("keep 64+64 B", ViewDef { r_project: Some(64), s_project: Some(64), ..ViewDef::full() }),
         ("keep 16+16 B", ViewDef { r_project: Some(16), s_project: Some(16), ..ViewDef::full() }),
-        ("pairs only (0+0 B)", ViewDef { r_project: Some(0), s_project: Some(0), ..ViewDef::full() }),
+        (
+            "pairs only (0+0 B)",
+            ViewDef { r_project: Some(0), s_project: Some(0), ..ViewDef::full() },
+        ),
     ] {
         let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
         let mut view = MaterializedView::build_with(
@@ -70,10 +70,7 @@ fn main() {
     // View over only a quarter of the key groups; updates that never touch
     // it are filtered at log time.
     let groups = gen.groups as u64;
-    let def = ViewDef {
-        r_pred: Predicate::KeyRange { lo: 0, hi: groups / 4 },
-        ..ViewDef::full()
-    };
+    let def = ViewDef { r_pred: Predicate::KeyRange { lo: 0, hi: groups / 4 }, ..ViewDef::full() };
     for (label, use_selection) in [("full view", false), ("quarter-selection view", true)] {
         let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
         let d = if use_selection { def.clone() } else { ViewDef::full() };

@@ -30,10 +30,7 @@ fn main() {
             w.updates = 0.06 * w.r_tuples;
             let costs = all_costs(&params, &w);
             let t = [costs[0].total(), costs[1].total(), costs[2].total()];
-            println!(
-                "{:>10.0} {:>12.1} {:>12.1} {:>12.1}",
-                w.r_tuples, t[0], t[1], t[2]
-            );
+            println!("{:>10.0} {:>12.1} {:>12.1} {:>12.1}", w.r_tuples, t[0], t[1], t[2]);
             if scale == 1.0 {
                 base = Some(t);
             }

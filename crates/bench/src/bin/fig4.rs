@@ -42,9 +42,7 @@ fn main() {
             matches!((mv, hh), (Some(m), Some(h)) if m < h)
         }),
         ("JI wins the entire low-SR edge", {
-            cells
-                .chunks(sr_steps)
-                .all(|row| row[0].winner == trijoin_model::Method::JoinIndex)
+            cells.chunks(sr_steps).all(|row| row[0].winner == trijoin_model::Method::JoinIndex)
         }),
         ("HH wins the entire high-SR edge", {
             cells

@@ -16,7 +16,16 @@ fn main() {
     println!("    basic algorithm, dark = update + internal costs)\n");
     println!(
         "{:>8} | {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7}",
-        "", "MV total", "white", "dark%", "JI total", "white", "dark%", "HH total", "white", "dark%"
+        "",
+        "MV total",
+        "white",
+        "dark%",
+        "JI total",
+        "white",
+        "dark%",
+        "HH total",
+        "white",
+        "dark%"
     );
     println!("{:>8} |", "SR");
     let mut rows = Vec::new();
@@ -48,10 +57,7 @@ fn main() {
             "hash-join cost is flat across SR (its curve is constant)",
             (hh_first - hh_last).abs() / hh_first < 0.01,
         ),
-        (
-            "hash-join dark area ≈ 1% of total (paper: 'approximately 1 percent')",
-            hh_dark_max < 2.5,
-        ),
+        ("hash-join dark area ≈ 1% of total (paper: 'approximately 1 percent')", hh_dark_max < 2.5),
         (
             "MV white area (reading V) grows ~linearly with SR",
             rows.last().unwrap().1[0].1 / rows.first().unwrap().1[0].1 > 50.0,

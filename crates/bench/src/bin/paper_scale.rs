@@ -39,9 +39,7 @@ fn main() {
     );
     let model = all_costs(&params, &measured);
 
-    println!(
-        "== Paper scale (Figure 5 @ SR = 0.01, 6% activity): engine vs model =="
-    );
+    println!("== Paper scale (Figure 5 @ SR = 0.01, 6% activity): engine vs model ==");
     println!(
         "{:<18} {:>14} {:>14} {:>8}   {:>12} {:>12}",
         "method", "engine secs", "model secs", "ratio", "engine IOs", "result"
@@ -64,12 +62,8 @@ fn main() {
             strategy.on_update(&u).unwrap();
             db.r_mut().apply_update(&u.old, &u.new).unwrap();
         }
-        let log_sections: f64 = db
-            .cost()
-            .sections()
-            .iter()
-            .map(|(_, ops)| ops.time_secs(db.params()))
-            .sum();
+        let log_sections: f64 =
+            db.cost().sections().iter().map(|(_, ops)| ops.time_secs(db.params())).sum();
         let before_query = db.cost().total();
         eprintln!("querying...");
         let mut n = 0u64;

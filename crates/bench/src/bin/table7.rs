@@ -11,9 +11,16 @@ fn main() {
     let p = paper_params();
     println!("== Table 7: parameter settings ==");
     println!("  ‖R‖, ‖S‖      200,000 tuples      ssur, sptr   {} bytes", p.ssur);
-    println!("  |M|           {:>7} pages        IO           {} msec", p.mem_pages, p.io_us / 1000.0);
+    println!(
+        "  |M|           {:>7} pages        IO           {} msec",
+        p.mem_pages,
+        p.io_us / 1000.0
+    );
     println!("  T_R, T_S          200 bytes        comp         {} µsec", p.comp_us);
-    println!("  PO            {:>7}              hash         {} µsec", p.page_occupancy, p.hash_us);
+    println!(
+        "  PO            {:>7}              hash         {} µsec",
+        p.page_occupancy, p.hash_us
+    );
     println!("  FO            {:>7} entries      move         {} µsec", p.fan_out, p.move_us);
     println!("  P             {:>7} bytes        F            {}", p.page_size, p.hash_overhead);
 

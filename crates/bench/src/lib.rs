@@ -5,7 +5,7 @@
 //! `benches/` measure the wall-clock performance of the engine itself.
 
 use trijoin_common::SystemParams;
-use trijoin_model::{RegionCell, Method};
+use trijoin_model::{Method, RegionCell};
 
 /// Format a region-map row legend.
 pub fn legend() -> &'static str {
@@ -15,10 +15,7 @@ pub fn legend() -> &'static str {
 /// Extract the boundary columns (first MV column, first HH column) of one
 /// region-map row; `None` when a band is absent.
 pub fn row_boundaries(row: &[RegionCell]) -> (Option<f64>, Option<f64>) {
-    let first_mv = row
-        .iter()
-        .find(|c| c.winner == Method::MaterializedView)
-        .map(|c| c.sr);
+    let first_mv = row.iter().find(|c| c.winner == Method::MaterializedView).map(|c| c.sr);
     let first_hh = row.iter().find(|c| c.winner == Method::HybridHash).map(|c| c.sr);
     (first_mv, first_hh)
 }

@@ -53,10 +53,7 @@ impl BTreeConfig {
         let leaf_cap = params.tuples_per_page(tuple_bytes).max(2);
         BTreeConfig {
             leaf_cap,
-            internal_cap: params
-                .fan_out
-                .min(Self::max_internal_keys(params.page_size))
-                .max(2),
+            internal_cap: params.fan_out.min(Self::max_internal_keys(params.page_size)).max(2),
         }
     }
 
@@ -64,16 +61,10 @@ impl BTreeConfig {
     /// 4-byte surrogates: entry ≈ 14 bytes, capped at the paper's `FO`.
     pub fn inverted(params: &SystemParams) -> Self {
         let entry_bytes = 8 + 2 + params.ssur;
-        let leaf_cap = params
-            .fan_out
-            .min(params.tuples_per_page(entry_bytes))
-            .max(2);
+        let leaf_cap = params.fan_out.min(params.tuples_per_page(entry_bytes)).max(2);
         BTreeConfig {
             leaf_cap,
-            internal_cap: params
-                .fan_out
-                .min(Self::max_internal_keys(params.page_size))
-                .max(2),
+            internal_cap: params.fan_out.min(Self::max_internal_keys(params.page_size)).max(2),
         }
     }
 }
@@ -257,8 +248,7 @@ impl BTree {
     }
 
     fn write_node(&self, page: u32, node: &Node) -> Result<()> {
-        self.disk
-            .write_page(PageId::new(self.file, page), &node.to_page(self.disk.page_size())?)
+        self.disk.write_page(PageId::new(self.file, page), &node.to_page(self.disk.page_size())?)
     }
 
     fn alloc_node(&self, node: &Node) -> Result<u32> {
@@ -296,7 +286,11 @@ impl BTree {
 
     /// Page number of the leftmost leaf that can contain `key`, reading
     /// through `seen` if given.
-    fn descend_to_leaf(&self, key: u64, mut seen: Option<&mut HashSet<u32>>) -> Result<(u32, Node)> {
+    fn descend_to_leaf(
+        &self,
+        key: u64,
+        mut seen: Option<&mut HashSet<u32>>,
+    ) -> Result<(u32, Node)> {
         let mut node = self.root.clone();
         let mut page = self.root_page;
         loop {
@@ -386,11 +380,7 @@ impl BTree {
     /// charged at most once for the whole batch — the engine-side equivalent
     /// of the Yao-formula access pattern the paper assumes for scheduled,
     /// pointer-sorted probes. Calls `f(key, value)` for every match.
-    pub fn fetch_many(
-        &self,
-        sorted_keys: &[u64],
-        mut f: impl FnMut(u64, &[u8]),
-    ) -> Result<()> {
+    pub fn fetch_many(&self, sorted_keys: &[u64], mut f: impl FnMut(u64, &[u8])) -> Result<()> {
         debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
         let mut seen: HashSet<u32> = HashSet::new();
         let mut i = 0;
@@ -479,7 +469,8 @@ impl BTree {
         match node {
             Node::Leaf { entries, next } => {
                 self.charge_search(entries.len());
-                let at = entries.partition_point(|(k, v)| (*k, v.as_slice()) <= (key, value.as_slice()));
+                let at =
+                    entries.partition_point(|(k, v)| (*k, v.as_slice()) <= (key, value.as_slice()));
                 self.disk.cost().mov(1);
                 entries.insert(at, (key, value));
                 let over_cap = entries.len() > self.cfg.leaf_cap
@@ -538,9 +529,7 @@ impl BTree {
         // Root-resident leaf fast path.
         if self.height == 1 {
             if let Node::Leaf { ref mut entries, .. } = self.root {
-                let found = entries
-                    .iter()
-                    .position(|(k, v)| *k == key && pred(v));
+                let found = entries.iter().position(|(k, v)| *k == key && pred(v));
                 if let Some(at) = found {
                     entries.remove(at);
                     self.entries -= 1;

@@ -163,3 +163,57 @@ proptest! {
         prop_assert_eq!(batched, singles);
     }
 }
+
+/// Permanent copy of the shrunk case from `prop_btree.proptest-regressions`
+/// (duplicate keys with empty payloads straddling leaf splits). The vendored
+/// proptest does not replay regression files, so the case lives here as a
+/// plain test and runs on every `cargo test`.
+#[test]
+fn regression_duplicate_keys_with_empty_payloads() {
+    let cost = Cost::new();
+    let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+    let disk = SimDisk::new(&params, cost);
+    let mut tree = BTree::new(&disk, BTreeConfig { leaf_cap: 4, internal_cap: 4 }).unwrap();
+    let ops: Vec<(u64, Vec<u8>)> = vec![
+        (0, vec![]),
+        (0, vec![]),
+        (18, vec![]),
+        (18, vec![]),
+        (5, vec![]),
+        (15, vec![97]),
+        (0, vec![]),
+        (15, vec![97]),
+        (0, vec![]),
+        (0, vec![]),
+        (15, vec![0]),
+    ];
+    let mut model: Model = BTreeMap::new();
+    for (k, v) in &ops {
+        tree.insert(*k, v.clone()).unwrap();
+        model_insert(&mut model, *k, v.clone());
+    }
+
+    for k in [0u64, 5, 15, 18, 40] {
+        let mut got = tree.lookup(k).unwrap();
+        got.sort();
+        assert_eq!(got, model_lookup(&model, k), "lookup({k})");
+    }
+
+    let mut got = tree.scan_range(0, 40).unwrap();
+    assert!(got.windows(2).all(|w| w[0].0 <= w[1].0), "scan out of key order");
+    got.sort();
+    let mut want = ops.clone();
+    want.sort();
+    assert_eq!(got, want, "scan_range multiset");
+
+    assert_eq!(tree.len(), ops.len() as u64);
+    tree.check_invariants().unwrap();
+
+    // Every inserted (key, payload) pair — duplicates included — must be
+    // individually removable exactly once.
+    for (k, v) in &ops {
+        assert!(tree.remove_exact(*k, v).unwrap(), "remove_exact({k}, {v:?})");
+    }
+    assert_eq!(tree.len(), 0);
+    tree.check_invariants().unwrap();
+}

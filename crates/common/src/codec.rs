@@ -106,11 +106,7 @@ mod tests {
 
     #[test]
     fn roundtrip_mixed_row() {
-        let row = vec![
-            Value::Str("S. Bando".into()),
-            Value::Str("Music".into()),
-            Value::Int(-42),
-        ];
+        let row = vec![Value::Str("S. Bando".into()), Value::Str("Music".into()), Value::Int(-42)];
         let enc = encode_row(&row);
         assert_eq!(decode_row(&enc).unwrap(), row);
     }

@@ -134,22 +134,12 @@ impl Cost {
 
     /// Counts attributed to a named section (zero if the section never ran).
     pub fn section_counts(&self, name: &str) -> OpCounts {
-        self.0
-            .borrow()
-            .sections
-            .get(name)
-            .copied()
-            .unwrap_or_default()
+        self.0.borrow().sections.get(name).copied().unwrap_or_default()
     }
 
     /// All section names seen so far, with their counts.
     pub fn sections(&self) -> Vec<(String, OpCounts)> {
-        self.0
-            .borrow()
-            .sections
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect()
+        self.0.borrow().sections.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Enter a named section; charges are attributed to the innermost open

@@ -10,6 +10,55 @@ use std::fmt;
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Which device operation an injected fault hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// A charged page read.
+    Read,
+    /// A charged page write.
+    Write,
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOp::Read => write!(f, "read"),
+            FaultOp::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// How an injected device fault behaves, which determines the correct
+/// response:
+///
+/// * [`FaultKind::Transient`] — the device hiccupped once; *retrying the
+///   same operation* is expected to succeed.
+/// * [`FaultKind::TornWrite`] — only a prefix of the page reached the
+///   platter; the page stays unreadable until something rewrites it, so the
+///   owning structure must be *rebuilt* (or the page rewritten from a
+///   redundant source).
+/// * [`FaultKind::Poisoned`] — the page is persistently unreadable (media
+///   error) until rewritten; retries cannot help, rebuild is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// One-off failure; retry is expected to succeed.
+    Transient,
+    /// Partial write persisted; page detectably damaged until rewritten.
+    TornWrite,
+    /// Media error; reads keep failing until the page is rewritten.
+    Poisoned,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::TornWrite => write!(f, "torn-write"),
+            FaultKind::Poisoned => write!(f, "poisoned"),
+        }
+    }
+}
+
 /// Errors produced by the storage, index and execution layers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -44,8 +93,42 @@ pub enum Error {
     /// Catch-all for invariant violations.
     Invariant(String),
     /// A deliberately injected device fault (test harness; see
-    /// `SimDisk::inject_fault`).
+    /// `SimDisk::inject_fault`). Legacy one-shot form: always surfaced to
+    /// the caller, never retried or recovered from — error-path tests rely
+    /// on seeing exactly this value.
     Faulted,
+    /// A typed device fault from the fault-injection plan (see
+    /// `SimDisk::install_fault_plan`). Unlike [`Error::Faulted`], these
+    /// carry enough classification for the execution layer to react:
+    /// transient faults are retried, persistent ones trigger a rebuild of
+    /// the damaged cached structure.
+    DeviceFault {
+        /// The operation that failed.
+        op: FaultOp,
+        /// Behavioural class of the fault.
+        kind: FaultKind,
+        /// File the faulted page belongs to.
+        file: u32,
+        /// Page number within the file.
+        page: u32,
+    },
+}
+
+impl Error {
+    /// True for typed faults from the fault-injection plan — the class of
+    /// errors the execution layer recovers from (retry or rebuild). The
+    /// legacy [`Error::Faulted`] is deliberately excluded: its contract is
+    /// to surface unchanged.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(self, Error::DeviceFault { .. })
+    }
+
+    /// True when retrying the same operation may succeed (transient device
+    /// faults). Torn/poisoned pages stay damaged until rewritten, so they
+    /// are not retryable — the owning structure must rebuild instead.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::DeviceFault { kind: FaultKind::Transient, .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -64,6 +147,9 @@ impl fmt::Display for Error {
             Error::Infeasible(msg) => write!(f, "infeasible configuration: {msg}"),
             Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
             Error::Faulted => write!(f, "injected device fault"),
+            Error::DeviceFault { op, kind, file, page } => {
+                write!(f, "{kind} device fault on {op} of file {file}, page {page}")
+            }
         }
     }
 }
@@ -85,11 +171,26 @@ mod tests {
     }
 
     #[test]
+    fn fault_taxonomy_classifies() {
+        let transient =
+            Error::DeviceFault { op: FaultOp::Read, kind: FaultKind::Transient, file: 1, page: 2 };
+        let poisoned =
+            Error::DeviceFault { op: FaultOp::Read, kind: FaultKind::Poisoned, file: 1, page: 2 };
+        let torn =
+            Error::DeviceFault { op: FaultOp::Write, kind: FaultKind::TornWrite, file: 3, page: 0 };
+        assert!(transient.is_device_fault() && transient.is_retryable());
+        assert!(poisoned.is_device_fault() && !poisoned.is_retryable());
+        assert!(torn.is_device_fault() && !torn.is_retryable());
+        // The legacy one-shot fault is surfaced, never recovered from.
+        assert!(!Error::Faulted.is_device_fault());
+        assert!(!Error::Faulted.is_retryable());
+        assert_eq!(transient.to_string(), "transient device fault on read of file 1, page 2");
+        assert!(torn.to_string().contains("torn-write"));
+    }
+
+    #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::SlotNotFound { slot: 1 },
-            Error::SlotNotFound { slot: 1 }
-        );
+        assert_eq!(Error::SlotNotFound { slot: 1 }, Error::SlotNotFound { slot: 1 });
         assert_ne!(Error::BufferPoolExhausted, Error::KeyNotFound(0));
     }
 }

@@ -19,6 +19,6 @@ pub mod rng;
 pub mod types;
 
 pub use cost::{Cost, CostTracker, OpCounts};
-pub use error::{Error, Result};
+pub use error::{Error, FaultKind, FaultOp, Result};
 pub use params::SystemParams;
 pub use types::{BaseTuple, JiEntry, JoinKey, Surrogate, ViewTuple};

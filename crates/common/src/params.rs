@@ -61,10 +61,7 @@ impl SystemParams {
     /// device constants but a small memory budget so multi-pass behaviour is
     /// exercised at test scale.
     pub fn test_small() -> Self {
-        SystemParams {
-            mem_pages: 64,
-            ..Self::paper_defaults()
-        }
+        SystemParams { mem_pages: 64, ..Self::paper_defaults() }
     }
 
     /// Number of tuples of `tuple_bytes` bytes that fit on one page at the

@@ -75,7 +75,12 @@ impl AdaptiveStrategy {
         &self.switch_log
     }
 
-    fn build(&self, kind: Method, r: &StoredRelation, s: &StoredRelation) -> Result<Box<dyn JoinStrategy>> {
+    fn build(
+        &self,
+        kind: Method,
+        r: &StoredRelation,
+        s: &StoredRelation,
+    ) -> Result<Box<dyn JoinStrategy>> {
         Ok(match kind {
             Method::MaterializedView => {
                 Box::new(MaterializedView::build(&self.disk, &self.params, &self.cost, r, s)?)
@@ -157,11 +162,8 @@ impl JoinStrategy for AdaptiveStrategy {
             .find(|c| c.method == self.kind)
             .map(|c| c.total())
             .unwrap_or(f64::INFINITY);
-        let (best, best_pred) = costs
-            .iter()
-            .map(|c| (c.method, c.total()))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let (best, best_pred) =
+            costs.iter().map(|c| (c.method, c.total())).min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         if best != self.kind && current_pred > self.hysteresis * best_pred {
             let _g = self.cost.section("adaptive.switch");
             self.current = self.build(best, r, s)?;

@@ -153,13 +153,9 @@ mod tests {
                 let w = Workload::figure4_point(sr, act);
                 let h = a.heuristic(&w);
                 let costs = trijoin_model::all_costs(&a.params, &w);
-                let best: f64 =
-                    costs.iter().map(|c| c.total()).fold(f64::INFINITY, f64::min);
-                let picked = costs
-                    .iter()
-                    .find(|c| c.method == h.method)
-                    .map(|c| c.total())
-                    .unwrap();
+                let best: f64 = costs.iter().map(|c| c.total()).fold(f64::INFINITY, f64::min);
+                let picked =
+                    costs.iter().find(|c| c.method == h.method).map(|c| c.total()).unwrap();
                 assert!(
                     picked <= 6.0 * best,
                     "SR={sr} act={act}: heuristic pick {} is {:.1}x optimal",

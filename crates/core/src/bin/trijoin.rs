@@ -28,9 +28,7 @@ impl Args {
         let mut flags = HashMap::new();
         let mut it = raw.iter();
         while let Some(a) = it.next() {
-            let name = a
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            let name = a.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {a:?}"))?;
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), value.clone());
         }
@@ -109,8 +107,13 @@ fn advise(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let advisor = Advisor::new(&params);
     let (heuristic, model_pick) = advisor.both(&w);
-    println!("workload: SR={} activity={} Pr_A={} |M|={} pages",
-        w.sr, w.updates / w.r_tuples, w.pra, params.mem_pages);
+    println!(
+        "workload: SR={} activity={} Pr_A={} |M|={} pages",
+        w.sr,
+        w.updates / w.r_tuples,
+        w.pra,
+        params.mem_pages
+    );
     println!("paper heuristic : {}", heuristic.method);
     println!("                  {}", heuristic.reason);
     println!("cost-model pick : {}", model_pick.method);
@@ -166,8 +169,8 @@ fn run(args: &Args) -> Result<(), String> {
         other => return Err(format!("--strategy: unknown {other:?} (mv|ji|hh|eager|all)")),
     };
     for name in wanted {
-        let mut db = Database::new(&params, gen.r.clone(), gen.s.clone())
-            .map_err(|e| e.to_string())?;
+        let mut db =
+            Database::new(&params, gen.r.clone(), gen.s.clone()).map_err(|e| e.to_string())?;
         let mut strategy: Box<dyn JoinStrategy> = match name {
             "mv" => Box::new(db.materialized_view().map_err(|e| e.to_string())?),
             "ji" => Box::new(db.join_index().map_err(|e| e.to_string())?),
@@ -184,9 +187,7 @@ fn run(args: &Args) -> Result<(), String> {
                 db.r_mut().apply_update(&u.old, &u.new).map_err(|e| e.to_string())?;
             }
             let mut n = 0u64;
-            strategy
-                .execute(db.r(), db.s(), &mut |_| n += 1)
-                .map_err(|e| e.to_string())?;
+            strategy.execute(db.r(), db.s(), &mut |_| n += 1).map_err(|e| e.to_string())?;
             let t = db.cost().total();
             println!(
                 "{:<18} epoch {epoch}: {:>9.2} simulated s  ({} IOs, {} tuples)",

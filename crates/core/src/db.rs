@@ -1,13 +1,13 @@
 //! A small database instance wiring the paper's storage organization
 //! (Table 5) to the simulated device.
 
-use trijoin_common::{BaseTuple, Cost, Result, SystemParams};
 use std::rc::Rc;
+use trijoin_common::{BaseTuple, Cost, OpCounts, Result, SystemParams};
 
 use trijoin_exec::{
     BilateralView, EagerView, HybridHash, JoinIndexStrategy, MaterializedView, StoredRelation,
 };
-use trijoin_storage::{Disk, SimDisk};
+use trijoin_storage::{Disk, FaultPlan, SimDisk};
 
 /// One simulated database: a disk, a cost ledger, and the two base
 /// relations organized per Table 5 (`R` clustered on its surrogate; `S`
@@ -96,6 +96,43 @@ impl Database {
     /// Zero the cost ledger (e.g. after setup).
     pub fn reset_cost(&self) {
         self.cost.reset();
+    }
+
+    /// Install a device-fault plan on the simulated disk (see
+    /// [`trijoin_storage::FaultPlan`]); faults fire on subsequent charged
+    /// page accesses and strategies recover per their documented paths.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.disk.install_fault_plan(plan);
+    }
+
+    /// Clear every pending fault and heal all damaged pages.
+    pub fn clear_faults(&self) {
+        self.disk.clear_faults();
+    }
+
+    /// How many planned faults have fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.disk.faults_fired()
+    }
+
+    /// The names of the recovery-related cost sections.
+    pub const RECOVERY_SECTIONS: [&'static str; 5] =
+        ["mv.recover", "ji.recover", "hh.retry", "hh.recover", "diff.retry"];
+
+    /// Combined operation counts of all recovery work charged so far
+    /// (retries, fallback recomputation, cache rebuilds) — zero when no
+    /// fault ever disturbed a query.
+    pub fn recovery_counts(&self) -> OpCounts {
+        let mut total = OpCounts::default();
+        for name in Self::RECOVERY_SECTIONS {
+            total.add(&self.cost.section_counts(name));
+        }
+        total
+    }
+
+    /// Random page I/Os spent on recovery work so far.
+    pub fn recovery_ios(&self) -> u64 {
+        self.recovery_counts().ios
     }
 
     /// Materialize `V = R ⋈ S` and return the MV strategy (§3.2).

@@ -55,10 +55,7 @@ impl EpochReport {
     /// Per-method engine/model ratio (how far measurement sits from the
     /// analytical prediction).
     pub fn ratios(&self) -> Vec<(Method, f64)> {
-        self.outcomes
-            .iter()
-            .map(|o| (o.method, o.engine_secs / o.model_secs.max(1e-9)))
-            .collect()
+        self.outcomes.iter().map(|o| (o.method, o.engine_secs / o.model_secs.max(1e-9))).collect()
     }
 }
 
@@ -90,7 +87,8 @@ impl Experiment {
         let mut outcomes = Vec::with_capacity(3);
         let model = all_costs(&self.params, &workload);
         for method in Method::all() {
-            let db = Database::new(&self.params, self.generated.r.clone(), self.generated.s.clone())?;
+            let db =
+                Database::new(&self.params, self.generated.r.clone(), self.generated.s.clone())?;
             let mut strategy: Box<dyn JoinStrategy> = match method {
                 Method::MaterializedView => Box::new(db.materialized_view()?),
                 Method::JoinIndex => Box::new(db.join_index()?),
@@ -122,11 +120,7 @@ impl Experiment {
                 oracle::assert_same_join(method.label(), result, want);
             }
             let engine_secs = engine_ops.time_secs(&self.params);
-            let model_secs = model
-                .iter()
-                .find(|c| c.method == method)
-                .map(|c| c.total())
-                .unwrap();
+            let model_secs = model.iter().find(|c| c.method == method).map(|c| c.total()).unwrap();
             outcomes.push(MethodOutcome { method, engine_ops, engine_secs, model_secs, tuples });
         }
         Ok(EpochReport { workload, outcomes })
@@ -184,11 +178,7 @@ mod tests {
         let exp = Experiment::new(&params, &spec());
         let report = exp.run_epoch().unwrap();
         let w = report.engine_winner();
-        let best = report
-            .outcomes
-            .iter()
-            .map(|o| o.engine_secs)
-            .fold(f64::INFINITY, f64::min);
+        let best = report.outcomes.iter().map(|o| o.engine_secs).fold(f64::INFINITY, f64::min);
         let picked = report.outcomes.iter().find(|o| o.method == w).unwrap();
         assert!((picked.engine_secs - best).abs() < 1e-12);
         assert_eq!(report.ratios().len(), 3);

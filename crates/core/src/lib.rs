@@ -67,3 +67,4 @@ pub use trijoin_exec::{
     Update,
 };
 pub use trijoin_model::{Method, Workload};
+pub use trijoin_storage::{FaultPlan, FaultSpec};

@@ -81,10 +81,8 @@ impl WorkloadSpec {
         // Zipf weights: the hot group grows, the tail thins.
         let weights: Vec<f64> = (0..groups).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
         let wsum: f64 = weights.iter().sum();
-        let mut sizes: Vec<u32> = weights
-            .iter()
-            .map(|w| ((target as f64) * w / wsum).floor().max(1.0) as u32)
-            .collect();
+        let mut sizes: Vec<u32> =
+            weights.iter().map(|w| ((target as f64) * w / wsum).floor().max(1.0) as u32).collect();
         // Fix rounding drift on the hottest group.
         let assigned: u32 = sizes.iter().sum();
         if assigned < target {
@@ -143,13 +141,7 @@ impl WorkloadSpec {
         let r = mk_side(self.r_tuples, &mut rn);
         let s = mk_side(self.s_tuples, &mut rn);
 
-        GeneratedWorkload {
-            spec: self.clone(),
-            r,
-            s,
-            groups,
-            next_unmatched,
-        }
+        GeneratedWorkload { spec: self.clone(), r, s, groups, next_unmatched }
     }
 }
 
@@ -189,11 +181,7 @@ impl GeneratedWorkload {
                 matched_r += rc;
             }
         }
-        let matched_s: u64 = sk
-            .iter()
-            .filter(|(k, _)| rk.contains_key(*k))
-            .map(|(_, &c)| c)
-            .sum();
+        let matched_s: u64 = sk.iter().filter(|(k, _)| rk.contains_key(*k)).map(|(_, &c)| c).sum();
         let nr = self.r.len() as f64;
         let ns = self.s.len() as f64;
         Workload {
@@ -299,8 +287,9 @@ impl MutationStream {
             let sur = Surrogate(self.next_sur);
             self.next_sur += 1;
             let key = self.fresh_key();
-            let t = BaseTuple::with_payload(sur, key, &self.counter.to_le_bytes(), self.tuple_bytes)
-                .expect("tuple size fits");
+            let t =
+                BaseTuple::with_payload(sur, key, &self.counter.to_le_bytes(), self.tuple_bytes)
+                    .expect("tuple size fits");
             self.current.insert(sur.0, t.clone());
             return Mutation::Insert(t);
         }
@@ -554,10 +543,7 @@ mod tests {
         // no: sum z^2 is maximized by concentration). Verify it *rises*.
         let js_uniform = spec.generate_skewed(0.0).measured().js;
         let js_skewed = spec.generate_skewed(2.0).measured().js;
-        assert!(
-            js_skewed > js_uniform,
-            "skew concentrates pairs: {js_skewed} vs {js_uniform}"
-        );
+        assert!(js_skewed > js_uniform, "skew concentrates pairs: {js_skewed} vs {js_uniform}");
         // theta = 0 equals the uniform family.
         let a = spec.generate_skewed(0.0).measured();
         let b = spec.generate().measured();

@@ -166,12 +166,8 @@ impl BilateralView {
         keys.dedup();
         let mut postings: std::collections::BTreeMap<u64, Vec<Surrogate>> = Default::default();
         s.probe_inverted(&keys, |k, sur| postings.entry(k).or_default().push(sur))?;
-        let mut surs: Vec<Surrogate> = postings
-            .values()
-            .flatten()
-            .filter(|sur| !skip_s.contains(sur))
-            .copied()
-            .collect();
+        let mut surs: Vec<Surrogate> =
+            postings.values().flatten().filter(|sur| !skip_s.contains(sur)).copied().collect();
         self.cost.comp(surs.len() as u64);
         counted_sort_by(&mut surs, |x| x.0, &self.cost);
         let mut s_tuples: std::collections::HashMap<Surrogate, BaseTuple> = Default::default();
@@ -228,9 +224,9 @@ impl BilateralView {
         for st in &ins_s {
             if let Some(rs) = postings.get(&st.key) {
                 for sur in rs {
-                    let rt = r_tuples.get(sur).ok_or_else(|| {
-                        Error::Invariant(format!("R posting {sur} has no tuple"))
-                    })?;
+                    let rt = r_tuples
+                        .get(sur)
+                        .ok_or_else(|| Error::Invariant(format!("R posting {sur} has no tuple")))?;
                     out.push(ViewTuple::join(rt, st));
                     self.cost.mov(1);
                 }
@@ -307,6 +303,9 @@ impl JoinStrategy for BilateralView {
             }
             (ins_s, del_s_surs)
         };
+        // Surface any run-read error parked while draining the S streams.
+        self.s_ins.stream_error()?;
+        self.s_del.stream_error()?;
         let ins_s_surs: HashSet<Surrogate> = ins_s.iter().map(|t| t.sur).collect();
         // Stream B: iS ⋈ R_now, bucket-ordered.
         let mut b_stream: VecDeque<ViewTuple> = self.join_s_inserts(r, ins_s)?.into();
@@ -360,6 +359,8 @@ impl JoinStrategy for BilateralView {
                     }
                 }
             }
+            self.r_ins.stream_error()?;
+            self.r_del.stream_error()?;
             let batch_empty = batch.is_empty();
             let scan_done = net_r.peek().is_none() && batch_empty;
             let hi_bucket = if net_r.peek().is_none() {
@@ -372,8 +373,7 @@ impl JoinStrategy for BilateralView {
                     .or_else(|| del_q.back().map(|&(b, _)| b))
                     .unwrap_or(next_bucket)
             };
-            let mut joined: VecDeque<ViewTuple> =
-                self.join_r_batch(s, batch, &ins_s_surs)?.into();
+            let mut joined: VecDeque<ViewTuple> = self.join_r_batch(s, batch, &ins_s_surs)?.into();
 
             let last = if scan_done {
                 total_buckets.saturating_sub(1)
@@ -405,10 +405,10 @@ impl JoinStrategy for BilateralView {
                 let addressing = self.addressing;
                 let cost = self.cost.clone();
                 let absorb = move |stream: &mut VecDeque<ViewTuple>,
-                                       new: &mut Vec<(u64, Vec<u8>)>,
-                                       changed: &mut bool,
-                                       emitted: &mut u64,
-                                       sink: &mut dyn FnMut(ViewTuple)| {
+                                   new: &mut Vec<(u64, Vec<u8>)>,
+                                   changed: &mut bool,
+                                   emitted: &mut u64,
+                                   sink: &mut dyn FnMut(ViewTuple)| {
                     while stream
                         .front()
                         .map(|v| addressing.addr(hash_key(v.key)) == b)

@@ -14,7 +14,10 @@
 //! leaving exactly the *net* change (`V'`'s algebra in §3.2 assumes net
 //! sets; chains of updates produce intermediates that must cancel).
 
-use trijoin_common::{BaseTuple, Cost, Result};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use trijoin_common::{BaseTuple, Cost, Error, Result};
 use trijoin_storage::{Disk, HeapFile};
 
 use crate::sort::{counted_sort_by, KWayMerge};
@@ -48,6 +51,9 @@ pub struct DiffLog {
     runs: Vec<HeapFile>,
     total: u64,
     sealed: bool,
+    /// Error parked by a [`RunReader`] mid-stream (device faults cannot
+    /// surface through the tuple iterator); see [`DiffLog::stream_error`].
+    stream_err: Rc<RefCell<Option<Error>>>,
 }
 
 impl DiffLog {
@@ -74,6 +80,7 @@ impl DiffLog {
             runs: Vec::new(),
             total: 0,
             sealed: false,
+            stream_err: Rc::new(RefCell::new(None)),
         }
     }
 
@@ -146,13 +153,25 @@ impl DiffLog {
     /// stream in, C1.4 merge charges per emitted tuple).
     pub fn merged(&self) -> Result<KWayMerge<BaseTuple, SortKey, RunReader>> {
         debug_assert!(self.sealed, "seal() before merged()");
+        *self.stream_err.borrow_mut() = None;
         let sources: Vec<RunReader> = self
             .runs
             .iter()
-            .map(|r| RunReader { scan: r.scan() })
+            .map(|r| RunReader::new(r.clone(), self.cost.clone(), self.stream_err.clone()))
             .collect();
         let key = self.key_of.clone();
         Ok(KWayMerge::new(sources, move |t| key(t), self.cost.clone()))
+    }
+
+    /// Collect an error parked by a [`RunReader`] while the merged stream
+    /// was being drained. Executors must call this at batch boundaries and
+    /// treat a parked error exactly like a failed read — a parked error
+    /// also means the stream ended early, so the batch is incomplete.
+    pub fn stream_error(&self) -> Result<()> {
+        match self.stream_err.borrow_mut().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Drop all run files (after a query has consumed the log).
@@ -164,18 +183,78 @@ impl DiffLog {
 }
 
 /// Streams tuples out of one sorted run (one read I/O per page).
+///
+/// Transient device faults heal with bounded retry (re-read I/O charged
+/// under the `diff.retry` section). Anything else ends the stream early
+/// and parks the error for [`DiffLog::stream_error`] — the iterator
+/// contract has no error channel, and panicking would rob the strategies
+/// of their recovery path.
 pub struct RunReader {
-    scan: trijoin_storage::heap::HeapScan,
+    heap: HeapFile,
+    cost: Cost,
+    next_page: u32,
+    total_pages: u32,
+    current: Vec<BaseTuple>,
+    at: usize,
+    err: Rc<RefCell<Option<Error>>>,
+}
+
+impl RunReader {
+    fn new(heap: HeapFile, cost: Cost, err: Rc<RefCell<Option<Error>>>) -> Self {
+        let total_pages = heap.num_pages();
+        RunReader { heap, cost, next_page: 0, total_pages, current: Vec::new(), at: 0, err }
+    }
+
+    fn park(&mut self, e: Error) {
+        *self.err.borrow_mut() = Some(e);
+        self.next_page = self.total_pages;
+        self.current.clear();
+        self.at = 0;
+    }
 }
 
 impl Iterator for RunReader {
     type Item = BaseTuple;
 
     fn next(&mut self) -> Option<BaseTuple> {
-        self.scan.next().map(|r| {
-            let (_, bytes) = r.expect("differential run unreadable (simulator invariant)");
-            BaseTuple::from_bytes(&bytes).expect("differential run corrupt (simulator invariant)")
-        })
+        loop {
+            if self.at < self.current.len() {
+                let t = self.current[self.at].clone();
+                self.at += 1;
+                return Some(t);
+            }
+            if self.next_page >= self.total_pages {
+                return None;
+            }
+            let page = self.next_page;
+            let mut attempt = 0u32;
+            let read = crate::recovery::with_retry(|| {
+                attempt += 1;
+                let _g = (attempt > 1).then(|| self.cost.section("diff.retry"));
+                self.heap.read_page_records(page)
+            });
+            match read {
+                Ok(records) => {
+                    self.next_page += 1;
+                    let decoded: Result<Vec<BaseTuple>> =
+                        records.iter().map(|(_, b)| BaseTuple::from_bytes(b)).collect();
+                    match decoded {
+                        Ok(tuples) => {
+                            self.current = tuples;
+                            self.at = 0;
+                        }
+                        Err(e) => {
+                            self.park(e);
+                            return None;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.park(e);
+                    return None;
+                }
+            }
+        }
     }
 }
 
@@ -350,20 +429,16 @@ mod tests {
     #[test]
     fn hashed_key_charges_hashes() {
         let (disk, cost) = setup();
-        let mut log = DiffLog::new(&disk, &cost, 1, 7, true, |t| {
-            mv_sort_key(0, hash_key(t.key), t.sur.0)
-        });
+        let mut log =
+            DiffLog::new(&disk, &cost, 1, 7, true, |t| mv_sort_key(0, hash_key(t.key), t.sur.0));
         for i in 0..20u32 {
             log.add(tup(i, i as u64)).unwrap();
         }
         log.seal().unwrap();
         assert!(cost.total().hashes >= 20, "one hash per spilled tuple");
         // Stream must come back ordered by the hashed key.
-        let keys: Vec<u128> = log
-            .merged()
-            .unwrap()
-            .map(|t| mv_sort_key(0, hash_key(t.key), t.sur.0))
-            .collect();
+        let keys: Vec<u128> =
+            log.merged().unwrap().map(|t| mv_sort_key(0, hash_key(t.key), t.sur.0)).collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -393,7 +468,9 @@ mod tests {
         let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
         let ins = vec![new1.clone(), new2.clone()];
         let del = vec![old0.clone(), new1.clone()];
-        let net: Vec<Net> = net_differentials(ins.into_iter(), del.into_iter(), key, |a, b| a == b, &cost).collect();
+        let net: Vec<Net> =
+            net_differentials(ins.into_iter(), del.into_iter(), key, |a, b| a == b, &cost)
+                .collect();
         assert_eq!(net, vec![Net::Del(old0), Net::Ins(new2)]);
     }
 
@@ -408,7 +485,8 @@ mod tests {
         let ins = vec![b.clone(), a.clone()];
         let del = vec![a.clone(), b.clone()];
         let net: Vec<Net> =
-            net_differentials(ins.into_iter(), del.into_iter(), key, |a, b| a == b, &cost).collect();
+            net_differentials(ins.into_iter(), del.into_iter(), key, |a, b| a == b, &cost)
+                .collect();
         assert!(net.is_empty(), "round-trip updates cancel entirely, got {net:?}");
     }
 
@@ -418,9 +496,14 @@ mod tests {
         let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
         let ins = vec![tup(2, 0), tup(4, 0)];
         let del = vec![tup(1, 0), tup(3, 0)];
-        let net: Vec<Net> =
-            net_differentials(ins.clone().into_iter(), del.clone().into_iter(), key, |a, b| a == b, &cost)
-                .collect();
+        let net: Vec<Net> = net_differentials(
+            ins.clone().into_iter(),
+            del.clone().into_iter(),
+            key,
+            |a, b| a == b,
+            &cost,
+        )
+        .collect();
         assert_eq!(
             net,
             vec![
@@ -440,9 +523,14 @@ mod tests {
         let d = BaseTuple::with_payload(Surrogate(9), 1, b"old", 32).unwrap();
         let i = BaseTuple::with_payload(Surrogate(9), 2, b"new", 32).unwrap();
         let key = |t: &BaseTuple| ji_sort_key(t.sur.0);
-        let net: Vec<Net> =
-            net_differentials(vec![i.clone()].into_iter(), vec![d.clone()].into_iter(), key, |a, b| a == b, &cost)
-                .collect();
+        let net: Vec<Net> = net_differentials(
+            vec![i.clone()].into_iter(),
+            vec![d.clone()].into_iter(),
+            key,
+            |a, b| a == b,
+            &cost,
+        )
+        .collect();
         assert_eq!(net, vec![Net::Del(d), Net::Ins(i)]);
     }
 }

@@ -115,9 +115,8 @@ impl EagerView {
             if st.key == t.key {
                 rows.push(ViewTuple::join(t, &st));
             } else if err.is_none() {
-                err = Some(trijoin_common::Error::Invariant(
-                    "inverted posting key mismatch".into(),
-                ));
+                err =
+                    Some(trijoin_common::Error::Invariant("inverted posting key mismatch".into()));
             }
         })?;
         if let Some(e) = err {

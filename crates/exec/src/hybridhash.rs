@@ -15,9 +15,7 @@
 
 use std::collections::HashMap;
 
-use trijoin_common::{
-    types::hash_key, BaseTuple, Cost, JoinKey, Result, SystemParams, ViewTuple,
-};
+use trijoin_common::{types::hash_key, BaseTuple, Cost, JoinKey, Result, SystemParams, ViewTuple};
 use trijoin_storage::{Disk, HeapFile};
 
 use crate::relation::StoredRelation;
@@ -35,10 +33,24 @@ pub struct HybridHash {
 
 /// Number of spilled partitions, per §3.4:
 /// `B = max(0, ⌈(|R|·F − |M|)/(|M| − 1)⌉)`.
+///
+/// The paper's formula assumes `|M| ≥ 2`; with a single memory page the
+/// denominator vanishes, so that case degenerates to one spilled partition
+/// per page of hashed input (nothing stays resident).
 pub fn spilled_partitions(r_pages: u64, params: &SystemParams) -> u64 {
+    let scaled = r_pages as f64 * params.hash_overhead;
+    let hashed_pages = scaled.ceil().max(0.0) as u64;
     let m = params.mem_pages as f64;
-    let b = ((r_pages as f64 * params.hash_overhead - m) / (m - 1.0)).ceil();
-    b.max(0.0) as u64
+    if params.mem_pages <= 1 {
+        return hashed_pages;
+    }
+    let b = ((scaled - m) / (m - 1.0)).ceil();
+    if !b.is_finite() || b <= 0.0 {
+        return 0;
+    }
+    // A partition needs at least one page of input; B can never usefully
+    // exceed the hashed page count.
+    (b as u64).min(hashed_pages)
 }
 
 /// Fraction of `R` joined during the first pass: `q = |R0|/|R|` with
@@ -82,6 +94,19 @@ impl HybridHash {
         }
     }
 
+    /// Read a spilled run's records front to back, retrying transient
+    /// device faults with bounded backoff ([`crate::recovery::MAX_ATTEMPTS`]);
+    /// re-read I/O is charged under the `hh.retry` section. Reading the run
+    /// whole before building/probing means a retried scan never double-emits.
+    fn read_run(&self, run: &HeapFile) -> Result<Vec<Vec<u8>>> {
+        let mut attempt = 0u32;
+        crate::recovery::with_retry(|| {
+            attempt += 1;
+            let _g = (attempt > 1).then(|| self.cost.section("hh.retry"));
+            run.scan().map(|rec| rec.map(|(_, bytes)| bytes)).collect()
+        })
+    }
+
     /// Join two spilled runs entirely in memory (with recursive
     /// repartitioning if the build side exceeds the memory budget).
     fn join_runs(
@@ -94,19 +119,21 @@ impl HybridHash {
         let r_pages = r_run.num_pages() as u64;
         let fits = (r_pages as f64 * self.params.hash_overhead)
             <= (self.params.mem_pages.saturating_sub(2)) as f64;
+        let r_records = self.read_run(&r_run)?;
+        let s_records = self.read_run(&s_run)?;
+        r_run.destroy();
+        s_run.destroy();
         if fits || depth >= 8 {
             // Build (charge one hash per build tuple) ...
             let mut table: HashMap<JoinKey, Vec<BaseTuple>> = HashMap::new();
-            for rec in r_run.scan() {
-                let (_, bytes) = rec?;
+            for bytes in r_records {
                 let t = BaseTuple::from_bytes(&bytes)?;
                 self.cost.hash(1);
                 table.entry(t.key).or_default().push(t);
             }
             // ... probe.
             let mut emitted = 0u64;
-            for rec in s_run.scan() {
-                let (_, bytes) = rec?;
+            for bytes in s_records {
                 let st = BaseTuple::from_bytes(&bytes)?;
                 self.cost.hash(1);
                 if let Some(matches) = table.get(&st.key) {
@@ -120,8 +147,6 @@ impl HybridHash {
                     self.cost.comp(1);
                 }
             }
-            r_run.destroy();
-            s_run.destroy();
             return Ok(emitted);
         }
         // Recursive repartition of an oversized bucket.
@@ -131,25 +156,20 @@ impl HybridHash {
         let mut s_writers: Vec<trijoin_storage::heap::HeapWriter> =
             (0..sub).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
         // Salt the hash by depth so the re-split actually separates keys.
-        let split = |key: JoinKey| -> usize {
-            (hash_key(key.rotate_left(depth * 13 + 7)) % sub) as usize
-        };
-        for rec in r_run.scan() {
-            let (_, bytes) = rec?;
+        let split =
+            |key: JoinKey| -> usize { (hash_key(key.rotate_left(depth * 13 + 7)) % sub) as usize };
+        for bytes in r_records {
             let t = BaseTuple::from_bytes(&bytes)?;
             self.cost.hash(1);
             self.cost.mov(1);
             r_writers[split(t.key)].add(&bytes)?;
         }
-        for rec in s_run.scan() {
-            let (_, bytes) = rec?;
+        for bytes in s_records {
             let t = BaseTuple::from_bytes(&bytes)?;
             self.cost.hash(1);
             self.cost.mov(1);
             s_writers[split(t.key)].add(&bytes)?;
         }
-        r_run.destroy();
-        s_run.destroy();
         let mut emitted = 0u64;
         for (rw, sw) in r_writers.into_iter().zip(s_writers) {
             emitted += self.join_runs(rw.finish()?, sw.finish()?, depth + 1, sink)?;
@@ -179,9 +199,48 @@ impl JoinStrategy for HybridHash {
         s: &StoredRelation,
         sink: &mut dyn FnMut(ViewTuple),
     ) -> Result<u64> {
-        let _g = self.cost.section("hh.execute");
+        // Buffer emissions: a device fault mid-join must not leak a partial
+        // answer into the sink. The strategy is stateless, so past the
+        // bounded per-run retries ([`Self::read_run`]) recovery is a bounded
+        // number of full restarts charged under `hh.recover` — each planned
+        // fault fires exactly once, so a multi-fault plan drains across
+        // restarts unless it poisoned a base-relation page (unrecoverable by
+        // design; the typed error then surfaces).
+        let mut buffered: Vec<ViewTuple> = Vec::new();
+        let mut restarts = 0u32;
+        let emitted = loop {
+            let section = if restarts == 0 { "hh.execute" } else { "hh.recover" };
+            match self.join_once(r, s, section, &mut |vt| buffered.push(vt)) {
+                Ok(n) => break n,
+                Err(e) if e.is_device_fault() && restarts < crate::recovery::MAX_ATTEMPTS => {
+                    buffered.clear();
+                    restarts += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        for vt in buffered {
+            sink(vt);
+        }
+        Ok(emitted)
+    }
+}
+
+impl HybridHash {
+    /// One full §3.4 join (pass 0 plus spilled passes), fallible on any
+    /// injected device fault; [`JoinStrategy::execute`] wraps it with the
+    /// restart fallback (which re-runs under the `hh.recover` section).
+    fn join_once(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        section: &str,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
+        let _g = self.cost.section(section);
         let b = spilled_partitions(r.data_pages(), &self.params).max(u64::from(self.grace_mode));
-        let q = if self.grace_mode { 0.0 } else { first_pass_fraction(r.data_pages(), &self.params) };
+        let q =
+            if self.grace_mode { 0.0 } else { first_pass_fraction(r.data_pages(), &self.params) };
 
         // Pass 0 over R: build partition 0 in memory, spill 1..=B.
         let mut table: HashMap<JoinKey, Vec<BaseTuple>> = HashMap::new();
@@ -267,5 +326,62 @@ mod tests {
         // Paper-scale q: |R0| = (1000-17)/1.2 = 819 pages -> q ≈ 0.0573.
         let q = first_pass_fraction(14_286, &p);
         assert!((q - 0.0573).abs() < 0.001, "q = {q}");
+    }
+
+    fn params_with_mem(mem_pages: usize) -> SystemParams {
+        SystemParams { mem_pages, ..SystemParams::paper_defaults() }
+    }
+
+    #[test]
+    fn partition_count_degenerate_memory() {
+        // |M| = 1: the paper's denominator (|M| - 1) vanishes. Everything
+        // spills — one partition per hashed page — and q collapses to 0.
+        let p1 = params_with_mem(1);
+        assert_eq!(spilled_partitions(0, &p1), 0);
+        assert_eq!(spilled_partitions(10, &p1), (10.0f64 * p1.hash_overhead).ceil() as u64);
+        let q = first_pass_fraction(10, &p1);
+        assert!(q.is_finite() && q == 0.0, "q = {q}");
+
+        // |M| = 2: denominator 1, B = ceil(|R|·F − 2), capped at the hashed
+        // page count; q stays a finite value in [0, 1].
+        let p2 = params_with_mem(2);
+        let b2 = spilled_partitions(10, &p2);
+        let hashed = (10.0f64 * p2.hash_overhead).ceil() as u64;
+        assert!(b2 >= 1 && b2 <= hashed, "b2 = {b2}");
+        let q2 = first_pass_fraction(10, &p2);
+        assert!(q2.is_finite() && (0.0..=1.0).contains(&q2), "q2 = {q2}");
+
+        // |M| = 3: same invariants one step up.
+        let p3 = params_with_mem(3);
+        let b3 = spilled_partitions(10, &p3);
+        assert!(b3 <= b2, "B must not grow with more memory: {b3} > {b2}");
+        let q3 = first_pass_fraction(10, &p3);
+        assert!(q3.is_finite() && (0.0..=1.0).contains(&q3), "q3 = {q3}");
+        assert!(q3 >= q2, "q must not shrink with more memory: {q3} < {q2}");
+    }
+
+    #[test]
+    fn partition_count_empty_relation() {
+        // |R| = 0 never spills and the first pass covers "everything".
+        for mem in [1, 2, 3, 1000] {
+            let p = params_with_mem(mem);
+            assert_eq!(spilled_partitions(0, &p), 0, "mem = {mem}");
+            let q = first_pass_fraction(0, &p);
+            assert!((q - 1.0).abs() < 1e-12, "mem = {mem}, q = {q}");
+        }
+    }
+
+    #[test]
+    fn partition_count_never_truncates_to_garbage() {
+        // Huge |R| with tiny |M| must neither panic nor wrap to u64::MAX
+        // (the old `b.max(0.0) as u64` sent +inf there).
+        for mem in [1usize, 2, 3] {
+            let p = params_with_mem(mem);
+            let b = spilled_partitions(u32::MAX as u64, &p);
+            let hashed = (u32::MAX as u64 as f64 * p.hash_overhead).ceil() as u64;
+            assert!(b <= hashed, "mem = {mem}, b = {b}");
+            let q = first_pass_fraction(u32::MAX as u64, &p);
+            assert!(q.is_finite() && (0.0..=1.0).contains(&q), "mem = {mem}, q = {q}");
+        }
     }
 }

@@ -28,9 +28,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use trijoin_common::{
-    BaseTuple, Cost, Error, JiEntry, Result, Surrogate, SystemParams, ViewTuple,
-};
+use trijoin_common::{BaseTuple, Cost, Error, JiEntry, Result, Surrogate, SystemParams, ViewTuple};
 use trijoin_storage::{Disk, FileId, PageId};
 
 use crate::diff::{ji_sort_key, net_differentials, DiffLog, Net};
@@ -63,9 +61,7 @@ fn decode_ji_page(bytes: &[u8]) -> Result<Vec<JiEntry>> {
     if 2 + count * JiEntry::BYTES > bytes.len() {
         return Err(Error::Corrupt("join-index page count overflows page".into()));
     }
-    (0..count)
-        .map(|i| JiEntry::from_bytes(&bytes[2 + i * JiEntry::BYTES..]))
-        .collect()
+    (0..count).map(|i| JiEntry::from_bytes(&bytes[2 + i * JiEntry::BYTES..])).collect()
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +135,17 @@ impl JiFile {
         self.count
     }
 
+    /// The backing file (fault-injection targeting and space accounting).
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Release the backing file (used when a damaged index is rebuilt into
+    /// a fresh file and the old one is abandoned).
+    pub fn destroy(self) {
+        self.disk.delete_file(self.file);
+    }
+
     /// True when the index holds no pairs.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -173,9 +180,8 @@ impl JiFile {
     }
 
     fn insert_page_after(&mut self, idx: usize, entries: &[JiEntry]) -> Result<()> {
-        let pid = self
-            .disk
-            .append_page(self.file, &encode_ji_page(entries, self.disk.page_size()))?;
+        let pid =
+            self.disk.append_page(self.file, &encode_ji_page(entries, self.disk.page_size()))?;
         self.pages.insert(
             idx + 1,
             JiPageMeta { page_no: pid.page, min_r: entries.first().map(|e| e.r.0).unwrap_or(0) },
@@ -325,6 +331,44 @@ impl JoinIndexStrategy {
         &self.ji
     }
 
+    /// The index's backing file (fault-injection targeting).
+    pub fn index_file(&self) -> FileId {
+        self.ji.file_id()
+    }
+
+    /// Device-fault fallback: the cached index (or a differential run) is
+    /// damaged, so answer the query by recomputing `R ⋈ S` directly from
+    /// the base relations, validate against the oracle, and rebuild the
+    /// index into fresh pages — all charged under the `ji.recover` section.
+    fn recover(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        out: &mut Vec<ViewTuple>,
+    ) -> Result<u64> {
+        let _g = self.cost.section("ji.recover");
+        let def = crate::viewdef::ViewDef::full();
+        let (answer, r_filt, s_filt) = crate::recovery::recompute_join(r, s, &def, &self.cost)?;
+        crate::recovery::validate_against_oracle("join-index", &answer, &r_filt, &s_filt, &def)?;
+        let mut entries: Vec<JiEntry> =
+            answer.iter().map(|v| JiEntry { r: v.r_sur, s: v.s_sur }).collect();
+        entries.sort();
+        let distinct_r = entries.iter().map(|e| e.r).collect::<HashSet<_>>().len() as u64;
+        // Rebuild into a fresh file; the damaged one is abandoned (a fresh
+        // file carries no torn/poisoned marks).
+        let new_ji = JiFile::build(&self.disk, &self.params, &entries)?;
+        std::mem::replace(&mut self.ji, new_ji).destroy();
+        self.distinct_r = distinct_r;
+        // The recomputation already reflects every logged mutation (the
+        // base relations do), so pending differentials are superseded.
+        let (ins, del) = Self::fresh_logs(&self.disk, &self.cost, &self.params, self.r_tuple_bytes);
+        std::mem::replace(&mut self.ins_log, ins).destroy();
+        std::mem::replace(&mut self.del_log, del).destroy();
+        let n = answer.len() as u64;
+        out.extend(answer);
+        Ok(n)
+    }
+
     /// Point lookup: the S-surrogates joined with R-tuple `r`, straight
     /// from the clustered index pages (binary search over the in-memory
     /// page directory, then 1-2 page reads). Requires a clean index (no
@@ -344,13 +388,7 @@ impl JoinIndexStrategy {
         // group is page-aligned, else the last page with min_r < r (the
         // group sits inside it).
         let first_ge = self.ji.pages.partition_point(|m| m.min_r < r.0);
-        let mut idx = if self
-            .ji
-            .pages
-            .get(first_ge)
-            .map(|m| m.min_r == r.0)
-            .unwrap_or(false)
-        {
+        let mut idx = if self.ji.pages.get(first_ge).map(|m| m.min_r == r.0).unwrap_or(false) {
             first_ge
         } else {
             first_ge.saturating_sub(1)
@@ -458,6 +496,35 @@ impl JoinStrategy for JoinIndexStrategy {
         s: &StoredRelation,
         sink: &mut dyn FnMut(ViewTuple),
     ) -> Result<u64> {
+        // Buffer emissions: a mid-pass device fault must not leak a
+        // partial answer into the sink before recovery re-derives the
+        // exact one.
+        let mut buffered: Vec<ViewTuple> = Vec::new();
+        let emitted = match self.passes_execute(r, s, &mut |vt| buffered.push(vt)) {
+            Ok(n) => n,
+            Err(e) if e.is_device_fault() => {
+                buffered.clear();
+                self.recover(r, s, &mut buffered)?
+            }
+            Err(e) => return Err(e),
+        };
+        for vt in buffered {
+            sink(vt);
+        }
+        Ok(emitted)
+    }
+}
+
+impl JoinIndexStrategy {
+    /// The §3.3 pass pipeline (Figure 3), fallible on any injected device
+    /// fault; [`JoinStrategy::execute`] wraps it with the recovery
+    /// fallback.
+    fn passes_execute(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
         self.ins_log.seal()?;
         self.del_log.seal()?;
         let n1 = self.ins_log.num_runs().max(self.del_log.num_runs());
@@ -532,6 +599,11 @@ impl JoinStrategy for JoinIndexStrategy {
                     Net::Del(t) => dels.push(t),
                 }
             }
+            // A parked run-read error means the differential stream ended
+            // early and this pass's sets are incomplete: fail the pass
+            // (recovery takes over in the execute wrapper).
+            self.ins_log.stream_error()?;
+            self.del_log.stream_error()?;
 
             // ---- mark deletions (C2.2) ----------------------------------
             let del_surs: HashSet<Surrogate> = dels.iter().map(|t| t.sur).collect();
@@ -657,9 +729,7 @@ impl JoinStrategy for JoinIndexStrategy {
             for (i, (orig_idx, old_entries)) in pages.iter().enumerate() {
                 let upper: Option<u32> = pages.get(i + 1).map(|(idx, _)| self.ji.pages[*idx].min_r);
                 let end = match upper {
-                    Some(bound) => {
-                        merged[cursor..].partition_point(|e| e.r.0 < bound) + cursor
-                    }
+                    Some(bound) => merged[cursor..].partition_point(|e| e.r.0 < bound) + cursor,
                     None => merged.len(),
                 };
                 let slice = &merged[cursor..end];
@@ -687,8 +757,7 @@ impl JoinStrategy for JoinIndexStrategy {
 
         self.ji.count = new_count;
         self.distinct_r = new_distinct_r;
-        let (ins, del) =
-            Self::fresh_logs(&self.disk, &self.cost, &self.params, self.r_tuple_bytes);
+        let (ins, del) = Self::fresh_logs(&self.disk, &self.cost, &self.params, self.r_tuple_bytes);
         std::mem::replace(&mut self.ins_log, ins).destroy();
         std::mem::replace(&mut self.del_log, del).destroy();
         Ok(emitted)

@@ -14,6 +14,8 @@
 //!   maintenance (the paper's byproduct contribution);
 //! * [`hybridhash::HybridHash`] — §3.4, full re-evaluation;
 //! * [`oracle`] — trivially-auditable reference joins for testing;
+//! * [`recovery`] — bounded retry and oracle-validated rebuild of cached
+//!   state after injected device faults;
 //! * [`sort`] — operation-counted quicksort and k-way merging.
 
 pub mod bilateral;
@@ -23,6 +25,7 @@ pub mod hybridhash;
 pub mod joinindex;
 pub mod mv;
 pub mod oracle;
+pub mod recovery;
 pub mod relation;
 pub mod sort;
 pub mod strategy;

@@ -28,7 +28,7 @@ use trijoin_common::{
     types::hash_key, BaseTuple, Cost, Result, Surrogate, SystemParams, ViewTuple,
 };
 use trijoin_linearhash::{Addressing, LinearHash};
-use trijoin_storage::Disk;
+use trijoin_storage::{Disk, FileId};
 
 use crate::diff::{mv_sort_key, net_differentials, DiffLog, Net, SortKey};
 use crate::relation::StoredRelation;
@@ -40,7 +40,8 @@ use crate::viewdef::ViewDef;
 pub fn view_tuple_bytes(r_bytes: usize, s_bytes: usize) -> usize {
     // Each base tuple contributes its payload (T − header); the view adds
     // its own header.
-    ViewTuple::HEADER_BYTES + (r_bytes - BaseTuple::HEADER_BYTES)
+    ViewTuple::HEADER_BYTES
+        + (r_bytes - BaseTuple::HEADER_BYTES)
         + (s_bytes - BaseTuple::HEADER_BYTES)
 }
 
@@ -88,7 +89,8 @@ impl MaterializedView {
                 s_tuples.push(t);
             }
         })?;
-        let mut by_key: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        let mut by_key: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
         for (i, st) in s_tuples.iter().enumerate() {
             by_key.entry(st.key).or_default().push(i);
         }
@@ -160,8 +162,7 @@ impl MaterializedView {
         let n_ir = self.params.tuples_per_full_page(self.r_tuple_bytes) as f64;
         let tv = self.def.view_tuple_bytes(self.r_tuple_bytes, self.s_tuple_bytes) as f64;
         let p = self.params.page_size as f64;
-        let mrg_space =
-            2.0 * n1 as f64 * (self.r_tuple_bytes as f64 + self.params.sptr as f64) / p;
+        let mrg_space = 2.0 * n1 as f64 * (self.r_tuple_bytes as f64 + self.params.sptr as f64) / p;
         let sort_space = 1.0;
         let mut w = 1usize;
         loop {
@@ -177,6 +178,11 @@ impl MaterializedView {
     /// Number of view tuples currently cached.
     pub fn view_len(&self) -> u64 {
         self.v.len()
+    }
+
+    /// The view's backing file (fault-injection targeting).
+    pub fn view_file(&self) -> FileId {
+        self.v.file_id()
     }
 
     /// Pages of the view file (≈ the paper's `F·|V|`).
@@ -279,6 +285,50 @@ impl MaterializedView {
         );
         Ok(out)
     }
+
+    /// Device-fault fallback: the cached view (or a differential run) is
+    /// damaged, so answer the query by recomputing `R ⋈ S` directly from
+    /// the base relations, validate against the oracle, and rebuild `V`
+    /// into fresh pages — all charged under the `mv.recover` section.
+    fn recover(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        out: &mut Vec<ViewTuple>,
+    ) -> Result<u64> {
+        let _g = self.cost.section("mv.recover");
+        let (answer, r_filt, s_filt) =
+            crate::recovery::recompute_join(r, s, &self.def, &self.cost)?;
+        crate::recovery::validate_against_oracle(
+            "materialized-view",
+            &answer,
+            &r_filt,
+            &s_filt,
+            &self.def,
+        )?;
+        // Rebuild the view into a fresh file; the damaged one is abandoned
+        // (a fresh file carries no torn/poisoned marks).
+        let records: Vec<(u64, Vec<u8>)> =
+            answer.iter().map(|vt| (hash_key(vt.key), vt.to_bytes())).collect();
+        let count = answer.len() as u64;
+        let tv = self.def.view_tuple_bytes(self.r_tuple_bytes, self.s_tuple_bytes);
+        let new_v = LinearHash::build(&self.disk, &self.params, records, count, tv)?;
+        std::mem::replace(&mut self.v, new_v).destroy();
+        self.addressing = self.v.addressing();
+        // The recomputation already reflects every logged mutation (the
+        // base relations do), so pending differentials are superseded.
+        let (ins, del) = Self::fresh_logs(
+            &self.disk,
+            &self.cost,
+            &self.params,
+            self.r_tuple_bytes,
+            self.addressing,
+        );
+        std::mem::replace(&mut self.ins_log, ins).destroy();
+        std::mem::replace(&mut self.del_log, del).destroy();
+        out.extend(answer);
+        Ok(count)
+    }
 }
 
 impl JoinStrategy for MaterializedView {
@@ -308,6 +358,35 @@ impl JoinStrategy for MaterializedView {
         s: &StoredRelation,
         sink: &mut dyn FnMut(ViewTuple),
     ) -> Result<u64> {
+        // Buffer emissions: a mid-merge device fault must not leak a
+        // partial answer into the sink before recovery re-derives the
+        // exact one.
+        let mut buffered: Vec<ViewTuple> = Vec::new();
+        let emitted = match self.merge_execute(r, s, &mut |vt| buffered.push(vt)) {
+            Ok(n) => n,
+            Err(e) if e.is_device_fault() => {
+                buffered.clear();
+                self.recover(r, s, &mut buffered)?
+            }
+            Err(e) => return Err(e),
+        };
+        for vt in buffered {
+            sink(vt);
+        }
+        Ok(emitted)
+    }
+}
+
+impl MaterializedView {
+    /// The §3.2 merge pipeline (the paper's steps 1–4), fallible on any
+    /// injected device fault; [`JoinStrategy::execute`] wraps it with the
+    /// recovery fallback.
+    fn merge_execute(
+        &mut self,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        sink: &mut dyn FnMut(ViewTuple),
+    ) -> Result<u64> {
         self.ins_log.seal()?;
         self.del_log.seal()?;
         let n1 = self.ins_log.num_runs().max(self.del_log.num_runs());
@@ -330,8 +409,7 @@ impl JoinStrategy for MaterializedView {
         // The MV log sees every update, so chains are contiguous and
         // byte-identity is the exact cancellation equivalence.
         let mut net =
-            net_differentials(ins_stream, del_stream, key_of, |a, b| a == b, &self.cost)
-                .peekable();
+            net_differentials(ins_stream, del_stream, key_of, |a, b| a == b, &self.cost).peekable();
 
         let bucket_of_key = move |k: SortKey| -> u64 { (k >> 96) as u64 };
 
@@ -353,10 +431,8 @@ impl JoinStrategy for MaterializedView {
                     let bucket = bucket_of_key(key);
                     if batch.len() >= wr_tuples {
                         // Extend only to the current bucket boundary.
-                        let last_bucket = batch
-                            .last()
-                            .map(|t| bucket_of_key(key_of(t)))
-                            .unwrap_or(bucket);
+                        let last_bucket =
+                            batch.last().map(|t| bucket_of_key(key_of(t))).unwrap_or(bucket);
                         if bucket > last_bucket {
                             break;
                         }
@@ -367,6 +443,11 @@ impl JoinStrategy for MaterializedView {
                     }
                 }
             }
+            // A parked run-read error means the differential stream ended
+            // early and the batch is incomplete: fail the merge (recovery
+            // takes over in the execute wrapper).
+            self.ins_log.stream_error()?;
+            self.del_log.stream_error()?;
             let batch_empty = batch.is_empty();
             // The scan below may process up to the batch's last bucket; if
             // the stream is exhausted, finish the whole file.

@@ -1,0 +1,186 @@
+//! Self-healing support for strategies with cached state.
+//!
+//! The fault-injection plan on [`trijoin_storage::SimDisk`] produces typed
+//! [`Error::DeviceFault`] errors. Strategies react according to the fault
+//! taxonomy (`trijoin_common::FaultKind`):
+//!
+//! * **Transient** faults clear after firing, so bounded retry of the failed
+//!   read/scan succeeds — used for spilled-run I/O in hybrid-hash and for
+//!   the base-relation snapshots recovery itself takes.
+//! * **Torn/poisoned** pages stay damaged until rewritten. A strategy whose
+//!   *cached* structure (view file, join index, differential runs) is hit
+//!   falls back to recomputing the current answer directly from the base
+//!   relations — an in-memory hybrid-hash pass, everything in partition 0 —
+//!   validates the recomputation against [`crate::oracle`], rebuilds the
+//!   cached structure into fresh pages, and answers the query exactly.
+//!
+//! The legacy one-shot [`Error::Faulted`] (from `SimDisk::inject_fault`) is
+//! exempt: its contract is to surface unchanged, and the error-path tests
+//! assert exactly that.
+
+use std::collections::HashMap;
+
+use trijoin_common::{BaseTuple, Cost, Error, JoinKey, Result, ViewTuple};
+
+use crate::relation::StoredRelation;
+use crate::viewdef::ViewDef;
+
+/// Attempts allowed for one retryable operation (the original try plus two
+/// retries — the simulated analogue of bounded backoff).
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// Run `op` up to [`MAX_ATTEMPTS`] times, retrying only on retryable
+/// (transient) device faults. Non-retryable errors propagate immediately.
+pub fn with_retry<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut last: Option<Error> = None;
+    for _ in 0..MAX_ATTEMPTS {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("retry loop exits early unless a fault was seen"))
+}
+
+/// Snapshot a base relation's tuples, retrying transient faults. Base
+/// relations are the recovery source of truth, so this is the one read path
+/// recovery itself depends on.
+pub fn snapshot_relation(rel: &StoredRelation) -> Result<Vec<BaseTuple>> {
+    with_retry(|| {
+        let mut out = Vec::with_capacity(rel.len() as usize);
+        rel.scan(|t| out.push(t))?;
+        Ok(out)
+    })
+}
+
+/// Recompute the current query answer directly from base-relation
+/// snapshots: an in-memory hash join (hybrid-hash with everything in
+/// partition 0) honoring `def`, with the usual per-operation charges.
+/// Returns `(answer, def-filtered R, def-filtered S)` so the caller can
+/// validate against the oracle and rebuild its cached structure.
+pub fn recompute_join(
+    r: &StoredRelation,
+    s: &StoredRelation,
+    def: &ViewDef,
+    cost: &Cost,
+) -> Result<(Vec<ViewTuple>, Vec<BaseTuple>, Vec<BaseTuple>)> {
+    let r_all = snapshot_relation(r)?;
+    let s_all = snapshot_relation(s)?;
+    let r_filt: Vec<BaseTuple> = r_all.into_iter().filter(|t| def.r_pred.eval(t)).collect();
+    let s_filt: Vec<BaseTuple> = s_all.into_iter().filter(|t| def.s_pred.eval(t)).collect();
+
+    let mut by_key: HashMap<JoinKey, Vec<&BaseTuple>> = HashMap::new();
+    for st in &s_filt {
+        cost.hash(1);
+        by_key.entry(st.key).or_default().push(st);
+    }
+    let mut answer: Vec<ViewTuple> = Vec::new();
+    for rt in &r_filt {
+        cost.hash(1);
+        match by_key.get(&rt.key) {
+            Some(matches) => {
+                cost.comp(matches.len() as u64);
+                for st in matches {
+                    cost.mov(1);
+                    answer.push(def.make_view_tuple(rt, st));
+                }
+            }
+            None => cost.comp(1),
+        }
+    }
+    Ok((answer, r_filt, s_filt))
+}
+
+/// Validate a recomputed answer against the independent oracle join: the
+/// (r, s) surrogate pair sets must match exactly, and for a full view the
+/// tuples themselves must match byte-for-byte. Returns an invariant error
+/// (not a panic) on mismatch so callers can surface it.
+pub fn validate_against_oracle(
+    label: &str,
+    answer: &[ViewTuple],
+    r_filt: &[BaseTuple],
+    s_filt: &[BaseTuple],
+    def: &ViewDef,
+) -> Result<()> {
+    let mut got_pairs: Vec<_> = answer.iter().map(|v| (v.r_sur, v.s_sur)).collect();
+    got_pairs.sort_unstable();
+    let mut want_pairs: Vec<_> =
+        crate::oracle::join_pairs(r_filt, s_filt).into_iter().map(|e| (e.r, e.s)).collect();
+    want_pairs.sort_unstable();
+    if got_pairs != want_pairs {
+        return Err(Error::Invariant(format!(
+            "{label}: recovery recompute disagrees with oracle on join pairs \
+             ({} vs {})",
+            got_pairs.len(),
+            want_pairs.len()
+        )));
+    }
+    if def.is_full() {
+        let mut got: Vec<ViewTuple> = answer.to_vec();
+        got.sort_by_key(|v| (v.r_sur, v.s_sur));
+        let mut want = crate::oracle::join_tuples(r_filt, s_filt);
+        want.sort_by_key(|v| (v.r_sur, v.s_sur));
+        if got != want {
+            return Err(Error::Invariant(format!(
+                "{label}: recovery recompute disagrees with oracle on tuple contents"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trijoin_common::{FaultKind, FaultOp};
+
+    #[test]
+    fn retry_passes_through_success_and_hard_errors() {
+        let mut calls = 0;
+        let ok: Result<u32> = with_retry(|| {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(ok.unwrap(), 7);
+        assert_eq!(calls, 1);
+
+        let mut calls = 0;
+        let hard: Result<u32> = with_retry(|| {
+            calls += 1;
+            Err(Error::Faulted)
+        });
+        assert_eq!(hard.unwrap_err(), Error::Faulted);
+        assert_eq!(calls, 1, "legacy faults are never retried");
+    }
+
+    #[test]
+    fn retry_retries_transients_boundedly() {
+        let transient = || Error::DeviceFault {
+            op: FaultOp::Read,
+            kind: FaultKind::Transient,
+            file: 0,
+            page: 0,
+        };
+        // Succeeds on the second attempt.
+        let mut calls = 0;
+        let out: Result<&str> = with_retry(|| {
+            calls += 1;
+            if calls < 2 {
+                Err(transient())
+            } else {
+                Ok("recovered")
+            }
+        });
+        assert_eq!(out.unwrap(), "recovered");
+        assert_eq!(calls, 2);
+        // Gives up after MAX_ATTEMPTS.
+        let mut calls = 0;
+        let out: Result<&str> = with_retry(|| {
+            calls += 1;
+            Err(transient())
+        });
+        assert!(out.unwrap_err().is_retryable());
+        assert_eq!(calls, MAX_ATTEMPTS);
+    }
+}

@@ -7,8 +7,8 @@
 //! `R` does not (only `S` is probed by join attribute in the paper's
 //! algorithms).
 
-use trijoin_common::{BaseTuple, Cost, Error, Result, Surrogate, SystemParams};
 use trijoin_btree::{BTree, BTreeConfig};
+use trijoin_common::{BaseTuple, Cost, Error, Result, Surrogate, SystemParams};
 use trijoin_storage::Disk;
 
 /// A base relation stored per Table 5.
@@ -50,10 +50,8 @@ impl StoredRelation {
             tuples.iter().map(|t| (t.sur.0 as u64, t.to_bytes())),
         )?;
         let inverted = if with_inverted {
-            let mut entries: Vec<(u64, Vec<u8>)> = tuples
-                .iter()
-                .map(|t| (t.key, t.sur.0.to_le_bytes().to_vec()))
-                .collect();
+            let mut entries: Vec<(u64, Vec<u8>)> =
+                tuples.iter().map(|t| (t.key, t.sur.0.to_le_bytes().to_vec())).collect();
             entries.sort();
             Some(BTree::bulk_load(disk, BTreeConfig::inverted(params), entries)?)
         } else {
@@ -156,16 +154,14 @@ impl StoredRelation {
     /// Full scan in surrogate order (one read I/O per leaf page).
     pub fn scan(&self, mut f: impl FnMut(BaseTuple)) -> Result<()> {
         let mut err = None;
-        self.clustered.for_each(|_, bytes| {
-            match BaseTuple::from_bytes(bytes) {
-                Ok(t) => {
-                    f(t);
-                    true
-                }
-                Err(e) => {
-                    err = Some(e);
-                    false
-                }
+        self.clustered.for_each(|_, bytes| match BaseTuple::from_bytes(bytes) {
+            Ok(t) => {
+                f(t);
+                true
+            }
+            Err(e) => {
+                err = Some(e);
+                false
             }
         })?;
         match err {
@@ -227,9 +223,7 @@ impl StoredRelation {
         if new.serialized_len() != self.tuple_bytes {
             return Err(Error::Invariant("update changes tuple size".into()));
         }
-        let removed = self
-            .clustered
-            .remove_where(old.sur.0 as u64, |_| true)?;
+        let removed = self.clustered.remove_where(old.sur.0 as u64, |_| true)?;
         if !removed {
             return Err(Error::KeyNotFound(old.sur.0 as u64));
         }
@@ -308,10 +302,8 @@ mod tests {
         let mut dup = tuples(5, |_| 0);
         dup.push(BaseTuple::padded(Surrogate(0), 7, 64));
         assert!(StoredRelation::build(&disk, &params, "D", dup, false).is_err());
-        let mixed = vec![
-            BaseTuple::padded(Surrogate(0), 0, 64),
-            BaseTuple::padded(Surrogate(1), 0, 80),
-        ];
+        let mixed =
+            vec![BaseTuple::padded(Surrogate(0), 0, 64), BaseTuple::padded(Surrogate(1), 0, 80)];
         assert!(StoredRelation::build(&disk, &params, "M", mixed, false).is_err());
     }
 

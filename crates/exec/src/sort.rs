@@ -15,11 +15,7 @@ use trijoin_common::Cost;
 ///
 /// Keys should be precomputed by the caller (who charges `hash` for hashed
 /// keys); this routine charges only comparisons and moves.
-pub fn counted_sort_by<T, K: Ord + Copy>(
-    items: &mut [T],
-    key_of: impl Fn(&T) -> K,
-    cost: &Cost,
-) {
+pub fn counted_sort_by<T, K: Ord + Copy>(items: &mut [T], key_of: impl Fn(&T) -> K, cost: &Cost) {
     let mut keys: Vec<K> = items.iter().map(&key_of).collect();
     let mut comps = 0u64;
     let mut moves = 0u64;
@@ -234,7 +230,8 @@ mod tests {
     fn kway_merge_single_source_is_identity() {
         let cost = Cost::new();
         let a = vec![3u64, 5, 9];
-        let merged: Vec<u64> = KWayMerge::new(vec![a.clone().into_iter()], |x| *x, cost.clone()).collect();
+        let merged: Vec<u64> =
+            KWayMerge::new(vec![a.clone().into_iter()], |x| *x, cost.clone()).collect();
         assert_eq!(merged, a);
         assert_eq!(cost.total().comps, 0, "single source needs no comparisons");
     }

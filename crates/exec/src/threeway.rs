@@ -19,9 +19,7 @@
 
 use std::collections::HashMap;
 
-use trijoin_common::{
-    types::hash_key, BaseTuple, Cost, JoinKey, Result, SystemParams, ViewTuple,
-};
+use trijoin_common::{types::hash_key, BaseTuple, Cost, JoinKey, Result, SystemParams, ViewTuple};
 use trijoin_storage::{Disk, HeapFile};
 
 use crate::hybridhash::{first_pass_fraction, spilled_partitions};
@@ -44,10 +42,7 @@ pub type Key2Fn = fn(&ViewTuple) -> JoinKey;
 /// The default `B` extractor used by the workloads here: the first 8 bytes
 /// of the `S`-side payload, little-endian (0 if too short).
 pub fn key2_from_s_payload(v: &ViewTuple) -> JoinKey {
-    v.s_payload
-        .get(..8)
-        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-        .unwrap_or(0)
+    v.s_payload.get(..8).map(|b| u64::from_le_bytes(b.try_into().unwrap())).unwrap_or(0)
 }
 
 /// Execute `strategy ⋈_B T`, feeding rows to `sink`; returns the count.
@@ -200,7 +195,11 @@ pub fn three_way_oracle(
 }
 
 /// Canonical sort + exact comparison of three-way results.
-pub fn assert_same_three_way(label: &str, mut got: Vec<ThreeWayTuple>, mut want: Vec<ThreeWayTuple>) {
+pub fn assert_same_three_way(
+    label: &str,
+    mut got: Vec<ThreeWayTuple>,
+    mut want: Vec<ThreeWayTuple>,
+) {
     let key = |x: &ThreeWayTuple| (x.inner.r_sur, x.inner.s_sur, x.t.sur);
     got.sort_by_key(key);
     want.sort_by_key(key);

@@ -100,7 +100,12 @@ pub struct ViewDef {
 
 impl Default for ViewDef {
     fn default() -> Self {
-        ViewDef { r_pred: Predicate::True, s_pred: Predicate::True, r_project: None, s_project: None }
+        ViewDef {
+            r_pred: Predicate::True,
+            s_pred: Predicate::True,
+            r_project: None,
+            s_project: None,
+        }
     }
 }
 
@@ -192,11 +197,7 @@ mod tests {
 
     #[test]
     fn projection_sizes_and_tuples() {
-        let def = ViewDef {
-            r_project: Some(4),
-            s_project: Some(0),
-            ..ViewDef::default()
-        };
+        let def = ViewDef { r_project: Some(4), s_project: Some(0), ..ViewDef::default() };
         // 48-byte tuples: payload 34 bytes each side.
         assert_eq!(def.view_tuple_bytes(48, 48), ViewTuple::HEADER_BYTES + 4);
         let full = ViewDef::full();
@@ -217,10 +218,7 @@ mod tests {
 
     #[test]
     fn mutation_translation_detects_irrelevant_updates() {
-        let def = ViewDef {
-            r_pred: Predicate::KeyRange { lo: 0, hi: 9 },
-            ..ViewDef::default()
-        };
+        let def = ViewDef { r_pred: Predicate::KeyRange { lo: 0, hi: 9 }, ..ViewDef::default() };
         let inside = tup(5, b"x");
         let outside = tup(50, b"y");
         // Irrelevant: both states outside the selection.
@@ -238,9 +236,6 @@ mod tests {
         assert_eq!(def.translate_r(&m), (Some(inside.clone()), Some(inside2)));
         // Inserts/deletes filter too.
         assert_eq!(def.translate_r(&Mutation::Insert(outside.clone())), (None, None));
-        assert_eq!(
-            def.translate_r(&Mutation::Delete(inside.clone())),
-            (Some(inside), None)
-        );
+        assert_eq!(def.translate_r(&Mutation::Delete(inside.clone())), (Some(inside), None));
     }
 }

@@ -1,13 +1,14 @@
-//! Fault injection: every strategy and substrate must surface a device
-//! fault as a clean `Err`, never a panic, and must work again once the
-//! fault clears.
+//! Fault injection: every strategy and substrate must surface a legacy
+//! one-shot fault as a clean `Err`, never a panic — and must *recover*
+//! from the typed device faults of a [`FaultPlan`], answering the query
+//! exactly despite damaged cached state.
 
-use trijoin_common::{BaseTuple, Cost, Error, Surrogate, SystemParams};
+use trijoin_common::{BaseTuple, Cost, Error, Surrogate, SystemParams, ViewTuple};
 use trijoin_exec::{
-    execute_collect, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView,
-    StoredRelation,
+    execute_collect, oracle, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView,
+    Mutation, StoredRelation,
 };
-use trijoin_storage::{Disk, SimDisk};
+use trijoin_storage::{Disk, FaultPlan, SimDisk};
 
 fn setup() -> (Disk, Cost, SystemParams, StoredRelation, StoredRelation) {
     let cost = Cost::new();
@@ -78,4 +79,117 @@ fn relation_mutation_fault_does_not_panic() {
     // territory, which the 1989 model does not include).
     let _ = r.get(Surrogate(3)).unwrap();
     let _ = r.get(Surrogate(4)).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Typed device faults (FaultPlan): strategies recover, answers stay exact.
+// ---------------------------------------------------------------------
+
+fn oracle_answer(r: &StoredRelation, s: &StoredRelation) -> Vec<ViewTuple> {
+    let mut r_all = Vec::new();
+    r.scan(|t| r_all.push(t)).unwrap();
+    let mut s_all = Vec::new();
+    s.scan(|t| s_all.push(t)).unwrap();
+    oracle::join_tuples(&r_all, &s_all)
+}
+
+#[test]
+fn mv_recovers_exactly_from_poisoned_view_read() {
+    let (disk, cost, params, r, s) = setup();
+    let mut mv = MaterializedView::build(&disk, &params, &cost, &r, &s).unwrap();
+    let want = oracle_answer(&r, &s);
+    disk.install_fault_plan(FaultPlan::new().poison_nth_read(Some(mv.view_file()), 0));
+    let got = execute_collect(&mut mv, &r, &s).unwrap();
+    oracle::assert_same_join("mv poisoned view", got, want.clone());
+    assert_eq!(disk.faults_fired(), 1, "the poison fired exactly once");
+    assert!(
+        !cost.section_counts("mv.recover").is_zero(),
+        "rebuild work appears as the mv.recover section"
+    );
+    // The rebuilt view serves the next query without further recovery.
+    let recover_before = cost.section_counts("mv.recover");
+    let again = execute_collect(&mut mv, &r, &s).unwrap();
+    oracle::assert_same_join("mv after rebuild", again, want);
+    assert_eq!(cost.section_counts("mv.recover"), recover_before);
+}
+
+#[test]
+fn mv_recovers_exactly_from_torn_view_write() {
+    let (disk, cost, params, mut r, s) = setup();
+    let mut mv = MaterializedView::build(&disk, &params, &cost, &r, &s).unwrap();
+    // Pend an insertion so the merge must rewrite a view bucket.
+    let t = BaseTuple::padded(Surrogate(500), 3, 64);
+    mv.on_mutation(&Mutation::Insert(t.clone())).unwrap();
+    r.apply_mutation(&Mutation::Insert(t)).unwrap();
+    let want = oracle_answer(&r, &s);
+    disk.install_fault_plan(FaultPlan::new().torn_write(Some(mv.view_file()), 0));
+    let got = execute_collect(&mut mv, &r, &s).unwrap();
+    oracle::assert_same_join("mv torn view write", got, want.clone());
+    assert_eq!(disk.faults_fired(), 1);
+    assert!(!cost.section_counts("mv.recover").is_zero());
+    let again = execute_collect(&mut mv, &r, &s).unwrap();
+    oracle::assert_same_join("mv after torn-write rebuild", again, want);
+}
+
+#[test]
+fn ji_recovers_exactly_from_poisoned_index_read() {
+    let (disk, cost, params, r, s) = setup();
+    let mut ji = JoinIndexStrategy::build(&disk, &params, &cost, &r, &s).unwrap();
+    let want = oracle_answer(&r, &s);
+    disk.install_fault_plan(FaultPlan::new().poison_nth_read(Some(ji.index_file()), 0));
+    let got = execute_collect(&mut ji, &r, &s).unwrap();
+    oracle::assert_same_join("ji poisoned index", got, want.clone());
+    assert_eq!(disk.faults_fired(), 1);
+    assert!(
+        !cost.section_counts("ji.recover").is_zero(),
+        "rebuild work appears as the ji.recover section"
+    );
+    ji.index().check_invariants().unwrap();
+    let recover_before = cost.section_counts("ji.recover");
+    let again = execute_collect(&mut ji, &r, &s).unwrap();
+    oracle::assert_same_join("ji after rebuild", again, want);
+    assert_eq!(cost.section_counts("ji.recover"), recover_before);
+}
+
+#[test]
+fn hh_survives_transient_read_faults_anywhere() {
+    // Unscoped transient read faults at several countdowns: whether the
+    // fault lands on a base-relation scan (whole-join restart) or a
+    // spilled-run scan (bounded per-run retry), the answer stays exact.
+    let (disk, cost, params, r, s) = setup();
+    let want = oracle_answer(&r, &s);
+    let mut hh = HybridHash::new(&disk, &params, &cost);
+    for after in [0u64, 3, 11, 29] {
+        disk.clear_faults();
+        let fired_before = disk.faults_fired();
+        disk.install_fault_plan(FaultPlan::new().fail_nth_read(None, after));
+        let got = execute_collect(&mut hh, &r, &s).unwrap();
+        oracle::assert_same_join(&format!("hh transient read after {after}"), got, want.clone());
+        assert_eq!(
+            disk.faults_fired() - fired_before,
+            1,
+            "after {after}: fault must actually fire"
+        );
+    }
+    let retry = cost.section_counts("hh.retry");
+    let restart = cost.section_counts("hh.recover");
+    assert!(
+        !retry.is_zero() || !restart.is_zero(),
+        "recovery work must be ledgered: retry {retry:?}, restart {restart:?}"
+    );
+}
+
+#[test]
+fn legacy_fault_is_never_recovered() {
+    // The one-shot `inject_fault` countdown is the error-path contract:
+    // strategies must surface it, not absorb it into recovery.
+    let (disk, cost, params, r, s) = setup();
+    let mut mv = MaterializedView::build(&disk, &params, &cost, &r, &s).unwrap();
+    disk.inject_fault(7);
+    assert_eq!(mv.execute(&r, &s, &mut |_| {}).unwrap_err(), Error::Faulted);
+    disk.clear_fault();
+    assert!(
+        cost.section_counts("mv.recover").is_zero(),
+        "legacy faults must not trigger the recovery path"
+    );
 }

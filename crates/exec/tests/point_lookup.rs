@@ -11,7 +11,9 @@ use trijoin_storage::{Disk, SimDisk};
 
 const TUPLE: usize = 64;
 
-fn setup(seed: u64) -> (Disk, Cost, SystemParams, StoredRelation, StoredRelation, Vec<BaseTuple>, Vec<BaseTuple>) {
+fn setup(
+    seed: u64,
+) -> (Disk, Cost, SystemParams, StoredRelation, StoredRelation, Vec<BaseTuple>, Vec<BaseTuple>) {
     let cost = Cost::new();
     let params = SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() };
     let disk = SimDisk::new(&params, cost.clone());
@@ -62,11 +64,8 @@ fn ji_partner_lookup_matches_oracle_and_is_cheap() {
         let mut got = ji.partners_of_r(Surrogate(probe)).unwrap();
         got.sort();
         let key = r_now[probe as usize].key;
-        let mut want: Vec<Surrogate> = s_now
-            .iter()
-            .filter(|t| t.key == key)
-            .map(|t| t.sur)
-            .collect();
+        let mut want: Vec<Surrogate> =
+            s_now.iter().filter(|t| t.key == key).map(|t| t.sur).collect();
         want.sort();
         assert_eq!(got, want, "r = {probe}");
         assert!(cost.total().ios <= 4, "point lookup took {} IOs", cost.total().ios);

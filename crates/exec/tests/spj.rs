@@ -12,7 +12,9 @@ use trijoin_storage::{Disk, SimDisk};
 
 const TUPLE: usize = 64;
 
-fn setup(seed: u64) -> (Disk, Cost, SystemParams, StoredRelation, StoredRelation, Vec<BaseTuple>, Vec<BaseTuple>) {
+fn setup(
+    seed: u64,
+) -> (Disk, Cost, SystemParams, StoredRelation, StoredRelation, Vec<BaseTuple>, Vec<BaseTuple>) {
     let cost = Cost::new();
     let params = SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() };
     let disk = SimDisk::new(&params, cost.clone());
@@ -80,8 +82,7 @@ fn spj_view_survives_updates_across_the_selection_boundary() {
     let def = sample_def();
     let mut view =
         MaterializedView::build_with(&disk, &params, &cost, &r, &s, def.clone()).unwrap();
-    let mut r_map: HashMap<u32, BaseTuple> =
-        r_now.into_iter().map(|t| (t.sur.0, t)).collect();
+    let mut r_map: HashMap<u32, BaseTuple> = r_now.into_iter().map(|t| (t.sur.0, t)).collect();
     let mut rn = rng::seeded(620);
     for _ in 0..80 {
         let surs: Vec<u32> = {
@@ -114,20 +115,16 @@ fn spj_view_survives_updates_across_the_selection_boundary() {
 #[test]
 fn irrelevant_updates_cost_nothing() {
     let (disk, cost, params, mut r, s, r_now, _s_now) = setup(63);
-    let def = ViewDef {
-        r_pred: Predicate::KeyRange { lo: 0, hi: 3 },
-        ..ViewDef::default()
-    };
+    let def = ViewDef { r_pred: Predicate::KeyRange { lo: 0, hi: 3 }, ..ViewDef::default() };
     let mut view =
         MaterializedView::build_with(&disk, &params, &cost, &r, &s, def.clone()).unwrap();
     // Updates entirely outside the selection: keys 6..12 -> 6..12.
-    let outside: Vec<BaseTuple> =
-        r_now.iter().filter(|t| t.key >= 6).take(20).cloned().collect();
+    let outside: Vec<BaseTuple> = r_now.iter().filter(|t| t.key >= 6).take(20).cloned().collect();
     assert!(outside.len() >= 10, "fixture needs outside tuples");
     cost.reset();
     for (i, old) in outside.iter().enumerate() {
-        let new = BaseTuple::with_payload(old.sur, 6 + (old.key + 1) % 6, &[i as u8], TUPLE)
-            .unwrap();
+        let new =
+            BaseTuple::with_payload(old.sur, 6 + (old.key + 1) % 6, &[i as u8], TUPLE).unwrap();
         let m = Mutation::Update(Update { old: old.clone(), new: new.clone() });
         view.on_mutation(&m).unwrap();
         // Note: applying to the base relation costs I/O, but the *view*
@@ -172,10 +169,7 @@ fn projection_shrinks_the_view() {
 #[test]
 fn spj_handles_inserts_and_deletes() {
     let (disk, cost, params, mut r, s, r_now, s_now) = setup(65);
-    let def = ViewDef {
-        r_pred: Predicate::KeyRange { lo: 0, hi: 5 },
-        ..ViewDef::default()
-    };
+    let def = ViewDef { r_pred: Predicate::KeyRange { lo: 0, hi: 5 }, ..ViewDef::default() };
     let mut view =
         MaterializedView::build_with(&disk, &params, &cost, &r, &s, def.clone()).unwrap();
     let mut r_map: HashMap<u32, BaseTuple> = r_now.into_iter().map(|t| (t.sur.0, t)).collect();

@@ -8,8 +8,8 @@ use rand::prelude::*;
 use trijoin_common::{rng, BaseTuple, Cost, Surrogate, SystemParams};
 use trijoin_exec::oracle;
 use trijoin_exec::{
-    execute_collect, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView,
-    StoredRelation, Update,
+    execute_collect, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, StoredRelation,
+    Update,
 };
 use trijoin_storage::{Disk, SimDisk};
 
@@ -32,17 +32,14 @@ impl TestDb {
     fn new(n_r: u32, n_s: u32, key_domain: u64, seed: u64) -> Self {
         let mut rn = rng::seeded(rng::derive(seed, "build"));
         let cost = Cost::new();
-        let params = SystemParams {
-            page_size: 512,
-            mem_pages: 24,
-            ..SystemParams::paper_defaults()
-        };
+        let params =
+            SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() };
         let disk = SimDisk::new(&params, cost.clone());
         let mk = |i: u32, rn: &mut StdRng| {
             let key = if rn.gen_bool(0.8) {
                 rn.gen_range(0..key_domain)
             } else {
-                1_000_000 + rn.gen_range(0..1000) // unmatched range
+                1_000_000 + rn.gen_range(0u64..1000) // unmatched range
             };
             let payload: Vec<u8> = (0..8).map(|_| rn.gen()).collect();
             BaseTuple::with_payload(Surrogate(i), key, &payload, TUPLE).unwrap()
@@ -83,7 +80,7 @@ impl TestDb {
             if rn.gen_bool(0.8) {
                 rn.gen_range(0..key_domain)
             } else {
-                1_000_000 + rn.gen_range(0..1000)
+                1_000_000 + rn.gen_range(0u64..1000)
             }
         } else {
             old.key
@@ -206,8 +203,7 @@ fn roundtrip_update_is_a_noop_for_the_join() {
     let (mut mv, mut ji, mut hh) = db.strategies();
     let sur = 3u32;
     let orig = db.r_now[&sur].clone();
-    let detour =
-        BaseTuple::with_payload(Surrogate(sur), orig.key + 1, b"detour", TUPLE).unwrap();
+    let detour = BaseTuple::with_payload(Surrogate(sur), orig.key + 1, b"detour", TUPLE).unwrap();
     for (old, new) in [(orig.clone(), detour.clone()), (detour, orig.clone())] {
         let upd = Update { old: old.clone(), new: new.clone() };
         mv.on_update(&upd).unwrap();
@@ -232,11 +228,7 @@ fn grace_and_hybrid_hash_agree() {
         want.clone(),
     );
     db.cost.reset();
-    oracle::assert_same_join(
-        "grace",
-        execute_collect(&mut grace, &db.r, &db.s).unwrap(),
-        want,
-    );
+    oracle::assert_same_join("grace", execute_collect(&mut grace, &db.r, &db.s).unwrap(), want);
 }
 
 #[test]
@@ -325,7 +317,8 @@ fn eager_view_stays_correct_and_pays_per_update() {
     use std::rc::Rc;
     use trijoin_exec::EagerView;
     let mut db = TestDb::new(150, 120, 10, 21);
-    let s_rc = Rc::new(StoredRelation::build(&db.disk, &db.params, "S2", db.s_now.clone(), true).unwrap());
+    let s_rc =
+        Rc::new(StoredRelation::build(&db.disk, &db.params, "S2", db.s_now.clone(), true).unwrap());
     let mut eager =
         EagerView::build(&db.disk, &db.params, &db.cost, &db.r, Rc::clone(&s_rc)).unwrap();
     let mut mv = MaterializedView::build(&db.disk, &db.params, &db.cost, &db.r, &db.s).unwrap();
@@ -373,7 +366,8 @@ fn eager_total_cost_exceeds_deferred_under_churn() {
     use std::rc::Rc;
     use trijoin_exec::EagerView;
     let mut db = TestDb::new(300, 300, 12, 22);
-    let s_rc = Rc::new(StoredRelation::build(&db.disk, &db.params, "S2", db.s_now.clone(), true).unwrap());
+    let s_rc =
+        Rc::new(StoredRelation::build(&db.disk, &db.params, "S2", db.s_now.clone(), true).unwrap());
     let mut eager =
         EagerView::build(&db.disk, &db.params, &db.cost, &db.r, Rc::clone(&s_rc)).unwrap();
     let mut mv = MaterializedView::build(&db.disk, &db.params, &db.cost, &db.r, &db.s).unwrap();

@@ -33,9 +33,8 @@ fn setup(seed: u64) -> Fixture {
     let params = SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() };
     let disk = SimDisk::new(&params, cost.clone());
     let mut rn = rng::seeded(seed);
-    let r_tuples: Vec<BaseTuple> = (0..120)
-        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..8), TUPLE))
-        .collect();
+    let r_tuples: Vec<BaseTuple> =
+        (0..120).map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..8), TUPLE)).collect();
     let s_tuples: Vec<BaseTuple> = (0..100)
         .map(|i| {
             let a = rn.gen_range(0..8u64);
@@ -43,9 +42,8 @@ fn setup(seed: u64) -> Fixture {
             BaseTuple::with_payload(Surrogate(i), a, &b.to_le_bytes(), TUPLE).unwrap()
         })
         .collect();
-    let t_tuples: Vec<BaseTuple> = (0..80)
-        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..6), TUPLE))
-        .collect();
+    let t_tuples: Vec<BaseTuple> =
+        (0..80).map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..6), TUPLE)).collect();
     let r = StoredRelation::build(&disk, &params, "R", r_tuples.clone(), false).unwrap();
     let s = StoredRelation::build(&disk, &params, "S", s_tuples.clone(), true).unwrap();
     let t = StoredRelation::build(&disk, &params, "T", t_tuples.clone(), false).unwrap();
@@ -129,9 +127,8 @@ fn three_way_spills_under_tiny_memory() {
     let params = SystemParams { page_size: 512, mem_pages: 6, ..SystemParams::paper_defaults() };
     let disk = SimDisk::new(&params, cost.clone());
     let mut rn = rng::seeded(73);
-    let r_now: Vec<BaseTuple> = (0..200)
-        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..10), TUPLE))
-        .collect();
+    let r_now: Vec<BaseTuple> =
+        (0..200).map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..10), TUPLE)).collect();
     let s_now: Vec<BaseTuple> = (0..200)
         .map(|i| {
             let b = rn.gen_range(0..40u64);
@@ -139,9 +136,8 @@ fn three_way_spills_under_tiny_memory() {
                 .unwrap()
         })
         .collect();
-    let t_now: Vec<BaseTuple> = (0..400)
-        .map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..40), TUPLE))
-        .collect();
+    let t_now: Vec<BaseTuple> =
+        (0..400).map(|i| BaseTuple::padded(Surrogate(i), rn.gen_range(0..40), TUPLE)).collect();
     let r = StoredRelation::build(&disk, &params, "R", r_now.clone(), false).unwrap();
     let s = StoredRelation::build(&disk, &params, "S", s_now.clone(), true).unwrap();
     let t = StoredRelation::build(&disk, &params, "T", t_now.clone(), false).unwrap();

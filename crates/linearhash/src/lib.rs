@@ -157,6 +157,17 @@ impl LinearHash {
         self.addressing
     }
 
+    /// The backing file (fault-injection targeting and space accounting).
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Release the backing file (used when a damaged view is rebuilt into a
+    /// fresh file and the old one is abandoned).
+    pub fn destroy(self) {
+        self.disk.delete_file(self.file);
+    }
+
     /// Number of buckets.
     pub fn num_buckets(&self) -> u64 {
         self.pages.len() as u64
@@ -188,10 +199,7 @@ impl LinearHash {
         if raw.len() < 8 {
             return Err(Error::Corrupt("linear-hash record missing hash prefix".into()));
         }
-        Ok((
-            u64::from_le_bytes(raw[..8].try_into().unwrap()),
-            raw[8..].to_vec(),
-        ))
+        Ok((u64::from_le_bytes(raw[..8].try_into().unwrap()), raw[8..].to_vec()))
     }
 
     /// Read one bucket's records (one read I/O per chain page), in page
@@ -273,12 +281,7 @@ impl LinearHash {
     /// All records whose hash is exactly `hash` (reads the bucket chain).
     pub fn lookup(&self, hash: u64) -> Result<Vec<Vec<u8>>> {
         let b = self.addressing.addr(hash);
-        Ok(self
-            .scan_bucket(b)?
-            .into_iter()
-            .filter(|(h, _)| *h == hash)
-            .map(|(_, r)| r)
-            .collect())
+        Ok(self.scan_bucket(b)?.into_iter().filter(|(h, _)| *h == hash).map(|(_, r)| r).collect())
     }
 
     /// Insert one record and split if the load factor demands it.
@@ -352,8 +355,10 @@ impl LinearHash {
             Some(p) => p,
             None => self.disk.allocate_page(self.file)?.page,
         };
-        self.disk
-            .write_page_free(PageId::new(self.file, p), SlottedPage::new(self.disk.page_size()).bytes())?;
+        self.disk.write_page_free(
+            PageId::new(self.file, p),
+            SlottedPage::new(self.disk.page_size()).bytes(),
+        )?;
         self.pages.push(vec![p]);
         // Advance the split pointer first so rewrites use the new addressing.
         let m = a.n0 << a.level;

@@ -40,20 +40,36 @@ pub fn cost(params: &SystemParams, w: &Workload) -> CostReport {
 
     let terms = vec![
         Term { name: "read R and S", secs: pages * io, kind: TermKind::BaseFile },
-        Term { name: "hash all tuples (pass 0)", secs: tuples * hash, kind: TermKind::BaseInternal },
+        Term {
+            name: "hash all tuples (pass 0)",
+            secs: tuples * hash,
+            kind: TermKind::BaseInternal,
+        },
         Term {
             name: "move spilled tuples to output buffers",
             secs: tuples * spill * mv,
             kind: TermKind::BaseInternal,
         },
-        Term { name: "write spilled partitions", secs: pages * spill * io, kind: TermKind::BaseFile },
+        Term {
+            name: "write spilled partitions",
+            secs: pages * spill * io,
+            kind: TermKind::BaseFile,
+        },
         Term {
             name: "re-hash spilled tuples",
             secs: tuples * spill * hash,
             kind: TermKind::BaseInternal,
         },
-        Term { name: "probe comparisons", secs: w.s_tuples * params.hash_overhead * comp, kind: TermKind::BaseInternal },
-        Term { name: "move R tuples into tables", secs: w.r_tuples * mv, kind: TermKind::BaseInternal },
+        Term {
+            name: "probe comparisons",
+            secs: w.s_tuples * params.hash_overhead * comp,
+            kind: TermKind::BaseInternal,
+        },
+        Term {
+            name: "move R tuples into tables",
+            secs: w.r_tuples * mv,
+            kind: TermKind::BaseInternal,
+        },
         Term {
             name: "read spilled partitions back",
             secs: pages * spill * io,

@@ -79,12 +79,7 @@ pub fn cost(params: &SystemParams, w: &Workload) -> CostReport {
         TermKind::Update,
         &mut terms,
     );
-    push(
-        "C1.4 merge runs",
-        2.0 * cpu_merge(upd_tuples, n1, params),
-        TermKind::Update,
-        &mut terms,
-    );
+    push("C1.4 merge runs", 2.0 * cpu_merge(upd_tuples, n1, params), TermKind::Update, &mut terms);
 
     // ---- (2) reading and updating the JI ------------------------------
     push("C2.1 read join index", d.ji_pages * io, TermKind::BaseFile, &mut terms);
@@ -102,12 +97,7 @@ pub fn cost(params: &SystemParams, w: &Workload) -> CostReport {
         &mut terms,
     );
     let changed = yao(2.0 * upd_tuples, d.ji_pages, d.join_tuples);
-    push(
-        "C2.4 write changed JI pages",
-        changed * (io + d.n_ji * mv),
-        TermKind::Update,
-        &mut terms,
-    );
+    push("C2.4 write changed JI pages", changed * (io + d.n_ji * mv), TermKind::Update, &mut terms);
 
     // ---- (3) forming the join ------------------------------------------
     let jik = jik_pages(params, w, &d, n1);
@@ -139,9 +129,7 @@ pub fn cost(params: &SystemParams, w: &Workload) -> CostReport {
     // over (nearly) the whole S-semijoin — the paper's "several runs of
     // randomly accessing portions of S". Distinct s per pass is therefore
     // the full ‖S‖·SS, capped by the entries the pass actually holds.
-    let sk = (w.s_tuples * w.ss)
-        .min(d.join_tuples / n2)
-        .max(w.s_tuples * w.ss / n2);
+    let sk = (w.s_tuples * w.ss).min(d.join_tuples / n2).max(w.s_tuples * w.ss / n2);
     push(
         "C3.4a fetch S via clustered index (I/O)",
         io_clustered(sk, d.s_pages, w.s_tuples, params) * n2,
@@ -198,12 +186,8 @@ mod tests {
         // is a visible but still minor slice.
         for (sr, bound) in [(0.001, 0.20), (0.01, 0.06), (0.1, 0.06)] {
             let r = cost(&p(), &Workload::figure5_point(sr));
-            let internal: f64 = r
-                .terms
-                .iter()
-                .filter(|t| t.kind == TermKind::BaseInternal)
-                .map(|t| t.secs)
-                .sum();
+            let internal: f64 =
+                r.terms.iter().filter(|t| t.kind == TermKind::BaseInternal).map(|t| t.secs).sum();
             assert!(
                 internal < bound * r.total(),
                 "SR={sr}: internal {internal:.1}s of {:.1}s",

@@ -61,19 +61,11 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n+1) = n!
-        let cases: [(f64, f64); 5] = [
-            (1.0, 1.0),
-            (2.0, 1.0),
-            (5.0, 24.0),
-            (6.0, 120.0),
-            (11.0, 3_628_800.0),
-        ];
+        let cases: [(f64, f64); 5] =
+            [(1.0, 1.0), (2.0, 1.0), (5.0, 24.0), (6.0, 120.0), (11.0, 3_628_800.0)];
         for (x, want) in cases {
             let got = ln_gamma(x).exp();
-            assert!(
-                (got - want).abs() / want < 1e-10,
-                "Γ({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() / want < 1e-10, "Γ({x}) = {got}, want {want}");
         }
     }
 

@@ -62,11 +62,7 @@ pub fn figure4_grid(params: &SystemParams, sr_steps: usize, act_steps: usize) ->
 /// Figure 6: cheapest method over `(SR, |M|)` at `‖iR‖ = 6000`,
 /// `Pr_A = 0.1`. `|M| ∈ [1000, 16000]` pages (the paper's y-axis ticks are
 /// 1K/2K/4K/8K/16K), `SR ∈ [0.001, 1.0]`.
-pub fn figure6_grid(
-    base: &SystemParams,
-    sr_steps: usize,
-    mem_steps: usize,
-) -> Vec<RegionCell> {
+pub fn figure6_grid(base: &SystemParams, sr_steps: usize, mem_steps: usize) -> Vec<RegionCell> {
     let mut out = Vec::with_capacity(sr_steps * mem_steps);
     for &mem in &log_space(1_000.0, 16_000.0, mem_steps) {
         let params = SystemParams { mem_pages: mem.round() as usize, ..base.clone() };
@@ -167,9 +163,6 @@ mod tests {
         };
         let low = ji_at(1_000.0);
         let high = ji_at(16_000.0);
-        assert!(
-            high >= low,
-            "JI region must not shrink with memory: {low} -> {high}"
-        );
+        assert!(high >= low, "JI region must not shrink with memory: {low} -> {high}");
     }
 }

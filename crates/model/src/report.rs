@@ -74,11 +74,7 @@ impl CostReport {
 
     /// Figure 5's white area: non-update file cost of the basic algorithm.
     pub fn base_file(&self) -> f64 {
-        self.terms
-            .iter()
-            .filter(|t| t.kind == TermKind::BaseFile)
-            .map(|t| t.secs)
-            .sum()
+        self.terms.iter().filter(|t| t.kind == TermKind::BaseFile).map(|t| t.secs).sum()
     }
 
     /// Figure 5's dark area: update costs + non-update internal costs.
@@ -88,11 +84,7 @@ impl CostReport {
 
     /// Look up one term by its equation label prefix (e.g. `"C3.1"`).
     pub fn term(&self, prefix: &str) -> f64 {
-        self.terms
-            .iter()
-            .filter(|t| t.name.starts_with(prefix))
-            .map(|t| t.secs)
-            .sum()
+        self.terms.iter().filter(|t| t.name.starts_with(prefix)).map(|t| t.secs).sum()
     }
 }
 

@@ -10,9 +10,10 @@
 //! device traffic; a freshly allocated page only costs when it is written.
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::rc::Rc;
 
-use trijoin_common::{Cost, Error, Result, SystemParams};
+use trijoin_common::{Cost, Error, FaultKind, FaultOp, Result, SystemParams};
 
 /// Identifier of a simulated file (a growable array of pages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -39,14 +40,115 @@ struct FileSlot {
     pages: Option<Vec<Box<[u8]>>>,
 }
 
+// ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+/// One scheduled fault: after `after` further *matching* charged operations
+/// succeed, the next matching operation fails with the given [`FaultKind`].
+///
+/// An operation matches when its direction equals `op` and, if `file` is
+/// set, it targets that file. Free (uncharged) accesses never match — they
+/// model permanently memory-resident pages and test instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Restrict the fault to one file (`None` = any file).
+    pub file: Option<FileId>,
+    /// Which operation direction the fault targets.
+    pub op: FaultOp,
+    /// Matching operations to let through before firing (0 = the next one).
+    pub after: u64,
+    /// Behaviour when the fault fires.
+    pub kind: FaultKind,
+}
+
+/// A schedule of device faults for a [`SimDisk`], built either explicitly
+/// (one [`FaultSpec`] per fault site) or deterministically from a seed.
+/// Install with [`SimDisk::install_fault_plan`]; every fault fires exactly
+/// once and is then removed from the plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults, each with an independent countdown.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add an arbitrary spec.
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Fail the `n`-th charged read (0-based) of `file` (or of any file)
+    /// with a transient fault: the retried read succeeds.
+    pub fn fail_nth_read(self, file: Option<FileId>, n: u64) -> Self {
+        self.with(FaultSpec { file, op: FaultOp::Read, after: n, kind: FaultKind::Transient })
+    }
+
+    /// Fail the `n`-th charged write with a transient fault.
+    pub fn fail_nth_write(self, file: Option<FileId>, n: u64) -> Self {
+        self.with(FaultSpec { file, op: FaultOp::Write, after: n, kind: FaultKind::Transient })
+    }
+
+    /// Tear the `n`-th charged write: only a prefix of the page persists and
+    /// the page reads back as damaged until something rewrites it.
+    pub fn torn_write(self, file: Option<FileId>, n: u64) -> Self {
+        self.with(FaultSpec { file, op: FaultOp::Write, after: n, kind: FaultKind::TornWrite })
+    }
+
+    /// Poison the page hit by the `n`-th charged read: that read and every
+    /// later read of the same page fail until the page is rewritten.
+    pub fn poison_nth_read(self, file: Option<FileId>, n: u64) -> Self {
+        self.with(FaultSpec { file, op: FaultOp::Read, after: n, kind: FaultKind::Poisoned })
+    }
+
+    /// A small pseudo-random schedule derived deterministically from `seed`
+    /// (same seed ⇒ identical plan): 1–3 faults with mixed kinds, scoped to
+    /// `files` round-robin when any are given.
+    pub fn from_seed(seed: u64, files: &[FileId]) -> Self {
+        use rand::Rng;
+        let mut rng = trijoin_common::rng::seeded(trijoin_common::rng::derive(seed, "fault-plan"));
+        let count = rng.gen_range(1u32..=3);
+        let mut plan = FaultPlan::new();
+        for i in 0..count {
+            let file =
+                if files.is_empty() { None } else { Some(files[(i as usize) % files.len()]) };
+            let after = rng.gen_range(0u64..64);
+            let spec = match rng.gen_range(0u32..4) {
+                0 => FaultSpec { file, op: FaultOp::Read, after, kind: FaultKind::Transient },
+                1 => FaultSpec { file, op: FaultOp::Write, after, kind: FaultKind::Transient },
+                2 => FaultSpec { file, op: FaultOp::Read, after, kind: FaultKind::Poisoned },
+                _ => FaultSpec { file, op: FaultOp::Write, after, kind: FaultKind::TornWrite },
+            };
+            plan.specs.push(spec);
+        }
+        plan
+    }
+}
+
 /// In-memory page store with paper-accurate I/O accounting.
 pub struct SimDisk {
     files: RefCell<Vec<FileSlot>>,
     page_size: usize,
     cost: Cost,
     /// Remaining charged I/Os before the next one fails (fault injection
-    /// for error-path tests); `None` = healthy.
+    /// for error-path tests); `None` = healthy. Legacy one-shot countdown:
+    /// fires [`Error::Faulted`], which the execution layer surfaces as-is.
     fault_in: RefCell<Option<u64>>,
+    /// Active scheduled faults (installed via
+    /// [`SimDisk::install_fault_plan`]); each fires once and is removed.
+    plan: RefCell<Vec<FaultSpec>>,
+    /// Pages with a persistent media error: reads fail until rewritten.
+    poisoned: RefCell<HashSet<(u32, u32)>>,
+    /// Pages holding a detectable partial write: reads fail until rewritten.
+    torn: RefCell<HashSet<(u32, u32)>>,
+    /// Total scheduled faults fired so far (tests assert exactly-once).
+    fired: RefCell<u64>,
 }
 
 /// Shared handle to a [`SimDisk`]; the simulator is single-threaded.
@@ -60,6 +162,10 @@ impl SimDisk {
             page_size: params.page_size,
             cost,
             fault_in: RefCell::new(None),
+            plan: RefCell::new(Vec::new()),
+            poisoned: RefCell::new(HashSet::new()),
+            torn: RefCell::new(HashSet::new()),
+            fired: RefCell::new(0),
         })
     }
 
@@ -73,6 +179,99 @@ impl SimDisk {
     /// Cancel a pending injected fault.
     pub fn clear_fault(&self) {
         *self.fault_in.borrow_mut() = None;
+    }
+
+    /// Install a fault schedule (replacing any previous one). Damage marks
+    /// (torn/poisoned pages) from earlier plans are kept: they model
+    /// persistent media state, not schedule state.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.plan.borrow_mut() = plan.specs;
+    }
+
+    /// Add one scheduled fault to the active plan.
+    pub fn schedule_fault(&self, spec: FaultSpec) {
+        self.plan.borrow_mut().push(spec);
+    }
+
+    /// Clear everything fault-related: the legacy countdown, the scheduled
+    /// plan, and all damage marks (healing torn/poisoned pages in place).
+    pub fn clear_faults(&self) {
+        self.clear_fault();
+        self.plan.borrow_mut().clear();
+        self.poisoned.borrow_mut().clear();
+        self.torn.borrow_mut().clear();
+    }
+
+    /// Scheduled faults that have fired so far (exactly-once accounting).
+    pub fn faults_fired(&self) -> u64 {
+        *self.fired.borrow()
+    }
+
+    /// Scheduled faults still pending.
+    pub fn faults_pending(&self) -> usize {
+        self.plan.borrow().len()
+    }
+
+    /// Mark a page as persistently unreadable until rewritten.
+    pub fn poison_page(&self, pid: PageId) {
+        self.poisoned.borrow_mut().insert((pid.file.0, pid.page));
+    }
+
+    /// True while `pid` carries a media-error mark.
+    pub fn is_poisoned(&self, pid: PageId) -> bool {
+        self.poisoned.borrow().contains(&(pid.file.0, pid.page))
+    }
+
+    /// True while `pid` holds a detectable partial write.
+    pub fn is_torn(&self, pid: PageId) -> bool {
+        self.torn.borrow().contains(&(pid.file.0, pid.page))
+    }
+
+    /// Fail reads of damaged (torn or poisoned) pages.
+    fn check_damage(&self, pid: PageId) -> Result<()> {
+        if self.is_torn(pid) {
+            return Err(Error::DeviceFault {
+                op: FaultOp::Read,
+                kind: FaultKind::TornWrite,
+                file: pid.file.0,
+                page: pid.page,
+            });
+        }
+        if self.is_poisoned(pid) {
+            return Err(Error::DeviceFault {
+                op: FaultOp::Read,
+                kind: FaultKind::Poisoned,
+                file: pid.file.0,
+                page: pid.page,
+            });
+        }
+        Ok(())
+    }
+
+    /// Count this charged operation against every matching scheduled fault;
+    /// returns the kind of the fault that fires on it, if any. Each spec
+    /// fires at most once and is removed from the plan when it does.
+    fn next_scheduled(&self, op: FaultOp, pid: PageId) -> Option<FaultKind> {
+        let mut plan = self.plan.borrow_mut();
+        let matches =
+            |spec: &FaultSpec| spec.op == op && spec.file.map(|f| f == pid.file).unwrap_or(true);
+        let fire_idx = plan.iter().position(|s| matches(s) && s.after == 0);
+        match fire_idx {
+            Some(idx) => {
+                // The operation fails: it does not count against the other
+                // specs' let-through budgets.
+                let spec = plan.remove(idx);
+                drop(plan);
+                *self.fired.borrow_mut() += 1;
+                Some(spec.kind)
+            }
+            None => {
+                for spec in plan.iter_mut().filter(|s| matches(s)) {
+                    spec.after -= 1;
+                }
+                None
+            }
+        }
     }
 
     /// Returns `Err(Faulted)` when the pending fault fires on this
@@ -109,11 +308,14 @@ impl SimDisk {
         FileId((files.len() - 1) as u32)
     }
 
-    /// Delete a file, releasing its pages. Idempotent.
+    /// Delete a file, releasing its pages and any damage marks on them.
+    /// Idempotent.
     pub fn delete_file(&self, file: FileId) {
         if let Some(slot) = self.files.borrow_mut().get_mut(file.0 as usize) {
             slot.pages = None;
         }
+        self.poisoned.borrow_mut().retain(|&(f, _)| f != file.0);
+        self.torn.borrow_mut().retain(|&(f, _)| f != file.0);
     }
 
     /// Number of pages currently allocated in `file`.
@@ -137,9 +339,23 @@ impl SimDisk {
         Ok(PageId { file, page: (slot.len() - 1) as u32 })
     }
 
-    /// Read a page, charging one random I/O.
+    /// Read a page, charging one random I/O. Damaged (torn/poisoned) pages
+    /// and scheduled read faults fail here with a typed
+    /// [`Error::DeviceFault`]; failed reads charge nothing.
     pub fn read_page(&self, pid: PageId) -> Result<Vec<u8>> {
         self.check_fault()?;
+        self.check_damage(pid)?;
+        if let Some(kind) = self.next_scheduled(FaultOp::Read, pid) {
+            if kind == FaultKind::Poisoned {
+                self.poison_page(pid);
+            }
+            return Err(Error::DeviceFault {
+                op: FaultOp::Read,
+                kind,
+                file: pid.file.0,
+                page: pid.page,
+            });
+        }
         let files = self.files.borrow();
         let page = files
             .get(pid.file.0 as usize)
@@ -161,14 +377,42 @@ impl SimDisk {
             )));
         }
         self.check_fault()?;
+        let scheduled = self.next_scheduled(FaultOp::Write, pid);
         let mut files = self.files.borrow_mut();
         let page = files
             .get_mut(pid.file.0 as usize)
             .and_then(|s| s.pages.as_mut())
             .and_then(|pages| pages.get_mut(pid.page as usize))
             .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        if let Some(kind) = scheduled {
+            match kind {
+                FaultKind::TornWrite => {
+                    // Half the page reaches the medium; the page is now
+                    // detectably damaged until something rewrites it.
+                    let half = self.page_size / 2;
+                    page[..half].copy_from_slice(&data[..half]);
+                    drop(files);
+                    self.torn.borrow_mut().insert((pid.file.0, pid.page));
+                }
+                FaultKind::Poisoned => {
+                    drop(files);
+                    self.poison_page(pid);
+                }
+                FaultKind::Transient => {}
+            }
+            return Err(Error::DeviceFault {
+                op: FaultOp::Write,
+                kind,
+                file: pid.file.0,
+                page: pid.page,
+            });
+        }
         page.copy_from_slice(data);
         self.cost.io(1);
+        // A successful full-page write heals any damage mark.
+        drop(files);
+        self.torn.borrow_mut().remove(&(pid.file.0, pid.page));
+        self.poisoned.borrow_mut().remove(&(pid.file.0, pid.page));
         Ok(())
     }
 
@@ -211,12 +455,7 @@ impl SimDisk {
     /// Total pages currently allocated across all live files (for tests and
     /// space reporting).
     pub fn total_pages(&self) -> u64 {
-        self.files
-            .borrow()
-            .iter()
-            .filter_map(|s| s.pages.as_ref())
-            .map(|p| p.len() as u64)
-            .sum()
+        self.files.borrow().iter().filter_map(|s| s.pages.as_ref()).map(|p| p.len() as u64).sum()
     }
 }
 
@@ -272,10 +511,7 @@ mod tests {
         let f = d.create_file();
         let missing = PageId::new(f, 5);
         assert!(matches!(d.read_page(missing), Err(Error::PageNotFound { .. })));
-        assert!(matches!(
-            d.read_page(PageId::new(FileId(99), 0)),
-            Err(Error::PageNotFound { .. })
-        ));
+        assert!(matches!(d.read_page(PageId::new(FileId(99), 0)), Err(Error::PageNotFound { .. })));
     }
 
     #[test]
@@ -312,6 +548,147 @@ mod tests {
         assert_eq!(d.read_page(p1).unwrap()[0], 1);
         assert_eq!(d.read_page(p2).unwrap()[0], 2);
         assert_eq!(d.num_pages(f1).unwrap(), 1);
+    }
+
+    #[test]
+    fn fault_plan_fires_exactly_once() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let data = vec![5u8; d.page_size()];
+        d.write_page(pid, &data).unwrap();
+
+        d.install_fault_plan(FaultPlan::new().fail_nth_read(None, 2));
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            outcomes.push(d.read_page(pid).is_ok());
+        }
+        assert_eq!(outcomes, [true, true, false, true, true, true]);
+        assert_eq!(d.faults_fired(), 1);
+        assert_eq!(d.faults_pending(), 0);
+        // The failed read charged nothing.
+        assert_eq!(c.total().ios, 1 + 5);
+    }
+
+    #[test]
+    fn fault_plan_scopes_to_file() {
+        let (d, _c) = disk();
+        let f1 = d.create_file();
+        let f2 = d.create_file();
+        let p1 = d.allocate_page(f1).unwrap();
+        let p2 = d.allocate_page(f2).unwrap();
+        let data = vec![1u8; d.page_size()];
+        d.write_page(p1, &data).unwrap();
+        d.write_page(p2, &data).unwrap();
+
+        d.install_fault_plan(FaultPlan::new().fail_nth_read(Some(f2), 0));
+        // Reads of f1 neither fail nor consume f2's countdown.
+        assert!(d.read_page(p1).is_ok());
+        assert!(d.read_page(p1).is_ok());
+        let err = d.read_page(p2).unwrap_err();
+        assert_eq!(
+            err,
+            Error::DeviceFault {
+                op: FaultOp::Read,
+                kind: FaultKind::Transient,
+                file: f2.0,
+                page: 0
+            }
+        );
+        assert!(d.read_page(p2).is_ok(), "transient fault clears after firing");
+    }
+
+    #[test]
+    fn torn_write_detected_and_healed_by_rewrite() {
+        let (d, _c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let good = vec![0xAAu8; d.page_size()];
+        d.write_page(pid, &good).unwrap();
+
+        d.install_fault_plan(FaultPlan::new().torn_write(Some(f), 0));
+        let fresh = vec![0xBBu8; d.page_size()];
+        let err = d.write_page(pid, &fresh).unwrap_err();
+        assert_eq!(
+            err,
+            Error::DeviceFault {
+                op: FaultOp::Write,
+                kind: FaultKind::TornWrite,
+                file: f.0,
+                page: 0
+            }
+        );
+        assert!(d.is_torn(pid));
+        // The medium holds a prefix of the new data and a suffix of the
+        // old — and the damage is detected on read.
+        let raw = d.read_page_free(pid).unwrap();
+        assert_eq!(raw[0], 0xBB);
+        assert_eq!(raw[d.page_size() - 1], 0xAA);
+        let err = d.read_page(pid).unwrap_err();
+        assert!(matches!(err, Error::DeviceFault { kind: FaultKind::TornWrite, .. }));
+        // Rewriting the page heals it.
+        d.write_page(pid, &fresh).unwrap();
+        assert!(!d.is_torn(pid));
+        assert_eq!(d.read_page(pid).unwrap(), fresh);
+    }
+
+    #[test]
+    fn poisoned_read_persists_until_rewrite() {
+        let (d, _c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let data = vec![3u8; d.page_size()];
+        d.write_page(pid, &data).unwrap();
+
+        d.install_fault_plan(FaultPlan::new().poison_nth_read(Some(f), 0));
+        for _ in 0..3 {
+            let err = d.read_page(pid).unwrap_err();
+            assert!(matches!(err, Error::DeviceFault { kind: FaultKind::Poisoned, .. }));
+        }
+        assert_eq!(d.faults_fired(), 1, "the mark persists; the fault fired once");
+        d.write_page(pid, &data).unwrap();
+        assert!(!d.is_poisoned(pid));
+        assert_eq!(d.read_page(pid).unwrap(), data);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let f = FileId(0);
+        let a = FaultPlan::from_seed(42, &[f]);
+        let b = FaultPlan::from_seed(42, &[f]);
+        let c = FaultPlan::from_seed(43, &[f]);
+        assert_eq!(a, b);
+        assert!(!a.specs.is_empty() && a.specs.len() <= 3);
+        // Different seeds should (for these particular seeds) differ.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clear_faults_heals_everything() {
+        let (d, _c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let data = vec![9u8; d.page_size()];
+        d.write_page(pid, &data).unwrap();
+        d.install_fault_plan(FaultPlan::new().poison_nth_read(None, 0).fail_nth_write(None, 9));
+        assert!(d.read_page(pid).is_err());
+        assert!(d.is_poisoned(pid));
+        d.clear_faults();
+        assert!(!d.is_poisoned(pid));
+        assert_eq!(d.faults_pending(), 0);
+        assert_eq!(d.read_page(pid).unwrap(), data);
+    }
+
+    #[test]
+    fn legacy_fault_still_fires_unit_variant() {
+        let (d, _c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let data = vec![2u8; d.page_size()];
+        d.write_page(pid, &data).unwrap();
+        d.inject_fault(0);
+        assert_eq!(d.read_page(pid).unwrap_err(), Error::Faulted);
+        assert!(d.read_page(pid).is_ok());
     }
 
     #[test]

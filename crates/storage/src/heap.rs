@@ -276,9 +276,7 @@ mod tests {
         }
         let heap = w.finish().unwrap();
         assert_eq!(heap.num_pages(), 3); // 4 + 4 + 2
-        let counts: Vec<usize> = (0..3)
-            .map(|p| heap.read_page_records(p).unwrap().len())
-            .collect();
+        let counts: Vec<usize> = (0..3).map(|p| heap.read_page_records(p).unwrap().len()).collect();
         assert_eq!(counts, vec![4, 4, 2]);
     }
 

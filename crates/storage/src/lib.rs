@@ -22,7 +22,7 @@ pub mod heap;
 pub mod page;
 pub mod pool;
 
-pub use disk::{Disk, FileId, PageId, SimDisk};
+pub use disk::{Disk, FaultPlan, FaultSpec, FileId, PageId, SimDisk};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;
 pub use pool::BufferPool;

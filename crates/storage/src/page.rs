@@ -220,10 +220,7 @@ impl SlottedPage {
     /// Rewrite the record area contiguously, dropping dead space. Slot ids
     /// are preserved.
     fn compact(&mut self) {
-        let mut live: Vec<(u16, Vec<u8>)> = self
-            .iter()
-            .map(|(s, rec)| (s, rec.to_vec()))
-            .collect();
+        let mut live: Vec<(u16, Vec<u8>)> = self.iter().map(|(s, rec)| (s, rec.to_vec())).collect();
         // Place records from the page end downward, in descending slot order
         // (order is irrelevant for correctness; this keeps it deterministic).
         live.sort_by_key(|(s, _)| *s);

@@ -50,7 +50,13 @@ impl BufferPool {
     pub fn new(disk: Disk, capacity: usize) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         let frames = (0..capacity)
-            .map(|_| Frame { pid: None, data: Vec::new(), dirty: false, pins: 0, referenced: false })
+            .map(|_| Frame {
+                pid: None,
+                data: Vec::new(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            })
             .collect();
         BufferPool {
             disk,
@@ -234,12 +240,8 @@ impl BufferPool {
         }
         let resident: Vec<(PageId, Vec<u8>)> = {
             let mut inner = self.inner.borrow_mut();
-            let dirty_pids: Vec<PageId> = inner
-                .resident_dirty
-                .iter()
-                .filter(|&(_, &d)| d)
-                .map(|(&p, _)| p)
-                .collect();
+            let dirty_pids: Vec<PageId> =
+                inner.resident_dirty.iter().filter(|&(_, &d)| d).map(|(&p, _)| p).collect();
             let mut out = Vec::new();
             for pid in dirty_pids {
                 inner.resident_dirty.insert(pid, false);
@@ -302,7 +304,7 @@ mod tests {
         let (disk, pool, pids, cost) = setup(2, 3);
         pool.with_page_mut(pids[0], |d| d[0] = 0xEE).unwrap(); // 1 read
         pool.with_page(pids[1], |_| ()).unwrap(); // 1 read
-        // Third page evicts page 0 (dirty): one write + one read.
+                                                  // Third page evicts page 0 (dirty): one write + one read.
         pool.with_page(pids[2], |_| ()).unwrap();
         assert_eq!(cost.total().ios, 4);
         assert_eq!(disk.read_page_free(pids[0]).unwrap()[0], 0xEE);

@@ -60,8 +60,7 @@ fn main() {
                 strategy.execute(db.r(), db.s(), &mut |_| n += 1).unwrap();
                 round_secs.push((db.cost().elapsed_secs(db.params()), n));
             }
-            let avg: f64 =
-                round_secs.iter().map(|(s, _)| s).sum::<f64>() / round_secs.len() as f64;
+            let avg: f64 = round_secs.iter().map(|(s, _)| s).sum::<f64>() / round_secs.len() as f64;
             println!(
                 "  {:<17} avg {:>8.2} simulated s/round  (rounds: {})",
                 method.to_string(),
@@ -114,13 +113,8 @@ fn main() {
         &mv_ms[..3]
     );
     // Probe a few R tuples that actually participate in the join.
-    let matched: Vec<u32> = gen
-        .r
-        .iter()
-        .filter(|t| t.key < (1 << 40))
-        .take(5)
-        .map(|t| t.sur.0)
-        .collect();
+    let matched: Vec<u32> =
+        gen.r.iter().filter(|t| t.key < (1 << 40)).take(5).map(|t| t.sur.0).collect();
     let mut ji_ms = Vec::new();
     for sur in matched {
         let before = db.cost().total();

@@ -14,9 +14,7 @@
 //!
 //! Run with: `cargo run --release --example adaptive`
 
-use trijoin::{
-    AdaptiveStrategy, Database, JoinStrategy, Method, SystemParams, WorkloadSpec,
-};
+use trijoin::{AdaptiveStrategy, Database, JoinStrategy, Method, SystemParams, WorkloadSpec};
 
 fn main() {
     let params = SystemParams { mem_pages: 80, ..SystemParams::paper_defaults() };
@@ -68,11 +66,7 @@ fn main() {
         // (logging, passes, scans, switches); applying updates to the base
         // relation is identical shared work for every contender.
         let section_secs = |db: &Database| -> f64 {
-            db.cost()
-                .sections()
-                .iter()
-                .map(|(_, ops)| ops.time_secs(db.params()))
-                .sum()
+            db.cost().sections().iter().map(|(_, ops)| ops.time_secs(db.params())).sum()
         };
         for (phase, updates, epochs) in &phases {
             for e in 0..*epochs {

@@ -43,8 +43,7 @@ fn main() {
             }
             println!(
                 "{:<8} {:<6} | {:>7.2} {:>7.2} {:>7.2}  | {:>7.2} {:>7.2} {:>7.2}  | {} / {}",
-                sr, rate, engine[0], engine[1], engine[2], model[0], model[1], model[2],
-                ew, mw
+                sr, rate, engine[0], engine[1], engine[2], model[0], model[1], model[2], ew, mw
             );
         }
     }

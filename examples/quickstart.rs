@@ -21,8 +21,11 @@ use trijoin_common::{BaseTuple, Surrogate, ViewTuple};
 use trijoin_exec::execute_collect;
 
 fn student(sur: u32, name: &str, major: &str, country: &str) -> BaseTuple {
-    let payload =
-        encode_row(&[Value::Str(name.into()), Value::Str(major.into()), Value::Str(country.into())]);
+    let payload = encode_row(&[
+        Value::Str(name.into()),
+        Value::Str(major.into()),
+        Value::Str(country.into()),
+    ]);
     BaseTuple::with_payload(Surrogate(sur), string_key(country), &payload, 120).unwrap()
 }
 
@@ -93,8 +96,11 @@ fn main() {
 
     // Hybrid hash recomputes from scratch and agrees.
     let recompute = execute_collect(&mut hh, db.r(), db.s()).unwrap();
-    println!("\nhybrid-hash recomputation: {} tuples (agrees: {})",
-        recompute.len(), recompute.len() == view.len());
+    println!(
+        "\nhybrid-hash recomputation: {} tuples (agrees: {})",
+        recompute.len(),
+        recompute.len() == view.len()
+    );
 
     // Now the archeology department relocates the Excavation dig from Lima
     // to Tulum: Country changes Peru -> Mexico, so two new volunteer

@@ -34,7 +34,7 @@ impl Mirror {
             if rn.gen_bool(0.7) {
                 rn.gen_range(0..key_domain)
             } else {
-                5_000_000 + rn.gen_range(0..1000)
+                5_000_000 + rn.gen_range(0u64..1000)
             }
         };
         if roll < 0.2 {
@@ -55,9 +55,8 @@ impl Mirror {
             let sur = surs[rn.gen_range(0..surs.len())];
             let old = self.map[&sur].clone();
             let key = if rn.gen_bool(0.5) { fresh_key(rn) } else { old.key };
-            let new =
-                BaseTuple::with_payload(Surrogate(sur), key, &counter.to_le_bytes(), TUPLE)
-                    .unwrap();
+            let new = BaseTuple::with_payload(Surrogate(sur), key, &counter.to_le_bytes(), TUPLE)
+                .unwrap();
             self.map.insert(sur, new.clone());
             Mutation::Update(Update { old, new })
         }
@@ -71,7 +70,7 @@ fn mk_side(n: u32, key_domain: u64, seed: u64) -> Vec<BaseTuple> {
             let key = if rn.gen_bool(0.8) {
                 rn.gen_range(0..key_domain)
             } else {
-                5_000_000 + rn.gen_range(0..1000)
+                5_000_000 + rn.gen_range(0u64..1000)
             };
             BaseTuple::padded(Surrogate(i), key, TUPLE)
         })

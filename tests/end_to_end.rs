@@ -10,13 +10,20 @@ use trijoin_exec::{execute_collect, oracle};
 /// Tables 1 and 2.
 fn student_project() -> (Vec<BaseTuple>, Vec<BaseTuple>) {
     let student = |sur: u32, name: &str, major: &str, country: &str| {
-        let payload = encode_row(&[Value::Str(name.into()), Value::Str(major.into()),
-                                   Value::Str(country.into())]);
+        let payload = encode_row(&[
+            Value::Str(name.into()),
+            Value::Str(major.into()),
+            Value::Str(country.into()),
+        ]);
         BaseTuple::with_payload(Surrogate(sur), string_key(country), &payload, 100).unwrap()
     };
     let project = |sur: u32, title: &str, sup: &str, city: &str, country: &str| {
-        let payload = encode_row(&[Value::Str(title.into()), Value::Str(sup.into()),
-                                   Value::Str(city.into()), Value::Str(country.into())]);
+        let payload = encode_row(&[
+            Value::Str(title.into()),
+            Value::Str(sup.into()),
+            Value::Str(city.into()),
+            Value::Str(country.into()),
+        ]);
         BaseTuple::with_payload(Surrogate(sur), string_key(country), &payload, 100).unwrap()
     };
     let students = vec![
@@ -67,13 +74,9 @@ fn section2_example_survives_an_update() {
     // The Excavation project moves from Peru to Mexico: it now matches the
     // two Mexican students.
     let old = db.r().get(Surrogate(34)).unwrap().unwrap();
-    let new = BaseTuple::with_payload(
-        Surrogate(34),
-        string_key("Mexico"),
-        &old.payload.clone(),
-        100,
-    )
-    .unwrap();
+    let new =
+        BaseTuple::with_payload(Surrogate(34), string_key("Mexico"), &old.payload.clone(), 100)
+            .unwrap();
     let upd = trijoin::Update { old: old.clone(), new: new.clone() };
     mv.on_update(&upd).unwrap();
     ji.on_update(&upd).unwrap();
@@ -93,10 +96,7 @@ fn advisor_recommendations_cover_all_rules() {
     .iter()
     .map(|w| advisor.heuristic(w).method)
     .collect();
-    assert_eq!(
-        picks,
-        vec![Method::HybridHash, Method::MaterializedView, Method::JoinIndex]
-    );
+    assert_eq!(picks, vec![Method::HybridHash, Method::MaterializedView, Method::JoinIndex]);
 }
 
 #[test]

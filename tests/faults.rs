@@ -1,0 +1,265 @@
+//! Fault matrix: fault sites × strategies. Any single injected device
+//! fault on cached join state — view pages, join-index pages, differential
+//! runs, spilled runs — must leave every strategy returning the *exact*
+//! oracle join, with the recovery work ledgered in a named cost section.
+//!
+//! Scoping notes: poisoned-read faults target the cached structure's file
+//! (a poisoned *base-relation* page is unrecoverable by design — the base
+//! relations are the recovery source of truth). Torn-write and transient
+//! faults run unscoped: during a query every write lands on cached state
+//! (view buckets, index pages, differential runs, spilled runs), and
+//! transient reads clear on retry wherever they land.
+
+use trijoin::{Database, JoinStrategy, Mutation, SystemParams};
+use trijoin_common::{BaseTuple, Surrogate, ViewTuple};
+use trijoin_exec::{execute_collect, oracle};
+use trijoin_storage::FaultPlan;
+
+fn params() -> SystemParams {
+    SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() }
+}
+
+fn tuples(n: u32) -> Vec<BaseTuple> {
+    (0..n).map(|i| BaseTuple::padded(Surrogate(i), (i % 7) as u64, 64)).collect()
+}
+
+/// Apply a mutation batch to `R` and every given strategy, so
+/// deferred-maintenance strategies carry pending differential state into
+/// the faulted query.
+fn pend_mutations(db: &mut Database, strategies: &mut [&mut dyn JoinStrategy]) {
+    let mut batch: Vec<Mutation> = Vec::new();
+    for i in 0..20u32 {
+        batch.push(Mutation::Insert(BaseTuple::padded(Surrogate(1000 + i), (i % 7) as u64, 64)));
+    }
+    for i in 0..10u32 {
+        batch.push(Mutation::Delete(BaseTuple::padded(Surrogate(i * 3), ((i * 3) % 7) as u64, 64)));
+    }
+    for m in &batch {
+        for strategy in strategies.iter_mut() {
+            strategy.on_mutation(m).unwrap();
+        }
+        db.r_mut().apply_mutation(m).unwrap();
+    }
+}
+
+fn oracle_answer(db: &Database) -> Vec<ViewTuple> {
+    let mut r_all = Vec::new();
+    db.r().scan(|t| r_all.push(t)).unwrap();
+    let mut s_all = Vec::new();
+    db.s().scan(|t| s_all.push(t)).unwrap();
+    oracle::join_tuples(&r_all, &s_all)
+}
+
+/// One scenario: fresh database and strategy, pending mutations, install
+/// the plan, query under fault, then query again clean. `expect_fire`
+/// additionally asserts exactly-once fault accounting and that recovery
+/// work landed in a named cost section.
+fn check<S: JoinStrategy>(
+    label: &str,
+    mut db: Database,
+    strategy: &mut S,
+    plan: FaultPlan,
+    expect_fire: bool,
+) {
+    pend_mutations(&mut db, &mut [strategy as &mut dyn JoinStrategy]);
+    let want = oracle_answer(&db);
+    let fired_before = db.faults_fired();
+    db.install_fault_plan(plan);
+    let got = execute_collect(strategy, db.r(), db.s()).unwrap();
+    oracle::assert_same_join(label, got, want.clone());
+    if expect_fire {
+        assert_eq!(db.faults_fired() - fired_before, 1, "{label}: the fault must fire");
+        assert!(
+            !db.recovery_counts().is_zero(),
+            "{label}: recovery work must appear in a named cost section"
+        );
+    }
+    // A clean follow-up query sees the healed state.
+    db.clear_faults();
+    let again = execute_collect(strategy, db.r(), db.s()).unwrap();
+    oracle::assert_same_join(&format!("{label} (follow-up)"), again, want);
+}
+
+fn fresh_db() -> Database {
+    Database::new(&params(), tuples(150), tuples(150)).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Materialized view.
+// ---------------------------------------------------------------------
+
+#[test]
+fn matrix_mv_transient_reads() {
+    for after in [0u64, 2, 5, 13] {
+        let db = fresh_db();
+        let mut mv = db.materialized_view().unwrap();
+        let plan = FaultPlan::new().fail_nth_read(None, after);
+        check(&format!("mv/transient-read@{after}"), db, &mut mv, plan, true);
+    }
+}
+
+#[test]
+fn matrix_mv_transient_writes() {
+    for after in [0u64, 1, 5] {
+        let db = fresh_db();
+        let mut mv = db.materialized_view().unwrap();
+        let plan = FaultPlan::new().fail_nth_write(None, after);
+        check(&format!("mv/transient-write@{after}"), db, &mut mv, plan, true);
+    }
+}
+
+#[test]
+fn matrix_mv_poisoned_view_reads() {
+    for after in [0u64, 7] {
+        let db = fresh_db();
+        let mut mv = db.materialized_view().unwrap();
+        let plan = FaultPlan::new().poison_nth_read(Some(mv.view_file()), after);
+        check(&format!("mv/poison-view@{after}"), db, &mut mv, plan, true);
+    }
+}
+
+#[test]
+fn matrix_mv_torn_writes() {
+    for after in [0u64, 2] {
+        let db = fresh_db();
+        let mut mv = db.materialized_view().unwrap();
+        let plan = FaultPlan::new().torn_write(None, after);
+        check(&format!("mv/torn-write@{after}"), db, &mut mv, plan, true);
+    }
+}
+
+#[test]
+fn matrix_mv_seeded_plans() {
+    for seed in [1u64, 2, 1990] {
+        let db = fresh_db();
+        let mut mv = db.materialized_view().unwrap();
+        let plan = FaultPlan::from_seed(seed, &[mv.view_file()]);
+        check(&format!("mv/seeded@{seed}"), db, &mut mv, plan, false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join index.
+// ---------------------------------------------------------------------
+
+#[test]
+fn matrix_ji_transient_reads() {
+    for after in [0u64, 2, 5, 13] {
+        let db = fresh_db();
+        let mut ji = db.join_index().unwrap();
+        let plan = FaultPlan::new().fail_nth_read(None, after);
+        check(&format!("ji/transient-read@{after}"), db, &mut ji, plan, true);
+    }
+}
+
+#[test]
+fn matrix_ji_transient_writes() {
+    for after in [0u64, 1, 5] {
+        let db = fresh_db();
+        let mut ji = db.join_index().unwrap();
+        let plan = FaultPlan::new().fail_nth_write(None, after);
+        check(&format!("ji/transient-write@{after}"), db, &mut ji, plan, true);
+    }
+}
+
+#[test]
+fn matrix_ji_poisoned_index_reads() {
+    for after in [0u64, 7] {
+        let db = fresh_db();
+        let mut ji = db.join_index().unwrap();
+        let plan = FaultPlan::new().poison_nth_read(Some(ji.index_file()), after);
+        check(&format!("ji/poison-index@{after}"), db, &mut ji, plan, true);
+    }
+}
+
+#[test]
+fn matrix_ji_torn_writes() {
+    for after in [0u64, 2] {
+        let db = fresh_db();
+        let mut ji = db.join_index().unwrap();
+        let plan = FaultPlan::new().torn_write(None, after);
+        check(&format!("ji/torn-write@{after}"), db, &mut ji, plan, true);
+    }
+}
+
+#[test]
+fn matrix_ji_seeded_plans() {
+    for seed in [1u64, 2, 1990] {
+        let db = fresh_db();
+        let mut ji = db.join_index().unwrap();
+        let plan = FaultPlan::from_seed(seed, &[ji.index_file()]);
+        check(&format!("ji/seeded@{seed}"), db, &mut ji, plan, false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hybrid hash (spilled-run faults; no cached structure to poison).
+// ---------------------------------------------------------------------
+
+#[test]
+fn matrix_hh_transient_reads() {
+    for after in [0u64, 2, 5, 13] {
+        let db = fresh_db();
+        let mut hh = db.hybrid_hash();
+        let plan = FaultPlan::new().fail_nth_read(None, after);
+        check(&format!("hh/transient-read@{after}"), db, &mut hh, plan, true);
+    }
+}
+
+#[test]
+fn matrix_hh_transient_spill_writes() {
+    // During a hybrid-hash query every write is a spilled-run page.
+    for after in [0u64, 1, 4] {
+        let db = fresh_db();
+        let mut hh = db.hybrid_hash();
+        let plan = FaultPlan::new().fail_nth_write(None, after);
+        check(&format!("hh/transient-write@{after}"), db, &mut hh, plan, true);
+    }
+}
+
+#[test]
+fn matrix_hh_torn_spill_writes() {
+    for after in [0u64, 2] {
+        let db = fresh_db();
+        let mut hh = db.hybrid_hash();
+        let plan = FaultPlan::new().torn_write(None, after);
+        check(&format!("hh/torn-write@{after}"), db, &mut hh, plan, true);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-cutting accounting.
+// ---------------------------------------------------------------------
+
+#[test]
+fn recovery_sections_are_named_and_attributed() {
+    // A poisoned view read must charge into `mv.recover` specifically, and
+    // the database-level summary must see it.
+    let db = fresh_db();
+    let mut mv = db.materialized_view().unwrap();
+    db.install_fault_plan(FaultPlan::new().poison_nth_read(Some(mv.view_file()), 0));
+    let _ = execute_collect(&mut mv, db.r(), db.s()).unwrap();
+    let sections: Vec<String> = db.cost().sections().into_iter().map(|(n, _)| n).collect();
+    assert!(
+        sections.iter().any(|n| n == "mv.recover"),
+        "mv.recover must be a named section, got {sections:?}"
+    );
+    assert!(db.recovery_ios() > 0, "recovery I/O must be attributed");
+    assert!(Database::RECOVERY_SECTIONS.contains(&"mv.recover"));
+}
+
+#[test]
+fn no_fault_means_no_recovery_cost() {
+    let mut db = fresh_db();
+    let mut mv = db.materialized_view().unwrap();
+    let mut ji = db.join_index().unwrap();
+    let mut hh = db.hybrid_hash();
+    pend_mutations(&mut db, &mut [&mut mv, &mut ji, &mut hh]);
+    let _ = execute_collect(&mut mv, db.r(), db.s()).unwrap();
+    let _ = execute_collect(&mut ji, db.r(), db.s()).unwrap();
+    let _ = execute_collect(&mut hh, db.r(), db.s()).unwrap();
+    assert!(
+        db.recovery_counts().is_zero(),
+        "healthy runs must charge nothing to recovery sections"
+    );
+}

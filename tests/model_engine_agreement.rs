@@ -80,8 +80,7 @@ fn update_activity_hurts_mv_more_than_ji_in_both() {
     let get = |r: &trijoin::EpochReport, m: Method| {
         r.outcomes.iter().find(|o| o.method == m).unwrap().engine_secs
     };
-    let mv_growth =
-        get(&high, Method::MaterializedView) / get(&low, Method::MaterializedView);
+    let mv_growth = get(&high, Method::MaterializedView) / get(&low, Method::MaterializedView);
     let ji_growth = get(&high, Method::JoinIndex) / get(&low, Method::JoinIndex);
     assert!(
         mv_growth > ji_growth,

@@ -8,11 +8,7 @@ use trijoin_common::{BaseTuple, Surrogate};
 use trijoin_exec::{execute_collect, oracle};
 
 fn run_mix(mix: MutationMix, sr: f64, pra: f64, epochs: usize, seed: u64) {
-    let params = SystemParams {
-        mem_pages: 48,
-        page_size: 1024,
-        ..SystemParams::paper_defaults()
-    };
+    let params = SystemParams { mem_pages: 48, page_size: 1024, ..SystemParams::paper_defaults() };
     let spec = WorkloadSpec {
         r_tuples: 1_000,
         s_tuples: 900,
@@ -114,11 +110,7 @@ fn insert_then_delete_same_tuple_cancels() {
         execute_collect(&mut mv, db.r(), db.s()).unwrap(),
         baseline.clone(),
     );
-    oracle::assert_same_join(
-        "ji",
-        execute_collect(&mut ji, db.r(), db.s()).unwrap(),
-        baseline,
-    );
+    oracle::assert_same_join("ji", execute_collect(&mut ji, db.r(), db.s()).unwrap(), baseline);
 }
 
 #[test]
@@ -141,11 +133,7 @@ fn delete_then_reinsert_same_surrogate_with_new_key() {
     let mut current = r.clone();
     current[7] = new;
     let want = oracle::join_tuples(&current, &s);
-    oracle::assert_same_join(
-        "mv",
-        execute_collect(&mut mv, db.r(), db.s()).unwrap(),
-        want.clone(),
-    );
+    oracle::assert_same_join("mv", execute_collect(&mut mv, db.r(), db.s()).unwrap(), want.clone());
     oracle::assert_same_join("ji", execute_collect(&mut ji, db.r(), db.s()).unwrap(), want);
 }
 

@@ -57,10 +57,7 @@ fn figure6_ji_and_hh_regions_grow_with_memory() {
     let mem_steps = 5;
     let cells = figure6_grid(&params, sr_steps, mem_steps);
     let count = |mem_row: usize, m: Method| {
-        cells[mem_row * sr_steps..(mem_row + 1) * sr_steps]
-            .iter()
-            .filter(|c| c.winner == m)
-            .count()
+        cells[mem_row * sr_steps..(mem_row + 1) * sr_steps].iter().filter(|c| c.winner == m).count()
     };
     // Paper: JI exploits memory best (reaches single-pass soonest) — its
     // region grows across the swept range; hash join's region only starts

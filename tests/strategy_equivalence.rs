@@ -8,11 +8,7 @@ use trijoin_common::SystemParams;
 use trijoin_exec::{execute_collect, oracle};
 
 fn run_scenario(sr: f64, update_rate: f64, pra: f64, epochs: usize, seed: u64) {
-    let params = SystemParams {
-        mem_pages: 48,
-        page_size: 1024,
-        ..SystemParams::paper_defaults()
-    };
+    let params = SystemParams { mem_pages: 48, page_size: 1024, ..SystemParams::paper_defaults() };
     let spec = WorkloadSpec {
         r_tuples: 1_500,
         s_tuples: 1_200,
@@ -94,11 +90,7 @@ fn empty_join_stays_empty_through_epochs() {
 
 #[test]
 fn tiny_memory_forces_multipass_everywhere() {
-    let params = SystemParams {
-        mem_pages: 12,
-        page_size: 512,
-        ..SystemParams::paper_defaults()
-    };
+    let params = SystemParams { mem_pages: 12, page_size: 512, ..SystemParams::paper_defaults() };
     let spec = WorkloadSpec {
         r_tuples: 800,
         s_tuples: 800,

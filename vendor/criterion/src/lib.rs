@@ -1,0 +1,181 @@
+//! Offline vendored mini-`criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a small wall-clock bench harness with the `criterion 0.5` API surface the
+//! workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! It reports the median and minimum per-iteration time of `sample_size`
+//! samples. No statistics, plots, or baselines — run it for quick relative
+//! numbers, not publication-grade measurements.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine call
+/// per setup call regardless of the hint, which is exact (if slow) for all
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Timing context passed to the closure of `bench_function`.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, results: Vec::new() }
+    }
+
+    /// Time `routine` once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on a fresh input from `setup` per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run and report one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        // One warm-up batch, unrecorded.
+        let mut warmup = Bencher::new(1);
+        std_black_box(&mut warmup);
+        f(&mut bencher);
+        let mut times = bencher.results;
+        if times.is_empty() {
+            println!("{}/{name}: no samples recorded", self.name);
+            return self;
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        println!(
+            "{}/{name}: median {:>12?}  min {:>12?}  ({} samples)",
+            self.name,
+            median,
+            min,
+            times.len()
+        );
+        self
+    }
+
+    /// End the group (reporting already happened per bench).
+    pub fn finish(self) {}
+}
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: 10, _criterion: self }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+        let mut batched = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 2u32, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 6);
+        g.finish();
+    }
+}

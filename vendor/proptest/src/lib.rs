@@ -1,0 +1,267 @@
+//! Offline vendored mini-`proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the `proptest 1.x` surface the workspace's property tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait over ranges/tuples/`Just`/`any`/vectors,
+//! weighted [`prop_oneof!`], and the `prop_assert*` family.
+//!
+//! Differences from the real crate, deliberate for zero dependencies:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering and the case seed; regressions worth keeping are
+//!   promoted to explicit `#[test]`s (this repo already does that).
+//! * **No persistence.** `.proptest-regressions` files are not replayed;
+//!   the checked-in regression cases are mirrored as permanent tests.
+//! * **Deterministic seeding.** Case seeds derive from the test's module
+//!   path, name, and case index, so failures reproduce across runs; set
+//!   `PROPTEST_SEED` to explore a different universe.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors `proptest::prelude::prop` (e.g. `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Weighted choice among strategies producing the same value type.
+///
+/// `prop_oneof![3 => a, 1 => b]` picks `a` three times as often as `b`;
+/// the unweighted form gives every arm weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Union::arm($strategy)) ),+
+        ])
+    };
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::prop_oneof![ $( 1 => $strategy ),+ ]
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly,
+/// so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` flavour of [`prop_assert!`]. Compares by reference, so
+/// operands are not moved.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `(left != right)`\n  both: `{:?}`", l);
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $pat:pat in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut passed: u32 = 0;
+                let mut attempt: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(8).saturating_add(256);
+                while passed < config.cases && attempt < max_attempts {
+                    attempt += 1;
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempt,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {} (attempt {}): {}",
+                                stringify!($name),
+                                passed + 1,
+                                attempt,
+                                msg
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    passed > 0 || config.cases == 0,
+                    "proptest {}: every generated case was rejected",
+                    stringify!($name)
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $pat:pat in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $( $pat in $strategy ),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => any::<u8>().prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_tuples_vecs(
+            x in 1u64..50,
+            (a, b) in (0u32..10, 0.0f64..1.0),
+            ops in prop::collection::vec(op(), 0..20),
+        ) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!(ops.len() < 20);
+            let pushes = ops.iter().filter(|o| matches!(o, Op::Push(_))).count();
+            prop_assert!(pushes <= ops.len());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(m in 0u64..100, n in 0u64..100) {
+            prop_assume!(m <= n);
+            prop_assert!(n >= m);
+        }
+
+        #[test]
+        fn eq_macros(v in prop::collection::vec(any::<u8>(), 1..8)) {
+            let w = v.clone();
+            prop_assert_eq!(&v, &w);
+            prop_assert_eq!(v.len(), w.len(), "lengths differ");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("k", 3);
+        let mut b = TestRng::for_case("k", 3);
+        let mut c = TestRng::for_case("k", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = TestRng::for_case("weights", 0);
+        let trues = (0..1000).filter(|_| Strategy::generate(&s, &mut rng)).count();
+        assert!((800..=980).contains(&trues), "trues = {trues}");
+    }
+}

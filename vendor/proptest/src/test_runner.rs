@@ -1,0 +1,83 @@
+//! Case runner support: configuration, case errors, and the test RNG.
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config requiring `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: the case is outside the property's domain.
+    Reject(String),
+}
+
+/// Result alias matching the real crate's spelling.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case generator (SplitMix64 over a hashed label).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test identified by `label`.
+    ///
+    /// The seed mixes an optional `PROPTEST_SEED` environment variable so a
+    /// different universe of cases can be explored without code changes.
+    pub fn for_case(label: &str, case: u32) -> Self {
+        let universe = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x005E_ED0F_1990);
+        // FNV-1a over the label, then mix in the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ universe;
+        for &b in label.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits (SplitMix64).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
