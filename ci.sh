@@ -16,4 +16,17 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> run-report schema gate"
+# Emit a small run report and validate it: the file must be valid JSON
+# with the top-level keys (params, spans, metrics, events) and must
+# deserialize back into a RunReport — any schema drift fails CI here.
+report=ci_report.json
+cargo run --release -q -p trijoin --bin trijoin -- \
+    run --scale 200 --epochs 1 --report "$report" > /dev/null
+for key in params spans metrics events; do
+    grep -q "\"$key\"" "$report" || { echo "missing top-level key: $key"; exit 1; }
+done
+cargo run --release -q -p trijoin --bin trijoin -- report-validate "$report"
+rm -f "$report"
+
 echo "CI OK"

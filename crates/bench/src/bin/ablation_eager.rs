@@ -13,13 +13,15 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin ablation_eager`
 
-use trijoin_bench::paper_params;
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
 use trijoin_model::{formulas, mv, Workload};
 
 fn main() {
     let params = paper_params();
     println!("== Deferred (paper) vs eager view maintenance, SR = 0.01 ==");
     println!("{:>10} {:>16} {:>16} {:>10}", "activity", "deferred secs", "eager secs", "ratio");
+    let mut rows = Vec::new();
     for &activity in &[0.001, 0.01, 0.06, 0.2, 0.5, 1.0] {
         let w = Workload::figure4_point(0.01, activity);
         let deferred = mv::cost(&params, &w).total();
@@ -39,7 +41,15 @@ fn main() {
         };
         let eager = w.updates * per_update + params.hash_overhead * d.v_pages * params.io_us / 1e6;
         println!("{:>10} {:>16.1} {:>16.1} {:>9.2}x", activity, deferred, eager, eager / deferred);
+        rows.push(
+            Json::obj()
+                .set("activity", activity)
+                .set("deferred_secs", deferred)
+                .set("eager_secs", eager)
+                .set("ratio", eager / deferred),
+        );
     }
+    emit_json("ablation_eager", &Json::obj().set("figure", "ablation_eager").set("rows", rows));
     println!("\nreading: batching updates and merging them in one sorted pass over V is");
     println!("cheaper than eager point maintenance as soon as updates are plentiful;");
     println!("at very low activity the two converge (both degenerate to reading V).");

@@ -9,7 +9,8 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin ablation_js`
 
-use trijoin_bench::{axis, paper_params, row_boundaries};
+use trijoin_bench::{axis, emit_json, paper_params, row_boundaries};
+use trijoin_common::Json;
 use trijoin_model::{all_costs, regions::log_space, Method, RegionCell, Workload};
 
 fn main() {
@@ -19,6 +20,7 @@ fn main() {
         "{:>10} {:>14} {:>14} {:>12}",
         "multiplier", "JI->MV at SR", "MV->HH at SR", "MV cells/46"
     );
+    let mut rows = Vec::new();
     for &mult in &[10.0, 30.0, 100.0, 300.0, 1000.0] {
         let row: Vec<RegionCell> = log_space(0.001, 1.0, 46)
             .into_iter()
@@ -41,7 +43,15 @@ fn main() {
             hh.map(axis).unwrap_or_else(|| "-".into()),
             mv_cells
         );
+        rows.push(
+            Json::obj()
+                .set("multiplier", mult)
+                .set("mv_from_sr", mv.map(Json::from).unwrap_or(Json::Null))
+                .set("hh_from_sr", hh.map(Json::from).unwrap_or(Json::Null))
+                .set("mv_cells", mv_cells),
+        );
     }
+    emit_json("ablation_js", &Json::obj().set("figure", "ablation_js").set("rows", rows));
     println!("\nreading: more partners per matching tuple inflate ‖V‖ (and ‖JI‖), so the");
     println!("caches lose ground to recomputation as the multiplier grows — the MV band");
     println!("shrinks and vanishes, exactly the inverse-in-JS behaviour the paper notes.");

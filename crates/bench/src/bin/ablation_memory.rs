@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin ablation_memory`
 
-use trijoin_bench::paper_params;
-use trijoin_common::SystemParams;
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::{Json, SystemParams};
 use trijoin_model::{all_costs, ji, mv, Workload};
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
         "{:>8} {:>10} {:>10} {:>10}   {:>8} {:>8}",
         "|M|", "MV secs", "JI secs", "HH secs", "JI |JIk|", "MV |W_R|"
     );
-    let mut prev: Option<[f64; 3]> = None;
+    let mut rows = Vec::new();
     for &mem in &[500usize, 1_000, 2_000, 4_000, 8_000, 16_000, 24_000] {
         let p = SystemParams { mem_pages: mem, ..base.clone() };
         let costs = all_costs(&p, &w);
@@ -32,9 +32,17 @@ fn main() {
             "{:>8} {:>10.1} {:>10.1} {:>10.1}   {:>8.0} {:>8.0}",
             mem, t[0], t[1], t[2], jik, wr
         );
-        prev = Some(t);
+        rows.push(
+            Json::obj()
+                .set("mem_pages", mem)
+                .set("mv_secs", t[0])
+                .set("ji_secs", t[1])
+                .set("hh_secs", t[2])
+                .set("jik_pages", jik)
+                .set("wr_pages", wr),
+        );
     }
-    let _ = prev;
+    emit_json("ablation_memory", &Json::obj().set("figure", "ablation_memory").set("rows", rows));
     println!("\nreading: JI's per-pass budget |JI_k| grows linearly with memory, so its");
     println!("pass count (and its dominant per-pass S traffic) collapses first. MV's W_R");
     println!("batches grow too but its cost floor is reading V, which memory cannot");

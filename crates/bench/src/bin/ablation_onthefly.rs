@@ -9,19 +9,28 @@
 //! Run with: `cargo run --release -p trijoin-bench --bin ablation_onthefly`
 
 use trijoin::{Database, JoinStrategy, SystemParams, WorkloadSpec};
-use trijoin_bench::paper_params;
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
 use trijoin_model::{mv, Workload};
 
 fn main() {
     let params = paper_params();
     println!("== Model: cost of a second view scan (naive two-pass maintenance) ==");
     println!("{:>8} {:>14} {:>14} {:>10}", "SR", "on-the-fly", "naive 2-pass", "overhead");
+    let mut rows = Vec::new();
     for &sr in &[0.001, 0.01, 0.05, 0.1] {
         let w = Workload::figure4_point(sr, 0.06);
         let fused = mv::cost(&params, &w).total();
         let extra_scan = mv::cost(&params, &w).term("C3.1"); // one more F·|V|·IO
         let naive = fused + extra_scan;
         println!("{:>8} {:>14.1} {:>14.1} {:>9.1}%", sr, fused, naive, 100.0 * extra_scan / fused);
+        rows.push(
+            Json::obj()
+                .set("sr", sr)
+                .set("fused_secs", fused)
+                .set("naive_secs", naive)
+                .set("overhead_pct", 100.0 * extra_scan / fused),
+        );
     }
 
     println!("\n== Engine: measured (4000-tuple scale, 6% activity) ==");
@@ -56,4 +65,12 @@ fn main() {
         scan_ios,
         100.0 * scan_ios as f64 / fused_ios as f64
     );
+    let json = Json::obj().set("figure", "ablation_onthefly").set("model_rows", rows).set(
+        "engine",
+        Json::obj()
+            .set("fused_ios", fused_ios)
+            .set("extra_scan_ios", scan_ios)
+            .set("result_tuples", n),
+    );
+    emit_json("ablation_onthefly", &json);
 }

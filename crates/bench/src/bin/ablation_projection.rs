@@ -11,6 +11,8 @@
 //! Run with: `cargo run --release -p trijoin-bench --bin ablation_projection`
 
 use trijoin::{Database, JoinStrategy, SystemParams, WorkloadSpec};
+use trijoin_bench::emit_json;
+use trijoin_common::Json;
 use trijoin_exec::{MaterializedView, Predicate, ViewDef};
 
 fn main() {
@@ -29,6 +31,7 @@ fn main() {
 
     println!("== Projection: query cost vs view width (engine, measured) ==");
     println!("{:>22} {:>10} {:>12} {:>14}", "projection", "T_V bytes", "view pages", "query secs");
+    let mut projection_rows = Vec::new();
     for (label, def) in [
         ("full view", ViewDef::full()),
         ("keep 64+64 B", ViewDef { r_project: Some(64), s_project: Some(64), ..ViewDef::full() }),
@@ -64,6 +67,13 @@ fn main() {
             view.view_pages(),
             db.cost().elapsed_secs(db.params())
         );
+        projection_rows.push(
+            Json::obj()
+                .set("projection", label)
+                .set("view_tuple_bytes", def.view_tuple_bytes(200, 200))
+                .set("view_pages", view.view_pages())
+                .set("query_secs", db.cost().elapsed_secs(db.params())),
+        );
     }
 
     println!("\n== Selection: irrelevant updates cost the view nothing ==");
@@ -71,6 +81,7 @@ fn main() {
     // it are filtered at log time.
     let groups = gen.groups as u64;
     let def = ViewDef { r_pred: Predicate::KeyRange { lo: 0, hi: groups / 4 }, ..ViewDef::full() };
+    let mut selection_rows = Vec::new();
     for (label, use_selection) in [("full view", false), ("quarter-selection view", true)] {
         let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
         let d = if use_selection { def.clone() } else { ViewDef::full() };
@@ -97,5 +108,18 @@ fn main() {
             query.time_secs(db.params()),
             n
         );
+        selection_rows.push(
+            Json::obj()
+                .set("view", label)
+                .set("logged_updates", logged)
+                .set("total_updates", gen.updates_per_epoch())
+                .set("query_secs", query.time_secs(db.params()))
+                .set("result_tuples", n),
+        );
     }
+    let json = Json::obj()
+        .set("figure", "ablation_projection")
+        .set("projection_rows", projection_rows)
+        .set("selection_rows", selection_rows);
+    emit_json("ablation_projection", &json);
 }

@@ -11,15 +11,18 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin ablation_size`
 
-use trijoin_bench::paper_params;
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
 use trijoin_model::{all_costs, Workload};
 
 fn main() {
     let params = paper_params();
+    let mut sweeps = Vec::new();
     for &sr in &[0.001, 0.02, 0.5] {
         println!("== SR = {sr}: total seconds as ‖R‖ = ‖S‖ scales ==");
         println!("{:>10} {:>12} {:>12} {:>12}", "tuples", "MV", "JI", "HH");
         let mut base: Option<[f64; 3]> = None;
+        let mut rows = Vec::new();
         for &scale in &[0.5f64, 1.0, 2.0, 4.0] {
             let mut w = Workload::figure4_point(sr, 0.06);
             w.r_tuples *= scale;
@@ -31,10 +34,18 @@ fn main() {
             let costs = all_costs(&params, &w);
             let t = [costs[0].total(), costs[1].total(), costs[2].total()];
             println!("{:>10.0} {:>12.1} {:>12.1} {:>12.1}", w.r_tuples, t[0], t[1], t[2]);
+            rows.push(
+                Json::obj()
+                    .set("tuples", w.r_tuples)
+                    .set("mv_secs", t[0])
+                    .set("ji_secs", t[1])
+                    .set("hh_secs", t[2]),
+            );
             if scale == 1.0 {
                 base = Some(t);
             }
         }
+        sweeps.push(Json::obj().set("sr", sr).set("rows", rows));
         if let Some(b) = base {
             let mut w = Workload::figure4_point(sr, 0.06);
             w.r_tuples *= 4.0;
@@ -50,6 +61,7 @@ fn main() {
             );
         }
     }
+    emit_json("ablation_size", &Json::obj().set("figure", "ablation_size").set("sweeps", sweeps));
     println!("reading: whichever method moves the most pages at a given selectivity");
     println!("absorbs the size increase: MV at low SR (it reads V), JI at moderate SR");
     println!("(its R/S random access saturates), HH at high SR (it always moves R+S).");

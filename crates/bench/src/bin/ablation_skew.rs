@@ -11,6 +11,8 @@
 //! Run with: `cargo run --release -p trijoin-bench --bin ablation_skew`
 
 use trijoin::{Database, JoinStrategy, Method, SystemParams, WorkloadSpec};
+use trijoin_bench::emit_json;
+use trijoin_common::Json;
 use trijoin_exec::{execute_collect, oracle};
 
 fn main() {
@@ -30,6 +32,7 @@ fn main() {
         "{:>6} {:>10} {:>10} | {:>10} {:>10} {:>10}",
         "theta", "‖V‖", "hot group", "MV secs", "JI secs", "HH secs"
     );
+    let mut rows = Vec::new();
     for &theta in &[0.0, 0.5, 1.0, 1.5] {
         let gen = spec.generate_skewed(theta);
         let m = gen.measured();
@@ -67,7 +70,17 @@ fn main() {
             "{:>6} {:>10} {:>10} | {:>10.2} {:>10.2} {:>10.2}",
             theta, join_tuples, hot, secs[0], secs[1], secs[2]
         );
+        rows.push(
+            Json::obj()
+                .set("theta", theta)
+                .set("join_tuples", join_tuples)
+                .set("hot_group", hot as u64)
+                .set("mv_secs", secs[0])
+                .set("ji_secs", secs[1])
+                .set("hh_secs", secs[2]),
+        );
     }
+    emit_json("ablation_skew", &Json::obj().set("figure", "ablation_skew").set("rows", rows));
     println!("\nreading: with SR fixed, skew grows the join result (Σ z² effect), so the");
     println!("caches pay for the bigger V/JI while hash join only pays for the extra");
     println!("output; every result above was verified against the oracle.");

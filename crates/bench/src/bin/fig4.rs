@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin fig4`
 
-use trijoin_bench::{axis, legend, paper_params, row_boundaries};
+use trijoin_bench::{axis, emit_json, legend, paper_params, row_boundaries};
+use trijoin_common::Json;
 use trijoin_model::{figure4_grid, regions::ascii_map};
 
 fn main() {
@@ -24,6 +25,7 @@ fn main() {
 
     println!("\n== Region boundaries per activity row ==");
     println!("{:>10}  {:>12}  {:>12}", "activity", "JI->MV at SR", "->HH at SR");
+    let mut boundaries = Vec::new();
     for row in cells.chunks(sr_steps) {
         let (mv, hh) = row_boundaries(row);
         println!(
@@ -31,6 +33,12 @@ fn main() {
             axis(row[0].y),
             mv.map(axis).unwrap_or_else(|| "(no MV)".into()),
             hh.map(axis).unwrap_or_else(|| "-".into()),
+        );
+        boundaries.push(
+            Json::obj()
+                .set("activity", row[0].y)
+                .set("mv_from_sr", mv.map(Json::from).unwrap_or(Json::Null))
+                .set("hh_from_sr", hh.map(Json::from).unwrap_or(Json::Null)),
         );
     }
 
@@ -59,5 +67,18 @@ fn main() {
         println!("  [{}] {}", if pass { "PASS" } else { "FAIL" }, name);
         ok &= pass;
     }
+    let json = Json::obj()
+        .set("figure", "fig4")
+        .set("sr_steps", sr_steps)
+        .set("act_steps", act_steps)
+        .set("boundaries", boundaries)
+        .set(
+            "checks",
+            checks
+                .iter()
+                .map(|(name, pass)| Json::obj().set("name", *name).set("pass", *pass))
+                .collect::<Vec<_>>(),
+        );
+    emit_json("fig4", &json);
     std::process::exit(i32::from(!ok));
 }

@@ -6,7 +6,8 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin fig5`
 
-use trijoin_bench::paper_params;
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
 use trijoin_model::{all_costs, regions::log_space, Method, Workload};
 
 fn main() {
@@ -92,5 +93,25 @@ fn main() {
     println!("\n  winner at SR=0.001: {}", winner(&rows.first().unwrap().1));
     println!("  winner at SR=0.022: {}", winner(&rows[7].1));
     println!("  winner at SR=0.1:   {}", winner(&rows.last().unwrap().1));
+    let methods = ["materialized-view", "join-index", "hybrid-hash"];
+    let json = Json::obj().set("figure", "fig5").set(
+        "rows",
+        rows.iter()
+            .map(|(sr, cols)| {
+                let mut row = Json::obj().set("sr", *sr);
+                for (label, (total, white, dark_pct)) in methods.iter().zip(cols) {
+                    row = row.set(
+                        label,
+                        Json::obj()
+                            .set("total_secs", *total)
+                            .set("white_secs", *white)
+                            .set("dark_pct", *dark_pct),
+                    );
+                }
+                row
+            })
+            .collect::<Vec<_>>(),
+    );
+    emit_json("fig5", &json);
     std::process::exit(i32::from(!ok));
 }

@@ -1,19 +1,23 @@
 //! Engine-side Figure 5: the white/dark decomposition *measured* from the
-//! engine's cost sections, next to the model's analytical split.
+//! engine's span tree, next to the model's analytical split.
 //!
 //! White = non-update-related file cost of the basic algorithm. Engine
-//! mapping: MV's `mv.scan_view` (+`mv.write_view` is update-driven →
-//! dark); JI's `ji.read_index` + `ji.fetch_r` + `ji.fetch_s` I/O; HH's
-//! entire query I/O. Dark = everything else the strategy charges (logging,
-//! diff merging, insert joining, write-back, CPU).
+//! mapping (see [`trijoin::breakdown`]): MV's `mv.scan_view`
+//! (+`mv.write_view` is update-driven → dark); JI's `ji.read_index` +
+//! `ji.fetch_r` + `ji.fetch_s` I/O; HH's entire query I/O. Dark =
+//! everything else the strategy charges (logging, diff merging, insert
+//! joining, write-back, CPU). The split is exact on integer op counts:
+//! white + dark == the ledger's grand total.
 //!
 //! Run at a 50×-scaled workload; the model is priced at the *measured*
-//! workload so the comparison is apples-to-apples.
+//! workload so the comparison is apples-to-apples. Emits
+//! `results/fig5_breakdown.json` next to the text table.
 //!
 //! Run with: `cargo run --release -p trijoin-bench --bin fig5_engine`
 
-use trijoin::{Database, JoinStrategy, Method, SystemParams, WorkloadSpec};
-use trijoin_common::OpCounts;
+use trijoin::{Database, Fig5Breakdown, JoinStrategy, Method, SystemParams, WorkloadSpec};
+use trijoin_bench::emit_json;
+use trijoin_common::Json;
 use trijoin_model::all_costs;
 
 fn main() {
@@ -23,6 +27,7 @@ fn main() {
         "{:>7} {:<18} {:>10} {:>10} {:>7}   {:>10} {:>7}",
         "SR", "method", "total s", "white s", "dark%", "model tot", "dark%"
     );
+    let mut rows = Vec::new();
     for &sr in &[0.002, 0.01, 0.05] {
         let spec = WorkloadSpec {
             r_tuples: 4_000,
@@ -52,41 +57,28 @@ fn main() {
                 db.r_mut().apply_update(&u.old, &u.new).unwrap();
             }
             strategy.execute(db.r(), db.s(), &mut |_| {}).unwrap();
-            let sections = db.cost().sections();
-            let secs = |ops: &OpCounts| ops.time_secs(db.params());
-            let total: f64 = sections.iter().map(|(_, ops)| secs(ops)).sum();
-            let white: f64 = sections
-                .iter()
-                .filter(|(name, _)| {
-                    matches!(
-                        name.as_str(),
-                        "mv.scan_view" | "ji.read_index" | "ji.fetch_r" | "ji.fetch_s"
-                    )
-                })
-                .map(|(_, ops)| OpCounts { ios: ops.ios, ..OpCounts::default() })
-                .map(|ops| secs(&ops))
-                .sum::<f64>()
-                + sections
-                    .iter()
-                    .filter(|(name, _)| name.as_str() == "hh.execute")
-                    .map(|(_, ops)| OpCounts { ios: ops.ios, ..OpCounts::default() })
-                    .map(|ops| secs(&ops))
-                    .sum::<f64>();
-            let dark_pct = 100.0 * (total - white) / total.max(1e-9);
+            let b = Fig5Breakdown::measure(method, db.cost());
             let m = model.iter().find(|c| c.method == method).unwrap();
             let model_dark = 100.0 * m.update_and_internal() / m.total();
             println!(
                 "{:>7} {:<18} {:>10.2} {:>10.2} {:>6.1}%   {:>10.1} {:>6.1}%",
                 sr,
                 method.to_string(),
-                total,
-                white,
-                dark_pct,
+                b.total.time_secs(db.params()),
+                b.white_secs(db.params()),
+                b.dark_pct(db.params()),
                 m.total(),
                 model_dark
             );
+            rows.push(
+                b.to_json(db.params())
+                    .set("sr", sr)
+                    .set("model_total_secs", m.total())
+                    .set("model_dark_pct", model_dark),
+            );
         }
     }
+    emit_json("fig5_breakdown", &Json::obj().set("figure", "fig5_engine").set("rows", rows));
     println!("\nreading: the engine's measured dark share tracks the model's ordering —");
     println!("hash join is almost pure base file I/O; the caches' dark share shrinks as");
     println!("selectivity (and with it the base file work) grows.");

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin fig6`
 
-use trijoin_bench::{axis, legend, paper_params, row_boundaries};
-use trijoin_common::SystemParams;
+use trijoin_bench::{axis, emit_json, legend, paper_params, row_boundaries};
+use trijoin_common::{Json, SystemParams};
 use trijoin_model::{figure6_grid, regions::ascii_map, Method, Workload};
 
 fn main() {
@@ -24,6 +24,7 @@ fn main() {
 
     println!("\n== Region boundaries per memory row ==");
     println!("{:>10}  {:>12}  {:>12}", "|M| pages", "JI->MV at SR", "->HH at SR");
+    let mut boundaries = Vec::new();
     for row in cells.chunks(sr_steps) {
         let (mv, hh) = row_boundaries(row);
         println!(
@@ -31,6 +32,12 @@ fn main() {
             row[0].y,
             mv.map(axis).unwrap_or_else(|| "(no MV)".into()),
             hh.map(axis).unwrap_or_else(|| "-".into()),
+        );
+        boundaries.push(
+            Json::obj()
+                .set("mem_pages", row[0].y)
+                .set("mv_from_sr", mv.map(Json::from).unwrap_or(Json::Null))
+                .set("hh_from_sr", hh.map(Json::from).unwrap_or(Json::Null)),
         );
     }
 
@@ -69,5 +76,20 @@ fn main() {
         println!("  [{}] {}", if pass { "PASS" } else { "FAIL" }, name);
         ok &= pass;
     }
+    let json = Json::obj()
+        .set("figure", "fig6")
+        .set("sr_steps", sr_steps)
+        .set("mem_steps", mem_steps)
+        .set("boundaries", boundaries)
+        .set("hh_secs_at_1k_pages", hh_1k)
+        .set("hh_secs_at_21k_pages", hh_21k)
+        .set(
+            "checks",
+            checks
+                .iter()
+                .map(|(name, pass)| Json::obj().set("name", *name).set("pass", *pass))
+                .collect::<Vec<_>>(),
+        );
+    emit_json("fig6", &json);
     std::process::exit(i32::from(!ok));
 }

@@ -12,7 +12,8 @@
 //! what's being measured).
 
 use trijoin::{Database, JoinStrategy, Method, WorkloadSpec};
-use trijoin_bench::paper_params;
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
 use trijoin_model::all_costs;
 
 fn main() {
@@ -44,6 +45,7 @@ fn main() {
         "{:<18} {:>14} {:>14} {:>8}   {:>12} {:>12}",
         "method", "engine secs", "model secs", "ratio", "engine IOs", "result"
     );
+    let mut rows = Vec::new();
     for method in Method::all() {
         eprintln!("building database + {} cache...", method);
         let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
@@ -62,8 +64,16 @@ fn main() {
             strategy.on_update(&u).unwrap();
             db.r_mut().apply_update(&u.old, &u.new).unwrap();
         }
-        let log_sections: f64 =
-            db.cost().sections().iter().map(|(_, ops)| ops.time_secs(db.params())).sum();
+        // Sum only *root* spans: cumulative counts already include any
+        // nested work (retries, diff merging), so adding child spans on top
+        // would double-count it.
+        let log_sections: f64 = db
+            .cost()
+            .span_tree()
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.cum_ops.time_secs(db.params()))
+            .sum();
         let before_query = db.cost().total();
         eprintln!("querying...");
         let mut n = 0u64;
@@ -81,7 +91,17 @@ fn main() {
             engine_ios,
             n
         );
+        rows.push(
+            Json::obj()
+                .set("method", method.label())
+                .set("engine_secs", engine_secs)
+                .set("model_secs", model_secs)
+                .set("ratio", engine_secs / model_secs)
+                .set("query_ios", engine_ios)
+                .set("result_tuples", n),
+        );
     }
+    emit_json("paper_scale", &Json::obj().set("figure", "paper_scale").set("rows", rows));
     println!("\n(ratios near 1.0 mean the closed-form model prices the real pipeline well;");
     println!(" the engine's B-tree heights, batching and group-aligned packing are real");
     println!(" implementations, not the paper's idealized two/three-level formulas.)");

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run -p trijoin-bench --bin table7`
 
-use trijoin_bench::paper_params;
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
 use trijoin_model::Workload;
 
 fn main() {
@@ -38,17 +39,38 @@ fn main() {
         ("|iR| at 6% activity (pages)", d.ir_pages, "⌈12000/20⌉ = 600"),
     ];
     let mut ok = true;
-    for (name, got, formula) in rows {
+    let mut derived = Json::obj();
+    for (name, got, formula) in &rows {
         println!("  {name:<30} = {got:>9.0}   ({formula})");
         let expect: f64 = formula.rsplit('=').next().unwrap().trim().parse().unwrap();
         if (got - expect).abs() > 1e-9 {
             println!("    !! MISMATCH: expected {expect}");
             ok = false;
         }
+        derived = derived.set(name, *got);
     }
     println!(
         "\nvalidation: {}",
         if ok { "all derived quantities match the paper" } else { "MISMATCHES FOUND" }
     );
+    let json = Json::obj()
+        .set("figure", "table7")
+        .set(
+            "params",
+            Json::obj()
+                .set("mem_pages", p.mem_pages)
+                .set("page_size", p.page_size)
+                .set("page_occupancy", p.page_occupancy)
+                .set("fan_out", p.fan_out)
+                .set("hash_overhead", p.hash_overhead)
+                .set("ssur", p.ssur)
+                .set("io_us", p.io_us)
+                .set("comp_us", p.comp_us)
+                .set("hash_us", p.hash_us)
+                .set("move_us", p.move_us),
+        )
+        .set("derived", derived)
+        .set("ok", ok);
+    emit_json("table7", &json);
     std::process::exit(i32::from(!ok));
 }

@@ -4,12 +4,31 @@
 //! paper (see DESIGN.md's experiment index); the criterion benches under
 //! `benches/` measure the wall-clock performance of the engine itself.
 
-use trijoin_common::SystemParams;
+use std::path::PathBuf;
+
+use trijoin_common::{Json, SystemParams};
 use trijoin_model::{Method, RegionCell};
 
 /// Format a region-map row legend.
 pub fn legend() -> &'static str {
     "legend: J = join index, M = materialized view, H = hybrid-hash join"
+}
+
+/// Where `results/<name>.json` lives (workspace root, independent of the
+/// invocation directory).
+pub fn results_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results").join(format!("{name}.json"))
+}
+
+/// Write `json` next to the binary's text output as
+/// `results/<name>.json`. Every figure binary calls this so each run
+/// leaves a machine-readable artifact beside the human-readable table.
+pub fn emit_json(name: &str, json: &Json) {
+    let path = results_path(name);
+    match std::fs::write(&path, json.pretty()) {
+        Ok(()) => println!("\njson: results/{name}.json"),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Extract the boundary columns (first MV column, first HH column) of one

@@ -7,12 +7,20 @@
 //! elapsed time of a run is then `ios·IO + comps·comp + hashes·hash +
 //! moves·move` under a given [`SystemParams`].
 //!
-//! Charges can be attributed to named *sections* (e.g. `"mv.read_view"`),
+//! Charges are attributed to named *sections* (e.g. `"mv.read_view"`),
 //! which is how the engine reproduces the cost breakdown of the paper's
 //! Figure 5 (non-update file processing vs. update/internal processing).
+//! Sections nest into a real **span tree**: each [`Cost::section`] guard
+//! opens a span under the currently-open one, and a charge is attributed to
+//! *every* enclosing span (cumulative) as well as tracked separately for the
+//! innermost one (self). [`Cost::span_tree`] exposes the tree;
+//! [`Cost::render_profile`] prints it as a flamegraph-style indented
+//! profile; the flat [`Cost::sections`] view aggregates cumulative counts by
+//! section name on top of the tree.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::rc::Rc;
 
 use crate::params::SystemParams;
@@ -68,22 +76,146 @@ impl OpCounts {
     }
 }
 
+/// One node of the span tree, in the serializable pre-order form returned by
+/// [`Cost::span_tree`].
+///
+/// Re-entering a section under the same parent merges into one node
+/// (`invocations` counts the entries); the same section name under two
+/// different parents yields two distinct nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Section name as passed to [`Cost::section`] (e.g. `"mv.read_view"`).
+    pub name: String,
+    /// Slash-joined ancestor path including the span itself
+    /// (e.g. `"mv.recover/mv.scan_view"`). Root spans have `path == name`.
+    pub path: String,
+    /// Nesting depth (root spans are 0).
+    pub depth: usize,
+    /// Ops charged while this span was the *innermost* open span.
+    pub self_ops: OpCounts,
+    /// Ops charged while this span was open at all (self + descendants).
+    pub cum_ops: OpCounts,
+    /// How many times the span was entered.
+    pub invocations: u64,
+    /// Global enter/exit sequence number of the first entry.
+    pub first_enter: u64,
+    /// Global enter/exit sequence number of the last exit
+    /// (equals `first_enter` while the span is still open).
+    pub last_exit: u64,
+    /// Ledger grand total when the span was first entered; price with
+    /// `start_total.time_us(&params)` for a simulated start timestamp.
+    pub start_total: OpCounts,
+    /// Ledger grand total at the last exit (start total while still open).
+    pub end_total: OpCounts,
+}
+
+#[derive(Debug)]
+struct SpanNode {
+    name: String,
+    path: String,
+    parent: Option<usize>,
+    depth: usize,
+    self_ops: OpCounts,
+    cum_ops: OpCounts,
+    invocations: u64,
+    first_enter: u64,
+    last_exit: u64,
+    start_total: OpCounts,
+    end_total: OpCounts,
+    children: Vec<usize>,
+}
+
 /// The underlying ledger. Use through the cheaply-clonable [`Cost`] handle.
 #[derive(Debug, Default)]
 pub struct CostTracker {
     total: OpCounts,
-    /// Per-section accumulators. A charge is attributed to the innermost
-    /// active section (if any) in addition to the grand total.
-    sections: BTreeMap<String, OpCounts>,
-    stack: Vec<String>,
+    /// Arena of span-tree nodes; `roots`/`children` index into it.
+    spans: Vec<SpanNode>,
+    roots: Vec<usize>,
+    /// Indices of currently-open spans, outermost first.
+    open: Vec<usize>,
+    /// Monotone enter/exit counter stamping span order.
+    seq: u64,
 }
 
 impl CostTracker {
     fn charge(&mut self, delta: OpCounts) {
         self.total.add(&delta);
-        if let Some(name) = self.stack.last() {
-            self.sections.entry(name.clone()).or_default().add(&delta);
+        // Cumulative attribution: every enclosing span sees the charge, so
+        // an outer phase's count includes the phases nested inside it.
+        for &idx in &self.open {
+            self.spans[idx].cum_ops.add(&delta);
         }
+        if let Some(&idx) = self.open.last() {
+            self.spans[idx].self_ops.add(&delta);
+        }
+    }
+
+    fn enter(&mut self, name: &str) {
+        let parent = self.open.last().copied();
+        let siblings = match parent {
+            Some(p) => &self.spans[p].children,
+            None => &self.roots,
+        };
+        let existing = siblings.iter().copied().find(|&i| self.spans[i].name == name);
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = match existing {
+            Some(idx) => {
+                self.spans[idx].invocations += 1;
+                idx
+            }
+            None => {
+                let idx = self.spans.len();
+                let (path, depth) = match parent {
+                    Some(p) => {
+                        (format!("{}/{}", self.spans[p].path, name), self.spans[p].depth + 1)
+                    }
+                    None => (name.to_string(), 0),
+                };
+                self.spans.push(SpanNode {
+                    name: name.to_string(),
+                    path,
+                    parent,
+                    depth,
+                    self_ops: OpCounts::default(),
+                    cum_ops: OpCounts::default(),
+                    invocations: 1,
+                    first_enter: seq,
+                    last_exit: seq,
+                    start_total: self.total,
+                    end_total: self.total,
+                    children: Vec::new(),
+                });
+                match parent {
+                    Some(p) => self.spans[p].children.push(idx),
+                    None => self.roots.push(idx),
+                }
+                idx
+            }
+        };
+        self.open.push(idx);
+    }
+
+    fn exit(&mut self) {
+        // `open` can be empty if the ledger was reset under a live guard.
+        if let Some(idx) = self.open.pop() {
+            let seq = self.seq;
+            self.seq += 1;
+            self.spans[idx].last_exit = seq;
+            self.spans[idx].end_total = self.total;
+        }
+    }
+
+    /// Flat per-name view: cumulative counts aggregated across every node
+    /// sharing a section name (the pre-span-tree `sections()` semantics,
+    /// upgraded from innermost-only to cumulative attribution).
+    fn flat_sections(&self) -> BTreeMap<String, OpCounts> {
+        let mut flat: BTreeMap<String, OpCounts> = BTreeMap::new();
+        for span in &self.spans {
+            flat.entry(span.name.clone()).or_default().add(&span.cum_ops);
+        }
+        flat
     }
 }
 
@@ -132,21 +264,142 @@ impl Cost {
         self.0.borrow().total
     }
 
-    /// Counts attributed to a named section (zero if the section never ran).
+    /// Cumulative counts attributed to a named section — everything charged
+    /// while a span of that name was open, including nested spans (zero if
+    /// the section never ran). Aggregated across all tree positions sharing
+    /// the name.
     pub fn section_counts(&self, name: &str) -> OpCounts {
-        self.0.borrow().sections.get(name).copied().unwrap_or_default()
+        self.0.borrow().flat_sections().get(name).copied().unwrap_or_default()
     }
 
-    /// All section names seen so far, with their counts.
+    /// All section names seen so far with their cumulative counts, sorted by
+    /// name. Nested sections also appear in their enclosing sections'
+    /// counts, so summing this list over-counts; use [`Cost::total`] for the
+    /// grand total.
     pub fn sections(&self) -> Vec<(String, OpCounts)> {
-        self.0.borrow().sections.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.0.borrow().flat_sections().into_iter().collect()
     }
 
-    /// Enter a named section; charges are attributed to the innermost open
-    /// section until the returned guard is dropped.
+    /// Enter a named section; the span stays open (and keeps absorbing
+    /// charges, its own and nested spans') until the returned guard drops.
     pub fn section(&self, name: &str) -> SectionGuard {
-        self.0.borrow_mut().stack.push(name.to_string());
+        self.0.borrow_mut().enter(name);
         SectionGuard { cost: self.clone() }
+    }
+
+    /// The span tree in pre-order (parents before children, siblings in
+    /// first-entered order).
+    pub fn span_tree(&self) -> Vec<SpanRecord> {
+        let tracker = self.0.borrow();
+        let mut out = Vec::with_capacity(tracker.spans.len());
+        let mut stack: Vec<usize> = tracker.roots.iter().rev().copied().collect();
+        while let Some(idx) = stack.pop() {
+            let span = &tracker.spans[idx];
+            out.push(SpanRecord {
+                name: span.name.clone(),
+                path: span.path.clone(),
+                depth: span.depth,
+                self_ops: span.self_ops,
+                cum_ops: span.cum_ops,
+                invocations: span.invocations,
+                first_enter: span.first_enter,
+                last_exit: span.last_exit,
+                start_total: span.start_total,
+                end_total: span.end_total,
+            });
+            stack.extend(span.children.iter().rev().copied());
+        }
+        out
+    }
+
+    /// Flamegraph-style indented profile of the span tree under `params`.
+    ///
+    /// The root line is the ledger grand total (exactly [`Cost::total`]);
+    /// each level lists its spans sorted by cumulative simulated time
+    /// (descending) with their share of the grand total, invocation count,
+    /// and self time; time not covered by any child span shows up as an
+    /// `(untracked)` line.
+    pub fn render_profile(&self, params: &SystemParams) -> String {
+        let tracker = self.0.borrow();
+        let total = tracker.total;
+        let total_us = total.time_us(params);
+        let pct = |ops: &OpCounts| {
+            if total_us > 0.0 {
+                100.0 * ops.time_us(params) / total_us
+            } else {
+                0.0
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "total {:>12.6}s 100.0%  ios={} comps={} hashes={} moves={}",
+            total.time_secs(params),
+            total.ios,
+            total.comps,
+            total.hashes,
+            total.moves
+        );
+        // (level indent, children indices, ops of the parent level)
+        let mut frames: Vec<(usize, Vec<usize>, OpCounts)> =
+            vec![(1, tracker.roots.clone(), total)];
+        // Depth-first with explicit frames so each level can be sorted by
+        // simulated time and closed with its untracked remainder.
+        while let Some((indent, mut children, parent_ops)) = frames.pop() {
+            if children.is_empty() {
+                continue;
+            }
+            // Pop order: emit the cheapest last, so sort ascending and pop.
+            children.sort_by(|&a, &b| {
+                let (ta, tb) = (
+                    tracker.spans[a].cum_ops.time_us(params),
+                    tracker.spans[b].cum_ops.time_us(params),
+                );
+                ta.partial_cmp(&tb)
+                    .unwrap()
+                    .then(tracker.spans[b].first_enter.cmp(&tracker.spans[a].first_enter))
+            });
+            let idx = children.pop().unwrap();
+            let span = &tracker.spans[idx];
+            let _ = writeln!(
+                out,
+                "{}{} {:>12.6}s {:>5.1}%  x{}  self {:.6}s",
+                "  ".repeat(indent),
+                span.name,
+                span.cum_ops.time_secs(params),
+                pct(&span.cum_ops),
+                span.invocations,
+                span.self_ops.time_secs(params),
+            );
+            if children.is_empty() {
+                // Level finished: account for time the parent spent outside
+                // any child span.
+                let mut covered = OpCounts::default();
+                let siblings: &[usize] = match span.parent {
+                    Some(p) => &tracker.spans[p].children,
+                    None => &tracker.roots,
+                };
+                for &s in siblings {
+                    covered.add(&tracker.spans[s].cum_ops);
+                }
+                let untracked = parent_ops.delta_since(&covered);
+                if !untracked.is_zero() {
+                    let _ = writeln!(
+                        out,
+                        "{}(untracked) {:>6.6}s {:>5.1}%",
+                        "  ".repeat(indent),
+                        untracked.time_secs(params),
+                        pct(&untracked),
+                    );
+                }
+            } else {
+                frames.push((indent, children, parent_ops));
+            }
+            if !span.children.is_empty() {
+                frames.push((indent + 1, span.children.clone(), span.cum_ops));
+            }
+        }
+        out
     }
 
     /// Simulated elapsed seconds of everything charged so far.
@@ -154,16 +407,18 @@ impl Cost {
         self.total().time_secs(params)
     }
 
-    /// Reset the ledger (totals, sections, and the section stack).
+    /// Reset the ledger (totals, the span tree, and any open spans).
     pub fn reset(&self) {
         let mut t = self.0.borrow_mut();
         t.total = OpCounts::default();
-        t.sections.clear();
-        t.stack.clear();
+        t.spans.clear();
+        t.roots.clear();
+        t.open.clear();
+        t.seq = 0;
     }
 }
 
-/// RAII guard returned by [`Cost::section`]; closes the section on drop.
+/// RAII guard returned by [`Cost::section`]; closes the span on drop.
 #[derive(Debug)]
 pub struct SectionGuard {
     cost: Cost,
@@ -171,7 +426,7 @@ pub struct SectionGuard {
 
 impl Drop for SectionGuard {
     fn drop(&mut self) {
-        self.cost.0.borrow_mut().stack.pop();
+        self.cost.0.borrow_mut().exit();
     }
 }
 
@@ -200,8 +455,10 @@ mod tests {
         assert!((t.time_secs(&p) - 0.050_139).abs() < 1e-12);
     }
 
+    // Formerly `sections_attribute_to_innermost`: a charge now lands in
+    // every enclosing section, so outer phases include their nested spans.
     #[test]
-    fn sections_attribute_to_innermost() {
+    fn sections_attribute_cumulatively() {
         let c = Cost::new();
         {
             let _outer = c.section("outer");
@@ -213,9 +470,81 @@ mod tests {
             c.io(100);
         }
         c.io(1000); // outside any section
-        assert_eq!(c.section_counts("outer").ios, 101);
+        assert_eq!(c.section_counts("outer").ios, 111);
         assert_eq!(c.section_counts("inner").ios, 10);
         assert_eq!(c.total().ios, 1111);
+    }
+
+    #[test]
+    fn span_tree_tracks_self_vs_cumulative() {
+        let c = Cost::new();
+        {
+            let _outer = c.section("outer");
+            c.io(1);
+            {
+                let _inner = c.section("inner");
+                c.io(10);
+            }
+            c.io(100);
+        }
+        let tree = c.span_tree();
+        assert_eq!(tree.len(), 2);
+        let outer = &tree[0];
+        let inner = &tree[1];
+        assert_eq!(outer.path, "outer");
+        assert_eq!(inner.path, "outer/inner");
+        assert_eq!((outer.depth, inner.depth), (0, 1));
+        assert_eq!(outer.cum_ops.ios, 111);
+        assert_eq!(outer.self_ops.ios, 101);
+        assert_eq!(inner.cum_ops.ios, 10);
+        assert_eq!(inner.self_ops.ios, 10);
+        // Enter/exit order: outer enters first, exits last.
+        assert!(outer.first_enter < inner.first_enter);
+        assert!(inner.last_exit < outer.last_exit);
+        // Simulated start/end: inner started after outer's first io.
+        assert_eq!(inner.start_total.ios, 1);
+        assert_eq!(inner.end_total.ios, 11);
+        assert_eq!(outer.end_total.ios, 111);
+    }
+
+    #[test]
+    fn reentrant_spans_merge_and_count_invocations() {
+        let c = Cost::new();
+        for _ in 0..3 {
+            let _g = c.section("phase");
+            c.comp(5);
+            {
+                let _h = c.section("phase.sub");
+                c.comp(1);
+            }
+        }
+        let tree = c.span_tree();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[0].invocations, 3);
+        assert_eq!(tree[1].invocations, 3);
+        assert_eq!(tree[0].cum_ops.comps, 18);
+        assert_eq!(tree[0].self_ops.comps, 15);
+        assert_eq!(c.section_counts("phase").comps, 18);
+    }
+
+    #[test]
+    fn same_name_under_different_parents_gets_distinct_nodes() {
+        let c = Cost::new();
+        {
+            let _a = c.section("a");
+            let _s = c.section("scan");
+            c.io(2);
+        }
+        {
+            let _b = c.section("b");
+            let _s = c.section("scan");
+            c.io(3);
+        }
+        let tree = c.span_tree();
+        let paths: Vec<&str> = tree.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["a", "a/scan", "b", "b/scan"]);
+        // The flat view aggregates both positions.
+        assert_eq!(c.section_counts("scan").ios, 5);
     }
 
     #[test]
@@ -254,6 +583,31 @@ mod tests {
         assert!(c.total().is_zero());
         assert!(c.section_counts("s").is_zero());
         assert!(c.sections().is_empty());
+        assert!(c.span_tree().is_empty());
+    }
+
+    #[test]
+    fn profile_root_equals_total() {
+        let c = Cost::new();
+        {
+            let _q = c.section("query");
+            c.io(4);
+            {
+                let _s = c.section("scan");
+                c.io(40);
+            }
+        }
+        c.io(6); // untracked
+        let p = SystemParams::paper_defaults();
+        let profile = c.render_profile(&p);
+        let first = profile.lines().next().unwrap();
+        // Root line carries the exact grand total.
+        assert!(first.starts_with("total"), "{first}");
+        assert!(first.contains(&format!("{:.6}s", c.total().time_secs(&p))), "{first}");
+        assert!(first.contains("ios=50"), "{first}");
+        assert!(profile.contains("query"));
+        assert!(profile.contains("scan"));
+        assert!(profile.contains("(untracked)"));
     }
 
     #[test]

@@ -14,11 +14,19 @@
 pub mod codec;
 pub mod cost;
 pub mod error;
+pub mod events;
+pub mod json;
+pub mod metrics;
 pub mod params;
 pub mod rng;
+pub mod trace;
 pub mod types;
 
-pub use cost::{Cost, CostTracker, OpCounts};
+pub use cost::{Cost, CostTracker, OpCounts, SpanRecord};
 pub use error::{Error, FaultKind, FaultOp, Result};
+pub use events::{Event, EventKind, EventLog};
+pub use json::Json;
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use params::SystemParams;
+pub use trace::{ModelDelta, RunReport};
 pub use types::{BaseTuple, JiEntry, JoinKey, Surrogate, ViewTuple};

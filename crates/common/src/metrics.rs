@@ -1,0 +1,328 @@
+//! Engine metrics registry: counters, gauges, and histograms.
+//!
+//! [`Metrics`] is a cheaply-cloneable handle over shared state, the same
+//! `Rc<RefCell<..>>` idiom as [`crate::Cost`]: every layer that holds a
+//! clone observes (and contributes to) the same registry. The engine is
+//! simulated and single-threaded, so there is no atomics machinery —
+//! determinism is the point: two identical runs must produce bit-identical
+//! [`MetricsSnapshot`]s.
+//!
+//! Names are dotted paths (`"pool.hits"`, `"disk.read.f3"`,
+//! `"mv.tuples_emitted"`). Instruments are created on first touch; reading
+//! a never-touched counter yields 0 rather than registering it.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Number of power-of-two buckets a [`Histogram`] keeps (`2^0 .. 2^62`,
+/// plus a final overflow bucket).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket histogram over non-negative integer samples
+/// (microsecond durations, byte sizes, run lengths).
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also holds 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Log2 bucket counts.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: 0, max: 0, buckets: vec![0; HISTOGRAM_BUCKETS] }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, sample: u64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+        let bucket = if sample == 0 {
+            0
+        } else {
+            (63 - sample.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Shared handle to the metrics registry. Clones alias the same state.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics(Rc<RefCell<Registry>>);
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `delta` to the named counter (created at 0 on first touch).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        *self.0.borrow_mut().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.0.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.0.borrow_mut().gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge (`None` if never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.0.borrow().gauges.get(name).copied()
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&self, name: &str, sample: u64) {
+        self.0.borrow_mut().histograms.entry(name.to_string()).or_default().record(sample);
+    }
+
+    /// Copy of the named histogram (`None` if never observed).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.0.borrow().histograms.get(name).cloned()
+    }
+
+    /// Clear every instrument (used between measured phases, mirroring
+    /// [`crate::Cost::reset`]).
+    pub fn reset(&self) {
+        let mut reg = self.0.borrow_mut();
+        reg.counters.clear();
+        reg.gauges.clear();
+        reg.histograms.clear();
+    }
+
+    /// Point-in-time copy of the whole registry, ordered by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let reg = self.0.borrow();
+        MetricsSnapshot {
+            counters: reg.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: reg.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: reg.histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+}
+
+/// An immutable, comparable copy of the registry at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value from the snapshot (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Serialize for embedding in a run report.
+    pub fn to_json(&self) -> Json {
+        let counters = self.counters.iter().fold(Json::obj(), |acc, (k, v)| acc.set(k, *v));
+        let gauges = self.gauges.iter().fold(Json::obj(), |acc, (k, v)| acc.set(k, *v));
+        let histograms = self.histograms.iter().fold(Json::obj(), |acc, (k, h)| {
+            // Trailing zero buckets are elided; `from_json` re-pads.
+            let occupied = h.buckets.iter().rposition(|&c| c != 0).map(|i| i + 1).unwrap_or(0);
+            acc.set(
+                k,
+                Json::obj()
+                    .set("count", h.count)
+                    .set("sum", h.sum)
+                    .set("min", h.min)
+                    .set("max", h.max)
+                    .set(
+                        "buckets",
+                        Json::Arr(h.buckets[..occupied].iter().map(|&c| Json::from(c)).collect()),
+                    ),
+            )
+        });
+        Json::obj().set("counters", counters).set("gauges", gauges).set("histograms", histograms)
+    }
+
+    /// Inverse of [`MetricsSnapshot::to_json`].
+    pub fn from_json(json: &Json) -> Result<MetricsSnapshot, String> {
+        let obj_pairs = |key: &str| -> Result<Vec<(String, Json)>, String> {
+            match json.get(key) {
+                Some(Json::Obj(members)) => Ok(members.clone()),
+                _ => Err(format!("metrics: missing object {key:?}")),
+            }
+        };
+        let counters = obj_pairs("counters")?
+            .into_iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("metrics: counter {k:?} not a u64"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let gauges = obj_pairs("gauges")?
+            .into_iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("metrics: gauge {k:?} not a number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let histograms = obj_pairs("histograms")?
+            .into_iter()
+            .map(|(k, v)| -> Result<(String, Histogram), String> {
+                let field = |f: &str| {
+                    v.get(f)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("metrics: histogram {k:?} missing {f:?}"))
+                };
+                let mut buckets: Vec<u64> = v
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("metrics: histogram {k:?} missing buckets"))?
+                    .iter()
+                    .map(|b| b.as_u64().ok_or_else(|| format!("metrics: bad bucket in {k:?}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                buckets.resize(HISTOGRAM_BUCKETS, 0);
+                Ok((
+                    k.clone(),
+                    Histogram {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MetricsSnapshot { counters, gauges, histograms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_registry() {
+        let m = Metrics::new();
+        let alias = m.clone();
+        m.incr("pool.hits");
+        alias.counter_add("pool.hits", 2);
+        assert_eq!(m.counter("pool.hits"), 3);
+        assert_eq!(m.counter("never.touched"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = Metrics::new();
+        assert_eq!(m.gauge("pool.resident"), None);
+        m.gauge_set("pool.resident", 7.0);
+        m.gauge_set("pool.resident", 5.0);
+        assert_eq!(m.gauge("pool.resident"), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let m = Metrics::new();
+        for sample in [0, 1, 1, 3, 8, 1024] {
+            m.observe("query.us", sample);
+        }
+        let h = m.histogram("query.us").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1037);
+        assert_eq!((h.min, h.max), (0, 1024));
+        assert_eq!(h.buckets[0], 3); // 0, 1, 1
+        assert_eq!(h.buckets[1], 1); // 3
+        assert_eq!(h.buckets[3], 1); // 8
+        assert_eq!(h.buckets[10], 1); // 1024
+        assert!((h.mean() - 1037.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_detached() {
+        let run = || {
+            let m = Metrics::new();
+            m.incr("b");
+            m.incr("a");
+            m.observe("h", 5);
+            m.gauge_set("g", 1.5);
+            m.snapshot()
+        };
+        let s1 = run();
+        let s2 = run();
+        assert_eq!(s1, s2);
+        // Snapshots are copies: later registry changes don't leak in.
+        let m = Metrics::new();
+        m.incr("a");
+        let snap = m.snapshot();
+        m.incr("a");
+        assert_eq!(snap.counter("a"), 1);
+        assert_eq!(m.counter("a"), 2);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let m = Metrics::new();
+        m.counter_add("disk.read.f0", 12);
+        m.gauge_set("pool.resident", 3.0);
+        m.observe("run.len", 100);
+        m.observe("run.len", 0);
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.incr("a");
+        m.gauge_set("g", 2.0);
+        m.observe("h", 9);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,343 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] bundles everything the observability layer knows about
+//! one run — the [`SystemParams`] it was priced under, the ledger grand
+//! total and span tree, a metrics snapshot, the retained event log, and any
+//! model-vs-engine deltas — into one value that serializes to JSON
+//! ([`RunReport::to_json`]) and parses back ([`RunReport::from_json`]) with
+//! full equality. Bench binaries write these next to their text output;
+//! `trijoin --report <path>` emits one per run; `ci.sh` schema-checks one.
+//!
+//! The stable top-level JSON keys are `name`, `params`, `totals`, `spans`,
+//! `metrics`, `events`, and `deltas`.
+
+use crate::cost::{Cost, OpCounts, SpanRecord};
+use crate::events::{Event, EventLog};
+use crate::json::Json;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::params::SystemParams;
+
+/// Serialize an [`OpCounts`] as `{ios, comps, hashes, moves}`.
+pub fn ops_to_json(ops: &OpCounts) -> Json {
+    Json::obj()
+        .set("ios", ops.ios)
+        .set("comps", ops.comps)
+        .set("hashes", ops.hashes)
+        .set("moves", ops.moves)
+}
+
+/// Inverse of [`ops_to_json`].
+pub fn ops_from_json(json: &Json) -> Result<OpCounts, String> {
+    let field = |f: &str| {
+        json.get(f).and_then(Json::as_u64).ok_or_else(|| format!("ops: missing field {f:?}"))
+    };
+    Ok(OpCounts {
+        ios: field("ios")?,
+        comps: field("comps")?,
+        hashes: field("hashes")?,
+        moves: field("moves")?,
+    })
+}
+
+fn params_to_json(params: &SystemParams) -> Json {
+    Json::obj()
+        .set("mem_pages", params.mem_pages)
+        .set("hash_overhead", params.hash_overhead)
+        .set("page_size", params.page_size)
+        .set("page_occupancy", params.page_occupancy)
+        .set("fan_out", params.fan_out)
+        .set("ssur", params.ssur)
+        .set("sptr", params.sptr)
+        .set("io_us", params.io_us)
+        .set("comp_us", params.comp_us)
+        .set("hash_us", params.hash_us)
+        .set("move_us", params.move_us)
+}
+
+fn params_from_json(json: &Json) -> Result<SystemParams, String> {
+    let uint = |f: &str| {
+        json.get(f)
+            .and_then(Json::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("params: missing field {f:?}"))
+    };
+    let num = |f: &str| {
+        json.get(f).and_then(Json::as_f64).ok_or_else(|| format!("params: missing field {f:?}"))
+    };
+    Ok(SystemParams {
+        mem_pages: uint("mem_pages")?,
+        hash_overhead: num("hash_overhead")?,
+        page_size: uint("page_size")?,
+        page_occupancy: num("page_occupancy")?,
+        fan_out: uint("fan_out")?,
+        ssur: uint("ssur")?,
+        sptr: uint("sptr")?,
+        io_us: num("io_us")?,
+        comp_us: num("comp_us")?,
+        hash_us: num("hash_us")?,
+        move_us: num("move_us")?,
+    })
+}
+
+fn span_to_json(span: &SpanRecord) -> Json {
+    Json::obj()
+        .set("name", span.name.as_str())
+        .set("path", span.path.as_str())
+        .set("depth", span.depth)
+        .set("self_ops", ops_to_json(&span.self_ops))
+        .set("cum_ops", ops_to_json(&span.cum_ops))
+        .set("invocations", span.invocations)
+        .set("first_enter", span.first_enter)
+        .set("last_exit", span.last_exit)
+        .set("start_total", ops_to_json(&span.start_total))
+        .set("end_total", ops_to_json(&span.end_total))
+}
+
+fn span_from_json(json: &Json) -> Result<SpanRecord, String> {
+    let text = |f: &str| {
+        json.get(f)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("span: missing field {f:?}"))
+    };
+    let uint = |f: &str| {
+        json.get(f).and_then(Json::as_u64).ok_or_else(|| format!("span: missing field {f:?}"))
+    };
+    let ops = |f: &str| {
+        json.get(f).ok_or_else(|| format!("span: missing field {f:?}")).and_then(ops_from_json)
+    };
+    Ok(SpanRecord {
+        name: text("name")?,
+        path: text("path")?,
+        depth: uint("depth")? as usize,
+        self_ops: ops("self_ops")?,
+        cum_ops: ops("cum_ops")?,
+        invocations: uint("invocations")?,
+        first_enter: uint("first_enter")?,
+        last_exit: uint("last_exit")?,
+        start_total: ops("start_total")?,
+        end_total: ops("end_total")?,
+    })
+}
+
+/// One engine-vs-model comparison line: how far the measured engine drifted
+/// from the analytical prediction for a labelled quantity (a method, or a
+/// per-section slice of one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDelta {
+    /// What is being compared (`"mv"`, `"ji.read_index"`, ...).
+    pub label: String,
+    /// Measured simulated seconds from the engine ledger.
+    pub engine_secs: f64,
+    /// Predicted seconds from the analytical cost model.
+    pub model_secs: f64,
+}
+
+impl ModelDelta {
+    /// `engine/model` ratio; 1.0 means perfect agreement. Returns
+    /// `engine_secs` when the model predicts zero.
+    pub fn ratio(&self) -> f64 {
+        if self.model_secs == 0.0 {
+            self.engine_secs
+        } else {
+            self.engine_secs / self.model_secs
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("label", self.label.as_str())
+            .set("engine_secs", self.engine_secs)
+            .set("model_secs", self.model_secs)
+    }
+
+    fn from_json(json: &Json) -> Result<ModelDelta, String> {
+        Ok(ModelDelta {
+            label: json
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "delta: missing label".to_string())?
+                .to_string(),
+            engine_secs: json
+                .get("engine_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "delta: missing engine_secs".to_string())?,
+            model_secs: json
+                .get("model_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "delta: missing model_secs".to_string())?,
+        })
+    }
+}
+
+/// Everything observed about one run, in one serializable value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// What ran (`"trijoin run --strategy mv"`, `"fig5_engine"`, ...).
+    pub name: String,
+    /// Parameters the run was priced under.
+    pub params: SystemParams,
+    /// Ledger grand total.
+    pub totals: OpCounts,
+    /// Span tree in pre-order (see [`Cost::span_tree`]).
+    pub spans: Vec<SpanRecord>,
+    /// Metrics registry snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Engine-vs-model drift observations (empty when no model ran).
+    pub deltas: Vec<ModelDelta>,
+}
+
+impl RunReport {
+    /// Snapshot the live observability handles into a report.
+    pub fn capture(
+        name: impl Into<String>,
+        params: &SystemParams,
+        cost: &Cost,
+        metrics: &Metrics,
+        events: &EventLog,
+    ) -> RunReport {
+        RunReport {
+            name: name.into(),
+            params: params.clone(),
+            totals: cost.total(),
+            spans: cost.span_tree(),
+            metrics: metrics.snapshot(),
+            events: events.events(),
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Serialize. Top-level keys: `name`, `params`, `totals`, `spans`,
+    /// `metrics`, `events`, `deltas`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("params", params_to_json(&self.params))
+            .set("totals", ops_to_json(&self.totals))
+            .set("spans", Json::Arr(self.spans.iter().map(span_to_json).collect()))
+            .set("metrics", self.metrics.to_json())
+            .set("events", Json::Arr(self.events.iter().map(Event::to_json).collect()))
+            .set("deltas", Json::Arr(self.deltas.iter().map(ModelDelta::to_json).collect()))
+    }
+
+    /// Inverse of [`RunReport::to_json`].
+    pub fn from_json(json: &Json) -> Result<RunReport, String> {
+        let arr = |f: &str| {
+            json.get(f).and_then(Json::as_arr).ok_or_else(|| format!("report: missing array {f:?}"))
+        };
+        Ok(RunReport {
+            name: json
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "report: missing name".to_string())?
+                .to_string(),
+            params: params_from_json(
+                json.get("params").ok_or_else(|| "report: missing params".to_string())?,
+            )?,
+            totals: ops_from_json(
+                json.get("totals").ok_or_else(|| "report: missing totals".to_string())?,
+            )?,
+            spans: arr("spans")?.iter().map(span_from_json).collect::<Result<_, _>>()?,
+            metrics: MetricsSnapshot::from_json(
+                json.get("metrics").ok_or_else(|| "report: missing metrics".to_string())?,
+            )?,
+            events: arr("events")?.iter().map(Event::from_json).collect::<Result<_, _>>()?,
+            deltas: arr("deltas")?.iter().map(ModelDelta::from_json).collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Parse a report from JSON text.
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        RunReport::from_json(&Json::parse(text)?)
+    }
+
+    /// Cumulative ops of a named section, aggregated across the span tree
+    /// (the report-side equivalent of [`Cost::section_counts`]).
+    pub fn section_counts(&self, name: &str) -> OpCounts {
+        let mut total = OpCounts::default();
+        for span in self.spans.iter().filter(|s| s.name == name) {
+            total.add(&span.cum_ops);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    fn sample_report() -> RunReport {
+        let params = SystemParams::test_small();
+        let cost = Cost::new();
+        let metrics = Metrics::new();
+        let events = EventLog::new();
+        events.emit(EventKind::QueryStart, "strategy=mv", cost.total());
+        {
+            let _q = cost.section("mv.scan_view");
+            cost.io(3);
+            {
+                let _n = cost.section("mv.point_lookup");
+                cost.comp(7);
+            }
+        }
+        metrics.incr("db.queries");
+        metrics.observe("query.us", 75_021);
+        metrics.gauge_set("pool.resident", 2.0);
+        events.emit(EventKind::QueryEnd, "strategy=mv", cost.total());
+        let mut report = RunReport::capture("unit", &params, &cost, &metrics, &events);
+        report.deltas.push(ModelDelta {
+            label: "mv".to_string(),
+            engine_secs: 0.075,
+            model_secs: 0.074,
+        });
+        report
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json().pretty();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn has_the_stable_top_level_keys() {
+        let json = sample_report().to_json();
+        for key in ["name", "params", "totals", "spans", "metrics", "events", "deltas"] {
+            assert!(json.get(key).is_some(), "missing top-level key {key:?}");
+        }
+    }
+
+    #[test]
+    fn capture_matches_live_ledger() {
+        let report = sample_report();
+        assert_eq!(report.totals.ios, 3);
+        assert_eq!(report.totals.comps, 7);
+        assert_eq!(report.section_counts("mv.scan_view").comps, 7); // cumulative
+        assert_eq!(report.section_counts("mv.point_lookup").comps, 7);
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.metrics.counter("db.queries"), 1);
+    }
+
+    #[test]
+    fn delta_ratio() {
+        let d = ModelDelta { label: "x".into(), engine_secs: 2.0, model_secs: 4.0 };
+        assert!((d.ratio() - 0.5).abs() < 1e-12);
+        let z = ModelDelta { label: "x".into(), engine_secs: 2.0, model_secs: 0.0 };
+        assert!((z.ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_schema_drift() {
+        let mut json = sample_report().to_json();
+        if let Json::Obj(members) = &mut json {
+            members.retain(|(k, _)| k != "spans");
+        }
+        assert!(RunReport::from_json(&json).is_err());
+    }
+}

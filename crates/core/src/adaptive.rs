@@ -14,7 +14,7 @@
 
 use std::collections::HashSet;
 
-use trijoin_common::{Cost, Result, Surrogate, SystemParams, ViewTuple};
+use trijoin_common::{Cost, EventKind, Result, Surrogate, SystemParams, ViewTuple};
 use trijoin_exec::{
     HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, Mutation, StoredRelation,
 };
@@ -165,6 +165,15 @@ impl JoinStrategy for AdaptiveStrategy {
         let (best, best_pred) =
             costs.iter().map(|c| (c.method, c.total())).min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         if best != self.kind && current_pred > self.hysteresis * best_pred {
+            self.disk.metrics().incr("adaptive.switches");
+            self.disk.events().emit(
+                EventKind::StrategySwitch,
+                format!(
+                    "epoch {}: {:?} -> {:?} (predicted {:.2}s vs {:.2}s)",
+                    self.epoch, self.kind, best, current_pred, best_pred
+                ),
+                self.cost.total(),
+            );
             let _g = self.cost.section("adaptive.switch");
             self.current = self.build(best, r, s)?;
             self.switch_log.push((self.epoch, self.kind, best));

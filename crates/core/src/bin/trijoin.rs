@@ -7,17 +7,26 @@
 //!     print the full per-term cost breakdown of all three methods
 //! trijoin run --scale 50 --sr 0.01 --activity 0.06 [--pra 0.1] [--mem 80]
 //!             [--strategy mv|ji|hh|eager|all] [--seed 42] [--epochs 1]
-//!     run the engine on a scaled paper workload and report measured cost
+//!             [--trace] [--report <path>]
+//!     run the engine on a scaled paper workload and report measured cost;
+//!     `--trace` prints each strategy's span-tree profile, `--report`
+//!     writes a JSON run report (params, spans, metrics, events, deltas)
+//! trijoin report-validate <path>
+//!     check that <path> holds a well-formed run report (CI schema gate)
 //! ```
 //!
 //! (No external argument-parsing dependency: flags are `--name value`
-//! pairs, order-free.)
+//! pairs, order-free; `--trace` is a bare boolean flag.)
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use trijoin::{Advisor, Database, JoinStrategy, SystemParams, Workload, WorkloadSpec};
+use trijoin::{Advisor, Database, JoinStrategy, Method, SystemParams, Workload, WorkloadSpec};
+use trijoin_common::{Json, ModelDelta, RunReport};
 use trijoin_model::all_costs;
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["trace"];
 
 struct Args {
     flags: HashMap<String, String>,
@@ -29,10 +38,22 @@ impl Args {
         let mut it = raw.iter();
         while let Some(a) = it.next() {
             let name = a.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), value.clone());
         }
         Ok(Args { flags })
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    fn opt_str(&self, name: &str) -> Option<String> {
+        self.flags.get(name).cloned()
     }
 
     fn f64(&self, name: &str, default: f64) -> Result<f64, String> {
@@ -55,7 +76,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]"
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin report-validate <path>"
 }
 
 fn main() -> ExitCode {
@@ -64,14 +85,18 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let result = match Args::parse(rest) {
-        Ok(args) => match cmd.as_str() {
-            "advise" => advise(&args),
-            "model" => model(&args),
-            "run" => run(&args),
-            other => Err(format!("unknown command {other:?}\n{}", usage())),
-        },
-        Err(e) => Err(e),
+    let result = if cmd == "report-validate" {
+        report_validate(rest)
+    } else {
+        match Args::parse(rest) {
+            Ok(args) => match cmd.as_str() {
+                "advise" => advise(&args),
+                "model" => model(&args),
+                "run" => run(&args),
+                other => Err(format!("unknown command {other:?}\n{}", usage())),
+            },
+            Err(e) => Err(e),
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -197,11 +222,93 @@ fn run(args: &Args) -> Result<(), String> {
                 n
             );
         }
+        if args.flag("trace") {
+            println!("\n-- {} span profile (last epoch) --", strategy.name());
+            print!("{}", db.cost().render_profile(db.params()));
+            println!();
+        }
     }
     // Model reference, priced at the measured (scaled) workload.
     let model = all_costs(&params, &measured);
     let preds: Vec<String> =
         model.iter().map(|c| format!("{}={:.1}s", c.method, c.total())).collect();
     println!("model prediction for this workload: {}", preds.join("  "));
+    if let Some(path) = args.opt_str("report") {
+        let report = observed_report(&params, &gen, &measured, epochs)?;
+        std::fs::write(&path, report.to_json().pretty())
+            .map_err(|e| format!("--report {path}: {e}"))?;
+        println!("run report written to {path}");
+    }
+    Ok(())
+}
+
+/// One observed pass with MV, JI and HH sharing a single database, so the
+/// emitted [`RunReport`] carries every strategy's cost sections in one span
+/// tree, plus per-method engine-vs-model deltas.
+fn observed_report(
+    params: &SystemParams,
+    gen: &trijoin::GeneratedWorkload,
+    measured: &Workload,
+    epochs: u64,
+) -> Result<RunReport, String> {
+    let err = |e: trijoin_common::Error| e.to_string();
+    let mut db = Database::new(params, gen.r.clone(), gen.s.clone()).map_err(err)?;
+    let mut mv = db.materialized_view().map_err(err)?;
+    let mut ji = db.join_index().map_err(err)?;
+    let mut hh = db.hybrid_hash();
+    db.reset_observability();
+    let mut stream = gen.update_stream();
+    let mut engine = [0.0f64; 3];
+    for _ in 0..epochs {
+        for _ in 0..gen.updates_per_epoch() {
+            let u = stream.next_update();
+            mv.on_update(&u).map_err(err)?;
+            ji.on_update(&u).map_err(err)?;
+            hh.on_update(&u).map_err(err)?;
+            db.apply_r_update(&u).map_err(err)?;
+        }
+        let strategies: [&mut dyn JoinStrategy; 3] = [&mut mv, &mut ji, &mut hh];
+        for (i, strategy) in strategies.into_iter().enumerate() {
+            let before = db.cost().total();
+            db.query(strategy).map_err(err)?;
+            engine[i] += db.cost().total().delta_since(&before).time_secs(params);
+        }
+    }
+    let mut report = db.run_report("trijoin run");
+    let model = all_costs(params, measured);
+    for (method, secs) in Method::all().into_iter().zip(engine) {
+        let m = model.iter().find(|c| c.method == method).unwrap();
+        report.deltas.push(ModelDelta {
+            label: method.label().to_string(),
+            engine_secs: secs,
+            model_secs: m.total(),
+        });
+    }
+    Ok(report)
+}
+
+/// `trijoin report-validate <path>` — the CI schema gate: the file must be
+/// valid JSON carrying the run-report top-level keys, and must deserialize
+/// back into a [`RunReport`].
+fn report_validate(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("usage: trijoin report-validate <path>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    for key in ["params", "spans", "metrics", "events"] {
+        if json.get(key).is_none() {
+            return Err(format!("{path}: run report is missing top-level key {key:?}"));
+        }
+    }
+    let report = RunReport::from_json(&json).map_err(|e| format!("{path}: schema drift: {e}"))?;
+    println!(
+        "{path}: ok — report {:?} with {} spans, {} metrics counters, {} events, {} deltas",
+        report.name,
+        report.spans.len(),
+        report.metrics.counters.len(),
+        report.events.len(),
+        report.deltas.len()
+    );
     Ok(())
 }

@@ -2,10 +2,14 @@
 //! (Table 5) to the simulated device.
 
 use std::rc::Rc;
-use trijoin_common::{BaseTuple, Cost, OpCounts, Result, SystemParams};
+use trijoin_common::{
+    BaseTuple, Cost, EventKind, EventLog, Metrics, OpCounts, Result, RunReport, SystemParams,
+    ViewTuple,
+};
 
 use trijoin_exec::{
-    BilateralView, EagerView, HybridHash, JoinIndexStrategy, MaterializedView, StoredRelation,
+    BilateralView, EagerView, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView,
+    StoredRelation,
 };
 use trijoin_storage::{Disk, FaultPlan, SimDisk};
 
@@ -83,6 +87,20 @@ impl Database {
         &mut self.r
     }
 
+    /// Apply one update to `R`, counting it in the metrics registry
+    /// (`db.mutations`). Equivalent to `r_mut().apply_update(..)` plus the
+    /// observation.
+    pub fn apply_r_update(&mut self, upd: &trijoin_exec::Update) -> Result<()> {
+        self.disk.metrics().incr("db.mutations");
+        self.r.apply_update(&upd.old, &upd.new)
+    }
+
+    /// Apply one mutation to `R`, counting it in the metrics registry.
+    pub fn apply_r_mutation(&mut self, m: &trijoin_exec::Mutation) -> Result<()> {
+        self.disk.metrics().incr("db.mutations");
+        self.r.apply_mutation(m)
+    }
+
     /// Mutable access to `S` for bilateral scenarios. Fails while any
     /// strategy (e.g. an [`EagerView`]) still holds a shared handle to `S`.
     pub fn s_mut(&mut self) -> Result<&mut StoredRelation> {
@@ -93,9 +111,60 @@ impl Database {
         })
     }
 
-    /// Zero the cost ledger (e.g. after setup).
+    /// The engine-wide metrics registry (carried by the simulated disk;
+    /// every layer holding the disk reports into the same registry).
+    pub fn metrics(&self) -> &Metrics {
+        self.disk.metrics()
+    }
+
+    /// The engine-wide structured-event log.
+    pub fn events(&self) -> &EventLog {
+        self.disk.events()
+    }
+
+    /// Execute `strategy` as one *observed* query: emits query start/end
+    /// events, bumps the query counter, records the simulated latency into
+    /// the `query.us` histogram, and returns the collected join result.
+    pub fn query(&self, strategy: &mut dyn JoinStrategy) -> Result<Vec<ViewTuple>> {
+        let start = self.cost.total();
+        self.disk.events().emit(
+            EventKind::QueryStart,
+            format!("strategy={}", strategy.name()),
+            start,
+        );
+        let mut out = Vec::new();
+        let result = strategy.execute(&self.r, &self.s, &mut |vt| out.push(vt));
+        let end = self.cost.total();
+        let detail = match &result {
+            Ok(_) => format!("strategy={} tuples={}", strategy.name(), out.len()),
+            Err(e) => format!("strategy={} failed: {e}", strategy.name()),
+        };
+        self.disk.events().emit(EventKind::QueryEnd, detail, end);
+        let metrics = self.disk.metrics();
+        metrics.incr("db.queries");
+        metrics.observe("query.us", end.delta_since(&start).time_us(&self.params) as u64);
+        result?;
+        Ok(out)
+    }
+
+    /// Snapshot the full observability state (params, span tree, metrics,
+    /// events) into a serializable [`RunReport`] labelled `name`.
+    pub fn run_report(&self, name: impl Into<String>) -> RunReport {
+        RunReport::capture(name, &self.params, &self.cost, self.disk.metrics(), self.disk.events())
+    }
+
+    /// Zero the cost ledger (e.g. after setup). Metrics and events are left
+    /// alone; use [`Database::reset_observability`] to clear those too.
     pub fn reset_cost(&self) {
         self.cost.reset();
+    }
+
+    /// Zero the cost ledger, the metrics registry, and the event log in one
+    /// step (a clean measurement boundary).
+    pub fn reset_observability(&self) {
+        self.cost.reset();
+        self.disk.metrics().reset();
+        self.disk.events().reset();
     }
 
     /// Install a device-fault plan on the simulated disk (see

@@ -50,12 +50,14 @@
 
 pub mod adaptive;
 pub mod advisor;
+pub mod breakdown;
 pub mod db;
 pub mod experiment;
 pub mod workload;
 
 pub use adaptive::AdaptiveStrategy;
 pub use advisor::{Advisor, Recommendation};
+pub use breakdown::Fig5Breakdown;
 pub use db::Database;
 pub use experiment::{EpochReport, Experiment, MethodOutcome};
 pub use workload::{GeneratedWorkload, MutationMix, MutationStream, UpdateStream, WorkloadSpec};

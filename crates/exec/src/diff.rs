@@ -17,7 +17,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use trijoin_common::{BaseTuple, Cost, Error, Result};
+use trijoin_common::{BaseTuple, Cost, Error, Metrics, Result};
 use trijoin_storage::{Disk, HeapFile};
 
 use crate::sort::{counted_sort_by, KWayMerge};
@@ -125,6 +125,11 @@ impl DiffLog {
         if !self.sealed {
             self.spill()?;
             self.sealed = true;
+            // One sample per query cycle: how large the differential log
+            // grew before being consumed.
+            let metrics = self.disk.metrics();
+            metrics.observe("diff.log_tuples", self.total);
+            metrics.observe("diff.log_pages", self.pages());
         }
         Ok(())
     }
@@ -157,7 +162,14 @@ impl DiffLog {
         let sources: Vec<RunReader> = self
             .runs
             .iter()
-            .map(|r| RunReader::new(r.clone(), self.cost.clone(), self.stream_err.clone()))
+            .map(|r| {
+                RunReader::new(
+                    r.clone(),
+                    self.cost.clone(),
+                    self.disk.metrics().clone(),
+                    self.stream_err.clone(),
+                )
+            })
             .collect();
         let key = self.key_of.clone();
         Ok(KWayMerge::new(sources, move |t| key(t), self.cost.clone()))
@@ -192,6 +204,7 @@ impl DiffLog {
 pub struct RunReader {
     heap: HeapFile,
     cost: Cost,
+    metrics: Metrics,
     next_page: u32,
     total_pages: u32,
     current: Vec<BaseTuple>,
@@ -200,9 +213,18 @@ pub struct RunReader {
 }
 
 impl RunReader {
-    fn new(heap: HeapFile, cost: Cost, err: Rc<RefCell<Option<Error>>>) -> Self {
+    fn new(heap: HeapFile, cost: Cost, metrics: Metrics, err: Rc<RefCell<Option<Error>>>) -> Self {
         let total_pages = heap.num_pages();
-        RunReader { heap, cost, next_page: 0, total_pages, current: Vec::new(), at: 0, err }
+        RunReader {
+            heap,
+            cost,
+            metrics,
+            next_page: 0,
+            total_pages,
+            current: Vec::new(),
+            at: 0,
+            err,
+        }
     }
 
     fn park(&mut self, e: Error) {
@@ -230,6 +252,9 @@ impl Iterator for RunReader {
             let mut attempt = 0u32;
             let read = crate::recovery::with_retry(|| {
                 attempt += 1;
+                if attempt > 1 {
+                    self.metrics.incr("diff.retries");
+                }
                 let _g = (attempt > 1).then(|| self.cost.section("diff.retry"));
                 self.heap.read_page_records(page)
             });

@@ -15,7 +15,9 @@
 
 use std::collections::HashMap;
 
-use trijoin_common::{types::hash_key, BaseTuple, Cost, JoinKey, Result, SystemParams, ViewTuple};
+use trijoin_common::{
+    types::hash_key, BaseTuple, Cost, EventKind, JoinKey, Result, SystemParams, ViewTuple,
+};
 use trijoin_storage::{Disk, HeapFile};
 
 use crate::relation::StoredRelation;
@@ -102,6 +104,9 @@ impl HybridHash {
         let mut attempt = 0u32;
         crate::recovery::with_retry(|| {
             attempt += 1;
+            if attempt > 1 {
+                self.disk.metrics().incr("hh.retries");
+            }
             let _g = (attempt > 1).then(|| self.cost.section("hh.retry"));
             run.scan().map(|rec| rec.map(|(_, bytes)| bytes)).collect()
         })
@@ -215,10 +220,17 @@ impl JoinStrategy for HybridHash {
                 Err(e) if e.is_device_fault() && restarts < crate::recovery::MAX_ATTEMPTS => {
                     buffered.clear();
                     restarts += 1;
+                    self.disk.metrics().incr("hh.restarts");
+                    self.disk.events().emit(
+                        EventKind::RecoveryTriggered,
+                        format!("{}: restart {restarts} after {e}", self.name()),
+                        self.cost.total(),
+                    );
                 }
                 Err(e) => return Err(e),
             }
         };
+        self.disk.metrics().counter_add("hh.tuples_emitted", buffered.len() as u64);
         for vt in buffered {
             sink(vt);
         }
@@ -239,6 +251,7 @@ impl HybridHash {
     ) -> Result<u64> {
         let _g = self.cost.section(section);
         let b = spilled_partitions(r.data_pages(), &self.params).max(u64::from(self.grace_mode));
+        self.disk.metrics().gauge_set("hh.spilled_partitions", b as f64);
         let q =
             if self.grace_mode { 0.0 } else { first_pass_fraction(r.data_pages(), &self.params) };
 

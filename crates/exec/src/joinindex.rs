@@ -28,7 +28,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use trijoin_common::{BaseTuple, Cost, Error, JiEntry, Result, Surrogate, SystemParams, ViewTuple};
+use trijoin_common::{
+    BaseTuple, Cost, Error, EventKind, JiEntry, Result, Surrogate, SystemParams, ViewTuple,
+};
 use trijoin_storage::{Disk, FileId, PageId};
 
 use crate::diff::{ji_sort_key, net_differentials, DiffLog, Net};
@@ -346,6 +348,12 @@ impl JoinIndexStrategy {
         s: &StoredRelation,
         out: &mut Vec<ViewTuple>,
     ) -> Result<u64> {
+        self.disk.metrics().incr("ji.recoveries");
+        self.disk.events().emit(
+            EventKind::RecoveryTriggered,
+            "join-index: recompute from base relations",
+            self.cost.total(),
+        );
         let _g = self.cost.section("ji.recover");
         let def = crate::viewdef::ViewDef::full();
         let (answer, r_filt, s_filt) = crate::recovery::recompute_join(r, s, &def, &self.cost)?;
@@ -476,8 +484,10 @@ impl JoinStrategy for JoinIndexStrategy {
         // Inserts and deletes always do — a new tuple may join, a removed
         // tuple's pairs must go.
         if !m.affects_join_index() {
+            self.disk.metrics().incr("ji.mutations_filtered");
             return Ok(());
         }
+        self.disk.metrics().incr("ji.mutations_logged");
         let _g = self.cost.section("ji.log");
         match m {
             Mutation::Update(u) => {
@@ -508,6 +518,7 @@ impl JoinStrategy for JoinIndexStrategy {
             }
             Err(e) => return Err(e),
         };
+        self.disk.metrics().counter_add("ji.tuples_emitted", buffered.len() as u64);
         for vt in buffered {
             sink(vt);
         }

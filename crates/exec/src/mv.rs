@@ -25,7 +25,7 @@
 use std::collections::{HashSet, VecDeque};
 
 use trijoin_common::{
-    types::hash_key, BaseTuple, Cost, Result, Surrogate, SystemParams, ViewTuple,
+    types::hash_key, BaseTuple, Cost, EventKind, Result, Surrogate, SystemParams, ViewTuple,
 };
 use trijoin_linearhash::{Addressing, LinearHash};
 use trijoin_storage::{Disk, FileId};
@@ -296,6 +296,12 @@ impl MaterializedView {
         s: &StoredRelation,
         out: &mut Vec<ViewTuple>,
     ) -> Result<u64> {
+        self.disk.metrics().incr("mv.recoveries");
+        self.disk.events().emit(
+            EventKind::RecoveryTriggered,
+            "materialized-view: recompute from base relations",
+            self.cost.total(),
+        );
         let _g = self.cost.section("mv.recover");
         let (answer, r_filt, s_filt) =
             crate::recovery::recompute_join(r, s, &self.def, &self.cost)?;
@@ -337,6 +343,7 @@ impl JoinStrategy for MaterializedView {
     }
 
     fn on_mutation(&mut self, m: &Mutation) -> Result<()> {
+        self.disk.metrics().incr("mv.mutations_logged");
         let _g = self.cost.section("mv.log");
         // Every mutation of a full view matters (unlike the join index,
         // which filters by Pr_A); a select view additionally drops the
@@ -370,6 +377,7 @@ impl JoinStrategy for MaterializedView {
             }
             Err(e) => return Err(e),
         };
+        self.disk.metrics().counter_add("mv.tuples_emitted", buffered.len() as u64);
         for vt in buffered {
             sink(vt);
         }

@@ -13,7 +13,9 @@ use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
 
-use trijoin_common::{Cost, Error, FaultKind, FaultOp, Result, SystemParams};
+use trijoin_common::{
+    Cost, Error, EventKind, EventLog, FaultKind, FaultOp, Metrics, Result, SystemParams,
+};
 
 /// Identifier of a simulated file (a growable array of pages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -149,6 +151,11 @@ pub struct SimDisk {
     torn: RefCell<HashSet<(u32, u32)>>,
     /// Total scheduled faults fired so far (tests assert exactly-once).
     fired: RefCell<u64>,
+    /// Engine-wide metrics registry; every layer holding this disk handle
+    /// (pool, strategies, `Database`) reports into the same registry.
+    metrics: Metrics,
+    /// Engine-wide structured-event log, shared the same way.
+    events: EventLog,
 }
 
 /// Shared handle to a [`SimDisk`]; the simulator is single-threaded.
@@ -166,7 +173,30 @@ impl SimDisk {
             poisoned: RefCell::new(HashSet::new()),
             torn: RefCell::new(HashSet::new()),
             fired: RefCell::new(0),
+            metrics: Metrics::new(),
+            events: EventLog::new(),
         })
+    }
+
+    /// The engine-wide metrics registry (the disk is the one object every
+    /// layer already shares, so it carries the observability handles).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The engine-wide structured-event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Record a fired fault in the metrics registry and event log.
+    fn observe_fault(&self, op: FaultOp, kind: FaultKind, pid: PageId) {
+        self.metrics.incr(&format!("disk.faults.{kind}"));
+        self.events.emit(
+            EventKind::FaultFired,
+            format!("{kind} on {op} f{} page {}", pid.file.0, pid.page),
+            self.cost.total(),
+        );
     }
 
     /// Arrange for the charged I/O operation `after` operations from now to
@@ -349,6 +379,7 @@ impl SimDisk {
             if kind == FaultKind::Poisoned {
                 self.poison_page(pid);
             }
+            self.observe_fault(FaultOp::Read, kind, pid);
             return Err(Error::DeviceFault {
                 op: FaultOp::Read,
                 kind,
@@ -363,6 +394,8 @@ impl SimDisk {
             .and_then(|pages| pages.get(pid.page as usize))
             .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
         self.cost.io(1);
+        self.metrics.incr("disk.reads");
+        self.metrics.incr(&format!("disk.read.f{}", pid.file.0));
         Ok(page.to_vec())
     }
 
@@ -400,6 +433,7 @@ impl SimDisk {
                 }
                 FaultKind::Transient => {}
             }
+            self.observe_fault(FaultOp::Write, kind, pid);
             return Err(Error::DeviceFault {
                 op: FaultOp::Write,
                 kind,
@@ -409,6 +443,8 @@ impl SimDisk {
         }
         page.copy_from_slice(data);
         self.cost.io(1);
+        self.metrics.incr("disk.writes");
+        self.metrics.incr(&format!("disk.write.f{}", pid.file.0));
         // A successful full-page write heals any damage mark.
         drop(files);
         self.torn.borrow_mut().remove(&(pid.file.0, pid.page));
@@ -689,6 +725,29 @@ mod tests {
         d.inject_fault(0);
         assert_eq!(d.read_page(pid).unwrap_err(), Error::Faulted);
         assert!(d.read_page(pid).is_ok());
+    }
+
+    #[test]
+    fn metrics_and_events_observe_io_and_faults() {
+        let (d, _c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let data = vec![1u8; d.page_size()];
+        d.write_page(pid, &data).unwrap();
+        d.read_page(pid).unwrap();
+        d.read_page(pid).unwrap();
+        let m = d.metrics();
+        assert_eq!(m.counter("disk.writes"), 1);
+        assert_eq!(m.counter("disk.reads"), 2);
+        assert_eq!(m.counter(&format!("disk.read.f{}", f.0)), 2);
+        assert_eq!(m.counter(&format!("disk.write.f{}", f.0)), 1);
+
+        d.install_fault_plan(FaultPlan::new().fail_nth_read(None, 0));
+        assert!(d.read_page(pid).is_err());
+        assert_eq!(m.counter("disk.faults.transient"), 1);
+        assert_eq!(d.events().count_of(EventKind::FaultFired), 1);
+        let event = &d.events().events()[0];
+        assert!(event.detail.contains("transient on read"), "{}", event.detail);
     }
 
     #[test]

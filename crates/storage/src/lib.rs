@@ -25,4 +25,4 @@ pub mod pool;
 pub use disk::{Disk, FaultPlan, FaultSpec, FileId, PageId, SimDisk};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolStats};

@@ -37,6 +37,23 @@ struct Inner {
     resident_dirty: HashMap<PageId, bool>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time buffer-pool counters (replaces the old bare
+/// `(hits, misses)` tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Accesses served from a frame (free).
+    pub hits: u64,
+    /// Accesses that had to read from disk (one charged I/O each).
+    pub misses: u64,
+    /// Frames whose previous page was displaced to make room.
+    pub evictions: u64,
+    /// Number of frames.
+    pub capacity: usize,
+    /// Pages pinned in the permanently-resident set.
+    pub resident: usize,
 }
 
 /// A pin-counted clock-eviction buffer pool over a [`Disk`].
@@ -68,6 +85,7 @@ impl BufferPool {
                 resident_dirty: HashMap::new(),
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
         }
     }
@@ -77,10 +95,16 @@ impl BufferPool {
         self.inner.borrow().frames.len()
     }
 
-    /// `(hits, misses)` counters for tests and reporting.
-    pub fn stats(&self) -> (u64, u64) {
+    /// Named counters for tests and reporting.
+    pub fn stats(&self) -> PoolStats {
         let inner = self.inner.borrow();
-        (inner.hits, inner.misses)
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            capacity: inner.frames.len(),
+            resident: inner.resident.len(),
+        }
     }
 
     /// Load a page into the permanently-resident set, free of I/O charge.
@@ -90,6 +114,7 @@ impl BufferPool {
         let mut inner = self.inner.borrow_mut();
         inner.resident.insert(pid, data);
         inner.resident_dirty.insert(pid, false);
+        self.disk.metrics().gauge_set("pool.resident", inner.resident.len() as f64);
         Ok(())
     }
 
@@ -97,6 +122,7 @@ impl BufferPool {
     pub fn unmark_resident(&self, pid: PageId) -> Result<()> {
         let mut inner = self.inner.borrow_mut();
         if let Some(data) = inner.resident.remove(&pid) {
+            self.disk.metrics().gauge_set("pool.resident", inner.resident.len() as f64);
             if inner.resident_dirty.remove(&pid).unwrap_or(false) {
                 drop(inner);
                 self.disk.write_page_free(pid, &data)?;
@@ -163,9 +189,11 @@ impl BufferPool {
             let mut inner = self.inner.borrow_mut();
             if let Some(&idx) = inner.map.get(&pid) {
                 inner.hits += 1;
+                self.disk.metrics().incr("pool.hits");
                 return Ok(idx);
             }
             inner.misses += 1;
+            self.disk.metrics().incr("pool.misses");
         }
         let victim = self.find_victim()?;
         // Evict the victim (flush if dirty), outside the clock loop.
@@ -178,6 +206,8 @@ impl BufferPool {
             };
             if let Some(old) = frame.pid.take() {
                 inner.map.remove(&old);
+                inner.evictions += 1;
+                self.disk.metrics().incr("pool.evictions");
             }
             out
         };
@@ -258,11 +288,13 @@ impl BufferPool {
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (hits, misses) = self.stats();
+        let stats = self.stats();
         f.debug_struct("BufferPool")
-            .field("capacity", &self.capacity())
-            .field("hits", &hits)
-            .field("misses", &misses)
+            .field("capacity", &stats.capacity)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .field("resident", &stats.resident)
             .finish()
     }
 }
@@ -296,7 +328,10 @@ mod tests {
         assert_eq!(cost.total().ios, 1);
         pool.with_page(pids[0], |d| assert_eq!(d[0], 0)).unwrap();
         assert_eq!(cost.total().ios, 1, "hit must be free");
-        assert_eq!(pool.stats(), (1, 1));
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.capacity, 4);
     }
 
     #[test]
@@ -369,9 +404,28 @@ mod tests {
                 pool.with_page(*pid, |d| assert_eq!(d[0], i as u8, "pass {pass}")).unwrap();
             }
         }
-        let (hits, misses) = pool.stats();
-        assert_eq!(hits + misses, 12);
-        assert!(misses >= 10, "2-frame pool cannot hold 6 pages");
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 12);
+        assert!(stats.misses >= 10, "2-frame pool cannot hold 6 pages");
+        assert!(stats.evictions >= stats.misses - 2, "almost every miss displaced a page");
+    }
+
+    #[test]
+    fn stats_and_metrics_agree() {
+        let (disk, pool, pids, _cost) = setup(2, 3);
+        pool.mark_resident(pids[2]).unwrap();
+        for pid in &pids[..2] {
+            pool.with_page(*pid, |_| ()).unwrap();
+        }
+        pool.with_page(pids[0], |_| ()).unwrap();
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.resident, 1);
+        let m = disk.metrics();
+        assert_eq!(m.counter("pool.hits"), stats.hits);
+        assert_eq!(m.counter("pool.misses"), stats.misses);
+        assert_eq!(m.counter("pool.evictions"), stats.evictions);
+        assert_eq!(m.gauge("pool.resident"), Some(1.0));
     }
 
     #[test]

@@ -64,9 +64,16 @@ fn main() {
         let mut grand_total = 0.0;
         // Strategy-attributable cost = the strategies' own cost sections
         // (logging, passes, scans, switches); applying updates to the base
-        // relation is identical shared work for every contender.
+        // relation is identical shared work for every contender. Sum only
+        // root spans: cumulative counts already include nested work, so
+        // adding child spans on top would double-count it.
         let section_secs = |db: &Database| -> f64 {
-            db.cost().sections().iter().map(|(_, ops)| ops.time_secs(db.params())).sum()
+            db.cost()
+                .span_tree()
+                .iter()
+                .filter(|s| s.depth == 0)
+                .map(|s| s.cum_ops.time_secs(db.params()))
+                .sum()
         };
         for (phase, updates, epochs) in &phases {
             for e in 0..*epochs {
