@@ -21,12 +21,27 @@ echo "==> run-report schema gate"
 # with the top-level keys (params, spans, metrics, events) and must
 # deserialize back into a RunReport — any schema drift fails CI here.
 report=ci_report.json
-cargo run --release -q -p trijoin --bin trijoin -- \
+cargo run --release -q -p trijoin-serve --bin trijoin -- \
     run --scale 200 --epochs 1 --report "$report" > /dev/null
 for key in params spans metrics events; do
     grep -q "\"$key\"" "$report" || { echo "missing top-level key: $key"; exit 1; }
 done
-cargo run --release -q -p trijoin --bin trijoin -- report-validate "$report"
+cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate "$report"
 rm -f "$report"
+
+echo "==> serving-layer gate"
+# Run the sharded server at one and four shards (every query is checked
+# against the single-engine oracle inside the command), then validate the
+# emitted ShardedRunReport — including the shards-sum-to-rollup invariant.
+for shards in 1 4; do
+    cargo run --release -q -p trijoin-serve --bin trijoin -- \
+        serve --shards "$shards" --clients 3 --batch 16 --queries 3 \
+        --scale 400 --report "$report" > /dev/null
+    cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate "$report"
+    rm -f "$report"
+done
+# The committed scaling results must carry the serve schema and a result
+# checksum that is identical across shard counts.
+cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate results/serve.json
 
 echo "CI OK"

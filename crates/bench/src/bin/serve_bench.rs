@@ -1,0 +1,148 @@
+//! Serving-layer scaling benchmark: queries per second and latency
+//! percentiles of the sharded server as the shard count grows.
+//!
+//! Every shard count replays the *same* deterministic mixed workload —
+//! per round, one epoch's worth of `R` updates fans out across the client
+//! sessions, then one hybrid-hash query runs — so the result checksum
+//! column must be identical on every row: the answer is a pure function of
+//! the workload, never of the parallelism. Wall-clock throughput is the
+//! only column allowed to change, and the text table reports the speedup
+//! over the single-shard row.
+//!
+//! Run with: `cargo run --release -p trijoin-bench --bin serve_bench`
+//! (optionally `-- --quick` for a smaller workload in smoke tests).
+
+use std::time::Instant;
+
+use trijoin::{Method, SystemParams, WorkloadSpec};
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
+use trijoin_serve::{ClientTraffic, ServeConfig, Server};
+
+/// One measured row of the scaling table.
+struct Row {
+    shards: usize,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    checksum: u64,
+}
+
+const CLIENTS: usize = 4;
+const BATCH: usize = 32;
+const SEED: u64 = 42;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, queries) = if quick { (500u32, 8u64) } else { (6_000, 16) };
+    // Wide tuples make the workload I/O-bound: the interesting cost is the
+    // bytes a spilling hybrid-hash join moves through the device, not the
+    // per-tuple CPU work (which no amount of sharding can reduce on one
+    // engine's worth of data).
+    let spec = WorkloadSpec {
+        r_tuples: n,
+        s_tuples: n,
+        tuple_bytes: 1900,
+        sr: 0.01,
+        group_size: 4,
+        pra: 0.1,
+        update_rate: 0.005,
+        seed: trijoin_common::rng::derive(SEED, "workload"),
+    };
+    // |M| sized so the full relation spills hard (q ~ 0.27) while a
+    // four-way partition of it is fully memory-resident: the scaling the
+    // table shows is "sharding makes the per-shard join one-pass".
+    let params = SystemParams { mem_pages: 1850, ..paper_params() };
+    let gen = spec.generate();
+    let updates_per_query = gen.updates_per_epoch();
+
+    println!("== Serving-layer scaling: qps and latency vs shard count ==");
+    println!(
+        "   ‖R‖ = ‖S‖ = {}, {CLIENTS} clients, batch = {BATCH}, \
+         {queries} hybrid-hash queries, ‖iR‖ = {updates_per_query}/query\n",
+        gen.r.len()
+    );
+    println!(
+        "{:>7}  {:>9}  {:>9}  {:>9}  {:>8}  {:>18}",
+        "shards", "qps", "p50 (us)", "p99 (us)", "speedup", "checksum"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let config = ServeConfig { params: params.clone(), shards, batch: BATCH, seed: SEED };
+        let server = Server::start(&config, gen.r.clone(), gen.s.clone())
+            .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
+        let session = server.session();
+        let mut traffic = ClientTraffic::split(&gen, &config, CLIENTS);
+
+        let mut latencies_us: Vec<u64> = Vec::with_capacity(queries as usize);
+        let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let started = Instant::now();
+        for q in 0..queries {
+            for u in 0..updates_per_query {
+                let c = ((q * updates_per_query + u) % CLIENTS as u64) as usize;
+                session.update_r(traffic[c].next_mutation()).expect("update");
+            }
+            let at = Instant::now();
+            let answer = session.query(Method::HybridHash).expect("query");
+            latencies_us.push(at.elapsed().as_micros() as u64);
+            for t in &answer {
+                for word in [t.r_sur.0 as u64, t.s_sur.0 as u64] {
+                    checksum = (checksum ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        let wall = started.elapsed().as_secs_f64();
+        drop(session);
+        drop(server);
+
+        latencies_us.sort_unstable();
+        let pct = |p: usize| latencies_us[(latencies_us.len() - 1) * p / 100];
+        let row = Row {
+            shards,
+            qps: queries as f64 / wall.max(1e-9),
+            p50_us: pct(50),
+            p99_us: pct(99),
+            checksum,
+        };
+        let speedup = row.qps / rows.first().map_or(row.qps, |r| r.qps);
+        println!(
+            "{:>7}  {:>9.1}  {:>9}  {:>9}  {:>7.2}x  {:>18}",
+            row.shards,
+            row.qps,
+            row.p50_us,
+            row.p99_us,
+            speedup,
+            format!("{:016x}", row.checksum),
+        );
+        rows.push(row);
+    }
+
+    let reference = rows[0].checksum;
+    let consistent = rows.iter().all(|r| r.checksum == reference);
+    println!(
+        "\n  [{}] result checksum is independent of the shard count",
+        if consistent { "PASS" } else { "FAIL" }
+    );
+
+    let json = Json::obj().set("figure", "serve").set(
+        "rows",
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .set("shards", r.shards as u64)
+                    .set("clients", CLIENTS as u64)
+                    .set("queries", queries)
+                    .set("updates", queries * updates_per_query)
+                    .set("qps", r.qps)
+                    .set("p50_us", r.p50_us)
+                    .set("p99_us", r.p99_us)
+                    // Hex string: the checksum uses all 64 bits, which JSON
+                    // numbers (f64) cannot carry exactly.
+                    .set("checksum", format!("{:016x}", r.checksum).as_str())
+            })
+            .collect::<Vec<_>>(),
+    );
+    emit_json("serve", &json);
+    assert!(consistent, "sharding changed the join answer");
+}

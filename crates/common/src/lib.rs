@@ -28,5 +28,5 @@ pub use events::{Event, EventKind, EventLog};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use params::SystemParams;
-pub use trace::{ModelDelta, RunReport};
-pub use types::{BaseTuple, JiEntry, JoinKey, Surrogate, ViewTuple};
+pub use trace::{ModelDelta, RunReport, ShardedRunReport};
+pub use types::{shard_of_key, BaseTuple, JiEntry, JoinKey, Surrogate, ViewTuple};

@@ -71,6 +71,26 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Fold `other`'s samples into this histogram (bucket-wise). Exact for
+    /// count/sum/min/max/buckets — the merge of per-shard histograms equals
+    /// the histogram a single registry would have recorded.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -160,6 +180,38 @@ impl MetricsSnapshot {
     /// Counter value from the snapshot (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Gauge value from the snapshot (`None` if absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram from the snapshot (`None` if absent).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// Fold `other` into this snapshot: counters and gauges add, histograms
+    /// merge bucket-wise, and name order stays sorted. Adding gauges makes
+    /// per-shard capacity gauges (`pool.resident`, ...) roll up to fleet
+    /// totals; point-in-time gauges should be read per shard instead.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn fold<V: Clone>(
+            mine: &mut Vec<(String, V)>,
+            theirs: &[(String, V)],
+            add: impl Fn(&mut V, &V),
+        ) {
+            for (name, value) in theirs {
+                match mine.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
+                    Ok(i) => add(&mut mine[i].1, value),
+                    Err(i) => mine.insert(i, (name.clone(), value.clone())),
+                }
+            }
+        }
+        fold(&mut self.counters, &other.counters, |a, b| *a += *b);
+        fold(&mut self.gauges, &other.gauges, |a, b| *a += *b);
+        fold(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
     }
 
     /// Serialize for embedding in a run report.
@@ -314,6 +366,53 @@ mod tests {
         let json = snap.to_json();
         let back = MetricsSnapshot::from_json(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_equals_single_registry() {
+        // Two "shards" recording disjoint and overlapping instruments must
+        // merge to exactly what one registry recording everything holds.
+        let a = Metrics::new();
+        let b = Metrics::new();
+        let all = Metrics::new();
+        for (m, samples) in [(&a, [1u64, 8]), (&b, [0, 1024])] {
+            for s in samples {
+                m.observe("query.us", s);
+                all.observe("query.us", s);
+            }
+        }
+        a.counter_add("disk.reads", 3);
+        all.counter_add("disk.reads", 3);
+        b.counter_add("disk.reads", 4);
+        all.counter_add("disk.reads", 4);
+        b.incr("only.b");
+        all.incr("only.b");
+        a.gauge_set("pool.resident", 2.0);
+        all.gauge_set("pool.resident", 2.0 + 5.0);
+        b.gauge_set("pool.resident", 5.0);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        assert_eq!(merged.counter("only.b"), 1);
+        assert_eq!(merged.histogram("query.us").unwrap().count, 4);
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&MetricsSnapshot::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn histogram_merge_handles_empty_sides() {
+        let m = Metrics::new();
+        m.observe("h", 7);
+        let recorded = m.histogram("h").unwrap();
+        let mut empty = Histogram::default();
+        empty.merge(&recorded);
+        assert_eq!(empty, recorded);
+        let mut copy = recorded.clone();
+        copy.merge(&Histogram::default());
+        assert_eq!(copy, recorded);
     }
 
     #[test]

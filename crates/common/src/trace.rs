@@ -264,6 +264,128 @@ impl RunReport {
     }
 }
 
+/// The observability state of one sharded serving run: every shard's own
+/// [`RunReport`] plus a server-level rollup.
+///
+/// The rollup is a *pure aggregate* of the shard reports — totals and span
+/// ops sum, metrics merge ([`MetricsSnapshot::merge`]), and events interleave
+/// with a `shardN:` detail prefix — so "shard metrics sum to rollup totals"
+/// is an invariant tests can assert, not a convention. A server may overlay
+/// additional scheduler-level instruments into `rollup.metrics` afterwards
+/// under names no shard emits (the `serve.` prefix).
+///
+/// The stable top-level JSON keys are `name`, `shards`, and `rollup`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRunReport {
+    /// What ran (`"trijoin serve --shards 4"`, ...).
+    pub name: String,
+    /// One report per shard, in shard-index order.
+    pub shards: Vec<RunReport>,
+    /// The server-level aggregate of the shard reports.
+    pub rollup: RunReport,
+}
+
+impl ShardedRunReport {
+    /// Aggregate per-shard reports into a server-level rollup. Span nodes
+    /// are merged by tree path (ops and invocation counts sum; enter/exit
+    /// stamps widen), appearing in first-seen pre-order across shards —
+    /// shard threads run the same code, so this is shard 0's tree with any
+    /// shard-specific paths appended.
+    pub fn rollup_of(
+        name: impl Into<String>,
+        params: &SystemParams,
+        shards: Vec<RunReport>,
+    ) -> Self {
+        let name = name.into();
+        let mut totals = OpCounts::default();
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        let mut span_index: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut metrics = MetricsSnapshot::default();
+        let mut events: Vec<Event> = Vec::new();
+        let mut deltas = Vec::new();
+        for (idx, shard) in shards.iter().enumerate() {
+            totals.add(&shard.totals);
+            for span in &shard.spans {
+                match span_index.get(&span.path) {
+                    Some(&i) => {
+                        let merged = &mut spans[i];
+                        merged.self_ops.add(&span.self_ops);
+                        merged.cum_ops.add(&span.cum_ops);
+                        merged.start_total.add(&span.start_total);
+                        merged.end_total.add(&span.end_total);
+                        merged.invocations += span.invocations;
+                        merged.first_enter = merged.first_enter.min(span.first_enter);
+                        merged.last_exit = merged.last_exit.max(span.last_exit);
+                    }
+                    None => {
+                        span_index.insert(span.path.clone(), spans.len());
+                        spans.push(span.clone());
+                    }
+                }
+            }
+            metrics.merge(&shard.metrics);
+            for event in &shard.events {
+                let mut event = event.clone();
+                event.detail = format!("shard{idx}: {}", event.detail);
+                events.push(event);
+            }
+            deltas.extend(shard.deltas.iter().cloned());
+        }
+        // Interleave shard event streams round-robin by per-shard sequence
+        // number (there is no global clock), then re-sequence. The sort is
+        // stable, so ties keep shard-index order — fully deterministic.
+        events.sort_by_key(|e| e.seq);
+        for (seq, event) in events.iter_mut().enumerate() {
+            event.seq = seq as u64;
+        }
+        let rollup = RunReport {
+            name: format!("{name}.rollup"),
+            params: params.clone(),
+            totals,
+            spans,
+            metrics,
+            events,
+            deltas,
+        };
+        ShardedRunReport { name, shards, rollup }
+    }
+
+    /// Serialize. Top-level keys: `name`, `shards`, `rollup`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("shards", Json::Arr(self.shards.iter().map(RunReport::to_json).collect()))
+            .set("rollup", self.rollup.to_json())
+    }
+
+    /// Inverse of [`ShardedRunReport::to_json`].
+    pub fn from_json(json: &Json) -> Result<ShardedRunReport, String> {
+        Ok(ShardedRunReport {
+            name: json
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "sharded report: missing name".to_string())?
+                .to_string(),
+            shards: json
+                .get("shards")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "sharded report: missing shards array".to_string())?
+                .iter()
+                .map(RunReport::from_json)
+                .collect::<Result<_, _>>()?,
+            rollup: RunReport::from_json(
+                json.get("rollup").ok_or_else(|| "sharded report: missing rollup".to_string())?,
+            )?,
+        })
+    }
+
+    /// Parse a sharded report from JSON text.
+    pub fn parse(text: &str) -> Result<ShardedRunReport, String> {
+        ShardedRunReport::from_json(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +461,76 @@ mod tests {
             members.retain(|(k, _)| k != "spans");
         }
         assert!(RunReport::from_json(&json).is_err());
+    }
+
+    fn shard_report(label: &str, ios: u64) -> RunReport {
+        let params = SystemParams::test_small();
+        let cost = Cost::new();
+        let metrics = Metrics::new();
+        let events = EventLog::new();
+        {
+            let _q = cost.section("mv.scan_view");
+            cost.io(ios);
+        }
+        metrics.counter_add("disk.reads", ios);
+        metrics.observe("query.us", ios);
+        events.emit(EventKind::QueryStart, "strategy=mv", OpCounts::default());
+        events.emit(EventKind::QueryEnd, "strategy=mv", cost.total());
+        RunReport::capture(label, &params, &cost, &metrics, &events)
+    }
+
+    #[test]
+    fn rollup_sums_shards_and_prefixes_events() {
+        let params = SystemParams::test_small();
+        let shards = vec![shard_report("shard0", 3), shard_report("shard1", 5)];
+        let sharded = ShardedRunReport::rollup_of("serve", &params, shards);
+        assert_eq!(sharded.rollup.totals.ios, 8);
+        assert_eq!(sharded.rollup.metrics.counter("disk.reads"), 8);
+        assert_eq!(sharded.rollup.metrics.histogram("query.us").unwrap().count, 2);
+        // Spans merged by path: one scan_view node holding both shards' ops.
+        let scans: Vec<_> =
+            sharded.rollup.spans.iter().filter(|s| s.name == "mv.scan_view").collect();
+        assert_eq!(scans.len(), 1);
+        assert_eq!(scans[0].cum_ops.ios, 8);
+        assert_eq!(scans[0].invocations, 2);
+        // Events interleave round-robin by per-shard seq, re-sequenced,
+        // with the owning shard named in the detail.
+        let details: Vec<&str> = sharded.rollup.events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(
+            details,
+            [
+                "shard0: strategy=mv",
+                "shard1: strategy=mv",
+                "shard0: strategy=mv",
+                "shard1: strategy=mv"
+            ]
+        );
+        let seqs: Vec<u64> = sharded.rollup.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2, 3]);
+        // Per-shard reports are preserved untouched.
+        assert_eq!(sharded.shards[1].totals.ios, 5);
+        assert_eq!(sharded.shards[1].events[0].detail, "strategy=mv");
+    }
+
+    #[test]
+    fn sharded_report_json_round_trip() {
+        let params = SystemParams::test_small();
+        let sharded = ShardedRunReport::rollup_of(
+            "serve",
+            &params,
+            vec![shard_report("shard0", 2), shard_report("shard1", 4)],
+        );
+        let text = sharded.to_json().pretty();
+        let back = ShardedRunReport::parse(&text).unwrap();
+        assert_eq!(back, sharded);
+        for key in ["name", "shards", "rollup"] {
+            assert!(sharded.to_json().get(key).is_some(), "missing top-level key {key:?}");
+        }
+        // Dropping the rollup is schema drift.
+        let mut json = sharded.to_json();
+        if let Json::Obj(members) = &mut json {
+            members.retain(|(k, _)| k != "rollup");
+        }
+        assert!(ShardedRunReport::from_json(&json).is_err());
     }
 }

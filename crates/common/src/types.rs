@@ -40,6 +40,23 @@ pub fn hash_key(k: JoinKey) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Which of `shards` partitions a join key belongs to. The serving layer
+/// hash-partitions both `R` and `S` on the join attribute with this one
+/// function, which is what makes per-shard joins exhaustive and disjoint:
+/// every joining pair shares a key, hence a shard, so
+/// `R ⋈ S = ⋃ᵢ Rᵢ ⋈ Sᵢ` with no cross-shard pairs and no duplicates.
+///
+/// Uses the upper bits of [`hash_key`] so it stays decorrelated from the
+/// low-bit bucket addressing of the linear-hash and hybrid-hash layers
+/// (a shard-local hash table must not see all its keys collide).
+#[inline]
+pub fn shard_of_key(k: JoinKey, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of_key: shard count must be positive");
+    // Multiply-shift range reduction on the high 32 bits: unbiased enough
+    // for partitioning and avoids the modulo's low-bit sensitivity.
+    (((hash_key(k) >> 32) * shards as u64) >> 32) as usize
+}
+
 /// A base-relation tuple: surrogate, join attribute, opaque payload.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BaseTuple {
@@ -313,6 +330,27 @@ mod tests {
             low_bits.insert(hash_key(k) & 0xFF);
         }
         assert!(low_bits.len() > 32, "hash low bits too clustered");
+    }
+
+    #[test]
+    fn shard_of_key_is_total_and_balanced() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut counts = vec![0u32; shards];
+            for k in 0..4096u64 {
+                let s = shard_of_key(k, shards);
+                assert!(s < shards);
+                counts[s] += 1;
+            }
+            let expect = 4096 / shards as u32;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > expect / 2 && c < expect * 2,
+                    "shard {i}/{shards} got {c} of 4096 keys"
+                );
+            }
+        }
+        // Single shard degenerates to the unsharded engine.
+        assert_eq!(shard_of_key(0xDEAD_BEEF, 1), 0);
     }
 
     #[test]

@@ -197,6 +197,24 @@ impl GeneratedWorkload {
         }
     }
 
+    /// Hash-partition both relations on the join attribute into `shards`
+    /// disjoint sub-workloads (`(r_i, s_i)` pairs, shard-index order) using
+    /// the engine-wide [`trijoin_common::shard_of_key`]. Because the join is
+    /// an equi-join on that attribute, every joining pair lands in exactly
+    /// one shard: the shard joins are exhaustive and pairwise disjoint, so a
+    /// serving layer can answer `R ⋈ S` as the union of per-shard joins.
+    pub fn partition(&self, shards: usize) -> Vec<(Vec<BaseTuple>, Vec<BaseTuple>)> {
+        assert!(shards > 0, "partition: shard count must be positive");
+        let mut parts = vec![(Vec::new(), Vec::new()); shards];
+        for t in &self.r {
+            parts[trijoin_common::shard_of_key(t.key, shards)].0.push(t.clone());
+        }
+        for t in &self.s {
+            parts[trijoin_common::shard_of_key(t.key, shards)].1.push(t.clone());
+        }
+        parts
+    }
+
     /// Open an update stream over the current R contents.
     pub fn update_stream(&self) -> UpdateStream {
         UpdateStream {
@@ -548,6 +566,41 @@ mod tests {
         let a = spec.generate_skewed(0.0).measured();
         let b = spec.generate().measured();
         assert!((a.js - b.js).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_is_exhaustive_disjoint_and_join_preserving() {
+        let spec = WorkloadSpec {
+            r_tuples: 1_500,
+            s_tuples: 1_200,
+            tuple_bytes: 48,
+            sr: 0.1,
+            group_size: 6,
+            pra: 0.2,
+            update_rate: 0.05,
+            seed: 21,
+        };
+        let gen = spec.generate();
+        let whole = trijoin_exec::oracle::join_pairs(&gen.r, &gen.s);
+        for shards in [1usize, 2, 4, 8] {
+            let parts = gen.partition(shards);
+            assert_eq!(parts.len(), shards);
+            assert_eq!(parts.iter().map(|(r, _)| r.len()).sum::<usize>(), gen.r.len());
+            assert_eq!(parts.iter().map(|(_, s)| s.len()).sum::<usize>(), gen.s.len());
+            // Tuples land where their key hashes, so per-shard joins are
+            // exhaustive: the union of shard joins equals the whole join.
+            let mut union = Vec::new();
+            for (idx, (r_i, s_i)) in parts.iter().enumerate() {
+                for t in r_i.iter().chain(s_i.iter()) {
+                    assert_eq!(trijoin_common::shard_of_key(t.key, shards), idx);
+                }
+                union.extend(trijoin_exec::oracle::join_pairs(r_i, s_i));
+            }
+            let mut whole_sorted = whole.clone();
+            whole_sorted.sort();
+            union.sort();
+            assert_eq!(union, whole_sorted, "{shards} shards lost or duplicated pairs");
+        }
     }
 
     #[test]

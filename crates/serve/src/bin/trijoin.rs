@@ -11,8 +11,18 @@
 //!     run the engine on a scaled paper workload and report measured cost;
 //!     `--trace` prints each strategy's span-tree profile, `--report`
 //!     writes a JSON run report (params, spans, metrics, events, deltas)
+//! trijoin serve --shards 4 --clients 4 --batch 64 --queries 10
+//!               [--scale 200] [--sr 0.01] [--activity 0.06] [--pra 0.1]
+//!               [--mem 80] [--strategy mv|ji|hh] [--seed 42] [--report <path>]
+//!     run the sharded serving layer on a scaled paper workload: clients
+//!     submit batched updates between queries, answers are checked against
+//!     the single-engine oracle, and `--report` writes the per-shard
+//!     reports plus their rollup as JSON
 //! trijoin report-validate <path>
-//!     check that <path> holds a well-formed run report (CI schema gate)
+//!     check that <path> holds a well-formed report (CI schema gate); the
+//!     schema is sniffed: a run report, a sharded serve report (per-shard
+//!     reports + rollup, with the metric-sum invariant re-verified), or a
+//!     bench results file (`figure`/`rows`)
 //! ```
 //!
 //! (No external argument-parsing dependency: flags are `--name value`
@@ -22,8 +32,9 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use trijoin::{Advisor, Database, JoinStrategy, Method, SystemParams, Workload, WorkloadSpec};
-use trijoin_common::{Json, ModelDelta, RunReport};
+use trijoin_common::{Json, ModelDelta, RunReport, ShardedRunReport};
 use trijoin_model::all_costs;
+use trijoin_serve::{ClientTraffic, ServeConfig, Server};
 
 /// Flags that take no value.
 const BOOL_FLAGS: &[&str] = &["trace"];
@@ -76,7 +87,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin report-validate <path>"
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n  trijoin report-validate <path>"
 }
 
 fn main() -> ExitCode {
@@ -93,6 +104,7 @@ fn main() -> ExitCode {
                 "advise" => advise(&args),
                 "model" => model(&args),
                 "run" => run(&args),
+                "serve" => serve(&args),
                 other => Err(format!("unknown command {other:?}\n{}", usage())),
             },
             Err(e) => Err(e),
@@ -287,15 +299,108 @@ fn observed_report(
     Ok(report)
 }
 
-/// `trijoin report-validate <path>` — the CI schema gate: the file must be
-/// valid JSON carrying the run-report top-level keys, and must deserialize
-/// back into a [`RunReport`].
+/// `trijoin serve` — run the sharded serving layer on a scaled paper
+/// workload: `--clients` deterministic update streams feed the admission
+/// scheduler between `--queries` queries, every answer is checked against
+/// the single-engine oracle, and `--report` writes the per-shard reports
+/// plus their rollup.
+fn serve(args: &Args) -> Result<(), String> {
+    let err = |e: trijoin_common::Error| e.to_string();
+    let shards = args.u64("shards", 4)? as usize;
+    let clients = args.u64("clients", 4)? as usize;
+    let batch = args.u64("batch", 64)? as usize;
+    let queries = args.u64("queries", 10)?;
+    let seed = args.u64("seed", 42)?;
+    if shards == 0 || clients == 0 || queries == 0 {
+        return Err("--shards, --clients and --queries must be positive".into());
+    }
+    let method = match args.str("strategy", "hh").as_str() {
+        "mv" => Method::MaterializedView,
+        "ji" => Method::JoinIndex,
+        "hh" => Method::HybridHash,
+        other => return Err(format!("--strategy: unknown {other:?} (mv|ji|hh)")),
+    };
+    let spec = WorkloadSpec::paper_scaled(
+        args.u64("scale", 200)? as u32,
+        args.f64("sr", 0.01)?,
+        args.f64("activity", 0.06)?,
+        args.f64("pra", 0.1)?,
+        trijoin_common::rng::derive(seed, "workload"),
+    );
+    let params = params_from(args)?;
+    let gen = spec.generate();
+    let config = ServeConfig { params, shards, batch, seed };
+    let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
+    let session = server.session();
+    let mut traffic = ClientTraffic::split(&gen, &config, clients);
+    let updates_per_query = gen.updates_per_epoch();
+    println!(
+        "serve: ‖R‖=‖S‖={} shards={shards} clients={clients} batch={batch} \
+         strategy={method} ‖iR‖={updates_per_query}/query",
+        gen.r.len()
+    );
+    let started = std::time::Instant::now();
+    let mut total_updates = 0u64;
+    let mut total_rows = 0u64;
+    for q in 0..queries {
+        for u in 0..updates_per_query {
+            let c = ((q * updates_per_query + u) % clients as u64) as usize;
+            session.update_r(traffic[c].next_mutation()).map_err(err)?;
+            total_updates += 1;
+        }
+        let rows = session.query(method).map_err(err)?;
+        total_rows += rows.len() as u64;
+        // The merged answer must equal the single-engine oracle over the
+        // clients' merged mirror.
+        let want = trijoin_exec::oracle::canonicalize(trijoin_exec::oracle::join_tuples(
+            &trijoin_serve::merged_current(&traffic),
+            &gen.s,
+        ));
+        if rows != want {
+            return Err(format!("query {q}: sharded answer diverged from the oracle"));
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let report = session.report().map_err(err)?;
+    let rollup = &report.rollup;
+    println!(
+        "{queries} queries, {total_updates} updates, {total_rows} result tuples \
+         in {wall:.2} s wall ({:.1} q/s)",
+        queries as f64 / wall.max(1e-9)
+    );
+    println!(
+        "rollup: {} shard queries, {} batches (mean len {:.1}), {} cross-shard splits, \
+         {} simulated IOs",
+        rollup.metrics.counter("db.queries"),
+        rollup.metrics.counter("serve.batches"),
+        rollup.metrics.histogram("serve.batch.len").map(|h| h.mean()).unwrap_or(0.0),
+        rollup.metrics.counter("serve.updates.cross_shard"),
+        rollup.totals.ios
+    );
+    if let Some(path) = args.opt_str("report") {
+        std::fs::write(&path, report.to_json().pretty())
+            .map_err(|e| format!("--report {path}: {e}"))?;
+        println!("sharded run report written to {path}");
+    }
+    Ok(())
+}
+
+/// `trijoin report-validate <path>` — the CI schema gate. The file's shape
+/// is sniffed: a sharded serve report (`shards` + `rollup`), a bench
+/// results file (`figure` + `rows`), or a plain run report; each must
+/// deserialize losslessly into its schema.
 fn report_validate(rest: &[String]) -> Result<(), String> {
     let [path] = rest else {
         return Err("usage: trijoin report-validate <path>".into());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    if json.get("shards").is_some() && json.get("rollup").is_some() {
+        return validate_sharded_report(path, &json);
+    }
+    if json.get("figure").is_some() && json.get("rows").is_some() {
+        return validate_bench_results(path, &json);
+    }
     for key in ["params", "spans", "metrics", "events"] {
         if json.get(key).is_none() {
             return Err(format!("{path}: run report is missing top-level key {key:?}"));
@@ -310,5 +415,89 @@ fn report_validate(rest: &[String]) -> Result<(), String> {
         report.events.len(),
         report.deltas.len()
     );
+    Ok(())
+}
+
+/// Validate a sharded serve report: schema round-trip plus the rollup
+/// invariant — every counter outside the scheduler-only `serve.` namespace
+/// must be the exact sum of the per-shard counters.
+fn validate_sharded_report(path: &str, json: &Json) -> Result<(), String> {
+    let report =
+        ShardedRunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
+    if report.shards.is_empty() {
+        return Err(format!("{path}: sharded report carries no shards"));
+    }
+    for shard in &report.shards {
+        for (key, _) in &shard.metrics.counters {
+            if key.starts_with("serve.") {
+                return Err(format!(
+                    "{path}: shard {:?} uses the scheduler-only namespace: {key}",
+                    shard.name
+                ));
+            }
+        }
+    }
+    for (key, value) in &report.rollup.metrics.counters {
+        if key.starts_with("serve.") {
+            continue;
+        }
+        let sum: u64 = report.shards.iter().map(|s| s.metrics.counter(key)).sum();
+        if *value != sum {
+            return Err(format!(
+                "{path}: rollup counter {key} = {value} but the shards sum to {sum}"
+            ));
+        }
+    }
+    println!(
+        "{path}: ok — sharded report {:?} with {} shards, {} rollup counters, {} rollup events",
+        report.name,
+        report.shards.len(),
+        report.rollup.metrics.counters.len(),
+        report.rollup.events.len()
+    );
+    Ok(())
+}
+
+/// Validate a bench results file (`figure` + non-empty `rows` of objects);
+/// `serve` results additionally carry the scaling columns and a result
+/// checksum that must be identical on every row (the answer must not
+/// depend on the shard count).
+fn validate_bench_results(path: &str, json: &Json) -> Result<(), String> {
+    let figure = json
+        .get("figure")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: \"figure\" must be a string"))?
+        .to_string();
+    let rows = json
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: \"rows\" must be an array"))?;
+    if rows.is_empty() {
+        return Err(format!("{path}: \"rows\" is empty"));
+    }
+    if figure == "serve" {
+        let mut checksums = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for key in ["shards", "clients", "queries", "updates", "qps", "p50_us", "p99_us"] {
+                if row.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!("{path}: serve row {i} is missing numeric {key:?}"));
+                }
+            }
+            let checksum = row
+                .get("checksum")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| {
+                    format!("{path}: serve row {i} is missing a hex \"checksum\" string")
+                })?;
+            checksums.push(checksum);
+        }
+        if checksums.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!(
+                "{path}: result checksums differ across shard counts: {checksums:?}"
+            ));
+        }
+    }
+    println!("{path}: ok — bench results {figure:?} with {} rows", rows.len());
     Ok(())
 }

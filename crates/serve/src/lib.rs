@@ -1,0 +1,63 @@
+//! `trijoin-serve`: a sharded, multi-threaded query-serving layer over the
+//! single-threaded trijoin engine.
+//!
+//! The engine models one machine of the paper's era — a single device, a
+//! single memory budget, `Rc`-based handles. This crate scales it out the
+//! way an equi-join shards: both relations are hash-partitioned on the
+//! join attribute ([`trijoin_common::shard_of_key`]), so
+//! `R ⋈ S = ⋃ᵢ (Rᵢ ⋈ Sᵢ)` exhaustively and disjointly, and each partition
+//! pair is owned by one *shard thread* with its own simulated disk,
+//! [`trijoin::Database`], and cached per-strategy state (materialized
+//! view, join index, hybrid-hash).
+//!
+//! On top sit three pieces:
+//!
+//! - **Admission scheduler** ([`Server`]): client sessions submit queries
+//!   and updates; updates are coalesced into per-shard differential
+//!   batches (the serving analogue of the paper's deferred maintenance)
+//!   and flushed when a batch fills or a query arrives. Channel FIFO
+//!   ordering makes apply-before-query a structural guarantee.
+//! - **Router** ([`router::route`]): mutations follow their join key; an
+//!   update that changes the join attribute across shards splits into a
+//!   delete and an insert — the paper's own decomposition of an update.
+//! - **Rollup observability**: a [`Request::Report`] snapshots every
+//!   shard's [`trijoin_common::RunReport`] and merges them into a
+//!   [`trijoin_common::ShardedRunReport`] whose rollup metrics are the
+//!   exact per-shard sums, with scheduler-only counters overlaid under
+//!   the reserved `serve.` prefix.
+//!
+//! Determinism is end-to-end: one root seed ([`ServeConfig::seed`])
+//! derives every shard and client RNG stream, multi-client traffic uses
+//! disjoint ownership classes ([`ClientTraffic`]), and merged query
+//! results are sorted into a total order by globally-unique surrogate
+//! pairs — so any shard count and any client interleaving produce the
+//! same answers at batch boundaries.
+
+pub mod config;
+pub mod router;
+pub mod server;
+pub mod shard;
+pub mod traffic;
+
+pub use config::ServeConfig;
+pub use server::{ClientSession, Request, Response, Server};
+pub use shard::{ShardCommand, ShardSpec};
+pub use traffic::{merged_current, ClientTraffic};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Everything that crosses a thread boundary must be `Send` even
+    /// though the engine underneath is `Rc`-based and is not.
+    #[test]
+    fn boundary_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Request>();
+        assert_send::<Response>();
+        assert_send::<ShardCommand>();
+        assert_send::<ShardSpec>();
+        assert_send::<ClientSession>();
+        assert_send::<ServeConfig>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Routing mutations to shards.
+//!
+//! Both relations are hash-partitioned on the join attribute, so a
+//! mutation's destination is determined by its tuple's key. The one subtle
+//! case is an update that *changes* the join attribute (probability `Pr_A`
+//! in the paper): old and new key may hash to different shards, in which
+//! case the update is split into a `Delete(old)` routed to the old key's
+//! shard and an `Insert(new)` routed to the new key's shard — exactly the
+//! paper's reading of an update as "a deleted tuple followed by an
+//! inserted tuple", here applied across partitions.
+
+use trijoin_common::shard_of_key;
+use trijoin_exec::Mutation;
+
+/// Where a routed mutation (or half of a split update) must be applied.
+pub type RoutedMutation = (usize, Mutation);
+
+/// Route one logical mutation of a hash-partitioned relation to its
+/// shard(s) out of `shards`. Returns one entry for shard-local mutations,
+/// two (delete then insert) for cross-shard attribute-changing updates.
+pub fn route(m: Mutation, shards: usize) -> Vec<RoutedMutation> {
+    match m {
+        Mutation::Insert(t) => {
+            let shard = shard_of_key(t.key, shards);
+            vec![(shard, Mutation::Insert(t))]
+        }
+        Mutation::Delete(t) => {
+            let shard = shard_of_key(t.key, shards);
+            vec![(shard, Mutation::Delete(t))]
+        }
+        Mutation::Update(u) => {
+            let old_shard = shard_of_key(u.old.key, shards);
+            let new_shard = shard_of_key(u.new.key, shards);
+            if old_shard == new_shard {
+                vec![(old_shard, Mutation::Update(u))]
+            } else {
+                vec![(old_shard, Mutation::Delete(u.old)), (new_shard, Mutation::Insert(u.new))]
+            }
+        }
+    }
+}
+
+/// Whether routing this mutation would split it across two shards.
+pub fn is_cross_shard(m: &Mutation, shards: usize) -> bool {
+    match m {
+        Mutation::Update(u) => shard_of_key(u.old.key, shards) != shard_of_key(u.new.key, shards),
+        Mutation::Insert(_) | Mutation::Delete(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trijoin_common::{BaseTuple, Surrogate};
+    use trijoin_exec::Update;
+
+    fn t(sur: u32, key: u64) -> BaseTuple {
+        BaseTuple::padded(Surrogate(sur), key, 48)
+    }
+
+    #[test]
+    fn inserts_and_deletes_follow_their_key() {
+        for key in 0..200u64 {
+            let routed = route(Mutation::Insert(t(1, key)), 4);
+            assert_eq!(routed.len(), 1);
+            assert_eq!(routed[0].0, shard_of_key(key, 4));
+            let routed = route(Mutation::Delete(t(1, key)), 4);
+            assert_eq!(routed[0].0, shard_of_key(key, 4));
+        }
+    }
+
+    #[test]
+    fn same_shard_update_stays_whole() {
+        // A payload-only update never changes shard.
+        let u = Update { old: t(3, 17), new: t(3, 17) };
+        let routed = route(Mutation::Update(u.clone()), 8);
+        assert_eq!(routed, vec![(shard_of_key(17, 8), Mutation::Update(u))]);
+    }
+
+    #[test]
+    fn cross_shard_update_splits_into_delete_then_insert() {
+        // Find a key pair hashing to different shards.
+        let (a, b) = (0..)
+            .flat_map(|x| (0..100u64).map(move |y| (x, y)))
+            .find(|&(x, y)| shard_of_key(x, 4) != shard_of_key(y, 4))
+            .unwrap();
+        let u = Update { old: t(9, a), new: t(9, b) };
+        assert!(is_cross_shard(&Mutation::Update(u.clone()), 4));
+        let routed = route(Mutation::Update(u.clone()), 4);
+        assert_eq!(
+            routed,
+            vec![
+                (shard_of_key(a, 4), Mutation::Delete(u.old)),
+                (shard_of_key(b, 4), Mutation::Insert(u.new)),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_shard_never_splits() {
+        let u = Update { old: t(2, 5), new: t(2, 1 << 41) };
+        assert!(!is_cross_shard(&Mutation::Update(u.clone()), 1));
+        assert_eq!(route(Mutation::Update(u.clone()), 1), vec![(0, Mutation::Update(u))]);
+    }
+}

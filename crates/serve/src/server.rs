@@ -1,0 +1,540 @@
+//! The serving front-end: client sessions, the admission scheduler, and
+//! cross-shard result merging.
+//!
+//! Clients talk to a single scheduler thread over a channel; the scheduler
+//! owns the per-shard command channels. Updates are *admitted* immediately
+//! (acknowledged to the client) but only *applied* when a batch fills or a
+//! query/report arrives — the serving-layer analogue of the paper's
+//! deferred maintenance: differential work is coalesced and folded in
+//! right before the next query needs a consistent answer. Because each
+//! shard channel is FIFO, an `Apply` enqueued before a `Query` is always
+//! folded first; no acknowledgement protocol is needed.
+//!
+//! Query results are merged deterministically: surrogate pairs are
+//! globally unique across shards (partitioning is disjoint), so sorting
+//! the concatenated rows by `(r_sur, s_sur)` yields a total order that is
+//! independent of shard count and thread timing.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use trijoin::Method;
+use trijoin_common::{
+    shard_of_key, BaseTuple, Error, Metrics, Result, RunReport, ShardedRunReport, SystemParams,
+    ViewTuple,
+};
+use trijoin_exec::Mutation;
+use trijoin_storage::FaultPlan;
+
+use crate::config::ServeConfig;
+use crate::router;
+use crate::shard::{self, ShardCommand, ShardSpec};
+
+/// A client request.
+pub enum Request {
+    /// Answer `R ⋈ S` with the given method (forces a flush of pending
+    /// updates first, so the answer reflects every admitted update).
+    Query(Method),
+    /// Admit one mutation of `R` (batched; applied at the next flush).
+    UpdateR(Mutation),
+    /// Admit one mutation of `S` (batched; applied at the next flush).
+    UpdateS(Mutation),
+    /// Force pending updates out to the shards now.
+    Flush,
+    /// Flush, then snapshot every shard and roll the reports up.
+    Report,
+    /// Install a device-fault plan on one shard's simulated disk
+    /// (takes effect immediately, not batched).
+    InstallFaultPlan {
+        /// Target shard index.
+        shard: usize,
+        /// The plan to install.
+        plan: FaultPlan,
+    },
+    /// Poison the next read of one shard's cached view file (the shard
+    /// resolves its own file id), deterministically forcing that shard
+    /// through the materialized view's recovery path on its next query.
+    PoisonCachedView {
+        /// Target shard index.
+        shard: usize,
+    },
+    /// Clear faults and heal damaged pages on one shard.
+    ClearFaults {
+        /// Target shard index.
+        shard: usize,
+    },
+}
+
+/// A server response.
+pub enum Response {
+    /// Merged query rows in the deterministic `(r_sur, s_sur)` order.
+    Rows(Vec<ViewTuple>),
+    /// The request was admitted/applied.
+    Ack,
+    /// Per-shard reports plus their rollup.
+    Report(Box<ShardedRunReport>),
+}
+
+/// One in-flight call: the request plus where to send its response.
+struct Envelope {
+    request: Request,
+    reply: Sender<Result<Response>>,
+}
+
+enum ToScheduler {
+    Call(Envelope),
+    Shutdown,
+}
+
+/// A handle for submitting requests. Cheap to clone; clones can live on
+/// other threads (sessions are `Send`), and every call blocks until the
+/// scheduler responds.
+#[derive(Clone)]
+pub struct ClientSession {
+    tx: Sender<ToScheduler>,
+}
+
+fn server_down() -> Error {
+    Error::Invariant("serve: server is shut down".into())
+}
+
+fn protocol_error(what: &str) -> Error {
+    Error::Invariant(format!("serve: unexpected response to {what}"))
+}
+
+impl ClientSession {
+    /// Submit one request and wait for its response.
+    pub fn call(&self, request: Request) -> Result<Response> {
+        let (reply, rx) = channel();
+        self.tx.send(ToScheduler::Call(Envelope { request, reply })).map_err(|_| server_down())?;
+        rx.recv().map_err(|_| server_down())?
+    }
+
+    /// Query the current join (flushing pending updates first).
+    pub fn query(&self, method: Method) -> Result<Vec<ViewTuple>> {
+        match self.call(Request::Query(method))? {
+            Response::Rows(rows) => Ok(rows),
+            _ => Err(protocol_error("query")),
+        }
+    }
+
+    /// Admit one `R` mutation.
+    pub fn update_r(&self, m: Mutation) -> Result<()> {
+        self.call(Request::UpdateR(m)).map(|_| ())
+    }
+
+    /// Admit one `S` mutation.
+    pub fn update_s(&self, m: Mutation) -> Result<()> {
+        self.call(Request::UpdateS(m)).map(|_| ())
+    }
+
+    /// Force pending updates out to the shards.
+    pub fn flush(&self) -> Result<()> {
+        self.call(Request::Flush).map(|_| ())
+    }
+
+    /// Collect per-shard reports and their rollup.
+    pub fn report(&self) -> Result<ShardedRunReport> {
+        match self.call(Request::Report)? {
+            Response::Report(r) => Ok(*r),
+            _ => Err(protocol_error("report")),
+        }
+    }
+
+    /// Install a fault plan on one shard.
+    pub fn install_fault_plan(&self, shard: usize, plan: FaultPlan) -> Result<()> {
+        self.call(Request::InstallFaultPlan { shard, plan }).map(|_| ())
+    }
+
+    /// Poison one shard's cached view (drives its recovery path).
+    pub fn poison_cached_view(&self, shard: usize) -> Result<()> {
+        self.call(Request::PoisonCachedView { shard }).map(|_| ())
+    }
+
+    /// Heal one shard.
+    pub fn clear_faults(&self, shard: usize) -> Result<()> {
+        self.call(Request::ClearFaults { shard }).map(|_| ())
+    }
+}
+
+/// The sharded serving instance: N shard threads plus one scheduler.
+pub struct Server {
+    tx: Option<Sender<ToScheduler>>,
+    scheduler: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    shards: usize,
+}
+
+impl Server {
+    /// Hash-partition `r` and `s` on the join attribute, spawn one engine
+    /// thread per shard, and start the admission scheduler. Blocks until
+    /// every shard has built its engine (construction errors surface here).
+    pub fn start(config: &ServeConfig, r: Vec<BaseTuple>, s: Vec<BaseTuple>) -> Result<Server> {
+        if config.shards == 0 {
+            return Err(Error::Invariant("serve: shard count must be positive".into()));
+        }
+        let n = config.shards;
+        let mut parts: Vec<(Vec<BaseTuple>, Vec<BaseTuple>)> = vec![Default::default(); n];
+        for t in r {
+            parts[shard_of_key(t.key, n)].0.push(t);
+        }
+        for t in s {
+            parts[shard_of_key(t.key, n)].1.push(t);
+        }
+
+        let mut shard_txs = Vec::with_capacity(n);
+        let mut shard_handles = Vec::with_capacity(n);
+        for (index, (r_i, s_i)) in parts.into_iter().enumerate() {
+            let spec = ShardSpec { index, params: config.params.clone(), r: r_i, s: s_i };
+            match shard::spawn(spec) {
+                Ok((tx, handle)) => {
+                    shard_txs.push(tx);
+                    shard_handles.push(handle);
+                }
+                Err(e) => {
+                    // Tear down the shards that did start.
+                    drop(shard_txs);
+                    for handle in shard_handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        let (tx, rx) = channel::<ToScheduler>();
+        let batch = config.batch.max(1);
+        let params = config.params.clone();
+        let scheduler = std::thread::Builder::new()
+            .name("trijoin-serve-scheduler".into())
+            .spawn(move || {
+                // The metrics registry is single-threaded (Rc-based), so it
+                // is created here, inside the thread that owns it.
+                let mut sched = Scheduler {
+                    shard_txs,
+                    pending_r: vec![Vec::new(); n],
+                    pending_s: vec![Vec::new(); n],
+                    pending: 0,
+                    batch,
+                    params,
+                    metrics: Metrics::new(),
+                };
+                sched.run(rx);
+            })
+            .map_err(|e| Error::Invariant(format!("serve: spawn scheduler: {e}")))?;
+
+        Ok(Server { tx: Some(tx), scheduler: Some(scheduler), shard_handles, shards: n })
+    }
+
+    /// Convenience: generate + start from a [`ServeConfig`] and a prepared
+    /// workload pair is just `Server::start`; this accessor reports the
+    /// shard count in force.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Open a client session. Sessions are independent and cloneable; all
+    /// of them feed the single admission scheduler.
+    pub fn session(&self) -> ClientSession {
+        ClientSession { tx: self.tx.as_ref().expect("server is live").clone() }
+    }
+
+    /// Stop the scheduler and every shard thread, waiting for them to
+    /// exit. Idempotent; also runs on drop. Outstanding sessions receive
+    /// errors for calls made after shutdown.
+    pub fn shutdown(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(ToScheduler::Shutdown);
+        }
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        for handle in self.shard_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The single-threaded admission scheduler: owns the shard channels and
+/// the pending differential batches.
+struct Scheduler {
+    shard_txs: Vec<Sender<ShardCommand>>,
+    pending_r: Vec<Vec<Mutation>>,
+    pending_s: Vec<Vec<Mutation>>,
+    /// Logical updates admitted since the last flush.
+    pending: usize,
+    batch: usize,
+    params: SystemParams,
+    /// Scheduler-only counters under the reserved `serve.` prefix; shards
+    /// never write that namespace, so in a rollup every non-`serve.`
+    /// metric remains the exact sum of the per-shard metrics.
+    metrics: Metrics,
+}
+
+impl Scheduler {
+    fn run(&mut self, rx: Receiver<ToScheduler>) {
+        while let Ok(ToScheduler::Call(Envelope { request, reply })) = rx.recv() {
+            let result = self.handle(request);
+            let _ = reply.send(result);
+        }
+        // Dropping `shard_txs` (with `self`) closes every shard channel;
+        // the shard threads drain what was sent and exit.
+    }
+
+    fn handle(&mut self, request: Request) -> Result<Response> {
+        match request {
+            Request::UpdateR(m) => {
+                self.admit_r(m);
+                Ok(Response::Ack)
+            }
+            Request::UpdateS(m) => {
+                self.admit_s(m);
+                Ok(Response::Ack)
+            }
+            Request::Flush => {
+                self.flush()?;
+                Ok(Response::Ack)
+            }
+            Request::Query(method) => {
+                self.flush()?;
+                self.query(method).map(Response::Rows)
+            }
+            Request::Report => {
+                self.flush()?;
+                self.report().map(|r| Response::Report(Box::new(r)))
+            }
+            Request::InstallFaultPlan { shard, plan } => {
+                self.send_to(shard, ShardCommand::InstallFaultPlan(plan))?;
+                Ok(Response::Ack)
+            }
+            Request::PoisonCachedView { shard } => {
+                self.send_to(shard, ShardCommand::PoisonCachedView)?;
+                Ok(Response::Ack)
+            }
+            Request::ClearFaults { shard } => {
+                self.send_to(shard, ShardCommand::ClearFaults)?;
+                Ok(Response::Ack)
+            }
+        }
+    }
+
+    fn send_to(&self, shard: usize, cmd: ShardCommand) -> Result<()> {
+        let tx = self
+            .shard_txs
+            .get(shard)
+            .ok_or_else(|| Error::Invariant(format!("serve: no shard {shard}")))?;
+        tx.send(cmd).map_err(|_| Error::Invariant(format!("serve: shard {shard} is down")))
+    }
+
+    fn admit_r(&mut self, m: Mutation) {
+        self.metrics.incr("serve.updates.r");
+        let n = self.shard_txs.len();
+        if router::is_cross_shard(&m, n) {
+            self.metrics.incr("serve.updates.cross_shard");
+        }
+        for (shard, part) in router::route(m, n) {
+            self.pending_r[shard].push(part);
+        }
+        self.admitted();
+    }
+
+    fn admit_s(&mut self, m: Mutation) {
+        self.metrics.incr("serve.updates.s");
+        let n = self.shard_txs.len();
+        if router::is_cross_shard(&m, n) {
+            self.metrics.incr("serve.updates.cross_shard");
+        }
+        for (shard, part) in router::route(m, n) {
+            self.pending_s[shard].push(part);
+        }
+        self.admitted();
+    }
+
+    fn admitted(&mut self) {
+        self.pending += 1;
+        if self.pending >= self.batch {
+            // A full batch flushes immediately; a dead shard is recorded
+            // and resurfaces as an error on the next query or report.
+            let _ = self.flush();
+        }
+    }
+
+    /// Dispatch every pending per-shard batch. A no-op when nothing is
+    /// pending, so query-time flushes of an already-drained queue do not
+    /// inflate the batch statistics.
+    fn flush(&mut self) -> Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        let total: usize = self.pending_r.iter().chain(self.pending_s.iter()).map(Vec::len).sum();
+        self.metrics.incr("serve.batches");
+        self.metrics.observe("serve.batch.len", total as u64);
+        let mut result = Ok(());
+        for i in 0..self.shard_txs.len() {
+            let r = std::mem::take(&mut self.pending_r[i]);
+            let s = std::mem::take(&mut self.pending_s[i]);
+            if r.is_empty() && s.is_empty() {
+                continue;
+            }
+            if self.shard_txs[i].send(ShardCommand::Apply { r, s }).is_err() {
+                self.metrics.incr("serve.shard_send_errors");
+                result = Err(Error::Invariant(format!("serve: shard {i} is down")));
+            }
+        }
+        self.pending = 0;
+        result
+    }
+
+    /// Fan a query out to every shard and merge the answers. One shard's
+    /// failure fails this query (the merged answer would be incomplete)
+    /// but not the server; strategies recover from planned device faults
+    /// internally, so this surfaces only truly unrecoverable damage.
+    fn query(&mut self, method: Method) -> Result<Vec<ViewTuple>> {
+        self.metrics.incr("serve.queries");
+        let (reply, rx) = channel();
+        for (i, tx) in self.shard_txs.iter().enumerate() {
+            tx.send(ShardCommand::Query { method, reply: reply.clone() })
+                .map_err(|_| Error::Invariant(format!("serve: shard {i} is down")))?;
+        }
+        drop(reply);
+        let expected = self.shard_txs.len();
+        let mut rows = Vec::new();
+        let mut first_err: Option<(usize, Error)> = None;
+        let mut answered = 0usize;
+        for (shard, result) in rx {
+            answered += 1;
+            match result {
+                Ok(mut shard_rows) => rows.append(&mut shard_rows),
+                Err(e) => {
+                    self.metrics.incr("serve.query_errors");
+                    if first_err.is_none() {
+                        first_err = Some((shard, e));
+                    }
+                }
+            }
+        }
+        if let Some((shard, e)) = first_err {
+            return Err(Error::Invariant(format!("serve: shard {shard} failed: {e}")));
+        }
+        if answered != expected {
+            return Err(Error::Invariant(format!("serve: {answered}/{expected} shards answered")));
+        }
+        // Surrogate pairs are globally unique (partitions are disjoint),
+        // so this is a deterministic total order regardless of shard count
+        // or completion timing.
+        rows.sort_by_key(|t| (t.r_sur, t.s_sur));
+        Ok(rows)
+    }
+
+    /// Gather per-shard reports and roll them up, overlaying the
+    /// scheduler's own `serve.*` counters on the rollup afterwards (a pure
+    /// overlay: shard metrics are never touched, so their sums stay exact).
+    fn report(&mut self) -> Result<ShardedRunReport> {
+        let (reply, rx) = channel();
+        for (i, tx) in self.shard_txs.iter().enumerate() {
+            tx.send(ShardCommand::Report { reply: reply.clone() })
+                .map_err(|_| Error::Invariant(format!("serve: shard {i} is down")))?;
+        }
+        drop(reply);
+        let mut replies: Vec<(usize, Box<RunReport>)> = rx.iter().collect();
+        if replies.len() != self.shard_txs.len() {
+            return Err(Error::Invariant(format!(
+                "serve: {}/{} shards reported",
+                replies.len(),
+                self.shard_txs.len()
+            )));
+        }
+        replies.sort_by_key(|(shard, _)| *shard);
+        let shards: Vec<RunReport> = replies.into_iter().map(|(_, boxed)| *boxed).collect();
+        let mut sharded = ShardedRunReport::rollup_of("serve", &self.params, shards);
+        sharded.rollup.metrics.merge(&self.metrics.snapshot());
+        Ok(sharded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trijoin_common::Surrogate;
+
+    fn params() -> SystemParams {
+        SystemParams { page_size: 512, mem_pages: 24, ..Default::default() }
+    }
+
+    fn config(shards: usize, batch: usize) -> ServeConfig {
+        ServeConfig { batch, seed: 11, ..ServeConfig::new(params(), shards) }
+    }
+
+    fn tuples(n: u32, stride: u64) -> Vec<BaseTuple> {
+        (0..n).map(|i| BaseTuple::padded(Surrogate(i), (i as u64) % stride, 48)).collect()
+    }
+
+    #[test]
+    fn serves_queries_across_shards() {
+        let r = tuples(120, 11);
+        let s = tuples(90, 11);
+        let want = trijoin_exec::oracle::canonicalize(trijoin_exec::oracle::join_tuples(&r, &s));
+        let mut server = Server::start(&config(4, 8), r, s).unwrap();
+        let session = server.session();
+        for method in Method::all() {
+            let got = session.query(method).unwrap();
+            assert_eq!(got, want, "{method} diverged from oracle");
+        }
+        server.shutdown();
+        // Calls after shutdown error rather than hang.
+        assert!(session.query(Method::HybridHash).is_err());
+    }
+
+    #[test]
+    fn updates_are_batched_until_query() {
+        let r = tuples(60, 7);
+        let s = tuples(60, 7);
+        let server = Server::start(&config(2, 1000), r.clone(), s).unwrap();
+        let session = server.session();
+        // Admit three payload-only updates (no cross-shard splits): under
+        // the huge batch size they stay pending until the report flushes.
+        let mut current = r;
+        for (i, slot) in current.iter_mut().enumerate().take(3) {
+            let old = slot.clone();
+            let new = BaseTuple::with_payload(old.sur, old.key, &[i as u8 + 1], 48).unwrap();
+            *slot = new.clone();
+            session.update_r(Mutation::Update(trijoin_exec::Update { old, new })).unwrap();
+        }
+        let report = session.report().unwrap();
+        // The flush forced by the report coalesced all three into one batch.
+        assert_eq!(report.rollup.metrics.counter("serve.updates.r"), 3);
+        assert_eq!(report.rollup.metrics.counter("serve.batches"), 1);
+        let batch = report.rollup.metrics.histogram("serve.batch.len").unwrap();
+        assert_eq!(batch.count, 1);
+        assert_eq!(batch.sum, 3);
+    }
+
+    #[test]
+    fn report_rollup_covers_every_shard() {
+        let server = Server::start(&config(3, 4), tuples(80, 9), tuples(80, 9)).unwrap();
+        let session = server.session();
+        session.query(Method::JoinIndex).unwrap();
+        let report = session.report().unwrap();
+        assert_eq!(report.shards.len(), 3);
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.name, format!("shard{i}"));
+            assert_eq!(shard.metrics.counter("db.queries"), 1);
+        }
+        assert_eq!(report.rollup.metrics.counter("db.queries"), 3);
+        assert_eq!(report.rollup.metrics.counter("serve.queries"), 1);
+    }
+
+    #[test]
+    fn bad_shard_index_is_rejected() {
+        let server = Server::start(&config(2, 4), tuples(20, 3), tuples(20, 3)).unwrap();
+        let session = server.session();
+        assert!(session.clear_faults(5).is_err());
+        assert!(session.clear_faults(1).is_ok());
+    }
+}

@@ -1,0 +1,295 @@
+//! One shard: a thread owning its own simulated engine.
+//!
+//! The engine's handles (`Rc<SimDisk>`, `Rc<RefCell<..>>` cost ledger) are
+//! deliberately single-threaded, so a shard never shares engine state: the
+//! thread receives plain `Send` data (parameters and tuple sets), builds a
+//! private [`Database`] plus one cached strategy instance per method, and
+//! then serves commands off an `mpsc` channel. Channel FIFO order is the
+//! only synchronization needed — an `Apply` enqueued before a `Query` is
+//! guaranteed to be folded in first, which is what makes the scheduler's
+//! batched differential application correct without acknowledgements.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use trijoin::{Database, Method};
+use trijoin_common::{BaseTuple, Error, Result, RunReport, SystemParams, ViewTuple};
+use trijoin_exec::{HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, Mutation};
+use trijoin_storage::FaultPlan;
+
+/// A command processed by a shard thread, in arrival order.
+pub enum ShardCommand {
+    /// Fold one differential batch into the shard: mutations of the local
+    /// partitions of `R` and `S` (already routed here by key).
+    Apply {
+        /// Mutations of the shard's `R` partition.
+        r: Vec<Mutation>,
+        /// Mutations of the shard's `S` partition.
+        s: Vec<Mutation>,
+    },
+    /// Answer the shard-local join with the given method.
+    Query {
+        /// Strategy to execute.
+        method: Method,
+        /// Where to send `(shard_index, result)`.
+        reply: Sender<(usize, Result<Vec<ViewTuple>>)>,
+    },
+    /// Snapshot the shard's observability state.
+    Report {
+        /// Where to send `(shard_index, report)`.
+        reply: Sender<(usize, Box<RunReport>)>,
+    },
+    /// Install a device-fault plan on this shard's simulated disk.
+    InstallFaultPlan(FaultPlan),
+    /// Poison the next read of this shard's cached view file. The shard
+    /// resolves the file id itself (clients cannot know it), making this a
+    /// deterministic way to drive the materialized view's documented
+    /// recovery path (`mv.recover`) on one shard.
+    PoisonCachedView,
+    /// Clear pending faults and heal damaged pages on this shard.
+    ClearFaults,
+}
+
+/// Everything a shard thread needs to build its engine — plain data, so it
+/// crosses the thread boundary even though the engine itself cannot.
+pub struct ShardSpec {
+    /// Shard index (position in the server's shard vector).
+    pub index: usize,
+    /// Engine parameters (each shard owns a full device and memory budget).
+    pub params: SystemParams,
+    /// This shard's partition of `R`.
+    pub r: Vec<BaseTuple>,
+    /// This shard's partition of `S`.
+    pub s: Vec<BaseTuple>,
+}
+
+/// Spawn a shard thread. Blocks until the shard has built its engine and
+/// cached strategies; construction failure is returned here rather than
+/// poisoning later commands.
+pub fn spawn(spec: ShardSpec) -> Result<(Sender<ShardCommand>, JoinHandle<()>)> {
+    let (tx, rx) = channel::<ShardCommand>();
+    let (ready_tx, ready_rx) = channel::<Result<()>>();
+    let index = spec.index;
+    let handle = std::thread::Builder::new()
+        .name(format!("trijoin-shard-{index}"))
+        .spawn(move || match ShardWorker::build(spec) {
+            Ok(mut worker) => {
+                let _ = ready_tx.send(Ok(()));
+                worker.serve(rx);
+            }
+            Err(e) => {
+                let _ = ready_tx.send(Err(e));
+            }
+        })
+        .map_err(|e| Error::Invariant(format!("spawn shard {index}: {e}")))?;
+    match ready_rx.recv() {
+        Ok(Ok(())) => Ok((tx, handle)),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err(Error::Invariant(format!("shard {index} died during construction"))),
+    }
+}
+
+/// The per-thread state: one engine, one cached strategy per method.
+struct ShardWorker {
+    index: usize,
+    db: Database,
+    mv: MaterializedView,
+    ji: JoinIndexStrategy,
+    hh: HybridHash,
+    /// Set when `S` has been mutated since the cached view and join index
+    /// were (re)built; they are rebuilt lazily before the next query that
+    /// uses them.
+    s_dirty: bool,
+}
+
+impl ShardWorker {
+    fn build(spec: ShardSpec) -> Result<ShardWorker> {
+        let db = Database::new(&spec.params, spec.r, spec.s)?;
+        let mv = db.materialized_view()?;
+        let ji = db.join_index()?;
+        let hh = db.hybrid_hash();
+        // Loading and cache construction are setup, not serving work: start
+        // the shard's observable life from a clean slate.
+        db.reset_observability();
+        Ok(ShardWorker { index: spec.index, db, mv, ji, hh, s_dirty: false })
+    }
+
+    /// Process commands until every sender is gone. Errors degrade (they
+    /// are reported to the requester and counted) — the thread itself only
+    /// exits when the server drops the channel.
+    fn serve(&mut self, rx: Receiver<ShardCommand>) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                ShardCommand::Apply { r, s } => self.apply(r, s),
+                ShardCommand::Query { method, reply } => {
+                    let result = self.query(method);
+                    let _ = reply.send((self.index, result));
+                }
+                ShardCommand::Report { reply } => {
+                    let _ = reply.send((self.index, Box::new(self.report())));
+                }
+                ShardCommand::InstallFaultPlan(plan) => self.db.install_fault_plan(plan),
+                ShardCommand::PoisonCachedView => {
+                    let plan = FaultPlan::new().poison_nth_read(Some(self.mv.view_file()), 0);
+                    self.db.install_fault_plan(plan);
+                }
+                ShardCommand::ClearFaults => self.db.clear_faults(),
+            }
+        }
+    }
+
+    /// Fold one differential batch. Each mutation that fails is counted in
+    /// `shard.apply_errors` and skipped; the shard keeps serving.
+    fn apply(&mut self, r: Vec<Mutation>, s: Vec<Mutation>) {
+        for m in &s {
+            if self.apply_s(m).is_err() {
+                self.count_apply_error("S");
+            }
+        }
+        for m in &r {
+            if self.apply_r(m).is_err() {
+                self.count_apply_error("R");
+            }
+        }
+    }
+
+    /// The paper's deferred-maintenance contract: caching strategies log
+    /// the mutation first, then the stored relation changes.
+    fn apply_r(&mut self, m: &Mutation) -> Result<()> {
+        self.mv.on_mutation(m)?;
+        self.ji.on_mutation(m)?;
+        self.hh.on_mutation(m)?;
+        self.db.apply_r_mutation(m)
+    }
+
+    /// `S` mutations invalidate the cached view and join index (they cache
+    /// joins against the old `S`); the stored relation and its join-key
+    /// index are updated in place and the caches marked for rebuild.
+    fn apply_s(&mut self, m: &Mutation) -> Result<()> {
+        self.db.metrics().incr("shard.s_mutations");
+        self.db.s_mut()?.apply_mutation(m)?;
+        self.s_dirty = true;
+        Ok(())
+    }
+
+    fn count_apply_error(&self, relation: &str) {
+        let metrics = self.db.metrics();
+        metrics.incr("shard.apply_errors");
+        metrics.incr(&format!("shard.apply_errors.{relation}"));
+    }
+
+    fn query(&mut self, method: Method) -> Result<Vec<ViewTuple>> {
+        if self.s_dirty && method != Method::HybridHash {
+            self.rebuild_caches()?;
+        }
+        let strategy: &mut dyn JoinStrategy = match method {
+            Method::MaterializedView => &mut self.mv,
+            Method::JoinIndex => &mut self.ji,
+            Method::HybridHash => &mut self.hh,
+        };
+        self.db.query(strategy)
+    }
+
+    /// Rebuild the cached view and join index from the current stored
+    /// relations (all applied `R` mutations are already reflected there, so
+    /// any not-yet-folded differential entries in the old caches are
+    /// subsumed by the rebuild). Old cache files are released.
+    fn rebuild_caches(&mut self) -> Result<()> {
+        let old_view = self.mv.view_file();
+        let old_index = self.ji.index_file();
+        {
+            let _section = self.db.cost().section("shard.s_rebuild");
+            self.mv = self.db.materialized_view()?;
+            self.ji = self.db.join_index()?;
+        }
+        self.db.disk().delete_file(old_view);
+        self.db.disk().delete_file(old_index);
+        self.db.metrics().incr("shard.s_rebuilds");
+        self.s_dirty = false;
+        Ok(())
+    }
+
+    /// Snapshot the shard's observability state, stamping health gauges
+    /// (live tuple counts, damaged pages, fired faults) so the server
+    /// rollup can aggregate shard health without extra round-trips.
+    fn report(&self) -> RunReport {
+        let metrics = self.db.metrics();
+        metrics.gauge_set("shard.r_tuples", self.db.r().len() as f64);
+        metrics.gauge_set("shard.s_tuples", self.db.s().len() as f64);
+        metrics.gauge_set("shard.damaged_pages", self.db.disk().damaged_pages() as f64);
+        metrics.gauge_set("shard.faults_fired", self.db.faults_fired() as f64);
+        self.db.run_report(format!("shard{}", self.index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trijoin_common::Surrogate;
+
+    fn params() -> SystemParams {
+        SystemParams { page_size: 512, mem_pages: 24, ..Default::default() }
+    }
+
+    fn tuples(n: u32, stride: u64) -> Vec<BaseTuple> {
+        (0..n).map(|i| BaseTuple::padded(Surrogate(i), (i as u64) % stride, 48)).collect()
+    }
+
+    #[test]
+    fn shard_answers_queries_and_reports() {
+        let (tx, handle) =
+            spawn(ShardSpec { index: 3, params: params(), r: tuples(80, 7), s: tuples(60, 7) })
+                .unwrap();
+        let (reply, rx) = channel();
+        tx.send(ShardCommand::Query { method: Method::HybridHash, reply }).unwrap();
+        let (idx, rows) = rx.recv().unwrap();
+        assert_eq!(idx, 3);
+        let rows = rows.unwrap();
+        let want = trijoin_exec::oracle::join_tuples(&tuples(80, 7), &tuples(60, 7));
+        assert_eq!(rows.len(), want.len());
+
+        let (reply, rx) = channel();
+        tx.send(ShardCommand::Report { reply }).unwrap();
+        let (_, report) = rx.recv().unwrap();
+        assert_eq!(report.name, "shard3");
+        assert_eq!(report.metrics.counter("db.queries"), 1);
+        assert_eq!(report.metrics.gauge("shard.r_tuples"), Some(80.0));
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn s_mutation_marks_caches_dirty_and_rebuild_heals() {
+        let r = tuples(50, 5);
+        let s = tuples(40, 5);
+        let (tx, handle) =
+            spawn(ShardSpec { index: 0, params: params(), r: r.clone(), s: s.clone() }).unwrap();
+        // Delete one S tuple, then ask the cached MV for the join.
+        let victim = s[7].clone();
+        tx.send(ShardCommand::Apply { r: vec![], s: vec![Mutation::Delete(victim.clone())] })
+            .unwrap();
+        let (reply, rx) = channel();
+        tx.send(ShardCommand::Query { method: Method::MaterializedView, reply }).unwrap();
+        let (_, rows) = rx.recv().unwrap();
+        let s_after: Vec<BaseTuple> = s.iter().filter(|t| t.sur != victim.sur).cloned().collect();
+        let want = trijoin_exec::oracle::join_tuples(&r, &s_after);
+        trijoin_exec::oracle::assert_same_join("mv after S delete", rows.unwrap(), want);
+
+        let (reply, rx) = channel();
+        tx.send(ShardCommand::Report { reply }).unwrap();
+        let (_, report) = rx.recv().unwrap();
+        assert_eq!(report.metrics.counter("shard.s_rebuilds"), 1);
+        assert_eq!(report.metrics.counter("shard.s_mutations"), 1);
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn construction_failure_surfaces_in_spawn() {
+        // A tuple wider than a page cannot be stored at all.
+        let oversized = vec![BaseTuple::padded(Surrogate(0), 1, 4096)];
+        let result =
+            spawn(ShardSpec { index: 0, params: params(), r: oversized, s: tuples(10, 3) });
+        assert!(result.is_err());
+    }
+}

@@ -237,6 +237,13 @@ impl SimDisk {
         *self.fired.borrow()
     }
 
+    /// Pages currently carrying a damage mark (torn or poisoned) — the
+    /// serving layer's per-shard health probe: a shard with damaged pages
+    /// is degraded (queries recover or rebuild) but still serving.
+    pub fn damaged_pages(&self) -> usize {
+        self.torn.borrow().len() + self.poisoned.borrow().len()
+    }
+
     /// Scheduled faults still pending.
     pub fn faults_pending(&self) -> usize {
         self.plan.borrow().len()
@@ -709,8 +716,10 @@ mod tests {
         d.install_fault_plan(FaultPlan::new().poison_nth_read(None, 0).fail_nth_write(None, 9));
         assert!(d.read_page(pid).is_err());
         assert!(d.is_poisoned(pid));
+        assert_eq!(d.damaged_pages(), 1);
         d.clear_faults();
         assert!(!d.is_poisoned(pid));
+        assert_eq!(d.damaged_pages(), 0);
         assert_eq!(d.faults_pending(), 0);
         assert_eq!(d.read_page(pid).unwrap(), data);
     }

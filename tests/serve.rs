@@ -1,0 +1,312 @@
+//! Serving-subsystem integration tests: the sharded, multi-threaded
+//! server must be *observationally identical* to a single-engine oracle.
+//!
+//! The load-bearing invariants:
+//!
+//! - **Oracle equivalence.** For any shard count and any interleaving of
+//!   client submissions, the merged answer at a batch boundary is
+//!   tuple-identical to a single engine's join over the same logical
+//!   state (hash-partitioning on the join attribute makes shard joins
+//!   exhaustive and disjoint; disjoint client ownership makes the final
+//!   state interleaving-independent).
+//! - **Exact rollup.** Every non-`serve.` metric in the server rollup is
+//!   the exact sum of the per-shard metrics, and the rollup totals are
+//!   the sum of the shard cost totals.
+//! - **Degraded, not dead.** A device-fault plan on one shard leaves the
+//!   server answering correctly (the shard recovers through the
+//!   strategies' documented recovery paths) and the recovery shows up,
+//!   shard-tagged, in the rolled-up event log.
+
+use trijoin::{Method, WorkloadSpec};
+use trijoin_common::{BaseTuple, EventKind, SystemParams, ViewTuple};
+use trijoin_exec::{oracle, Mutation};
+use trijoin_serve::{merged_current, ClientTraffic, ServeConfig, Server};
+use trijoin_storage::FaultPlan;
+
+fn params() -> SystemParams {
+    SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() }
+}
+
+fn config(shards: usize, batch: usize) -> ServeConfig {
+    ServeConfig { params: params(), shards, batch, seed: 7 }
+}
+
+fn spec(pra: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        r_tuples: 400,
+        s_tuples: 300,
+        tuple_bytes: 48,
+        sr: 0.15,
+        group_size: 5,
+        pra,
+        update_rate: 0.1,
+        seed: 5,
+    }
+}
+
+/// The ground-truth join of the clients' merged mirror against `s`.
+fn oracle_answer(clients: &[ClientTraffic], s: &[BaseTuple]) -> Vec<ViewTuple> {
+    oracle::canonicalize(oracle::join_tuples(&merged_current(clients), s))
+}
+
+#[test]
+fn any_shard_count_matches_the_single_database_oracle() {
+    let w = spec(0.3).generate();
+    let mut per_shards: Vec<Vec<ViewTuple>> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = config(shards, 16);
+        let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+        let session = server.session();
+        let mut clients = ClientTraffic::split(&w, &cfg, 3);
+        // Interleave the clients' submissions round-robin.
+        for _ in 0..20 {
+            for c in clients.iter_mut() {
+                session.update_r(c.next_mutation()).unwrap();
+            }
+        }
+        let want = oracle_answer(&clients, &w.s);
+        for method in Method::all() {
+            let got = session.query(method).unwrap();
+            assert_eq!(got, want, "{shards} shards, {method}: diverged from oracle");
+        }
+        per_shards.push(want);
+    }
+    // Every shard count produced the same answer for the same traffic.
+    for answer in &per_shards[1..] {
+        assert_eq!(answer, &per_shards[0], "answers must not depend on the shard count");
+    }
+}
+
+#[test]
+fn client_interleaving_does_not_change_the_answer() {
+    let w = spec(0.3).generate();
+    let cfg = config(4, 8);
+
+    // Run A: strict round-robin across clients.
+    let server_a = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session_a = server_a.session();
+    let mut clients_a = ClientTraffic::split(&w, &cfg, 4);
+    for _ in 0..15 {
+        for c in clients_a.iter_mut() {
+            session_a.update_r(c.next_mutation()).unwrap();
+        }
+    }
+
+    // Run B: the same per-client streams, submitted client-by-client.
+    let server_b = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session_b = server_b.session();
+    let mut clients_b = ClientTraffic::split(&w, &cfg, 4);
+    for c in clients_b.iter_mut() {
+        for _ in 0..15 {
+            session_b.update_r(c.next_mutation()).unwrap();
+        }
+    }
+
+    let a = session_a.query(Method::MaterializedView).unwrap();
+    let b = session_b.query(Method::MaterializedView).unwrap();
+    assert_eq!(a, b, "disjoint client ownership makes order irrelevant");
+    assert_eq!(a, oracle_answer(&clients_a, &w.s));
+}
+
+#[test]
+fn shard_metrics_and_totals_sum_to_the_rollup() {
+    let w = spec(0.3).generate();
+    let cfg = config(4, 8);
+    let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session = server.session();
+    let mut clients = ClientTraffic::split(&w, &cfg, 2);
+    for _ in 0..30 {
+        for c in clients.iter_mut() {
+            session.update_r(c.next_mutation()).unwrap();
+        }
+    }
+    for method in Method::all() {
+        session.query(method).unwrap();
+    }
+    let report = session.report().unwrap();
+    assert_eq!(report.shards.len(), 4);
+
+    // Every counter that appears in any shard sums exactly to the rollup.
+    let mut counter_keys: Vec<&str> = report
+        .shards
+        .iter()
+        .flat_map(|s| s.metrics.counters.iter().map(|(k, _)| k.as_str()))
+        .collect();
+    counter_keys.sort_unstable();
+    counter_keys.dedup();
+    assert!(!counter_keys.is_empty());
+    for key in counter_keys {
+        assert!(!key.starts_with("serve."), "shards must not use the scheduler namespace");
+        let sum: u64 = report.shards.iter().map(|s| s.metrics.counter(key)).sum();
+        assert_eq!(report.rollup.metrics.counter(key), sum, "counter {key} must sum exactly");
+    }
+    // Each shard ran every query the server ran.
+    assert_eq!(report.rollup.metrics.counter("db.queries"), 4 * 3);
+    assert_eq!(report.rollup.metrics.counter("serve.queries"), 3);
+
+    // Cost totals aggregate the same way.
+    let mut want_ios = 0;
+    let mut want_comps = 0;
+    for shard in &report.shards {
+        want_ios += shard.totals.ios;
+        want_comps += shard.totals.comps;
+    }
+    assert_eq!(report.rollup.totals.ios, want_ios);
+    assert_eq!(report.rollup.totals.comps, want_comps);
+    assert!(want_ios > 0, "the run must have charged simulated I/O");
+}
+
+#[test]
+fn fault_on_one_shard_degrades_and_recovers() {
+    let w = spec(0.3).generate();
+    let cfg = config(4, 8);
+    let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session = server.session();
+    let mut clients = ClientTraffic::split(&w, &cfg, 2);
+    for _ in 0..10 {
+        for c in clients.iter_mut() {
+            session.update_r(c.next_mutation()).unwrap();
+        }
+    }
+    // Drain pending updates, then damage shard 0 mid-run: poison its
+    // cached view, forcing the next materialized-view query through the
+    // `mv.recover` path. (Installing a plan replaces any active plan, so
+    // the scoped poison is the whole schedule here.)
+    session.flush().unwrap();
+    session.poison_cached_view(0).unwrap();
+
+    // The server stays available and the answer is still exact: the shard
+    // recovers through the strategy's own recovery path.
+    let want = oracle_answer(&clients, &w.s);
+    let got = session.query(Method::MaterializedView).unwrap();
+    assert_eq!(got, want, "the faulted shard must recover, not corrupt the answer");
+
+    let report = session.report().unwrap();
+    assert!(report.shards[0].metrics.gauge("shard.faults_fired").unwrap() >= 1.0);
+    assert_eq!(report.shards[0].metrics.counter("mv.recoveries"), 1);
+    for other in &report.shards[1..] {
+        assert_eq!(other.metrics.gauge("shard.faults_fired"), Some(0.0));
+    }
+    // The recovery is visible, shard-tagged, in the rolled-up event log.
+    let fault_events: Vec<_> = report
+        .rollup
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::FaultFired || e.kind == EventKind::RecoveryTriggered)
+        .collect();
+    assert!(
+        fault_events.iter().any(|e| e.kind == EventKind::FaultFired),
+        "the fault must appear in the rollup"
+    );
+    assert!(
+        fault_events.iter().any(|e| e.kind == EventKind::RecoveryTriggered),
+        "the recovery must appear in the rollup"
+    );
+    for e in &fault_events {
+        assert!(e.detail.starts_with("shard0: "), "events must be shard-tagged: {}", e.detail);
+    }
+
+    // A generic client-supplied plan degrades gracefully too: a transient
+    // read fault on another shard is absorbed by a retry path.
+    session.install_fault_plan(2, FaultPlan::new().fail_nth_read(None, 0)).unwrap();
+    assert_eq!(session.query(Method::HybridHash).unwrap(), want, "retry must absorb the fault");
+
+    // Healed shards serve clean queries on every strategy.
+    session.clear_faults(0).unwrap();
+    session.clear_faults(2).unwrap();
+    for method in Method::all() {
+        assert_eq!(session.query(method).unwrap(), want);
+    }
+}
+
+#[test]
+fn attribute_changing_updates_route_across_shards() {
+    // Pr_A = 1: every update changes the join attribute, so many move
+    // their tuple between shards and must split into delete + insert.
+    let w = spec(1.0).generate();
+    let cfg = config(4, 8);
+    let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session = server.session();
+    let mut clients = ClientTraffic::split(&w, &cfg, 2);
+    for _ in 0..40 {
+        for c in clients.iter_mut() {
+            session.update_r(c.next_mutation()).unwrap();
+        }
+    }
+    let want = oracle_answer(&clients, &w.s);
+    for method in Method::all() {
+        assert_eq!(session.query(method).unwrap(), want, "{method} diverged");
+    }
+    let report = session.report().unwrap();
+    assert!(
+        report.rollup.metrics.counter("serve.updates.cross_shard") > 0,
+        "Pr_A = 1 traffic must exercise the cross-shard split path"
+    );
+}
+
+#[test]
+fn s_mutations_invalidate_cached_state_everywhere() {
+    let w = spec(0.3).generate();
+    let cfg = config(2, 4);
+    let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session = server.session();
+    // Warm the caches, then delete two S tuples through the server.
+    session.query(Method::MaterializedView).unwrap();
+    let mut s_now = w.s.clone();
+    for _ in 0..2 {
+        let victim = s_now.remove(3);
+        session.update_s(Mutation::Delete(victim)).unwrap();
+    }
+    let want = oracle::canonicalize(oracle::join_tuples(&w.r, &s_now));
+    for method in Method::all() {
+        assert_eq!(session.query(method).unwrap(), want, "{method} served a stale S");
+    }
+    let report = session.report().unwrap();
+    assert!(report.rollup.metrics.counter("shard.s_rebuilds") > 0);
+    assert_eq!(report.rollup.metrics.counter("shard.s_mutations"), 2);
+}
+
+#[test]
+fn updates_coalesce_into_differential_batches() {
+    // Pr_A = 0 traffic is payload-only: one routed mutation per update,
+    // so the batch accounting is exact.
+    let w = spec(0.0).generate();
+    let cfg = config(2, 8);
+    let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session = server.session();
+    let mut clients = ClientTraffic::split(&w, &cfg, 1);
+    for _ in 0..20 {
+        session.update_r(clients[0].next_mutation()).unwrap();
+    }
+    let report = session.report().unwrap();
+    // 20 updates at batch size 8: two full batches + the report's flush.
+    assert_eq!(report.rollup.metrics.counter("serve.updates.r"), 20);
+    assert_eq!(report.rollup.metrics.counter("serve.batches"), 3);
+    let hist = report.rollup.metrics.histogram("serve.batch.len").unwrap();
+    assert_eq!(hist.count, 3);
+    assert_eq!(hist.sum, 20);
+    assert_eq!(hist.max, 8);
+}
+
+#[test]
+fn serving_runs_are_bit_identical() {
+    let run = || {
+        let w = spec(0.3).generate();
+        let cfg = config(4, 8);
+        let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+        let session = server.session();
+        let mut clients = ClientTraffic::split(&w, &cfg, 3);
+        for _ in 0..10 {
+            for c in clients.iter_mut() {
+                session.update_r(c.next_mutation()).unwrap();
+            }
+        }
+        let rows = session.query(Method::JoinIndex).unwrap();
+        let report = session.report().unwrap();
+        (rows, report.to_json().dump())
+    };
+    let (rows_a, report_a) = run();
+    let (rows_b, report_b) = run();
+    assert_eq!(rows_a, rows_b, "query answers must be bit-identical across reruns");
+    assert_eq!(report_a, report_b, "serialized reports must be bit-identical across reruns");
+}
