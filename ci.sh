@@ -44,4 +44,15 @@ done
 # checksum that is identical across shard counts.
 cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate results/serve.json
 
+echo "==> wall-clock smoke gate"
+# The wall-clock harness must run end-to-end (smoke scale) and emit a
+# schema-valid results file, and the simulated ledgers it rides on must
+# stay bit-identical to the pinned goldens. Smoke emits its own file so
+# the committed full-scale results/wallclock.json is never clobbered.
+cargo run --release -q -p trijoin-bench --bin wallclock -- --smoke > /dev/null
+cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate results/wallclock_smoke.json
+rm -f results/wallclock_smoke.json
+cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate results/wallclock.json
+cargo test -q --release -p trijoin-serve --test golden_ledger
+
 echo "CI OK"

@@ -1,0 +1,255 @@
+//! Wall-clock bench harness: real elapsed time of the engine's hot paths.
+//!
+//! Everything else in `results/` reports *simulated* cost (the paper's
+//! Table 6/7 ledger). This binary is the one place that measures what the
+//! host actually spends: MV/JI query cycles (one epoch of updates + one
+//! query), the HH recompute, and sharded-serve throughput at 1 and 4
+//! shards. It exists so the zero-copy / interned-metrics / batched-I/O
+//! work has a before/after record — the simulated ledgers are pinned
+//! bit-identical by `tests/golden_ledger.rs`, and this harness shows the
+//! wall-clock side actually moved.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p trijoin-bench --bin wallclock            # full run
+//! cargo run --release -p trijoin-bench --bin wallclock -- --smoke # CI gate
+//! cargo run --release -p trijoin-bench --bin wallclock -- \
+//!     --baseline /tmp/wallclock_before.json                       # + BENCH_wallclock.json
+//! ```
+//!
+//! Emits `results/wallclock.json` (`figure: "wallclock"`). With
+//! `--baseline <path>` (a previous `wallclock.json`), also writes the
+//! repo-root `BENCH_wallclock.json` comparing before/after per bench.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use trijoin::{Database, JoinStrategy, Method, SystemParams, WorkloadSpec};
+use trijoin_bench::{emit_json, paper_params};
+use trijoin_common::Json;
+use trijoin_serve::{ClientTraffic, ServeConfig, Server};
+
+/// One measured bench: mean seconds per iteration, plus qps for the
+/// serve rows (where one "iteration" is the whole query loop).
+struct Row {
+    bench: &'static str,
+    secs: f64,
+    iters: u64,
+    qps: Option<f64>,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        let j =
+            Json::obj().set("bench", self.bench).set("secs", self.secs).set("iters", self.iters);
+        match self.qps {
+            Some(qps) => j.set("qps", qps),
+            None => j,
+        }
+    }
+}
+
+/// Scale knobs: `--smoke` shrinks everything so the CI gate runs in
+/// seconds and exercises the same code paths without meaningful timings.
+struct Scale {
+    cycle_tuples: u32,
+    cycle_iters: u64,
+    serve_tuples: u32,
+    serve_queries: u64,
+}
+
+const FULL: Scale =
+    Scale { cycle_tuples: 4_000, cycle_iters: 20, serve_tuples: 3_000, serve_queries: 24 };
+const SMOKE: Scale =
+    Scale { cycle_tuples: 600, cycle_iters: 1, serve_tuples: 300, serve_queries: 2 };
+
+/// The Figure-5 workload shape (6% activity, SR = 1%, seed 55).
+fn cycle_spec(n: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        r_tuples: n,
+        s_tuples: n,
+        tuple_bytes: 200,
+        sr: 0.01,
+        group_size: 5,
+        pra: 0.1,
+        update_rate: 0.06,
+        seed: 55,
+    }
+}
+
+/// Mean wall seconds of (one epoch of updates + one query) for `method`,
+/// after one untimed warmup cycle. Setup (load + cache build) is untimed.
+fn query_cycle(method: Method, scale: &Scale) -> Row {
+    let bench = match method {
+        Method::MaterializedView => "mv_query_cycle",
+        Method::JoinIndex => "ji_query_cycle",
+        Method::HybridHash => "hh_recompute",
+    };
+    let params = SystemParams { mem_pages: 80, ..paper_params() };
+    let gen = cycle_spec(scale.cycle_tuples).generate();
+    let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).expect("build database");
+    let mut strategy: Box<dyn JoinStrategy> = match method {
+        Method::MaterializedView => Box::new(db.materialized_view().expect("build mv")),
+        Method::JoinIndex => Box::new(db.join_index().expect("build ji")),
+        Method::HybridHash => Box::new(db.hybrid_hash()),
+    };
+    let mut stream = gen.update_stream();
+    db.reset_observability();
+
+    let mut cycle = |timed: bool| -> f64 {
+        let at = Instant::now();
+        for _ in 0..gen.updates_per_epoch() {
+            let u = stream.next_update();
+            strategy.on_update(&u).expect("log update");
+            db.apply_r_update(&u).expect("apply update");
+        }
+        db.query(strategy.as_mut()).expect("query");
+        if timed {
+            at.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    cycle(false); // warmup: touches every path once, faults in lazy state
+    let mut total = 0.0;
+    for _ in 0..scale.cycle_iters {
+        total += cycle(true);
+    }
+    Row { bench, secs: total / scale.cycle_iters as f64, iters: scale.cycle_iters, qps: None }
+}
+
+/// The serve_bench inner loop (wide tuples, spilling HH) at `shards`
+/// shards: wall seconds of the whole query loop plus derived qps.
+fn serve_qps(shards: usize, scale: &Scale) -> Row {
+    const CLIENTS: usize = 4;
+    let spec = WorkloadSpec {
+        r_tuples: scale.serve_tuples,
+        s_tuples: scale.serve_tuples,
+        tuple_bytes: 1900,
+        sr: 0.01,
+        group_size: 4,
+        pra: 0.1,
+        update_rate: 0.005,
+        seed: trijoin_common::rng::derive(42, "workload"),
+    };
+    let params = SystemParams { mem_pages: 1850, ..paper_params() };
+    let gen = spec.generate();
+    let updates_per_query = gen.updates_per_epoch();
+
+    let config = ServeConfig { params, shards, batch: 32, seed: 42 };
+    let server = Server::start(&config, gen.r.clone(), gen.s.clone())
+        .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
+    let session = server.session();
+    let mut traffic = ClientTraffic::split(&gen, &config, CLIENTS);
+
+    let started = Instant::now();
+    for q in 0..scale.serve_queries {
+        for u in 0..updates_per_query {
+            let c = ((q * updates_per_query + u) % CLIENTS as u64) as usize;
+            session.update_r(traffic[c].next_mutation()).expect("update");
+        }
+        session.query(Method::HybridHash).expect("query");
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let bench = if shards == 1 { "serve_qps_1shard" } else { "serve_qps_4shard" };
+    Row {
+        bench,
+        secs: wall,
+        iters: scale.serve_queries,
+        qps: Some(scale.serve_queries as f64 / wall.max(1e-9)),
+    }
+}
+
+/// Compare fresh rows against a previous `wallclock.json` and write the
+/// repo-root `BENCH_wallclock.json`. Speedup is before/after seconds for
+/// cycle benches and after/before qps for serve benches — both read as
+/// "how many times faster the optimized build is".
+fn write_comparison(rows: &[Row], baseline_path: &str) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = Json::parse(&text).expect("parse baseline json");
+    let base_rows = baseline.get("rows").and_then(Json::as_arr).expect("baseline rows");
+    let find = |bench: &str| -> Option<&Json> {
+        base_rows.iter().find(|r| r.get("bench").and_then(Json::as_str) == Some(bench))
+    };
+
+    let mut out_rows: Vec<Json> = Vec::new();
+    println!("\n== before/after (baseline: {baseline_path}) ==");
+    println!("{:>18}  {:>12}  {:>12}  {:>8}", "bench", "before", "after", "speedup");
+    for row in rows {
+        let Some(before) = find(row.bench) else { continue };
+        let before_secs = before.get("secs").and_then(Json::as_f64).expect("baseline secs");
+        let speedup = match (row.qps, before.get("qps").and_then(Json::as_f64)) {
+            (Some(after_qps), Some(before_qps)) => after_qps / before_qps.max(1e-12),
+            _ => before_secs / row.secs.max(1e-12),
+        };
+        println!(
+            "{:>18}  {:>11.4}s  {:>11.4}s  {:>7.2}x",
+            row.bench, before_secs, row.secs, speedup
+        );
+        let mut j = Json::obj()
+            .set("bench", row.bench)
+            .set("before_secs", before_secs)
+            .set("after_secs", row.secs)
+            .set("speedup", speedup);
+        if let (Some(after_qps), Some(before_qps)) =
+            (row.qps, before.get("qps").and_then(Json::as_f64))
+        {
+            j = j.set("before_qps", before_qps).set("after_qps", after_qps);
+        }
+        out_rows.push(j);
+    }
+    let json = Json::obj().set("figure", "wallclock_cmp").set("rows", out_rows);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wallclock.json");
+    std::fs::write(&path, json.pretty())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\njson: BENCH_wallclock.json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args.get(i + 1).expect("--baseline needs a path").clone());
+    let scale = if smoke { SMOKE } else { FULL };
+
+    println!("== Wall-clock hot-path benchmarks ({}) ==", if smoke { "smoke" } else { "full" });
+    println!(
+        "   cycles: {} tuples x {} iters; serve: {} tuples x {} queries\n",
+        scale.cycle_tuples, scale.cycle_iters, scale.serve_tuples, scale.serve_queries
+    );
+    println!("{:>18}  {:>12}  {:>6}  {:>10}", "bench", "secs/iter", "iters", "qps");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for method in [Method::MaterializedView, Method::JoinIndex, Method::HybridHash] {
+        let row = query_cycle(method, &scale);
+        println!("{:>18}  {:>11.4}s  {:>6}  {:>10}", row.bench, row.secs, row.iters, "-");
+        rows.push(row);
+    }
+    for shards in [1usize, 4] {
+        let row = serve_qps(shards, &scale);
+        println!(
+            "{:>18}  {:>11.4}s  {:>6}  {:>10.1}",
+            row.bench,
+            row.secs,
+            row.iters,
+            row.qps.unwrap_or(0.0)
+        );
+        rows.push(row);
+    }
+
+    let json = Json::obj()
+        .set("figure", "wallclock")
+        .set("smoke", if smoke { 1u64 } else { 0u64 })
+        .set("rows", rows.iter().map(Row::to_json).collect::<Vec<_>>());
+    // Smoke runs get their own file so the CI gate never clobbers the
+    // committed full-scale results.
+    emit_json(if smoke { "wallclock_smoke" } else { "wallclock" }, &json);
+
+    if let Some(path) = baseline {
+        write_comparison(&rows, &path);
+    }
+}

@@ -140,6 +140,97 @@ impl Node {
     }
 }
 
+// ---------------------------------------------------------------------
+// Raw-page access: the read paths of the tree (scans, batched probes)
+// decode straight out of a borrowed page image instead of materializing a
+// `Node` — no per-entry `Vec<u8>`, no keys/children vectors. Mutation
+// paths still parse eagerly via `Node::from_page`.
+// ---------------------------------------------------------------------
+
+/// Iterator over the `(key, value)` entries of a raw *leaf* page, borrowed
+/// from the page bytes. Obtained from [`leaf_entries`].
+pub struct LeafEntries<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for LeafEntries<'a> {
+    type Item = Result<(u64, &'a [u8])>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.at + 10 > self.bytes.len() {
+            self.remaining = 0;
+            return Some(Err(Error::Corrupt("btree leaf truncated".into())));
+        }
+        let k = u64::from_le_bytes(self.bytes[self.at..self.at + 8].try_into().unwrap());
+        let len =
+            u16::from_le_bytes(self.bytes[self.at + 8..self.at + 10].try_into().unwrap()) as usize;
+        self.at += 10;
+        if self.at + len > self.bytes.len() {
+            self.remaining = 0;
+            return Some(Err(Error::Corrupt("btree leaf value truncated".into())));
+        }
+        let v = &self.bytes[self.at..self.at + len];
+        self.at += len;
+        Some(Ok((k, v)))
+    }
+}
+
+/// Borrow-decode a leaf page: its entry iterator plus the next-leaf
+/// pointer. Fails on non-leaf pages.
+pub fn leaf_entries(bytes: &[u8]) -> Result<(LeafEntries<'_>, Option<u32>)> {
+    if bytes.len() < 7 {
+        return Err(Error::Corrupt("btree page too small".into()));
+    }
+    if bytes[0] != 0 {
+        return Err(Error::Corrupt(format!("expected leaf page, found tag {}", bytes[0])));
+    }
+    let count = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+    let next_raw = u32::from_le_bytes(bytes[3..7].try_into().unwrap());
+    let next = if next_raw == NO_PAGE { None } else { Some(next_raw) };
+    Ok((LeafEntries { bytes, at: 7, remaining: count }, next))
+}
+
+/// Binary-search a raw *internal* page for the child to descend into for
+/// the leftmost occurrence of `key` (the `partition_point(|s| s < key)`
+/// child). Returns `(child_page, key_count)` — the count so the caller can
+/// charge the same search comparisons the owned-node path charges.
+pub fn internal_child_left(bytes: &[u8], key: u64) -> Result<(u32, usize)> {
+    if bytes.len() < 7 {
+        return Err(Error::Corrupt("btree page too small".into()));
+    }
+    if bytes[0] != 1 {
+        return Err(Error::Corrupt(format!("expected internal page, found tag {}", bytes[0])));
+    }
+    let count = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+    if 7 + count * 12 > bytes.len() {
+        return Err(Error::Corrupt("btree internal truncated".into()));
+    }
+    let key_at =
+        |i: usize| u64::from_le_bytes(bytes[7 + i * 12..7 + i * 12 + 8].try_into().unwrap());
+    // partition_point over keys[0..count] for `keys[i] < key`.
+    let (mut lo, mut hi) = (0usize, count);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if key_at(mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let child = if lo == 0 {
+        u32::from_le_bytes(bytes[3..7].try_into().unwrap())
+    } else {
+        u32::from_le_bytes(bytes[7 + (lo - 1) * 12 + 8..7 + (lo - 1) * 12 + 12].try_into().unwrap())
+    };
+    Ok((child, count))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +277,39 @@ mod tests {
         trunc[1..3].copy_from_slice(&100u16.to_le_bytes());
         trunc[3..7].copy_from_slice(&NO_PAGE.to_le_bytes());
         assert!(Node::from_page(&trunc).is_err());
+    }
+
+    #[test]
+    fn raw_leaf_walk_matches_parsed_node() {
+        let n = Node::Leaf {
+            entries: vec![(1, b"one".to_vec()), (2, b"two".to_vec()), (2, b"two-b".to_vec())],
+            next: Some(9),
+        };
+        let page = n.to_page(256).unwrap();
+        let (iter, next) = leaf_entries(&page).unwrap();
+        assert_eq!(next, Some(9));
+        let walked: Vec<(u64, Vec<u8>)> =
+            iter.map(|e| e.map(|(k, v)| (k, v.to_vec()))).collect::<Result<_>>().unwrap();
+        let Node::Leaf { entries, .. } = n else { unreachable!() };
+        assert_eq!(walked, entries);
+        // Internal page rejected by the leaf walker and vice versa.
+        let internal = Node::Internal { keys: vec![10], children: vec![1, 2] }.to_page(64).unwrap();
+        assert!(leaf_entries(&internal).is_err());
+        assert!(internal_child_left(&page, 1).is_err());
+    }
+
+    #[test]
+    fn raw_internal_search_matches_partition_point() {
+        let keys = vec![10u64, 20, 20, 30];
+        let children = vec![100u32, 101, 102, 103, 104];
+        let page =
+            Node::Internal { keys: keys.clone(), children: children.clone() }.to_page(128).unwrap();
+        for probe in [0u64, 10, 15, 20, 25, 30, 99] {
+            let (child, count) = internal_child_left(&page, probe).unwrap();
+            assert_eq!(count, keys.len());
+            let expect = children[keys.partition_point(|&s| s < probe)];
+            assert_eq!(child, expect, "probe {probe}");
+        }
     }
 
     #[test]

@@ -23,12 +23,12 @@
 //! occupancy stays stable) while avoiding rebalancing machinery the cost
 //! model never prices.
 
-use std::collections::HashSet;
+use std::cell::RefCell;
 
-use trijoin_common::{Error, Result, SystemParams};
+use trijoin_common::{Error, FxHashSet, Result, SystemParams};
 use trijoin_storage::{Disk, FileId, PageId};
 
-use crate::node::{Node, NO_PAGE};
+use crate::node::{self, Node};
 
 /// Capacity configuration for one tree.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +80,23 @@ pub struct BTree {
     height: usize,
     entries: u64,
     leaves: u64,
+    /// Reusable copy buffer for the zero-copy leaf walk: one page is copied
+    /// out of the disk borrow here so user callbacks can re-enter the disk
+    /// (e.g. heap appends) while we iterate. Nested scans over the *same*
+    /// tree fall back to a transient local buffer.
+    scratch: RefCell<Vec<u8>>,
+}
+
+/// Where a descent landed: the memory-resident root leaf, or a leaf page.
+enum LeafLoc {
+    Root,
+    Page(u32),
+}
+
+/// Outcome of scanning one leaf during a chain walk.
+enum Step {
+    Done,
+    Next(u32),
 }
 
 impl BTree {
@@ -98,6 +115,7 @@ impl BTree {
             height: 1,
             entries: 0,
             leaves: 1,
+            scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -179,6 +197,7 @@ impl BTree {
                         height,
                         entries: total,
                         leaves: leaf_count,
+                        scratch: RefCell::new(Vec::new()),
                     });
                 }
                 let pid = disk.allocate_page(file)?;
@@ -201,6 +220,7 @@ impl BTree {
             height: 1,
             entries: total,
             leaves: leaf_count,
+            scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -233,17 +253,6 @@ impl BTree {
 
     fn read_node(&self, page: u32) -> Result<Node> {
         let raw = self.disk.read_page(PageId::new(self.file, page))?;
-        Node::from_page(&raw)
-    }
-
-    /// Batch read: charge only the first touch of each page within `seen`.
-    fn read_node_batch(&self, page: u32, seen: &mut HashSet<u32>) -> Result<Node> {
-        let pid = PageId::new(self.file, page);
-        let raw = if seen.insert(page) {
-            self.disk.read_page(pid)?
-        } else {
-            self.disk.read_page_free(pid)?
-        };
         Node::from_page(&raw)
     }
 
@@ -284,13 +293,9 @@ impl BTree {
         keys.partition_point(|&s| s <= key)
     }
 
-    /// Page number of the leftmost leaf that can contain `key`, reading
-    /// through `seen` if given.
-    fn descend_to_leaf(
-        &self,
-        key: u64,
-        mut seen: Option<&mut HashSet<u32>>,
-    ) -> Result<(u32, Node)> {
+    /// Page number of the leftmost leaf that can contain `key` (owned-node
+    /// path, used by mutations).
+    fn descend_to_leaf(&self, key: u64) -> Result<(u32, Node)> {
         let mut node = self.root.clone();
         let mut page = self.root_page;
         loop {
@@ -300,13 +305,75 @@ impl BTree {
                     self.charge_search(keys.len());
                     let idx = Self::child_left(keys, key);
                     page = children[idx];
-                    node = match seen.as_deref_mut() {
-                        Some(s) => self.read_node_batch(page, s)?,
-                        None => self.read_node(page)?,
-                    };
+                    node = self.read_node(page)?;
                 }
             }
         }
+    }
+
+    /// Zero-copy descent: walk internal levels through borrowed page views
+    /// (no `Node` materialization) down to the page number of the leftmost
+    /// leaf that can contain `key`. Charges the same binary-search
+    /// comparisons and node-read I/Os as the owned-node descent; pages in
+    /// `seen` (batch mode) are read free of I/O charge after first touch.
+    fn descend_to_leaf_page(
+        &self,
+        key: u64,
+        mut seen: Option<&mut FxHashSet<u32>>,
+    ) -> Result<LeafLoc> {
+        let Node::Internal { ref keys, ref children } = self.root else {
+            return Ok(LeafLoc::Root);
+        };
+        self.charge_search(keys.len());
+        let mut page = children[Self::child_left(keys, key)];
+        // Root is level 1, leaves are level `height`; levels 2..height are
+        // the internal nodes below the root.
+        for _ in 2..self.height {
+            let pid = PageId::new(self.file, page);
+            let charged = match seen.as_deref_mut() {
+                Some(s) => s.insert(page),
+                None => true,
+            };
+            let (child, key_count) = if charged {
+                self.disk.read_page_with(pid, |raw| node::internal_child_left(raw, key))?
+            } else {
+                self.disk.read_page_free_with(pid, |raw| node::internal_child_left(raw, key))?
+            };
+            self.charge_search(key_count);
+            page = child;
+        }
+        Ok(LeafLoc::Page(page))
+    }
+
+    /// Copy one leaf page into the reusable scratch buffer (a single memcpy
+    /// out of the disk borrow) and run `f` on the copy. The callback may
+    /// re-enter the disk — e.g. append heap pages — because the disk borrow
+    /// is released before `f` runs. Nested scans over the same tree fall
+    /// back to a transient local buffer when the scratch is already held.
+    fn with_leaf_copy<T>(
+        &self,
+        page: u32,
+        charged: bool,
+        f: impl FnOnce(&[u8]) -> Result<T>,
+    ) -> Result<T> {
+        let pid = PageId::new(self.file, page);
+        let mut guard = self.scratch.try_borrow_mut().ok();
+        let mut local = Vec::new();
+        let buf: &mut Vec<u8> = match guard.as_mut() {
+            Some(g) => g,
+            None => &mut local,
+        };
+        buf.clear();
+        let fill = |raw: &[u8]| {
+            buf.extend_from_slice(raw);
+            Ok(())
+        };
+        if charged {
+            self.disk.read_page_with(pid, fill)?;
+        } else {
+            self.disk.read_page_free_with(pid, fill)?;
+        }
+        f(buf)
     }
 
     // ---- queries --------------------------------------------------------
@@ -333,30 +400,44 @@ impl BTree {
         if lo > hi {
             return Ok(());
         }
-        let (_page, mut node) = self.descend_to_leaf(lo, None)?;
-        loop {
-            let (entries, next) = match node {
-                Node::Leaf { entries, next } => (entries, next),
-                Node::Internal { .. } => {
-                    return Err(Error::Invariant("descended to internal node".into()))
+        let mut page = match self.descend_to_leaf_page(lo, None)? {
+            LeafLoc::Root => {
+                let Node::Leaf { ref entries, .. } = self.root else {
+                    return Err(Error::Invariant("descended to internal node".into()));
+                };
+                let mut examined = 0u64;
+                for (k, v) in entries {
+                    examined += 1;
+                    if *k > hi || (*k >= lo && !f(*k, v)) {
+                        break;
+                    }
                 }
-            };
-            let mut examined = 0u64;
-            for (k, v) in &entries {
-                examined += 1;
-                if *k > hi {
-                    self.disk.cost().comp(examined);
-                    return Ok(());
-                }
-                if *k >= lo && !f(*k, v) {
-                    self.disk.cost().comp(examined);
-                    return Ok(());
-                }
+                self.disk.cost().comp(examined);
+                return Ok(());
             }
-            self.disk.cost().comp(examined);
-            match next {
-                Some(p) if p != NO_PAGE => node = self.read_node(p)?,
-                _ => return Ok(()),
+            LeafLoc::Page(p) => p,
+        };
+        loop {
+            let step = self.with_leaf_copy(page, true, |raw| {
+                let (iter, next) = node::leaf_entries(raw)?;
+                let mut examined = 0u64;
+                for entry in iter {
+                    let (k, v) = entry?;
+                    examined += 1;
+                    if k > hi || (k >= lo && !f(k, v)) {
+                        self.disk.cost().comp(examined);
+                        return Ok(Step::Done);
+                    }
+                }
+                self.disk.cost().comp(examined);
+                Ok(match next {
+                    Some(p) => Step::Next(p),
+                    None => Step::Done,
+                })
+            })?;
+            match step {
+                Step::Done => return Ok(()),
+                Step::Next(p) => page = p,
             }
         }
     }
@@ -382,7 +463,7 @@ impl BTree {
     /// pointer-sorted probes. Calls `f(key, value)` for every match.
     pub fn fetch_many(&self, sorted_keys: &[u64], mut f: impl FnMut(u64, &[u8])) -> Result<()> {
         debug_assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
-        let mut seen: HashSet<u32> = HashSet::new();
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
         let mut i = 0;
         while i < sorted_keys.len() {
             let key = sorted_keys[i];
@@ -392,32 +473,54 @@ impl BTree {
                 i += 1;
                 dup += 1;
             }
-            let (_page, mut node) = self.descend_to_leaf(key, Some(&mut seen))?;
-            'chain: loop {
-                let (entries, next) = match node {
-                    Node::Leaf { entries, next } => (entries, next),
-                    Node::Internal { .. } => {
-                        return Err(Error::Invariant("descended to internal node".into()))
-                    }
-                };
-                let mut examined = 0u64;
-                for (k, v) in &entries {
-                    examined += 1;
-                    if *k > key {
-                        self.disk.cost().comp(examined);
-                        break 'chain;
-                    }
-                    if *k == key {
-                        for _ in 0..dup {
-                            f(*k, v);
+            match self.descend_to_leaf_page(key, Some(&mut seen))? {
+                LeafLoc::Root => {
+                    let Node::Leaf { ref entries, .. } = self.root else {
+                        return Err(Error::Invariant("descended to internal node".into()));
+                    };
+                    let mut examined = 0u64;
+                    for (k, v) in entries {
+                        examined += 1;
+                        if *k > key {
+                            break;
+                        }
+                        if *k == key {
+                            for _ in 0..dup {
+                                f(*k, v);
+                            }
                         }
                     }
+                    self.disk.cost().comp(examined);
                 }
-                self.disk.cost().comp(examined);
-                match next {
-                    Some(p) => node = self.read_node_batch(p, &mut seen)?,
-                    None => break 'chain,
-                }
+                LeafLoc::Page(mut page) => loop {
+                    let charged = seen.insert(page);
+                    let step = self.with_leaf_copy(page, charged, |raw| {
+                        let (iter, next) = node::leaf_entries(raw)?;
+                        let mut examined = 0u64;
+                        for entry in iter {
+                            let (k, v) = entry?;
+                            examined += 1;
+                            if k > key {
+                                self.disk.cost().comp(examined);
+                                return Ok(Step::Done);
+                            }
+                            if k == key {
+                                for _ in 0..dup {
+                                    f(k, v);
+                                }
+                            }
+                        }
+                        self.disk.cost().comp(examined);
+                        Ok(match next {
+                            Some(p) => Step::Next(p),
+                            None => Step::Done,
+                        })
+                    })?;
+                    match step {
+                        Step::Done => break,
+                        Step::Next(p) => page = p,
+                    }
+                },
             }
             i += 1;
         }
@@ -539,7 +642,7 @@ impl BTree {
                 return Ok(false);
             }
         }
-        let (mut page, mut node) = self.descend_to_leaf(key, None)?;
+        let (mut page, mut node) = self.descend_to_leaf(key)?;
         loop {
             let (entries, next) = match &mut node {
                 Node::Leaf { entries, next } => (entries, *next),

@@ -54,14 +54,16 @@ pub fn encode_row(values: &[Value]) -> Vec<u8> {
 
 /// Decode a row previously produced by [`encode_row`]. Trailing padding
 /// bytes (from fixed-size tuples) are ignored.
+///
+/// Every field is sliced out of `bytes` by reference; the only
+/// allocations are the output vector and one `String` per string-valued
+/// field (the owned result itself).
 pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>> {
-    let take = |bytes: &[u8], at: usize, n: usize| -> Result<Vec<u8>> {
-        bytes
-            .get(at..at + n)
-            .map(|s| s.to_vec())
-            .ok_or_else(|| Error::Corrupt("row truncated".into()))
+    // Borrow `n` bytes at `at` straight out of the input — no copy.
+    let take = |at: usize, n: usize| -> Result<&[u8]> {
+        bytes.get(at..at + n).ok_or_else(|| Error::Corrupt("row truncated".into()))
     };
-    let count = u16::from_le_bytes(take(bytes, 0, 2)?.try_into().unwrap()) as usize;
+    let count = u16::from_le_bytes(take(0, 2)?.try_into().unwrap()) as usize;
     let mut at = 2;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
@@ -69,17 +71,15 @@ pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>> {
         at += 1;
         match tag {
             TAG_INT => {
-                let raw = take(bytes, at, 8)?;
-                out.push(Value::Int(i64::from_le_bytes(raw.try_into().unwrap())));
+                out.push(Value::Int(i64::from_le_bytes(take(at, 8)?.try_into().unwrap())));
                 at += 8;
             }
             TAG_STR => {
-                let len = u16::from_le_bytes(take(bytes, at, 2)?.try_into().unwrap()) as usize;
+                let len = u16::from_le_bytes(take(at, 2)?.try_into().unwrap()) as usize;
                 at += 2;
-                let raw = take(bytes, at, len)?;
-                let s = String::from_utf8(raw)
+                let s = std::str::from_utf8(take(at, len)?)
                     .map_err(|_| Error::Corrupt("row string not UTF-8".into()))?;
-                out.push(Value::Str(s));
+                out.push(Value::Str(s.to_string()));
                 at += len;
             }
             other => return Err(Error::Corrupt(format!("unknown value tag {other:#x}"))),
@@ -103,6 +103,57 @@ pub fn string_key(s: &str) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pass-through allocator that tallies allocations per thread, so the
+    /// zero-copy claim below is asserted, not assumed. Counting is
+    /// per-thread because the test harness runs tests concurrently.
+    struct CountingAlloc;
+
+    thread_local! {
+        static ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            std::alloc::System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+            std::alloc::System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let before = ALLOCS.with(|c| c.get());
+        let out = f();
+        (out, ALLOCS.with(|c| c.get()) - before)
+    }
+
+    #[test]
+    fn decode_makes_no_intermediate_allocations() {
+        // The only allocations decoding may make are the ones the *result*
+        // owns: one `Vec<Value>` plus one `String` per string field. The
+        // old `take` helper copied every field into a scratch `Vec<u8>`
+        // first (4 extra allocations for this row).
+        let row = vec![
+            Value::Int(1),
+            Value::Str("Bando".into()),
+            Value::Int(-7),
+            Value::Str("Music".into()),
+        ];
+        let enc = encode_row(&row);
+        let (decoded, allocs) = allocs_during(|| decode_row(&enc).unwrap());
+        assert_eq!(decoded, row);
+        assert_eq!(allocs, 3, "1 Vec + 2 Strings; anything more is an intermediate copy");
+
+        let (decoded, allocs) =
+            allocs_during(|| decode_row(&encode_row(&[Value::Int(9)])).unwrap());
+        assert_eq!(decoded, vec![Value::Int(9)]);
+        assert_eq!(allocs, 2, "encode's Vec + decode's Vec; int fields allocate nothing");
+    }
 
     #[test]
     fn roundtrip_mixed_row() {

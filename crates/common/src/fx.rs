@@ -1,0 +1,114 @@
+//! A tiny, deterministic, non-cryptographic hasher for hot hash maps.
+//!
+//! `std`'s default `RandomState` SipHash is robust against adversarial
+//! keys but costs tens of nanoseconds per string and re-seeds per process,
+//! which (a) is slow in per-tuple loops and (b) makes map *iteration*
+//! order differ run to run. The engine is a closed simulation — keys are
+//! its own surrogate IDs and metric names, never attacker-controlled — so
+//! we use the multiply-xor scheme popularized by rustc's FxHash: fold each
+//! 8-byte chunk with a rotate-xor-multiply round. Seeding is fixed, so two
+//! identical runs hash identically.
+//!
+//! Determinism caveat unchanged from `std`: nothing here licenses
+//! iteration-order-dependent logic. Code whose output depends on map order
+//! must keep using `BTreeMap`/sorted collection, exactly as before.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash family (a 64-bit odd constant derived from
+/// the golden ratio), chosen to mix low-entropy integer keys well.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: one `u64` folded with rotate-xor-multiply per write.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" and "ab\0" hash differently.
+            self.add_to_hash(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Fixed-seed `BuildHasher`: every map built with it hashes identically in
+/// every process.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed by [`FxHasher`] — for hot, trusted-key maps.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by [`FxHasher`] — for hot, trusted-key sets.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of("pool.hits"), hash_of("pool.hits"));
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_ne!(hash_of("pool.hits"), hash_of("pool.miss"));
+    }
+
+    #[test]
+    fn tail_bytes_are_length_tagged() {
+        assert_ne!(hash_of(b"ab".as_slice()), hash_of(b"ab\0".as_slice()));
+        assert_ne!(hash_of(b"".as_slice()), hash_of(b"\0".as_slice()));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

@@ -15,6 +15,7 @@ pub mod codec;
 pub mod cost;
 pub mod error;
 pub mod events;
+pub mod fx;
 pub mod json;
 pub mod metrics;
 pub mod params;
@@ -25,8 +26,9 @@ pub mod types;
 pub use cost::{Cost, CostTracker, OpCounts, SpanRecord};
 pub use error::{Error, FaultKind, FaultOp, Result};
 pub use events::{Event, EventKind, EventLog};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::Json;
-pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use metrics::{CounterId, Histogram, Metrics, MetricsSnapshot};
 pub use params::SystemParams;
 pub use trace::{ModelDelta, RunReport, ShardedRunReport};
 pub use types::{shard_of_key, BaseTuple, JiEntry, JoinKey, Surrogate, ViewTuple};

@@ -10,11 +10,29 @@
 //! Names are dotted paths (`"pool.hits"`, `"disk.read.f3"`,
 //! `"mv.tuples_emitted"`). Instruments are created on first touch; reading
 //! a never-touched counter yields 0 rather than registering it.
+//!
+//! Counters are *interned*: each name maps to a stable [`CounterId`] slot,
+//! and hot loops that pre-resolve a handle via [`Metrics::counter_handle`]
+//! bump a plain array cell — no string hash, no allocation, no tree walk.
+//! The string-keyed methods remain as a thin compatibility layer over the
+//! same slots, so both paths observe identical state. Handles stay valid
+//! across [`Metrics::reset`] (the intern table is retained; only values are
+//! cleared), which lets long-lived components resolve their counters once
+//! at construction.
 
+use crate::fx::FxHashMap;
 use crate::json::Json;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Interned handle for one counter in one [`Metrics`] registry.
+///
+/// Obtained from [`Metrics::counter_handle`]; bumping through a handle is
+/// an array index instead of a string hash. Handles are only meaningful
+/// for the registry (or a clone of it) that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
 
 /// Number of power-of-two buckets a [`Histogram`] keeps (`2^0 .. 2^62`,
 /// plus a final overflow bucket).
@@ -93,11 +111,35 @@ impl Histogram {
     }
 }
 
+/// One interned counter slot. `touched` distinguishes "registered by an
+/// add (possibly of 0)" from "merely handle-resolved": snapshots include
+/// only touched slots, preserving the first-touch registration semantics
+/// the string API always had.
+#[derive(Debug)]
+struct CounterSlot {
+    name: String,
+    value: u64,
+    touched: bool,
+}
+
 #[derive(Debug, Default)]
 struct Registry {
-    counters: BTreeMap<String, u64>,
+    counter_ids: FxHashMap<String, usize>,
+    counter_slots: Vec<CounterSlot>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.counter_ids.get(name) {
+            return id;
+        }
+        let id = self.counter_slots.len();
+        self.counter_slots.push(CounterSlot { name: name.to_string(), value: 0, touched: false });
+        self.counter_ids.insert(name.to_string(), id);
+        id
+    }
 }
 
 /// Shared handle to the metrics registry. Clones alias the same state.
@@ -110,9 +152,42 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Resolve (interning if needed) the stable handle for a counter,
+    /// without registering it: a handle-only counter stays out of
+    /// snapshots until the first add through it.
+    pub fn counter_handle(&self, name: &str) -> CounterId {
+        CounterId(self.0.borrow_mut().intern(name))
+    }
+
+    /// Add `delta` to the counter behind an interned handle — the hot-loop
+    /// path: one array index, no hashing.
+    #[inline]
+    pub fn counter_add_id(&self, id: CounterId, delta: u64) {
+        let mut reg = self.0.borrow_mut();
+        let slot = &mut reg.counter_slots[id.0];
+        slot.value += delta;
+        slot.touched = true;
+    }
+
+    /// Increment the counter behind an interned handle by one.
+    #[inline]
+    pub fn incr_id(&self, id: CounterId) {
+        self.counter_add_id(id, 1);
+    }
+
+    /// Current value of the counter behind an interned handle.
+    #[inline]
+    pub fn counter_id(&self, id: CounterId) -> u64 {
+        self.0.borrow().counter_slots[id.0].value
+    }
+
     /// Add `delta` to the named counter (created at 0 on first touch).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        *self.0.borrow_mut().counters.entry(name.to_string()).or_insert(0) += delta;
+        let mut reg = self.0.borrow_mut();
+        let id = reg.intern(name);
+        let slot = &mut reg.counter_slots[id];
+        slot.value += delta;
+        slot.touched = true;
     }
 
     /// Increment the named counter by one.
@@ -120,9 +195,14 @@ impl Metrics {
         self.counter_add(name, 1);
     }
 
-    /// Current value of a counter (0 if never touched).
+    /// Current value of a counter (0 if never touched). Reading never
+    /// registers the counter.
     pub fn counter(&self, name: &str) -> u64 {
-        self.0.borrow().counters.get(name).copied().unwrap_or(0)
+        let reg = self.0.borrow();
+        match reg.counter_ids.get(name) {
+            Some(&id) => reg.counter_slots[id].value,
+            None => 0,
+        }
     }
 
     /// Set the named gauge to `value`.
@@ -146,10 +226,15 @@ impl Metrics {
     }
 
     /// Clear every instrument (used between measured phases, mirroring
-    /// [`crate::Cost::reset`]).
+    /// [`crate::Cost::reset`]). The counter intern table survives — values
+    /// drop to zero and slots leave snapshots until touched again — so
+    /// pre-resolved [`CounterId`] handles stay valid across resets.
     pub fn reset(&self) {
         let mut reg = self.0.borrow_mut();
-        reg.counters.clear();
+        for slot in &mut reg.counter_slots {
+            slot.value = 0;
+            slot.touched = false;
+        }
         reg.gauges.clear();
         reg.histograms.clear();
     }
@@ -157,8 +242,15 @@ impl Metrics {
     /// Point-in-time copy of the whole registry, ordered by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let reg = self.0.borrow();
+        let mut counters: Vec<(String, u64)> = reg
+            .counter_slots
+            .iter()
+            .filter(|s| s.touched)
+            .map(|s| (s.name.clone(), s.value))
+            .collect();
+        counters.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
         MetricsSnapshot {
-            counters: reg.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            counters,
             gauges: reg.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: reg.histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
         }
@@ -305,6 +397,41 @@ mod tests {
         alias.counter_add("pool.hits", 2);
         assert_eq!(m.counter("pool.hits"), 3);
         assert_eq!(m.counter("never.touched"), 0);
+    }
+
+    #[test]
+    fn interned_handles_alias_string_counters() {
+        let m = Metrics::new();
+        let id = m.counter_handle("pool.hits");
+        // Handle resolution alone does not register the counter.
+        assert!(m.snapshot().counters.is_empty());
+        m.incr_id(id);
+        m.counter_add("pool.hits", 2);
+        assert_eq!(m.counter("pool.hits"), 3);
+        assert_eq!(m.counter_id(id), 3);
+        // Same name resolves to the same slot, including on clones.
+        assert_eq!(m.clone().counter_handle("pool.hits"), id);
+    }
+
+    #[test]
+    fn handles_survive_reset() {
+        let m = Metrics::new();
+        let id = m.counter_handle("disk.reads");
+        m.counter_add_id(id, 5);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        m.incr_id(id);
+        assert_eq!(m.counter("disk.reads"), 1);
+        assert_eq!(m.snapshot().counters, vec![("disk.reads".to_string(), 1)]);
+    }
+
+    #[test]
+    fn zero_delta_add_registers_the_counter() {
+        // `counter_add(name, 0)` has always created the entry; the interned
+        // slots must preserve that first-touch semantics.
+        let m = Metrics::new();
+        m.counter_add("hh.recoveries", 0);
+        assert_eq!(m.snapshot().counters, vec![("hh.recoveries".to_string(), 0)]);
     }
 
     #[test]

@@ -114,11 +114,18 @@ impl BaseTuple {
     /// Serialize to bytes (layout: `sur | key | payload_len | payload`).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_len());
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Append the serialized form to `out` — the buffer-reuse path hot
+    /// loops use to serialize many tuples without one `Vec` each.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.serialized_len());
         out.extend_from_slice(&self.sur.0.to_le_bytes());
         out.extend_from_slice(&self.key.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Deserialize from bytes produced by [`BaseTuple::to_bytes`].
@@ -187,6 +194,13 @@ impl ViewTuple {
     /// Serialize (layout: `r_sur | s_sur | key | rlen | slen | r | s`).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_len());
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Append the serialized form to `out` (buffer-reuse path).
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.serialized_len());
         out.extend_from_slice(&self.r_sur.0.to_le_bytes());
         out.extend_from_slice(&self.s_sur.0.to_le_bytes());
         out.extend_from_slice(&self.key.to_le_bytes());
@@ -194,7 +208,6 @@ impl ViewTuple {
         out.extend_from_slice(&(self.s_payload.len() as u16).to_le_bytes());
         out.extend_from_slice(&self.r_payload);
         out.extend_from_slice(&self.s_payload);
-        out
     }
 
     /// Deserialize from bytes produced by [`ViewTuple::to_bytes`].

@@ -30,10 +30,11 @@
 //! merge is possible but needs a two-dimensional bucket merge the paper
 //! never contemplates.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use trijoin_common::{
-    types::hash_key, BaseTuple, Cost, Error, Result, Surrogate, SystemParams, ViewTuple,
+    types::hash_key, BaseTuple, Cost, Error, FxHashMap, FxHashSet, Result, Surrogate, SystemParams,
+    ViewTuple,
 };
 use trijoin_linearhash::{Addressing, LinearHash};
 use trijoin_storage::Disk;
@@ -155,7 +156,7 @@ impl BilateralView {
         &self,
         s: &StoredRelation,
         mut batch: Vec<BaseTuple>,
-        skip_s: &HashSet<Surrogate>,
+        skip_s: &FxHashSet<Surrogate>,
     ) -> Result<Vec<ViewTuple>> {
         if batch.is_empty() {
             return Ok(Vec::new());
@@ -170,7 +171,7 @@ impl BilateralView {
             postings.values().flatten().filter(|sur| !skip_s.contains(sur)).copied().collect();
         self.cost.comp(surs.len() as u64);
         counted_sort_by(&mut surs, |x| x.0, &self.cost);
-        let mut s_tuples: std::collections::HashMap<Surrogate, BaseTuple> = Default::default();
+        let mut s_tuples: FxHashMap<Surrogate, BaseTuple> = Default::default();
         s.fetch_by_surrogates(&surs, |t| {
             s_tuples.insert(t.sur, t);
         })?;
@@ -216,7 +217,7 @@ impl BilateralView {
         r.probe_inverted(&keys, |k, sur| postings.entry(k).or_default().push(sur))?;
         let mut surs: Vec<Surrogate> = postings.values().flatten().copied().collect();
         counted_sort_by(&mut surs, |x| x.0, &self.cost);
-        let mut r_tuples: std::collections::HashMap<Surrogate, BaseTuple> = Default::default();
+        let mut r_tuples: FxHashMap<Surrogate, BaseTuple> = Default::default();
         r.fetch_by_surrogates(&surs, |t| {
             r_tuples.insert(t.sur, t);
         })?;
@@ -286,7 +287,7 @@ impl JoinStrategy for BilateralView {
         let (ins_s, del_s_surs) = {
             let _g = self.cost.section("mv2.read_s_diffs");
             let mut ins_s: Vec<BaseTuple> = Vec::new();
-            let mut del_s_surs: HashSet<Surrogate> = HashSet::new();
+            let mut del_s_surs: FxHashSet<Surrogate> = FxHashSet::default();
             for item in net_differentials(
                 self.s_ins.merged()?,
                 self.s_del.merged()?,
@@ -306,7 +307,7 @@ impl JoinStrategy for BilateralView {
         // Surface any run-read error parked while draining the S streams.
         self.s_ins.stream_error()?;
         self.s_del.stream_error()?;
-        let ins_s_surs: HashSet<Surrogate> = ins_s.iter().map(|t| t.sur).collect();
+        let ins_s_surs: FxHashSet<Surrogate> = ins_s.iter().map(|t| t.sur).collect();
         // Stream B: iS ⋈ R_now, bucket-ordered.
         let mut b_stream: VecDeque<ViewTuple> = self.join_s_inserts(r, ins_s)?.into();
 
@@ -385,7 +386,7 @@ impl JoinStrategy for BilateralView {
                     let _g = self.cost.section("mv2.scan_view");
                     self.v.scan_bucket(b)?
                 };
-                let mut r_dels: HashSet<Surrogate> = HashSet::new();
+                let mut r_dels: FxHashSet<Surrogate> = FxHashSet::default();
                 while del_q.front().map(|&(db, _)| db == b).unwrap_or(false) {
                     r_dels.insert(del_q.pop_front().unwrap().1);
                 }
@@ -416,9 +417,11 @@ impl JoinStrategy for BilateralView {
                     {
                         let vt = stream.pop_front().unwrap();
                         cost.mov(1);
-                        sink(vt.clone());
-                        *emitted += 1;
+                        // Serialize before handing the tuple to the sink so
+                        // it moves instead of cloning its payloads.
                         new.push((hash_key(vt.key), vt.to_bytes()));
+                        sink(vt);
+                        *emitted += 1;
                         *changed = true;
                     }
                 };

@@ -17,7 +17,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use trijoin_common::{BaseTuple, Cost, Error, Metrics, Result};
+use trijoin_common::{BaseTuple, Cost, Error, Metrics, Result, Surrogate};
 use trijoin_storage::{Disk, HeapFile};
 
 use crate::sort::{counted_sort_by, KWayMerge};
@@ -112,8 +112,11 @@ impl DiffLog {
         let key = self.key_of.clone();
         counted_sort_by(&mut self.buf, |t| key(t), &self.cost);
         let mut writer = trijoin_storage::heap::HeapWriter::create(&self.disk);
+        let mut scratch = Vec::new();
         for t in self.buf.drain(..) {
-            writer.add_with_cap(&t.to_bytes(), self.tuples_per_run_page)?;
+            scratch.clear();
+            t.write_bytes(&mut scratch);
+            writer.add_with_cap(&scratch, self.tuples_per_run_page)?;
         }
         self.runs.push(writer.finish()?);
         Ok(())
@@ -241,7 +244,14 @@ impl Iterator for RunReader {
     fn next(&mut self) -> Option<BaseTuple> {
         loop {
             if self.at < self.current.len() {
-                let t = self.current[self.at].clone();
+                // Move the tuple out instead of cloning: the drained slot is
+                // dead until the next refill clears the buffer. The dummy's
+                // empty boxed slice does not allocate.
+                let slot = &mut self.current[self.at];
+                let t = std::mem::replace(
+                    slot,
+                    BaseTuple { sur: Surrogate(0), key: 0, payload: Box::default() },
+                );
                 self.at += 1;
                 return Some(t);
             }
@@ -250,29 +260,37 @@ impl Iterator for RunReader {
             }
             let page = self.next_page;
             let mut attempt = 0u32;
+            // Decode straight off the borrowed page view — one I/O, no
+            // per-record byte copies. Decode errors are non-retryable, so
+            // `with_retry` propagates them immediately (same observable
+            // behavior as decoding after the read).
+            let current = &mut self.current;
+            let heap = &self.heap;
             let read = crate::recovery::with_retry(|| {
                 attempt += 1;
                 if attempt > 1 {
                     self.metrics.incr("diff.retries");
                 }
                 let _g = (attempt > 1).then(|| self.cost.section("diff.retry"));
-                self.heap.read_page_records(page)
-            });
-            match read {
-                Ok(records) => {
-                    self.next_page += 1;
-                    let decoded: Result<Vec<BaseTuple>> =
-                        records.iter().map(|(_, b)| BaseTuple::from_bytes(b)).collect();
-                    match decoded {
-                        Ok(tuples) => {
-                            self.current = tuples;
-                            self.at = 0;
-                        }
-                        Err(e) => {
-                            self.park(e);
-                            return None;
+                current.clear();
+                let mut decode_err: Option<Error> = None;
+                heap.for_each_page_record(page, |_, b| {
+                    if decode_err.is_none() {
+                        match BaseTuple::from_bytes(b) {
+                            Ok(t) => current.push(t),
+                            Err(e) => decode_err = Some(e),
                         }
                     }
+                })?;
+                match decode_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            });
+            match read {
+                Ok(()) => {
+                    self.next_page += 1;
+                    self.at = 0;
                 }
                 Err(e) => {
                     self.park(e);

@@ -13,15 +13,34 @@
 //! repartitioned (a standard hardening the paper's uniform-hash analysis
 //! does not need).
 
-use std::collections::HashMap;
-
 use trijoin_common::{
-    types::hash_key, BaseTuple, Cost, EventKind, JoinKey, Result, SystemParams, ViewTuple,
+    types::hash_key, BaseTuple, Cost, EventKind, FxHashMap, JoinKey, Result, SystemParams,
+    ViewTuple,
 };
 use trijoin_storage::{Disk, HeapFile};
 
 use crate::relation::StoredRelation;
 use crate::strategy::{JoinStrategy, Mutation};
+
+/// A reloaded spill run: all record bytes in one flat arena, with
+/// `(offset, len)` spans marking record boundaries. Replaces the old
+/// `Vec<Vec<u8>>` (one heap allocation per record) on the reload path.
+#[derive(Default)]
+struct RunBytes {
+    data: Vec<u8>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl RunBytes {
+    fn push(&mut self, rec: &[u8]) {
+        self.spans.push((self.data.len() as u32, rec.len() as u32));
+        self.data.extend_from_slice(rec);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.spans.iter().map(|&(at, len)| &self.data[at as usize..(at + len) as usize])
+    }
+}
 
 /// The hybrid-hash join strategy. Stateless between queries.
 pub struct HybridHash {
@@ -100,15 +119,28 @@ impl HybridHash {
     /// device faults with bounded backoff ([`crate::recovery::MAX_ATTEMPTS`]);
     /// re-read I/O is charged under the `hh.retry` section. Reading the run
     /// whole before building/probing means a retried scan never double-emits.
-    fn read_run(&self, run: &HeapFile) -> Result<Vec<Vec<u8>>> {
+    ///
+    /// The whole run arrives through one batched [`Disk::read_run`] call and
+    /// lands in a flat byte arena (record spans index into it) — no
+    /// per-record allocation. Charge-identical to the page-at-a-time scan:
+    /// same fault gates, one I/O per page, and a retry restarts from page 0
+    /// exactly as the old whole-scan retry did.
+    fn read_run(&self, run: &HeapFile) -> Result<RunBytes> {
         let mut attempt = 0u32;
+        let page_size = self.disk.page_size();
         crate::recovery::with_retry(|| {
             attempt += 1;
             if attempt > 1 {
                 self.disk.metrics().incr("hh.retries");
             }
             let _g = (attempt > 1).then(|| self.cost.section("hh.retry"));
-            run.scan().map(|rec| rec.map(|(_, bytes)| bytes)).collect()
+            let mut raw = Vec::new();
+            self.disk.read_run(run.file_id(), 0, run.num_pages(), &mut raw)?;
+            let mut out = RunBytes::default();
+            for page in raw.chunks_exact(page_size) {
+                trijoin_storage::page::for_each_record(page, |_, rec| out.push(rec))?;
+            }
+            Ok(out)
         })
     }
 
@@ -130,16 +162,16 @@ impl HybridHash {
         s_run.destroy();
         if fits || depth >= 8 {
             // Build (charge one hash per build tuple) ...
-            let mut table: HashMap<JoinKey, Vec<BaseTuple>> = HashMap::new();
-            for bytes in r_records {
-                let t = BaseTuple::from_bytes(&bytes)?;
+            let mut table: FxHashMap<JoinKey, Vec<BaseTuple>> = FxHashMap::default();
+            for bytes in r_records.iter() {
+                let t = BaseTuple::from_bytes(bytes)?;
                 self.cost.hash(1);
                 table.entry(t.key).or_default().push(t);
             }
             // ... probe.
             let mut emitted = 0u64;
-            for bytes in s_records {
-                let st = BaseTuple::from_bytes(&bytes)?;
+            for bytes in s_records.iter() {
+                let st = BaseTuple::from_bytes(bytes)?;
                 self.cost.hash(1);
                 if let Some(matches) = table.get(&st.key) {
                     self.cost.comp(matches.len() as u64);
@@ -163,17 +195,17 @@ impl HybridHash {
         // Salt the hash by depth so the re-split actually separates keys.
         let split =
             |key: JoinKey| -> usize { (hash_key(key.rotate_left(depth * 13 + 7)) % sub) as usize };
-        for bytes in r_records {
-            let t = BaseTuple::from_bytes(&bytes)?;
+        for bytes in r_records.iter() {
+            let t = BaseTuple::from_bytes(bytes)?;
             self.cost.hash(1);
             self.cost.mov(1);
-            r_writers[split(t.key)].add(&bytes)?;
+            r_writers[split(t.key)].add(bytes)?;
         }
-        for bytes in s_records {
-            let t = BaseTuple::from_bytes(&bytes)?;
+        for bytes in s_records.iter() {
+            let t = BaseTuple::from_bytes(bytes)?;
             self.cost.hash(1);
             self.cost.mov(1);
-            s_writers[split(t.key)].add(&bytes)?;
+            s_writers[split(t.key)].add(bytes)?;
         }
         let mut emitted = 0u64;
         for (rw, sw) in r_writers.into_iter().zip(s_writers) {
@@ -256,10 +288,11 @@ impl HybridHash {
             if self.grace_mode { 0.0 } else { first_pass_fraction(r.data_pages(), &self.params) };
 
         // Pass 0 over R: build partition 0 in memory, spill 1..=B.
-        let mut table: HashMap<JoinKey, Vec<BaseTuple>> = HashMap::new();
+        let mut table: FxHashMap<JoinKey, Vec<BaseTuple>> = FxHashMap::default();
         let mut r_writers: Vec<trijoin_storage::heap::HeapWriter> =
             (0..b).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
         let mut scan_err = None;
+        let mut scratch: Vec<u8> = Vec::new();
         r.scan(|t| {
             if scan_err.is_some() {
                 return;
@@ -269,7 +302,9 @@ impl HybridHash {
                 table.entry(t.key).or_default().push(t);
             } else {
                 self.cost.mov(1);
-                if let Err(e) = r_writers[(p - 1) as usize].add(&t.to_bytes()) {
+                scratch.clear();
+                t.write_bytes(&mut scratch);
+                if let Err(e) = r_writers[(p - 1) as usize].add(&scratch) {
                     scan_err = Some(e);
                 }
             }
@@ -303,7 +338,9 @@ impl HybridHash {
                 }
             } else {
                 self.cost.mov(1);
-                if let Err(e) = s_writers[(p - 1) as usize].add(&st.to_bytes()) {
+                scratch.clear();
+                st.write_bytes(&mut scratch);
+                if let Err(e) = s_writers[(p - 1) as usize].add(&scratch) {
                     scan_err = Some(e);
                 }
             }

@@ -26,10 +26,12 @@
 //! never traverses it (it sorts each memory-resident `JI_k` on `s`
 //! instead), so this implementation follows the algorithm and omits it.
 
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 use trijoin_common::{
-    BaseTuple, Cost, Error, EventKind, JiEntry, Result, Surrogate, SystemParams, ViewTuple,
+    BaseTuple, Cost, Error, EventKind, FxHashMap, FxHashSet, JiEntry, Result, Surrogate,
+    SystemParams, ViewTuple,
 };
 use trijoin_storage::{Disk, FileId, PageId};
 
@@ -44,15 +46,25 @@ use crate::strategy::{JoinStrategy, Mutation};
 // ---------------------------------------------------------------------
 
 /// Page layout: `count:u16` then `count` 8-byte entries, zero padding.
-fn encode_ji_page(entries: &[JiEntry], page_size: usize) -> Vec<u8> {
+/// Encodes into `out` (cleared first) so hot write paths reuse one buffer.
+/// Count distinct `r` surrogates in a slice already sorted by `r`
+/// (boundary count — no hash-set allocation on the write-back path).
+fn distinct_r_count(entries: &[JiEntry]) -> u64 {
+    if entries.is_empty() {
+        return 0;
+    }
+    1 + entries.windows(2).filter(|w| w[0].r != w[1].r).count() as u64
+}
+
+fn encode_ji_page_into(entries: &[JiEntry], page_size: usize, out: &mut Vec<u8>) {
     debug_assert!(2 + entries.len() * JiEntry::BYTES <= page_size);
-    let mut out = Vec::with_capacity(page_size);
+    out.clear();
+    out.reserve(page_size);
     out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
     for e in entries {
         out.extend_from_slice(&e.to_bytes());
     }
     out.resize(page_size, 0);
-    out
 }
 
 fn decode_ji_page(bytes: &[u8]) -> Result<Vec<JiEntry>> {
@@ -83,6 +95,8 @@ pub struct JiFile {
     count: u64,
     nominal_cap: usize,
     max_cap: usize,
+    /// Reusable page-encoding buffer for the write-back hot path.
+    scratch: RefCell<Vec<u8>>,
 }
 
 /// Pack sorted entries into pages of at most `nominal` entries, never
@@ -121,9 +135,12 @@ impl JiFile {
             count: entries.len() as u64,
             nominal_cap,
             max_cap,
+            scratch: RefCell::new(Vec::new()),
         };
+        let mut buf = Vec::new();
         for chunk in pack_group_aligned(entries, nominal_cap, max_cap) {
-            let pid = disk.append_page(ji.file, &encode_ji_page(&chunk, disk.page_size()))?;
+            encode_ji_page_into(&chunk, disk.page_size(), &mut buf);
+            let pid = disk.append_page(ji.file, &buf)?;
             ji.pages.push(JiPageMeta {
                 page_no: pid.page,
                 min_r: chunk.first().map(|e| e.r.0).unwrap_or(0),
@@ -158,10 +175,11 @@ impl JiFile {
         self.pages.len() as u64
     }
 
-    /// Read page `idx` (one I/O).
+    /// Read page `idx` (one I/O), decoding straight off the borrowed page
+    /// view — no intermediate page-byte copy.
     pub fn read_page(&self, idx: usize) -> Result<Vec<JiEntry>> {
         let meta = self.pages.get(idx).ok_or(Error::Invariant("JI page out of range".into()))?;
-        decode_ji_page(&self.disk.read_page(PageId::new(self.file, meta.page_no))?)
+        self.disk.read_page_with(PageId::new(self.file, meta.page_no), decode_ji_page)
     }
 
     fn write_page(&mut self, idx: usize, entries: &[JiEntry]) -> Result<()> {
@@ -175,15 +193,17 @@ impl JiFile {
         if let Some(first) = entries.first() {
             meta.min_r = first.r.0;
         }
-        self.disk.write_page(
-            PageId::new(self.file, meta.page_no),
-            &encode_ji_page(entries, self.disk.page_size()),
-        )
+        let mut buf = self.scratch.borrow_mut();
+        encode_ji_page_into(entries, self.disk.page_size(), &mut buf);
+        self.disk.write_page(PageId::new(self.file, meta.page_no), &buf)
     }
 
     fn insert_page_after(&mut self, idx: usize, entries: &[JiEntry]) -> Result<()> {
-        let pid =
-            self.disk.append_page(self.file, &encode_ji_page(entries, self.disk.page_size()))?;
+        let pid = {
+            let mut buf = self.scratch.borrow_mut();
+            encode_ji_page_into(entries, self.disk.page_size(), &mut buf);
+            self.disk.append_page(self.file, &buf)?
+        };
         self.pages.insert(
             idx + 1,
             JiPageMeta { page_no: pid.page, min_r: entries.first().map(|e| e.r.0).unwrap_or(0) },
@@ -361,7 +381,7 @@ impl JoinIndexStrategy {
         let mut entries: Vec<JiEntry> =
             answer.iter().map(|v| JiEntry { r: v.r_sur, s: v.s_sur }).collect();
         entries.sort();
-        let distinct_r = entries.iter().map(|e| e.r).collect::<HashSet<_>>().len() as u64;
+        let distinct_r = distinct_r_count(&entries);
         // Rebuild into a fresh file; the damaged one is abandoned (a fresh
         // file carries no torn/poisoned marks).
         let new_ji = JiFile::build(&self.disk, &self.params, &entries)?;
@@ -617,7 +637,7 @@ impl JoinIndexStrategy {
             self.del_log.stream_error()?;
 
             // ---- mark deletions (C2.2) ----------------------------------
-            let del_surs: HashSet<Surrogate> = dels.iter().map(|t| t.sur).collect();
+            let del_surs: FxHashSet<Surrogate> = dels.iter().map(|t| t.sur).collect();
             let entry_total: usize = pages.iter().map(|(_, e)| e.len()).sum();
             self.cost.comp(entry_total as u64 + dels.len() as u64);
             let mut survivors: Vec<JiEntry> = Vec::with_capacity(entry_total);
@@ -636,7 +656,7 @@ impl JoinIndexStrategy {
             s.probe_inverted(&keys, |k, sur| postings.entry(k).or_default().push(sur))?;
             let mut posting_surs: Vec<Surrogate> = postings.values().flatten().copied().collect();
             counted_sort_by(&mut posting_surs, |x| x.0, &self.cost);
-            let mut s_from_postings: HashMap<Surrogate, BaseTuple> = HashMap::new();
+            let mut s_from_postings: FxHashMap<Surrogate, BaseTuple> = Default::default();
             s.fetch_by_surrogates(&posting_surs, |t| {
                 s_from_postings.insert(t.sur, t);
             })?;
@@ -658,7 +678,7 @@ impl JoinIndexStrategy {
             rs.extend(new_pairs.iter().map(|e| e.r));
             rs.sort_unstable();
             rs.dedup();
-            let mut rmap: HashMap<Surrogate, BaseTuple> = HashMap::new();
+            let mut rmap: FxHashMap<Surrogate, BaseTuple> = Default::default();
             r.fetch_by_surrogates(&rs, |t| {
                 self.cost.mov(1); // move into the R_k area
                 rmap.insert(t.sur, t);
@@ -731,7 +751,7 @@ impl JoinIndexStrategy {
             merged.extend(new_pairs.iter().copied());
             counted_sort_by(&mut merged, |e| (e.r, e.s), &self.cost);
             new_count += merged.len() as u64;
-            new_distinct_r += merged.iter().map(|e| e.r).collect::<HashSet<_>>().len() as u64;
+            new_distinct_r += distinct_r_count(&merged);
 
             // Redistribute by the pass pages' r-boundaries.
             let mut inserted_pages = 0usize;

@@ -22,10 +22,11 @@
 //! rebalanced (splits applied) only after the merge completes, so sort
 //! order and scan order always agree.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use trijoin_common::{
-    types::hash_key, BaseTuple, Cost, EventKind, Result, Surrogate, SystemParams, ViewTuple,
+    types::hash_key, BaseTuple, Cost, EventKind, FxHashMap, FxHashSet, Result, Surrogate,
+    SystemParams, ViewTuple,
 };
 use trijoin_linearhash::{Addressing, LinearHash};
 use trijoin_storage::{Disk, FileId};
@@ -246,8 +247,7 @@ impl MaterializedView {
         // access — each page at most once).
         let mut surs: Vec<Surrogate> = postings.values().flatten().copied().collect();
         counted_sort_by(&mut surs, |s| s.0, &self.cost);
-        let mut s_tuples: std::collections::HashMap<Surrogate, BaseTuple> =
-            std::collections::HashMap::new();
+        let mut s_tuples: FxHashMap<Surrogate, BaseTuple> = FxHashMap::default();
         s.fetch_by_surrogates(&surs, |t| {
             s_tuples.insert(t.sur, t);
         })?;
@@ -485,7 +485,7 @@ impl MaterializedView {
                     let _g = self.cost.section("mv.scan_view");
                     self.v.scan_bucket(b)?
                 };
-                let mut dels: HashSet<Surrogate> = HashSet::new();
+                let mut dels: FxHashSet<Surrogate> = FxHashSet::default();
                 while del_q.front().map(|&(db, _)| db == b).unwrap_or(false) {
                     dels.insert(del_q.pop_front().unwrap().1);
                 }
@@ -511,9 +511,11 @@ impl MaterializedView {
                 {
                     let vt = joined.pop_front().unwrap();
                     self.cost.mov(1); // merged into the bucket (C3.3)
-                    sink(vt.clone());
-                    emitted += 1;
+                                      // Serialize before handing the tuple to the sink so it
+                                      // moves instead of cloning its payloads.
                     new.push((hash_key(vt.key), vt.to_bytes()));
+                    sink(vt);
+                    emitted += 1;
                     changed = true;
                 }
                 if changed {

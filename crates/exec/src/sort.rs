@@ -215,6 +215,30 @@ mod tests {
     }
 
     #[test]
+    fn kway_merge_empty_source_list_yields_nothing() {
+        let cost = Cost::new();
+        let sources: Vec<std::vec::IntoIter<u64>> = vec![];
+        let merged: Vec<u64> = KWayMerge::new(sources, |x| *x, cost.clone()).collect();
+        assert!(merged.is_empty());
+        let t = cost.total();
+        assert_eq!((t.comps, t.moves), (0, 0), "no sources, no charges");
+    }
+
+    #[test]
+    fn kway_merge_duplicates_across_runs_preserve_multiplicity() {
+        let cost = Cost::new();
+        // Every run contains the same keys; all copies must survive the
+        // merge in sorted order (differential pipelines rely on this —
+        // duplicates across runs are distinct tuples, not dedup targets).
+        let runs: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3]];
+        let merged: Vec<u64> =
+            KWayMerge::new(runs.into_iter().map(|r| r.into_iter()).collect(), |x| *x, cost.clone())
+                .collect();
+        assert_eq!(merged, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        assert_eq!(cost.total().moves, 9, "one move per emitted copy");
+    }
+
+    #[test]
     fn kway_merge_duplicates_and_empty_sources() {
         let cost = Cost::new();
         let a = vec![1u64, 1, 2];

@@ -415,6 +415,13 @@ fn report_validate(rest: &[String]) -> Result<(), String> {
         report.events.len(),
         report.deltas.len()
     );
+    if report.metrics.counter("pool.hits") + report.metrics.counter("pool.misses") > 0 {
+        println!(
+            "{path}: pool hit rate {:.1}%, eviction rate {:.1}%",
+            report.pool_hit_rate() * 100.0,
+            report.pool_eviction_rate() * 100.0
+        );
+    }
     Ok(())
 }
 
@@ -474,6 +481,23 @@ fn validate_bench_results(path: &str, json: &Json) -> Result<(), String> {
         .ok_or_else(|| format!("{path}: \"rows\" must be an array"))?;
     if rows.is_empty() {
         return Err(format!("{path}: \"rows\" is empty"));
+    }
+    if figure == "wallclock" {
+        for (i, row) in rows.iter().enumerate() {
+            if row.get("bench").and_then(Json::as_str).is_none() {
+                return Err(format!("{path}: wallclock row {i} is missing string \"bench\""));
+            }
+            for key in ["secs", "iters"] {
+                match row.get(key).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "{path}: wallclock row {i} needs positive numeric {key:?}"
+                        ));
+                    }
+                }
+            }
+        }
     }
     if figure == "serve" {
         let mut checksums = Vec::new();

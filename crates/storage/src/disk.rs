@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use std::rc::Rc;
 
 use trijoin_common::{
-    Cost, Error, EventKind, EventLog, FaultKind, FaultOp, Metrics, Result, SystemParams,
+    Cost, CounterId, Error, EventKind, EventLog, FaultKind, FaultOp, Metrics, Result, SystemParams,
 };
 
 /// Identifier of a simulated file (a growable array of pages).
@@ -156,6 +156,14 @@ pub struct SimDisk {
     metrics: Metrics,
     /// Engine-wide structured-event log, shared the same way.
     events: EventLog,
+    /// Interned handles for the per-I/O counters, resolved once: the read
+    /// and write hot paths bump array slots instead of hashing
+    /// `"disk.reads"` / `format!("disk.read.f{n}")` on every page.
+    c_reads: CounterId,
+    c_writes: CounterId,
+    /// Per-file `(read, write)` counter handles, indexed by `FileId`,
+    /// interned at `create_file` time.
+    file_counters: RefCell<Vec<(CounterId, CounterId)>>,
 }
 
 /// Shared handle to a [`SimDisk`]; the simulator is single-threaded.
@@ -164,6 +172,9 @@ pub type Disk = Rc<SimDisk>;
 impl SimDisk {
     /// Create a disk with the page size of `params`, charging into `cost`.
     pub fn new(params: &SystemParams, cost: Cost) -> Disk {
+        let metrics = Metrics::new();
+        let c_reads = metrics.counter_handle("disk.reads");
+        let c_writes = metrics.counter_handle("disk.writes");
         Rc::new(SimDisk {
             files: RefCell::new(Vec::new()),
             page_size: params.page_size,
@@ -173,8 +184,11 @@ impl SimDisk {
             poisoned: RefCell::new(HashSet::new()),
             torn: RefCell::new(HashSet::new()),
             fired: RefCell::new(0),
-            metrics: Metrics::new(),
+            metrics,
             events: EventLog::new(),
+            c_reads,
+            c_writes,
+            file_counters: RefCell::new(Vec::new()),
         })
     }
 
@@ -342,7 +356,16 @@ impl SimDisk {
     pub fn create_file(&self) -> FileId {
         let mut files = self.files.borrow_mut();
         files.push(FileSlot { pages: Some(Vec::new()) });
-        FileId((files.len() - 1) as u32)
+        let id = FileId((files.len() - 1) as u32);
+        // Intern this file's per-file I/O counters once, here, so the
+        // read/write hot paths never format a name again. Resolving a
+        // handle does not register the counter: an untouched file still
+        // stays out of snapshots.
+        self.file_counters.borrow_mut().push((
+            self.metrics.counter_handle(&format!("disk.read.f{}", id.0)),
+            self.metrics.counter_handle(&format!("disk.write.f{}", id.0)),
+        ));
+        id
     }
 
     /// Delete a file, releasing its pages and any damage marks on them.
@@ -376,10 +399,10 @@ impl SimDisk {
         Ok(PageId { file, page: (slot.len() - 1) as u32 })
     }
 
-    /// Read a page, charging one random I/O. Damaged (torn/poisoned) pages
-    /// and scheduled read faults fail here with a typed
-    /// [`Error::DeviceFault`]; failed reads charge nothing.
-    pub fn read_page(&self, pid: PageId) -> Result<Vec<u8>> {
+    /// Fault/damage gate for one charged read: the legacy countdown, damage
+    /// marks, and the scheduled-fault plan, checked in exactly the order
+    /// the original `read_page` checked them.
+    fn gate_read(&self, pid: PageId) -> Result<()> {
         self.check_fault()?;
         self.check_damage(pid)?;
         if let Some(kind) = self.next_scheduled(FaultOp::Read, pid) {
@@ -394,16 +417,72 @@ impl SimDisk {
                 page: pid.page,
             });
         }
+        Ok(())
+    }
+
+    /// Charge one successful read of `pid` into the ledger and metrics.
+    #[inline]
+    fn charge_read(&self, pid: PageId) {
+        self.cost.io(1);
+        self.metrics.incr_id(self.c_reads);
+        self.metrics.incr_id(self.file_counters.borrow()[pid.file.0 as usize].0);
+    }
+
+    /// Read a page, charging one random I/O. Damaged (torn/poisoned) pages
+    /// and scheduled read faults fail here with a typed
+    /// [`Error::DeviceFault`]; failed reads charge nothing.
+    pub fn read_page(&self, pid: PageId) -> Result<Vec<u8>> {
+        self.read_page_with(pid, |page| Ok(page.to_vec()))
+    }
+
+    /// Read a page and hand the caller a *borrowed* view of it — same
+    /// checks and same single-I/O charge as [`SimDisk::read_page`], minus
+    /// the page-sized allocation. The closure runs while the disk's
+    /// internal storage is borrowed, so it must not call back into the
+    /// disk; decode-and-return is the intended shape.
+    pub fn read_page_with<T>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> Result<T>) -> Result<T> {
+        self.gate_read(pid)?;
         let files = self.files.borrow();
         let page = files
             .get(pid.file.0 as usize)
             .and_then(|s| s.pages.as_ref())
             .and_then(|pages| pages.get(pid.page as usize))
             .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-        self.cost.io(1);
-        self.metrics.incr("disk.reads");
-        self.metrics.incr(&format!("disk.read.f{}", pid.file.0));
-        Ok(page.to_vec())
+        self.charge_read(pid);
+        f(page)
+    }
+
+    /// Batched sequential read: append `count` pages of `file`, starting at
+    /// `start_page`, contiguously onto `buf`. Charge-identical to `count`
+    /// individual `read_page` calls in ascending page order — each page
+    /// passes the same fault gate and charges one I/O — but makes a single
+    /// engine call and a single buffer-growth decision for the whole run.
+    ///
+    /// Stops at the first failing page and returns its error; `buf` keeps
+    /// every page read before it (progress = `buf.len() / page_size`
+    /// pages), so retry logic can resume from the failure point.
+    pub fn read_run(
+        &self,
+        file: FileId,
+        start_page: u32,
+        count: u32,
+        buf: &mut Vec<u8>,
+    ) -> Result<()> {
+        buf.reserve(count as usize * self.page_size);
+        for page in start_page..start_page + count {
+            let pid = PageId::new(file, page);
+            self.gate_read(pid)?;
+            let files = self.files.borrow();
+            let data = files
+                .get(pid.file.0 as usize)
+                .and_then(|s| s.pages.as_ref())
+                .and_then(|pages| pages.get(pid.page as usize))
+                .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+            buf.extend_from_slice(data);
+            drop(files);
+            self.charge_read(pid);
+        }
+        Ok(())
     }
 
     /// Write a page, charging one random I/O. `data` must be exactly one
@@ -450,8 +529,8 @@ impl SimDisk {
         }
         page.copy_from_slice(data);
         self.cost.io(1);
-        self.metrics.incr("disk.writes");
-        self.metrics.incr(&format!("disk.write.f{}", pid.file.0));
+        self.metrics.incr_id(self.c_writes);
+        self.metrics.incr_id(self.file_counters.borrow()[pid.file.0 as usize].1);
         // A successful full-page write heals any damage mark.
         drop(files);
         self.torn.borrow_mut().remove(&(pid.file.0, pid.page));
@@ -466,17 +545,51 @@ impl SimDisk {
         Ok(pid)
     }
 
+    /// Batched sequential append (the write half of [`SimDisk::read_run`]):
+    /// `data` holds a whole run of page images back to back; each page is
+    /// allocated and written in order with the full per-page fault gate and
+    /// one I/O charge — identical to calling [`SimDisk::append_page`] once
+    /// per page. Returns the `PageId` of the first page written. Stops at
+    /// the first failing page: earlier pages stay written, the failing page
+    /// stays allocated (carrying whatever damage the fault left).
+    pub fn write_run(&self, file: FileId, data: &[u8]) -> Result<PageId> {
+        if data.is_empty() || !data.len().is_multiple_of(self.page_size) {
+            return Err(Error::Invariant(format!(
+                "write_run: got {} bytes, not a positive multiple of page size {}",
+                data.len(),
+                self.page_size
+            )));
+        }
+        let mut first = None;
+        for chunk in data.chunks_exact(self.page_size) {
+            let pid = self.append_page(file, chunk)?;
+            first.get_or_insert(pid);
+        }
+        Ok(first.expect("write_run: at least one page"))
+    }
+
     /// Read a page **without** charging I/O. Reserved for pages the paper
     /// assumes permanently memory-resident (B⁺-tree roots) and for test
     /// assertions that must not perturb the ledger.
     pub fn read_page_free(&self, pid: PageId) -> Result<Vec<u8>> {
+        self.read_page_free_with(pid, |page| Ok(page.to_vec()))
+    }
+
+    /// Borrowed-view variant of [`SimDisk::read_page_free`] (no I/O charge,
+    /// no allocation). Same closure restriction as
+    /// [`SimDisk::read_page_with`]: no re-entry into the disk.
+    pub fn read_page_free_with<T>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&[u8]) -> Result<T>,
+    ) -> Result<T> {
         let files = self.files.borrow();
         let page = files
             .get(pid.file.0 as usize)
             .and_then(|s| s.pages.as_ref())
             .and_then(|pages| pages.get(pid.page as usize))
             .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-        Ok(page.to_vec())
+        f(page)
     }
 
     /// Write a page **without** charging I/O (resident pages; see
@@ -768,5 +881,78 @@ mod tests {
         assert_eq!(pid.page, 0);
         assert_eq!(c.total().ios, 1);
         assert_eq!(d.append_page(f, &data).unwrap().page, 1);
+    }
+
+    #[test]
+    fn read_page_with_borrows_and_charges_like_read_page() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        let pid = d.allocate_page(f).unwrap();
+        let mut data = vec![0u8; d.page_size()];
+        data[7] = 0x5A;
+        d.write_page(pid, &data).unwrap();
+        let got = d.read_page_with(pid, |page| Ok(page[7])).unwrap();
+        assert_eq!(got, 0x5A);
+        assert_eq!(c.total().ios, 2);
+        assert_eq!(d.metrics().counter("disk.reads"), 1);
+    }
+
+    #[test]
+    fn read_run_matches_per_page_reads() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        for i in 0..4u8 {
+            d.append_page(f, &vec![i; d.page_size()]).unwrap();
+        }
+        let before = c.total().ios;
+        let mut buf = Vec::new();
+        d.read_run(f, 1, 3, &mut buf).unwrap();
+        assert_eq!(c.total().ios - before, 3, "one I/O per page of the run");
+        assert_eq!(buf.len(), 3 * d.page_size());
+        for (i, chunk) in buf.chunks(d.page_size()).enumerate() {
+            assert!(chunk.iter().all(|&b| b == (i + 1) as u8));
+        }
+        assert_eq!(d.metrics().counter("disk.reads"), 3);
+    }
+
+    #[test]
+    fn read_run_stops_at_faulted_page_keeping_progress() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        for i in 0..4u8 {
+            d.append_page(f, &vec![i; d.page_size()]).unwrap();
+        }
+        let before = c.total().ios;
+        // Fail the 3rd charged read: pages 0 and 1 land in the buffer.
+        d.install_fault_plan(FaultPlan::new().fail_nth_read(Some(f), 2));
+        let mut buf = Vec::new();
+        let err = d.read_run(f, 0, 4, &mut buf).unwrap_err();
+        assert!(matches!(err, Error::DeviceFault { kind: FaultKind::Transient, page: 2, .. }));
+        assert_eq!(buf.len(), 2 * d.page_size(), "progress before the fault is kept");
+        assert_eq!(c.total().ios - before, 2, "the failed page charged nothing");
+        // Resuming from the failure point completes the run.
+        d.read_run(f, 2, 2, &mut buf).unwrap();
+        assert_eq!(buf.len(), 4 * d.page_size());
+        assert_eq!(c.total().ios - before, 4);
+    }
+
+    #[test]
+    fn write_run_appends_each_page_charged() {
+        let (d, c) = disk();
+        let f = d.create_file();
+        d.append_page(f, &vec![0xEE; d.page_size()]).unwrap();
+        let mut run = Vec::new();
+        for i in 0..3u8 {
+            run.extend_from_slice(&vec![i; d.page_size()]);
+        }
+        let before = c.total().ios;
+        let first = d.write_run(f, &run).unwrap();
+        assert_eq!(first.page, 1, "run appended after existing pages");
+        assert_eq!(c.total().ios - before, 3);
+        assert_eq!(d.num_pages(f).unwrap(), 4);
+        assert_eq!(d.read_page_free(PageId::new(f, 2)).unwrap()[0], 1);
+        // Not-a-page-multiple is rejected without charges.
+        assert!(d.write_run(f, &run[..10]).is_err());
+        assert_eq!(c.total().ios - before, 3);
     }
 }

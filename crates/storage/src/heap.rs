@@ -52,9 +52,9 @@ impl HeapFile {
 
     /// Fetch one record (one read I/O).
     pub fn get(&self, rid: RecordId) -> Result<Vec<u8>> {
-        let raw = self.disk.read_page(PageId::new(self.file, rid.page))?;
-        let page = SlottedPage::from_bytes(raw)?;
-        Ok(page.get(rid.slot)?.to_vec())
+        self.disk.read_page_with(PageId::new(self.file, rid.page), |raw| {
+            Ok(crate::page::record_in(raw, rid.slot)?.to_vec())
+        })
     }
 
     /// Delete one record (one read + one write I/O).
@@ -94,12 +94,23 @@ impl HeapFile {
 
     /// Read one full page of records (one I/O): `(rid, bytes)` pairs.
     pub fn read_page_records(&self, page_no: u32) -> Result<Vec<(RecordId, Vec<u8>)>> {
-        let raw = self.disk.read_page(PageId::new(self.file, page_no))?;
-        let page = SlottedPage::from_bytes(raw)?;
-        Ok(page
-            .iter()
-            .map(|(slot, rec)| (RecordId { page: page_no, slot }, rec.to_vec()))
-            .collect())
+        let mut out = Vec::new();
+        self.for_each_page_record(page_no, |rid, rec| out.push((rid, rec.to_vec())))?;
+        Ok(out)
+    }
+
+    /// Read one full page (one I/O) and hand each live record to `f` as a
+    /// *borrowed* slice — the zero-copy path run scans decode through. The
+    /// closure runs under the disk borrow (see
+    /// [`crate::SimDisk::read_page_with`]): decode, don't re-enter the disk.
+    pub fn for_each_page_record(
+        &self,
+        page_no: u32,
+        mut f: impl FnMut(RecordId, &[u8]),
+    ) -> Result<()> {
+        self.disk.read_page_with(PageId::new(self.file, page_no), |raw| {
+            crate::page::for_each_record(raw, |slot, rec| f(RecordId { page: page_no, slot }, rec))
+        })
     }
 }
 
@@ -118,17 +129,27 @@ impl Iterator for HeapScan {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if self.current_at < self.current.len() {
-                let item = self.current[self.current_at].clone();
+                // Move the bytes out instead of cloning them; the drained
+                // slot is dead until the next refill clears the buffer.
+                let (rid, rec) = &mut self.current[self.current_at];
+                let item = (*rid, std::mem::take(rec));
                 self.current_at += 1;
                 return Some(Ok(item));
             }
             if self.next_page >= self.total_pages {
                 return None;
             }
-            match self.heap.read_page_records(self.next_page) {
-                Ok(records) => {
+            // Refill in place, reusing the spine of the previous page's
+            // record vector (the record buffers themselves moved out above).
+            self.current.clear();
+            let page_no = self.next_page;
+            let current = &mut self.current;
+            match self
+                .heap
+                .for_each_page_record(page_no, |rid, rec| current.push((rid, rec.to_vec())))
+            {
+                Ok(()) => {
                     self.next_page += 1;
-                    self.current = records;
                     self.current_at = 0;
                 }
                 Err(e) => {

@@ -234,6 +234,56 @@ impl SlottedPage {
     }
 }
 
+/// Walk the live records of a raw page image *without* taking ownership of
+/// the bytes: the zero-copy counterpart of
+/// `SlottedPage::from_bytes(..)?.iter()`, for callers that hold a borrowed
+/// page (e.g. inside [`crate::SimDisk::read_page_with`]) and decode records
+/// in place. Same slot order, same tombstone skipping; slot entries that
+/// point outside the page fail as corrupt instead of panicking.
+pub fn for_each_record(data: &[u8], mut f: impl FnMut(u16, &[u8])) -> Result<()> {
+    if data.len() < HEADER + SLOT {
+        return Err(Error::Corrupt("slotted page smaller than header".into()));
+    }
+    let n = read_u16(data, 0);
+    let free_end = read_u16(data, 2) as usize;
+    if HEADER + n as usize * SLOT > free_end || free_end > data.len() {
+        return Err(Error::Corrupt(format!(
+            "slotted page header inconsistent: {n} slots, free_end {free_end}"
+        )));
+    }
+    for slot in 0..n {
+        let len = read_u16(data, HEADER + slot as usize * SLOT + 2) as usize;
+        if len == 0 {
+            continue;
+        }
+        let off = read_u16(data, HEADER + slot as usize * SLOT) as usize;
+        let rec = data
+            .get(off..off + len)
+            .ok_or_else(|| Error::Corrupt(format!("slot {slot} points outside the page")))?;
+        f(slot, rec);
+    }
+    Ok(())
+}
+
+/// Borrow one live record out of a raw page image (the zero-copy
+/// counterpart of `SlottedPage::from_bytes(..)?.get(slot)`).
+pub fn record_in(data: &[u8], slot: u16) -> Result<&[u8]> {
+    if data.len() < HEADER + SLOT {
+        return Err(Error::Corrupt("slotted page smaller than header".into()));
+    }
+    let n = read_u16(data, 0);
+    if slot >= n {
+        return Err(Error::SlotNotFound { slot });
+    }
+    let len = read_u16(data, HEADER + slot as usize * SLOT + 2) as usize;
+    if len == 0 {
+        return Err(Error::SlotNotFound { slot });
+    }
+    let off = read_u16(data, HEADER + slot as usize * SLOT) as usize;
+    data.get(off..off + len)
+        .ok_or_else(|| Error::Corrupt(format!("slot {slot} points outside the page")))
+}
+
 fn read_u16(data: &[u8], at: usize) -> u16 {
     u16::from_le_bytes(data[at..at + 2].try_into().unwrap())
 }
@@ -367,5 +417,21 @@ mod tests {
     fn empty_record_rejected() {
         let mut p = SlottedPage::new(128);
         assert!(p.insert(b"").is_err());
+    }
+
+    #[test]
+    fn borrowed_walkers_match_owned_page() {
+        let mut p = SlottedPage::new(512);
+        let slots: Vec<u16> = (0..4).map(|i| p.insert(&[i as u8 + 1; 6]).unwrap()).collect();
+        p.delete(slots[2]).unwrap();
+        let raw = p.bytes();
+        let mut seen = Vec::new();
+        for_each_record(raw, |s, rec| seen.push((s, rec.to_vec()))).unwrap();
+        let owned: Vec<(u16, Vec<u8>)> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(seen, owned);
+        assert_eq!(record_in(raw, slots[0]).unwrap(), p.get(slots[0]).unwrap());
+        assert!(matches!(record_in(raw, slots[2]), Err(Error::SlotNotFound { .. })));
+        assert!(matches!(record_in(raw, 99), Err(Error::SlotNotFound { .. })));
+        assert!(for_each_record(&[0u8; 2], |_, _| ()).is_err());
     }
 }

@@ -12,11 +12,9 @@
 //! access to *different* pages is fine; nested access to the *same* page is
 //! a programming error and panics with a clear message.
 
-use std::collections::HashMap;
-
 use std::cell::RefCell;
 
-use trijoin_common::{Error, Result};
+use trijoin_common::{CounterId, Error, FxHashMap, Result};
 
 use crate::disk::{Disk, PageId};
 
@@ -31,10 +29,14 @@ struct Frame {
 
 struct Inner {
     frames: Vec<Frame>,
-    map: HashMap<PageId, usize>,
+    map: FxHashMap<PageId, usize>,
     hand: usize,
-    resident: HashMap<PageId, Vec<u8>>,
-    resident_dirty: HashMap<PageId, bool>,
+    /// Last `(page, frame)` pair served: repeat hits on the same page —
+    /// the dominant pattern in leaf scans — skip even the map lookup.
+    /// Validated against the frame before use, so staleness is harmless.
+    last: Option<(PageId, usize)>,
+    resident: FxHashMap<PageId, Vec<u8>>,
+    resident_dirty: FxHashMap<PageId, bool>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -56,10 +58,38 @@ pub struct PoolStats {
     pub resident: usize,
 }
 
+impl PoolStats {
+    /// Fraction of non-resident accesses served from a frame, in `[0, 1]`
+    /// (0 when the pool has seen no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of misses that displaced a previously-cached page, in
+    /// `[0, 1]` (0 when the pool has seen no misses).
+    pub fn eviction_rate(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.evictions as f64 / self.misses as f64
+        }
+    }
+}
+
 /// A pin-counted clock-eviction buffer pool over a [`Disk`].
 pub struct BufferPool {
     disk: Disk,
     inner: RefCell<Inner>,
+    /// Interned handles for the pool's hot counters (see
+    /// [`trijoin_common::Metrics::counter_handle`]).
+    c_hits: CounterId,
+    c_misses: CounterId,
+    c_evictions: CounterId,
 }
 
 impl BufferPool {
@@ -75,18 +105,25 @@ impl BufferPool {
                 referenced: false,
             })
             .collect();
+        let c_hits = disk.metrics().counter_handle("pool.hits");
+        let c_misses = disk.metrics().counter_handle("pool.misses");
+        let c_evictions = disk.metrics().counter_handle("pool.evictions");
         BufferPool {
             disk,
             inner: RefCell::new(Inner {
                 frames,
-                map: HashMap::new(),
+                map: FxHashMap::default(),
                 hand: 0,
-                resident: HashMap::new(),
-                resident_dirty: HashMap::new(),
+                last: None,
+                resident: FxHashMap::default(),
+                resident_dirty: FxHashMap::default(),
                 hits: 0,
                 misses: 0,
                 evictions: 0,
             }),
+            c_hits,
+            c_misses,
+            c_evictions,
         }
     }
 
@@ -187,42 +224,60 @@ impl BufferPool {
     fn fetch_frame(&self, pid: PageId) -> Result<usize> {
         {
             let mut inner = self.inner.borrow_mut();
+            // Repeat-hit fast path: same page as last time, frame still
+            // holds it — no map lookup, no clock-state churn beyond the
+            // hit count.
+            if let Some((last_pid, idx)) = inner.last {
+                if last_pid == pid && inner.frames[idx].pid == Some(pid) {
+                    inner.hits += 1;
+                    self.disk.metrics().incr_id(self.c_hits);
+                    return Ok(idx);
+                }
+            }
             if let Some(&idx) = inner.map.get(&pid) {
                 inner.hits += 1;
-                self.disk.metrics().incr("pool.hits");
+                inner.last = Some((pid, idx));
+                self.disk.metrics().incr_id(self.c_hits);
                 return Ok(idx);
             }
             inner.misses += 1;
-            self.disk.metrics().incr("pool.misses");
+            self.disk.metrics().incr_id(self.c_misses);
         }
         let victim = self.find_victim()?;
-        // Evict the victim (flush if dirty), outside the clock loop.
-        let flush: Option<(PageId, Vec<u8>)> = {
+        // Evict the victim (flush if dirty), outside the clock loop. The
+        // victim's buffer is kept either way and refilled below: a clean
+        // eviction reuses the allocation instead of dropping it.
+        let (flush_old, mut buf) = {
             let mut inner = self.inner.borrow_mut();
             let frame = &mut inner.frames[victim];
-            let out = match (frame.pid, frame.dirty) {
-                (Some(old), true) => Some((old, std::mem::take(&mut frame.data))),
-                _ => None,
-            };
-            if let Some(old) = frame.pid.take() {
+            let dirty = frame.dirty;
+            let data = std::mem::take(&mut frame.data);
+            let old = frame.pid.take();
+            if let Some(old) = old {
                 inner.map.remove(&old);
                 inner.evictions += 1;
-                self.disk.metrics().incr("pool.evictions");
+                self.disk.metrics().incr_id(self.c_evictions);
             }
-            out
+            (if dirty { old } else { None }, data)
         };
-        if let Some((old, data)) = flush {
-            self.disk.write_page(old, &data)?; // charges one write I/O
+        if let Some(old) = flush_old {
+            self.disk.write_page(old, &buf)?; // charges one write I/O
         }
-        let data = self.disk.read_page(pid)?; // charges one read I/O
+        buf.resize(self.disk.page_size(), 0);
+        // One charged read I/O, copied straight into the reused frame buffer.
+        self.disk.read_page_with(pid, |page| {
+            buf.copy_from_slice(page);
+            Ok(())
+        })?;
         let mut inner = self.inner.borrow_mut();
         let frame = &mut inner.frames[victim];
         frame.pid = Some(pid);
-        frame.data = data;
+        frame.data = buf;
         frame.dirty = false;
         frame.pins = 0;
         frame.referenced = true;
         inner.map.insert(pid, victim);
+        inner.last = Some((pid, victim));
         Ok(victim)
     }
 
@@ -440,6 +495,32 @@ mod tests {
         }
         // The pool still works afterwards.
         pool.with_page(pids[1], |d| assert_eq!(d[0], 1)).unwrap();
+    }
+
+    #[test]
+    fn repeat_hits_use_fast_path_and_still_count() {
+        let (disk, pool, pids, cost) = setup(2, 1);
+        for _ in 0..5 {
+            pool.with_page(pids[0], |d| assert_eq!(d[0], 0)).unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (4, 1));
+        assert_eq!(disk.metrics().counter("pool.hits"), 4, "fast-path hits still count");
+        assert_eq!(cost.total().ios, 1);
+    }
+
+    #[test]
+    fn hit_and_eviction_rates() {
+        let (_d, pool, pids, _cost) = setup(2, 3);
+        assert_eq!(pool.stats().hit_rate(), 0.0, "empty pool: rate is 0, not NaN");
+        assert_eq!(pool.stats().eviction_rate(), 0.0);
+        pool.with_page(pids[0], |_| ()).unwrap(); // miss
+        pool.with_page(pids[0], |_| ()).unwrap(); // hit
+        pool.with_page(pids[1], |_| ()).unwrap(); // miss
+        pool.with_page(pids[2], |_| ()).unwrap(); // miss + eviction
+        let stats = pool.stats();
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12, "1 hit / 4 accesses");
+        assert!((stats.eviction_rate() - 1.0 / 3.0).abs() < 1e-12, "1 eviction / 3 misses");
     }
 
     #[test]
