@@ -21,12 +21,12 @@ echo "==> run-report schema gate"
 # with the top-level keys (params, spans, metrics, events) and must
 # deserialize back into a RunReport — any schema drift fails CI here.
 report=ci_report.json
-cargo run --release -q -p trijoin-serve --bin trijoin -- \
+cargo run --release -q -p trijoin-check --bin trijoin -- \
     run --scale 200 --epochs 1 --report "$report" > /dev/null
 for key in params spans metrics events; do
     grep -q "\"$key\"" "$report" || { echo "missing top-level key: $key"; exit 1; }
 done
-cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate "$report"
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
 rm -f "$report"
 
 echo "==> serving-layer gate"
@@ -34,15 +34,15 @@ echo "==> serving-layer gate"
 # against the single-engine oracle inside the command), then validate the
 # emitted ShardedRunReport — including the shards-sum-to-rollup invariant.
 for shards in 1 4; do
-    cargo run --release -q -p trijoin-serve --bin trijoin -- \
+    cargo run --release -q -p trijoin-check --bin trijoin -- \
         serve --shards "$shards" --clients 3 --batch 16 --queries 3 \
         --scale 400 --report "$report" > /dev/null
-    cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate "$report"
+    cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
     rm -f "$report"
 done
 # The committed scaling results must carry the serve schema and a result
 # checksum that is identical across shard counts.
-cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate results/serve.json
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results/serve.json
 
 echo "==> wall-clock smoke gate"
 # The wall-clock harness must run end-to-end (smoke scale) and emit a
@@ -50,9 +50,16 @@ echo "==> wall-clock smoke gate"
 # stay bit-identical to the pinned goldens. Smoke emits its own file so
 # the committed full-scale results/wallclock.json is never clobbered.
 cargo run --release -q -p trijoin-bench --bin wallclock -- --smoke > /dev/null
-cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate results/wallclock_smoke.json
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results/wallclock_smoke.json
 rm -f results/wallclock_smoke.json
-cargo run --release -q -p trijoin-serve --bin trijoin -- report-validate results/wallclock.json
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results/wallclock.json
 cargo test -q --release -p trijoin-serve --test golden_ledger
+
+echo "==> simulation gate"
+# Deterministic simulation: replay the committed seed corpus (every
+# checkpoint must agree across MV / JI / HH / oracle / sharded serve,
+# faults included), then explore one fresh fixed-seed script end to end.
+cargo run --release -q -p trijoin-check --bin trijoin -- check --corpus tests/corpus
+cargo run --release -q -p trijoin-check --bin trijoin -- check --seed 2026 --ops 160
 
 echo "CI OK"

@@ -108,6 +108,90 @@ proptest! {
         tree.check_invariants().unwrap();
     }
 
+    /// Random insert/delete interleavings against the `BTreeMap` reference
+    /// model, with structural invariants re-checked after *every* op (the
+    /// model test above only audits the final tree): underflow handling
+    /// during deletes, `remove_where` picking an arbitrary duplicate, full
+    /// scans staying a multiset image of the model, and a final drain down
+    /// to the empty tree.
+    #[test]
+    fn interleaved_deletes_preserve_structure(
+        ops in prop::collection::vec(
+            prop_oneof![
+                5 => (0u64..24, prop::collection::vec(any::<u8>(), 0..8))
+                    .prop_map(|(k, v)| Op::Insert(k, v)),
+                2 => (0u64..24, prop::collection::vec(any::<u8>(), 0..8))
+                    .prop_map(|(k, v)| Op::Remove(k, v)),
+                2 => (0u64..24).prop_map(Op::Lookup), // reused as remove_where(k)
+            ],
+            1..120,
+        ),
+    ) {
+        let cost = Cost::new();
+        let params = SystemParams { page_size: 256, ..SystemParams::paper_defaults() };
+        let disk = SimDisk::new(&params, cost);
+        let mut tree = BTree::new(&disk, BTreeConfig { leaf_cap: 4, internal_cap: 4 }).unwrap();
+        let mut model: Model = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(k, v.clone()).unwrap();
+                    model_insert(&mut model, k, v);
+                }
+                Op::Remove(k, v) => {
+                    let got = tree.remove_exact(k, &v).unwrap();
+                    prop_assert_eq!(got, model_remove(&mut model, k, &v));
+                }
+                // Repurposed as remove_where: drop an *arbitrary* record
+                // under k (whichever the tree finds first) and reconcile the
+                // model from the tree's own post-state.
+                Op::Lookup(k) => {
+                    let got = tree.remove_where(k, |_| true).unwrap();
+                    let want = model_lookup(&model, k);
+                    prop_assert_eq!(got, !want.is_empty());
+                    if got {
+                        let mut now = tree.lookup(k).unwrap();
+                        now.sort();
+                        prop_assert_eq!(now.len() + 1, want.len());
+                        // Rebuild the model's k-entries as exactly `now`.
+                        model.retain(|(mk, _), _| *mk != k);
+                        for v in now {
+                            model_insert(&mut model, k, v);
+                        }
+                    }
+                }
+                Op::Range(..) => unreachable!("not generated here"),
+            }
+            tree.check_invariants().unwrap();
+            let total: u64 = model.values().map(|&c| c as u64).sum();
+            prop_assert_eq!(tree.len(), total);
+            prop_assert_eq!(tree.is_empty(), total == 0);
+        }
+
+        // The surviving records, as one full scan, are the model's multiset.
+        let mut got = tree.scan_range(0, u64::MAX).unwrap();
+        got.sort();
+        let want: Vec<(u64, Vec<u8>)> = model
+            .iter()
+            .flat_map(|((k, v), c)| std::iter::repeat_n((*k, v.clone()), *c as usize))
+            .collect();
+        prop_assert_eq!(got, want);
+
+        // Drain to empty: every surviving record is individually removable,
+        // and the tree ends structurally valid with nothing left.
+        let survivors: Vec<(u64, Vec<u8>)> = model
+            .iter()
+            .flat_map(|((k, v), c)| std::iter::repeat_n((*k, v.clone()), *c as usize))
+            .collect();
+        for (k, v) in &survivors {
+            prop_assert!(tree.remove_exact(*k, v).unwrap(), "drain lost ({}, {:?})", k, v);
+            tree.check_invariants().unwrap();
+        }
+        prop_assert!(tree.is_empty());
+        prop_assert_eq!(tree.lookup(0).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
     #[test]
     fn bulk_load_equals_incremental(keys in prop::collection::vec(0u64..1000, 0..300)) {
         let cost = Cost::new();

@@ -23,6 +23,16 @@
 //!     schema is sniffed: a run report, a sharded serve report (per-shard
 //!     reports + rollup, with the metric-sum invariant re-verified), or a
 //!     bench results file (`figure`/`rows`)
+//! trijoin check --seed 7 --ops 160 [--shards 1,2,4] [--batch 8] [--mem 64]
+//!               [--out <path>] | --corpus <dir>
+//!     deterministic simulation check: generate a workload script from the
+//!     seed, replay it against MV/JI/HH, the brute-force oracle, and the
+//!     sharded server at every shard count, verifying equivalence at every
+//!     checkpoint (faults included); on failure, delta-debug the script to
+//!     a minimal repro and write it as JSON. `--corpus <dir>` instead
+//!     replays every committed `*.json` script in the directory
+//! trijoin repro <file>
+//!     replay a JSON repro file produced by `trijoin check`
 //! ```
 //!
 //! (No external argument-parsing dependency: flags are `--name value`
@@ -32,7 +42,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use trijoin::{Advisor, Database, JoinStrategy, Method, SystemParams, Workload, WorkloadSpec};
-use trijoin_common::{Json, ModelDelta, RunReport, ShardedRunReport};
+use trijoin_check::{generate, run_script, shrink, CheckConfig, GenConfig};
+use trijoin_common::{ModelDelta, RunReport, Script};
 use trijoin_model::all_costs;
 use trijoin_serve::{ClientTraffic, ServeConfig, Server};
 
@@ -87,7 +98,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n  trijoin report-validate <path>"
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path>"
 }
 
 fn main() -> ExitCode {
@@ -98,6 +109,8 @@ fn main() -> ExitCode {
     };
     let result = if cmd == "report-validate" {
         report_validate(rest)
+    } else if cmd == "repro" {
+        repro(rest)
     } else {
         match Args::parse(rest) {
             Ok(args) => match cmd.as_str() {
@@ -105,6 +118,7 @@ fn main() -> ExitCode {
                 "model" => model(&args),
                 "run" => run(&args),
                 "serve" => serve(&args),
+                "check" => check(&args),
                 other => Err(format!("unknown command {other:?}\n{}", usage())),
             },
             Err(e) => Err(e),
@@ -385,143 +399,129 @@ fn serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `trijoin report-validate <path>` — the CI schema gate. The file's shape
-/// is sniffed: a sharded serve report (`shards` + `rollup`), a bench
-/// results file (`figure` + `rows`), or a plain run report; each must
-/// deserialize losslessly into its schema.
+/// `trijoin report-validate <path>` — the CI schema gate, implemented in
+/// [`trijoin_serve::validate`] so its error paths are unit-tested.
 fn report_validate(rest: &[String]) -> Result<(), String> {
     let [path] = rest else {
         return Err("usage: trijoin report-validate <path>".into());
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    if json.get("shards").is_some() && json.get("rollup").is_some() {
-        return validate_sharded_report(path, &json);
+    let summary = trijoin_serve::validate::validate_report_file(path)?;
+    println!("{summary}");
+    Ok(())
+}
+
+/// `trijoin check` — the deterministic simulation harness. Generates a
+/// seeded workload script (or loads a committed corpus), replays it
+/// against every implementation, and on failure shrinks to a minimal
+/// JSON repro.
+fn check(args: &Args) -> Result<(), String> {
+    let cfg = CheckConfig {
+        params: SystemParams {
+            mem_pages: args.u64("mem", 64)? as usize,
+            ..SystemParams::paper_defaults()
+        },
+        ..CheckConfig::default()
+    };
+    if let Some(dir) = args.opt_str("corpus") {
+        return check_corpus(&dir, &cfg);
     }
-    if json.get("figure").is_some() && json.get("rows").is_some() {
-        return validate_bench_results(path, &json);
-    }
-    for key in ["params", "spans", "metrics", "events"] {
-        if json.get(key).is_none() {
-            return Err(format!("{path}: run report is missing top-level key {key:?}"));
+    let seed = args.u64("seed", 42)?;
+    let mut gen_cfg = GenConfig::new(seed, args.u64("ops", 160)? as usize);
+    gen_cfg.batch = args.u64("batch", gen_cfg.batch as u64)? as usize;
+    if let Some(list) = args.opt_str("shards") {
+        gen_cfg.shard_counts = list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>().map_err(|_| format!("--shards: bad count {s:?}")))
+            .collect::<Result<Vec<usize>, String>>()?;
+        if gen_cfg.shard_counts.is_empty() || gen_cfg.shard_counts.contains(&0) {
+            return Err("--shards: counts must be positive".into());
         }
     }
-    let report = RunReport::from_json(&json).map_err(|e| format!("{path}: schema drift: {e}"))?;
+    let script = generate(&gen_cfg);
     println!(
-        "{path}: ok — report {:?} with {} spans, {} metrics counters, {} events, {} deltas",
-        report.name,
-        report.spans.len(),
-        report.metrics.counters.len(),
-        report.events.len(),
-        report.deltas.len()
+        "check: script {} — {} ops, {} checkpoints, shards {:?}",
+        script.name,
+        script.ops.len(),
+        script.checkpoints(),
+        script.shard_counts
     );
-    if report.metrics.counter("pool.hits") + report.metrics.counter("pool.misses") > 0 {
+    match run_script(&script, &cfg) {
+        Ok(outcome) => {
+            println!(
+                "check ok: {} checkpoints verified (MV ≡ JI ≡ HH ≡ oracle ≡ serve), \
+                 {} ops applied, {} skipped, {} fault plans",
+                outcome.checkpoints, outcome.applied, outcome.skipped, outcome.faults_installed
+            );
+            Ok(())
+        }
+        Err(failure) => {
+            println!("check FAILED: {failure}");
+            let out = args.opt_str("out").unwrap_or_else(|| format!("repro-seed-{seed}.json"));
+            let shrunk = shrink(&script, &cfg).expect("a failing script shrinks");
+            std::fs::write(&out, shrunk.script.to_json_string())
+                .map_err(|e| format!("--out {out}: {e}"))?;
+            println!(
+                "shrunk {} ops -> {} ops in {} runs; minimal failure: {}",
+                script.ops.len(),
+                shrunk.script.ops.len(),
+                shrunk.runs,
+                shrunk.failure
+            );
+            println!("repro written to {out} (replay with: trijoin repro {out})");
+            Err(format!("simulation check failed (seed {seed}); repro at {out}"))
+        }
+    }
+}
+
+/// Replay every `*.json` script in a corpus directory.
+fn check_corpus(dir: &str, cfg: &CheckConfig) -> Result<(), String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("--corpus {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("--corpus {dir}: no .json scripts found"));
+    }
+    let mut checkpoints = 0;
+    for path in &paths {
+        let shown = path.display();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{shown}: {e}"))?;
+        let script = Script::from_json_str(&text).map_err(|e| format!("{shown}: {e}"))?;
+        let outcome = run_script(&script, cfg).map_err(|f| format!("{shown}: {f}"))?;
         println!(
-            "{path}: pool hit rate {:.1}%, eviction rate {:.1}%",
-            report.pool_hit_rate() * 100.0,
-            report.pool_eviction_rate() * 100.0
+            "{shown}: ok — {} checkpoints, {} ops applied, {} fault plans",
+            outcome.checkpoints, outcome.applied, outcome.faults_installed
         );
+        checkpoints += outcome.checkpoints;
     }
+    println!("corpus ok: {} scripts, {checkpoints} checkpoints verified", paths.len());
     Ok(())
 }
 
-/// Validate a sharded serve report: schema round-trip plus the rollup
-/// invariant — every counter outside the scheduler-only `serve.` namespace
-/// must be the exact sum of the per-shard counters.
-fn validate_sharded_report(path: &str, json: &Json) -> Result<(), String> {
-    let report =
-        ShardedRunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
-    if report.shards.is_empty() {
-        return Err(format!("{path}: sharded report carries no shards"));
-    }
-    for shard in &report.shards {
-        for (key, _) in &shard.metrics.counters {
-            if key.starts_with("serve.") {
-                return Err(format!(
-                    "{path}: shard {:?} uses the scheduler-only namespace: {key}",
-                    shard.name
-                ));
-            }
-        }
-    }
-    for (key, value) in &report.rollup.metrics.counters {
-        if key.starts_with("serve.") {
-            continue;
-        }
-        let sum: u64 = report.shards.iter().map(|s| s.metrics.counter(key)).sum();
-        if *value != sum {
-            return Err(format!(
-                "{path}: rollup counter {key} = {value} but the shards sum to {sum}"
-            ));
-        }
-    }
+/// `trijoin repro <file>` — replay a shrunk repro (or any script file).
+fn repro(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("usage: trijoin repro <file>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let script = Script::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
     println!(
-        "{path}: ok — sharded report {:?} with {} shards, {} rollup counters, {} rollup events",
-        report.name,
-        report.shards.len(),
-        report.rollup.metrics.counters.len(),
-        report.rollup.events.len()
+        "repro: script {} — {} ops, {} checkpoints, shards {:?}",
+        script.name,
+        script.ops.len(),
+        script.checkpoints(),
+        script.shard_counts
     );
-    Ok(())
-}
-
-/// Validate a bench results file (`figure` + non-empty `rows` of objects);
-/// `serve` results additionally carry the scaling columns and a result
-/// checksum that must be identical on every row (the answer must not
-/// depend on the shard count).
-fn validate_bench_results(path: &str, json: &Json) -> Result<(), String> {
-    let figure = json
-        .get("figure")
-        .and_then(Json::as_str)
-        .ok_or_else(|| format!("{path}: \"figure\" must be a string"))?
-        .to_string();
-    let rows = json
-        .get("rows")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| format!("{path}: \"rows\" must be an array"))?;
-    if rows.is_empty() {
-        return Err(format!("{path}: \"rows\" is empty"));
-    }
-    if figure == "wallclock" {
-        for (i, row) in rows.iter().enumerate() {
-            if row.get("bench").and_then(Json::as_str).is_none() {
-                return Err(format!("{path}: wallclock row {i} is missing string \"bench\""));
-            }
-            for key in ["secs", "iters"] {
-                match row.get(key).and_then(Json::as_f64) {
-                    Some(v) if v > 0.0 => {}
-                    _ => {
-                        return Err(format!(
-                            "{path}: wallclock row {i} needs positive numeric {key:?}"
-                        ));
-                    }
-                }
-            }
+    match run_script(&script, &CheckConfig::default()) {
+        Ok(outcome) => {
+            println!(
+                "script passes: {} checkpoints verified, {} ops applied, {} skipped",
+                outcome.checkpoints, outcome.applied, outcome.skipped
+            );
+            Ok(())
         }
+        Err(failure) => Err(format!("reproduced: {failure}")),
     }
-    if figure == "serve" {
-        let mut checksums = Vec::new();
-        for (i, row) in rows.iter().enumerate() {
-            for key in ["shards", "clients", "queries", "updates", "qps", "p50_us", "p99_us"] {
-                if row.get(key).and_then(Json::as_f64).is_none() {
-                    return Err(format!("{path}: serve row {i} is missing numeric {key:?}"));
-                }
-            }
-            let checksum = row
-                .get("checksum")
-                .and_then(Json::as_str)
-                .and_then(|s| u64::from_str_radix(s, 16).ok())
-                .ok_or_else(|| {
-                    format!("{path}: serve row {i} is missing a hex \"checksum\" string")
-                })?;
-            checksums.push(checksum);
-        }
-        if checksums.windows(2).any(|w| w[0] != w[1]) {
-            return Err(format!(
-                "{path}: result checksums differ across shard counts: {checksums:?}"
-            ));
-        }
-    }
-    println!("{path}: ok — bench results {figure:?} with {} rows", rows.len());
-    Ok(())
 }

@@ -1,0 +1,668 @@
+//! Differential script replay: one script, every implementation.
+//!
+//! The driver replays a [`Script`] simultaneously against
+//!
+//! - three single-node engines, one per strategy (each with its own
+//!   [`Database`] and simulated disk, so per-engine fault plans stay
+//!   isolated),
+//! - an in-memory mirror of both relations (`BTreeMap` keyed by
+//!   surrogate) feeding the brute-force oracle, and
+//! - one running [`trijoin_serve::Server`] per configured shard count,
+//!
+//! and at every `Checkpoint` op asserts MV ≡ JI ≡ HH ≡ oracle ≡
+//! sharded-serve, plus metamorphic relations on the analytical cost
+//! model. Fault ops arm seeded [`FaultPlan`]s that are installed at the
+//! next checkpoint immediately before query execution — the placement
+//! `tests/faults.rs` establishes as recoverable by design (§8 recovery
+//! must absorb transient and cached-state faults during query work;
+//! damage to base relations during the apply phase is unrecoverable and
+//! would fail the run spuriously).
+//!
+//! Failures come back as structured [`CheckFailure`]s rather than
+//! panics, so the shrinker can probe candidate scripts cheaply.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use trijoin::{Database, WorkloadSpec};
+use trijoin_common::{rng, BaseTuple, Script, ScriptOp, Surrogate, SystemParams, ViewTuple};
+use trijoin_exec::{oracle, JoinStrategy, Mutation, Update};
+use trijoin_model::{all_costs, Method, Workload};
+use trijoin_serve::{ClientSession, ServeConfig, Server};
+use trijoin_storage::FaultPlan;
+
+/// Deliberate bugs the driver can plant in its own replay path, used to
+/// demonstrate that the harness catches (and the shrinker minimizes) a
+/// real divergence. Sabotage never touches library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Replay faithfully.
+    None,
+    /// Apply the join index's `Pr_A` filter to *every* cached structure:
+    /// payload-only updates are not forwarded to the strategies. The
+    /// materialized view then serves stale payloads — exactly the bug the
+    /// paper's §3.2 maintenance discussion warns the filter must not
+    /// introduce.
+    SkipPraFilter,
+}
+
+/// Configuration of one replay.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// System parameters for every engine and server shard.
+    pub params: SystemParams,
+    /// Planted bug (tests only).
+    pub sabotage: Sabotage,
+    /// Run the cost-model metamorphic checks at checkpoints.
+    pub model_checks: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            params: SystemParams::test_small(),
+            sabotage: Sabotage::None,
+            model_checks: true,
+        }
+    }
+}
+
+/// Statistics of a passing replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Checkpoints verified.
+    pub checkpoints: usize,
+    /// Mutation ops applied.
+    pub applied: usize,
+    /// Mutation ops deterministically skipped (duplicate-surrogate
+    /// inserts, deletes on a ≤ 1-tuple relation).
+    pub skipped: usize,
+    /// Fault plans installed across engines and servers.
+    pub faults_installed: usize,
+}
+
+/// A failed replay: which checkpoint, which implementation, and why.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// Index of the failing op in the script (usually a checkpoint).
+    pub op_index: usize,
+    /// The diverging site: `engine:<method>`, `serve:<shards>:<method>`,
+    /// `model:<relation>`, or `script` for malformed input.
+    pub site: String,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op {}: {}: {}", self.op_index, self.site, self.message)
+    }
+}
+
+/// Per-strategy cached state. An enum (not `Box<dyn JoinStrategy>`) so
+/// the driver can reach strategy-specific surfaces: the cached-structure
+/// file for scoped poison faults and the rebuild constructors.
+enum Cached {
+    Mv(trijoin_exec::MaterializedView),
+    Ji(trijoin_exec::JoinIndexStrategy),
+    Hh(trijoin_exec::HybridHash),
+}
+
+/// One single-node engine replaying the script with one strategy.
+struct Engine {
+    method: Method,
+    db: Database,
+    cached: Cached,
+    s_dirty: bool,
+}
+
+impl Engine {
+    fn new(
+        method: Method,
+        params: &SystemParams,
+        r: Vec<BaseTuple>,
+        s: Vec<BaseTuple>,
+    ) -> trijoin_common::Result<Engine> {
+        let db = Database::new(params, r, s)?;
+        let cached = match method {
+            Method::MaterializedView => Cached::Mv(db.materialized_view()?),
+            Method::JoinIndex => Cached::Ji(db.join_index()?),
+            Method::HybridHash => Cached::Hh(db.hybrid_hash()),
+        };
+        Ok(Engine { method, db, cached, s_dirty: false })
+    }
+
+    fn strategy(&mut self) -> &mut dyn JoinStrategy {
+        match &mut self.cached {
+            Cached::Mv(s) => s,
+            Cached::Ji(s) => s,
+            Cached::Hh(s) => s,
+        }
+    }
+
+    /// Mirror of the serve layer's shard apply: the strategy observes the
+    /// mutation *before* it lands in the stored relation.
+    fn apply_r(&mut self, m: &Mutation, sabotage: Sabotage) -> trijoin_common::Result<()> {
+        let skip_notify = sabotage == Sabotage::SkipPraFilter
+            && matches!(m, Mutation::Update(u) if !u.changes_join_attr());
+        if !skip_notify {
+            self.strategy().on_mutation(m)?;
+        }
+        self.db.apply_r_mutation(m)
+    }
+
+    fn apply_s(&mut self, m: &Mutation) -> trijoin_common::Result<()> {
+        self.db.s_mut()?.apply_mutation(m)?;
+        self.s_dirty = true;
+        Ok(())
+    }
+
+    /// Lazy cached-structure rebuild after S-side mutations, mirroring
+    /// `trijoin_serve::shard`: build fresh, then delete the stale file.
+    fn rebuild_if_dirty(&mut self) -> trijoin_common::Result<()> {
+        if !self.s_dirty {
+            return Ok(());
+        }
+        let stale = match &self.cached {
+            Cached::Mv(mv) => Some(mv.view_file()),
+            Cached::Ji(ji) => Some(ji.index_file()),
+            Cached::Hh(_) => None, // reads both base relations every query
+        };
+        if let Some(old) = stale {
+            self.cached = match self.method {
+                Method::MaterializedView => Cached::Mv(self.db.materialized_view()?),
+                Method::JoinIndex => Cached::Ji(self.db.join_index()?),
+                Method::HybridHash => unreachable!("hybrid-hash caches nothing"),
+            };
+            self.db.disk().delete_file(old);
+        }
+        self.s_dirty = false;
+        Ok(())
+    }
+
+    /// Derive and install this engine's fault plan for one `Fault` op.
+    ///
+    /// Scoping follows the recoverability contract of `tests/faults.rs`:
+    /// transient read faults may land anywhere (absorbed by retry in every
+    /// strategy), but poisoned reads are pinned to the strategy's *cached*
+    /// file — a poisoned base-relation page is unrecoverable by design.
+    fn install_faults(&mut self, fault_seed: u64) -> usize {
+        let stream = rng::derive_indexed(fault_seed, "check/engine", self.method as u64);
+        let mut rn = rng::seeded(stream);
+        let mut plan = FaultPlan::new();
+        for _ in 0..rn.gen_range(1u32..=2) {
+            plan = plan.fail_nth_read(None, rn.gen_range(0u64..32));
+        }
+        let cache_file = match &self.cached {
+            Cached::Mv(mv) => Some(mv.view_file()),
+            Cached::Ji(ji) => Some(ji.index_file()),
+            Cached::Hh(_) => None,
+        };
+        if let Some(file) = cache_file {
+            if rn.gen_bool(0.5) {
+                plan = plan.poison_nth_read(Some(file), rn.gen_range(0u64..8));
+            }
+        }
+        self.db.install_fault_plan(plan);
+        1
+    }
+
+    fn query(&mut self) -> trijoin_common::Result<Vec<ViewTuple>> {
+        let Engine { db, cached, .. } = self;
+        let strategy: &mut dyn JoinStrategy = match cached {
+            Cached::Mv(s) => s,
+            Cached::Ji(s) => s,
+            Cached::Hh(s) => s,
+        };
+        db.query(strategy)
+    }
+}
+
+/// One running server plus its session.
+struct Serving {
+    shards: usize,
+    _server: Server,
+    session: ClientSession,
+}
+
+/// Sort into the (r_sur, s_sur) total order every implementation reports
+/// in. Unlike `oracle::canonicalize` this never panics on duplicates —
+/// a buggy implementation emitting duplicate pairs must surface as a
+/// comparison failure, not a harness crash.
+fn canon(mut v: Vec<ViewTuple>) -> Vec<ViewTuple> {
+    v.sort_by_key(|t| (t.r_sur.0, t.s_sur.0));
+    v
+}
+
+/// Compare an implementation's answer against the oracle.
+fn diff_join(got: &[ViewTuple], want: &[ViewTuple]) -> Result<(), String> {
+    if got == want {
+        return Ok(());
+    }
+    if got.len() != want.len() {
+        return Err(format!("cardinality {} != oracle {}", got.len(), want.len()));
+    }
+    let (i, (g, w)) = got
+        .iter()
+        .zip(want)
+        .enumerate()
+        .find(|(_, (g, w))| g != w)
+        .expect("unequal vectors of equal length differ somewhere");
+    if g.r_sur == w.r_sur && g.s_sur == w.s_sur && g.key == w.key {
+        return Err(format!(
+            "pair {i} (r{}, s{}) has stale payloads (key {} matches)",
+            g.r_sur.0, g.s_sur.0, g.key
+        ));
+    }
+    Err(format!(
+        "pair {i}: got (r{}, s{}, key {}), oracle has (r{}, s{}, key {})",
+        g.r_sur.0, g.s_sur.0, g.key, w.r_sur.0, w.s_sur.0, w.key
+    ))
+}
+
+/// The replay state machine.
+struct Driver<'a> {
+    script: &'a Script,
+    cfg: &'a CheckConfig,
+    engines: Vec<Engine>,
+    servers: Vec<Serving>,
+    r_mirror: BTreeMap<u32, BaseTuple>,
+    s_mirror: BTreeMap<u32, BaseTuple>,
+    armed_faults: Vec<u64>,
+    outcome: CheckOutcome,
+}
+
+/// Either side of the schema, for the shared mutation-resolution path.
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    R,
+    S,
+}
+
+/// Build a boxed failure (free function: call sites hold field borrows).
+fn fail(op_index: usize, site: &str, message: String) -> Box<CheckFailure> {
+    Box::new(CheckFailure { op_index, site: site.to_string(), message })
+}
+
+impl Driver<'_> {
+    fn payload_tuple(&self, sur: u32, key: u64, tag: u64) -> Result<BaseTuple, String> {
+        BaseTuple::with_payload(
+            Surrogate(sur),
+            key,
+            &tag.to_le_bytes(),
+            self.script.spec.tuple_bytes,
+        )
+        .map_err(|e| format!("tuple_bytes {} too small: {e}", self.script.spec.tuple_bytes))
+    }
+
+    /// Resolve a pick against a mirror (BTreeMap order = surrogate order).
+    fn victim(mirror: &BTreeMap<u32, BaseTuple>, pick: u64) -> BaseTuple {
+        let idx = (pick % mirror.len() as u64) as usize;
+        mirror.values().nth(idx).expect("index is reduced modulo len").clone()
+    }
+
+    /// Turn a script op into a concrete mutation against one side, or
+    /// `None` when the op is deterministically inert.
+    fn resolve(&self, op: &ScriptOp) -> Result<Option<(Side, Mutation)>, String> {
+        let m = match *op {
+            ScriptOp::InsertR { sur, key, tag } => {
+                if self.r_mirror.contains_key(&sur) {
+                    return Ok(None);
+                }
+                (Side::R, Mutation::Insert(self.payload_tuple(sur, key, tag)?))
+            }
+            ScriptOp::InsertS { sur, key, tag } => {
+                if self.s_mirror.contains_key(&sur) {
+                    return Ok(None);
+                }
+                (Side::S, Mutation::Insert(self.payload_tuple(sur, key, tag)?))
+            }
+            ScriptOp::DeleteR { pick } => {
+                if self.r_mirror.len() <= 1 {
+                    return Ok(None);
+                }
+                (Side::R, Mutation::Delete(Self::victim(&self.r_mirror, pick)))
+            }
+            ScriptOp::DeleteS { pick } => {
+                if self.s_mirror.len() <= 1 {
+                    return Ok(None);
+                }
+                (Side::S, Mutation::Delete(Self::victim(&self.s_mirror, pick)))
+            }
+            ScriptOp::ModifyJoinR { pick, key, tag } => {
+                let old = Self::victim(&self.r_mirror, pick);
+                let new = self.payload_tuple(old.sur.0, key, tag)?;
+                (Side::R, Mutation::Update(Update { old, new }))
+            }
+            ScriptOp::ModifyJoinS { pick, key, tag } => {
+                let old = Self::victim(&self.s_mirror, pick);
+                let new = self.payload_tuple(old.sur.0, key, tag)?;
+                (Side::S, Mutation::Update(Update { old, new }))
+            }
+            ScriptOp::ModifyPayloadR { pick, tag } => {
+                let old = Self::victim(&self.r_mirror, pick);
+                let new = self.payload_tuple(old.sur.0, old.key, tag)?;
+                (Side::R, Mutation::Update(Update { old, new }))
+            }
+            ScriptOp::ModifyPayloadS { pick, tag } => {
+                let old = Self::victim(&self.s_mirror, pick);
+                let new = self.payload_tuple(old.sur.0, old.key, tag)?;
+                (Side::S, Mutation::Update(Update { old, new }))
+            }
+            ScriptOp::Checkpoint | ScriptOp::Fault { .. } | ScriptOp::Batch => {
+                unreachable!("control-flow ops are handled by the main loop")
+            }
+        };
+        Ok(Some(m))
+    }
+
+    fn apply(&mut self, i: usize, side: Side, m: &Mutation) -> Result<(), Box<CheckFailure>> {
+        let sabotage = self.cfg.sabotage;
+        for e in &mut self.engines {
+            let res = match side {
+                Side::R => e.apply_r(m, sabotage),
+                Side::S => e.apply_s(m),
+            };
+            res.map_err(|err| {
+                fail(i, &format!("engine:{}", e.method), format!("apply failed: {err}"))
+            })?;
+        }
+        for srv in &self.servers {
+            let res = match side {
+                Side::R => srv.session.update_r(m.clone()),
+                Side::S => srv.session.update_s(m.clone()),
+            };
+            res.map_err(|err| {
+                fail(i, &format!("serve:{}", srv.shards), format!("update failed: {err}"))
+            })?;
+        }
+        match (side, m) {
+            (Side::R, Mutation::Insert(t)) => {
+                self.r_mirror.insert(t.sur.0, t.clone());
+            }
+            (Side::R, Mutation::Delete(t)) => {
+                self.r_mirror.remove(&t.sur.0);
+            }
+            (Side::R, Mutation::Update(u)) => {
+                self.r_mirror.insert(u.new.sur.0, u.new.clone());
+            }
+            (Side::S, Mutation::Insert(t)) => {
+                self.s_mirror.insert(t.sur.0, t.clone());
+            }
+            (Side::S, Mutation::Delete(t)) => {
+                self.s_mirror.remove(&t.sur.0);
+            }
+            (Side::S, Mutation::Update(u)) => {
+                self.s_mirror.insert(u.new.sur.0, u.new.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush + verify every implementation against the oracle, with any
+    /// armed fault plans installed under the queries.
+    fn checkpoint(&mut self, i: usize) -> Result<(), Box<CheckFailure>> {
+        // 1. Drain server queues and warm caches *before* faults go in:
+        //    apply-phase damage is unrecoverable by design. The warm-up
+        //    query also forces the lazy S rebuild inside each shard.
+        let arming = !self.armed_faults.is_empty();
+        for srv in &self.servers {
+            srv.session
+                .flush()
+                .map_err(|e| fail(i, &format!("serve:{}", srv.shards), format!("flush: {e}")))?;
+            if arming {
+                srv.session.query(Method::MaterializedView).map_err(|e| {
+                    fail(i, &format!("serve:{}", srv.shards), format!("warm-up query: {e}"))
+                })?;
+            }
+        }
+        for e in &mut self.engines {
+            let site = format!("engine:{}", e.method);
+            e.rebuild_if_dirty().map_err(|err| fail(i, &site, format!("cache rebuild: {err}")))?;
+        }
+
+        // 2. Install armed fault plans (engines and one shard per server).
+        let armed = std::mem::take(&mut self.armed_faults);
+        for &fault_seed in &armed {
+            for e in &mut self.engines {
+                self.outcome.faults_installed += e.install_faults(fault_seed);
+            }
+            for srv in &self.servers {
+                let stream = rng::derive_indexed(fault_seed, "check/serve", srv.shards as u64);
+                let mut rn = rng::seeded(stream);
+                let shard = rn.gen_range(0u64..srv.shards as u64) as usize;
+                let mut plan = FaultPlan::new();
+                for _ in 0..rn.gen_range(1u32..=2) {
+                    plan = plan.fail_nth_read(None, rn.gen_range(0u64..32));
+                }
+                let site = format!("serve:{}", srv.shards);
+                srv.session
+                    .install_fault_plan(shard, plan)
+                    .map_err(|e| fail(i, &site, format!("install faults: {e}")))?;
+                if rn.gen_bool(0.5) {
+                    srv.session
+                        .poison_cached_view(shard)
+                        .map_err(|e| fail(i, &site, format!("poison view: {e}")))?;
+                }
+                self.outcome.faults_installed += 1;
+            }
+        }
+
+        // 3. Oracle answer from the mirrors.
+        let r: Vec<BaseTuple> = self.r_mirror.values().cloned().collect();
+        let s: Vec<BaseTuple> = self.s_mirror.values().cloned().collect();
+        let want = canon(oracle::join_tuples(&r, &s));
+
+        // 4. Every engine agrees.
+        for e in &mut self.engines {
+            let site = format!("engine:{}", e.method);
+            let got = e.query().map_err(|err| fail(i, &site, format!("query: {err}")))?;
+            diff_join(&canon(got), &want).map_err(|msg| fail(i, &site, msg))?;
+        }
+
+        // 5. Every server agrees, for every method.
+        for srv in &self.servers {
+            for method in Method::all() {
+                let site = format!("serve:{}:{}", srv.shards, method);
+                let got =
+                    srv.session.query(method).map_err(|e| fail(i, &site, format!("query: {e}")))?;
+                diff_join(&canon(got), &want).map_err(|msg| fail(i, &site, msg))?;
+            }
+        }
+
+        // 6. Cost-model metamorphic relations at the live workload point.
+        if self.cfg.model_checks {
+            self.model_checks(i)?;
+        }
+
+        // 7. Heal: clear residual faults so the next apply phase is clean.
+        if arming {
+            for e in &self.engines {
+                e.db.clear_faults();
+            }
+            for srv in &self.servers {
+                for shard in 0..srv.shards {
+                    let site = format!("serve:{}", srv.shards);
+                    srv.session
+                        .clear_faults(shard)
+                        .map_err(|e| fail(i, &site, format!("clear faults: {e}")))?;
+                }
+            }
+        }
+
+        self.outcome.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Metamorphic relations on the analytical model, evaluated at the
+    /// *current* measured workload: (a) deferring updates is never
+    /// cheaper than none, for every method; (b) predicted cost is
+    /// non-decreasing in `‖dR‖` for MV and HH (strict) and for JI up to
+    /// the small dips its page-access formulas are known to produce.
+    fn model_checks(&self, i: usize) -> Result<(), Box<CheckFailure>> {
+        let w0 = self.measured_workload(0.0);
+        let live = self.r_mirror.len() as f64;
+        let u1 = (live / 20.0).ceil().max(1.0);
+        let totals = |updates: f64| -> Vec<f64> {
+            let w = Workload { updates, ..w0.clone() };
+            all_costs(&self.cfg.params, &w).iter().map(|c| c.total()).collect()
+        };
+        let base = totals(0.0);
+        let at1 = totals(u1);
+        let at2 = totals(2.0 * u1);
+        for (k, method) in Method::all().into_iter().enumerate() {
+            let site = format!("model:{method}");
+            for (u, t) in [(u1, &at1), (2.0 * u1, &at2)] {
+                if t[k] < base[k] - 1e-9 {
+                    return Err(fail(
+                        i,
+                        &site,
+                        format!(
+                            "cost at ‖dR‖={u} is {} < {} at ‖dR‖=0 — deferred updates \
+                             must never be predicted cheaper than none",
+                            t[k], base[k]
+                        ),
+                    ));
+                }
+            }
+            // JI's Yao-style page-access terms are non-monotone by a
+            // hair (< 0.1% observed); MV and HH must be exactly monotone.
+            let slack = if method == Method::JoinIndex { at1[k] * 2e-3 } else { 1e-9 };
+            if at2[k] < at1[k] - slack {
+                return Err(fail(
+                    i,
+                    &site,
+                    format!(
+                        "cost decreased from {} at ‖dR‖={u1} to {} at ‖dR‖={} — predicted \
+                         I/O must be non-decreasing in the differential size",
+                        at1[k],
+                        at2[k],
+                        2.0 * u1
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Measure the live mirrors into a model workload (the analogue of
+    /// `GeneratedWorkload::measured`, over script-mutated relations).
+    fn measured_workload(&self, updates: f64) -> Workload {
+        let count_by_key = |mirror: &BTreeMap<u32, BaseTuple>| {
+            let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+            for t in mirror.values() {
+                *m.entry(t.key).or_insert(0) += 1;
+            }
+            m
+        };
+        let rk = count_by_key(&self.r_mirror);
+        let sk = count_by_key(&self.s_mirror);
+        let mut join_tuples = 0u64;
+        let mut matched_r = 0u64;
+        for (k, &rc) in &rk {
+            if let Some(&sc) = sk.get(k) {
+                join_tuples += rc * sc;
+                matched_r += rc;
+            }
+        }
+        let matched_s: u64 = sk.iter().filter(|(k, _)| rk.contains_key(*k)).map(|(_, &c)| c).sum();
+        let nr = self.r_mirror.len().max(1) as f64;
+        let ns = self.s_mirror.len().max(1) as f64;
+        Workload {
+            r_tuples: nr,
+            s_tuples: ns,
+            tr: self.script.spec.tuple_bytes as f64,
+            ts: self.script.spec.tuple_bytes as f64,
+            sr: matched_r as f64 / nr,
+            ss: matched_s as f64 / ns,
+            js: join_tuples as f64 / (nr * ns),
+            pra: 0.1,
+            updates,
+        }
+    }
+}
+
+/// Replay `script` under `cfg`. Returns the run statistics, or the first
+/// divergence as a structured failure.
+pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Box<CheckFailure>> {
+    let bad_input = |msg: String| {
+        Box::new(CheckFailure { op_index: 0, site: "script".to_string(), message: msg })
+    };
+    if script.spec.tuple_bytes < BaseTuple::HEADER_BYTES + 8 {
+        return Err(bad_input(format!(
+            "tuple_bytes {} cannot carry a tagged payload (need ≥ {})",
+            script.spec.tuple_bytes,
+            BaseTuple::HEADER_BYTES + 8
+        )));
+    }
+    // The initial relations come from the core generator, so scripts
+    // start from the same workload family every other suite uses.
+    let spec = WorkloadSpec {
+        r_tuples: script.spec.r_tuples,
+        s_tuples: script.spec.s_tuples,
+        tuple_bytes: script.spec.tuple_bytes,
+        sr: script.spec.sr,
+        group_size: script.spec.group_size,
+        pra: 0.0,
+        update_rate: 0.0,
+        seed: script.spec.seed,
+    };
+    let generated = spec.generate();
+
+    let mut engines = Vec::with_capacity(3);
+    for method in Method::all() {
+        engines.push(
+            Engine::new(method, &cfg.params, generated.r.clone(), generated.s.clone())
+                .map_err(|e| bad_input(format!("engine {method} construction: {e}")))?,
+        );
+    }
+    let mut servers = Vec::with_capacity(script.shard_counts.len());
+    for &shards in &script.shard_counts {
+        let serve_cfg = ServeConfig {
+            params: cfg.params.clone(),
+            shards,
+            batch: script.batch,
+            seed: rng::derive_indexed(script.spec.seed, "check/serve", shards as u64),
+        };
+        let server = Server::start(&serve_cfg, generated.r.clone(), generated.s.clone())
+            .map_err(|e| bad_input(format!("server({shards} shards) start: {e}")))?;
+        let session = server.session();
+        servers.push(Serving { shards, _server: server, session });
+    }
+
+    let mut driver = Driver {
+        script,
+        cfg,
+        engines,
+        servers,
+        r_mirror: generated.r.iter().map(|t| (t.sur.0, t.clone())).collect(),
+        s_mirror: generated.s.iter().map(|t| (t.sur.0, t.clone())).collect(),
+        armed_faults: Vec::new(),
+        outcome: CheckOutcome::default(),
+    };
+
+    for (i, op) in script.ops.iter().enumerate() {
+        match op {
+            ScriptOp::Checkpoint => driver.checkpoint(i)?,
+            ScriptOp::Fault { seed } => driver.armed_faults.push(*seed),
+            ScriptOp::Batch => {
+                for srv in &driver.servers {
+                    srv.session.flush().map_err(|e| {
+                        fail(i, &format!("serve:{}", srv.shards), format!("flush: {e}"))
+                    })?;
+                }
+            }
+            mutation => {
+                let resolved = driver.resolve(mutation).map_err(|msg| fail(i, "script", msg))?;
+                match resolved {
+                    Some((side, m)) => {
+                        driver.apply(i, side, &m)?;
+                        driver.outcome.applied += 1;
+                    }
+                    None => driver.outcome.skipped += 1,
+                }
+            }
+        }
+    }
+    Ok(driver.outcome)
+}

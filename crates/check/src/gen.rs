@@ -1,0 +1,219 @@
+//! Seeded workload-script generation.
+//!
+//! Every random decision derives from one root seed through the
+//! workspace seed tree ([`trijoin_common::rng`]): the initial relations
+//! from `derive(seed, "check/workload")`, the op stream from
+//! `derive(seed, "check/ops")`, and the `k`-th fault plan from
+//! `derive_indexed(seed, "check/fault", k)` — so `generate` is a pure
+//! function of its configuration and two runs of `trijoin check --seed S`
+//! explore the identical script.
+
+use rand::prelude::*;
+use trijoin_common::{rng, Script, ScriptOp, ScriptSpec};
+
+/// Base of the generator's unmatched-key range. Far above the matched
+/// group keys (small integers) and distinct per emitted op, so removing
+/// ops during shrinking never changes which keys later ops use.
+const UNMATCHED_BASE: u64 = 1 << 41;
+
+/// Configuration of one generated script.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Root seed of the script's seed tree.
+    pub seed: u64,
+    /// Number of ops to emit (checkpoints included).
+    pub ops: usize,
+    /// `‖R‖` of the initial relations.
+    pub r_tuples: u32,
+    /// `‖S‖` of the initial relations.
+    pub s_tuples: u32,
+    /// Serialized tuple size.
+    pub tuple_bytes: usize,
+    /// Initial semijoin selectivity.
+    pub sr: f64,
+    /// Join partners per matched tuple.
+    pub group_size: u32,
+    /// Serving-layer shard counts to replay against.
+    pub shard_counts: Vec<usize>,
+    /// Admission batch size for every server.
+    pub batch: usize,
+    /// Probability (in percent) that an op slot becomes a fault injection.
+    pub fault_pct: u32,
+}
+
+impl GenConfig {
+    /// Harness defaults: small relations (fast replay, still non-trivial
+    /// joins — 6 matched groups of 4×4 partners), shard counts 1/2/4.
+    pub fn new(seed: u64, ops: usize) -> GenConfig {
+        GenConfig {
+            seed,
+            ops,
+            r_tuples: 96,
+            s_tuples: 80,
+            tuple_bytes: 64,
+            sr: 0.25,
+            group_size: 4,
+            shard_counts: vec![1, 2, 4],
+            batch: 8,
+            fault_pct: 4,
+        }
+    }
+}
+
+/// Emit a script from the seed tree under `cfg`.
+pub fn generate(cfg: &GenConfig) -> Script {
+    let mut rn = rng::seeded(rng::derive(cfg.seed, "check/ops"));
+    let groups =
+        (((cfg.sr * cfg.r_tuples as f64) / cfg.group_size.max(1) as f64).round() as u64).max(1);
+
+    let mut ops: Vec<ScriptOp> = Vec::with_capacity(cfg.ops + 1);
+    // Fresh surrogates and unmatched keys come from generator-owned
+    // counters: each emitted op owns its values, so any subsequence of
+    // the script (a shrinking candidate) still inserts distinct tuples.
+    let mut next_sur_r = cfg.r_tuples;
+    let mut next_sur_s = cfg.s_tuples;
+    let mut next_unmatched = UNMATCHED_BASE;
+    let mut next_fault = 0u64;
+    let mut since_checkpoint = 0usize;
+
+    let mut tag = 0u64;
+    while ops.len() < cfg.ops {
+        // Never drift too far from a checkpoint: long unchecked stretches
+        // cost coverage (a divergence is only observed at a checkpoint).
+        if since_checkpoint >= 12 {
+            ops.push(ScriptOp::Checkpoint);
+            since_checkpoint = 0;
+            continue;
+        }
+        since_checkpoint += 1;
+        tag += 1;
+        let pick = rn.gen_range(0u64..1 << 32);
+        // A 60/40 matched/unmatched key split keeps the join populated
+        // while still exercising the no-partner paths.
+        let key = if rn.gen_bool(0.6) {
+            rn.gen_range(0..groups)
+        } else {
+            next_unmatched += 1;
+            next_unmatched
+        };
+        let roll = rn.gen_range(0u32..100);
+        let op = match roll {
+            // R-side traffic dominates, matching the paper's model.
+            0..=17 => {
+                next_sur_r += 1;
+                ScriptOp::InsertR { sur: next_sur_r, key, tag }
+            }
+            18..=29 => ScriptOp::DeleteR { pick },
+            30..=47 => ScriptOp::ModifyJoinR { pick, key, tag },
+            48..=59 => ScriptOp::ModifyPayloadR { pick, tag },
+            // S-side traffic exercises the lazy cached-structure rebuild.
+            60..=67 => {
+                next_sur_s += 1;
+                ScriptOp::InsertS { sur: next_sur_s, key, tag }
+            }
+            68..=73 => ScriptOp::DeleteS { pick },
+            74..=79 => ScriptOp::ModifyJoinS { pick, key, tag },
+            80..=83 => ScriptOp::ModifyPayloadS { pick, tag },
+            84..=91 => {
+                since_checkpoint = 0;
+                ScriptOp::Checkpoint
+            }
+            92..=95 => ScriptOp::Batch,
+            _ => {
+                if rn.gen_range(0u32..100) < cfg.fault_pct * 25 {
+                    let seed = rng::derive_indexed(cfg.seed, "check/fault", next_fault);
+                    next_fault += 1;
+                    ScriptOp::Fault { seed }
+                } else {
+                    ScriptOp::Batch
+                }
+            }
+        };
+        ops.push(op);
+    }
+    // Every script observes its final state.
+    if !matches!(ops.last(), Some(ScriptOp::Checkpoint)) {
+        ops.push(ScriptOp::Checkpoint);
+    }
+
+    Script {
+        name: format!("seed-{}", cfg.seed),
+        spec: ScriptSpec {
+            r_tuples: cfg.r_tuples,
+            s_tuples: cfg.s_tuples,
+            tuple_bytes: cfg.tuple_bytes,
+            sr: cfg.sr,
+            group_size: cfg.group_size,
+            seed: rng::derive(cfg.seed, "check/workload"),
+        },
+        shard_counts: cfg.shard_counts.clone(),
+        batch: cfg.batch,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::new(7, 120);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        let c = generate(&GenConfig::new(8, 120));
+        assert_ne!(a.ops, c.ops, "different seeds explore different scripts");
+    }
+
+    #[test]
+    fn scripts_end_with_a_checkpoint_and_stay_checked() {
+        for seed in 0..20 {
+            let script = generate(&GenConfig::new(seed, 100));
+            assert!(matches!(script.ops.last(), Some(ScriptOp::Checkpoint)));
+            assert!(script.checkpoints() >= 100 / 13, "seed {seed} under-checkpoints");
+            // No stretch of more than 12 mutations runs unobserved.
+            let mut streak = 0;
+            for op in &script.ops {
+                if matches!(op, ScriptOp::Checkpoint) {
+                    streak = 0;
+                } else {
+                    streak += 1;
+                    assert!(streak <= 12, "seed {seed} has an unchecked stretch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inserted_surrogates_are_unique() {
+        let script = generate(&GenConfig::new(3, 400));
+        let mut r_surs = Vec::new();
+        let mut s_surs = Vec::new();
+        for op in &script.ops {
+            match op {
+                ScriptOp::InsertR { sur, .. } => r_surs.push(*sur),
+                ScriptOp::InsertS { sur, .. } => s_surs.push(*sur),
+                _ => {}
+            }
+        }
+        let (rn, sn) = (r_surs.len(), s_surs.len());
+        r_surs.sort_unstable();
+        r_surs.dedup();
+        s_surs.sort_unstable();
+        s_surs.dedup();
+        assert_eq!(r_surs.len(), rn);
+        assert_eq!(s_surs.len(), sn);
+        assert!(r_surs.iter().all(|&s| s >= 96), "fresh surrogates sit above the initial ones");
+    }
+
+    #[test]
+    fn op_mix_covers_every_kind() {
+        // One long script should exercise the full grammar.
+        let script = generate(&GenConfig::new(11, 2000));
+        let mut kinds: Vec<&str> = script.ops.iter().map(|o| o.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert!(kinds.len() >= 10, "only saw {kinds:?}");
+    }
+}

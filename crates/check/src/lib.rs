@@ -1,0 +1,33 @@
+//! `trijoin-check`: a deterministic simulation harness in the
+//! FoundationDB style, sitting at the top of the crate stack.
+//!
+//! The paper's entire argument is an equivalence: the materialized view
+//! (§3.2), the join index (§3.3), and hybrid-hash (§3.4) must compute the
+//! *same* `R ⋈ S` under any interleaving of insertions, deletions, and
+//! attribute updates. The existing suites check hand-picked scenarios;
+//! this crate explores the interleaving × fault × shard-count space
+//! automatically:
+//!
+//! - [`gen`] turns a seed into a typed workload *script*
+//!   ([`trijoin_common::Script`]) via the workspace seed tree;
+//! - [`driver`] replays one script differentially against all three
+//!   strategies, the brute-force oracle, and the sharded serving layer
+//!   at every configured shard count, checking answer equivalence (and
+//!   §8 recovery equivalence under injected faults) at every checkpoint,
+//!   plus metamorphic relations on the analytical cost model;
+//! - [`shrink`] delta-debugs any failing script down to a 1-minimal op
+//!   sequence, which the `trijoin` CLI serializes as a JSON repro file
+//!   replayable with `trijoin repro <file>`.
+//!
+//! Determinism is end-to-end: `trijoin check --seed S --ops K` generates,
+//! replays, and (on failure) shrinks the identical script on every
+//! machine, and the committed corpus under `tests/corpus/` keeps a set of
+//! known-good scripts replaying in CI.
+
+pub mod driver;
+pub mod gen;
+pub mod shrink;
+
+pub use driver::{run_script, CheckConfig, CheckFailure, CheckOutcome, Sabotage};
+pub use gen::{generate, GenConfig};
+pub use shrink::{shrink, ShrinkResult};

@@ -1,0 +1,109 @@
+//! Delta-debugging minimization of failing scripts.
+//!
+//! Classic `ddmin` over the op sequence: try removing chunks of ops
+//! (coarse to fine), keeping any candidate that still fails, until the
+//! script is 1-minimal — no single op can be removed without the failure
+//! disappearing. Pick-based op addressing (see [`trijoin_common::script`])
+//! guarantees every subsequence is a well-formed script, so the shrinker
+//! never has to repair references.
+//!
+//! The driver returns failures as values (no panics), which keeps each
+//! probe cheap; a run cap bounds worst-case shrink time.
+
+use trijoin_common::{Script, ScriptOp};
+
+use crate::driver::{run_script, CheckConfig, CheckFailure};
+
+/// Result of a successful minimization.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The 1-minimal failing script.
+    pub script: Script,
+    /// The failure the minimal script reproduces.
+    pub failure: CheckFailure,
+    /// Driver probes spent.
+    pub runs: usize,
+}
+
+/// Upper bound on driver probes during one minimization.
+const MAX_RUNS: usize = 400;
+
+struct Shrinker<'a> {
+    template: &'a Script,
+    cfg: &'a CheckConfig,
+    runs: usize,
+}
+
+impl Shrinker<'_> {
+    /// Does this op subsequence still fail? `None` once the budget is
+    /// spent (treated as "does not fail": keeps the current candidate).
+    fn fails(&mut self, ops: &[ScriptOp]) -> Option<CheckFailure> {
+        if self.runs >= MAX_RUNS {
+            return None;
+        }
+        self.runs += 1;
+        let candidate = Script { ops: ops.to_vec(), ..self.template.clone() };
+        run_script(&candidate, self.cfg).err().map(|b| *b)
+    }
+}
+
+/// Minimize a failing script. Returns `None` when `script` does not fail
+/// under `cfg` (nothing to shrink).
+pub fn shrink(script: &Script, cfg: &CheckConfig) -> Option<ShrinkResult> {
+    let mut shrinker = Shrinker { template: script, cfg, runs: 0 };
+    let mut failure = shrinker.fails(&script.ops)?;
+    let mut ops = script.ops.clone();
+
+    // ddmin: remove ever-finer chunks while the failure persists.
+    let mut chunks = 2usize;
+    while ops.len() > 1 && chunks <= ops.len() && shrinker.runs < MAX_RUNS {
+        let chunk_len = ops.len().div_ceil(chunks);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < ops.len() {
+            let end = (start + chunk_len).min(ops.len());
+            let candidate: Vec<ScriptOp> =
+                ops[..start].iter().chain(&ops[end..]).cloned().collect();
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            if let Some(f) = shrinker.fails(&candidate) {
+                ops = candidate;
+                failure = f;
+                reduced = true;
+                // Stay at this granularity; chunk boundaries shifted.
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if chunk_len == 1 {
+                break; // 1-minimal
+            }
+            chunks = (chunks * 2).min(ops.len());
+        } else {
+            chunks = chunks.max(2).min(ops.len().max(2));
+        }
+    }
+
+    // Final singles pass: ddmin with a run cap can stop early, and the
+    // repro quality contract ("≤ 15 ops") is worth a linear sweep.
+    let mut i = 0;
+    while i < ops.len() && ops.len() > 1 && shrinker.runs < MAX_RUNS {
+        let mut candidate = ops.clone();
+        candidate.remove(i);
+        if let Some(f) = shrinker.fails(&candidate) {
+            ops = candidate;
+            failure = f;
+        } else {
+            i += 1;
+        }
+    }
+
+    Some(ShrinkResult {
+        script: Script { name: format!("shrunk({})", script.name), ops, ..script.clone() },
+        failure,
+        runs: shrinker.runs,
+    })
+}

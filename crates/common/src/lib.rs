@@ -20,6 +20,7 @@ pub mod json;
 pub mod metrics;
 pub mod params;
 pub mod rng;
+pub mod script;
 pub mod trace;
 pub mod types;
 
@@ -30,5 +31,6 @@ pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::Json;
 pub use metrics::{CounterId, Histogram, Metrics, MetricsSnapshot};
 pub use params::SystemParams;
+pub use script::{Script, ScriptOp, ScriptSpec};
 pub use trace::{ModelDelta, RunReport, ShardedRunReport};
 pub use types::{shard_of_key, BaseTuple, JiEntry, JoinKey, Surrogate, ViewTuple};

@@ -38,6 +38,7 @@ pub mod router;
 pub mod server;
 pub mod shard;
 pub mod traffic;
+pub mod validate;
 
 pub use config::ServeConfig;
 pub use server::{ClientSession, Request, Response, Server};

@@ -1,0 +1,268 @@
+//! Report-file validation: the library behind `trijoin report-validate`.
+//!
+//! The CI schema gate feeds every emitted JSON artifact through these
+//! functions. The file's shape is *sniffed*: a sharded serve report
+//! (`shards` + `rollup`), a bench results file (`figure` + `rows`), or a
+//! plain run report — each must deserialize losslessly into its schema,
+//! and cross-field invariants (rollup counter sums, the `serve.`
+//! namespace reservation, shard-count-invariant checksums) are
+//! re-verified from the raw JSON. Every rejection names the file, the
+//! offending field, and what was expected, because a CI gate that says
+//! "invalid" without saying *where* just moves the debugging to a human.
+//!
+//! Functions return the success summary as a `String` (the CLI prints
+//! it) so every path is unit-testable without capturing stdout.
+
+use trijoin_common::{Json, RunReport, ShardedRunReport};
+
+/// Validate the report file at `path` (reads, parses, sniffs, checks).
+pub fn validate_report_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    validate_report_json(path, &json)
+}
+
+/// Validate already-parsed JSON, dispatching on its sniffed schema.
+pub fn validate_report_json(path: &str, json: &Json) -> Result<String, String> {
+    if json.get("shards").is_some() && json.get("rollup").is_some() {
+        return validate_sharded_report(path, json);
+    }
+    if json.get("figure").is_some() && json.get("rows").is_some() {
+        return validate_bench_results(path, json);
+    }
+    validate_run_report(path, json)
+}
+
+/// Validate a plain run report (`trijoin run --report`).
+pub fn validate_run_report(path: &str, json: &Json) -> Result<String, String> {
+    for key in ["params", "spans", "metrics", "events"] {
+        if json.get(key).is_none() {
+            return Err(format!("{path}: run report is missing top-level key {key:?}"));
+        }
+    }
+    let report = RunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
+    let mut summary = format!(
+        "{path}: ok — report {:?} with {} spans, {} metrics counters, {} events, {} deltas",
+        report.name,
+        report.spans.len(),
+        report.metrics.counters.len(),
+        report.events.len(),
+        report.deltas.len()
+    );
+    if report.metrics.counter("pool.hits") + report.metrics.counter("pool.misses") > 0 {
+        summary.push_str(&format!(
+            "\n{path}: pool hit rate {:.1}%, eviction rate {:.1}%",
+            report.pool_hit_rate() * 100.0,
+            report.pool_eviction_rate() * 100.0
+        ));
+    }
+    Ok(summary)
+}
+
+/// Validate a sharded serve report: schema round-trip plus the rollup
+/// invariant — every counter outside the scheduler-only `serve.`
+/// namespace must be the exact sum of the per-shard counters.
+pub fn validate_sharded_report(path: &str, json: &Json) -> Result<String, String> {
+    let report =
+        ShardedRunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
+    if report.shards.is_empty() {
+        return Err(format!("{path}: sharded report carries no shards"));
+    }
+    for shard in &report.shards {
+        for (key, _) in &shard.metrics.counters {
+            if key.starts_with("serve.") {
+                return Err(format!(
+                    "{path}: shard {:?} uses the scheduler-only namespace: {key}",
+                    shard.name
+                ));
+            }
+        }
+    }
+    for (key, value) in &report.rollup.metrics.counters {
+        if key.starts_with("serve.") {
+            continue;
+        }
+        let sum: u64 = report.shards.iter().map(|s| s.metrics.counter(key)).sum();
+        if *value != sum {
+            return Err(format!(
+                "{path}: rollup counter {key} = {value} but the shards sum to {sum}"
+            ));
+        }
+    }
+    Ok(format!(
+        "{path}: ok — sharded report {:?} with {} shards, {} rollup counters, {} rollup events",
+        report.name,
+        report.shards.len(),
+        report.rollup.metrics.counters.len(),
+        report.rollup.events.len()
+    ))
+}
+
+/// Validate a bench results file (`figure` + non-empty `rows` of objects);
+/// `serve` results additionally carry the scaling columns and a result
+/// checksum that must be identical on every row (the answer must not
+/// depend on the shard count).
+pub fn validate_bench_results(path: &str, json: &Json) -> Result<String, String> {
+    let figure = json
+        .get("figure")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: \"figure\" must be a string"))?
+        .to_string();
+    let rows = json
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: \"rows\" must be an array"))?;
+    if rows.is_empty() {
+        return Err(format!("{path}: \"rows\" is empty"));
+    }
+    if figure == "wallclock" {
+        for (i, row) in rows.iter().enumerate() {
+            if row.get("bench").and_then(Json::as_str).is_none() {
+                return Err(format!("{path}: wallclock row {i} is missing string \"bench\""));
+            }
+            for key in ["secs", "iters"] {
+                match row.get(key).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "{path}: wallclock row {i} needs positive numeric {key:?}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if figure == "serve" {
+        let mut checksums = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for key in ["shards", "clients", "queries", "updates", "qps", "p50_us", "p99_us"] {
+                if row.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!("{path}: serve row {i} is missing numeric {key:?}"));
+                }
+            }
+            let checksum = row
+                .get("checksum")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| {
+                    format!("{path}: serve row {i} is missing a hex \"checksum\" string")
+                })?;
+            checksums.push(checksum);
+        }
+        if checksums.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!(
+                "{path}: result checksums differ across shard counts: {checksums:?}"
+            ));
+        }
+    }
+    Ok(format!("{path}: ok — bench results {figure:?} with {} rows", rows.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal well-formed serve bench row.
+    fn serve_row(checksum: &str) -> Json {
+        let mut row = Json::obj();
+        for key in ["shards", "clients", "queries", "updates", "qps", "p50_us", "p99_us"] {
+            row = row.set(key, 1.0);
+        }
+        row.set("checksum", checksum)
+    }
+
+    #[test]
+    fn rejects_unparseable_files_with_the_path_in_the_message() {
+        let err = validate_report_file("/nonexistent/report.json").unwrap_err();
+        assert!(err.starts_with("/nonexistent/report.json:"), "{err}");
+
+        let dir = std::env::temp_dir().join("trijoin-validate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = validate_report_file(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("invalid JSON"), "{err}");
+    }
+
+    #[test]
+    fn run_report_missing_top_level_keys_is_named() {
+        for key in ["params", "spans", "metrics", "events"] {
+            let mut json = Json::obj();
+            for k in ["params", "spans", "metrics", "events"] {
+                if k != key {
+                    json = json.set(k, Json::obj());
+                }
+            }
+            let err = validate_report_json("r.json", &json).unwrap_err();
+            assert!(err.contains(key), "dropping {key} must be reported: {err}");
+            assert!(err.contains("r.json"), "{err}");
+        }
+    }
+
+    #[test]
+    fn run_report_schema_drift_is_rejected() {
+        // All keys present, but none hold the right shapes.
+        let json = Json::obj()
+            .set("params", Json::Arr(vec![]))
+            .set("spans", "nope")
+            .set("metrics", Json::obj())
+            .set("events", Json::obj());
+        let err = validate_report_json("r.json", &json).unwrap_err();
+        assert!(err.contains("schema drift"), "{err}");
+    }
+
+    #[test]
+    fn sharded_report_with_no_shards_is_rejected() {
+        let json = Json::obj()
+            .set("name", "serve")
+            .set("shards", Json::Arr(vec![]))
+            .set("rollup", Json::obj());
+        let err = validate_report_json("s.json", &json).unwrap_err();
+        // Either the schema round-trip or the emptiness check fires; both
+        // must name the file.
+        assert!(err.starts_with("s.json:"), "{err}");
+    }
+
+    #[test]
+    fn bench_results_error_paths() {
+        let base = Json::obj().set("figure", "serve");
+        let err = validate_report_json("b.json", &base.clone().set("rows", "x")).unwrap_err();
+        assert!(err.contains("\"rows\" must be an array"), "{err}");
+
+        let err = validate_report_json("b.json", &base.clone().set("rows", Json::Arr(vec![])))
+            .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+
+        // A serve row missing its checksum.
+        let mut row = serve_row("ff");
+        if let Json::Obj(members) = &mut row {
+            members.retain(|(k, _)| k != "checksum");
+        }
+        let err = validate_report_json("b.json", &base.clone().set("rows", Json::Arr(vec![row])))
+            .unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+
+        // Checksums must be shard-count-invariant.
+        let rows = Json::Arr(vec![serve_row("aa"), serve_row("bb")]);
+        let err = validate_report_json("b.json", &base.clone().set("rows", rows)).unwrap_err();
+        assert!(err.contains("checksums differ"), "{err}");
+
+        // And a well-formed file passes.
+        let rows = Json::Arr(vec![serve_row("aa"), serve_row("aa")]);
+        let ok = validate_report_json("b.json", &base.set("rows", rows)).unwrap();
+        assert!(ok.contains("ok"), "{ok}");
+    }
+
+    #[test]
+    fn wallclock_rows_need_positive_numbers() {
+        let base = Json::obj().set("figure", "wallclock");
+        let row = Json::obj().set("bench", "mv_cycle").set("secs", 0.0).set("iters", 3u64);
+        let err = validate_report_json("w.json", &base.clone().set("rows", Json::Arr(vec![row])))
+            .unwrap_err();
+        assert!(err.contains("secs"), "{err}");
+
+        let row = Json::obj().set("bench", "mv_cycle").set("secs", 0.5).set("iters", 3u64);
+        let ok = validate_report_json("w.json", &base.set("rows", Json::Arr(vec![row]))).unwrap();
+        assert!(ok.contains("ok"), "{ok}");
+    }
+}

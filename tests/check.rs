@@ -1,0 +1,137 @@
+//! Simulation-harness self-tests: the committed corpus replays clean,
+//! and a deliberately planted maintenance bug is caught, minimized to a
+//! handful of ops, and round-trips through the JSON repro format.
+//!
+//! These tests are the harness's own acceptance gate — everything else
+//! (`trijoin check`, the CI corpus gate, `trijoin repro`) is a thin CLI
+//! wrapper over the same `run_script`/`shrink` calls exercised here.
+
+use std::path::PathBuf;
+
+use trijoin_check::{generate, run_script, shrink, CheckConfig, GenConfig, Sabotage};
+use trijoin_common::{Script, ScriptOp, ScriptSpec};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Every committed corpus script must replay with MV ≡ JI ≡ HH ≡ oracle
+/// ≡ sharded-serve at every checkpoint, faults included.
+#[test]
+fn corpus_scripts_pass() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 3, "corpus too small: {paths:?}");
+
+    let cfg = CheckConfig::default();
+    let mut checkpoints = 0;
+    let mut faults = 0;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).expect("corpus file is readable");
+        let script =
+            Script::from_json_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome =
+            run_script(&script, &cfg).unwrap_or_else(|f| panic!("{}: {f}", path.display()));
+        assert!(outcome.checkpoints > 0, "{}: no checkpoints verified", path.display());
+        checkpoints += outcome.checkpoints;
+        faults += outcome.faults_installed;
+    }
+    // The corpus as a whole must exercise the fault-recovery path, or the
+    // §8 half of the equivalence claim goes untested.
+    assert!(faults > 0, "corpus installs no fault plans");
+    assert!(checkpoints >= 20, "corpus only verifies {checkpoints} checkpoints");
+}
+
+/// The acceptance criterion from the issue: plant a bug (payload-only
+/// updates not forwarded to the cached structures — the `Pr_A` filter
+/// applied where it must not be), and the harness must catch it and
+/// shrink the repro to ≤ 15 ops.
+#[test]
+fn planted_pra_bug_is_caught_and_shrunk() {
+    let script = generate(&GenConfig::new(0, 40));
+    let sabotaged = CheckConfig { sabotage: Sabotage::SkipPraFilter, ..CheckConfig::default() };
+
+    let failure = run_script(&script, &sabotaged).expect_err("planted bug must be caught");
+    assert!(
+        failure.message.contains("stale payloads"),
+        "the bug manifests as stale view payloads, got: {failure}"
+    );
+
+    let result = shrink(&script, &sabotaged).expect("a failing script shrinks");
+    let shrunk = &result.script;
+    assert!(shrunk.ops.len() <= 15, "repro has {} ops (> 15): {:?}", shrunk.ops.len(), shrunk.ops);
+    assert!(shrunk.ops.len() < script.ops.len(), "shrinking removed nothing");
+
+    // 1-minimality is what ddmin promises; spot-check the endpoints: the
+    // shrunk script still fails, and relief of the sabotage clears it —
+    // so the repro isolates the planted bug, not some harness artifact.
+    run_script(shrunk, &sabotaged).expect_err("shrunk repro still fails");
+    run_script(shrunk, &CheckConfig::default())
+        .expect("shrunk repro passes without the planted bug");
+
+    // The repro a user replays with `trijoin repro` is the JSON file, so
+    // the failure must survive the round-trip byte-for-byte.
+    let reloaded = Script::from_json_str(&shrunk.to_json_string()).expect("repro parses");
+    assert_eq!(&reloaded, shrunk, "JSON round-trip changed the script");
+    let replayed = run_script(&reloaded, &sabotaged).expect_err("reloaded repro still fails");
+    assert_eq!(replayed.site, result.failure.site);
+}
+
+/// Same seed, same script, same replay statistics — determinism is the
+/// property that makes a repro file worth committing.
+#[test]
+fn generated_scripts_replay_deterministically() {
+    let cfg = GenConfig::new(7, 60);
+    let (a, b) = (generate(&cfg), generate(&cfg));
+    assert_eq!(a, b);
+    let check = CheckConfig::default();
+    let oa = run_script(&a, &check).expect("seed 7 replays clean");
+    let ob = run_script(&b, &check).expect("seed 7 replays clean");
+    assert_eq!(oa, ob);
+}
+
+/// Shrinking is only defined for failing scripts.
+#[test]
+fn shrink_of_a_passing_script_is_none() {
+    let script = generate(&GenConfig::new(7, 30));
+    assert!(shrink(&script, &CheckConfig::default()).is_none());
+}
+
+/// Deterministically inert ops (duplicate-surrogate inserts, deletes at
+/// the one-tuple floor) are skipped, not applied — the rule that makes
+/// every shrinking subsequence a well-formed script.
+#[test]
+fn inert_ops_are_skipped_deterministically() {
+    let script = Script {
+        name: "inert-ops".to_string(),
+        spec: ScriptSpec {
+            r_tuples: 4,
+            s_tuples: 4,
+            tuple_bytes: 64,
+            sr: 1.0,
+            group_size: 2,
+            seed: 99,
+        },
+        shard_counts: vec![1, 2],
+        batch: 4,
+        ops: vec![
+            // Initial surrogates are 0..4 on each side: sur 0 is live.
+            ScriptOp::InsertR { sur: 0, key: 1, tag: 7 },
+            ScriptOp::InsertR { sur: 100, key: 1, tag: 8 },
+            // Drain S to its one-tuple floor; the fourth delete is inert.
+            ScriptOp::DeleteS { pick: 0 },
+            ScriptOp::DeleteS { pick: 0 },
+            ScriptOp::DeleteS { pick: 0 },
+            ScriptOp::DeleteS { pick: 0 },
+            ScriptOp::Checkpoint,
+        ],
+    };
+    let outcome = run_script(&script, &CheckConfig::default()).expect("replays clean");
+    assert_eq!(outcome.applied, 4, "one insert and three deletes land");
+    assert_eq!(outcome.skipped, 2, "duplicate insert and floor delete are inert");
+    assert_eq!(outcome.checkpoints, 1);
+}
