@@ -40,6 +40,17 @@ for shards in 1 4; do
     cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
     rm -f "$report"
 done
+# Sustained-load smoke: a fixed update+query stream pushed through a
+# tiny submission ring (capacity 2) at four shards, so every enqueue
+# contends for a slot and the backpressure path actually runs. Every
+# answer is checked against the oracle inside the command, and the
+# emitted report must carry the serve.ring.* counters and latency
+# gauges that report-validate requires of sharded reports.
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    serve --shards 4 --clients 4 --batch 8 --ring 2 --queries 8 \
+    --scale 300 --report "$report" > /dev/null
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
+rm -f "$report"
 # The committed scaling results must carry the serve schema and a result
 # checksum that is identical across shard counts.
 cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results/serve.json

@@ -69,10 +69,11 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for shards in [1usize, 2, 4, 8] {
-        let config = ServeConfig { params: params.clone(), shards, batch: BATCH, seed: SEED };
+        let config =
+            ServeConfig { batch: BATCH, seed: SEED, ..ServeConfig::new(params.clone(), shards) };
         let server = Server::start(&config, gen.r.clone(), gen.s.clone())
             .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
-        let session = server.session();
+        let session = server.session().expect("live server");
         let mut traffic = ClientTraffic::split(&gen, &config, CLIENTS);
 
         let mut latencies_us: Vec<u64> = Vec::with_capacity(queries as usize);

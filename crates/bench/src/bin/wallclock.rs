@@ -57,12 +57,27 @@ struct Scale {
     cycle_iters: u64,
     serve_tuples: u32,
     serve_queries: u64,
+    /// Minimum timed duration of each serve loop: the loop keeps cycling
+    /// (in whole update-epoch + query rounds) until at least this much
+    /// wall time has elapsed, so one OS scheduling hiccup cannot dominate
+    /// the reported qps. Zero in smoke runs — their timings are not read.
+    serve_min_secs: f64,
 }
 
-const FULL: Scale =
-    Scale { cycle_tuples: 4_000, cycle_iters: 20, serve_tuples: 3_000, serve_queries: 24 };
-const SMOKE: Scale =
-    Scale { cycle_tuples: 600, cycle_iters: 1, serve_tuples: 300, serve_queries: 2 };
+const FULL: Scale = Scale {
+    cycle_tuples: 4_000,
+    cycle_iters: 20,
+    serve_tuples: 3_000,
+    serve_queries: 24,
+    serve_min_secs: 1.0,
+};
+const SMOKE: Scale = Scale {
+    cycle_tuples: 600,
+    cycle_iters: 1,
+    serve_tuples: 300,
+    serve_queries: 2,
+    serve_min_secs: 0.0,
+};
 
 /// The Figure-5 workload shape (6% activity, SR = 1%, seed 55).
 fn cycle_spec(n: u32) -> WorkloadSpec {
@@ -137,28 +152,35 @@ fn serve_qps(shards: usize, scale: &Scale) -> Row {
     let gen = spec.generate();
     let updates_per_query = gen.updates_per_epoch();
 
-    let config = ServeConfig { params, shards, batch: 32, seed: 42 };
+    let config = ServeConfig { batch: 32, seed: 42, ..ServeConfig::new(params, shards) };
     let server = Server::start(&config, gen.r.clone(), gen.s.clone())
         .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
-    let session = server.session();
+    let session = server.session().expect("live server");
     let mut traffic = ClientTraffic::split(&gen, &config, CLIENTS);
 
-    let started = Instant::now();
-    for q in 0..scale.serve_queries {
+    // One round is an epoch of updates round-robined across the clients
+    // followed by one query — the serve_bench inner loop.
+    let mut round = |q: u64| {
         for u in 0..updates_per_query {
             let c = ((q * updates_per_query + u) % CLIENTS as u64) as usize;
             session.update_r(traffic[c].next_mutation()).expect("update");
         }
         session.query(Method::HybridHash).expect("query");
+    };
+
+    // Untimed warmup: faults in lazy engine state (allocator, page cache,
+    // spill files) so the timed loop measures steady state, not startup.
+    round(0);
+
+    let started = Instant::now();
+    let mut done = 0u64;
+    while done < scale.serve_queries || started.elapsed().as_secs_f64() < scale.serve_min_secs {
+        round(done + 1);
+        done += 1;
     }
     let wall = started.elapsed().as_secs_f64();
     let bench = if shards == 1 { "serve_qps_1shard" } else { "serve_qps_4shard" };
-    Row {
-        bench,
-        secs: wall,
-        iters: scale.serve_queries,
-        qps: Some(scale.serve_queries as f64 / wall.max(1e-9)),
-    }
+    Row { bench, secs: wall, iters: done, qps: Some(done as f64 / wall.max(1e-9)) }
 }
 
 /// Compare fresh rows against a previous `wallclock.json` and write the

@@ -23,8 +23,6 @@
 //! occupancy stays stable) while avoiding rebalancing machinery the cost
 //! model never prices.
 
-use std::cell::RefCell;
-
 use trijoin_common::{Error, FxHashSet, Result, SystemParams};
 use trijoin_storage::{Disk, FileId, PageId};
 
@@ -80,11 +78,6 @@ pub struct BTree {
     height: usize,
     entries: u64,
     leaves: u64,
-    /// Reusable copy buffer for the zero-copy leaf walk: one page is copied
-    /// out of the disk borrow here so user callbacks can re-enter the disk
-    /// (e.g. heap appends) while we iterate. Nested scans over the *same*
-    /// tree fall back to a transient local buffer.
-    scratch: RefCell<Vec<u8>>,
 }
 
 /// Where a descent landed: the memory-resident root leaf, or a leaf page.
@@ -115,7 +108,6 @@ impl BTree {
             height: 1,
             entries: 0,
             leaves: 1,
-            scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -197,7 +189,6 @@ impl BTree {
                         height,
                         entries: total,
                         leaves: leaf_count,
-                        scratch: RefCell::new(Vec::new()),
                     });
                 }
                 let pid = disk.allocate_page(file)?;
@@ -220,7 +211,6 @@ impl BTree {
             height: 1,
             entries: total,
             leaves: leaf_count,
-            scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -345,11 +335,10 @@ impl BTree {
         Ok(LeafLoc::Page(page))
     }
 
-    /// Copy one leaf page into the reusable scratch buffer (a single memcpy
-    /// out of the disk borrow) and run `f` on the copy. The callback may
-    /// re-enter the disk — e.g. append heap pages — because the disk borrow
-    /// is released before `f` runs. Nested scans over the same tree fall
-    /// back to a transient local buffer when the scratch is already held.
+    /// Run `f` on one leaf page's shared image (an `Rc` clone of the disk's
+    /// own buffer — no copy). The callback may re-enter the disk — e.g.
+    /// append heap pages — because the disk borrow is released as soon as
+    /// the image handle is cloned.
     fn with_leaf_copy<T>(
         &self,
         page: u32,
@@ -357,23 +346,12 @@ impl BTree {
         f: impl FnOnce(&[u8]) -> Result<T>,
     ) -> Result<T> {
         let pid = PageId::new(self.file, page);
-        let mut guard = self.scratch.try_borrow_mut().ok();
-        let mut local = Vec::new();
-        let buf: &mut Vec<u8> = match guard.as_mut() {
-            Some(g) => g,
-            None => &mut local,
-        };
-        buf.clear();
-        let fill = |raw: &[u8]| {
-            buf.extend_from_slice(raw);
-            Ok(())
-        };
-        if charged {
-            self.disk.read_page_with(pid, fill)?;
+        let image = if charged {
+            self.disk.read_page_rc(pid)?
         } else {
-            self.disk.read_page_free_with(pid, fill)?;
-        }
-        f(buf)
+            self.disk.read_page_free_rc(pid)?
+        };
+        f(&image)
     }
 
     // ---- queries --------------------------------------------------------
@@ -455,6 +433,53 @@ impl BTree {
     /// Visit every entry in key order (full scan through the leaf chain).
     pub fn for_each(&self, mut f: impl FnMut(u64, &[u8]) -> bool) -> Result<()> {
         self.for_each_range(0, u64::MAX, |k, v| f(k, v))
+    }
+
+    /// Full scan in key order that also hands the callback the shared page
+    /// image each value borrows from (`None` for entries of a memory-
+    /// resident root leaf). Charge-identical to [`BTree::for_each`]; the
+    /// extra handle lets scan consumers *pin* pages — keep payload bytes
+    /// alive past the callback without copying them.
+    pub fn for_each_pinned(
+        &self,
+        mut f: impl FnMut(u64, &[u8], Option<&std::rc::Rc<Vec<u8>>>) -> bool,
+    ) -> Result<()> {
+        let mut page = match self.descend_to_leaf_page(0, None)? {
+            LeafLoc::Root => {
+                let Node::Leaf { ref entries, .. } = self.root else {
+                    return Err(Error::Invariant("descended to internal node".into()));
+                };
+                let mut examined = 0u64;
+                for (k, v) in entries {
+                    examined += 1;
+                    if !f(*k, v, None) {
+                        break;
+                    }
+                }
+                self.disk.cost().comp(examined);
+                return Ok(());
+            }
+            LeafLoc::Page(p) => p,
+        };
+        loop {
+            let image = self.disk.read_page_rc(PageId::new(self.file, page))?;
+            let (iter, next) = node::leaf_entries(&image)?;
+            let mut examined = 0u64;
+            let mut stop = false;
+            for entry in iter {
+                let (k, v) = entry?;
+                examined += 1;
+                if !f(k, v, Some(&image)) {
+                    stop = true;
+                    break;
+                }
+            }
+            self.disk.cost().comp(examined);
+            match (stop, next) {
+                (true, _) | (false, None) => return Ok(()),
+                (false, Some(p)) => page = p,
+            }
+        }
     }
 
     /// Batched point lookups for a *sorted* slice of keys. Each tree page is

@@ -323,10 +323,11 @@ fn serve(args: &Args) -> Result<(), String> {
     let shards = args.u64("shards", 4)? as usize;
     let clients = args.u64("clients", 4)? as usize;
     let batch = args.u64("batch", 64)? as usize;
+    let ring = args.u64("ring", 1024)? as usize;
     let queries = args.u64("queries", 10)?;
     let seed = args.u64("seed", 42)?;
-    if shards == 0 || clients == 0 || queries == 0 {
-        return Err("--shards, --clients and --queries must be positive".into());
+    if shards == 0 || clients == 0 || queries == 0 || ring == 0 {
+        return Err("--shards, --clients, --queries and --ring must be positive".into());
     }
     let method = match args.str("strategy", "hh").as_str() {
         "mv" => Method::MaterializedView,
@@ -343,13 +344,13 @@ fn serve(args: &Args) -> Result<(), String> {
     );
     let params = params_from(args)?;
     let gen = spec.generate();
-    let config = ServeConfig { params, shards, batch, seed };
+    let config = ServeConfig { batch, ring, seed, ..ServeConfig::new(params, shards) };
     let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
-    let session = server.session();
+    let session = server.session().map_err(err)?;
     let mut traffic = ClientTraffic::split(&gen, &config, clients);
     let updates_per_query = gen.updates_per_epoch();
     println!(
-        "serve: ‖R‖=‖S‖={} shards={shards} clients={clients} batch={batch} \
+        "serve: ‖R‖=‖S‖={} shards={shards} clients={clients} batch={batch} ring={ring} \
          strategy={method} ‖iR‖={updates_per_query}/query",
         gen.r.len()
     );

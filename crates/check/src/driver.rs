@@ -619,14 +619,15 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
     let mut servers = Vec::with_capacity(script.shard_counts.len());
     for &shards in &script.shard_counts {
         let serve_cfg = ServeConfig {
-            params: cfg.params.clone(),
-            shards,
             batch: script.batch,
             seed: rng::derive_indexed(script.spec.seed, "check/serve", shards as u64),
+            ..ServeConfig::new(cfg.params.clone(), shards)
         };
         let server = Server::start(&serve_cfg, generated.r.clone(), generated.s.clone())
             .map_err(|e| bad_input(format!("server({shards} shards) start: {e}")))?;
-        let session = server.session();
+        let session = server
+            .session()
+            .map_err(|e| bad_input(format!("server({shards} shards) session: {e}")))?;
         servers.push(Serving { shards, _server: server, session });
     }
 

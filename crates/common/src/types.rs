@@ -130,6 +130,16 @@ impl BaseTuple {
 
     /// Deserialize from bytes produced by [`BaseTuple::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let (sur, key, payload) = Self::parts_from_bytes(bytes)?;
+        Ok(BaseTuple { sur, key, payload: payload.to_vec().into_boxed_slice() })
+    }
+
+    /// Decode the serialized form without materializing the payload: same
+    /// validation and errors as [`BaseTuple::from_bytes`], but the payload
+    /// stays a borrow into `bytes`. This is the scan-path decode — columnar
+    /// batches copy the payload at most once, into an arena, instead of
+    /// one boxed slice per visited tuple.
+    pub fn parts_from_bytes(bytes: &[u8]) -> Result<(Surrogate, JoinKey, &[u8])> {
         if bytes.len() < Self::HEADER_BYTES {
             return Err(Error::Corrupt(format!(
                 "base tuple needs >= {} bytes, got {}",
@@ -146,11 +156,7 @@ impl BaseTuple {
                 bytes.len() - Self::HEADER_BYTES
             )));
         }
-        Ok(BaseTuple {
-            sur: Surrogate(sur),
-            key,
-            payload: bytes[14..14 + plen].to_vec().into_boxed_slice(),
-        })
+        Ok((Surrogate(sur), key, &bytes[14..14 + plen]))
     }
 }
 
@@ -177,13 +183,19 @@ impl ViewTuple {
     /// Combine an `R` tuple and an `S` tuple that join on the same key.
     pub fn join(r: &BaseTuple, s: &BaseTuple) -> Self {
         debug_assert_eq!(r.key, s.key, "view tuple from non-joining pair");
-        ViewTuple {
-            r_sur: r.sur,
-            s_sur: s.sur,
-            key: r.key,
-            r_payload: r.payload.clone(),
-            s_payload: s.payload.clone(),
-        }
+        Self::from_parts(r.sur, s.sur, r.key, &r.payload, &s.payload)
+    }
+
+    /// Combine decoded halves without intermediate [`BaseTuple`]s — the
+    /// columnar probe loops emit matches straight from borrowed payloads.
+    pub fn from_parts(
+        r_sur: Surrogate,
+        s_sur: Surrogate,
+        key: JoinKey,
+        r_payload: &[u8],
+        s_payload: &[u8],
+    ) -> Self {
+        ViewTuple { r_sur, s_sur, key, r_payload: r_payload.into(), s_payload: s_payload.into() }
     }
 
     /// Serialized size in bytes (the paper's `T_V ≈ T_R + T_S`).

@@ -1,0 +1,227 @@
+//! Columnar row batches for the vectorized probe paths.
+//!
+//! The scan-shaped operators (hybrid-hash pass 0, spilled-run reloads, the
+//! view's S-side fetches) used to materialize one [`BaseTuple`] — a boxed
+//! payload allocation plus a memcpy — per *visited* tuple, even though only
+//! a small fraction of visited tuples ever reach the output. A [`RowBatch`]
+//! keeps the decoded columns (surrogate, join key) in flat vectors and all
+//! payloads in one shared byte arena, so building a batch is one amortized
+//! arena append per kept row and probing it touches only the key column.
+//!
+//! Batches are a wall-clock representation only: they carry no [`Cost`]
+//! handle and charge nothing. Every simulated charge stays where it always
+//! was, in the operators that fill and probe the batch — the golden-ledger
+//! suite pins that equivalence byte-for-byte.
+//!
+//! [`Cost`]: trijoin_common::Cost
+
+use std::rc::Rc;
+
+use trijoin_common::{BaseTuple, JoinKey, Result, Surrogate, ViewTuple};
+
+/// One decoded-but-unmaterialized tuple: the fixed columns by value, the
+/// payload (and the full serialized record) by borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct TupleRef<'a> {
+    /// Unique identifier within the relation.
+    pub sur: Surrogate,
+    /// Value of the join attribute `A`.
+    pub key: JoinKey,
+    /// Payload bytes, borrowed from the page or arena.
+    pub payload: &'a [u8],
+    /// The full serialized record (header + payload) — what a spill writer
+    /// appends verbatim, byte-identical to `BaseTuple::to_bytes`.
+    pub raw: &'a [u8],
+}
+
+impl<'a> TupleRef<'a> {
+    /// Decode a serialized record into a borrowed view (same validation and
+    /// errors as [`BaseTuple::from_bytes`]).
+    pub fn decode(raw: &'a [u8]) -> Result<Self> {
+        let (sur, key, payload) = BaseTuple::parts_from_bytes(raw)?;
+        Ok(TupleRef { sur, key, payload, raw })
+    }
+
+    /// Materialize an owned tuple (allocates; keep off hot loops).
+    pub fn to_tuple(&self) -> BaseTuple {
+        BaseTuple { sur: self.sur, key: self.key, payload: self.payload.into() }
+    }
+}
+
+/// A columnar batch of base-relation rows: parallel `sur`/`key` columns
+/// plus payload spans that index either the batch's own arena (copied
+/// payloads) or a *pinned* shared page image (zero-copy payloads — the
+/// batch holds the `Rc` so the bytes outlive the scan that produced them).
+#[derive(Default)]
+pub struct RowBatch {
+    surs: Vec<Surrogate>,
+    keys: Vec<JoinKey>,
+    /// `(source, at, len)`: `source == 0` indexes the arena; `source == i`
+    /// for `i > 0` indexes `pages[i - 1]`.
+    spans: Vec<(u32, u32, u32)>,
+    arena: Vec<u8>,
+    pages: Vec<Rc<Vec<u8>>>,
+}
+
+impl RowBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        RowBatch::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.surs.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.surs.is_empty()
+    }
+
+    /// Append one row; the payload is copied into the arena.
+    pub fn push(&mut self, sur: Surrogate, key: JoinKey, payload: &[u8]) -> u32 {
+        let row = self.surs.len() as u32;
+        self.surs.push(sur);
+        self.keys.push(key);
+        self.spans.push((0, self.arena.len() as u32, payload.len() as u32));
+        self.arena.extend_from_slice(payload);
+        row
+    }
+
+    /// Append a borrowed tuple view (payload copied into the arena).
+    pub fn push_ref(&mut self, t: &TupleRef<'_>) -> u32 {
+        self.push(t.sur, t.key, t.payload)
+    }
+
+    /// Append a borrowed tuple view whose payload lives inside `page`,
+    /// pinning the page instead of copying the payload. The caller
+    /// guarantees `t` was decoded from `page`'s bytes (debug-asserted via
+    /// pointer range).
+    pub fn push_pinned(&mut self, t: &TupleRef<'_>, page: &Rc<Vec<u8>>) -> u32 {
+        let base = page.as_ptr() as usize;
+        let at = t.payload.as_ptr() as usize - base;
+        debug_assert!(
+            at + t.payload.len() <= page.len(),
+            "payload does not lie inside the pinned page"
+        );
+        let source = match self.pages.last() {
+            Some(last) if Rc::ptr_eq(last, page) => self.pages.len() as u32,
+            _ => {
+                self.pages.push(Rc::clone(page));
+                self.pages.len() as u32
+            }
+        };
+        let row = self.surs.len() as u32;
+        self.surs.push(t.sur);
+        self.keys.push(t.key);
+        self.spans.push((source, at as u32, t.payload.len() as u32));
+        row
+    }
+
+    /// The surrogate column entry of `row`.
+    pub fn sur(&self, row: u32) -> Surrogate {
+        self.surs[row as usize]
+    }
+
+    /// The join-key column entry of `row`.
+    pub fn key(&self, row: u32) -> JoinKey {
+        self.keys[row as usize]
+    }
+
+    /// The payload bytes of `row`, borrowed from the arena or a pinned page.
+    pub fn payload(&self, row: u32) -> &[u8] {
+        let (source, at, len) = self.spans[row as usize];
+        let backing: &[u8] = match source {
+            0 => &self.arena,
+            i => &self.pages[(i - 1) as usize],
+        };
+        &backing[at as usize..(at + len) as usize]
+    }
+
+    /// Borrowed view of `row` (no allocation). `raw` is empty: a batch
+    /// stores payloads, not serialized records.
+    pub fn row(&self, row: u32) -> TupleRef<'_> {
+        TupleRef { sur: self.sur(row), key: self.key(row), payload: self.payload(row), raw: &[] }
+    }
+
+    /// Join `row` (as the `R` side) against a borrowed `S` tuple.
+    pub fn join_row(&self, row: u32, s: &TupleRef<'_>) -> ViewTuple {
+        debug_assert_eq!(self.key(row), s.key, "view tuple from non-joining pair");
+        ViewTuple::from_parts(self.sur(row), s.sur, s.key, self.payload(row), s.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrips_rows() {
+        let mut b = RowBatch::new();
+        let r0 = b.push(Surrogate(7), 3, b"abc");
+        let r1 = b.push(Surrogate(9), 4, b"");
+        let r2 = b.push(Surrogate(11), 3, b"xyzw");
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!((r0, r1, r2), (0, 1, 2));
+        assert_eq!(b.sur(2), Surrogate(11));
+        assert_eq!(b.key(1), 4);
+        assert_eq!(b.payload(0), b"abc");
+        assert_eq!(b.payload(1), b"");
+        assert_eq!(b.payload(2), b"xyzw");
+        let row = b.row(0);
+        assert_eq!((row.sur, row.key, row.payload), (Surrogate(7), 3, &b"abc"[..]));
+    }
+
+    #[test]
+    fn decode_matches_owned_decode() {
+        let t = BaseTuple::with_payload(Surrogate(5), 42, b"payload", 48).unwrap();
+        let bytes = t.to_bytes();
+        let r = TupleRef::decode(&bytes).unwrap();
+        assert_eq!(r.sur, t.sur);
+        assert_eq!(r.key, t.key);
+        assert_eq!(r.payload, &t.payload[..]);
+        assert_eq!(r.raw, &bytes[..]);
+        assert_eq!(r.to_tuple(), t);
+        // Same rejection behavior as the owned decode.
+        assert!(TupleRef::decode(&bytes[..10]).is_err());
+        assert!(TupleRef::decode(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn pinned_rows_share_the_page_and_mix_with_copied_rows() {
+        let t0 = BaseTuple::with_payload(Surrogate(1), 3, b"alpha", 24).unwrap();
+        let t1 = BaseTuple::with_payload(Surrogate(2), 4, b"beta", 24).unwrap();
+        // One "page" holding both serialized records back to back.
+        let mut page = t0.to_bytes();
+        let split = page.len();
+        page.extend_from_slice(&t1.to_bytes());
+        let page = Rc::new(page);
+
+        let mut b = RowBatch::new();
+        let r0 = b.push_pinned(&TupleRef::decode(&page[..split]).unwrap(), &page);
+        let copied = b.push(Surrogate(9), 5, b"copied");
+        let r1 = b.push_pinned(&TupleRef::decode(&page[split..]).unwrap(), &page);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.payload(r0), &t0.payload[..]);
+        assert_eq!(b.payload(copied), b"copied");
+        assert_eq!(b.payload(r1), &t1.payload[..]);
+        assert_eq!((b.sur(r0), b.key(r0)), (t0.sur, t0.key));
+        assert_eq!((b.sur(r1), b.key(r1)), (t1.sur, t1.key));
+        // Zero-copy: the pinned payloads alias the page's own bytes.
+        assert_eq!(b.payload(r0).as_ptr(), page[BaseTuple::HEADER_BYTES..].as_ptr());
+        assert_eq!(b.pages.len(), 1, "consecutive rows from one page pin it once");
+    }
+
+    #[test]
+    fn join_row_equals_viewtuple_join() {
+        let r = BaseTuple::with_payload(Surrogate(1), 8, b"r-side", 32).unwrap();
+        let s = BaseTuple::with_payload(Surrogate(2), 8, b"s-side", 32).unwrap();
+        let mut b = RowBatch::new();
+        let row = b.push(r.sur, r.key, &r.payload);
+        let s_bytes = s.to_bytes();
+        let s_ref = TupleRef::decode(&s_bytes).unwrap();
+        assert_eq!(b.join_row(row, &s_ref), ViewTuple::join(&r, &s));
+    }
+}

@@ -13,32 +13,118 @@
 //! repartitioned (a standard hardening the paper's uniform-hash analysis
 //! does not need).
 
+use std::rc::Rc;
+
 use trijoin_common::{
-    types::hash_key, BaseTuple, Cost, EventKind, FxHashMap, JoinKey, Result, SystemParams,
-    ViewTuple,
+    types::hash_key, Cost, EventKind, FxHashMap, JoinKey, Result, SystemParams, ViewTuple,
 };
 use trijoin_storage::{Disk, HeapFile};
 
+use crate::batch::{RowBatch, TupleRef};
 use crate::relation::StoredRelation;
 use crate::strategy::{JoinStrategy, Mutation};
 
-/// A reloaded spill run: all record bytes in one flat arena, with
+/// A reloaded spill run: all record bytes in one flat shared arena, with
 /// `(offset, len)` spans marking record boundaries. Replaces the old
-/// `Vec<Vec<u8>>` (one heap allocation per record) on the reload path.
+/// `Vec<Vec<u8>>` (one heap allocation per record) on the reload path; the
+/// arena is an `Rc` so a [`RowBatch`] can pin build-side payloads in place
+/// instead of copying them out.
 #[derive(Default)]
 struct RunBytes {
-    data: Vec<u8>,
+    data: Rc<Vec<u8>>,
     spans: Vec<(u32, u32)>,
 }
 
 impl RunBytes {
     fn push(&mut self, rec: &[u8]) {
-        self.spans.push((self.data.len() as u32, rec.len() as u32));
-        self.data.extend_from_slice(rec);
+        let data = Rc::get_mut(&mut self.data).expect("run arena shared while loading");
+        self.spans.push((data.len() as u32, rec.len() as u32));
+        data.extend_from_slice(rec);
     }
 
     fn iter(&self) -> impl Iterator<Item = &[u8]> {
         self.spans.iter().map(|&(at, len)| &self.data[at as usize..(at + len) as usize])
+    }
+}
+
+/// Per-loop accumulator for the paper's CPU primitives: the hot loops count
+/// locally and flush once per loop (and before any error return), turning
+/// thousands of ledger borrows into a handful. Span totals are unchanged —
+/// each loop runs entirely inside one open cost section.
+#[derive(Default)]
+struct BatchedOps {
+    hashes: u64,
+    comps: u64,
+    moves: u64,
+}
+
+impl BatchedOps {
+    fn flush(&mut self, cost: &Cost) {
+        if self.hashes > 0 {
+            cost.hash(self.hashes);
+        }
+        if self.comps > 0 {
+            cost.comp(self.comps);
+        }
+        if self.moves > 0 {
+            cost.mov(self.moves);
+        }
+        *self = BatchedOps::default();
+    }
+}
+
+/// The in-memory build table of pass 0 and the run joins: join key → rows
+/// of the build-side [`RowBatch`], stored as an intrusive chain (`prev` is
+/// indexed by row) so inserting allocates nothing per key — the old
+/// `FxHashMap<JoinKey, Vec<u32>>` paid one heap allocation per distinct
+/// key per query, which dominated the build phase at serving scale.
+/// [`BuildTable::matches`] restores insertion (scan) order, so emission
+/// order — and with it every downstream answer — is unchanged.
+#[derive(Default)]
+struct BuildTable {
+    /// Key → most recently inserted row with that key.
+    heads: FxHashMap<JoinKey, u32>,
+    /// Row → previously inserted row with the same key (`NONE` ends the
+    /// chain). Indexed by build-batch row id, so rows must be inserted in
+    /// batch order.
+    prev: Vec<u32>,
+    /// Reused per probe to hand chains back in insertion order.
+    scratch: Vec<u32>,
+}
+
+impl BuildTable {
+    const NONE: u32 = u32::MAX;
+
+    fn with_capacity(n: usize) -> Self {
+        BuildTable {
+            heads: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            prev: Vec::with_capacity(n),
+            ..Default::default()
+        }
+    }
+
+    /// Chain `row` (which must be the next build-batch row id) under `key`.
+    fn insert(&mut self, key: JoinKey, row: u32) {
+        debug_assert_eq!(row as usize, self.prev.len(), "rows must arrive in batch order");
+        let head = self.heads.entry(key).or_insert(Self::NONE);
+        self.prev.push(*head);
+        *head = row;
+    }
+
+    /// The build rows matching `key`, in insertion order (empty slice when
+    /// the key is absent). The returned slice borrows internal scratch —
+    /// finish with it before the next probe.
+    fn matches(&mut self, key: JoinKey) -> &[u32] {
+        self.scratch.clear();
+        if let Some(&head) = self.heads.get(&key) {
+            let mut row = head;
+            while row != Self::NONE {
+                self.scratch.push(row);
+                row = self.prev[row as usize];
+            }
+            self.scratch.reverse();
+        }
+        &self.scratch
     }
 }
 
@@ -102,9 +188,9 @@ impl HybridHash {
     }
 
     /// Partition id for a key: partition 0 owns the first `q` of the hash
-    /// space; the rest is divided evenly among partitions `1..=B`.
+    /// space; the rest is divided evenly among partitions `1..=B`. Charges
+    /// nothing — callers batch one `hash` charge per partitioned tuple.
     fn partition_of(&self, key: JoinKey, q: f64, b: u64) -> u64 {
-        self.cost.hash(1);
         let h = hash_key(key);
         let x = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform in [0,1)
         if x < q || b == 0 {
@@ -161,29 +247,46 @@ impl HybridHash {
         r_run.destroy();
         s_run.destroy();
         if fits || depth >= 8 {
-            // Build (charge one hash per build tuple) ...
-            let mut table: FxHashMap<JoinKey, Vec<BaseTuple>> = FxHashMap::default();
-            for bytes in r_records.iter() {
-                let t = BaseTuple::from_bytes(bytes)?;
-                self.cost.hash(1);
-                table.entry(t.key).or_default().push(t);
-            }
-            // ... probe.
-            let mut emitted = 0u64;
-            for bytes in s_records.iter() {
-                let st = BaseTuple::from_bytes(bytes)?;
-                self.cost.hash(1);
-                if let Some(matches) = table.get(&st.key) {
-                    self.cost.comp(matches.len() as u64);
-                    for rt in matches {
-                        self.cost.mov(1);
-                        sink(ViewTuple::join(rt, &st));
-                        emitted += 1;
-                    }
-                } else {
-                    self.cost.comp(1);
+            // Build a columnar batch plus a row-index table (one hash per
+            // build tuple, charged in one batch after the loop — identical
+            // span totals, one ledger borrow instead of thousands; a decode
+            // error still flushes the charges accrued before it) ...
+            let mut batch = RowBatch::new();
+            let mut table = BuildTable::with_capacity(r_records.spans.len());
+            let mut ops = BatchedOps::default();
+            let build = (|| -> Result<()> {
+                for bytes in r_records.iter() {
+                    let t = TupleRef::decode(bytes)?;
+                    ops.hashes += 1;
+                    let row = batch.push_pinned(&t, &r_records.data);
+                    table.insert(t.key, row);
                 }
-            }
+                Ok(())
+            })();
+            ops.flush(&self.cost);
+            build?;
+            // ... probe, batching charges the same way.
+            let mut emitted = 0u64;
+            let probe = (|| -> Result<()> {
+                for bytes in s_records.iter() {
+                    let st = TupleRef::decode(bytes)?;
+                    ops.hashes += 1;
+                    let matches = table.matches(st.key);
+                    if matches.is_empty() {
+                        ops.comps += 1;
+                    } else {
+                        ops.comps += matches.len() as u64;
+                        ops.moves += matches.len() as u64;
+                        for &row in matches {
+                            sink(batch.join_row(row, &st));
+                            emitted += 1;
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            ops.flush(&self.cost);
+            probe?;
             return Ok(emitted);
         }
         // Recursive repartition of an oversized bucket.
@@ -195,18 +298,24 @@ impl HybridHash {
         // Salt the hash by depth so the re-split actually separates keys.
         let split =
             |key: JoinKey| -> usize { (hash_key(key.rotate_left(depth * 13 + 7)) % sub) as usize };
-        for bytes in r_records.iter() {
-            let t = BaseTuple::from_bytes(bytes)?;
-            self.cost.hash(1);
-            self.cost.mov(1);
-            r_writers[split(t.key)].add(bytes)?;
-        }
-        for bytes in s_records.iter() {
-            let t = BaseTuple::from_bytes(bytes)?;
-            self.cost.hash(1);
-            self.cost.mov(1);
-            s_writers[split(t.key)].add(bytes)?;
-        }
+        let mut ops = BatchedOps::default();
+        let repart = (|| -> Result<()> {
+            for bytes in r_records.iter() {
+                let t = TupleRef::decode(bytes)?;
+                ops.hashes += 1;
+                ops.moves += 1;
+                r_writers[split(t.key)].add(bytes)?;
+            }
+            for bytes in s_records.iter() {
+                let t = TupleRef::decode(bytes)?;
+                ops.hashes += 1;
+                ops.moves += 1;
+                s_writers[split(t.key)].add(bytes)?;
+            }
+            Ok(())
+        })();
+        ops.flush(&self.cost);
+        repart?;
         let mut emitted = 0u64;
         for (rw, sw) in r_writers.into_iter().zip(s_writers) {
             emitted += self.join_runs(rw.finish()?, sw.finish()?, depth + 1, sink)?;
@@ -287,28 +396,37 @@ impl HybridHash {
         let q =
             if self.grace_mode { 0.0 } else { first_pass_fraction(r.data_pages(), &self.params) };
 
-        // Pass 0 over R: build partition 0 in memory, spill 1..=B.
-        let mut table: FxHashMap<JoinKey, Vec<BaseTuple>> = FxHashMap::default();
+        // Pass 0 over R: build partition 0 into a columnar batch (the hash
+        // table maps join key -> row indices), spill 1..=B. A spilled
+        // record is the scanned record verbatim — the clustered leaves
+        // store `BaseTuple::to_bytes`, so no re-serialization is needed.
+        let mut batch = RowBatch::new();
+        let mut table = BuildTable::with_capacity((q * r.len() as f64) as usize + 16);
         let mut r_writers: Vec<trijoin_storage::heap::HeapWriter> =
             (0..b).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
         let mut scan_err = None;
-        let mut scratch: Vec<u8> = Vec::new();
-        r.scan(|t| {
+        let mut ops = BatchedOps::default();
+        let scanned = r.scan_pinned(|t, page| {
             if scan_err.is_some() {
                 return;
             }
+            ops.hashes += 1;
             let p = self.partition_of(t.key, q, b);
             if p == 0 {
-                table.entry(t.key).or_default().push(t);
+                let row = match page {
+                    Some(page) => batch.push_pinned(&t, page),
+                    None => batch.push_ref(&t),
+                };
+                table.insert(t.key, row);
             } else {
-                self.cost.mov(1);
-                scratch.clear();
-                t.write_bytes(&mut scratch);
-                if let Err(e) = r_writers[(p - 1) as usize].add(&scratch) {
+                ops.moves += 1;
+                if let Err(e) = r_writers[(p - 1) as usize].add(t.raw) {
                     scan_err = Some(e);
                 }
             }
-        })?;
+        });
+        ops.flush(&self.cost);
+        scanned?;
         if let Some(e) = scan_err {
             return Err(e);
         }
@@ -320,37 +438,41 @@ impl HybridHash {
         let mut s_writers: Vec<trijoin_storage::heap::HeapWriter> =
             (0..b).map(|_| trijoin_storage::heap::HeapWriter::create(&self.disk)).collect();
         let mut scan_err = None;
-        s.scan(|st| {
+        let mut ops = BatchedOps::default();
+        let scanned = s.scan_refs(|st| {
             if scan_err.is_some() {
                 return;
             }
+            ops.hashes += 1;
             let p = self.partition_of(st.key, q, b);
             if p == 0 {
-                if let Some(matches) = table.get(&st.key) {
-                    self.cost.comp(matches.len() as u64);
-                    for rt in matches {
-                        self.cost.mov(1);
-                        sink(ViewTuple::join(rt, &st));
+                let matches = table.matches(st.key);
+                if matches.is_empty() {
+                    ops.comps += 1;
+                } else {
+                    ops.comps += matches.len() as u64;
+                    ops.moves += matches.len() as u64;
+                    for &row in matches {
+                        sink(batch.join_row(row, &st));
                         emitted += 1;
                     }
-                } else {
-                    self.cost.comp(1);
                 }
             } else {
-                self.cost.mov(1);
-                scratch.clear();
-                st.write_bytes(&mut scratch);
-                if let Err(e) = s_writers[(p - 1) as usize].add(&scratch) {
+                ops.moves += 1;
+                if let Err(e) = s_writers[(p - 1) as usize].add(st.raw) {
                     scan_err = Some(e);
                 }
             }
-        })?;
+        });
+        ops.flush(&self.cost);
+        scanned?;
         if let Some(e) = scan_err {
             return Err(e);
         }
         let s_runs: Vec<HeapFile> =
             s_writers.into_iter().map(|w| w.finish()).collect::<Result<_>>()?;
         drop(table);
+        drop(batch);
 
         // Passes 1..=B.
         for (r_run, s_run) in r_runs.into_iter().zip(s_runs) {

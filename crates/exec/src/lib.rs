@@ -16,8 +16,11 @@
 //! * [`oracle`] — trivially-auditable reference joins for testing;
 //! * [`recovery`] — bounded retry and oracle-validated rebuild of cached
 //!   state after injected device faults;
-//! * [`sort`] — operation-counted quicksort and k-way merging.
+//! * [`sort`] — operation-counted quicksort and k-way merging;
+//! * [`batch`] — columnar row batches backing the vectorized probe loops
+//!   (a wall-clock representation; charges stay in the operators).
 
+pub mod batch;
 pub mod bilateral;
 pub mod diff;
 pub mod eager;
@@ -32,6 +35,7 @@ pub mod strategy;
 pub mod threeway;
 pub mod viewdef;
 
+pub use batch::{RowBatch, TupleRef};
 pub use bilateral::BilateralView;
 pub use eager::EagerView;
 pub use hybridhash::HybridHash;

@@ -153,8 +153,16 @@ impl StoredRelation {
 
     /// Full scan in surrogate order (one read I/O per leaf page).
     pub fn scan(&self, mut f: impl FnMut(BaseTuple)) -> Result<()> {
+        self.scan_refs(|t| f(t.to_tuple()))
+    }
+
+    /// Full scan in surrogate order handing out *borrowed* tuple views —
+    /// identical I/O charges and decode validation to [`StoredRelation::scan`],
+    /// but no per-tuple payload allocation. The vectorized operators build
+    /// columnar batches from this.
+    pub fn scan_refs(&self, mut f: impl FnMut(crate::batch::TupleRef<'_>)) -> Result<()> {
         let mut err = None;
-        self.clustered.for_each(|_, bytes| match BaseTuple::from_bytes(bytes) {
+        self.clustered.for_each(|_, bytes| match crate::batch::TupleRef::decode(bytes) {
             Ok(t) => {
                 f(t);
                 true
@@ -162,6 +170,35 @@ impl StoredRelation {
             Err(e) => {
                 err = Some(e);
                 false
+            }
+        })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Full scan handing out borrowed tuple views *plus* the shared page
+    /// image each view borrows from (`None` when the tuple lives in the
+    /// memory-resident root leaf). Charge-identical to
+    /// [`StoredRelation::scan_refs`]; the image handle lets the vectorized
+    /// operators pin pages into a [`crate::batch::RowBatch`] instead of
+    /// copying payloads out.
+    pub fn scan_pinned(
+        &self,
+        mut f: impl FnMut(crate::batch::TupleRef<'_>, Option<&std::rc::Rc<Vec<u8>>>),
+    ) -> Result<()> {
+        let mut err = None;
+        self.clustered.for_each_pinned(|_, bytes, page| {
+            match crate::batch::TupleRef::decode(bytes) {
+                Ok(t) => {
+                    f(t, page);
+                    true
+                }
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
             }
         })?;
         match err {

@@ -23,15 +23,19 @@ pub struct ServeConfig {
     /// accumulate (or a query/report forces a flush), then applied to the
     /// shards as per-shard differential batches.
     pub batch: usize,
+    /// Capacity of the submission ring clients enqueue requests into. A
+    /// full ring applies backpressure: submitters wait for the scheduler
+    /// to drain a batch before the next request is admitted.
+    pub ring: usize,
     /// Root seed of the deterministic seed tree.
     pub seed: u64,
 }
 
 impl ServeConfig {
     /// A serving configuration with the given shard count and defaults for
-    /// the rest (batch = 64, seed = 42).
+    /// the rest (batch = 64, ring = 1024, seed = 42).
     pub fn new(params: SystemParams, shards: usize) -> Self {
-        ServeConfig { params, shards, batch: 64, seed: 42 }
+        ServeConfig { params, shards, batch: 64, ring: 1024, seed: 42 }
     }
 
     /// The derived RNG seed of shard `i`'s stream.

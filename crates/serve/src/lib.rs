@@ -10,13 +10,21 @@
 //! [`trijoin::Database`], and cached per-strategy state (materialized
 //! view, join index, hybrid-hash).
 //!
-//! On top sit three pieces:
+//! On top sit four pieces:
 //!
-//! - **Admission scheduler** ([`Server`]): client sessions submit queries
-//!   and updates; updates are coalesced into per-shard differential
-//!   batches (the serving analogue of the paper's deferred maintenance)
-//!   and flushed when a batch fills or a query arrives. Channel FIFO
-//!   ordering makes apply-before-query a structural guarantee.
+//! - **Submission/completion ring** ([`server`]): client sessions enqueue
+//!   requests into one fixed-capacity ring (backpressure when full);
+//!   updates are fire-and-forget, blocking calls take a completion
+//!   ticket, and the scheduler drains whole slices per wakeup and posts
+//!   all of a slice's completions with a single notification — no
+//!   per-request channel round-trips.
+//! - **Admission scheduler** ([`Server`]): updates are coalesced into
+//!   per-shard differential batches (the serving analogue of the paper's
+//!   deferred maintenance) and flushed when a batch fills or a query
+//!   arrives. Channel FIFO ordering per shard makes apply-before-query a
+//!   structural guarantee — and is also what lets the scheduler keep
+//!   draining and flushing new update batches *while* a query is in
+//!   flight on the shards (pipelined differential application).
 //! - **Router** ([`router::route`]): mutations follow their join key; an
 //!   update that changes the join attribute across shards splits into a
 //!   delete and an insert — the paper's own decomposition of an update.
@@ -24,14 +32,14 @@
 //!   shard's [`trijoin_common::RunReport`] and merges them into a
 //!   [`trijoin_common::ShardedRunReport`] whose rollup metrics are the
 //!   exact per-shard sums, with scheduler-only counters overlaid under
-//!   the reserved `serve.` prefix.
+//!   the reserved `serve.` prefix (including ring depth/latency stats).
 //!
 //! Determinism is end-to-end: one root seed ([`ServeConfig::seed`])
 //! derives every shard and client RNG stream, multi-client traffic uses
-//! disjoint ownership classes ([`ClientTraffic`]), and merged query
-//! results are sorted into a total order by globally-unique surrogate
-//! pairs — so any shard count and any client interleaving produce the
-//! same answers at batch boundaries.
+//! disjoint ownership classes ([`ClientTraffic`]), and each shard sorts
+//! its answer by the globally-unique surrogate pair so the server's
+//! streaming k-way merge yields one total order — any shard count and
+//! any client interleaving produce the same answers at batch boundaries.
 
 pub mod config;
 pub mod router;

@@ -1,28 +1,51 @@
-//! The serving front-end: client sessions, the admission scheduler, and
-//! cross-shard result merging.
+//! The serving front-end: client sessions, the submission/completion
+//! ring, the admission scheduler, and cross-shard streaming merge.
 //!
-//! Clients talk to a single scheduler thread over a channel; the scheduler
-//! owns the per-shard command channels. Updates are *admitted* immediately
-//! (acknowledged to the client) but only *applied* when a batch fills or a
-//! query/report arrives — the serving-layer analogue of the paper's
-//! deferred maintenance: differential work is coalesced and folded in
-//! right before the next query needs a consistent answer. Because each
-//! shard channel is FIFO, an `Apply` enqueued before a `Query` is always
-//! folded first; no acknowledgement protocol is needed.
+//! Clients talk to a single scheduler thread through a fixed-capacity
+//! **submission ring** guarded by one mutex and two condvars. Updates are
+//! enqueued fire-and-forget (no per-request reply channel, no round-trip:
+//! the enqueue *is* the admission, and a full ring applies backpressure
+//! by making the submitter wait for the next drain). Blocking requests —
+//! queries, flushes, reports, fault control — take a completion ticket;
+//! the scheduler drains whole slices of the ring per wakeup, completes
+//! every ticketed request of the slice in place, and wakes all waiters
+//! once per drained batch.
 //!
-//! Query results are merged deterministically: surrogate pairs are
-//! globally unique across shards (partitioning is disjoint), so sorting
-//! the concatenated rows by `(r_sur, s_sur)` yields a total order that is
-//! independent of shard count and thread timing.
+//! Updates are *admitted* in ring order but only *applied* when a batch
+//! fills or a query/report arrives — the serving-layer analogue of the
+//! paper's deferred maintenance: differential work is coalesced and
+//! folded in right before the next query needs a consistent answer.
+//! Because each shard channel is FIFO, an `Apply` enqueued before a
+//! `Query` is always folded first; no acknowledgement protocol is needed.
+//! The same per-shard FIFO invariant is what lets the scheduler
+//! **pipeline** differential application with query execution: while the
+//! shards compute a fanned-out query, the scheduler keeps draining the
+//! ring and flushing freshly admitted update batches to the shards —
+//! those `Apply` commands land *behind* the in-flight `Query` in every
+//! shard's queue, so the answer still reflects exactly the updates
+//! admitted before the query. The invariant is per shard, not global:
+//! no cross-shard barrier exists or is needed, because a query is a
+//! point in each shard's own command order.
+//!
+//! Query results are merged deterministically and *streamingly*: each
+//! shard sorts its own answer by `(r_sur, s_sur)` (surrogate pairs are
+//! globally unique across shards — partitioning is disjoint), and the
+//! scheduler runs a k-way merge over the per-shard sorted runs instead
+//! of concatenating and re-sorting, so the total order is independent of
+//! shard count and thread timing at a fraction of the merge cost.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use trijoin::Method;
 use trijoin_common::{
-    shard_of_key, BaseTuple, Error, Metrics, Result, RunReport, ShardedRunReport, SystemParams,
-    ViewTuple,
+    shard_of_key, BaseTuple, Cost, Error, Metrics, Result, RunReport, ShardedRunReport,
+    SystemParams, ViewTuple,
 };
+use trijoin_exec::sort::KWayMerge;
 use trijoin_exec::Mutation;
 use trijoin_storage::FaultPlan;
 
@@ -75,25 +98,6 @@ pub enum Response {
     Report(Box<ShardedRunReport>),
 }
 
-/// One in-flight call: the request plus where to send its response.
-struct Envelope {
-    request: Request,
-    reply: Sender<Result<Response>>,
-}
-
-enum ToScheduler {
-    Call(Envelope),
-    Shutdown,
-}
-
-/// A handle for submitting requests. Cheap to clone; clones can live on
-/// other threads (sessions are `Send`), and every call blocks until the
-/// scheduler responds.
-#[derive(Clone)]
-pub struct ClientSession {
-    tx: Sender<ToScheduler>,
-}
-
 fn server_down() -> Error {
     Error::Invariant("serve: server is shut down".into())
 }
@@ -102,12 +106,241 @@ fn protocol_error(what: &str) -> Error {
     Error::Invariant(format!("serve: unexpected response to {what}"))
 }
 
+/// One submitted request: a completion ticket for blocking calls (`None`
+/// for fire-and-forget updates) plus the submission instant feeding the
+/// serve-latency percentiles.
+struct Slot {
+    ticket: Option<u64>,
+    at: Instant,
+    request: Request,
+}
+
+/// Shared state of the submission/completion ring.
+struct RingState {
+    /// Submission queue, bounded at [`Ring::capacity`].
+    queue: VecDeque<Slot>,
+    /// Completions posted by the scheduler, keyed by ticket. Stays tiny:
+    /// at most one entry per concurrently blocked client.
+    done: Vec<(u64, Result<Response>)>,
+    next_ticket: u64,
+    /// False once the server shuts down: new submissions are refused and
+    /// blocked clients error out instead of hanging.
+    open: bool,
+    /// Times a submitter had to wait for ring space (wall-clock shaped).
+    full_waits: u64,
+}
+
+/// How many times a waiter polls-and-yields before parking on a condvar
+/// (or blocking in `recv`). Yielding hands the CPU to whichever peer is
+/// producing the awaited result, so on shared cores the result usually
+/// arrives syscall-free within the budget; parking stays the fallback so
+/// nothing ever busy-loops indefinitely.
+const YIELD_BUDGET: u32 = 256;
+
+/// The submission/completion ring: one mutex, two condvars.
+///
+/// `submitted` wakes the scheduler when the queue becomes non-empty;
+/// `completed` wakes clients when results are posted or space frees up.
+/// The scheduler signals `completed` **once per drained batch**, not per
+/// request — that single wakeup is what replaces the per-request
+/// channel/reply round-trip of the old design.
+struct Ring {
+    capacity: usize,
+    state: Mutex<RingState>,
+    submitted: Condvar,
+    completed: Condvar,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Arc<Ring> {
+        Arc::new(Ring {
+            capacity: capacity.max(1),
+            state: Mutex::new(RingState {
+                queue: VecDeque::new(),
+                done: Vec::new(),
+                next_ticket: 0,
+                open: true,
+                full_waits: 0,
+            }),
+            submitted: Condvar::new(),
+            completed: Condvar::new(),
+        })
+    }
+
+    /// Lock the ring state, recovering from a poisoned mutex (a panicking
+    /// peer must not cascade into every other thread).
+    fn lock(&self) -> MutexGuard<'_, RingState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn wait<'a>(
+        &self,
+        cv: &Condvar,
+        guard: MutexGuard<'a, RingState>,
+    ) -> MutexGuard<'a, RingState> {
+        cv.wait(guard).unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Block until the ring has space (backpressure), then enqueue; the
+    /// guard flows back out so `call` can keep waiting under the same lock.
+    fn enqueue<'a>(
+        &'a self,
+        ticket: Option<u64>,
+        request: Request,
+    ) -> Result<MutexGuard<'a, RingState>> {
+        let mut st = self.lock();
+        loop {
+            if !st.open {
+                return Err(server_down());
+            }
+            if st.queue.len() < self.capacity {
+                break;
+            }
+            st.full_waits += 1;
+            st = self.wait(&self.completed, st);
+        }
+        st.queue.push_back(Slot { ticket, at: Instant::now(), request });
+        // Wake the scheduler only on the empty→non-empty edge: it sleeps
+        // on `submitted` only when the queue is empty, so deeper pushes
+        // are always observed by the drain that follows its current batch.
+        if st.queue.len() == 1 {
+            self.submitted.notify_one();
+        }
+        Ok(st)
+    }
+
+    /// Fire-and-forget submission (updates): enqueue and return. The
+    /// request is admitted by the scheduler in ring order; errors that
+    /// surface while applying it are deferred to the next blocking call.
+    fn submit(&self, request: Request) -> Result<()> {
+        self.enqueue(None, request).map(drop)
+    }
+
+    /// Blocking submission: enqueue with a ticket and wait until the
+    /// scheduler posts this call's completion. The ticket is drawn under
+    /// the same lock hold that enqueues, so it is unique even when many
+    /// clients race, and the guard never drops between enqueue and wait —
+    /// a completion posted immediately is found on the first loop pass.
+    fn call(&self, request: Request) -> Result<Response> {
+        let mut st = self.lock();
+        loop {
+            if !st.open {
+                return Err(server_down());
+            }
+            if st.queue.len() < self.capacity {
+                break;
+            }
+            st.full_waits += 1;
+            st = self.wait(&self.completed, st);
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(Slot { ticket: Some(ticket), at: Instant::now(), request });
+        if st.queue.len() == 1 {
+            self.submitted.notify_one();
+        }
+        // Park directly: a blocking call waits out a whole fan-out/merge
+        // round, far past any useful poll window, and a spinning client
+        // would only steal CPU from the shards computing its answer. (The
+        // scheduler-side waits poll-then-park instead — their results
+        // arrive quickly; see `drain_wait` and `recv_yielding`.)
+        loop {
+            if let Some(i) = st.done.iter().position(|(t, _)| *t == ticket) {
+                return st.done.swap_remove(i).1;
+            }
+            if !st.open {
+                return Err(server_down());
+            }
+            st = self.wait(&self.completed, st);
+        }
+    }
+
+    /// Scheduler: take every queued submission, blocking until at least
+    /// one arrives. Returns `false` once the ring is closed and drained.
+    fn drain_wait(&self, out: &mut Vec<Slot>) -> bool {
+        // Same poll-then-park shape as `call`: a client that just received
+        // a completion typically submits its next round immediately, so a
+        // short yield-spin catches it without a park/wake pair.
+        let mut spins = 0u32;
+        let mut st = self.lock();
+        loop {
+            if !st.queue.is_empty() {
+                let was_full = st.queue.len() >= self.capacity;
+                out.extend(st.queue.drain(..));
+                drop(st);
+                if was_full {
+                    self.completed.notify_all();
+                }
+                return true;
+            }
+            if !st.open {
+                return false;
+            }
+            if spins < YIELD_BUDGET {
+                spins += 1;
+                drop(st);
+                std::thread::yield_now();
+                st = self.lock();
+            } else {
+                st = self.wait(&self.submitted, st);
+            }
+        }
+    }
+
+    /// Scheduler: non-blocking drain — the pipelining path, polled while
+    /// a fanned-out query is in flight on the shards.
+    fn drain_now(&self, out: &mut Vec<Slot>) {
+        let mut st = self.lock();
+        if st.queue.is_empty() {
+            return;
+        }
+        let was_full = st.queue.len() >= self.capacity;
+        out.extend(st.queue.drain(..));
+        drop(st);
+        if was_full {
+            self.completed.notify_all();
+        }
+    }
+
+    /// Scheduler: post a batch of completions — one wakeup for all of
+    /// them, however many clients are blocked.
+    fn complete(&self, results: Vec<(u64, Result<Response>)>) {
+        if results.is_empty() {
+            return;
+        }
+        let mut st = self.lock();
+        st.done.extend(results);
+        drop(st);
+        self.completed.notify_all();
+    }
+
+    /// Refuse new submissions and wake every blocked thread. Idempotent.
+    fn close(&self) {
+        let mut st = self.lock();
+        st.open = false;
+        drop(st);
+        self.submitted.notify_all();
+        self.completed.notify_all();
+    }
+
+    fn full_waits(&self) -> u64 {
+        self.lock().full_waits
+    }
+}
+
+/// A handle for submitting requests. Cheap to clone; clones can live on
+/// other threads (sessions are `Send`). Updates return as soon as they
+/// are enqueued; queries, flushes and reports block until the scheduler
+/// posts their completion.
+#[derive(Clone)]
+pub struct ClientSession {
+    ring: Arc<Ring>,
+}
+
 impl ClientSession {
     /// Submit one request and wait for its response.
     pub fn call(&self, request: Request) -> Result<Response> {
-        let (reply, rx) = channel();
-        self.tx.send(ToScheduler::Call(Envelope { request, reply })).map_err(|_| server_down())?;
-        rx.recv().map_err(|_| server_down())?
+        self.ring.call(request)
     }
 
     /// Query the current join (flushing pending updates first).
@@ -118,14 +351,16 @@ impl ClientSession {
         }
     }
 
-    /// Admit one `R` mutation.
+    /// Admit one `R` mutation. Fire-and-forget: returns once the request
+    /// is in the ring (backpressure applies when the ring is full); an
+    /// error applying it surfaces on the next blocking call.
     pub fn update_r(&self, m: Mutation) -> Result<()> {
-        self.call(Request::UpdateR(m)).map(|_| ())
+        self.ring.submit(Request::UpdateR(m))
     }
 
-    /// Admit one `S` mutation.
+    /// Admit one `S` mutation (fire-and-forget, like [`Self::update_r`]).
     pub fn update_s(&self, m: Mutation) -> Result<()> {
-        self.call(Request::UpdateS(m)).map(|_| ())
+        self.ring.submit(Request::UpdateS(m))
     }
 
     /// Force pending updates out to the shards.
@@ -159,7 +394,7 @@ impl ClientSession {
 
 /// The sharded serving instance: N shard threads plus one scheduler.
 pub struct Server {
-    tx: Option<Sender<ToScheduler>>,
+    ring: Arc<Ring>,
     scheduler: Option<JoinHandle<()>>,
     shard_handles: Vec<JoinHandle<()>>,
     shards: usize,
@@ -202,7 +437,8 @@ impl Server {
             }
         }
 
-        let (tx, rx) = channel::<ToScheduler>();
+        let ring = Ring::new(config.ring);
+        let sched_ring = Arc::clone(&ring);
         let batch = config.batch.max(1);
         let params = config.params.clone();
         let scheduler = std::thread::Builder::new()
@@ -211,41 +447,45 @@ impl Server {
                 // The metrics registry is single-threaded (Rc-based), so it
                 // is created here, inside the thread that owns it.
                 let mut sched = Scheduler {
+                    ring: sched_ring,
                     shard_txs,
+                    work: VecDeque::new(),
                     pending_r: vec![Vec::new(); n],
                     pending_s: vec![Vec::new(); n],
                     pending: 0,
                     batch,
                     params,
                     metrics: Metrics::new(),
+                    deferred: None,
+                    latencies_us: Vec::new(),
                 };
-                sched.run(rx);
+                sched.run();
             })
             .map_err(|e| Error::Invariant(format!("serve: spawn scheduler: {e}")))?;
 
-        Ok(Server { tx: Some(tx), scheduler: Some(scheduler), shard_handles, shards: n })
+        Ok(Server { ring, scheduler: Some(scheduler), shard_handles, shards: n })
     }
 
-    /// Convenience: generate + start from a [`ServeConfig`] and a prepared
-    /// workload pair is just `Server::start`; this accessor reports the
-    /// shard count in force.
+    /// The shard count in force.
     pub fn shards(&self) -> usize {
         self.shards
     }
 
     /// Open a client session. Sessions are independent and cloneable; all
-    /// of them feed the single admission scheduler.
-    pub fn session(&self) -> ClientSession {
-        ClientSession { tx: self.tx.as_ref().expect("server is live").clone() }
+    /// of them feed the single submission ring. After [`Self::shutdown`]
+    /// this returns a typed error instead of panicking.
+    pub fn session(&self) -> Result<ClientSession> {
+        if self.scheduler.is_none() {
+            return Err(server_down());
+        }
+        Ok(ClientSession { ring: Arc::clone(&self.ring) })
     }
 
     /// Stop the scheduler and every shard thread, waiting for them to
     /// exit. Idempotent; also runs on drop. Outstanding sessions receive
     /// errors for calls made after shutdown.
     pub fn shutdown(&mut self) {
-        if let Some(tx) = self.tx.take() {
-            let _ = tx.send(ToScheduler::Shutdown);
-        }
+        self.ring.close();
         if let Some(handle) = self.scheduler.take() {
             let _ = handle.join();
         }
@@ -261,10 +501,29 @@ impl Drop for Server {
     }
 }
 
-/// The single-threaded admission scheduler: owns the shard channels and
-/// the pending differential batches.
+/// Scheduler-side metric names that depend on wall-clock timing (drain
+/// chunking, backpressure, latency percentiles). Everything else the
+/// scheduler emits is a pure function of the submission order and stays
+/// bit-identical across reruns; consumers that pin reports byte-for-byte
+/// scrub exactly this set.
+pub const VOLATILE_METRICS: [&str; 5] = [
+    "serve.ring.drains",
+    "serve.ring.drain.len",
+    "serve.ring.full_waits",
+    "serve.latency.p50_us",
+    "serve.latency.p99_us",
+];
+
+/// The single-threaded admission scheduler: owns the shard channels, the
+/// pending differential batches, and the drained-but-unprocessed slice
+/// of the ring.
 struct Scheduler {
+    ring: Arc<Ring>,
     shard_txs: Vec<Sender<ShardCommand>>,
+    /// Drained submissions not yet processed, in ring order. Non-empty
+    /// only transiently: the pipelining drains during an in-flight query
+    /// carry ticketed requests (and everything after them) over here.
+    work: VecDeque<Slot>,
     pending_r: Vec<Vec<Mutation>>,
     pending_s: Vec<Vec<Mutation>>,
     /// Logical updates admitted since the last flush.
@@ -275,19 +534,119 @@ struct Scheduler {
     /// never write that namespace, so in a rollup every non-`serve.`
     /// metric remains the exact sum of the per-shard metrics.
     metrics: Metrics,
+    /// First error hit while applying fire-and-forget updates (e.g. a
+    /// dead shard at a full-batch flush); surfaced to the next blocking
+    /// call instead of being lost.
+    deferred: Option<Error>,
+    /// Submission-to-completion latency of every blocking call, in µs;
+    /// powers the `serve.latency.p50_us`/`p99_us` gauges.
+    latencies_us: Vec<u64>,
+}
+
+/// Receive a shard reply, yielding the CPU to the computing shards before
+/// parking. Blocking straight into `recv` is pathological when shards and
+/// scheduler share cores: the scheduler parks (one syscall), the shard's
+/// reply `send` has to wake it (another), and the wakeup preempts the
+/// shard mid-batch — two syscalls and two context switches per reply.
+/// `yield_now` hands the CPU directly to a runnable shard instead, and
+/// the reply `send` then finds the scheduler unparked, making the common
+/// case syscall-free. The spin is bounded so a genuinely slow shard falls
+/// back to a blocking `recv` rather than busy-looping a core.
+fn recv_yielding<T>(rx: &Receiver<T>) -> Option<T> {
+    for _ in 0..YIELD_BUDGET {
+        match rx.try_recv() {
+            Ok(v) => return Some(v),
+            Err(TryRecvError::Empty) => std::thread::yield_now(),
+            Err(TryRecvError::Disconnected) => return None,
+        }
+    }
+    rx.recv().ok()
 }
 
 impl Scheduler {
-    fn run(&mut self, rx: Receiver<ToScheduler>) {
-        while let Ok(ToScheduler::Call(Envelope { request, reply })) = rx.recv() {
-            let result = self.handle(request);
-            let _ = reply.send(result);
+    fn run(&mut self) {
+        loop {
+            if self.work.is_empty() {
+                let mut fresh = Vec::new();
+                if !self.ring.drain_wait(&mut fresh) {
+                    break;
+                }
+                self.drained(&fresh);
+                self.work.extend(fresh);
+            }
+            let mut done: Vec<(u64, Result<Response>)> = Vec::new();
+            while let Some(slot) = self.work.pop_front() {
+                match slot.ticket {
+                    None => self.admit(slot.request),
+                    Some(ticket) => {
+                        let result = self.handle(slot.request);
+                        self.latencies_us.push(slot.at.elapsed().as_micros() as u64);
+                        done.push((ticket, result));
+                    }
+                }
+            }
+            // One wakeup for the whole drained batch.
+            self.ring.complete(done);
         }
+        // Normal exit only happens after `close`, but make it
+        // unconditional so no client can ever be left blocked.
+        self.ring.close();
         // Dropping `shard_txs` (with `self`) closes every shard channel;
         // the shard threads drain what was sent and exit.
     }
 
+    /// Ring-drain accounting. `serve.ring.submitted` counts every request
+    /// that entered the ring (deterministic: FIFO processing means the
+    /// count at any blocking call is a pure function of the submission
+    /// order); the drain shape metrics are wall-clock shaped and listed
+    /// in [`VOLATILE_METRICS`].
+    fn drained(&mut self, slots: &[Slot]) {
+        self.metrics.counter_add("serve.ring.submitted", slots.len() as u64);
+        self.metrics.incr("serve.ring.drains");
+        self.metrics.observe("serve.ring.drain.len", slots.len() as u64);
+    }
+
+    /// Pipelining pump: while a query is in flight on the shards, fold in
+    /// whatever arrived meanwhile. Fire-and-forget updates are admitted
+    /// (and may flush to the shards — FIFO puts those `Apply`s safely
+    /// behind the in-flight `Query`); ticketed requests, and everything
+    /// submitted after them, are carried over so global submission order
+    /// is preserved exactly.
+    fn pump(&mut self) {
+        let mut fresh = Vec::new();
+        self.ring.drain_now(&mut fresh);
+        if fresh.is_empty() {
+            return;
+        }
+        self.drained(&fresh);
+        for slot in fresh {
+            if slot.ticket.is_none() && self.work.is_empty() {
+                self.admit(slot.request);
+            } else {
+                self.work.push_back(slot);
+            }
+        }
+    }
+
+    /// Process a fire-and-forget submission (ring order, no completion).
+    fn admit(&mut self, request: Request) {
+        match request {
+            Request::UpdateR(m) => self.admit_r(m),
+            Request::UpdateS(m) => self.admit_s(m),
+            // Only updates are submitted without a ticket; anything else
+            // here would be a client-side bug — treat it as a no-op
+            // rather than poisoning the scheduler.
+            _ => {}
+        }
+    }
+
     fn handle(&mut self, request: Request) -> Result<Response> {
+        // An error from applying earlier fire-and-forget updates owns the
+        // next blocking call: the client that would otherwise observe an
+        // inconsistent server gets the root cause instead.
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
         match request {
             Request::UpdateR(m) => {
                 self.admit_r(m);
@@ -301,10 +660,7 @@ impl Scheduler {
                 self.flush()?;
                 Ok(Response::Ack)
             }
-            Request::Query(method) => {
-                self.flush()?;
-                self.query(method).map(Response::Rows)
-            }
+            Request::Query(method) => self.query(method).map(Response::Rows),
             Request::Report => {
                 self.flush()?;
                 self.report().map(|r| Response::Report(Box::new(r)))
@@ -359,9 +715,11 @@ impl Scheduler {
     fn admitted(&mut self) {
         self.pending += 1;
         if self.pending >= self.batch {
-            // A full batch flushes immediately; a dead shard is recorded
-            // and resurfaces as an error on the next query or report.
-            let _ = self.flush();
+            // A full batch flushes immediately; a dead shard is deferred
+            // and owns the next blocking call.
+            if let Err(e) = self.flush() {
+                self.deferred.get_or_insert(e);
+            }
         }
     }
 
@@ -391,26 +749,61 @@ impl Scheduler {
         result
     }
 
-    /// Fan a query out to every shard and merge the answers. One shard's
-    /// failure fails this query (the merged answer would be incomplete)
-    /// but not the server; strategies recover from planned device faults
-    /// internally, so this surfaces only truly unrecoverable damage.
+    /// Flush any pending batch and fan a query out to every shard, then
+    /// stream-merge the answers. The flush rides inside the same message
+    /// as the query ([`ShardCommand::ApplyThenQuery`]) — identical apply
+    /// and batch bookkeeping to a standalone flush, but each shard wakes
+    /// once per round instead of twice. While the shards compute, the
+    /// ring keeps draining ([`Self::pump`]) so differential application
+    /// is pipelined with query execution. One shard's failure fails this
+    /// query (the merged answer would be incomplete) but not the server;
+    /// strategies recover from planned device faults internally, so this
+    /// surfaces only truly unrecoverable damage.
     fn query(&mut self, method: Method) -> Result<Vec<ViewTuple>> {
         self.metrics.incr("serve.queries");
+        let flushing = self.pending > 0;
+        if flushing {
+            let total: usize =
+                self.pending_r.iter().chain(self.pending_s.iter()).map(Vec::len).sum();
+            self.metrics.incr("serve.batches");
+            self.metrics.observe("serve.batch.len", total as u64);
+            self.pending = 0;
+        }
         let (reply, rx) = channel();
+        let mut send_err: Option<Error> = None;
         for (i, tx) in self.shard_txs.iter().enumerate() {
-            tx.send(ShardCommand::Query { method, reply: reply.clone() })
-                .map_err(|_| Error::Invariant(format!("serve: shard {i} is down")))?;
+            let r = if flushing { std::mem::take(&mut self.pending_r[i]) } else { Vec::new() };
+            let s = if flushing { std::mem::take(&mut self.pending_s[i]) } else { Vec::new() };
+            let cmd = if r.is_empty() && s.is_empty() {
+                ShardCommand::Query { method, reply: reply.clone() }
+            } else {
+                ShardCommand::ApplyThenQuery { r, s, method, reply: reply.clone() }
+            };
+            if tx.send(cmd).is_err() {
+                // Keep dispatching to the remaining live shards (their
+                // batches must not be dropped on the floor), then fail
+                // the query.
+                self.metrics.incr("serve.shard_send_errors");
+                send_err
+                    .get_or_insert_with(|| Error::Invariant(format!("serve: shard {i} is down")));
+            }
         }
         drop(reply);
+        if let Some(e) = send_err {
+            return Err(e);
+        }
         let expected = self.shard_txs.len();
-        let mut rows = Vec::new();
+        let mut parts: Vec<Vec<ViewTuple>> = (0..expected).map(|_| Vec::new()).collect();
         let mut first_err: Option<(usize, Error)> = None;
         let mut answered = 0usize;
-        for (shard, result) in rx {
+        while answered < expected {
+            // Differential work admitted while the shards compute lands
+            // behind the in-flight Query in each shard's FIFO queue.
+            self.pump();
+            let Some((shard, result)) = recv_yielding(&rx) else { break };
             answered += 1;
             match result {
-                Ok(mut shard_rows) => rows.append(&mut shard_rows),
+                Ok(shard_rows) => parts[shard] = shard_rows,
                 Err(e) => {
                     self.metrics.incr("serve.query_errors");
                     if first_err.is_none() {
@@ -425,10 +818,17 @@ impl Scheduler {
         if answered != expected {
             return Err(Error::Invariant(format!("serve: {answered}/{expected} shards answered")));
         }
-        // Surrogate pairs are globally unique (partitions are disjoint),
-        // so this is a deterministic total order regardless of shard count
-        // or completion timing.
-        rows.sort_by_key(|t| (t.r_sur, t.s_sur));
+        // Each shard's answer arrives sorted by (r_sur, s_sur), and
+        // surrogate pairs are globally unique (partitions are disjoint):
+        // the k-way merge of the per-shard runs is the same deterministic
+        // total order the old concat + full re-sort produced, without
+        // re-sorting rows that are already ordered. The merge is wall-
+        // clock work only — it runs on a throwaway cost ledger.
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let sources: Vec<_> = parts.into_iter().map(Vec::into_iter).collect();
+        let merge = KWayMerge::new(sources, |t: &ViewTuple| (t.r_sur, t.s_sur), Cost::new());
+        let mut rows = Vec::with_capacity(total);
+        rows.extend(merge);
         Ok(rows)
     }
 
@@ -452,10 +852,33 @@ impl Scheduler {
         }
         replies.sort_by_key(|(shard, _)| *shard);
         let shards: Vec<RunReport> = replies.into_iter().map(|(_, boxed)| *boxed).collect();
+        self.stamp_gauges();
         let mut sharded = ShardedRunReport::rollup_of("serve", &self.params, shards);
         sharded.rollup.metrics.merge(&self.metrics.snapshot());
         Ok(sharded)
     }
+
+    /// Stamp the ring/latency gauges the report validator requires:
+    /// capacity (deterministic), backpressure waits and the blocking-call
+    /// latency percentiles (wall-clock shaped, see [`VOLATILE_METRICS`]).
+    fn stamp_gauges(&mut self) {
+        self.metrics.gauge_set("serve.ring.capacity", self.ring.capacity as f64);
+        self.metrics.gauge_set("serve.ring.full_waits", self.ring.full_waits() as f64);
+        let (p50, p99) = percentiles(&mut self.latencies_us);
+        self.metrics.gauge_set("serve.latency.p50_us", p50 as f64);
+        self.metrics.gauge_set("serve.latency.p99_us", p99 as f64);
+    }
+}
+
+/// `(p50, p99)` of the recorded latencies (`(0, 0)` before any blocking
+/// call completes). Sorts in place; completion order is irrelevant.
+fn percentiles(latencies_us: &mut [u64]) -> (u64, u64) {
+    if latencies_us.is_empty() {
+        return (0, 0);
+    }
+    latencies_us.sort_unstable();
+    let pct = |p: usize| latencies_us[(latencies_us.len() - 1) * p / 100];
+    (pct(50), pct(99))
 }
 
 #[cfg(test)]
@@ -481,7 +904,7 @@ mod tests {
         let s = tuples(90, 11);
         let want = trijoin_exec::oracle::canonicalize(trijoin_exec::oracle::join_tuples(&r, &s));
         let mut server = Server::start(&config(4, 8), r, s).unwrap();
-        let session = server.session();
+        let session = server.session().unwrap();
         for method in Method::all() {
             let got = session.query(method).unwrap();
             assert_eq!(got, want, "{method} diverged from oracle");
@@ -489,6 +912,22 @@ mod tests {
         server.shutdown();
         // Calls after shutdown error rather than hang.
         assert!(session.query(Method::HybridHash).is_err());
+        assert!(session.update_r(Mutation::Delete(tuples(1, 1).remove(0))).is_err());
+    }
+
+    #[test]
+    fn session_after_shutdown_is_a_typed_error() {
+        let mut server = Server::start(&config(2, 8), tuples(30, 5), tuples(30, 5)).unwrap();
+        assert!(server.session().is_ok(), "live server hands out sessions");
+        server.shutdown();
+        let err = match server.session() {
+            Ok(_) => panic!("session after shutdown must fail, not panic"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("shut down"), "typed server-down error, got: {err}");
+        // Idempotent shutdown keeps the same behavior.
+        server.shutdown();
+        assert!(server.session().is_err());
     }
 
     #[test]
@@ -496,7 +935,7 @@ mod tests {
         let r = tuples(60, 7);
         let s = tuples(60, 7);
         let server = Server::start(&config(2, 1000), r.clone(), s).unwrap();
-        let session = server.session();
+        let session = server.session().unwrap();
         // Admit three payload-only updates (no cross-shard splits): under
         // the huge batch size they stay pending until the report flushes.
         let mut current = r;
@@ -513,12 +952,82 @@ mod tests {
         let batch = report.rollup.metrics.histogram("serve.batch.len").unwrap();
         assert_eq!(batch.count, 1);
         assert_eq!(batch.sum, 3);
+        // Ring accounting: 3 updates + the report itself went through.
+        assert_eq!(report.rollup.metrics.counter("serve.ring.submitted"), 4);
+        assert_eq!(report.rollup.metrics.gauge("serve.ring.capacity"), Some(1024.0));
+    }
+
+    #[test]
+    fn tiny_ring_applies_backpressure_without_loss() {
+        let r = tuples(60, 7);
+        let s = tuples(60, 7);
+        let want = trijoin_exec::oracle::canonicalize(trijoin_exec::oracle::join_tuples(&r, &s));
+        let cfg = ServeConfig { ring: 1, ..config(2, 4) };
+        let server = Server::start(&cfg, r.clone(), s.clone()).unwrap();
+        let session = server.session().unwrap();
+        // Far more submissions than the ring holds: every one must wait
+        // its turn and none may be dropped.
+        for slot in r.iter().take(20) {
+            let old = slot.clone();
+            let new = BaseTuple::with_payload(old.sur, old.key, b"bp", 48).unwrap();
+            session.update_r(Mutation::Update(trijoin_exec::Update { old, new })).unwrap();
+            let back = Mutation::Update(trijoin_exec::Update {
+                old: BaseTuple::with_payload(slot.sur, slot.key, b"bp", 48).unwrap(),
+                new: slot.clone(),
+            });
+            session.update_r(back).unwrap();
+        }
+        assert_eq!(session.query(Method::HybridHash).unwrap(), want);
+        let report = session.report().unwrap();
+        assert_eq!(report.rollup.metrics.counter("serve.updates.r"), 40);
+        assert_eq!(report.rollup.metrics.gauge("serve.ring.capacity"), Some(1.0));
+    }
+
+    #[test]
+    fn concurrent_updates_pipeline_with_queries() {
+        // One thread hammers fire-and-forget updates while another runs
+        // queries: the pipelined scheduler must keep every answer equal
+        // to the oracle over the updates admitted before that query —
+        // which the final flushed state verifies exactly.
+        let r = tuples(120, 11);
+        let s = tuples(90, 11);
+        let server = Server::start(&config(4, 8), r.clone(), s.clone()).unwrap();
+        let session = server.session().unwrap();
+        let writer = server.session().unwrap();
+        let r_writer = r.clone();
+        let handle = std::thread::spawn(move || {
+            // Flip every tuple's payload once; join keys never change, so
+            // the final relation is r with every payload retagged.
+            for t in &r_writer {
+                let new = BaseTuple::with_payload(t.sur, t.key, b"pipelined", 48).unwrap();
+                writer
+                    .update_r(Mutation::Update(trijoin_exec::Update { old: t.clone(), new }))
+                    .unwrap();
+            }
+        });
+        // Queries interleave with the writer; answers must never error.
+        for _ in 0..6 {
+            session.query(Method::HybridHash).unwrap();
+        }
+        handle.join().unwrap();
+        session.flush().unwrap();
+        let r_final: Vec<BaseTuple> = r
+            .iter()
+            .map(|t| BaseTuple::with_payload(t.sur, t.key, b"pipelined", 48).unwrap())
+            .collect();
+        let want =
+            trijoin_exec::oracle::canonicalize(trijoin_exec::oracle::join_tuples(&r_final, &s));
+        for method in Method::all() {
+            assert_eq!(session.query(method).unwrap(), want, "{method} lost a pipelined update");
+        }
+        let report = session.report().unwrap();
+        assert_eq!(report.rollup.metrics.counter("serve.updates.r"), 120);
     }
 
     #[test]
     fn report_rollup_covers_every_shard() {
         let server = Server::start(&config(3, 4), tuples(80, 9), tuples(80, 9)).unwrap();
-        let session = server.session();
+        let session = server.session().unwrap();
         session.query(Method::JoinIndex).unwrap();
         let report = session.report().unwrap();
         assert_eq!(report.shards.len(), 3);
@@ -528,12 +1037,17 @@ mod tests {
         }
         assert_eq!(report.rollup.metrics.counter("db.queries"), 3);
         assert_eq!(report.rollup.metrics.counter("serve.queries"), 1);
+        // The latency gauges are stamped on every report (the validator
+        // requires them); with one completed query they are non-zero.
+        let p50 = report.rollup.metrics.gauge("serve.latency.p50_us").unwrap();
+        let p99 = report.rollup.metrics.gauge("serve.latency.p99_us").unwrap();
+        assert!(p50 > 0.0 && p99 >= p50, "p50 {p50} / p99 {p99}");
     }
 
     #[test]
     fn bad_shard_index_is_rejected() {
         let server = Server::start(&config(2, 4), tuples(20, 3), tuples(20, 3)).unwrap();
-        let session = server.session();
+        let session = server.session().unwrap();
         assert!(session.clear_faults(5).is_err());
         assert!(session.clear_faults(1).is_ok());
     }

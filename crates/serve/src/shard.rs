@@ -27,9 +27,27 @@ pub enum ShardCommand {
         /// Mutations of the shard's `S` partition.
         s: Vec<Mutation>,
     },
-    /// Answer the shard-local join with the given method.
+    /// Answer the shard-local join with the given method. The reply rows
+    /// are sorted by `(r_sur, s_sur)` — the server's streaming cross-shard
+    /// merge relies on every per-shard run already being ordered.
     Query {
         /// Strategy to execute.
+        method: Method,
+        /// Where to send `(shard_index, result)`.
+        reply: Sender<(usize, Result<Vec<ViewTuple>>)>,
+    },
+    /// Fold one differential batch, then answer a query — exactly
+    /// [`ShardCommand::Apply`] followed by [`ShardCommand::Query`], fused
+    /// into one message. The scheduler uses this when a query flushes a
+    /// pending batch: delivering both in one send means one wakeup per
+    /// shard per round instead of two, which halves the scheduler↔shard
+    /// context switches when they contend for the same cores.
+    ApplyThenQuery {
+        /// Mutations of the shard's `R` partition.
+        r: Vec<Mutation>,
+        /// Mutations of the shard's `S` partition.
+        s: Vec<Mutation>,
+        /// Strategy to execute after the batch is folded in.
         method: Method,
         /// Where to send `(shard_index, result)`.
         reply: Sender<(usize, Result<Vec<ViewTuple>>)>,
@@ -84,8 +102,17 @@ pub fn spawn(spec: ShardSpec) -> Result<(Sender<ShardCommand>, JoinHandle<()>)> 
         .map_err(|e| Error::Invariant(format!("spawn shard {index}: {e}")))?;
     match ready_rx.recv() {
         Ok(Ok(())) => Ok((tx, handle)),
-        Ok(Err(e)) => Err(e),
-        Err(_) => Err(Error::Invariant(format!("shard {index} died during construction"))),
+        Ok(Err(e)) => {
+            // The thread exits right after reporting the failure; reap it
+            // here so an error return never leaks a dangling JoinHandle
+            // (the old code dropped `handle` un-joined on this path).
+            let _ = handle.join();
+            Err(e)
+        }
+        Err(_) => {
+            let _ = handle.join();
+            Err(Error::Invariant(format!("shard {index} died during construction")))
+        }
     }
 }
 
@@ -122,6 +149,11 @@ impl ShardWorker {
             match cmd {
                 ShardCommand::Apply { r, s } => self.apply(r, s),
                 ShardCommand::Query { method, reply } => {
+                    let result = self.query(method);
+                    let _ = reply.send((self.index, result));
+                }
+                ShardCommand::ApplyThenQuery { r, s, method, reply } => {
+                    self.apply(r, s);
                     let result = self.query(method);
                     let _ = reply.send((self.index, result));
                 }
@@ -187,7 +219,14 @@ impl ShardWorker {
             Method::JoinIndex => &mut self.ji,
             Method::HybridHash => &mut self.hh,
         };
-        self.db.query(strategy)
+        let mut rows = self.db.query(strategy)?;
+        // Sort the shard-local answer so the server can k-way merge the
+        // per-shard runs instead of re-sorting the concatenation. This is
+        // presentation work on the serving path, not simulated strategy
+        // work, so it is deliberately uncharged (the strategy's own ledger
+        // stays identical to a non-sharded run of the same query).
+        rows.sort_by_key(|t| (t.r_sur, t.s_sur));
+        Ok(rows)
     }
 
     /// Rebuild the cached view and join index from the current stored

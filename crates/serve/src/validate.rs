@@ -59,9 +59,21 @@ pub fn validate_run_report(path: &str, json: &Json) -> Result<String, String> {
     Ok(summary)
 }
 
+/// Rollup counters a sharded serve report must carry. A scheduler that
+/// never went through the ring produces a report without them, and that
+/// report is the bug: every serve request is submitted via the ring.
+const REQUIRED_ROLLUP_COUNTERS: &[&str] = &["serve.ring.submitted"];
+
+/// Rollup gauges a sharded serve report must carry: the ring geometry
+/// and the end-to-end latency percentiles the bench harness graphs.
+const REQUIRED_ROLLUP_GAUGES: &[&str] =
+    &["serve.ring.capacity", "serve.latency.p50_us", "serve.latency.p99_us"];
+
 /// Validate a sharded serve report: schema round-trip plus the rollup
 /// invariant — every counter outside the scheduler-only `serve.`
-/// namespace must be the exact sum of the per-shard counters.
+/// namespace must be the exact sum of the per-shard counters — plus the
+/// serve-path instrumentation contract (ring counters and latency
+/// gauges must be present in the rollup).
 pub fn validate_sharded_report(path: &str, json: &Json) -> Result<String, String> {
     let report =
         ShardedRunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
@@ -87,6 +99,16 @@ pub fn validate_sharded_report(path: &str, json: &Json) -> Result<String, String
             return Err(format!(
                 "{path}: rollup counter {key} = {value} but the shards sum to {sum}"
             ));
+        }
+    }
+    for key in REQUIRED_ROLLUP_COUNTERS {
+        if !report.rollup.metrics.counters.iter().any(|(k, _)| k == key) {
+            return Err(format!("{path}: rollup is missing required serve counter {key:?}"));
+        }
+    }
+    for key in REQUIRED_ROLLUP_GAUGES {
+        if report.rollup.metrics.gauge(key).is_none() {
+            return Err(format!("{path}: rollup is missing required serve gauge {key:?}"));
         }
     }
     Ok(format!(
@@ -251,6 +273,40 @@ mod tests {
         let rows = Json::Arr(vec![serve_row("aa"), serve_row("aa")]);
         let ok = validate_report_json("b.json", &base.set("rows", rows)).unwrap();
         assert!(ok.contains("ok"), "{ok}");
+    }
+
+    #[test]
+    fn sharded_report_requires_ring_and_latency_instrumentation() {
+        use crate::{ServeConfig, Server};
+        use trijoin::Method;
+        use trijoin_common::{BaseTuple, Surrogate, SystemParams};
+
+        let params = SystemParams { page_size: 512, mem_pages: 24, ..Default::default() };
+        let config = ServeConfig { batch: 4, seed: 7, ..ServeConfig::new(params, 2) };
+        let tuples: Vec<BaseTuple> =
+            (0..24).map(|i| BaseTuple::padded(Surrogate(i), (i as u64) % 5, 48)).collect();
+        let server = Server::start(&config, tuples.clone(), tuples).unwrap();
+        let session = server.session().unwrap();
+        session.query(Method::HybridHash).unwrap();
+        let report = session.report().unwrap();
+
+        // A live server's report satisfies the instrumentation contract.
+        let ok = validate_report_json("s.json", &report.to_json()).unwrap();
+        assert!(ok.contains("2 shards"), "{ok}");
+
+        // Strip the ring counter: the validator must name it.
+        let mut broken = report.clone();
+        broken.rollup.metrics.counters.retain(|(k, _)| k != "serve.ring.submitted");
+        let err = validate_report_json("s.json", &broken.to_json()).unwrap_err();
+        assert!(err.contains("serve.ring.submitted"), "{err}");
+
+        // Strip each required gauge in turn.
+        for gauge in ["serve.ring.capacity", "serve.latency.p50_us", "serve.latency.p99_us"] {
+            let mut broken = report.clone();
+            broken.rollup.metrics.gauges.retain(|(k, _)| k != gauge);
+            let err = validate_report_json("s.json", &broken.to_json()).unwrap_err();
+            assert!(err.contains(gauge), "{err}");
+        }
     }
 
     #[test]

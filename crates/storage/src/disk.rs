@@ -38,8 +38,10 @@ impl PageId {
 }
 
 struct FileSlot {
-    /// `None` once deleted.
-    pages: Option<Vec<Box<[u8]>>>,
+    /// `None` once deleted. Pages are reference-counted so the buffer pool
+    /// can share a page image with the disk instead of copying it on every
+    /// miss; writers copy-on-write via [`Rc::make_mut`].
+    pages: Option<Vec<Rc<Vec<u8>>>>,
 }
 
 // ---------------------------------------------------------------------
@@ -395,7 +397,7 @@ impl SimDisk {
             .get_mut(file.0 as usize)
             .and_then(|s| s.pages.as_mut())
             .ok_or(Error::PageNotFound { file: file.0, page: 0 })?;
-        slot.push(vec![0u8; self.page_size].into_boxed_slice());
+        slot.push(Rc::new(vec![0u8; self.page_size]));
         Ok(PageId { file, page: (slot.len() - 1) as u32 })
     }
 
@@ -452,6 +454,26 @@ impl SimDisk {
         f(page)
     }
 
+    /// Read a page as a shared, reference-counted image — same checks and
+    /// same single-I/O charge as [`SimDisk::read_page`], minus both the
+    /// allocation *and* the page-sized copy: the caller shares the disk's
+    /// own buffer. Mutating the image requires [`Rc::make_mut`], which
+    /// copies at that point (copy-on-write), so the disk's copy is never
+    /// visible to the caller's writes.
+    pub fn read_page_rc(&self, pid: PageId) -> Result<Rc<Vec<u8>>> {
+        self.gate_read(pid)?;
+        let files = self.files.borrow();
+        let page = files
+            .get(pid.file.0 as usize)
+            .and_then(|s| s.pages.as_ref())
+            .and_then(|pages| pages.get(pid.page as usize))
+            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        let image = Rc::clone(page);
+        drop(files);
+        self.charge_read(pid);
+        Ok(image)
+    }
+
     /// Batched sequential read: append `count` pages of `file`, starting at
     /// `start_page`, contiguously onto `buf`. Charge-identical to `count`
     /// individual `read_page` calls in ascending page order — each page
@@ -488,6 +510,18 @@ impl SimDisk {
     /// Write a page, charging one random I/O. `data` must be exactly one
     /// page long.
     pub fn write_page(&self, pid: PageId, data: &[u8]) -> Result<()> {
+        self.write_page_impl(pid, data, None)
+    }
+
+    /// Write a page from a shared image, charging one random I/O — the
+    /// zero-copy dual of [`SimDisk::read_page_rc`]: on success the disk
+    /// stores the `Rc` itself instead of copying the bytes. Identical fault
+    /// gating and charges to [`SimDisk::write_page`].
+    pub fn write_page_rc(&self, pid: PageId, data: Rc<Vec<u8>>) -> Result<()> {
+        self.write_page_impl(pid, &data, Some(&data))
+    }
+
+    fn write_page_impl(&self, pid: PageId, data: &[u8], rc: Option<&Rc<Vec<u8>>>) -> Result<()> {
         if data.len() != self.page_size {
             return Err(Error::Invariant(format!(
                 "write_page: got {} bytes, page size is {}",
@@ -509,7 +543,7 @@ impl SimDisk {
                     // Half the page reaches the medium; the page is now
                     // detectably damaged until something rewrites it.
                     let half = self.page_size / 2;
-                    page[..half].copy_from_slice(&data[..half]);
+                    Rc::make_mut(page)[..half].copy_from_slice(&data[..half]);
                     drop(files);
                     self.torn.borrow_mut().insert((pid.file.0, pid.page));
                 }
@@ -527,7 +561,10 @@ impl SimDisk {
                 page: pid.page,
             });
         }
-        page.copy_from_slice(data);
+        match rc {
+            Some(rc) => *page = Rc::clone(rc),
+            None => Rc::make_mut(page).copy_from_slice(data),
+        }
         self.cost.io(1);
         self.metrics.incr_id(self.c_writes);
         self.metrics.incr_id(self.file_counters.borrow()[pid.file.0 as usize].1);
@@ -592,6 +629,19 @@ impl SimDisk {
         f(page)
     }
 
+    /// Shared-image variant of [`SimDisk::read_page_free`] (no I/O charge,
+    /// no allocation, no copy): the caller shares the disk's own buffer,
+    /// with copy-on-write isolation as in [`SimDisk::read_page_rc`].
+    pub fn read_page_free_rc(&self, pid: PageId) -> Result<Rc<Vec<u8>>> {
+        let files = self.files.borrow();
+        let page = files
+            .get(pid.file.0 as usize)
+            .and_then(|s| s.pages.as_ref())
+            .and_then(|pages| pages.get(pid.page as usize))
+            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        Ok(Rc::clone(page))
+    }
+
     /// Write a page **without** charging I/O (resident pages; see
     /// [`SimDisk::read_page_free`]).
     pub fn write_page_free(&self, pid: PageId, data: &[u8]) -> Result<()> {
@@ -604,7 +654,7 @@ impl SimDisk {
             .and_then(|s| s.pages.as_mut())
             .and_then(|pages| pages.get_mut(pid.page as usize))
             .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-        page.copy_from_slice(data);
+        Rc::make_mut(page).copy_from_slice(data);
         Ok(())
     }
 

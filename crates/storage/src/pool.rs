@@ -13,6 +13,7 @@
 //! a programming error and panics with a clear message.
 
 use std::cell::RefCell;
+use std::rc::Rc;
 
 use trijoin_common::{CounterId, Error, FxHashMap, Result};
 
@@ -20,8 +21,12 @@ use crate::disk::{Disk, PageId};
 
 struct Frame {
     pid: Option<PageId>,
-    /// Empty while lent out to a closure.
-    data: Vec<u8>,
+    /// The page image, shared with the disk (`None` while lent out to a
+    /// closure, and in empty frames). A miss clones the disk's `Rc` instead
+    /// of copying the page; write access copies-on-write via
+    /// [`Rc::make_mut`], and a dirty eviction hands the `Rc` back to the
+    /// disk without copying either.
+    data: Option<Rc<Vec<u8>>>,
     dirty: bool,
     pins: u32,
     referenced: bool,
@@ -35,7 +40,7 @@ struct Inner {
     /// the dominant pattern in leaf scans — skip even the map lookup.
     /// Validated against the frame before use, so staleness is harmless.
     last: Option<(PageId, usize)>,
-    resident: FxHashMap<PageId, Vec<u8>>,
+    resident: FxHashMap<PageId, Rc<Vec<u8>>>,
     resident_dirty: FxHashMap<PageId, bool>,
     hits: u64,
     misses: u64,
@@ -97,13 +102,7 @@ impl BufferPool {
     pub fn new(disk: Disk, capacity: usize) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         let frames = (0..capacity)
-            .map(|_| Frame {
-                pid: None,
-                data: Vec::new(),
-                dirty: false,
-                pins: 0,
-                referenced: false,
-            })
+            .map(|_| Frame { pid: None, data: None, dirty: false, pins: 0, referenced: false })
             .collect();
         let c_hits = disk.metrics().counter_handle("pool.hits");
         let c_misses = disk.metrics().counter_handle("pool.misses");
@@ -149,7 +148,7 @@ impl BufferPool {
     pub fn mark_resident(&self, pid: PageId) -> Result<()> {
         let data = self.disk.read_page_free(pid)?;
         let mut inner = self.inner.borrow_mut();
-        inner.resident.insert(pid, data);
+        inner.resident.insert(pid, Rc::new(data));
         inner.resident_dirty.insert(pid, false);
         self.disk.metrics().gauge_set("pool.resident", inner.resident.len() as f64);
         Ok(())
@@ -171,21 +170,27 @@ impl BufferPool {
     /// Read access to a page. Hit: free. Miss: one read I/O (plus one write
     /// I/O if a dirty frame must be evicted).
     pub fn with_page<T>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
-        self.access(pid, false, |data| f(data))
+        self.access(pid, false, |image| f(image))
     }
 
     /// Write access to a page; the frame is marked dirty and flushed to disk
-    /// on eviction or [`BufferPool::flush_all`].
+    /// on eviction or [`BufferPool::flush_all`]. If the frame still shares
+    /// its image with the disk, the first write access copies it
+    /// (copy-on-write) so the disk's stored page is never mutated in place.
     pub fn with_page_mut<T>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> T) -> Result<T> {
-        self.access(pid, true, f)
+        self.access(pid, true, |image| f(Rc::make_mut(image).as_mut_slice()))
     }
 
-    fn access<T>(&self, pid: PageId, write: bool, f: impl FnOnce(&mut [u8]) -> T) -> Result<T> {
+    fn access<T>(
+        &self,
+        pid: PageId,
+        write: bool,
+        f: impl FnOnce(&mut Rc<Vec<u8>>) -> T,
+    ) -> Result<T> {
         // Resident fast path: no charge either way.
         {
             let mut inner = self.inner.borrow_mut();
-            if inner.resident.contains_key(&pid) {
-                let mut data = inner.resident.remove(&pid).unwrap();
+            if let Some(mut data) = inner.resident.remove(&pid) {
                 drop(inner);
                 let out = f(&mut data);
                 let mut inner = self.inner.borrow_mut();
@@ -197,22 +202,22 @@ impl BufferPool {
             }
         }
         let idx = self.fetch_frame(pid)?;
-        // Lend the data out without holding the RefCell borrow.
+        // Lend the image out without holding the RefCell borrow.
         let mut data = {
             let mut inner = self.inner.borrow_mut();
             let frame = &mut inner.frames[idx];
             frame.pins += 1;
             frame.referenced = true;
-            if frame.data.is_empty() {
-                panic!("BufferPool: re-entrant access to page {pid:?}");
+            match frame.data.take() {
+                Some(data) => data,
+                None => panic!("BufferPool: re-entrant access to page {pid:?}"),
             }
-            std::mem::take(&mut frame.data)
         };
         let out = f(&mut data);
         let mut inner = self.inner.borrow_mut();
         let frame = &mut inner.frames[idx];
         debug_assert_eq!(frame.pid, Some(pid), "frame stolen while pinned");
-        frame.data = data;
+        frame.data = Some(data);
         frame.pins -= 1;
         if write {
             frame.dirty = true;
@@ -244,35 +249,35 @@ impl BufferPool {
             self.disk.metrics().incr_id(self.c_misses);
         }
         let victim = self.find_victim()?;
-        // Evict the victim (flush if dirty), outside the clock loop. The
-        // victim's buffer is kept either way and refilled below: a clean
-        // eviction reuses the allocation instead of dropping it.
-        let (flush_old, mut buf) = {
+        // Evict the victim (flush if dirty), outside the clock loop.
+        let flush_old = {
             let mut inner = self.inner.borrow_mut();
             let frame = &mut inner.frames[victim];
             let dirty = frame.dirty;
-            let data = std::mem::take(&mut frame.data);
+            let data = frame.data.take();
             let old = frame.pid.take();
             if let Some(old) = old {
                 inner.map.remove(&old);
                 inner.evictions += 1;
                 self.disk.metrics().incr_id(self.c_evictions);
             }
-            (if dirty { old } else { None }, data)
+            if dirty {
+                old.zip(data)
+            } else {
+                None
+            }
         };
-        if let Some(old) = flush_old {
-            self.disk.write_page(old, &buf)?; // charges one write I/O
+        if let Some((old, data)) = flush_old {
+            // Charges one write I/O; the disk stores the Rc itself, so a
+            // dirty eviction moves a pointer, not a page.
+            self.disk.write_page_rc(old, data)?;
         }
-        buf.resize(self.disk.page_size(), 0);
-        // One charged read I/O, copied straight into the reused frame buffer.
-        self.disk.read_page_with(pid, |page| {
-            buf.copy_from_slice(page);
-            Ok(())
-        })?;
+        // One charged read I/O; the frame shares the disk's page image.
+        let image = self.disk.read_page_rc(pid)?;
         let mut inner = self.inner.borrow_mut();
         let frame = &mut inner.frames[victim];
         frame.pid = Some(pid);
-        frame.data = buf;
+        frame.data = Some(image);
         frame.dirty = false;
         frame.pins = 0;
         frame.referenced = true;
@@ -309,28 +314,28 @@ impl BufferPool {
     /// Write every dirty frame (and dirty resident page) back to disk.
     /// Dirty frames charge one write I/O each; resident pages are free.
     pub fn flush_all(&self) -> Result<()> {
-        let dirty: Vec<(PageId, Vec<u8>)> = {
+        let dirty: Vec<(PageId, Rc<Vec<u8>>)> = {
             let mut inner = self.inner.borrow_mut();
             let mut out = Vec::new();
             for frame in inner.frames.iter_mut() {
-                if let (Some(pid), true) = (frame.pid, frame.dirty) {
-                    out.push((pid, frame.data.clone()));
+                if let (Some(pid), true, Some(data)) = (frame.pid, frame.dirty, &frame.data) {
+                    out.push((pid, Rc::clone(data)));
                     frame.dirty = false;
                 }
             }
             out
         };
         for (pid, data) in dirty {
-            self.disk.write_page(pid, &data)?;
+            self.disk.write_page_rc(pid, data)?;
         }
-        let resident: Vec<(PageId, Vec<u8>)> = {
+        let resident: Vec<(PageId, Rc<Vec<u8>>)> = {
             let mut inner = self.inner.borrow_mut();
             let dirty_pids: Vec<PageId> =
                 inner.resident_dirty.iter().filter(|&(_, &d)| d).map(|(&p, _)| p).collect();
             let mut out = Vec::new();
             for pid in dirty_pids {
                 inner.resident_dirty.insert(pid, false);
-                out.push((pid, inner.resident[&pid].clone()));
+                out.push((pid, Rc::clone(&inner.resident[&pid])));
             }
             out
         };

@@ -81,6 +81,61 @@ fn planted_pra_bug_is_caught_and_shrunk() {
     assert_eq!(replayed.site, result.failure.site);
 }
 
+/// A join-attribute update whose new key lives on a different shard is
+/// routed as a delete on the old owner plus an insert on the new one.
+/// The router admits both halves in one call, so no serve-batch
+/// boundary — not an explicit `Batch` flush, not a batch-full flush
+/// with `batch: 1`, not the flush a `Checkpoint` query forces — may
+/// land between them: every checkpoint must observe either both halves
+/// applied or neither, at every shard count.
+#[test]
+fn cross_shard_splits_never_straddle_a_batch_checkpoint() {
+    // Walk a small R through a spread of join keys. The multiply-shift
+    // partition scatters 0..24 over every shard, so with 2 and 4 shards
+    // most modifies move their tuple between shards (verified below),
+    // exercising the split delete+insert path again and again.
+    let keys: Vec<u64> = (0..24).collect();
+    for shards in [2usize, 4] {
+        let hit: std::collections::HashSet<usize> =
+            keys.iter().map(|&k| trijoin_common::shard_of_key(k, shards)).collect();
+        assert_eq!(hit.len(), shards, "key set must cover all {shards} shards");
+    }
+
+    let mut ops = Vec::new();
+    for round in 0..6u64 {
+        for pick in 0..4u64 {
+            let key = keys[(round * 4 + pick) as usize];
+            ops.push(ScriptOp::ModifyJoinR { pick, key, tag: round * 10 + pick });
+            // Batch boundaries between, and right after, split admissions.
+            if pick % 2 == 0 {
+                ops.push(ScriptOp::Batch);
+            }
+        }
+        ops.push(ScriptOp::Checkpoint);
+    }
+    let script = Script {
+        name: "cross-shard-splits".to_string(),
+        spec: ScriptSpec {
+            r_tuples: 8,
+            s_tuples: 8,
+            tuple_bytes: 64,
+            sr: 1.0,
+            group_size: 2,
+            seed: 1234,
+        },
+        shard_counts: vec![1, 2, 4],
+        // Flush on every admitted mutation: if the serve layer could
+        // ever split a delete+insert pair across batches, this is the
+        // configuration that would do it.
+        batch: 1,
+        ops,
+    };
+    let outcome = run_script(&script, &CheckConfig::default())
+        .expect("split delete+insert pairs stay atomic across batch boundaries");
+    assert_eq!(outcome.checkpoints, 6);
+    assert_eq!(outcome.applied, 24, "every join-attribute modify must land");
+}
+
 /// Same seed, same script, same replay statistics — determinism is the
 /// property that makes a repro file worth committing.
 #[test]

@@ -141,10 +141,11 @@ fn serve_checksum_matches_golden() {
 
     let mut checksums: Vec<u64> = Vec::new();
     for shards in [1usize, 4] {
-        let config = ServeConfig { params: params.clone(), shards, batch: 16, seed: 42 };
+        let config =
+            ServeConfig { batch: 16, seed: 42, ..ServeConfig::new(params.clone(), shards) };
         let server = Server::start(&config, gen.r.clone(), gen.s.clone())
             .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
-        let session = server.session();
+        let session = server.session().expect("live server");
         let mut traffic = ClientTraffic::split(&gen, &config, CLIENTS);
         let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
         for q in 0..QUERIES {

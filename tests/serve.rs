@@ -28,7 +28,7 @@ fn params() -> SystemParams {
 }
 
 fn config(shards: usize, batch: usize) -> ServeConfig {
-    ServeConfig { params: params(), shards, batch, seed: 7 }
+    ServeConfig { batch, seed: 7, ..ServeConfig::new(params(), shards) }
 }
 
 fn spec(pra: f64) -> WorkloadSpec {
@@ -56,7 +56,7 @@ fn any_shard_count_matches_the_single_database_oracle() {
     for shards in [1usize, 2, 4, 8] {
         let cfg = config(shards, 16);
         let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-        let session = server.session();
+        let session = server.session().unwrap();
         let mut clients = ClientTraffic::split(&w, &cfg, 3);
         // Interleave the clients' submissions round-robin.
         for _ in 0..20 {
@@ -84,7 +84,7 @@ fn client_interleaving_does_not_change_the_answer() {
 
     // Run A: strict round-robin across clients.
     let server_a = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-    let session_a = server_a.session();
+    let session_a = server_a.session().unwrap();
     let mut clients_a = ClientTraffic::split(&w, &cfg, 4);
     for _ in 0..15 {
         for c in clients_a.iter_mut() {
@@ -94,7 +94,7 @@ fn client_interleaving_does_not_change_the_answer() {
 
     // Run B: the same per-client streams, submitted client-by-client.
     let server_b = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-    let session_b = server_b.session();
+    let session_b = server_b.session().unwrap();
     let mut clients_b = ClientTraffic::split(&w, &cfg, 4);
     for c in clients_b.iter_mut() {
         for _ in 0..15 {
@@ -113,7 +113,7 @@ fn shard_metrics_and_totals_sum_to_the_rollup() {
     let w = spec(0.3).generate();
     let cfg = config(4, 8);
     let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-    let session = server.session();
+    let session = server.session().unwrap();
     let mut clients = ClientTraffic::split(&w, &cfg, 2);
     for _ in 0..30 {
         for c in clients.iter_mut() {
@@ -161,7 +161,7 @@ fn fault_on_one_shard_degrades_and_recovers() {
     let w = spec(0.3).generate();
     let cfg = config(4, 8);
     let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-    let session = server.session();
+    let session = server.session().unwrap();
     let mut clients = ClientTraffic::split(&w, &cfg, 2);
     for _ in 0..10 {
         for c in clients.iter_mut() {
@@ -226,7 +226,7 @@ fn attribute_changing_updates_route_across_shards() {
     let w = spec(1.0).generate();
     let cfg = config(4, 8);
     let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-    let session = server.session();
+    let session = server.session().unwrap();
     let mut clients = ClientTraffic::split(&w, &cfg, 2);
     for _ in 0..40 {
         for c in clients.iter_mut() {
@@ -249,7 +249,7 @@ fn s_mutations_invalidate_cached_state_everywhere() {
     let w = spec(0.3).generate();
     let cfg = config(2, 4);
     let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-    let session = server.session();
+    let session = server.session().unwrap();
     // Warm the caches, then delete two S tuples through the server.
     session.query(Method::MaterializedView).unwrap();
     let mut s_now = w.s.clone();
@@ -273,7 +273,7 @@ fn updates_coalesce_into_differential_batches() {
     let w = spec(0.0).generate();
     let cfg = config(2, 8);
     let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-    let session = server.session();
+    let session = server.session().unwrap();
     let mut clients = ClientTraffic::split(&w, &cfg, 1);
     for _ in 0..20 {
         session.update_r(clients[0].next_mutation()).unwrap();
@@ -290,11 +290,12 @@ fn updates_coalesce_into_differential_batches() {
 
 #[test]
 fn serving_runs_are_bit_identical() {
+    use trijoin_serve::server::VOLATILE_METRICS;
     let run = || {
         let w = spec(0.3).generate();
         let cfg = config(4, 8);
         let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
-        let session = server.session();
+        let session = server.session().unwrap();
         let mut clients = ClientTraffic::split(&w, &cfg, 3);
         for _ in 0..10 {
             for c in clients.iter_mut() {
@@ -302,11 +303,29 @@ fn serving_runs_are_bit_identical() {
             }
         }
         let rows = session.query(Method::JoinIndex).unwrap();
-        let report = session.report().unwrap();
+        let mut report = session.report().unwrap();
+        // The ring's drain chunking and the latency percentiles are
+        // wall-clock shaped — the server declares exactly which metrics
+        // those are; everything else must be bit-identical. Assert the
+        // volatile ones were present before scrubbing them out, so the
+        // scrub can never silently mask a missing metric.
+        let m = &mut report.rollup.metrics;
+        for name in VOLATILE_METRICS {
+            let present = m.counters.iter().any(|(k, _)| k == name)
+                || m.gauges.iter().any(|(k, _)| k == name)
+                || m.histograms.iter().any(|(k, _)| k == name);
+            assert!(present, "volatile metric {name} missing from the rollup");
+        }
+        m.counters.retain(|(k, _)| !VOLATILE_METRICS.contains(&k.as_str()));
+        m.gauges.retain(|(k, _)| !VOLATILE_METRICS.contains(&k.as_str()));
+        m.histograms.retain(|(k, _)| !VOLATILE_METRICS.contains(&k.as_str()));
         (rows, report.to_json().dump())
     };
     let (rows_a, report_a) = run();
     let (rows_b, report_b) = run();
     assert_eq!(rows_a, rows_b, "query answers must be bit-identical across reruns");
-    assert_eq!(report_a, report_b, "serialized reports must be bit-identical across reruns");
+    assert_eq!(
+        report_a, report_b,
+        "serialized reports (volatile ring/latency metrics scrubbed) must be bit-identical"
+    );
 }
