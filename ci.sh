@@ -45,15 +45,30 @@ done
 # contends for a slot and the backpressure path actually runs. Every
 # answer is checked against the oracle inside the command, and the
 # emitted report must carry the serve.ring.* counters and latency
-# gauges that report-validate requires of sharded reports.
+# gauges that report-validate requires of sharded reports — plus, with
+# telemetry on by default, at least two closed windows of time series
+# per shard.
 cargo run --release -q -p trijoin-check --bin trijoin -- \
     serve --shards 4 --clients 4 --batch 8 --ring 2 --queries 8 \
     --scale 300 --report "$report" > /dev/null
-cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    report-validate "$report" --min-series-windows 2
 rm -f "$report"
 # The committed scaling results must carry the serve schema and a result
 # checksum that is identical across shard counts.
 cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results/serve.json
+
+echo "==> live-monitor gate"
+# `trijoin top --once --json` must emit a schema-valid sharded report
+# with the per-shard telemetry series a live monitor feeds on — the
+# scriptable face of the dashboard is held to the same schema as every
+# other report in the repo.
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    top --shards 4 --clients 4 --batch 8 --ring 2 --queries 8 \
+    --scale 300 --once --json > "$report"
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    report-validate "$report" --min-series-windows 2
+rm -f "$report"
 
 echo "==> wall-clock smoke gate"
 # The wall-clock harness must run end-to-end (smoke scale) and emit a
@@ -65,6 +80,15 @@ cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results
 rm -f results/wallclock_smoke.json
 cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results/wallclock.json
 cargo test -q --release -p trijoin-serve --test golden_ledger
+
+echo "==> bench-regression gate"
+# Full-scale serve benches against the committed comparison file: more
+# than 20% qps below the committed after-numbers fails CI. (Generous
+# margin — the serve loops pin a 2 s floor precisely so scheduler noise
+# stays well inside it.)
+cargo run --release -q -p trijoin-bench --bin wallclock -- \
+    --baseline BENCH_wallclock.json --gate 20 > /dev/null
+rm -f results/wallclock_gate.json
 
 echo "==> simulation gate"
 # Deterministic simulation: replay the committed seed corpus (every

@@ -16,11 +16,22 @@
 //! cargo run --release -p trijoin-bench --bin wallclock -- --smoke # CI gate
 //! cargo run --release -p trijoin-bench --bin wallclock -- \
 //!     --baseline /tmp/wallclock_before.json                       # + BENCH_wallclock.json
+//! cargo run --release -p trijoin-bench --bin wallclock -- \
+//!     --baseline BENCH_wallclock.json --gate 20                   # CI regression gate
 //! ```
 //!
 //! Emits `results/wallclock.json` (`figure: "wallclock"`). With
-//! `--baseline <path>` (a previous `wallclock.json`), also writes the
-//! repo-root `BENCH_wallclock.json` comparing before/after per bench.
+//! `--baseline <path>` (a previous `wallclock.json`, or a committed
+//! `BENCH_wallclock.json` whose `after_*` fields are read as the
+//! baseline), also writes the repo-root `BENCH_wallclock.json` comparing
+//! before/after per bench. `--gate <pct>` turns the comparison into a CI
+//! gate: exit non-zero if any serve bench's qps fell more than `<pct>`
+//! percent below the baseline.
+//!
+//! The serve rows also measure telemetry overhead: `serve_qps_4shard`
+//! runs with the default-on telemetry sampler while
+//! `serve_qps_4shard_notel` disables it, and the printed overhead is the
+//! acceptance check that sampling costs <5% of 4-shard throughput.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -69,7 +80,7 @@ const FULL: Scale = Scale {
     cycle_iters: 20,
     serve_tuples: 3_000,
     serve_queries: 24,
-    serve_min_secs: 1.0,
+    serve_min_secs: 2.0,
 };
 const SMOKE: Scale = Scale {
     cycle_tuples: 600,
@@ -136,7 +147,9 @@ fn query_cycle(method: Method, scale: &Scale) -> Row {
 
 /// The serve_bench inner loop (wide tuples, spilling HH) at `shards`
 /// shards: wall seconds of the whole query loop plus derived qps.
-fn serve_qps(shards: usize, scale: &Scale) -> Row {
+/// `telemetry` toggles the default-on windowed sampler so the 4-shard
+/// pair of rows exposes its overhead.
+fn serve_qps(shards: usize, scale: &Scale, telemetry: bool) -> Row {
     const CLIENTS: usize = 4;
     let spec = WorkloadSpec {
         r_tuples: scale.serve_tuples,
@@ -152,7 +165,10 @@ fn serve_qps(shards: usize, scale: &Scale) -> Row {
     let gen = spec.generate();
     let updates_per_query = gen.updates_per_epoch();
 
-    let config = ServeConfig { batch: 32, seed: 42, ..ServeConfig::new(params, shards) };
+    let mut config = ServeConfig { batch: 32, seed: 42, ..ServeConfig::new(params, shards) };
+    if !telemetry {
+        config.telemetry = None;
+    }
     let server = Server::start(&config, gen.r.clone(), gen.s.clone())
         .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
     let session = server.session().expect("live server");
@@ -179,15 +195,25 @@ fn serve_qps(shards: usize, scale: &Scale) -> Row {
         done += 1;
     }
     let wall = started.elapsed().as_secs_f64();
-    let bench = if shards == 1 { "serve_qps_1shard" } else { "serve_qps_4shard" };
+    let bench = match (shards, telemetry) {
+        (1, _) => "serve_qps_1shard",
+        (_, true) => "serve_qps_4shard",
+        (_, false) => "serve_qps_4shard_notel",
+    };
     Row { bench, secs: wall, iters: done, qps: Some(done as f64 / wall.max(1e-9)) }
 }
 
 /// Compare fresh rows against a previous `wallclock.json` and write the
 /// repo-root `BENCH_wallclock.json`. Speedup is before/after seconds for
 /// cycle benches and after/before qps for serve benches — both read as
-/// "how many times faster the optimized build is".
-fn write_comparison(rows: &[Row], baseline_path: &str) {
+/// "how many times faster the optimized build is". Baselines in the
+/// `wallclock_cmp` format (a committed `BENCH_wallclock.json`) are
+/// accepted too: their `after_*` fields are the baseline numbers.
+///
+/// With `gate_pct`, a serve bench whose fresh qps fell more than that
+/// many percent below the baseline fails the run — the CI regression
+/// gate. Returns the names of the benches that failed it.
+fn write_comparison(rows: &[Row], baseline_path: &str, gate_pct: Option<f64>) -> Vec<String> {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
     let baseline = Json::parse(&text).expect("parse baseline json");
@@ -195,14 +221,19 @@ fn write_comparison(rows: &[Row], baseline_path: &str) {
     let find = |bench: &str| -> Option<&Json> {
         base_rows.iter().find(|r| r.get("bench").and_then(Json::as_str) == Some(bench))
     };
+    // "secs"/"qps" in a results file, "after_secs"/"after_qps" in a
+    // comparison file.
+    let base_secs = |r: &Json| r.get("secs").or_else(|| r.get("after_secs")).and_then(Json::as_f64);
+    let base_qps = |r: &Json| r.get("qps").or_else(|| r.get("after_qps")).and_then(Json::as_f64);
 
     let mut out_rows: Vec<Json> = Vec::new();
+    let mut regressed: Vec<String> = Vec::new();
     println!("\n== before/after (baseline: {baseline_path}) ==");
     println!("{:>18}  {:>12}  {:>12}  {:>8}", "bench", "before", "after", "speedup");
     for row in rows {
         let Some(before) = find(row.bench) else { continue };
-        let before_secs = before.get("secs").and_then(Json::as_f64).expect("baseline secs");
-        let speedup = match (row.qps, before.get("qps").and_then(Json::as_f64)) {
+        let before_secs = base_secs(before).expect("baseline secs");
+        let speedup = match (row.qps, base_qps(before)) {
             (Some(after_qps), Some(before_qps)) => after_qps / before_qps.max(1e-12),
             _ => before_secs / row.secs.max(1e-12),
         };
@@ -210,23 +241,38 @@ fn write_comparison(rows: &[Row], baseline_path: &str) {
             "{:>18}  {:>11.4}s  {:>11.4}s  {:>7.2}x",
             row.bench, before_secs, row.secs, speedup
         );
+        if let (Some(pct), Some(after_qps), Some(before_qps)) =
+            (gate_pct, row.qps, base_qps(before))
+        {
+            if after_qps < before_qps * (1.0 - pct / 100.0) {
+                println!(
+                    "  GATE: {} qps {after_qps:.1} is more than {pct:.0}% below \
+                     baseline {before_qps:.1}",
+                    row.bench
+                );
+                regressed.push(row.bench.to_string());
+            }
+        }
         let mut j = Json::obj()
             .set("bench", row.bench)
             .set("before_secs", before_secs)
             .set("after_secs", row.secs)
             .set("speedup", speedup);
-        if let (Some(after_qps), Some(before_qps)) =
-            (row.qps, before.get("qps").and_then(Json::as_f64))
-        {
+        if let (Some(after_qps), Some(before_qps)) = (row.qps, base_qps(before)) {
             j = j.set("before_qps", before_qps).set("after_qps", after_qps);
         }
         out_rows.push(j);
     }
-    let json = Json::obj().set("figure", "wallclock_cmp").set("rows", out_rows);
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wallclock.json");
-    std::fs::write(&path, json.pretty())
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("\njson: BENCH_wallclock.json");
+    // Gate runs are read-only checks: don't clobber the committed
+    // comparison file from CI.
+    if gate_pct.is_none() {
+        let json = Json::obj().set("figure", "wallclock_cmp").set("rows", out_rows);
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wallclock.json");
+        std::fs::write(&path, json.pretty())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("\njson: BENCH_wallclock.json");
+    }
+    regressed
 }
 
 fn main() {
@@ -236,6 +282,13 @@ fn main() {
         .iter()
         .position(|a| a == "--baseline")
         .map(|i| args.get(i + 1).expect("--baseline needs a path").clone());
+    let gate_pct = args.iter().position(|a| a == "--gate").map(|i| {
+        let pct = args.get(i + 1).expect("--gate needs a percent");
+        pct.parse::<f64>().unwrap_or_else(|_| panic!("--gate: bad percent {pct:?}"))
+    });
+    if gate_pct.is_some() && baseline.is_none() {
+        panic!("--gate requires --baseline");
+    }
     let scale = if smoke { SMOKE } else { FULL };
 
     println!("== Wall-clock hot-path benchmarks ({}) ==", if smoke { "smoke" } else { "full" });
@@ -251,8 +304,8 @@ fn main() {
         println!("{:>18}  {:>11.4}s  {:>6}  {:>10}", row.bench, row.secs, row.iters, "-");
         rows.push(row);
     }
-    for shards in [1usize, 4] {
-        let row = serve_qps(shards, &scale);
+    for (shards, telemetry) in [(1usize, true), (4, true), (4, false)] {
+        let row = serve_qps(shards, &scale, telemetry);
         println!(
             "{:>18}  {:>11.4}s  {:>6}  {:>10.1}",
             row.bench,
@@ -262,16 +315,43 @@ fn main() {
         );
         rows.push(row);
     }
+    // Telemetry overhead: the acceptance bar is <5% qps regression at 4
+    // shards with the default-on sampler (meaningless under --smoke,
+    // whose timings are noise by design).
+    let qps_of =
+        |bench: &str| rows.iter().find(|r| r.bench == bench).and_then(|r| r.qps).unwrap_or(0.0);
+    let (with_tel, without_tel) = (qps_of("serve_qps_4shard"), qps_of("serve_qps_4shard_notel"));
+    if without_tel > 0.0 {
+        println!(
+            "\ntelemetry overhead at 4 shards: {:+.2}% qps ({with_tel:.1} on vs \
+             {without_tel:.1} off)",
+            (with_tel / without_tel - 1.0) * 100.0
+        );
+    }
 
     let json = Json::obj()
         .set("figure", "wallclock")
         .set("smoke", if smoke { 1u64 } else { 0u64 })
         .set("rows", rows.iter().map(Row::to_json).collect::<Vec<_>>());
-    // Smoke runs get their own file so the CI gate never clobbers the
-    // committed full-scale results.
-    emit_json(if smoke { "wallclock_smoke" } else { "wallclock" }, &json);
+    // Smoke and gate runs get their own files so the CI gates never
+    // clobber the committed full-scale results.
+    let figure = if smoke {
+        "wallclock_smoke"
+    } else if gate_pct.is_some() {
+        "wallclock_gate"
+    } else {
+        "wallclock"
+    };
+    emit_json(figure, &json);
 
     if let Some(path) = baseline {
-        write_comparison(&rows, &path);
+        let regressed = write_comparison(&rows, &path, gate_pct);
+        if !regressed.is_empty() {
+            eprintln!("bench-regression gate FAILED: {}", regressed.join(", "));
+            std::process::exit(1);
+        }
+        if gate_pct.is_some() {
+            println!("bench-regression gate: ok");
+        }
     }
 }

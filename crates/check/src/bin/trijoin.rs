@@ -18,11 +18,23 @@
 //!     submit batched updates between queries, answers are checked against
 //!     the single-engine oracle, and `--report` writes the per-shard
 //!     reports plus their rollup as JSON
-//! trijoin report-validate <path>
+//! trijoin top --shards 4 --clients 4 [--batch 64] [--ring 1024]
+//!             [--scale 200] [--queries 4] [--refreshes 0] [--mem 80]
+//!             [--strategy mv|ji|hh] [--seed 42] [--once] [--json]
+//!             [--report <path>]
+//!     live serving-stack monitor: spawns a server plus client traffic and
+//!     renders qps, latency percentiles, ring backpressure, pool hit rate,
+//!     per-shard update/query ratio and key skew, cost-drift counts, and
+//!     the telemetry window series. `--once` renders a single frame and
+//!     exits; `--json` emits the sharded run report as JSON (scriptable,
+//!     `report-validate`-clean) instead of the dashboard
+//! trijoin report-validate <path> [--min-series-windows <n>]
 //!     check that <path> holds a well-formed report (CI schema gate); the
 //!     schema is sniffed: a run report, a sharded serve report (per-shard
 //!     reports + rollup, with the metric-sum invariant re-verified), or a
-//!     bench results file (`figure`/`rows`)
+//!     bench results file (`figure`/`rows`); `--min-series-windows`
+//!     additionally requires every per-shard telemetry series to carry at
+//!     least that many closed windows
 //! trijoin check --seed 7 --ops 160 [--shards 1,2,4] [--batch 8] [--mem 64]
 //!               [--out <path>] | --corpus <dir>
 //!     deterministic simulation check: generate a workload script from the
@@ -48,7 +60,7 @@ use trijoin_model::all_costs;
 use trijoin_serve::{ClientTraffic, ServeConfig, Server};
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["trace"];
+const BOOL_FLAGS: &[&str] = &["trace", "once", "json"];
 
 struct Args {
     flags: HashMap<String, String>,
@@ -98,7 +110,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path>"
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n  trijoin top    --shards <n> --clients <n> [--batch <n>] [--ring <n>]\n                 [--scale <n>] [--queries <n>] [--refreshes <n>] [--mem <pages>]\n                 [--strategy mv|ji|hh] [--seed <n>] [--once] [--json] [--report <path>]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path> [--min-series-windows <n>]"
 }
 
 fn main() -> ExitCode {
@@ -118,6 +130,7 @@ fn main() -> ExitCode {
                 "model" => model(&args),
                 "run" => run(&args),
                 "serve" => serve(&args),
+                "top" => top(&args),
                 "check" => check(&args),
                 other => Err(format!("unknown command {other:?}\n{}", usage())),
             },
@@ -403,12 +416,153 @@ fn serve(args: &Args) -> Result<(), String> {
 /// `trijoin report-validate <path>` — the CI schema gate, implemented in
 /// [`trijoin_serve::validate`] so its error paths are unit-tested.
 fn report_validate(rest: &[String]) -> Result<(), String> {
-    let [path] = rest else {
-        return Err("usage: trijoin report-validate <path>".into());
+    let usage = "usage: trijoin report-validate <path> [--min-series-windows <n>]";
+    let (path, min_windows) = match rest {
+        [path] => (path, 0usize),
+        [path, flag, n] if flag == "--min-series-windows" => {
+            let n = n.parse().map_err(|_| format!("--min-series-windows: bad count {n:?}"))?;
+            (path, n)
+        }
+        _ => return Err(usage.into()),
     };
-    let summary = trijoin_serve::validate::validate_report_file(path)?;
+    let summary = trijoin_serve::validate::validate_report_file_with(path, min_windows)?;
     println!("{summary}");
     Ok(())
+}
+
+/// `trijoin top` — the live serving-stack monitor. Spawns its own server
+/// plus deterministic client traffic, then refreshes a dashboard frame
+/// per traffic round: throughput, latency percentiles, ring
+/// backpressure, pool hit rate, per-shard update/query ratio, key skew,
+/// cost-drift counts, and the telemetry window series. `--once` renders
+/// a single frame; `--json` prints the sharded run report instead (it
+/// validates under `trijoin report-validate`).
+fn top(args: &Args) -> Result<(), String> {
+    let err = |e: trijoin_common::Error| e.to_string();
+    let shards = args.u64("shards", 4)? as usize;
+    let clients = args.u64("clients", 4)? as usize;
+    let batch = args.u64("batch", 64)? as usize;
+    let ring = args.u64("ring", 1024)? as usize;
+    let queries = args.u64("queries", 4)?;
+    let refreshes = args.u64("refreshes", 0)?;
+    let seed = args.u64("seed", 42)?;
+    let once = args.flag("once");
+    let json = args.flag("json");
+    if shards == 0 || clients == 0 || queries == 0 || ring == 0 {
+        return Err("--shards, --clients, --queries and --ring must be positive".into());
+    }
+    let method = match args.str("strategy", "hh").as_str() {
+        "mv" => Method::MaterializedView,
+        "ji" => Method::JoinIndex,
+        "hh" => Method::HybridHash,
+        other => return Err(format!("--strategy: unknown {other:?} (mv|ji|hh)")),
+    };
+    let spec = WorkloadSpec::paper_scaled(
+        args.u64("scale", 200)? as u32,
+        args.f64("sr", 0.01)?,
+        args.f64("activity", 0.06)?,
+        args.f64("pra", 0.1)?,
+        trijoin_common::rng::derive(seed, "workload"),
+    );
+    let params =
+        SystemParams { mem_pages: args.u64("mem", 80)? as usize, ..SystemParams::paper_defaults() };
+    let gen = spec.generate();
+    let config = ServeConfig { batch, ring, seed, ..ServeConfig::new(params, shards) };
+    let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
+    let session = server.session().map_err(err)?;
+    let mut traffic = ClientTraffic::split(&gen, &config, clients);
+    let updates_per_query = gen.updates_per_epoch();
+
+    let mut frame = 0u64;
+    let mut sent = 0u64;
+    loop {
+        // One traffic round per frame: interleaved client updates, then
+        // the queries whose completion times feed the percentiles.
+        let round_start = std::time::Instant::now();
+        for q in 0..queries {
+            for u in 0..updates_per_query {
+                let c = ((sent + q * updates_per_query + u) % clients as u64) as usize;
+                session.update_r(traffic[c].next_mutation()).map_err(err)?;
+            }
+            session.query(method).map_err(err)?;
+        }
+        sent += queries * updates_per_query;
+        let wall = round_start.elapsed().as_secs_f64();
+        let report = session.report().map_err(err)?;
+        frame += 1;
+
+        let last_frame = once || (refreshes > 0 && frame >= refreshes);
+        if json {
+            if last_frame {
+                println!("{}", report.to_json().pretty());
+            }
+        } else {
+            if !once {
+                // Redraw in place: clear screen, home the cursor.
+                print!("\x1b[2J\x1b[H");
+            }
+            render_top_frame(&report, frame, method, queries as f64 / wall.max(1e-9));
+        }
+        if let Some(path) = args.opt_str("report") {
+            if last_frame {
+                std::fs::write(&path, report.to_json().pretty())
+                    .map_err(|e| format!("--report {path}: {e}"))?;
+            }
+        }
+        if last_frame {
+            return Ok(());
+        }
+    }
+}
+
+/// Render one `trijoin top` dashboard frame from a sharded run report.
+fn render_top_frame(
+    report: &trijoin_common::ShardedRunReport,
+    frame: u64,
+    method: Method,
+    qps: f64,
+) {
+    use trijoin_common::telemetry::safe_div;
+    let rollup = &report.rollup;
+    let m = &rollup.metrics;
+    let gauge = |name: &str| m.gauge(name).unwrap_or(0.0);
+    println!("trijoin top — frame {frame}: {} shards, strategy {method}", report.shards.len());
+    println!(
+        "  qps {qps:>8.1}   p50 {:>7.0}us   p99 {:>7.0}us   ring cap {:>5.0} \
+         ({:.0} full-waits)   pool hit {:>5.1}%",
+        gauge("serve.latency.p50_us"),
+        gauge("serve.latency.p99_us"),
+        gauge("serve.ring.capacity"),
+        gauge("serve.ring.full_waits"),
+        rollup.pool_hit_rate() * 100.0
+    );
+    let mean_r = safe_div(
+        report.shards.iter().map(|s| s.metrics.gauge("shard.r_tuples").unwrap_or(0.0)).sum(),
+        report.shards.len() as f64,
+    );
+    println!("  shard   r_tuples   s_tuples   upd/query   skew   drift");
+    for shard in &report.shards {
+        let sm = &shard.metrics;
+        let drift =
+            shard.events.iter().filter(|e| e.kind == trijoin_common::EventKind::CostDrift).count();
+        println!(
+            "  {:>5}   {:>8.0}   {:>8.0}   {:>9.1}   {:>4.2}   {drift:>5}",
+            shard.name.trim_start_matches("shard"),
+            sm.gauge("shard.r_tuples").unwrap_or(0.0),
+            sm.gauge("shard.s_tuples").unwrap_or(0.0),
+            safe_div(sm.counter("db.mutations") as f64, sm.counter("db.queries") as f64),
+            safe_div(sm.gauge("shard.r_tuples").unwrap_or(0.0), mean_r),
+        );
+    }
+    for series in &rollup.series {
+        let audited: usize = series.audit.len();
+        println!(
+            "  series {:<8} domain {:<8} {:>3} windows   {audited} audited sections",
+            series.name,
+            series.domain,
+            series.windows.len()
+        );
+    }
 }
 
 /// `trijoin check` — the deterministic simulation harness. Generates a

@@ -25,7 +25,10 @@ use std::collections::BTreeMap;
 
 use rand::prelude::*;
 use trijoin::{Database, WorkloadSpec};
-use trijoin_common::{rng, BaseTuple, Script, ScriptOp, Surrogate, SystemParams, ViewTuple};
+use trijoin_common::{
+    rng, BaseTuple, EventKind, Script, ScriptOp, Surrogate, SystemParams, TelemetryConfig,
+    ViewTuple,
+};
 use trijoin_exec::{oracle, JoinStrategy, Mutation, Update};
 use trijoin_model::{all_costs, Method, Workload};
 use trijoin_serve::{ClientSession, ServeConfig, Server};
@@ -55,6 +58,12 @@ pub struct CheckConfig {
     pub sabotage: Sabotage,
     /// Run the cost-model metamorphic checks at checkpoints.
     pub model_checks: bool,
+    /// Scale factor applied to every analytical prediction the engines'
+    /// cost audit makes. `1.0` audits the stock model (which must stay
+    /// under the drift threshold on the corpus); a factor far from 1.0
+    /// simulates a miscalibrated model parameter so the `CostDrift`
+    /// detection path can be exercised deliberately.
+    pub audit_calibration: f64,
 }
 
 impl Default for CheckConfig {
@@ -63,6 +72,7 @@ impl Default for CheckConfig {
             params: SystemParams::test_small(),
             sabotage: Sabotage::None,
             model_checks: true,
+            audit_calibration: 1.0,
         }
     }
 }
@@ -79,6 +89,9 @@ pub struct CheckOutcome {
     pub skipped: usize,
     /// Fault plans installed across engines and servers.
     pub faults_installed: usize,
+    /// `CostDrift` events the engines' predicted-vs-actual audit raised
+    /// over the whole replay (0 when the model tracks the ledger).
+    pub cost_drift_events: usize,
 }
 
 /// A failed replay: which checkpoint, which implementation, and why.
@@ -119,11 +132,17 @@ struct Engine {
 impl Engine {
     fn new(
         method: Method,
-        params: &SystemParams,
+        cfg: &CheckConfig,
         r: Vec<BaseTuple>,
         s: Vec<BaseTuple>,
     ) -> trijoin_common::Result<Engine> {
-        let db = Database::new(params, r, s)?;
+        // The audit prices the model against the initial measured
+        // statistics (same pra the metamorphic checks use); enable it
+        // before any script work so every query cycle is audited.
+        let workload = trijoin::measure_workload(&r, &s, 0.1, 0.0);
+        let db = Database::new(&cfg.params, r, s)?;
+        db.enable_telemetry(TelemetryConfig::default());
+        db.enable_cost_audit(workload, cfg.audit_calibration);
         let cached = match method {
             Method::MaterializedView => Cached::Mv(db.materialized_view()?),
             Method::JoinIndex => Cached::Ji(db.join_index()?),
@@ -612,7 +631,7 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
     let mut engines = Vec::with_capacity(3);
     for method in Method::all() {
         engines.push(
-            Engine::new(method, &cfg.params, generated.r.clone(), generated.s.clone())
+            Engine::new(method, cfg, generated.r.clone(), generated.s.clone())
                 .map_err(|e| bad_input(format!("engine {method} construction: {e}")))?,
         );
     }
@@ -664,6 +683,14 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
                 }
             }
         }
+    }
+    // Close each engine's open telemetry window (the report capture does
+    // that and lands any tail drift alerts in the event log first), then
+    // total the audit's verdict over the whole replay.
+    for e in &driver.engines {
+        let report = e.db.run_report(format!("check:{}", e.method));
+        driver.outcome.cost_drift_events +=
+            report.events.iter().filter(|ev| ev.kind == EventKind::CostDrift).count();
     }
     Ok(driver.outcome)
 }

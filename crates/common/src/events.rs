@@ -29,6 +29,9 @@ pub enum EventKind {
     RecoveryTriggered,
     /// The adaptive planner changed strategy.
     StrategySwitch,
+    /// A telemetry window's predicted-vs-actual cost error exceeded the
+    /// configured drift threshold (see `telemetry::DriftAlert`).
+    CostDrift,
 }
 
 impl EventKind {
@@ -40,6 +43,7 @@ impl EventKind {
             EventKind::FaultFired => "fault_fired",
             EventKind::RecoveryTriggered => "recovery_triggered",
             EventKind::StrategySwitch => "strategy_switch",
+            EventKind::CostDrift => "cost_drift",
         }
     }
 
@@ -51,6 +55,7 @@ impl EventKind {
             "fault_fired" => EventKind::FaultFired,
             "recovery_triggered" => EventKind::RecoveryTriggered,
             "strategy_switch" => EventKind::StrategySwitch,
+            "cost_drift" => EventKind::CostDrift,
             _ => return None,
         })
     }
@@ -123,6 +128,7 @@ impl Event {
 struct Ring {
     events: VecDeque<Event>,
     next_seq: u64,
+    dropped: u64,
 }
 
 /// Shared handle to the event ring. Clones alias the same buffer.
@@ -142,8 +148,15 @@ impl EventLog {
         ring.next_seq += 1;
         if ring.events.len() == EVENT_CAPACITY {
             ring.events.pop_front();
+            ring.dropped += 1;
         }
         ring.events.push_back(Event { seq, kind, detail: detail.into(), at });
+    }
+
+    /// Events evicted from the ring to make room (overflow is no longer
+    /// silent: run reports surface this as the `events.dropped` counter).
+    pub fn dropped(&self) -> u64 {
+        self.0.borrow().dropped
     }
 
     /// Retained events, oldest first.
@@ -166,6 +179,7 @@ impl EventLog {
         let mut ring = self.0.borrow_mut();
         ring.events.clear();
         ring.next_seq = 0;
+        ring.dropped = 0;
     }
 }
 
@@ -203,6 +217,18 @@ mod tests {
         assert_eq!(events.first().unwrap().seq, 5);
         assert_eq!(events.last().unwrap().seq, EVENT_CAPACITY as u64 + 4);
         assert_eq!(log.emitted(), EVENT_CAPACITY as u64 + 5);
+        assert_eq!(log.dropped(), 5, "overflow is counted, not silent");
+    }
+
+    #[test]
+    fn dropped_is_zero_until_overflow() {
+        let log = EventLog::new();
+        for i in 0..EVENT_CAPACITY as u64 {
+            log.emit(EventKind::QueryStart, "q", at(i));
+        }
+        assert_eq!(log.dropped(), 0, "a full-but-not-overflowed ring drops nothing");
+        log.emit(EventKind::QueryEnd, "q", at(0));
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]
@@ -224,6 +250,7 @@ mod tests {
             EventKind::FaultFired,
             EventKind::RecoveryTriggered,
             EventKind::StrategySwitch,
+            EventKind::CostDrift,
         ] {
             assert_eq!(EventKind::from_wire(kind.as_str()), Some(kind));
         }
@@ -233,9 +260,12 @@ mod tests {
     #[test]
     fn reset_clears_and_rewinds() {
         let log = EventLog::new();
-        log.emit(EventKind::QueryStart, "x", at(0));
+        for i in 0..(EVENT_CAPACITY as u64 + 1) {
+            log.emit(EventKind::QueryStart, "x", at(i));
+        }
         log.reset();
         assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 0);
         log.emit(EventKind::QueryStart, "y", at(0));
         assert_eq!(log.events()[0].seq, 0);
     }

@@ -17,7 +17,8 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (always finite; NaN/inf are rejected at build time).
+    /// Any number (always finite; NaN/inf degrade to 0 at build time, and
+    /// the writer prints any directly-constructed non-finite `Num` as 0).
     Num(f64),
     /// A string.
     Str(String),
@@ -171,8 +172,10 @@ impl Json {
 
 impl From<f64> for Json {
     fn from(n: f64) -> Json {
-        assert!(n.is_finite(), "JSON numbers must be finite, got {n}");
-        Json::Num(n)
+        // JSON has no NaN/Infinity token. A non-finite value (a rate
+        // computed as 0/0 upstream) degrades to 0 here rather than
+        // corrupting the document — or, worse, panicking mid-report.
+        Json::Num(if n.is_finite() { n } else { 0.0 })
     }
 }
 impl From<u64> for Json {
@@ -207,7 +210,11 @@ impl From<Vec<Json>> for Json {
 }
 
 fn write_number(out: &mut String, n: f64) {
-    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity token; emitting one would corrupt the
+        // whole document, so non-finite values degrade to 0.
+        out.push('0');
+    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
         // Integral values print without the ".0" Rust's `{:?}` would add.
         let _ = write!(out, "{}", n as i64);
     } else {
@@ -402,6 +409,19 @@ mod tests {
         for text in [doc.dump(), doc.pretty()] {
             assert_eq!(Json::parse(&text).unwrap(), doc, "via {text}");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_zero() {
+        // A NaN (e.g. a rate computed as 0/0) must never corrupt the
+        // document: it degrades to 0 and the output still parses.
+        let doc = Json::obj()
+            .set("nan", f64::NAN)
+            .set("inf", f64::INFINITY)
+            .set("neg_inf", f64::NEG_INFINITY);
+        let text = doc.dump();
+        assert_eq!(text, r#"{"nan":0,"inf":0,"neg_inf":0}"#);
+        assert!(Json::parse(&text).is_ok());
     }
 
     #[test]

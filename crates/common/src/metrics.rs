@@ -90,6 +90,34 @@ impl Histogram {
         }
     }
 
+    /// Estimate of the sample at rank `ceil(p * count)` (1-based, clamped
+    /// into `[1, count]`). Rank 1 is exactly `min` and rank `count` exactly
+    /// `max`; an interior rank resolves to the lower edge of the bucket
+    /// holding it, clamped into `[min, max]`. That makes single-sample and
+    /// duplicate-heavy distributions exact and bounds everything else by
+    /// one power-of-two bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                return lower.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Fold `other`'s samples into this histogram (bucket-wise). Exact for
     /// count/sum/min/max/buckets — the merge of per-shard histograms equals
     /// the histogram a single registry would have recorded.
@@ -223,6 +251,34 @@ impl Metrics {
     /// Copy of the named histogram (`None` if never observed).
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         self.0.borrow().histograms.get(name).cloned()
+    }
+
+    /// Visit every touched counter as `(slot, name, value)` without
+    /// allocating. Slot ids are stable for the registry's lifetime
+    /// (interned in first-touch order), so callers can keep slot-indexed
+    /// baselines — the telemetry window-close path, which runs too often
+    /// to afford a full [`Metrics::snapshot`].
+    pub fn visit_counters(&self, mut f: impl FnMut(usize, &str, u64)) {
+        let reg = self.0.borrow();
+        for (id, slot) in reg.counter_slots.iter().enumerate() {
+            if slot.touched {
+                f(id, &slot.name, slot.value);
+            }
+        }
+    }
+
+    /// Visit every gauge in name order without allocating.
+    pub fn visit_gauges(&self, mut f: impl FnMut(&str, f64)) {
+        for (k, v) in self.0.borrow().gauges.iter() {
+            f(k, *v);
+        }
+    }
+
+    /// Visit every histogram in name order without allocating.
+    pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (k, h) in self.0.borrow().histograms.iter() {
+            f(k, h);
+        }
     }
 
     /// Clear every instrument (used between measured phases, mirroring
@@ -458,6 +514,44 @@ mod tests {
         assert_eq!(h.buckets[3], 1); // 8
         assert_eq!(h.buckets[10], 1); // 1024
         assert!((h.mean() - 1037.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_match_exact_on_known_distributions() {
+        // Single sample: every quantile is that sample, exactly.
+        let m = Metrics::new();
+        m.observe("one", 37);
+        let h = m.histogram("one").unwrap();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), 37, "p={p}");
+        }
+
+        // Duplicate-heavy: 99 copies of 10 and one 1000 — p50 must be 10
+        // and p99 must stay 10 (rank 99 of 100), p100 the outlier's bucket.
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.observe("dup", 10);
+        }
+        m.observe("dup", 1000);
+        let h = m.histogram("dup").unwrap();
+        assert_eq!(h.quantile(0.50), 10);
+        assert_eq!(h.quantile(0.99), 10);
+        assert_eq!(h.quantile(1.0), 1000, "rank == count returns max exactly");
+
+        // Powers of two land on their bucket lower edges: every rank of
+        // this distribution comes back exact.
+        let m = Metrics::new();
+        for sample in [1u64, 2, 4, 8] {
+            m.observe("pow", sample);
+        }
+        let h = m.histogram("pow").unwrap();
+        assert_eq!(h.quantile(0.25), 1, "rank 1 returns min exactly");
+        assert_eq!(h.quantile(0.5), 2, "rank 2: bucket [2,4) lower edge");
+        assert_eq!(h.quantile(0.75), 4, "rank 3: bucket [4,8) lower edge");
+        assert_eq!(h.quantile(1.0), 8, "rank 4 returns max exactly");
+
+        // Empty histogram yields 0, never panics.
+        assert_eq!(Histogram::default().quantile(0.5), 0);
     }
 
     #[test]

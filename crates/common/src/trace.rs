@@ -9,13 +9,17 @@
 //! `trijoin --report <path>` emits one per run; `ci.sh` schema-checks one.
 //!
 //! The stable top-level JSON keys are `name`, `params`, `totals`, `spans`,
-//! `metrics`, `events`, and `deltas`.
+//! `metrics`, `events`, and `deltas`; runs with telemetry enabled add
+//! `series` (omitted entirely when no sampler ran, so telemetry-free
+//! reports — including the pinned goldens — are byte-identical to before
+//! the subsystem existed).
 
 use crate::cost::{Cost, OpCounts, SpanRecord};
 use crate::events::{Event, EventLog};
 use crate::json::Json;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::params::SystemParams;
+use crate::telemetry::SeriesSnapshot;
 
 /// Serialize an [`OpCounts`] as `{ios, comps, hashes, moves}`.
 pub fn ops_to_json(ops: &OpCounts) -> Json {
@@ -187,6 +191,8 @@ pub struct RunReport {
     pub events: Vec<Event>,
     /// Engine-vs-model drift observations (empty when no model ran).
     pub deltas: Vec<ModelDelta>,
+    /// Windowed telemetry series (empty when no sampler was enabled).
+    pub series: Vec<SeriesSnapshot>,
 }
 
 impl RunReport {
@@ -198,28 +204,44 @@ impl RunReport {
         metrics: &Metrics,
         events: &EventLog,
     ) -> RunReport {
+        let mut snapshot = metrics.snapshot();
+        // Ring overflow is not silent: runs that evicted events carry the
+        // count as a counter. Injected only on overflow so the reports of
+        // runs that never overflow (goldens included) are unchanged.
+        let dropped = events.dropped();
+        if dropped > 0 {
+            let mut patch = MetricsSnapshot::default();
+            patch.counters.push(("events.dropped".to_string(), dropped));
+            snapshot.merge(&patch);
+        }
         RunReport {
             name: name.into(),
             params: params.clone(),
             totals: cost.total(),
             spans: cost.span_tree(),
-            metrics: metrics.snapshot(),
+            metrics: snapshot,
             events: events.events(),
             deltas: Vec::new(),
+            series: Vec::new(),
         }
     }
 
     /// Serialize. Top-level keys: `name`, `params`, `totals`, `spans`,
-    /// `metrics`, `events`, `deltas`.
+    /// `metrics`, `events`, `deltas`, plus `series` when telemetry ran.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let json = Json::obj()
             .set("name", self.name.as_str())
             .set("params", params_to_json(&self.params))
             .set("totals", ops_to_json(&self.totals))
             .set("spans", Json::Arr(self.spans.iter().map(span_to_json).collect()))
             .set("metrics", self.metrics.to_json())
             .set("events", Json::Arr(self.events.iter().map(Event::to_json).collect()))
-            .set("deltas", Json::Arr(self.deltas.iter().map(ModelDelta::to_json).collect()))
+            .set("deltas", Json::Arr(self.deltas.iter().map(ModelDelta::to_json).collect()));
+        if self.series.is_empty() {
+            json
+        } else {
+            json.set("series", Json::Arr(self.series.iter().map(SeriesSnapshot::to_json).collect()))
+        }
     }
 
     /// Inverse of [`RunReport::to_json`].
@@ -245,6 +267,14 @@ impl RunReport {
             )?,
             events: arr("events")?.iter().map(Event::from_json).collect::<Result<_, _>>()?,
             deltas: arr("deltas")?.iter().map(ModelDelta::from_json).collect::<Result<_, _>>()?,
+            series: match json.get("series") {
+                // Absent = no telemetry ran (the pre-telemetry schema).
+                None => Vec::new(),
+                Some(Json::Arr(items)) => {
+                    items.iter().map(SeriesSnapshot::from_json).collect::<Result<_, _>>()?
+                }
+                Some(_) => return Err("report: series is not an array".to_string()),
+            },
         })
     }
 
@@ -328,6 +358,7 @@ impl ShardedRunReport {
         let mut metrics = MetricsSnapshot::default();
         let mut events: Vec<Event> = Vec::new();
         let mut deltas = Vec::new();
+        let mut series: Vec<SeriesSnapshot> = Vec::new();
         for (idx, shard) in shards.iter().enumerate() {
             totals.add(&shard.totals);
             for span in &shard.spans {
@@ -355,6 +386,18 @@ impl ShardedRunReport {
                 events.push(event);
             }
             deltas.extend(shard.deltas.iter().cloned());
+            // Same-named series merge window-by-window (aligned on the
+            // monotone window index), so the rollup carries one fleet-wide
+            // "engine" series rather than one per shard.
+            for snapshot in &shard.series {
+                match series
+                    .iter_mut()
+                    .find(|s| s.name == snapshot.name && s.domain == snapshot.domain)
+                {
+                    Some(s) => s.merge(snapshot),
+                    None => series.push(snapshot.clone()),
+                }
+            }
         }
         // Interleave shard event streams round-robin by per-shard sequence
         // number (there is no global clock), then re-sequence. The sort is
@@ -371,6 +414,7 @@ impl ShardedRunReport {
             metrics,
             events,
             deltas,
+            series,
         };
         ShardedRunReport { name, shards, rollup }
     }
@@ -488,6 +532,62 @@ mod tests {
         assert!((d.ratio() - 0.5).abs() < 1e-12);
         let z = ModelDelta { label: "x".into(), engine_secs: 2.0, model_secs: 0.0 };
         assert!((z.ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_pool_report_round_trips_without_nan() {
+        // A report from a run with zero pool traffic must serialize finite
+        // numbers everywhere (rates are 0, not NaN) and round-trip exactly.
+        let report = sample_report();
+        assert_eq!(report.pool_hit_rate(), 0.0);
+        let mut json = report.to_json();
+        json = json
+            .set("hit_rate", report.pool_hit_rate())
+            .set("eviction_rate", report.pool_eviction_rate());
+        let text = json.pretty();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "non-finite leaked: {text}");
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn series_round_trip_and_omission() {
+        use crate::telemetry::{Telemetry, TelemetryConfig};
+        // Telemetry-free reports omit the key entirely (golden safety)...
+        let plain = sample_report();
+        assert!(plain.to_json().get("series").is_none());
+        assert_eq!(RunReport::parse(&plain.to_json().dump()).unwrap(), plain);
+        // ...and reports that carry series round-trip them exactly.
+        let tel = Telemetry::new(
+            TelemetryConfig { window_ticks: 1, capacity: 4, drift_threshold: 3.0 },
+            "engine",
+            "ops",
+        );
+        let metrics = Metrics::new();
+        tel.tick(0, &metrics);
+        metrics.incr("db.queries");
+        tel.record_audit("cycle.materialized-view", 10.0, 12.0);
+        tel.tick(1, &metrics);
+        let mut report = sample_report();
+        report.series.push(tel.series());
+        let back = RunReport::parse(&report.to_json().pretty()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.series[0].windows.len(), 1);
+    }
+
+    #[test]
+    fn event_overflow_surfaces_as_dropped_counter() {
+        let params = SystemParams::test_small();
+        let cost = Cost::new();
+        let metrics = Metrics::new();
+        let events = EventLog::new();
+        for i in 0..crate::events::EVENT_CAPACITY as u64 + 3 {
+            events.emit(EventKind::QueryStart, "q", OpCounts { ios: i, ..OpCounts::default() });
+        }
+        let report = RunReport::capture("overflow", &params, &cost, &metrics, &events);
+        assert_eq!(report.metrics.counter("events.dropped"), 3);
+        // Without overflow the counter never appears.
+        let quiet = sample_report();
+        assert!(!quiet.metrics.counters.iter().any(|(k, _)| k == "events.dropped"));
     }
 
     #[test]

@@ -1,17 +1,68 @@
 //! A small database instance wiring the paper's storage organization
 //! (Table 5) to the simulated device.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+use trijoin_common::telemetry::{DriftAlert, SeriesSnapshot, Telemetry, TelemetryConfig};
 use trijoin_common::{
     BaseTuple, Cost, EventKind, EventLog, Metrics, OpCounts, Result, RunReport, SystemParams,
     ViewTuple,
 };
+use trijoin_model::Workload;
 
 use trijoin_exec::{
     BilateralView, EagerView, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView,
     StoredRelation,
 };
 use trijoin_storage::{Disk, FaultPlan, SimDisk};
+
+/// The engine's telemetry tick: total primitive ledger operations. Purely
+/// a function of the simulated ledger, so window boundaries are
+/// deterministic and identical across identical runs.
+fn ops_tick(total: &OpCounts) -> u64 {
+    total.ios + total.comps + total.hashes + total.moves
+}
+
+/// Predicted-vs-actual bookkeeping for the cost audit (lives inside the
+/// optional [`EngineTelemetry`]).
+struct CostAudit {
+    /// Measured statistics of the loaded relations (the model's inputs).
+    workload: Workload,
+    /// Multiplier on every prediction. 1.0 = the stock model; tests
+    /// deliberately miscalibrate it to prove drift detection fires.
+    calibration: f64,
+    /// Model estimate for logging one differential update, microseconds
+    /// (MV term C1.1 priced at `updates = 1`).
+    apply_unit_us: f64,
+    /// Updates applied since the audit was armed.
+    apply_seq: u64,
+    /// `apply_seq` at each strategy's last audited query — the per-label
+    /// pending-update count the next query cycle is priced with (each
+    /// strategy folds only its own differential file).
+    last_cycle_seq: BTreeMap<&'static str, u64>,
+    /// Memoized predictions keyed by `(strategy label, pending updates)`:
+    /// steady traffic re-prices the same pending count every cycle, and
+    /// building the model's term table allocates, so each distinct key is
+    /// priced once. Values are `(cycle µs, spill µs, base-pass pages)`.
+    predicted: BTreeMap<(&'static str, u64), (f64, f64, f64)>,
+}
+
+/// The audit section a strategy's query cycles record under, without a
+/// per-query allocation for the paper strategies.
+fn cycle_section(label: &'static str) -> std::borrow::Cow<'static, str> {
+    match label {
+        "materialized-view" => std::borrow::Cow::Borrowed("cycle.materialized-view"),
+        "join-index" => std::borrow::Cow::Borrowed("cycle.join-index"),
+        "hybrid-hash" => std::borrow::Cow::Borrowed("cycle.hybrid-hash"),
+        other => std::borrow::Cow::Owned(format!("cycle.{other}")),
+    }
+}
+
+struct EngineTelemetry {
+    tel: Telemetry,
+    audit: Option<CostAudit>,
+}
 
 /// One simulated database: a disk, a cost ledger, and the two base
 /// relations organized per Table 5 (`R` clustered on its surrogate; `S`
@@ -23,6 +74,10 @@ pub struct Database {
     disk: Disk,
     r: StoredRelation,
     s: Rc<StoredRelation>,
+    /// Opt-in windowed telemetry + cost audit. Strictly `None` unless
+    /// [`Database::enable_telemetry`] ran: engines without it produce
+    /// byte-identical reports to the pre-telemetry schema (golden safety).
+    telemetry: RefCell<Option<EngineTelemetry>>,
 }
 
 impl Database {
@@ -54,7 +109,7 @@ impl Database {
         let disk = SimDisk::new(params, cost.clone());
         let r = StoredRelation::build(&disk, params, "R", r, r_inverted)?;
         let s = Rc::new(StoredRelation::build(&disk, params, "S", s, true)?);
-        Ok(Database { params: params.clone(), cost, disk, r, s })
+        Ok(Database { params: params.clone(), cost, disk, r, s, telemetry: RefCell::new(None) })
     }
 
     /// System parameters in force.
@@ -92,13 +147,19 @@ impl Database {
     /// observation.
     pub fn apply_r_update(&mut self, upd: &trijoin_exec::Update) -> Result<()> {
         self.disk.metrics().incr("db.mutations");
-        self.r.apply_update(&upd.old, &upd.new)
+        let start = self.cost.total();
+        let result = self.r.apply_update(&upd.old, &upd.new);
+        self.telemetry_on_apply(&start);
+        result
     }
 
     /// Apply one mutation to `R`, counting it in the metrics registry.
     pub fn apply_r_mutation(&mut self, m: &trijoin_exec::Mutation) -> Result<()> {
         self.disk.metrics().incr("db.mutations");
-        self.r.apply_mutation(m)
+        let start = self.cost.total();
+        let result = self.r.apply_mutation(m);
+        self.telemetry_on_apply(&start);
+        result
     }
 
     /// Mutable access to `S` for bilateral scenarios. Fails while any
@@ -127,6 +188,7 @@ impl Database {
     /// the `query.us` histogram, and returns the collected join result.
     pub fn query(&self, strategy: &mut dyn JoinStrategy) -> Result<Vec<ViewTuple>> {
         let start = self.cost.total();
+        let recovery_start = self.recovery_counts();
         self.disk.events().emit(
             EventKind::QueryStart,
             format!("strategy={}", strategy.name()),
@@ -143,14 +205,181 @@ impl Database {
         let metrics = self.disk.metrics();
         metrics.incr("db.queries");
         metrics.observe("query.us", end.delta_since(&start).time_us(&self.params) as u64);
+        self.telemetry_on_query(strategy.name(), &start, &end, &recovery_start);
         result?;
         Ok(out)
+    }
+
+    /// Enable windowed telemetry on this engine (opt-in; see the field
+    /// docs). The sampler arms its baseline at the current ledger tick.
+    pub fn enable_telemetry(&self, config: TelemetryConfig) {
+        let tel = Telemetry::new(config, "engine", "ops");
+        tel.tick(ops_tick(&self.cost.total()), self.disk.metrics());
+        *self.telemetry.borrow_mut() = Some(EngineTelemetry { tel, audit: None });
+    }
+
+    /// Arm the predicted-vs-actual cost audit (enables telemetry with the
+    /// default config if [`Database::enable_telemetry`] didn't run first).
+    /// `workload` is the measured statistics of the loaded relations (see
+    /// `workload::measure_workload`); `calibration` scales every model
+    /// prediction — 1.0 audits the stock model, anything far from 1.0
+    /// simulates a miscalibrated model so `CostDrift` detection can be
+    /// exercised deliberately.
+    pub fn enable_cost_audit(&self, workload: Workload, calibration: f64) {
+        if self.telemetry.borrow().is_none() {
+            self.enable_telemetry(TelemetryConfig::default());
+        }
+        let unit = Workload { updates: 1.0, ..workload.clone() };
+        let apply_unit_us = trijoin_model::mv::cost(&self.params, &unit).term("C1.1") * 1e6;
+        if let Some(t) = self.telemetry.borrow_mut().as_mut() {
+            t.audit = Some(CostAudit {
+                workload,
+                calibration,
+                apply_unit_us,
+                apply_seq: 0,
+                last_cycle_seq: BTreeMap::new(),
+                predicted: BTreeMap::new(),
+            });
+        }
+    }
+
+    /// Whether telemetry was enabled on this engine.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.borrow().is_some()
+    }
+
+    /// Snapshot the telemetry series (`None` when telemetry is off). Does
+    /// not force the open window closed — [`Database::run_report`] does.
+    pub fn telemetry_series(&self) -> Option<SeriesSnapshot> {
+        self.telemetry.borrow().as_ref().map(|t| t.tel.series())
+    }
+
+    /// The analytical prediction for one query cycle of a paper strategy
+    /// (`None` for ablation strategies the model does not price).
+    fn model_report(&self, label: &str, w: &Workload) -> Option<trijoin_model::CostReport> {
+        match label {
+            "materialized-view" => Some(trijoin_model::mv::cost(&self.params, w)),
+            "join-index" => Some(trijoin_model::ji::cost(&self.params, w)),
+            "hybrid-hash" => Some(trijoin_model::hh::cost(&self.params, w)),
+            _ => None,
+        }
+    }
+
+    /// Audit one finished query cycle and advance the telemetry clock.
+    fn telemetry_on_query(
+        &self,
+        label: &'static str,
+        start: &OpCounts,
+        end: &OpCounts,
+        recovery_start: &OpCounts,
+    ) {
+        let alerts = {
+            let mut guard = self.telemetry.borrow_mut();
+            let Some(t) = guard.as_mut() else { return };
+            let actual_us = end.delta_since(start).time_us(&self.params);
+            if let Some(audit) = t.audit.as_mut() {
+                let pending =
+                    audit.apply_seq - audit.last_cycle_seq.get(label).copied().unwrap_or(0);
+                let key = (label, pending);
+                let (predicted_us, predicted_spill, base_pages) =
+                    match audit.predicted.get(&key).copied() {
+                        Some(cached) => cached,
+                        None => {
+                            let w = Workload { updates: pending as f64, ..audit.workload.clone() };
+                            let report = self.model_report(label, &w);
+                            // Ablation strategies (grace-hash, eager/bilateral
+                            // views) have no model: their cycles record with
+                            // predicted = 0, which the drift detector treats
+                            // as "no prediction".
+                            let predicted_us = report
+                                .as_ref()
+                                .map(|r| audit.calibration * r.total() * 1e6)
+                                .unwrap_or(0.0);
+                            let (spill, base) = match &report {
+                                Some(report) if label == "hybrid-hash" => {
+                                    let d = w.derived(&self.params);
+                                    let spill = audit.calibration
+                                        * (report.term("write spilled partitions")
+                                            + report.term("read spilled partitions back"))
+                                        * 1e6;
+                                    (spill, d.r_pages + d.s_pages)
+                                }
+                                _ => (0.0, 0.0),
+                            };
+                            audit.predicted.insert(key, (predicted_us, spill, base));
+                            (predicted_us, spill, base)
+                        }
+                    };
+                t.tel.record_audit(&cycle_section(label), predicted_us, actual_us);
+                let spilled = self.disk.metrics().gauge("hh.spilled_partitions").unwrap_or(0.0);
+                if label == "hybrid-hash" && spilled > 0.0 {
+                    // Actual spill I/O ≈ page reads+writes beyond the one
+                    // base pass over |R| + |S|.
+                    let extra_ios = (end.delta_since(start).ios as f64 - base_pages).max(0.0);
+                    t.tel.record_audit(
+                        "spill.hybrid-hash",
+                        predicted_spill,
+                        extra_ios * self.params.io_us,
+                    );
+                }
+                audit.last_cycle_seq.insert(label, audit.apply_seq);
+            }
+            let recovery = self.recovery_counts().delta_since(recovery_start);
+            if !recovery.is_zero() {
+                // The model never prices recovery: predicted 0 keeps the
+                // section visible in the series without ever drifting.
+                t.tel.record_audit("recovery", 0.0, recovery.time_us(&self.params));
+            }
+            t.tel.tick(ops_tick(end), self.disk.metrics())
+        };
+        self.emit_drift(&alerts, *end);
+    }
+
+    /// Audit one applied update and advance the telemetry clock.
+    fn telemetry_on_apply(&self, start: &OpCounts) {
+        let end = self.cost.total();
+        let alerts = {
+            let mut guard = self.telemetry.borrow_mut();
+            let Some(t) = guard.as_mut() else { return };
+            if let Some(audit) = t.audit.as_mut() {
+                audit.apply_seq += 1;
+                let actual_us = end.delta_since(start).time_us(&self.params);
+                let predicted_us = audit.calibration * audit.apply_unit_us;
+                t.tel.record_audit("apply", predicted_us, actual_us);
+            }
+            t.tel.tick(ops_tick(&end), self.disk.metrics())
+        };
+        self.emit_drift(&alerts, end);
+    }
+
+    fn emit_drift(&self, alerts: &[DriftAlert], at: OpCounts) {
+        for alert in alerts {
+            self.disk.events().emit(EventKind::CostDrift, alert.detail(), at);
+        }
     }
 
     /// Snapshot the full observability state (params, span tree, metrics,
     /// events) into a serializable [`RunReport`] labelled `name`.
     pub fn run_report(&self, name: impl Into<String>) -> RunReport {
-        RunReport::capture(name, &self.params, &self.cost, self.disk.metrics(), self.disk.events())
+        // Close the open telemetry window first so even a run shorter than
+        // one window serializes a series (drift alerts it raises land in
+        // the captured event log).
+        if let Some(t) = self.telemetry.borrow().as_ref() {
+            let end = self.cost.total();
+            let alerts = t.tel.force_close(ops_tick(&end), self.disk.metrics());
+            self.emit_drift(&alerts, end);
+        }
+        let mut report = RunReport::capture(
+            name,
+            &self.params,
+            &self.cost,
+            self.disk.metrics(),
+            self.disk.events(),
+        );
+        if let Some(t) = self.telemetry.borrow().as_ref() {
+            report.series.push(t.tel.series());
+        }
+        report
     }
 
     /// Zero the cost ledger (e.g. after setup). Metrics and events are left
@@ -165,6 +394,17 @@ impl Database {
         self.cost.reset();
         self.disk.metrics().reset();
         self.disk.events().reset();
+        if let Some(t) = self.telemetry.borrow_mut().as_mut() {
+            // Telemetry stays enabled but forgets its windows and re-arms
+            // at the zeroed ledger; the audit's pending-update bookkeeping
+            // restarts with it.
+            t.tel.reset();
+            t.tel.tick(ops_tick(&self.cost.total()), self.disk.metrics());
+            if let Some(audit) = t.audit.as_mut() {
+                audit.apply_seq = 0;
+                audit.last_cycle_seq.clear();
+            }
+        }
     }
 
     /// Install a device-fault plan on the simulated disk (see

@@ -60,7 +60,9 @@ pub use advisor::{Advisor, Recommendation};
 pub use breakdown::Fig5Breakdown;
 pub use db::Database;
 pub use experiment::{EpochReport, Experiment, MethodOutcome};
-pub use workload::{GeneratedWorkload, MutationMix, MutationStream, UpdateStream, WorkloadSpec};
+pub use workload::{
+    measure_workload, GeneratedWorkload, MutationMix, MutationStream, UpdateStream, WorkloadSpec,
+};
 
 // The pieces users compose with, re-exported for one-stop imports.
 pub use trijoin_common::{Cost, OpCounts, SystemParams};

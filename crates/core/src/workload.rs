@@ -23,6 +23,51 @@ use trijoin_model::Workload;
 /// Base of the unmatched-key range (far above any group key).
 const UNMATCHED_BASE: JoinKey = 1 << 40;
 
+/// Measure the analytical-model [`Workload`] of two raw tuple sets — the
+/// data-driven counterpart of [`GeneratedWorkload::measured`] for callers
+/// (serving shards, check engines) that hold tuples but no spec. All
+/// statistics (`SR`, `SS`, `JS`, tuple sizes) come from the tuples
+/// themselves; `pra` and `updates` are caller context the data can't know.
+/// Degenerate inputs (an empty relation) yield zero selectivities, never
+/// NaN.
+pub fn measure_workload(r: &[BaseTuple], s: &[BaseTuple], pra: f64, updates: f64) -> Workload {
+    let by_key = |tuples: &[BaseTuple]| {
+        let mut m = std::collections::HashMap::new();
+        for t in tuples {
+            *m.entry(t.key).or_insert(0u64) += 1;
+        }
+        m
+    };
+    let rk = by_key(r);
+    let sk = by_key(s);
+    let mut join_tuples = 0u64;
+    let mut matched_r = 0u64;
+    for (k, &rc) in &rk {
+        if let Some(&sc) = sk.get(k) {
+            join_tuples += rc * sc;
+            matched_r += rc;
+        }
+    }
+    let matched_s: u64 = sk.iter().filter(|(k, _)| rk.contains_key(*k)).map(|(_, &c)| c).sum();
+    // An empty side prices as bare headers so the page math stays finite.
+    let tuple_bytes = |tuples: &[BaseTuple]| {
+        tuples.first().map(|t| t.serialized_len() as f64).unwrap_or(BaseTuple::HEADER_BYTES as f64)
+    };
+    let nr = r.len() as f64;
+    let ns = s.len() as f64;
+    Workload {
+        r_tuples: nr,
+        s_tuples: ns,
+        tr: tuple_bytes(r),
+        ts: tuple_bytes(s),
+        sr: trijoin_common::telemetry::safe_div(matched_r as f64, nr),
+        ss: trijoin_common::telemetry::safe_div(matched_s as f64, ns),
+        js: trijoin_common::telemetry::safe_div(join_tuples as f64, nr * ns),
+        pra,
+        updates,
+    }
+}
+
 /// Specification of a synthetic scenario.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {

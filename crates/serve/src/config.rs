@@ -7,7 +7,7 @@
 //! `serve_bench` binary built on it) is bit-identical under reruns and its
 //! logical outputs are independent of thread scheduling.
 
-use trijoin_common::{rng, SystemParams};
+use trijoin_common::{rng, SystemParams, TelemetryConfig};
 
 /// Configuration of a [`crate::Server`].
 #[derive(Debug, Clone)]
@@ -29,13 +29,26 @@ pub struct ServeConfig {
     pub ring: usize,
     /// Root seed of the deterministic seed tree.
     pub seed: u64,
+    /// Windowed telemetry configuration, applied to every shard engine and
+    /// to the scheduler's own batch-domain sampler. `None` disables
+    /// telemetry entirely (the shard reports then carry no `series`, which
+    /// is what the bit-identity goldens of the engine layer pin). The
+    /// default is on: serving is where live series matter.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ServeConfig {
     /// A serving configuration with the given shard count and defaults for
-    /// the rest (batch = 64, ring = 1024, seed = 42).
+    /// the rest (batch = 64, ring = 1024, seed = 42, telemetry on).
     pub fn new(params: SystemParams, shards: usize) -> Self {
-        ServeConfig { params, shards, batch: 64, ring: 1024, seed: 42 }
+        ServeConfig {
+            params,
+            shards,
+            batch: 64,
+            ring: 1024,
+            seed: 42,
+            telemetry: Some(TelemetryConfig::default()),
+        }
     }
 
     /// The derived RNG seed of shard `i`'s stream.

@@ -43,7 +43,7 @@ use std::time::Instant;
 use trijoin::Method;
 use trijoin_common::{
     shard_of_key, BaseTuple, Cost, Error, Metrics, Result, RunReport, ShardedRunReport,
-    SystemParams, ViewTuple,
+    SystemParams, Telemetry, ViewTuple,
 };
 use trijoin_exec::sort::KWayMerge;
 use trijoin_exec::Mutation;
@@ -420,7 +420,13 @@ impl Server {
         let mut shard_txs = Vec::with_capacity(n);
         let mut shard_handles = Vec::with_capacity(n);
         for (index, (r_i, s_i)) in parts.into_iter().enumerate() {
-            let spec = ShardSpec { index, params: config.params.clone(), r: r_i, s: s_i };
+            let spec = ShardSpec {
+                index,
+                params: config.params.clone(),
+                r: r_i,
+                s: s_i,
+                telemetry: config.telemetry,
+            };
             match shard::spawn(spec) {
                 Ok((tx, handle)) => {
                     shard_txs.push(tx);
@@ -441,11 +447,21 @@ impl Server {
         let sched_ring = Arc::clone(&ring);
         let batch = config.batch.max(1);
         let params = config.params.clone();
+        let tel_cfg = config.telemetry;
         let scheduler = std::thread::Builder::new()
             .name("trijoin-serve-scheduler".into())
             .spawn(move || {
-                // The metrics registry is single-threaded (Rc-based), so it
-                // is created here, inside the thread that owns it.
+                // The metrics registry and telemetry sampler are
+                // single-threaded (Rc-based), so they are created here,
+                // inside the thread that owns them. The scheduler samples
+                // in the batch domain: its logical clock is the number of
+                // dispatched differential batches, not engine ops.
+                let metrics = Metrics::new();
+                let telemetry = tel_cfg.map(|c| {
+                    let t = Telemetry::new(c.serve(), "serve", "batches");
+                    t.tick(0, &metrics);
+                    t
+                });
                 let mut sched = Scheduler {
                     ring: sched_ring,
                     shard_txs,
@@ -454,8 +470,10 @@ impl Server {
                     pending_s: vec![Vec::new(); n],
                     pending: 0,
                     batch,
+                    batches: 0,
                     params,
-                    metrics: Metrics::new(),
+                    metrics,
+                    telemetry,
                     deferred: None,
                     latencies_us: Vec::new(),
                 };
@@ -529,11 +547,19 @@ struct Scheduler {
     /// Logical updates admitted since the last flush.
     pending: usize,
     batch: usize,
+    /// Lifetime count of dispatched differential batches — the logical
+    /// clock of the scheduler's telemetry sampler (mirrors the
+    /// `serve.batches` counter without a registry read per tick).
+    batches: u64,
     params: SystemParams,
     /// Scheduler-only counters under the reserved `serve.` prefix; shards
     /// never write that namespace, so in a rollup every non-`serve.`
     /// metric remains the exact sum of the per-shard metrics.
     metrics: Metrics,
+    /// Batch-domain series sampler (`None` when `ServeConfig.telemetry`
+    /// is off). Its snapshot lands in the report rollup as the series
+    /// named `serve`, alongside the merged per-shard `engine` series.
+    telemetry: Option<Telemetry>,
     /// First error hit while applying fire-and-forget updates (e.g. a
     /// dead shard at a full-batch flush); surfaced to the next blocking
     /// call instead of being lost.
@@ -733,6 +759,8 @@ impl Scheduler {
         let total: usize = self.pending_r.iter().chain(self.pending_s.iter()).map(Vec::len).sum();
         self.metrics.incr("serve.batches");
         self.metrics.observe("serve.batch.len", total as u64);
+        self.batches += 1;
+        self.telemetry_tick();
         let mut result = Ok(());
         for i in 0..self.shard_txs.len() {
             let r = std::mem::take(&mut self.pending_r[i]);
@@ -767,6 +795,8 @@ impl Scheduler {
                 self.pending_r.iter().chain(self.pending_s.iter()).map(Vec::len).sum();
             self.metrics.incr("serve.batches");
             self.metrics.observe("serve.batch.len", total as u64);
+            self.batches += 1;
+            self.telemetry_tick();
             self.pending = 0;
         }
         let (reply, rx) = channel();
@@ -853,9 +883,28 @@ impl Scheduler {
         replies.sort_by_key(|(shard, _)| *shard);
         let shards: Vec<RunReport> = replies.into_iter().map(|(_, boxed)| *boxed).collect();
         self.stamp_gauges();
+        if let Some(tel) = &self.telemetry {
+            // Close the open batch window so even a short run serializes a
+            // scheduler series. No audit runs here, so alerts are empty.
+            let _ = tel.force_close(self.batches, &self.metrics);
+        }
         let mut sharded = ShardedRunReport::rollup_of("serve", &self.params, shards);
         sharded.rollup.metrics.merge(&self.metrics.snapshot());
+        if let Some(tel) = &self.telemetry {
+            sharded.rollup.series.push(tel.series());
+        }
         Ok(sharded)
+    }
+
+    /// Advance the batch-domain telemetry clock. When the tick is about to
+    /// close a window, the volatile ring/latency gauges are stamped first
+    /// so the closing window captures their current values.
+    fn telemetry_tick(&mut self) {
+        let Some(tel) = self.telemetry.clone() else { return };
+        if tel.due(self.batches) {
+            self.stamp_gauges();
+        }
+        let _ = tel.tick(self.batches, &self.metrics);
     }
 
     /// Stamp the ring/latency gauges the report validator requires:

@@ -13,7 +13,9 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use trijoin::{Database, Method};
-use trijoin_common::{BaseTuple, Error, Result, RunReport, SystemParams, ViewTuple};
+use trijoin_common::{
+    BaseTuple, Error, Result, RunReport, SystemParams, TelemetryConfig, ViewTuple,
+};
 use trijoin_exec::{HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, Mutation};
 use trijoin_storage::FaultPlan;
 
@@ -79,6 +81,10 @@ pub struct ShardSpec {
     pub r: Vec<BaseTuple>,
     /// This shard's partition of `S`.
     pub s: Vec<BaseTuple>,
+    /// Windowed telemetry for the shard engine (`None` = off). When set,
+    /// the shard also arms the predicted-vs-actual cost audit against the
+    /// measured statistics of its own partitions.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// Spawn a shard thread. Blocks until the shard has built its engine and
@@ -131,6 +137,10 @@ struct ShardWorker {
 
 impl ShardWorker {
     fn build(spec: ShardSpec) -> Result<ShardWorker> {
+        // Measure the partition statistics before the relations move into
+        // the engine; the audit prices the analytical model against them.
+        let workload =
+            spec.telemetry.map(|_| trijoin::measure_workload(&spec.r, &spec.s, 0.1, 0.0));
         let db = Database::new(&spec.params, spec.r, spec.s)?;
         let mv = db.materialized_view()?;
         let ji = db.join_index()?;
@@ -138,6 +148,10 @@ impl ShardWorker {
         // Loading and cache construction are setup, not serving work: start
         // the shard's observable life from a clean slate.
         db.reset_observability();
+        if let (Some(cfg), Some(workload)) = (spec.telemetry, workload) {
+            db.enable_telemetry(cfg);
+            db.enable_cost_audit(workload, 1.0);
+        }
         Ok(ShardWorker { index: spec.index, db, mv, ji, hh, s_dirty: false })
     }
 
@@ -276,9 +290,14 @@ mod tests {
 
     #[test]
     fn shard_answers_queries_and_reports() {
-        let (tx, handle) =
-            spawn(ShardSpec { index: 3, params: params(), r: tuples(80, 7), s: tuples(60, 7) })
-                .unwrap();
+        let (tx, handle) = spawn(ShardSpec {
+            index: 3,
+            params: params(),
+            r: tuples(80, 7),
+            s: tuples(60, 7),
+            telemetry: Some(TelemetryConfig::default()),
+        })
+        .unwrap();
         let (reply, rx) = channel();
         tx.send(ShardCommand::Query { method: Method::HybridHash, reply }).unwrap();
         let (idx, rows) = rx.recv().unwrap();
@@ -301,8 +320,14 @@ mod tests {
     fn s_mutation_marks_caches_dirty_and_rebuild_heals() {
         let r = tuples(50, 5);
         let s = tuples(40, 5);
-        let (tx, handle) =
-            spawn(ShardSpec { index: 0, params: params(), r: r.clone(), s: s.clone() }).unwrap();
+        let (tx, handle) = spawn(ShardSpec {
+            index: 0,
+            params: params(),
+            r: r.clone(),
+            s: s.clone(),
+            telemetry: None,
+        })
+        .unwrap();
         // Delete one S tuple, then ask the cached MV for the join.
         let victim = s[7].clone();
         tx.send(ShardCommand::Apply { r: vec![], s: vec![Mutation::Delete(victim.clone())] })
@@ -327,8 +352,13 @@ mod tests {
     fn construction_failure_surfaces_in_spawn() {
         // A tuple wider than a page cannot be stored at all.
         let oversized = vec![BaseTuple::padded(Surrogate(0), 1, 4096)];
-        let result =
-            spawn(ShardSpec { index: 0, params: params(), r: oversized, s: tuples(10, 3) });
+        let result = spawn(ShardSpec {
+            index: 0,
+            params: params(),
+            r: oversized,
+            s: tuples(10, 3),
+            telemetry: None,
+        });
         assert!(result.is_err());
     }
 }

@@ -13,34 +13,132 @@
 //! Functions return the success summary as a `String` (the CLI prints
 //! it) so every path is unit-testable without capturing stdout.
 
-use trijoin_common::{Json, RunReport, ShardedRunReport};
+use trijoin_common::{Json, RunReport, SeriesSnapshot, ShardedRunReport};
 
 /// Validate the report file at `path` (reads, parses, sniffs, checks).
 pub fn validate_report_file(path: &str) -> Result<String, String> {
+    validate_report_file_with(path, 0)
+}
+
+/// Like [`validate_report_file`], additionally requiring every telemetry
+/// series carried by (per-shard) run reports to hold at least
+/// `min_series_windows` closed windows. `0` keeps series optional —
+/// structural checks still run on any series that is present.
+pub fn validate_report_file_with(path: &str, min_series_windows: usize) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    validate_report_json(path, &json)
+    validate_report_json_with(path, &json, min_series_windows)
 }
 
 /// Validate already-parsed JSON, dispatching on its sniffed schema.
 pub fn validate_report_json(path: &str, json: &Json) -> Result<String, String> {
+    validate_report_json_with(path, json, 0)
+}
+
+/// [`validate_report_json`] with a minimum-series-windows requirement.
+pub fn validate_report_json_with(
+    path: &str,
+    json: &Json,
+    min_series_windows: usize,
+) -> Result<String, String> {
     if json.get("shards").is_some() && json.get("rollup").is_some() {
-        return validate_sharded_report(path, json);
+        return validate_sharded_report_with(path, json, min_series_windows);
     }
     if json.get("figure").is_some() && json.get("rows").is_some() {
         return validate_bench_results(path, json);
     }
-    validate_run_report(path, json)
+    validate_run_report_with(path, json, min_series_windows)
+}
+
+/// Structural invariants of one report's telemetry series: non-empty
+/// identity, monotone window indices, ordered tick ranges, ordered
+/// quantiles, finite audit ratios — plus the minimum-window floor when
+/// the caller gates on sustained sampling.
+fn check_series(
+    path: &str,
+    owner: &str,
+    series: &[SeriesSnapshot],
+    min_windows: usize,
+) -> Result<(), String> {
+    if min_windows > 0 && series.is_empty() {
+        return Err(format!("{path}: {owner} carries no telemetry series"));
+    }
+    for snap in series {
+        let tag = format!("{path}: {owner} series {:?}", snap.name);
+        if snap.name.is_empty() || snap.domain.is_empty() {
+            return Err(format!("{tag}: empty name or domain"));
+        }
+        if snap.window_ticks == 0 {
+            return Err(format!("{tag}: window_ticks must be positive"));
+        }
+        if snap.windows.len() < min_windows {
+            return Err(format!(
+                "{tag}: {} windows, need at least {min_windows}",
+                snap.windows.len()
+            ));
+        }
+        for pair in snap.windows.windows(2) {
+            if pair[1].index <= pair[0].index {
+                return Err(format!(
+                    "{tag}: window indices must increase ({} then {})",
+                    pair[0].index, pair[1].index
+                ));
+            }
+        }
+        for w in &snap.windows {
+            if w.end_tick < w.start_tick {
+                return Err(format!(
+                    "{tag}: window {} closes before it opens ({} < {})",
+                    w.index, w.end_tick, w.start_tick
+                ));
+            }
+            for (name, q) in &w.quantiles {
+                if q.p99 < q.p50 {
+                    return Err(format!(
+                        "{tag}: window {} quantile {name:?} has p99 {} < p50 {}",
+                        w.index, q.p99, q.p50
+                    ));
+                }
+            }
+            for a in &w.audit {
+                if !a.log2_ratio.is_finite() {
+                    return Err(format!(
+                        "{tag}: window {} audit {:?} has non-finite log2_ratio",
+                        w.index, a.section
+                    ));
+                }
+            }
+        }
+        for a in &snap.audit {
+            if a.samples == 0 {
+                return Err(format!("{tag}: lifetime audit {:?} has zero samples", a.section));
+            }
+            if !a.log2_ratio.is_finite() {
+                return Err(format!("{tag}: lifetime audit {:?} non-finite ratio", a.section));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validate a plain run report (`trijoin run --report`).
 pub fn validate_run_report(path: &str, json: &Json) -> Result<String, String> {
+    validate_run_report_with(path, json, 0)
+}
+
+/// [`validate_run_report`] with a minimum-series-windows requirement.
+pub fn validate_run_report_with(
+    path: &str,
+    json: &Json,
+    min_series_windows: usize,
+) -> Result<String, String> {
     for key in ["params", "spans", "metrics", "events"] {
         if json.get(key).is_none() {
             return Err(format!("{path}: run report is missing top-level key {key:?}"));
         }
     }
     let report = RunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
+    check_series(path, "run report", &report.series, min_series_windows)?;
     let mut summary = format!(
         "{path}: ok — report {:?} with {} spans, {} metrics counters, {} events, {} deltas",
         report.name,
@@ -49,6 +147,19 @@ pub fn validate_run_report(path: &str, json: &Json) -> Result<String, String> {
         report.events.len(),
         report.deltas.len()
     );
+    if !report.series.is_empty() {
+        let windows: usize = report.series.iter().map(|s| s.windows.len()).sum();
+        summary.push_str(&format!(
+            "\n{path}: {} telemetry series, {windows} closed windows",
+            report.series.len()
+        ));
+    }
+    let dropped = report.metrics.counter("events.dropped");
+    if dropped > 0 {
+        summary.push_str(&format!(
+            "\n{path}: warning — event ring overflowed, {dropped} events dropped"
+        ));
+    }
     if report.metrics.counter("pool.hits") + report.metrics.counter("pool.misses") > 0 {
         summary.push_str(&format!(
             "\n{path}: pool hit rate {:.1}%, eviction rate {:.1}%",
@@ -75,10 +186,29 @@ const REQUIRED_ROLLUP_GAUGES: &[&str] =
 /// serve-path instrumentation contract (ring counters and latency
 /// gauges must be present in the rollup).
 pub fn validate_sharded_report(path: &str, json: &Json) -> Result<String, String> {
+    validate_sharded_report_with(path, json, 0)
+}
+
+/// [`validate_sharded_report`] with a minimum-series-windows requirement
+/// applied to every shard's engine series (the scheduler's batch-domain
+/// `serve` series in the rollup only needs to exist and be well-formed —
+/// its window count scales with batches, not engine work).
+pub fn validate_sharded_report_with(
+    path: &str,
+    json: &Json,
+    min_series_windows: usize,
+) -> Result<String, String> {
     let report =
         ShardedRunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
     if report.shards.is_empty() {
         return Err(format!("{path}: sharded report carries no shards"));
+    }
+    for shard in &report.shards {
+        check_series(path, &shard.name, &shard.series, min_series_windows)?;
+    }
+    check_series(path, "rollup", &report.rollup.series, 0)?;
+    if min_series_windows > 0 && !report.rollup.series.iter().any(|s| s.name == "serve") {
+        return Err(format!("{path}: rollup is missing the scheduler's \"serve\" series"));
     }
     for shard in &report.shards {
         for (key, _) in &shard.metrics.counters {
@@ -307,6 +437,40 @@ mod tests {
             let err = validate_report_json("s.json", &broken.to_json()).unwrap_err();
             assert!(err.contains(gauge), "{err}");
         }
+    }
+
+    #[test]
+    fn series_floor_gates_sustained_sampling() {
+        use crate::{ServeConfig, Server};
+        use trijoin::Method;
+        use trijoin_common::{BaseTuple, Surrogate, SystemParams};
+
+        let params = SystemParams { page_size: 512, mem_pages: 24, ..Default::default() };
+        let config = ServeConfig { batch: 4, seed: 7, ..ServeConfig::new(params.clone(), 2) };
+        let tuples: Vec<BaseTuple> =
+            (0..24).map(|i| BaseTuple::padded(Surrogate(i), (i as u64) % 5, 48)).collect();
+        let server = Server::start(&config, tuples.clone(), tuples.clone()).unwrap();
+        let session = server.session().unwrap();
+        session.query(Method::HybridHash).unwrap();
+        let report = session.report().unwrap();
+
+        // Telemetry defaults on: each shard closed at least the forced
+        // final window, and the rollup carries the scheduler series.
+        validate_report_json_with("s.json", &report.to_json(), 1).unwrap();
+        let err = validate_report_json_with("s.json", &report.to_json(), 10_000).unwrap_err();
+        assert!(err.contains("windows, need at least 10000"), "{err}");
+
+        // With telemetry off, any positive floor is a named rejection.
+        let quiet_cfg = ServeConfig { telemetry: None, ..config };
+        let tuples: Vec<BaseTuple> =
+            (0..24).map(|i| BaseTuple::padded(Surrogate(i), (i as u64) % 5, 48)).collect();
+        let server = Server::start(&quiet_cfg, tuples.clone(), tuples).unwrap();
+        let session = server.session().unwrap();
+        session.query(Method::HybridHash).unwrap();
+        let quiet = session.report().unwrap();
+        validate_report_json("q.json", &quiet.to_json()).unwrap();
+        let err = validate_report_json_with("q.json", &quiet.to_json(), 1).unwrap_err();
+        assert!(err.contains("no telemetry series"), "{err}");
     }
 
     #[test]
