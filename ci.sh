@@ -93,8 +93,31 @@ rm -f results/wallclock_gate.json
 echo "==> simulation gate"
 # Deterministic simulation: replay the committed seed corpus (every
 # checkpoint must agree across MV / JI / HH / oracle / sharded serve,
-# faults included), then explore one fresh fixed-seed script end to end.
+# faults included — crash-bearing scripts recover on the file backend),
+# then explore one fresh fixed-seed script end to end.
 cargo run --release -q -p trijoin-check --bin trijoin -- check --corpus tests/corpus
 cargo run --release -q -p trijoin-check --bin trijoin -- check --seed 2026 --ops 160
+
+echo "==> crash-recovery gate"
+# Durability end to end on the real file backend: a fresh crash-heavy
+# script (seeded kills mid-batch: cold drops, torn WAL tails, sealed-but-
+# unapplied logs) must replay to oracle equivalence through WAL recovery,
+# and durable run/serve reports must carry the wal.* accounting that
+# report-validate requires whenever wal.enabled is set.
+crashdir=$(mktemp -d)
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    check --seed 2027 --ops 120 --crash-pct 60 --durable "$crashdir/check"
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    run --scale 100 --epochs 2 --durable "$crashdir/run" --report "$report" > /dev/null
+grep -q '"wal.commits"' "$report" || { echo "durable run report lacks wal.commits"; exit 1; }
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
+rm -f "$report"
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    serve --shards 4 --clients 3 --batch 16 --queries 3 \
+    --scale 300 --durable "$crashdir/serve" --report "$report" > /dev/null
+grep -q '"wal.commits"' "$report" || { echo "durable serve report lacks wal.commits"; exit 1; }
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
+rm -f "$report"
+rm -rf "$crashdir"
 
 echo "CI OK"

@@ -32,6 +32,11 @@
 //! runs with the default-on telemetry sampler while
 //! `serve_qps_4shard_notel` disables it, and the printed overhead is the
 //! acceptance check that sampling costs <5% of 4-shard throughput.
+//!
+//! Durability is priced the same way: `mv_query_cycle_wal` re-runs the MV
+//! query cycle on the WAL-guarded file backend with a commit per cycle,
+//! and `serve_qps_4shard_wal` backs every shard with its own WAL and
+//! commits once per round — each against its in-memory twin row.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -106,15 +111,27 @@ fn cycle_spec(n: u32) -> WorkloadSpec {
 
 /// Mean wall seconds of (one epoch of updates + one query) for `method`,
 /// after one untimed warmup cycle. Setup (load + cache build) is untimed.
-fn query_cycle(method: Method, scale: &Scale) -> Row {
-    let bench = match method {
-        Method::MaterializedView => "mv_query_cycle",
-        Method::JoinIndex => "ji_query_cycle",
-        Method::HybridHash => "hh_recompute",
+/// With `wal`, the store is the WAL-guarded file backend and every timed
+/// cycle ends in a commit — the `_wal` row prices durability against its
+/// in-memory twin.
+fn query_cycle(method: Method, scale: &Scale, wal: bool) -> Row {
+    let bench = match (method, wal) {
+        (Method::MaterializedView, false) => "mv_query_cycle",
+        (Method::MaterializedView, true) => "mv_query_cycle_wal",
+        (Method::JoinIndex, _) => "ji_query_cycle",
+        (Method::HybridHash, _) => "hh_recompute",
     };
     let params = SystemParams { mem_pages: 80, ..paper_params() };
     let gen = cycle_spec(scale.cycle_tuples).generate();
-    let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).expect("build database");
+    let mut db = if wal {
+        let dir =
+            std::env::temp_dir().join(format!("trijoin-wallclock-{}-{bench}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Database::create_durable(&params, gen.r.clone(), gen.s.clone(), &dir)
+            .expect("build durable database")
+    } else {
+        Database::new(&params, gen.r.clone(), gen.s.clone()).expect("build database")
+    };
     let mut strategy: Box<dyn JoinStrategy> = match method {
         Method::MaterializedView => Box::new(db.materialized_view().expect("build mv")),
         Method::JoinIndex => Box::new(db.join_index().expect("build ji")),
@@ -131,6 +148,9 @@ fn query_cycle(method: Method, scale: &Scale) -> Row {
             db.apply_r_update(&u).expect("apply update");
         }
         db.query(strategy.as_mut()).expect("query");
+        if wal {
+            db.commit().expect("commit cycle");
+        }
         if timed {
             at.elapsed().as_secs_f64()
         } else {
@@ -148,8 +168,10 @@ fn query_cycle(method: Method, scale: &Scale) -> Row {
 /// The serve_bench inner loop (wide tuples, spilling HH) at `shards`
 /// shards: wall seconds of the whole query loop plus derived qps.
 /// `telemetry` toggles the default-on windowed sampler so the 4-shard
-/// pair of rows exposes its overhead.
-fn serve_qps(shards: usize, scale: &Scale, telemetry: bool) -> Row {
+/// pair of rows exposes its overhead; `wal` backs every shard with the
+/// WAL-guarded file backend and commits once per round, pricing the
+/// durable serving path against the in-memory row.
+fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool) -> Row {
     const CLIENTS: usize = 4;
     let spec = WorkloadSpec {
         r_tuples: scale.serve_tuples,
@@ -169,6 +191,12 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool) -> Row {
     if !telemetry {
         config.telemetry = None;
     }
+    if wal {
+        let dir = std::env::temp_dir()
+            .join(format!("trijoin-wallclock-{}-serve{shards}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        config.durable_dir = Some(dir);
+    }
     let server = Server::start(&config, gen.r.clone(), gen.s.clone())
         .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
     let session = server.session().expect("live server");
@@ -182,6 +210,9 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool) -> Row {
             session.update_r(traffic[c].next_mutation()).expect("update");
         }
         session.query(Method::HybridHash).expect("query");
+        if wal {
+            session.commit().expect("commit round");
+        }
     };
 
     // Untimed warmup: faults in lazy engine state (allocator, page cache,
@@ -195,10 +226,11 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool) -> Row {
         done += 1;
     }
     let wall = started.elapsed().as_secs_f64();
-    let bench = match (shards, telemetry) {
-        (1, _) => "serve_qps_1shard",
-        (_, true) => "serve_qps_4shard",
-        (_, false) => "serve_qps_4shard_notel",
+    let bench = match (shards, telemetry, wal) {
+        (_, _, true) => "serve_qps_4shard_wal",
+        (1, _, _) => "serve_qps_1shard",
+        (_, true, _) => "serve_qps_4shard",
+        (_, false, _) => "serve_qps_4shard_notel",
     };
     Row { bench, secs: wall, iters: done, qps: Some(done as f64 / wall.max(1e-9)) }
 }
@@ -231,9 +263,14 @@ fn write_comparison(rows: &[Row], baseline_path: &str, gate_pct: Option<f64>) ->
     println!("\n== before/after (baseline: {baseline_path}) ==");
     println!("{:>18}  {:>12}  {:>12}  {:>8}", "bench", "before", "after", "speedup");
     for row in rows {
-        let Some(before) = find(row.bench) else { continue };
-        let before_secs = base_secs(before).expect("baseline secs");
-        let speedup = match (row.qps, base_qps(before)) {
+        // A bench absent from the baseline (first run after it was added)
+        // enters the comparison as its own baseline — speedup 1.0, never
+        // gated — so the committed file picks it up for future gates.
+        let (before_secs, before_qps) = match find(row.bench) {
+            Some(before) => (base_secs(before).expect("baseline secs"), base_qps(before)),
+            None => (row.secs, row.qps),
+        };
+        let speedup = match (row.qps, before_qps) {
             (Some(after_qps), Some(before_qps)) => after_qps / before_qps.max(1e-12),
             _ => before_secs / row.secs.max(1e-12),
         };
@@ -241,9 +278,7 @@ fn write_comparison(rows: &[Row], baseline_path: &str, gate_pct: Option<f64>) ->
             "{:>18}  {:>11.4}s  {:>11.4}s  {:>7.2}x",
             row.bench, before_secs, row.secs, speedup
         );
-        if let (Some(pct), Some(after_qps), Some(before_qps)) =
-            (gate_pct, row.qps, base_qps(before))
-        {
+        if let (Some(pct), Some(after_qps), Some(before_qps)) = (gate_pct, row.qps, before_qps) {
             if after_qps < before_qps * (1.0 - pct / 100.0) {
                 println!(
                     "  GATE: {} qps {after_qps:.1} is more than {pct:.0}% below \
@@ -258,7 +293,7 @@ fn write_comparison(rows: &[Row], baseline_path: &str, gate_pct: Option<f64>) ->
             .set("before_secs", before_secs)
             .set("after_secs", row.secs)
             .set("speedup", speedup);
-        if let (Some(after_qps), Some(before_qps)) = (row.qps, base_qps(before)) {
+        if let (Some(after_qps), Some(before_qps)) = (row.qps, before_qps) {
             j = j.set("before_qps", before_qps).set("after_qps", after_qps);
         }
         out_rows.push(j);
@@ -299,15 +334,22 @@ fn main() {
     println!("{:>18}  {:>12}  {:>6}  {:>10}", "bench", "secs/iter", "iters", "qps");
 
     let mut rows: Vec<Row> = Vec::new();
-    for method in [Method::MaterializedView, Method::JoinIndex, Method::HybridHash] {
-        let row = query_cycle(method, &scale);
-        println!("{:>18}  {:>11.4}s  {:>6}  {:>10}", row.bench, row.secs, row.iters, "-");
+    for (method, wal) in [
+        (Method::MaterializedView, false),
+        (Method::MaterializedView, true),
+        (Method::JoinIndex, false),
+        (Method::HybridHash, false),
+    ] {
+        let row = query_cycle(method, &scale, wal);
+        println!("{:>20}  {:>11.4}s  {:>6}  {:>10}", row.bench, row.secs, row.iters, "-");
         rows.push(row);
     }
-    for (shards, telemetry) in [(1usize, true), (4, true), (4, false)] {
-        let row = serve_qps(shards, &scale, telemetry);
+    for (shards, telemetry, wal) in
+        [(1usize, true, false), (4, true, false), (4, false, false), (4, true, true)]
+    {
+        let row = serve_qps(shards, &scale, telemetry, wal);
         println!(
-            "{:>18}  {:>11.4}s  {:>6}  {:>10.1}",
+            "{:>20}  {:>11.4}s  {:>6}  {:>10.1}",
             row.bench,
             row.secs,
             row.iters,

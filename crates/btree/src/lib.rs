@@ -38,7 +38,7 @@
 pub mod node;
 pub mod tree;
 
-pub use tree::{BTree, BTreeConfig};
+pub use tree::{BTree, BTreeConfig, BTreeMeta};
 
 #[cfg(test)]
 mod tests {

@@ -67,6 +67,25 @@ impl BTreeConfig {
     }
 }
 
+/// Persisted shape of one tree: everything [`BTree::open`] needs to
+/// reattach to its pages after a process restart. The page *contents* are
+/// the durable backend's problem; this is the handful of in-memory fields
+/// (`BTree` keeps them outside the page images because the paper's model
+/// never prices reading them back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeMeta {
+    /// File the tree's pages live in.
+    pub file: u32,
+    /// Page number of the memory-resident root within that file.
+    pub root_page: u32,
+    /// Tree height in levels (1 = the root is a leaf).
+    pub height: usize,
+    /// Total entry count.
+    pub entries: u64,
+    /// Leaf page count.
+    pub leaves: u64,
+}
+
 /// A B⁺-tree over `u64` keys with byte-string values (duplicates allowed).
 pub struct BTree {
     disk: Disk,
@@ -211,6 +230,50 @@ impl BTree {
             height: 1,
             entries: total,
             leaves: leaf_count,
+        })
+    }
+
+    /// The persisted shape of this tree (see [`BTreeMeta`]). Written into
+    /// the durable catalog at commit; [`BTree::open`] inverts it.
+    pub fn meta(&self) -> BTreeMeta {
+        BTreeMeta {
+            file: self.file.0,
+            root_page: self.root_page,
+            height: self.height,
+            entries: self.entries,
+            leaves: self.leaves,
+        }
+    }
+
+    /// Reattach to a persisted tree from its catalog metadata. Reads the
+    /// root node back without charging I/O — the root is permanently
+    /// memory-resident per the Appendix assumption, and reloading it is
+    /// part of opening the database, which the paper does not price (same
+    /// reason loading is free). Every other node is read lazily, charged,
+    /// on first access exactly as before the restart.
+    pub fn open(disk: &Disk, cfg: BTreeConfig, meta: &BTreeMeta) -> Result<Self> {
+        let file = FileId(meta.file);
+        let pages = disk.num_pages(file)?;
+        if meta.root_page >= pages {
+            return Err(Error::Corrupt(format!(
+                "btree catalog names root page {} but file {} has {} pages",
+                meta.root_page, meta.file, pages
+            )));
+        }
+        let raw = disk.read_page_free(PageId::new(file, meta.root_page))?;
+        let root = Node::from_page(&raw)?;
+        if meta.height == 1 && !matches!(root, Node::Leaf { .. }) {
+            return Err(Error::Corrupt("height-1 btree root is not a leaf".into()));
+        }
+        Ok(BTree {
+            disk: disk.clone(),
+            file,
+            cfg,
+            root,
+            root_page: meta.root_page,
+            height: meta.height,
+            entries: meta.entries,
+            leaves: meta.leaves,
         })
     }
 

@@ -7,17 +7,21 @@
 //!     print the full per-term cost breakdown of all three methods
 //! trijoin run --scale 50 --sr 0.01 --activity 0.06 [--pra 0.1] [--mem 80]
 //!             [--strategy mv|ji|hh|eager|all] [--seed 42] [--epochs 1]
-//!             [--trace] [--report <path>]
+//!             [--trace] [--report <path>] [--durable <dir>]
 //!     run the engine on a scaled paper workload and report measured cost;
 //!     `--trace` prints each strategy's span-tree profile, `--report`
-//!     writes a JSON run report (params, spans, metrics, events, deltas)
+//!     writes a JSON run report (params, spans, metrics, events, deltas);
+//!     `--durable <dir>` backs each strategy's store with the WAL-guarded
+//!     file backend under `<dir>/<strategy>`, committing once per epoch
 //! trijoin serve --shards 4 --clients 4 --batch 64 --queries 10
 //!               [--scale 200] [--sr 0.01] [--activity 0.06] [--pra 0.1]
 //!               [--mem 80] [--strategy mv|ji|hh] [--seed 42] [--report <path>]
+//!               [--durable <dir>]
 //!     run the sharded serving layer on a scaled paper workload: clients
 //!     submit batched updates between queries, answers are checked against
 //!     the single-engine oracle, and `--report` writes the per-shard
-//!     reports plus their rollup as JSON
+//!     reports plus their rollup as JSON; `--durable <dir>` gives every
+//!     shard a WAL-backed store with a commit barrier per query round
 //! trijoin top --shards 4 --clients 4 [--batch 64] [--ring 1024]
 //!             [--scale 200] [--queries 4] [--refreshes 0] [--mem 80]
 //!             [--strategy mv|ji|hh] [--seed 42] [--once] [--json]
@@ -36,13 +40,18 @@
 //!     additionally requires every per-shard telemetry series to carry at
 //!     least that many closed windows
 //! trijoin check --seed 7 --ops 160 [--shards 1,2,4] [--batch 8] [--mem 64]
+//!               [--crash-pct <n>] [--durable <dir>] [--emit <path>]
 //!               [--out <path>] | --corpus <dir>
 //!     deterministic simulation check: generate a workload script from the
 //!     seed, replay it against MV/JI/HH, the brute-force oracle, and the
 //!     sharded server at every shard count, verifying equivalence at every
 //!     checkpoint (faults included); on failure, delta-debug the script to
-//!     a minimal repro and write it as JSON. `--corpus <dir>` instead
-//!     replays every committed `*.json` script in the directory
+//!     a minimal repro and write it as JSON. `--crash-pct` mixes durable
+//!     crash/recover ops into the script (a scratch `--durable` root is
+//!     chosen when none is given), `--emit` writes the generated script for
+//!     corpus curation, and `--corpus <dir>` instead replays every
+//!     committed `*.json` script in the directory (crash-bearing scripts
+//!     get a scratch durable root automatically)
 //! trijoin repro <file>
 //!     replay a JSON repro file produced by `trijoin check`
 //! ```
@@ -110,7 +119,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n  trijoin top    --shards <n> --clients <n> [--batch <n>] [--ring <n>]\n                 [--scale <n>] [--queries <n>] [--refreshes <n>] [--mem <pages>]\n                 [--strategy mv|ji|hh] [--seed <n>] [--once] [--json] [--report <path>]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path> [--min-series-windows <n>]"
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>] [--durable <dir>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n                 [--durable <dir>]\n  trijoin top    --shards <n> --clients <n> [--batch <n>] [--ring <n>]\n                 [--scale <n>] [--queries <n>] [--refreshes <n>] [--mem <pages>]\n                 [--strategy mv|ji|hh] [--seed <n>] [--once] [--json] [--report <path>]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--crash-pct <n>] [--durable <dir>]\n                 [--emit <path>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path> [--min-series-windows <n>]"
 }
 
 fn main() -> ExitCode {
@@ -232,9 +241,19 @@ fn run(args: &Args) -> Result<(), String> {
         one @ ("mv" | "ji" | "hh" | "eager") => vec![one],
         other => return Err(format!("--strategy: unknown {other:?} (mv|ji|hh|eager|all)")),
     };
+    let durable = args.opt_str("durable").map(std::path::PathBuf::from);
     for name in wanted {
-        let mut db =
-            Database::new(&params, gen.r.clone(), gen.s.clone()).map_err(|e| e.to_string())?;
+        let mut db = match &durable {
+            // One WAL-backed store per strategy; each epoch ends in a
+            // commit so the log carries every update batch.
+            Some(root) => {
+                Database::create_durable(&params, gen.r.clone(), gen.s.clone(), &root.join(name))
+                    .map_err(|e| e.to_string())?
+            }
+            None => {
+                Database::new(&params, gen.r.clone(), gen.s.clone()).map_err(|e| e.to_string())?
+            }
+        };
         let mut strategy: Box<dyn JoinStrategy> = match name {
             "mv" => Box::new(db.materialized_view().map_err(|e| e.to_string())?),
             "ji" => Box::new(db.join_index().map_err(|e| e.to_string())?),
@@ -260,6 +279,9 @@ fn run(args: &Args) -> Result<(), String> {
                 t.ios,
                 n
             );
+            if durable.is_some() {
+                db.commit().map_err(|e| e.to_string())?;
+            }
         }
         if args.flag("trace") {
             println!("\n-- {} span profile (last epoch) --", strategy.name());
@@ -273,7 +295,7 @@ fn run(args: &Args) -> Result<(), String> {
         model.iter().map(|c| format!("{}={:.1}s", c.method, c.total())).collect();
     println!("model prediction for this workload: {}", preds.join("  "));
     if let Some(path) = args.opt_str("report") {
-        let report = observed_report(&params, &gen, &measured, epochs)?;
+        let report = observed_report(&params, &gen, &measured, epochs, durable.as_deref())?;
         std::fs::write(&path, report.to_json().pretty())
             .map_err(|e| format!("--report {path}: {e}"))?;
         println!("run report written to {path}");
@@ -289,9 +311,16 @@ fn observed_report(
     gen: &trijoin::GeneratedWorkload,
     measured: &Workload,
     epochs: u64,
+    durable: Option<&std::path::Path>,
 ) -> Result<RunReport, String> {
     let err = |e: trijoin_common::Error| e.to_string();
-    let mut db = Database::new(params, gen.r.clone(), gen.s.clone()).map_err(err)?;
+    let mut db = match durable {
+        Some(root) => {
+            Database::create_durable(params, gen.r.clone(), gen.s.clone(), &root.join("report"))
+                .map_err(err)?
+        }
+        None => Database::new(params, gen.r.clone(), gen.s.clone()).map_err(err)?,
+    };
     let mut mv = db.materialized_view().map_err(err)?;
     let mut ji = db.join_index().map_err(err)?;
     let mut hh = db.hybrid_hash();
@@ -311,6 +340,9 @@ fn observed_report(
             let before = db.cost().total();
             db.query(strategy).map_err(err)?;
             engine[i] += db.cost().total().delta_since(&before).time_secs(params);
+        }
+        if durable.is_some() {
+            db.commit().map_err(err)?;
         }
     }
     let mut report = db.run_report("trijoin run");
@@ -357,15 +389,18 @@ fn serve(args: &Args) -> Result<(), String> {
     );
     let params = params_from(args)?;
     let gen = spec.generate();
-    let config = ServeConfig { batch, ring, seed, ..ServeConfig::new(params, shards) };
+    let durable_dir = args.opt_str("durable").map(std::path::PathBuf::from);
+    let durable = durable_dir.is_some();
+    let config = ServeConfig { batch, ring, seed, durable_dir, ..ServeConfig::new(params, shards) };
     let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
     let session = server.session().map_err(err)?;
     let mut traffic = ClientTraffic::split(&gen, &config, clients);
     let updates_per_query = gen.updates_per_epoch();
     println!(
         "serve: ‖R‖=‖S‖={} shards={shards} clients={clients} batch={batch} ring={ring} \
-         strategy={method} ‖iR‖={updates_per_query}/query",
-        gen.r.len()
+         strategy={method} ‖iR‖={updates_per_query}/query{}",
+        gen.r.len(),
+        if durable { " (durable)" } else { "" }
     );
     let started = std::time::Instant::now();
     let mut total_updates = 0u64;
@@ -386,6 +421,11 @@ fn serve(args: &Args) -> Result<(), String> {
         ));
         if rows != want {
             return Err(format!("query {q}: sharded answer diverged from the oracle"));
+        }
+        if durable {
+            // A commit barrier per query round: every shard WAL seals the
+            // round's updates, and the report carries `wal.*` accounting.
+            session.commit().map_err(err)?;
         }
     }
     let wall = started.elapsed().as_secs_f64();
@@ -570,19 +610,31 @@ fn render_top_frame(
 /// against every implementation, and on failure shrinks to a minimal
 /// JSON repro.
 fn check(args: &Args) -> Result<(), String> {
-    let cfg = CheckConfig {
+    let mut cfg = CheckConfig {
         params: SystemParams {
             mem_pages: args.u64("mem", 64)? as usize,
             ..SystemParams::paper_defaults()
         },
         ..CheckConfig::default()
     };
+    cfg.durable_root = args.opt_str("durable").map(std::path::PathBuf::from);
     if let Some(dir) = args.opt_str("corpus") {
         return check_corpus(&dir, &cfg);
     }
     let seed = args.u64("seed", 42)?;
     let mut gen_cfg = GenConfig::new(seed, args.u64("ops", 160)? as usize);
     gen_cfg.batch = args.u64("batch", gen_cfg.batch as u64)? as usize;
+    gen_cfg.crash_pct = args.u64("crash-pct", 0)? as u32;
+    if gen_cfg.crash_pct > 100 {
+        return Err("--crash-pct: must be within [0, 100]".into());
+    }
+    if gen_cfg.crash_pct > 0 && cfg.durable_root.is_none() {
+        // Crash ops are inert on the in-memory backend; give the run a
+        // scratch durable root so they actually exercise recovery.
+        let root = std::env::temp_dir().join(format!("trijoin-check-{seed}"));
+        println!("check: --crash-pct without --durable; using {}", root.display());
+        cfg.durable_root = Some(root);
+    }
     if let Some(list) = args.opt_str("shards") {
         gen_cfg.shard_counts = list
             .split(',')
@@ -600,12 +652,21 @@ fn check(args: &Args) -> Result<(), String> {
         script.checkpoints(),
         script.shard_counts
     );
+    if let Some(path) = args.opt_str("emit") {
+        std::fs::write(&path, script.to_json_string())
+            .map_err(|e| format!("--emit {path}: {e}"))?;
+        println!("script written to {path}");
+    }
     match run_script(&script, &cfg) {
         Ok(outcome) => {
             println!(
                 "check ok: {} checkpoints verified (MV ≡ JI ≡ HH ≡ oracle ≡ serve), \
-                 {} ops applied, {} skipped, {} fault plans",
-                outcome.checkpoints, outcome.applied, outcome.skipped, outcome.faults_installed
+                 {} ops applied, {} skipped, {} fault plans, {} crash-recovery cycles",
+                outcome.checkpoints,
+                outcome.applied,
+                outcome.skipped,
+                outcome.faults_installed,
+                outcome.crashes
             );
             Ok(())
         }
@@ -644,15 +705,30 @@ fn check_corpus(dir: &str, cfg: &CheckConfig) -> Result<(), String> {
         let shown = path.display();
         let text = std::fs::read_to_string(path).map_err(|e| format!("{shown}: {e}"))?;
         let script = Script::from_json_str(&text).map_err(|e| format!("{shown}: {e}"))?;
-        let outcome = run_script(&script, cfg).map_err(|f| format!("{shown}: {f}"))?;
+        let cfg = durable_cfg_for(&script, cfg, "corpus");
+        let outcome = run_script(&script, &cfg).map_err(|f| format!("{shown}: {f}"))?;
         println!(
-            "{shown}: ok — {} checkpoints, {} ops applied, {} fault plans",
-            outcome.checkpoints, outcome.applied, outcome.faults_installed
+            "{shown}: ok — {} checkpoints, {} ops applied, {} fault plans, {} crashes",
+            outcome.checkpoints, outcome.applied, outcome.faults_installed, outcome.crashes
         );
         checkpoints += outcome.checkpoints;
     }
     println!("corpus ok: {} scripts, {checkpoints} checkpoints verified", paths.len());
     Ok(())
+}
+
+/// Crash ops are inert on the in-memory backend. When a script carries
+/// them and the caller supplied no durable root, replay it under a
+/// scratch directory so the crash-recovery cycles actually run.
+fn durable_cfg_for(script: &Script, cfg: &CheckConfig, tag: &str) -> CheckConfig {
+    let mut cfg = cfg.clone();
+    let has_crashes =
+        script.ops.iter().any(|op| matches!(op, trijoin_common::ScriptOp::Crash { .. }));
+    if has_crashes && cfg.durable_root.is_none() {
+        cfg.durable_root =
+            Some(std::env::temp_dir().join(format!("trijoin-{tag}-{}", script.name)));
+    }
+    cfg
 }
 
 /// `trijoin repro <file>` — replay a shrunk repro (or any script file).
@@ -669,11 +745,12 @@ fn repro(rest: &[String]) -> Result<(), String> {
         script.checkpoints(),
         script.shard_counts
     );
-    match run_script(&script, &CheckConfig::default()) {
+    let cfg = durable_cfg_for(&script, &CheckConfig::default(), "repro");
+    match run_script(&script, &cfg) {
         Ok(outcome) => {
             println!(
-                "script passes: {} checkpoints verified, {} ops applied, {} skipped",
-                outcome.checkpoints, outcome.applied, outcome.skipped
+                "script passes: {} checkpoints verified, {} ops applied, {} skipped, {} crashes",
+                outcome.checkpoints, outcome.applied, outcome.skipped, outcome.crashes
             );
             Ok(())
         }

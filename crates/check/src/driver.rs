@@ -18,21 +18,31 @@
 //! damage to base relations during the apply phase is unrecoverable and
 //! would fail the run spuriously).
 //!
+//! With [`CheckConfig::durable_root`] set, the whole replay moves onto
+//! the WAL-backed file backend: `batch` and `checkpoint` ops double as
+//! commit barriers, and `crash` ops kill every engine and server at a
+//! seeded sabotage point (cold drop, torn log tail, or sealed-but-
+//! unapplied log), recover each from its own WAL, re-apply the
+//! uncommitted tail, and let the very same equivalence checks prove the
+//! recovery correct — the mirrors never crash, so the oracle is exactly
+//! the state durability must reproduce.
+//!
 //! Failures come back as structured [`CheckFailure`]s rather than
 //! panics, so the shrinker can probe candidate scripts cheaply.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use rand::prelude::*;
 use trijoin::{Database, WorkloadSpec};
 use trijoin_common::{
-    rng, BaseTuple, EventKind, Script, ScriptOp, Surrogate, SystemParams, TelemetryConfig,
+    rng, BaseTuple, Error, EventKind, Script, ScriptOp, Surrogate, SystemParams, TelemetryConfig,
     ViewTuple,
 };
 use trijoin_exec::{oracle, JoinStrategy, Mutation, Update};
 use trijoin_model::{all_costs, Method, Workload};
 use trijoin_serve::{ClientSession, ServeConfig, Server};
-use trijoin_storage::FaultPlan;
+use trijoin_storage::{CommitSabotage, FaultPlan};
 
 /// Deliberate bugs the driver can plant in its own replay path, used to
 /// demonstrate that the harness catches (and the shrinker minimizes) a
@@ -64,6 +74,15 @@ pub struct CheckConfig {
     /// simulates a miscalibrated model parameter so the `CostDrift`
     /// detection path can be exercised deliberately.
     pub audit_calibration: f64,
+    /// Root directory for durable replay. `None` (the default) replays on
+    /// the in-memory backend and `crash` ops are inert. When set, the
+    /// three engines and every server shard live on the WAL-backed file
+    /// backend under this directory, `batch` and `checkpoint` ops become
+    /// commit barriers, and `crash` ops kill every implementation at a
+    /// seeded sabotage point and recover it from its own log. The
+    /// directory is reused (and wiped) across shrink probes and left on
+    /// disk afterwards for post-mortem inspection.
+    pub durable_root: Option<PathBuf>,
 }
 
 impl Default for CheckConfig {
@@ -73,6 +92,7 @@ impl Default for CheckConfig {
             sabotage: Sabotage::None,
             model_checks: true,
             audit_calibration: 1.0,
+            durable_root: None,
         }
     }
 }
@@ -92,6 +112,9 @@ pub struct CheckOutcome {
     /// `CostDrift` events the engines' predicted-vs-actual audit raised
     /// over the whole replay (0 when the model tracks the ledger).
     pub cost_drift_events: usize,
+    /// Crash-recovery cycles performed (durable mode; `crash` ops are
+    /// inert — and uncounted — on the in-memory backend).
+    pub crashes: usize,
 }
 
 /// A failed replay: which checkpoint, which implementation, and why.
@@ -127,6 +150,11 @@ struct Engine {
     db: Database,
     cached: Cached,
     s_dirty: bool,
+    /// Durable-store directory (`None` on the in-memory backend).
+    dir: Option<PathBuf>,
+    /// Audit workload of the initial relations, re-installed after every
+    /// crash recovery (the audit is calibrated once per run, not re-fit).
+    audit: Workload,
 }
 
 impl Engine {
@@ -135,20 +163,69 @@ impl Engine {
         cfg: &CheckConfig,
         r: Vec<BaseTuple>,
         s: Vec<BaseTuple>,
+        dir: Option<PathBuf>,
     ) -> trijoin_common::Result<Engine> {
         // The audit prices the model against the initial measured
         // statistics (same pra the metamorphic checks use); enable it
         // before any script work so every query cycle is audited.
         let workload = trijoin::measure_workload(&r, &s, 0.1, 0.0);
-        let db = Database::new(&cfg.params, r, s)?;
+        let db = match &dir {
+            Some(d) => Database::create_durable(&cfg.params, r, s, d)?,
+            None => Database::new(&cfg.params, r, s)?,
+        };
         db.enable_telemetry(TelemetryConfig::default());
-        db.enable_cost_audit(workload, cfg.audit_calibration);
+        db.enable_cost_audit(workload.clone(), cfg.audit_calibration);
         let cached = match method {
             Method::MaterializedView => Cached::Mv(db.materialized_view()?),
             Method::JoinIndex => Cached::Ji(db.join_index()?),
             Method::HybridHash => Cached::Hh(db.hybrid_hash()),
         };
-        Ok(Engine { method, db, cached, s_dirty: false })
+        Ok(Engine { method, db, cached, s_dirty: false, dir, audit: workload })
+    }
+
+    /// Kill this engine at a seeded sabotage point and recover it from
+    /// its durable store (durable mode only). Returns whether the
+    /// in-flight commit became durable anyway — [`CommitSabotage`]'s
+    /// `SkipApply` seals the log before "dying", so recovery redoes the
+    /// commit and the caller must treat the tail as committed here.
+    fn crash_recover(
+        &mut self,
+        mode: Option<CommitSabotage>,
+        cfg: &CheckConfig,
+    ) -> trijoin_common::Result<bool> {
+        let dir = self.dir.clone().expect("crash_recover needs a durable engine");
+        let committed = match mode {
+            // Die cold: the buffered overlay vanishes with the process.
+            None => false,
+            Some(CommitSabotage::TornWal) => {
+                self.db.sabotage_next_commit(CommitSabotage::TornWal);
+                if self.db.commit().is_ok() {
+                    return Err(Error::Invariant(
+                        "torn-WAL sabotage did not fail the commit".into(),
+                    ));
+                }
+                false
+            }
+            Some(CommitSabotage::SkipApply) => {
+                self.db.sabotage_next_commit(CommitSabotage::SkipApply);
+                self.db.commit()?;
+                true
+            }
+        };
+        // The "process" dies here: dropping the database releases every
+        // handle; reopening runs WAL recovery (replay sealed groups,
+        // truncate any torn tail) and reattaches the catalog. Derived
+        // caches are gone by design — rebuild as at first start.
+        self.db = Database::open_durable(&cfg.params, &dir)?;
+        self.db.enable_telemetry(TelemetryConfig::default());
+        self.db.enable_cost_audit(self.audit.clone(), cfg.audit_calibration);
+        self.cached = match self.method {
+            Method::MaterializedView => Cached::Mv(self.db.materialized_view()?),
+            Method::JoinIndex => Cached::Ji(self.db.join_index()?),
+            Method::HybridHash => Cached::Hh(self.db.hybrid_hash()),
+        };
+        self.s_dirty = false;
+        Ok(committed)
     }
 
     fn strategy(&mut self) -> &mut dyn JoinStrategy {
@@ -237,9 +314,11 @@ impl Engine {
     }
 }
 
-/// One running server plus its session.
+/// One running server plus its session (and, for durable-mode crash
+/// recovery, the configuration to reopen it with).
 struct Serving {
     shards: usize,
+    config: ServeConfig,
     _server: Server,
     session: ClientSession,
 }
@@ -288,6 +367,11 @@ struct Driver<'a> {
     r_mirror: BTreeMap<u32, BaseTuple>,
     s_mirror: BTreeMap<u32, BaseTuple>,
     armed_faults: Vec<u64>,
+    /// Durable mode only: mutations applied since the last commit
+    /// barrier, re-applied after a crash recovery (the mirrors never
+    /// crash, so the tail is exactly what recovery rolls back).
+    tail: Vec<(Side, Mutation)>,
+    durable: bool,
     outcome: CheckOutcome,
 }
 
@@ -368,7 +452,10 @@ impl Driver<'_> {
                 let new = self.payload_tuple(old.sur.0, old.key, tag)?;
                 (Side::S, Mutation::Update(Update { old, new }))
             }
-            ScriptOp::Checkpoint | ScriptOp::Fault { .. } | ScriptOp::Batch => {
+            ScriptOp::Checkpoint
+            | ScriptOp::Fault { .. }
+            | ScriptOp::Batch
+            | ScriptOp::Crash { .. } => {
                 unreachable!("control-flow ops are handled by the main loop")
             }
         };
@@ -415,6 +502,96 @@ impl Driver<'_> {
                 self.s_mirror.insert(u.new.sur.0, u.new.clone());
             }
         }
+        if self.durable {
+            self.tail.push((side, m.clone()));
+        }
+        Ok(())
+    }
+
+    /// Durable-mode commit barrier: every engine commits, every server
+    /// drives its shard-commit barrier, and the uncommitted tail is gone.
+    /// A no-op on the in-memory backend.
+    fn commit_all(&mut self, i: usize) -> Result<(), Box<CheckFailure>> {
+        if !self.durable {
+            return Ok(());
+        }
+        for e in &self.engines {
+            e.db.commit().map_err(|err| {
+                fail(i, &format!("engine:{}", e.method), format!("commit: {err}"))
+            })?;
+        }
+        for srv in &self.servers {
+            srv.session.commit().map_err(|e| {
+                fail(i, &format!("serve:{}", srv.shards), format!("commit barrier: {e}"))
+            })?;
+        }
+        self.tail.clear();
+        Ok(())
+    }
+
+    /// Durable-mode crash: kill every implementation at the sabotage
+    /// point `seed` derives, recover each from its own log, then re-apply
+    /// the uncommitted tail so state converges back to the mirrors.
+    fn crash(&mut self, i: usize, seed: u64) -> Result<(), Box<CheckFailure>> {
+        let mut rn = rng::seeded(rng::derive(seed, "check/crash"));
+        let mode = match rn.gen_range(0u32..3) {
+            0 => None,                            // die cold (overlay dropped)
+            1 => Some(CommitSabotage::TornWal),   // die mid log flush
+            _ => Some(CommitSabotage::SkipApply), // die before the data-file apply
+        };
+        let mut engines_committed = false;
+        for e in &mut self.engines {
+            let site = format!("engine:{}", e.method);
+            engines_committed = e
+                .crash_recover(mode, self.cfg)
+                .map_err(|err| fail(i, &site, format!("crash recovery: {err}")))?;
+        }
+        // Servers always die cold: shard threads exit on channel close
+        // without committing, so their recovery point is the last commit
+        // barrier regardless of the engines' sabotage flavour.
+        let old = std::mem::take(&mut self.servers);
+        for srv in old {
+            let Serving { shards, config, .. } = srv; // drops session + server (threads join)
+            let site = format!("serve:{shards}");
+            let server =
+                Server::recover(&config).map_err(|e| fail(i, &site, format!("recover: {e}")))?;
+            let session = server.session().map_err(|e| fail(i, &site, format!("session: {e}")))?;
+            self.servers.push(Serving { shards, config, _server: server, session });
+        }
+        // Re-apply the tail recovery rolled back. Engines whose in-flight
+        // commit was sealed (`SkipApply`) already hold it via log redo.
+        let tail = std::mem::take(&mut self.tail);
+        let sabotage = self.cfg.sabotage;
+        for (side, m) in &tail {
+            if !engines_committed {
+                for e in &mut self.engines {
+                    let res = match side {
+                        Side::R => e.apply_r(m, sabotage),
+                        Side::S => e.apply_s(m),
+                    };
+                    res.map_err(|err| {
+                        fail(i, &format!("engine:{}", e.method), format!("tail replay: {err}"))
+                    })?;
+                }
+            }
+            for srv in &self.servers {
+                let res = match side {
+                    Side::R => srv.session.update_r(m.clone()),
+                    Side::S => srv.session.update_s(m.clone()),
+                };
+                res.map_err(|e| {
+                    fail(i, &format!("serve:{}", srv.shards), format!("tail replay: {e}"))
+                })?;
+            }
+        }
+        if engines_committed {
+            // The engines hold the tail durably; bring the servers to the
+            // same commit point so every log agrees the tail is sealed.
+            self.commit_all(i)?;
+        } else {
+            self.tail = tail;
+        }
+        self.outcome.crashes += 1;
         Ok(())
     }
 
@@ -439,6 +616,9 @@ impl Driver<'_> {
             let site = format!("engine:{}", e.method);
             e.rebuild_if_dirty().map_err(|err| fail(i, &site, format!("cache rebuild: {err}")))?;
         }
+        // Checkpoints are commit barriers in durable mode — everything
+        // the queries below observe is also what a crash recovers to.
+        self.commit_all(i)?;
 
         // 2. Install armed fault plans (engines and one shard per server).
         let armed = std::mem::take(&mut self.armed_faults);
@@ -630,16 +810,21 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
 
     let mut engines = Vec::with_capacity(3);
     for method in Method::all() {
+        let dir = cfg.durable_root.as_ref().map(|root| root.join(format!("engine-{method}")));
         engines.push(
-            Engine::new(method, cfg, generated.r.clone(), generated.s.clone())
+            Engine::new(method, cfg, generated.r.clone(), generated.s.clone(), dir)
                 .map_err(|e| bad_input(format!("engine {method} construction: {e}")))?,
         );
     }
     let mut servers = Vec::with_capacity(script.shard_counts.len());
-    for &shards in &script.shard_counts {
+    for (idx, &shards) in script.shard_counts.iter().enumerate() {
         let serve_cfg = ServeConfig {
             batch: script.batch,
             seed: rng::derive_indexed(script.spec.seed, "check/serve", shards as u64),
+            durable_dir: cfg
+                .durable_root
+                .as_ref()
+                .map(|root| root.join(format!("serve-{idx}-{shards}"))),
             ..ServeConfig::new(cfg.params.clone(), shards)
         };
         let server = Server::start(&serve_cfg, generated.r.clone(), generated.s.clone())
@@ -647,7 +832,7 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
         let session = server
             .session()
             .map_err(|e| bad_input(format!("server({shards} shards) session: {e}")))?;
-        servers.push(Serving { shards, _server: server, session });
+        servers.push(Serving { shards, config: serve_cfg, _server: server, session });
     }
 
     let mut driver = Driver {
@@ -658,6 +843,8 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
         r_mirror: generated.r.iter().map(|t| (t.sur.0, t.clone())).collect(),
         s_mirror: generated.s.iter().map(|t| (t.sur.0, t.clone())).collect(),
         armed_faults: Vec::new(),
+        tail: Vec::new(),
+        durable: cfg.durable_root.is_some(),
         outcome: CheckOutcome::default(),
     };
 
@@ -670,6 +857,13 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
                     srv.session.flush().map_err(|e| {
                         fail(i, &format!("serve:{}", srv.shards), format!("flush: {e}"))
                     })?;
+                }
+                driver.commit_all(i)?;
+            }
+            ScriptOp::Crash { seed } => {
+                // Inert on the in-memory backend: nothing to reopen from.
+                if driver.durable {
+                    driver.crash(i, *seed)?;
                 }
             }
             mutation => {

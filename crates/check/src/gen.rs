@@ -39,6 +39,11 @@ pub struct GenConfig {
     pub batch: usize,
     /// Probability (in percent) that an op slot becomes a fault injection.
     pub fault_pct: u32,
+    /// Probability (in percent) that a control-flow slot becomes a
+    /// durable-mode `crash` op instead. The default 0 draws *nothing*
+    /// from the RNG, so scripts (and the committed corpus) generated
+    /// before the crash grammar existed are reproduced byte-identically.
+    pub crash_pct: u32,
 }
 
 impl GenConfig {
@@ -56,6 +61,7 @@ impl GenConfig {
             shard_counts: vec![1, 2, 4],
             batch: 8,
             fault_pct: 4,
+            crash_pct: 0,
         }
     }
 }
@@ -74,6 +80,7 @@ pub fn generate(cfg: &GenConfig) -> Script {
     let mut next_sur_s = cfg.s_tuples;
     let mut next_unmatched = UNMATCHED_BASE;
     let mut next_fault = 0u64;
+    let mut next_crash = 0u64;
     let mut since_checkpoint = 0usize;
 
     let mut tag = 0u64;
@@ -120,7 +127,14 @@ pub fn generate(cfg: &GenConfig) -> Script {
             }
             92..=95 => ScriptOp::Batch,
             _ => {
-                if rn.gen_range(0u32..100) < cfg.fault_pct * 25 {
+                // Guarded draws: with crash_pct = 0 the crash branch
+                // consumes no randomness, keeping pre-crash-grammar
+                // scripts (the committed corpus) byte-identical.
+                if cfg.crash_pct > 0 && rn.gen_range(0u32..100) < cfg.crash_pct {
+                    let seed = rng::derive_indexed(cfg.seed, "check/crash", next_crash);
+                    next_crash += 1;
+                    ScriptOp::Crash { seed }
+                } else if rn.gen_range(0u32..100) < cfg.fault_pct * 25 {
                     let seed = rng::derive_indexed(cfg.seed, "check/fault", next_fault);
                     next_fault += 1;
                     ScriptOp::Fault { seed }
@@ -205,6 +219,33 @@ mod tests {
         assert_eq!(r_surs.len(), rn);
         assert_eq!(s_surs.len(), sn);
         assert!(r_surs.iter().all(|&s| s >= 96), "fresh surrogates sit above the initial ones");
+    }
+
+    #[test]
+    fn crash_emission_is_opt_in_and_deterministic() {
+        // Default: no crash ops, ever (the corpus predates the grammar).
+        for seed in 0..10 {
+            let script = generate(&GenConfig::new(seed, 300));
+            assert!(!script.ops.iter().any(|op| matches!(op, ScriptOp::Crash { .. })));
+        }
+        // Opt-in: crash ops appear, with distinct derived seeds, and the
+        // whole script is still a pure function of the config.
+        let cfg = GenConfig { crash_pct: 100, ..GenConfig::new(5, 600) };
+        let script = generate(&cfg);
+        assert_eq!(script, generate(&cfg));
+        let mut seeds: Vec<u64> = script
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                ScriptOp::Crash { seed } => Some(*seed),
+                _ => None,
+            })
+            .collect();
+        assert!(!seeds.is_empty(), "crash_pct=100 must emit crash ops");
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "each crash op owns a distinct seed");
     }
 
     #[test]

@@ -112,9 +112,36 @@ pub enum Error {
         /// Page number within the file.
         page: u32,
     },
+    /// A *real* operating-system I/O failure from the file storage
+    /// backend (as opposed to the simulated [`Error::DeviceFault`]).
+    /// `std::io::Error` is neither `Clone` nor `PartialEq`, so the kind
+    /// and message are captured as strings at the mapping boundary —
+    /// every file-backend syscall goes through [`Error::io`], which is
+    /// how "never panics" is enforced for the durable path.
+    Io {
+        /// What the backend was doing, e.g. `"read f3 page 7"`.
+        op: String,
+        /// The `std::io::ErrorKind` (or a backend-specific class such as
+        /// `"short read"`), rendered for comparison and display.
+        kind: String,
+    },
 }
 
 impl Error {
+    /// Map a `std::io::Error` into the workspace error type, naming the
+    /// operation that failed. The one funnel every file-backend syscall
+    /// result passes through: backends return `Err(Error::Io { .. })`
+    /// instead of panicking, whatever the OS reports.
+    pub fn io(op: impl Into<String>, e: &std::io::Error) -> Error {
+        Error::Io { op: op.into(), kind: format!("{:?}", e.kind()) }
+    }
+
+    /// An I/O-class error with a backend-specific kind (e.g. a read that
+    /// returned fewer bytes than a page without an OS error).
+    pub fn io_kind(op: impl Into<String>, kind: impl Into<String>) -> Error {
+        Error::Io { op: op.into(), kind: kind.into() }
+    }
+
     /// True for typed faults from the fault-injection plan — the class of
     /// errors the execution layer recovers from (retry or rebuild). The
     /// legacy [`Error::Faulted`] is deliberately excluded: its contract is
@@ -150,6 +177,7 @@ impl fmt::Display for Error {
             Error::DeviceFault { op, kind, file, page } => {
                 write!(f, "{kind} device fault on {op} of file {file}, page {page}")
             }
+            Error::Io { op, kind } => write!(f, "io error ({kind}) during {op}"),
         }
     }
 }
@@ -186,6 +214,19 @@ mod tests {
         assert!(!Error::Faulted.is_retryable());
         assert_eq!(transient.to_string(), "transient device fault on read of file 1, page 2");
         assert!(torn.to_string().contains("torn-write"));
+    }
+
+    #[test]
+    fn io_mapping_captures_operation_and_kind() {
+        let denied = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope");
+        let e = Error::io("open wal.log", &denied);
+        assert_eq!(e, Error::Io { op: "open wal.log".into(), kind: "PermissionDenied".into() });
+        assert_eq!(e.to_string(), "io error (PermissionDenied) during open wal.log");
+        assert!(!e.is_device_fault() && !e.is_retryable());
+
+        let short = Error::io_kind("read f3 page 7", "short read");
+        assert!(short.to_string().contains("short read"), "{short}");
+        assert!(short.to_string().contains("f3 page 7"), "{short}");
     }
 
     #[test]

@@ -124,7 +124,21 @@ pub enum ScriptOp {
         seed: u64,
     },
     /// Serve-layer batch boundary: flush every server's pending updates.
+    /// In durable mode this is also a commit barrier (engines commit,
+    /// servers drive their shard-commit barrier).
     Batch,
+    /// Durable-mode crash: kill every engine and server mid-run at this
+    /// point — *without* committing — then reopen from disk, replaying
+    /// each WAL. `seed` deterministically picks the sabotage flavour of
+    /// the preceding in-flight commit (overlay dropped cold, torn log
+    /// tail, or sealed-but-unapplied log; see
+    /// `trijoin_storage::CommitSabotage`). On the in-memory backend the
+    /// op is inert: there is nothing to reopen from, so the driver treats
+    /// it as a no-op and the equivalence checks simply continue.
+    Crash {
+        /// Seed of the sabotage-flavour derivation.
+        seed: u64,
+    },
 }
 
 impl ScriptOp {
@@ -142,17 +156,29 @@ impl ScriptOp {
             ScriptOp::Checkpoint => "checkpoint",
             ScriptOp::Fault { .. } => "fault",
             ScriptOp::Batch => "batch",
+            ScriptOp::Crash { .. } => "crash",
         }
     }
 
     /// Whether the op mutates a base relation (vs. control flow).
     pub fn is_mutation(&self) -> bool {
-        !matches!(self, ScriptOp::Checkpoint | ScriptOp::Fault { .. } | ScriptOp::Batch)
+        !matches!(
+            self,
+            ScriptOp::Checkpoint
+                | ScriptOp::Fault { .. }
+                | ScriptOp::Batch
+                | ScriptOp::Crash { .. }
+        )
     }
 }
 
-/// Schema version stamped into every serialized script.
-pub const SCRIPT_VERSION: u64 = 1;
+/// Schema version stamped into every serialized script. Version 2 added
+/// the `crash` op; readers accept [`SCRIPT_VERSION_MIN`]`..=SCRIPT_VERSION`
+/// so version-1 corpus files stay replayable forever.
+pub const SCRIPT_VERSION: u64 = 2;
+
+/// Oldest script schema version this build still reads.
+pub const SCRIPT_VERSION_MIN: u64 = 1;
 
 /// A complete replayable simulation script.
 #[derive(Debug, Clone, PartialEq)]
@@ -252,7 +278,7 @@ impl ScriptOp {
                 j.set("pick", pick).set("tag", tag)
             }
             ScriptOp::Checkpoint | ScriptOp::Batch => j,
-            ScriptOp::Fault { seed } => j.set("seed", seed_json(seed)),
+            ScriptOp::Fault { seed } | ScriptOp::Crash { seed } => j.set("seed", seed_json(seed)),
         }
     }
 
@@ -294,6 +320,7 @@ impl ScriptOp {
             "checkpoint" => ScriptOp::Checkpoint,
             "fault" => ScriptOp::Fault { seed: seed_from(field(j, "seed", kind)?, kind)? },
             "batch" => ScriptOp::Batch,
+            "crash" => ScriptOp::Crash { seed: seed_from(field(j, "seed", kind)?, kind)? },
             other => return Err(format!("script: unknown op kind {other:?}")),
         };
         Ok(op)
@@ -318,9 +345,10 @@ impl Script {
     /// Parse the JSON form, validating the schema version and every op.
     pub fn from_json(j: &Json) -> Result<Script, String> {
         let version = num_u64(j, "version", "script")?;
-        if version != SCRIPT_VERSION {
+        if !(SCRIPT_VERSION_MIN..=SCRIPT_VERSION).contains(&version) {
             return Err(format!(
-                "script: unsupported version {version} (this build reads {SCRIPT_VERSION})"
+                "script: unsupported version {version} \
+                 (this build reads {SCRIPT_VERSION_MIN}..={SCRIPT_VERSION})"
             ));
         }
         let name = field(j, "name", "script")?
@@ -397,6 +425,7 @@ mod tests {
                 ScriptOp::ModifyPayloadS { pick: 4, tag: 22 },
                 ScriptOp::Batch,
                 ScriptOp::Fault { seed: u64::MAX },
+                ScriptOp::Crash { seed: 0x0123_4567_89ab_cdef },
                 ScriptOp::Checkpoint,
             ],
         }
@@ -445,6 +474,16 @@ mod tests {
         assert!(Script::from_json(&bad).unwrap_err().contains("sr"));
         // Not even JSON.
         assert!(Script::from_json_str("{nope").is_err());
+    }
+
+    #[test]
+    fn version_1_scripts_still_parse() {
+        // Version 1 predates the `crash` op; everything else is identical,
+        // so a v1 file is just a v2 file with the old stamp and no crashes.
+        let mut script = sample();
+        script.ops.retain(|op| !matches!(op, ScriptOp::Crash { .. }));
+        let j = script.to_json().set("version", SCRIPT_VERSION_MIN);
+        assert_eq!(Script::from_json(&j).unwrap(), script);
     }
 
     #[test]

@@ -3,11 +3,12 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::rc::Rc;
 use trijoin_common::telemetry::{DriftAlert, SeriesSnapshot, Telemetry, TelemetryConfig};
 use trijoin_common::{
-    BaseTuple, Cost, EventKind, EventLog, Metrics, OpCounts, Result, RunReport, SystemParams,
-    ViewTuple,
+    BaseTuple, Cost, Error, EventKind, EventLog, Json, Metrics, OpCounts, Result, RunReport,
+    SystemParams, ViewTuple,
 };
 use trijoin_model::Workload;
 
@@ -15,7 +16,11 @@ use trijoin_exec::{
     BilateralView, EagerView, HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView,
     StoredRelation,
 };
-use trijoin_storage::{Disk, FaultPlan, SimDisk};
+use trijoin_storage::{
+    CheckpointStats, CommitSabotage, CommitStats, Disk, DurableBackend, FaultPlan, SimDisk,
+};
+
+use crate::catalog::{self, CATALOG_FILE, CATALOG_VERSION};
 
 /// The engine's telemetry tick: total primitive ledger operations. Purely
 /// a function of the simulated ledger, so window boundaries are
@@ -78,6 +83,9 @@ pub struct Database {
     /// [`Database::enable_telemetry`] ran: engines without it produce
     /// byte-identical reports to the pre-telemetry schema (golden safety).
     telemetry: RefCell<Option<EngineTelemetry>>,
+    /// True for databases on a durable backend: [`Database::commit`]
+    /// serializes the catalog into file 0 before flushing.
+    durable: bool,
 }
 
 impl Database {
@@ -109,7 +117,153 @@ impl Database {
         let disk = SimDisk::new(params, cost.clone());
         let r = StoredRelation::build(&disk, params, "R", r, r_inverted)?;
         let s = Rc::new(StoredRelation::build(&disk, params, "S", s, true)?);
-        Ok(Database { params: params.clone(), cost, disk, r, s, telemetry: RefCell::new(None) })
+        Ok(Database {
+            params: params.clone(),
+            cost,
+            disk,
+            r,
+            s,
+            telemetry: RefCell::new(None),
+            durable: false,
+        })
+    }
+
+    // ---- durable lifecycle ----------------------------------------------
+
+    /// Like [`Database::new`] but on the durable file backend rooted at
+    /// `dir`: pages live in real files, every mutation is buffered until
+    /// [`Database::commit`] seals it into the write-ahead log. The initial
+    /// load is committed before returning, so a crash immediately after
+    /// construction reopens to exactly these tuples.
+    pub fn create_durable(
+        params: &SystemParams,
+        r: Vec<BaseTuple>,
+        s: Vec<BaseTuple>,
+        dir: &Path,
+    ) -> Result<Self> {
+        Self::build_durable(params, r, s, false, dir)
+    }
+
+    /// Durable counterpart of [`Database::new_bilateral`].
+    pub fn create_durable_bilateral(
+        params: &SystemParams,
+        r: Vec<BaseTuple>,
+        s: Vec<BaseTuple>,
+        dir: &Path,
+    ) -> Result<Self> {
+        Self::build_durable(params, r, s, true, dir)
+    }
+
+    fn build_durable(
+        params: &SystemParams,
+        r: Vec<BaseTuple>,
+        s: Vec<BaseTuple>,
+        r_inverted: bool,
+        dir: &Path,
+    ) -> Result<Self> {
+        let cost = Cost::new();
+        let backend = DurableBackend::create(dir, params.page_size)?;
+        let disk = SimDisk::with_backend(params, cost.clone(), Box::new(backend));
+        // The catalog claims file 0 before any relation structure exists.
+        let cat = disk.create_file();
+        debug_assert_eq!(cat, CATALOG_FILE);
+        let r = StoredRelation::build(&disk, params, "R", r, r_inverted)?;
+        let s = Rc::new(StoredRelation::build(&disk, params, "S", s, true)?);
+        let db = Database {
+            params: params.clone(),
+            cost,
+            disk,
+            r,
+            s,
+            telemetry: RefCell::new(None),
+            durable: true,
+        };
+        db.commit()?;
+        Ok(db)
+    }
+
+    /// Reopen a durable database from `dir`. WAL recovery runs first
+    /// (replaying committed frames, truncating any torn tail — the
+    /// `wal.recovered.*` counters and a `RecoveryTriggered` event record
+    /// it); then the relations are reattached from the catalog in file 0.
+    /// All derived state (MV, JI, hash tables) is gone — rebuild it with
+    /// the usual constructors, exactly as at first creation.
+    pub fn open_durable(params: &SystemParams, dir: &Path) -> Result<Self> {
+        let cost = Cost::new();
+        let backend = DurableBackend::open(dir, params.page_size)?;
+        let disk = SimDisk::with_backend(params, cost.clone(), Box::new(backend));
+        let manifest = catalog::read_catalog(&disk)?;
+        let version = manifest.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != CATALOG_VERSION {
+            return Err(Error::Corrupt(format!(
+                "catalog version {version} (this build reads {CATALOG_VERSION})"
+            )));
+        }
+        let r_json =
+            manifest.get("r").ok_or_else(|| Error::Corrupt("catalog missing relation r".into()))?;
+        let s_json =
+            manifest.get("s").ok_or_else(|| Error::Corrupt("catalog missing relation s".into()))?;
+        let r = StoredRelation::open(&disk, params, r_json)?;
+        let s = Rc::new(StoredRelation::open(&disk, params, s_json)?);
+        Ok(Database {
+            params: params.clone(),
+            cost,
+            disk,
+            r,
+            s,
+            telemetry: RefCell::new(None),
+            durable: true,
+        })
+    }
+
+    /// True when this database sits on a durable (WAL-backed) backend.
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// The catalog manifest describing the current structures.
+    fn manifest(&self) -> Json {
+        Json::obj()
+            .set("version", CATALOG_VERSION)
+            .set("r", self.r.catalog_json())
+            .set("s", self.s.catalog_json())
+    }
+
+    /// Make everything since the last commit durable: serialize the
+    /// catalog into file 0, then group-flush the buffered page writes
+    /// through the WAL (page frames + one commit frame, fsynced before the
+    /// data files are touched). On the in-memory backend this is a cheap
+    /// no-op that reports zero frames. The `wal.*` metrics and one I/O
+    /// charge per frame (plus one for the commit record) land in the
+    /// ledger via the disk wrapper.
+    pub fn commit(&self) -> Result<CommitStats> {
+        if self.durable {
+            catalog::write_catalog(&self.disk, &self.manifest())?;
+        }
+        self.disk.commit()
+    }
+
+    /// [`Database::commit`], then truncate the WAL (its contents are fully
+    /// applied, so the log restarts empty — this is what bounds log length
+    /// between restarts).
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        if self.durable {
+            catalog::write_catalog(&self.disk, &self.manifest())?;
+        }
+        self.disk.checkpoint()
+    }
+
+    /// Close the database cleanly: checkpoint (commit + WAL truncate) and
+    /// drop. Reopening after `close` replays nothing.
+    pub fn close(self) -> Result<()> {
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Arm a simulated crash on the next [`Database::commit`] (test
+    /// harness; see [`trijoin_storage::CommitSabotage`]).
+    pub fn sabotage_next_commit(&self, mode: CommitSabotage) {
+        self.disk.sabotage_next_commit(mode);
     }
 
     /// System parameters in force.
@@ -369,6 +523,13 @@ impl Database {
             let alerts = t.tel.force_close(ops_tick(&end), self.disk.metrics());
             self.emit_drift(&alerts, end);
         }
+        // Durable engines carry the WAL marker on every report, even right
+        // after a `reset_observability` boundary (the in-memory backend
+        // never stamps these, keeping golden reports byte-identical).
+        if self.disk.wal_enabled() {
+            self.disk.metrics().gauge_set("wal.enabled", 1.0);
+            self.disk.metrics().gauge_set("wal.len_bytes", self.disk.wal_len_bytes() as f64);
+        }
         let mut report = RunReport::capture(
             name,
             &self.params,
@@ -511,6 +672,58 @@ mod tests {
         assert!(db.s().has_inverted(), "S carries the join-attribute index");
         db.reset_cost();
         assert!(db.cost().total().is_zero());
+    }
+
+    #[test]
+    fn durable_lifecycle_roundtrips_through_reopen() {
+        let params = SystemParams { page_size: 512, mem_pages: 32, ..Default::default() };
+        let dir = std::env::temp_dir().join(format!("trijoin-db-life-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let db = Database::create_durable(&params, tuples(120), tuples(90), &dir).unwrap();
+        assert!(db.is_durable());
+        let mut mv = db.materialized_view().unwrap();
+        let baseline = db.query(&mut mv).unwrap();
+        db.close().unwrap();
+
+        let db = Database::open_durable(&params, &dir).unwrap();
+        assert!(db.is_durable());
+        assert_eq!(db.r().len(), 120);
+        assert_eq!(db.s().len(), 90);
+        assert!(db.s().has_inverted() && !db.r().has_inverted());
+        // Derived state rebuilds; answers match the pre-restart run.
+        let mut mv = db.materialized_view().unwrap();
+        let mut after = db.query(&mut mv).unwrap();
+        let mut want = baseline.clone();
+        let order = |t: &trijoin_common::ViewTuple| (t.r_sur, t.s_sur);
+        want.sort_by_key(order);
+        after.sort_by_key(order);
+        assert_eq!(after, want);
+        // Clean close left nothing to replay.
+        assert_eq!(db.metrics().counter("wal.recovered.commits"), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_mutations_rewind_on_reopen() {
+        let params = SystemParams { page_size: 512, mem_pages: 32, ..Default::default() };
+        let dir = std::env::temp_dir().join(format!("trijoin-db-rewind-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut db = Database::create_durable(&params, tuples(60), tuples(60), &dir).unwrap();
+        let old = db.r().get(Surrogate(3)).unwrap().unwrap();
+        let new = BaseTuple::padded(Surrogate(3), 999, 64);
+        db.r_mut().apply_update(&old, &new).unwrap();
+        db.commit().unwrap();
+        // A second mutation stays uncommitted: drop without commit = crash.
+        let old2 = db.r().get(Surrogate(4)).unwrap().unwrap();
+        db.r_mut().apply_update(&old2, &BaseTuple::padded(Surrogate(4), 888, 64)).unwrap();
+        drop(db);
+
+        let db = Database::open_durable(&params, &dir).unwrap();
+        assert_eq!(db.r().get(Surrogate(3)).unwrap().unwrap().key, 999, "committed survives");
+        assert_eq!(db.r().get(Surrogate(4)).unwrap().unwrap().key, old2.key, "uncommitted rewinds");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod adaptive;
 pub mod advisor;
 pub mod breakdown;
+pub mod catalog;
 pub mod db;
 pub mod experiment;
 pub mod workload;

@@ -7,9 +7,35 @@
 //! `R` does not (only `S` is probed by join attribute in the paper's
 //! algorithms).
 
-use trijoin_btree::{BTree, BTreeConfig};
-use trijoin_common::{BaseTuple, Cost, Error, Result, Surrogate, SystemParams};
+use trijoin_btree::{BTree, BTreeConfig, BTreeMeta};
+use trijoin_common::{BaseTuple, Cost, Error, Json, Result, Surrogate, SystemParams};
 use trijoin_storage::Disk;
+
+/// Serialize one tree's [`BTreeMeta`] as a catalog object.
+fn tree_json(meta: &BTreeMeta) -> Json {
+    Json::obj()
+        .set("file", meta.file as u64)
+        .set("root_page", meta.root_page as u64)
+        .set("height", meta.height as u64)
+        .set("entries", meta.entries)
+        .set("leaves", meta.leaves)
+}
+
+/// Decode one tree's catalog object back into a [`BTreeMeta`].
+fn tree_meta(j: &Json) -> Result<BTreeMeta> {
+    let field = |k: &str| {
+        j.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| Error::Corrupt(format!("catalog tree entry missing field {k}")))
+    };
+    Ok(BTreeMeta {
+        file: field("file")? as u32,
+        root_page: field("root_page")? as u32,
+        height: field("height")? as usize,
+        entries: field("entries")?,
+        leaves: field("leaves")?,
+    })
+}
 
 /// A base relation stored per Table 5.
 pub struct StoredRelation {
@@ -58,6 +84,53 @@ impl StoredRelation {
             None
         };
         Ok(StoredRelation { name: name.to_string(), clustered, inverted, tuple_bytes, count })
+    }
+
+    /// Serialize this relation's catalog entry: name, tuple shape, count,
+    /// and the persisted shape of each index tree. Together with the pages
+    /// already on the durable backend this is everything
+    /// [`StoredRelation::open`] needs after a restart.
+    pub fn catalog_json(&self) -> Json {
+        let mut j = Json::obj()
+            .set("name", self.name.as_str())
+            .set("tuple_bytes", self.tuple_bytes)
+            .set("count", self.count)
+            .set("clustered", tree_json(&self.clustered.meta()));
+        if let Some(inv) = &self.inverted {
+            j = j.set("inverted", tree_json(&inv.meta()));
+        }
+        j
+    }
+
+    /// Reattach to a persisted relation from its catalog entry. Free of
+    /// I/O charge (only the memory-resident roots are reloaded); tuple
+    /// pages are read lazily, charged, on first access as usual.
+    pub fn open(disk: &Disk, params: &SystemParams, j: &Json) -> Result<Self> {
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::Corrupt("catalog relation missing name".into()))?
+            .to_string();
+        let tuple_bytes = j
+            .get("tuple_bytes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| Error::Corrupt(format!("catalog {name}: missing tuple_bytes")))?
+            as usize;
+        let count = j
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| Error::Corrupt(format!("catalog {name}: missing count")))?;
+        let clustered_meta = tree_meta(
+            j.get("clustered")
+                .ok_or_else(|| Error::Corrupt(format!("catalog {name}: missing clustered")))?,
+        )?;
+        let clustered =
+            BTree::open(disk, BTreeConfig::clustered(params, tuple_bytes), &clustered_meta)?;
+        let inverted = match j.get("inverted") {
+            Some(inv) => Some(BTree::open(disk, BTreeConfig::inverted(params), &tree_meta(inv)?)?),
+            None => None,
+        };
+        Ok(StoredRelation { name, clustered, inverted, tuple_bytes, count })
     }
 
     /// Relation name.

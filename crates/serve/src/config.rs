@@ -7,6 +7,8 @@
 //! `serve_bench` binary built on it) is bit-identical under reruns and its
 //! logical outputs are independent of thread scheduling.
 
+use std::path::{Path, PathBuf};
+
 use trijoin_common::{rng, SystemParams, TelemetryConfig};
 
 /// Configuration of a [`crate::Server`].
@@ -35,6 +37,16 @@ pub struct ServeConfig {
     /// is what the bit-identity goldens of the engine layer pin). The
     /// default is on: serving is where live series matter.
     pub telemetry: Option<TelemetryConfig>,
+    /// Root directory for durable shard storage. `None` (the default)
+    /// keeps every shard on the in-memory backend. When set, shard `i`
+    /// owns `<dir>/shard<i>` — its own data files and its own write-ahead
+    /// log — and the server exposes commit barriers
+    /// ([`crate::ClientSession::commit`]) plus recover-mode startup
+    /// ([`crate::Server::recover`]): each shard replays *its own* WAL,
+    /// shard-locally, with no cross-shard coordination needed because
+    /// commits only ever happen at server-wide barriers (every shard's
+    /// last commit is the same logical barrier).
+    pub durable_dir: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -48,7 +60,13 @@ impl ServeConfig {
             ring: 1024,
             seed: 42,
             telemetry: Some(TelemetryConfig::default()),
+            durable_dir: None,
         }
+    }
+
+    /// The storage directory of shard `i` (`None` when not durable).
+    pub fn shard_dir(&self, i: usize) -> Option<PathBuf> {
+        self.durable_dir.as_deref().map(|d: &Path| d.join(format!("shard{i}")))
     }
 
     /// The derived RNG seed of shard `i`'s stream.

@@ -86,6 +86,13 @@ pub enum Request {
         /// Target shard index.
         shard: usize,
     },
+    /// Flush pending updates, then commit every shard (a server-wide
+    /// durability barrier: each shard seals its applied state into its own
+    /// WAL, and the call returns only when all shards have acknowledged).
+    /// Because shards *only* commit here, every shard's last sealed commit
+    /// is the same logical barrier — which is what makes shard-local
+    /// recovery globally consistent.
+    Commit,
 }
 
 /// A server response.
@@ -390,6 +397,13 @@ impl ClientSession {
     pub fn clear_faults(&self, shard: usize) -> Result<()> {
         self.call(Request::ClearFaults { shard }).map(|_| ())
     }
+
+    /// Flush, then drive the server-wide commit barrier: every shard
+    /// seals its state into its own WAL before this returns. A no-op ack
+    /// on non-durable servers.
+    pub fn commit(&self) -> Result<()> {
+        self.call(Request::Commit).map(|_| ())
+    }
 }
 
 /// The sharded serving instance: N shard threads plus one scheduler.
@@ -417,6 +431,32 @@ impl Server {
             parts[shard_of_key(t.key, n)].1.push(t);
         }
 
+        Self::launch(config, parts, false)
+    }
+
+    /// Reopen a durable server from `config.durable_dir`: each shard runs
+    /// WAL recovery on its own directory (replaying frames sealed by the
+    /// last commit barrier, truncating any torn tail) and reattaches its
+    /// relations from its shard-local catalog. No tuples are passed in —
+    /// the data is already on disk. Derived caches rebuild exactly as at
+    /// first start.
+    pub fn recover(config: &ServeConfig) -> Result<Server> {
+        if config.shards == 0 {
+            return Err(Error::Invariant("serve: shard count must be positive".into()));
+        }
+        if config.durable_dir.is_none() {
+            return Err(Error::Invariant("serve: recover needs a durable_dir".into()));
+        }
+        let parts: Vec<(Vec<BaseTuple>, Vec<BaseTuple>)> = vec![Default::default(); config.shards];
+        Self::launch(config, parts, true)
+    }
+
+    fn launch(
+        config: &ServeConfig,
+        parts: Vec<(Vec<BaseTuple>, Vec<BaseTuple>)>,
+        recover: bool,
+    ) -> Result<Server> {
+        let n = config.shards;
         let mut shard_txs = Vec::with_capacity(n);
         let mut shard_handles = Vec::with_capacity(n);
         for (index, (r_i, s_i)) in parts.into_iter().enumerate() {
@@ -426,6 +466,8 @@ impl Server {
                 r: r_i,
                 s: s_i,
                 telemetry: config.telemetry,
+                durable_dir: config.shard_dir(index),
+                recover,
             };
             match shard::spawn(spec) {
                 Ok((tx, handle)) => {
@@ -703,7 +745,48 @@ impl Scheduler {
                 self.send_to(shard, ShardCommand::ClearFaults)?;
                 Ok(Response::Ack)
             }
+            Request::Commit => {
+                self.flush()?;
+                self.commit_barrier()?;
+                Ok(Response::Ack)
+            }
         }
+    }
+
+    /// The server-wide durability barrier: every shard seals its applied
+    /// state into its own WAL; this returns only when all have
+    /// acknowledged. Shard channels are FIFO, so each shard's commit
+    /// covers exactly the batches flushed before the barrier — all WALs
+    /// agree on which barrier was last sealed, which is the invariant
+    /// shard-local recovery relies on.
+    fn commit_barrier(&mut self) -> Result<()> {
+        self.metrics.incr("serve.commits");
+        let (reply, rx) = channel();
+        for (i, tx) in self.shard_txs.iter().enumerate() {
+            tx.send(ShardCommand::Commit { reply: reply.clone() })
+                .map_err(|_| Error::Invariant(format!("serve: shard {i} is down")))?;
+        }
+        drop(reply);
+        let expected = self.shard_txs.len();
+        let mut acks = 0usize;
+        let mut first_err: Option<(usize, Error)> = None;
+        while acks < expected {
+            let Some((shard, result)) = recv_yielding(&rx) else { break };
+            acks += 1;
+            if let Err(e) = result {
+                self.metrics.incr("serve.commit_errors");
+                if first_err.is_none() {
+                    first_err = Some((shard, e));
+                }
+            }
+        }
+        if let Some((shard, e)) = first_err {
+            return Err(Error::Invariant(format!("serve: shard {shard} commit failed: {e}")));
+        }
+        if acks != expected {
+            return Err(Error::Invariant(format!("serve: {acks}/{expected} shards committed")));
+        }
+        Ok(())
     }
 
     fn send_to(&self, shard: usize, cmd: ShardCommand) -> Result<()> {

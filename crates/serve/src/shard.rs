@@ -9,6 +9,7 @@
 //! guaranteed to be folded in first, which is what makes the scheduler's
 //! batched differential application correct without acknowledgements.
 
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -68,6 +69,15 @@ pub enum ShardCommand {
     PoisonCachedView,
     /// Clear pending faults and heal damaged pages on this shard.
     ClearFaults,
+    /// Make everything applied so far durable: serialize the shard's
+    /// catalog and group-flush through its write-ahead log. The server
+    /// issues this to every shard at once (a commit *barrier*) and waits
+    /// for all acknowledgements, so the set of WALs always agrees on which
+    /// barrier was last sealed. A no-op ack on non-durable shards.
+    Commit {
+        /// Where to send `(shard_index, result)`.
+        reply: Sender<(usize, Result<()>)>,
+    },
 }
 
 /// Everything a shard thread needs to build its engine — plain data, so it
@@ -85,6 +95,12 @@ pub struct ShardSpec {
     /// the shard also arms the predicted-vs-actual cost audit against the
     /// measured statistics of its own partitions.
     pub telemetry: Option<TelemetryConfig>,
+    /// Durable storage directory for this shard (`None` = in-memory).
+    pub durable_dir: Option<PathBuf>,
+    /// True to *reopen* `durable_dir` instead of creating it: the shard
+    /// runs WAL recovery and reattaches its relations from its catalog.
+    /// `r`/`s` must be empty — the tuples live on disk already.
+    pub recover: bool,
 }
 
 /// Spawn a shard thread. Blocks until the shard has built its engine and
@@ -137,11 +153,17 @@ struct ShardWorker {
 
 impl ShardWorker {
     fn build(spec: ShardSpec) -> Result<ShardWorker> {
+        if spec.recover {
+            return Self::build_recovered(spec);
+        }
         // Measure the partition statistics before the relations move into
         // the engine; the audit prices the analytical model against them.
         let workload =
             spec.telemetry.map(|_| trijoin::measure_workload(&spec.r, &spec.s, 0.1, 0.0));
-        let db = Database::new(&spec.params, spec.r, spec.s)?;
+        let db = match &spec.durable_dir {
+            Some(dir) => Database::create_durable(&spec.params, spec.r, spec.s, dir)?,
+            None => Database::new(&spec.params, spec.r, spec.s)?,
+        };
         let mv = db.materialized_view()?;
         let ji = db.join_index()?;
         let hh = db.hybrid_hash();
@@ -149,6 +171,48 @@ impl ShardWorker {
         // the shard's observable life from a clean slate.
         db.reset_observability();
         if let (Some(cfg), Some(workload)) = (spec.telemetry, workload) {
+            db.enable_telemetry(cfg);
+            db.enable_cost_audit(workload, 1.0);
+        }
+        Ok(ShardWorker { index: spec.index, db, mv, ji, hh, s_dirty: false })
+    }
+
+    /// Recover-mode construction: reopen this shard's durable directory
+    /// (replaying its own WAL — shard-local, no cross-shard coordination)
+    /// and rebuild the derived caches from the recovered relations. The
+    /// recovery counters and event charged by the reopen are deliberately
+    /// *kept* across the observability reset: `wal.recovered.*` is exactly
+    /// what a post-crash report needs to show.
+    fn build_recovered(spec: ShardSpec) -> Result<ShardWorker> {
+        debug_assert!(spec.r.is_empty() && spec.s.is_empty(), "recovery reads tuples from disk");
+        let dir = spec
+            .durable_dir
+            .as_deref()
+            .ok_or_else(|| Error::Invariant("shard recovery needs a durable dir".into()))?;
+        let db = Database::open_durable(&spec.params, dir)?;
+        let recovered = (
+            db.metrics().counter("wal.recovered.frames"),
+            db.metrics().counter("wal.recovered.commits"),
+            db.metrics().counter("wal.recovered.torn_bytes"),
+        );
+        let mv = db.materialized_view()?;
+        let ji = db.join_index()?;
+        let hh = db.hybrid_hash();
+        db.reset_observability();
+        let metrics = db.metrics();
+        metrics.counter_add("wal.recovered.frames", recovered.0);
+        metrics.counter_add("wal.recovered.commits", recovered.1);
+        metrics.counter_add("wal.recovered.torn_bytes", recovered.2);
+        if let Some(cfg) = spec.telemetry {
+            // The audit needs partition statistics; measure them from the
+            // recovered relations (uncharged oracle scans, ledger is reset
+            // by enable_telemetry's baseline anyway).
+            let mut r = Vec::new();
+            let mut s = Vec::new();
+            db.r().scan(|t| r.push(t))?;
+            db.s().scan(|t| s.push(t))?;
+            db.reset_cost();
+            let workload = trijoin::measure_workload(&r, &s, 0.1, 0.0);
             db.enable_telemetry(cfg);
             db.enable_cost_audit(workload, 1.0);
         }
@@ -180,6 +244,10 @@ impl ShardWorker {
                     self.db.install_fault_plan(plan);
                 }
                 ShardCommand::ClearFaults => self.db.clear_faults(),
+                ShardCommand::Commit { reply } => {
+                    let result = self.db.commit().map(|_| ());
+                    let _ = reply.send((self.index, result));
+                }
             }
         }
     }
@@ -296,6 +364,8 @@ mod tests {
             r: tuples(80, 7),
             s: tuples(60, 7),
             telemetry: Some(TelemetryConfig::default()),
+            durable_dir: None,
+            recover: false,
         })
         .unwrap();
         let (reply, rx) = channel();
@@ -326,6 +396,8 @@ mod tests {
             r: r.clone(),
             s: s.clone(),
             telemetry: None,
+            durable_dir: None,
+            recover: false,
         })
         .unwrap();
         // Delete one S tuple, then ask the cached MV for the join.
@@ -358,6 +430,8 @@ mod tests {
             r: oversized,
             s: tuples(10, 3),
             telemetry: None,
+            durable_dir: None,
+            recover: false,
         });
         assert!(result.is_err());
     }

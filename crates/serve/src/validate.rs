@@ -121,6 +121,28 @@ fn check_series(
     Ok(())
 }
 
+/// When a report advertises the durable backend (the `wal.enabled`
+/// gauge), the WAL instrumentation contract applies: commit accounting
+/// and the live log-length gauge must be present. A durable run whose
+/// report carries no `wal.*` counters is a report-capture bug — the
+/// commit path stamps them unconditionally.
+fn check_wal_marker(
+    path: &str,
+    owner: &str,
+    metrics: &trijoin_common::MetricsSnapshot,
+) -> Result<(), String> {
+    if metrics.gauge("wal.enabled").unwrap_or(0.0) < 1.0 {
+        return Ok(());
+    }
+    if !metrics.counters.iter().any(|(k, _)| k == "wal.commits") {
+        return Err(format!("{path}: {owner} sets wal.enabled but carries no wal.commits counter"));
+    }
+    if metrics.gauge("wal.len_bytes").is_none() {
+        return Err(format!("{path}: {owner} sets wal.enabled but carries no wal.len_bytes gauge"));
+    }
+    Ok(())
+}
+
 /// Validate a plain run report (`trijoin run --report`).
 pub fn validate_run_report(path: &str, json: &Json) -> Result<String, String> {
     validate_run_report_with(path, json, 0)
@@ -139,6 +161,7 @@ pub fn validate_run_report_with(
     }
     let report = RunReport::from_json(json).map_err(|e| format!("{path}: schema drift: {e}"))?;
     check_series(path, "run report", &report.series, min_series_windows)?;
+    check_wal_marker(path, "run report", &report.metrics)?;
     let mut summary = format!(
         "{path}: ok — report {:?} with {} spans, {} metrics counters, {} events, {} deltas",
         report.name,
@@ -211,6 +234,7 @@ pub fn validate_sharded_report_with(
         return Err(format!("{path}: rollup is missing the scheduler's \"serve\" series"));
     }
     for shard in &report.shards {
+        check_wal_marker(path, &shard.name, &shard.metrics)?;
         for (key, _) in &shard.metrics.counters {
             if key.starts_with("serve.") {
                 return Err(format!(
@@ -373,6 +397,31 @@ mod tests {
         // Either the schema round-trip or the emptiness check fires; both
         // must name the file.
         assert!(err.starts_with("s.json:"), "{err}");
+    }
+
+    #[test]
+    fn durable_reports_must_carry_wal_accounting() {
+        use trijoin_common::MetricsSnapshot;
+
+        let mut metrics = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![("wal.enabled".into(), 1.0)],
+            histograms: vec![],
+        };
+        let err = check_wal_marker("d.json", "run report", &metrics).unwrap_err();
+        assert!(err.contains("wal.commits"), "{err}");
+        assert!(err.contains("d.json"), "{err}");
+
+        metrics.counters.push(("wal.commits".into(), 3));
+        let err = check_wal_marker("d.json", "run report", &metrics).unwrap_err();
+        assert!(err.contains("wal.len_bytes"), "{err}");
+
+        metrics.gauges.push(("wal.len_bytes".into(), 0.0));
+        check_wal_marker("d.json", "run report", &metrics).unwrap();
+
+        // Reports that never enabled the WAL owe nothing.
+        let inert = MetricsSnapshot { counters: vec![], gauges: vec![], histograms: vec![] };
+        check_wal_marker("m.json", "run report", &inert).unwrap();
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! The simulated disk.
 //!
-//! [`SimDisk`] stores pages in memory and charges one random-I/O operation
-//! into the shared [`Cost`] ledger for every page read and every page write.
-//! The paper prices sequential and random accesses identically (a single
-//! `IO = 25 ms` constant), so the disk does not model seek locality — doing
-//! so would make the engine *diverge* from the analytical model.
+//! [`SimDisk`] charges one random-I/O operation into the shared [`Cost`]
+//! ledger for every page read and every page write. The paper prices
+//! sequential and random accesses identically (a single `IO = 25 ms`
+//! constant), so the disk does not model seek locality — doing so would
+//! make the engine *diverge* from the analytical model.
 //!
 //! Page allocation and file creation are free: they are bookkeeping, not
 //! device traffic; a freshly allocated page only costs when it is written.
+//!
+//! Where the pages actually live is a [`StorageBackend`]: the in-memory
+//! [`crate::backend::MemBackend`] (the default, and what every golden
+//! ledger is pinned on), the real-file [`crate::backend::FileBackend`],
+//! or the write-ahead-logging [`crate::wal::DurableBackend`]. The fault
+//! gates, damage marks, cost charges and metrics all live *here*, above
+//! the backend, so they are identical whichever medium is plugged in —
+//! the ledger is the paper's model regardless of where the bytes go.
 
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -15,6 +23,10 @@ use std::rc::Rc;
 
 use trijoin_common::{
     Cost, CounterId, Error, EventKind, EventLog, FaultKind, FaultOp, Metrics, Result, SystemParams,
+};
+
+use crate::backend::{
+    CheckpointStats, CommitSabotage, CommitStats, MemBackend, PageWrite, StorageBackend,
 };
 
 /// Identifier of a simulated file (a growable array of pages).
@@ -35,13 +47,6 @@ impl PageId {
     pub fn new(file: FileId, page: u32) -> Self {
         PageId { file, page }
     }
-}
-
-struct FileSlot {
-    /// `None` once deleted. Pages are reference-counted so the buffer pool
-    /// can share a page image with the disk instead of copying it on every
-    /// miss; writers copy-on-write via [`Rc::make_mut`].
-    pages: Option<Vec<Rc<Vec<u8>>>>,
 }
 
 // ---------------------------------------------------------------------
@@ -135,9 +140,10 @@ impl FaultPlan {
     }
 }
 
-/// In-memory page store with paper-accurate I/O accounting.
+/// Page store with paper-accurate I/O accounting over a pluggable
+/// [`StorageBackend`].
 pub struct SimDisk {
-    files: RefCell<Vec<FileSlot>>,
+    backend: Box<dyn StorageBackend>,
     page_size: usize,
     cost: Cost,
     /// Remaining charged I/Os before the next one fails (fault injection
@@ -172,13 +178,58 @@ pub struct SimDisk {
 pub type Disk = Rc<SimDisk>;
 
 impl SimDisk {
-    /// Create a disk with the page size of `params`, charging into `cost`.
+    /// Create a disk over the in-memory backend with the page size of
+    /// `params`, charging into `cost`. This is the golden-ledger path:
+    /// byte-for-byte identical behaviour to the pre-backend `SimDisk`.
     pub fn new(params: &SystemParams, cost: Cost) -> Disk {
+        Self::with_backend(params, cost, Box::new(MemBackend::new(params.page_size)))
+    }
+
+    /// Create a disk over an arbitrary [`StorageBackend`]. Per-file I/O
+    /// counters are interned for every file slot the backend already
+    /// holds (a reopened store arrives with files); if the backend ran
+    /// crash recovery, its stats surface here as `wal.recovered.*`
+    /// counters and a [`EventKind::RecoveryTriggered`] event.
+    pub fn with_backend(
+        params: &SystemParams,
+        cost: Cost,
+        backend: Box<dyn StorageBackend>,
+    ) -> Disk {
         let metrics = Metrics::new();
         let c_reads = metrics.counter_handle("disk.reads");
         let c_writes = metrics.counter_handle("disk.writes");
+        let file_counters = (0..backend.file_count())
+            .map(|n| {
+                (
+                    metrics.counter_handle(&format!("disk.read.f{n}")),
+                    metrics.counter_handle(&format!("disk.write.f{n}")),
+                )
+            })
+            .collect();
+        let events = EventLog::new();
+        if backend.wal_enabled() {
+            metrics.gauge_set("wal.enabled", 1.0);
+            metrics.gauge_set("wal.len_bytes", backend.wal_len_bytes() as f64);
+        }
+        if let Some(stats) = backend.take_recovery_stats() {
+            metrics.counter_add("wal.recovered.frames", stats.frames);
+            metrics.counter_add("wal.recovered.commits", stats.commits);
+            metrics.counter_add("wal.recovered.torn_bytes", stats.torn_bytes);
+            events.emit(
+                EventKind::RecoveryTriggered,
+                format!(
+                    "wal recovery: replayed {} frames across {} commits, \
+                     truncated {} torn bytes",
+                    stats.frames, stats.commits, stats.torn_bytes
+                ),
+                cost.total(),
+            );
+            // Redo is device traffic: one sequential I/O per replayed
+            // frame, priced on the paper's single constant.
+            cost.io(stats.frames);
+        }
         Rc::new(SimDisk {
-            files: RefCell::new(Vec::new()),
+            backend,
             page_size: params.page_size,
             cost,
             fault_in: RefCell::new(None),
@@ -187,11 +238,63 @@ impl SimDisk {
             torn: RefCell::new(HashSet::new()),
             fired: RefCell::new(0),
             metrics,
-            events: EventLog::new(),
+            events,
             c_reads,
             c_writes,
-            file_counters: RefCell::new(Vec::new()),
+            file_counters: RefCell::new(file_counters),
         })
+    }
+
+    /// Whether the backend runs a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.backend.wal_enabled()
+    }
+
+    /// Current log length in bytes (0 without a WAL).
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.backend.wal_len_bytes()
+    }
+
+    /// Commit everything written since the last commit: group-flush the
+    /// dirty pages to the log, sync, apply. A no-op `Ok` on backends
+    /// without a WAL. Surfaces `wal.*` counters and charges the group
+    /// flush (one I/O per frame plus the commit frame) into the ledger.
+    pub fn commit(&self) -> Result<CommitStats> {
+        let stats = self.backend.commit()?;
+        if self.backend.wal_enabled() {
+            self.metrics.incr("wal.commits");
+            self.metrics.counter_add("wal.frames", stats.frames);
+            self.metrics.counter_add("wal.bytes", stats.bytes);
+            // Re-stamped (not only set at construction) so a
+            // `reset_observability` measurement boundary cannot strip the
+            // WAL marker from subsequent reports.
+            self.metrics.gauge_set("wal.enabled", 1.0);
+            self.metrics.gauge_set("wal.len_bytes", self.backend.wal_len_bytes() as f64);
+            if stats.frames > 0 {
+                self.cost.io(stats.frames + 1);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Checkpoint: commit any pending work, sync the data files, and
+    /// truncate the log. A no-op `Ok` on backends without a WAL.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        // Route the flush through `commit` so its wal.* accounting and
+        // ledger charges are identical to a caller-issued commit.
+        self.commit()?;
+        let stats = self.backend.checkpoint()?;
+        if self.backend.wal_enabled() {
+            self.metrics.incr("wal.checkpoints");
+            self.metrics.counter_add("wal.truncated_bytes", stats.truncated_bytes);
+            self.metrics.gauge_set("wal.len_bytes", self.backend.wal_len_bytes() as f64);
+        }
+        Ok(stats)
+    }
+
+    /// Arm a simulated crash inside the next commit (harness only).
+    pub fn sabotage_next_commit(&self, mode: CommitSabotage) {
+        self.backend.sabotage_next_commit(mode);
     }
 
     /// The engine-wide metrics registry (the disk is the one object every
@@ -356,9 +459,7 @@ impl SimDisk {
 
     /// Create a new, empty file.
     pub fn create_file(&self) -> FileId {
-        let mut files = self.files.borrow_mut();
-        files.push(FileSlot { pages: Some(Vec::new()) });
-        let id = FileId((files.len() - 1) as u32);
+        let id = self.backend.create_file();
         // Intern this file's per-file I/O counters once, here, so the
         // read/write hot paths never format a name again. Resolving a
         // handle does not register the counter: an untouched file still
@@ -373,32 +474,19 @@ impl SimDisk {
     /// Delete a file, releasing its pages and any damage marks on them.
     /// Idempotent.
     pub fn delete_file(&self, file: FileId) {
-        if let Some(slot) = self.files.borrow_mut().get_mut(file.0 as usize) {
-            slot.pages = None;
-        }
+        self.backend.delete_file(file);
         self.poisoned.borrow_mut().retain(|&(f, _)| f != file.0);
         self.torn.borrow_mut().retain(|&(f, _)| f != file.0);
     }
 
     /// Number of pages currently allocated in `file`.
     pub fn num_pages(&self, file: FileId) -> Result<u32> {
-        let files = self.files.borrow();
-        let slot = files
-            .get(file.0 as usize)
-            .and_then(|s| s.pages.as_ref())
-            .ok_or(Error::PageNotFound { file: file.0, page: 0 })?;
-        Ok(slot.len() as u32)
+        self.backend.num_pages(file)
     }
 
     /// Append a zeroed page to `file`. Free of I/O charge (bookkeeping).
     pub fn allocate_page(&self, file: FileId) -> Result<PageId> {
-        let mut files = self.files.borrow_mut();
-        let slot = files
-            .get_mut(file.0 as usize)
-            .and_then(|s| s.pages.as_mut())
-            .ok_or(Error::PageNotFound { file: file.0, page: 0 })?;
-        slot.push(Rc::new(vec![0u8; self.page_size]));
-        Ok(PageId { file, page: (slot.len() - 1) as u32 })
+        self.backend.allocate_page(file)
     }
 
     /// Fault/damage gate for one charged read: the legacy countdown, damage
@@ -439,19 +527,14 @@ impl SimDisk {
 
     /// Read a page and hand the caller a *borrowed* view of it — same
     /// checks and same single-I/O charge as [`SimDisk::read_page`], minus
-    /// the page-sized allocation. The closure runs while the disk's
-    /// internal storage is borrowed, so it must not call back into the
-    /// disk; decode-and-return is the intended shape.
+    /// the page-sized allocation on the in-memory backend. The closure
+    /// must not call back into the disk; decode-and-return is the
+    /// intended shape.
     pub fn read_page_with<T>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> Result<T>) -> Result<T> {
         self.gate_read(pid)?;
-        let files = self.files.borrow();
-        let page = files
-            .get(pid.file.0 as usize)
-            .and_then(|s| s.pages.as_ref())
-            .and_then(|pages| pages.get(pid.page as usize))
-            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        let page = self.backend.read_page(pid)?;
         self.charge_read(pid);
-        f(page)
+        f(&page)
     }
 
     /// Read a page as a shared, reference-counted image — same checks and
@@ -462,14 +545,7 @@ impl SimDisk {
     /// visible to the caller's writes.
     pub fn read_page_rc(&self, pid: PageId) -> Result<Rc<Vec<u8>>> {
         self.gate_read(pid)?;
-        let files = self.files.borrow();
-        let page = files
-            .get(pid.file.0 as usize)
-            .and_then(|s| s.pages.as_ref())
-            .and_then(|pages| pages.get(pid.page as usize))
-            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-        let image = Rc::clone(page);
-        drop(files);
+        let image = self.backend.read_page(pid)?;
         self.charge_read(pid);
         Ok(image)
     }
@@ -494,14 +570,8 @@ impl SimDisk {
         for page in start_page..start_page + count {
             let pid = PageId::new(file, page);
             self.gate_read(pid)?;
-            let files = self.files.borrow();
-            let data = files
-                .get(pid.file.0 as usize)
-                .and_then(|s| s.pages.as_ref())
-                .and_then(|pages| pages.get(pid.page as usize))
-                .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-            buf.extend_from_slice(data);
-            drop(files);
+            let data = self.backend.read_page(pid)?;
+            buf.extend_from_slice(&data);
             self.charge_read(pid);
         }
         Ok(())
@@ -531,24 +601,30 @@ impl SimDisk {
         }
         self.check_fault()?;
         let scheduled = self.next_scheduled(FaultOp::Write, pid);
-        let mut files = self.files.borrow_mut();
-        let page = files
-            .get_mut(pid.file.0 as usize)
-            .and_then(|s| s.pages.as_mut())
-            .and_then(|pages| pages.get_mut(pid.page as usize))
-            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        // Missing pages win over scheduled faults (and the fired spec
+        // stays consumed), exactly like the pre-backend lookup order.
+        let pages = self
+            .backend
+            .num_pages(pid.file)
+            .map_err(|_| Error::PageNotFound { file: pid.file.0, page: pid.page })?;
+        if pid.page >= pages {
+            return Err(Error::PageNotFound { file: pid.file.0, page: pid.page });
+        }
         if let Some(kind) = scheduled {
             match kind {
                 FaultKind::TornWrite => {
                     // Half the page reaches the medium; the page is now
                     // detectably damaged until something rewrites it.
+                    // The splice is built here, above the backend, so a
+                    // torn write looks the same on every medium.
+                    let old = self.backend.read_page(pid)?;
+                    let mut spliced = old.as_ref().clone();
                     let half = self.page_size / 2;
-                    Rc::make_mut(page)[..half].copy_from_slice(&data[..half]);
-                    drop(files);
+                    spliced[..half].copy_from_slice(&data[..half]);
+                    self.backend.write_page(pid, PageWrite::Borrowed(&spliced))?;
                     self.torn.borrow_mut().insert((pid.file.0, pid.page));
                 }
                 FaultKind::Poisoned => {
-                    drop(files);
                     self.poison_page(pid);
                 }
                 FaultKind::Transient => {}
@@ -562,14 +638,13 @@ impl SimDisk {
             });
         }
         match rc {
-            Some(rc) => *page = Rc::clone(rc),
-            None => Rc::make_mut(page).copy_from_slice(data),
+            Some(rc) => self.backend.write_page(pid, PageWrite::Shared(rc))?,
+            None => self.backend.write_page(pid, PageWrite::Borrowed(data))?,
         }
         self.cost.io(1);
         self.metrics.incr_id(self.c_writes);
         self.metrics.incr_id(self.file_counters.borrow()[pid.file.0 as usize].1);
         // A successful full-page write heals any damage mark.
-        drop(files);
         self.torn.borrow_mut().remove(&(pid.file.0, pid.page));
         self.poisoned.borrow_mut().remove(&(pid.file.0, pid.page));
         Ok(())
@@ -620,26 +695,15 @@ impl SimDisk {
         pid: PageId,
         f: impl FnOnce(&[u8]) -> Result<T>,
     ) -> Result<T> {
-        let files = self.files.borrow();
-        let page = files
-            .get(pid.file.0 as usize)
-            .and_then(|s| s.pages.as_ref())
-            .and_then(|pages| pages.get(pid.page as usize))
-            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-        f(page)
+        let page = self.backend.read_page(pid)?;
+        f(&page)
     }
 
     /// Shared-image variant of [`SimDisk::read_page_free`] (no I/O charge,
     /// no allocation, no copy): the caller shares the disk's own buffer,
     /// with copy-on-write isolation as in [`SimDisk::read_page_rc`].
     pub fn read_page_free_rc(&self, pid: PageId) -> Result<Rc<Vec<u8>>> {
-        let files = self.files.borrow();
-        let page = files
-            .get(pid.file.0 as usize)
-            .and_then(|s| s.pages.as_ref())
-            .and_then(|pages| pages.get(pid.page as usize))
-            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-        Ok(Rc::clone(page))
+        self.backend.read_page(pid)
     }
 
     /// Write a page **without** charging I/O (resident pages; see
@@ -648,20 +712,13 @@ impl SimDisk {
         if data.len() != self.page_size {
             return Err(Error::Invariant("write_page_free: wrong length".into()));
         }
-        let mut files = self.files.borrow_mut();
-        let page = files
-            .get_mut(pid.file.0 as usize)
-            .and_then(|s| s.pages.as_mut())
-            .and_then(|pages| pages.get_mut(pid.page as usize))
-            .ok_or(Error::PageNotFound { file: pid.file.0, page: pid.page })?;
-        Rc::make_mut(page).copy_from_slice(data);
-        Ok(())
+        self.backend.write_page(pid, PageWrite::Borrowed(data))
     }
 
     /// Total pages currently allocated across all live files (for tests and
     /// space reporting).
     pub fn total_pages(&self) -> u64 {
-        self.files.borrow().iter().filter_map(|s| s.pages.as_ref()).map(|p| p.len() as u64).sum()
+        self.backend.total_pages()
     }
 }
 

@@ -17,12 +17,19 @@
 //! * [`heap::HeapFile`] — an append-oriented record file with full scans,
 //!   used for base relations, spill runs, and differential files.
 
+pub mod backend;
 pub mod disk;
 pub mod heap;
 pub mod page;
 pub mod pool;
+pub mod wal;
 
+pub use backend::{
+    CheckpointStats, CommitSabotage, CommitStats, FileBackend, MemBackend, PageWrite,
+    RecoveryStats, StorageBackend,
+};
 pub use disk::{Disk, FaultPlan, FaultSpec, FileId, PageId, SimDisk};
 pub use heap::{HeapFile, RecordId};
 pub use page::SlottedPage;
 pub use pool::{BufferPool, PoolStats};
+pub use wal::{DurableBackend, Wal};

@@ -1,0 +1,607 @@
+//! Write-ahead logging: the durability sidecar over [`FileBackend`].
+//!
+//! [`DurableBackend`] wraps a real-file [`FileBackend`] with an
+//! *apply-at-commit* protocol:
+//!
+//! * page writes land in an in-memory **overlay** (uncommitted state) —
+//!   the data files on disk only ever hold committed images;
+//! * [`StorageBackend::commit`] encodes every overlay page as a
+//!   checksummed page-image frame, appends one **commit frame**, flushes
+//!   and syncs the log in a single group write, then applies the images
+//!   to the data files and clears the overlay;
+//! * [`StorageBackend::checkpoint`] syncs the data files and truncates
+//!   the log to zero — the log length is bounded by the work since the
+//!   last checkpoint;
+//! * [`DurableBackend::open`] runs **recovery**: scan the log, replay
+//!   every frame group that is sealed by a valid commit frame (redo is
+//!   idempotent — frames are full page images), and truncate whatever
+//!   torn tail a mid-flush crash left behind; the store then checkpoints
+//!   itself, so a second recovery is a no-op.
+//!
+//! File creation/deletion and page allocation pass straight through to
+//! the inner backend: they are bookkeeping, and any stale files or tail
+//! pages a crash leaves behind are unreachable — the catalog that names
+//! live structures is itself a page file covered by the log.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! page frame    'P' | file u32 | page u32 | len u32 | data[len] | fnv64
+//! commit frame  'C' | seq u64  | frames u32         |            fnv64
+//! ```
+//!
+//! All integers little-endian; the trailing FNV-1a 64 checksum covers
+//! every byte of the frame before it. A frame that fails to parse, fails
+//! its checksum, or is not sealed by a commit frame is part of a torn
+//! tail and is discarded by recovery.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use trijoin_common::{Error, Result};
+
+use crate::backend::{
+    CheckpointStats, CommitSabotage, CommitStats, FileBackend, PageWrite, RecoveryStats,
+    StorageBackend,
+};
+use crate::disk::{FileId, PageId};
+
+/// Frame tags.
+const TAG_PAGE: u8 = b'P';
+const TAG_COMMIT: u8 = b'C';
+
+/// FNV-1a 64 — the frame checksum. Not cryptographic; it detects torn
+/// and bit-rotted frames, which is all recovery needs.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append one page-image frame for `pid` to `buf`.
+fn encode_page_frame(buf: &mut Vec<u8>, pid: PageId, data: &[u8]) {
+    let start = buf.len();
+    buf.push(TAG_PAGE);
+    buf.extend_from_slice(&pid.file.0.to_le_bytes());
+    buf.extend_from_slice(&pid.page.to_le_bytes());
+    buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    buf.extend_from_slice(data);
+    let sum = fnv64(&buf[start..]);
+    buf.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Append one commit frame sealing `frames` page frames to `buf`.
+fn encode_commit_frame(buf: &mut Vec<u8>, seq: u64, frames: u32) {
+    let start = buf.len();
+    buf.push(TAG_COMMIT);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&frames.to_le_bytes());
+    let sum = fnv64(&buf[start..]);
+    buf.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// One decoded log record.
+enum Frame {
+    Page { pid: PageId, data: Vec<u8> },
+    Commit { frames: u32 },
+}
+
+/// Decode the frame starting at `at`; `None` for a torn/corrupt tail.
+/// Returns the frame and the offset just past it.
+fn decode_frame(log: &[u8], at: usize) -> Option<(Frame, usize)> {
+    let u32_at =
+        |o: usize| -> Option<u32> { Some(u32::from_le_bytes(log.get(o..o + 4)?.try_into().ok()?)) };
+    let u64_at =
+        |o: usize| -> Option<u64> { Some(u64::from_le_bytes(log.get(o..o + 8)?.try_into().ok()?)) };
+    match *log.get(at)? {
+        TAG_PAGE => {
+            let file = u32_at(at + 1)?;
+            let page = u32_at(at + 5)?;
+            let len = u32_at(at + 9)? as usize;
+            let data_end = at.checked_add(13)?.checked_add(len)?;
+            let data = log.get(at + 13..data_end)?;
+            let sum = u64_at(data_end)?;
+            if sum != fnv64(&log[at..data_end]) {
+                return None;
+            }
+            let pid = PageId::new(FileId(file), page);
+            Some((Frame::Page { pid, data: data.to_vec() }, data_end + 8))
+        }
+        TAG_COMMIT => {
+            let frames = u32_at(at + 9)?;
+            let sum = u64_at(at + 13)?;
+            if sum != fnv64(&log[at..at + 13]) {
+                return None;
+            }
+            Some((Frame::Commit { frames }, at + 21))
+        }
+        _ => None,
+    }
+}
+
+/// A write-ahead log file: append-only batches, each sealed by a commit
+/// frame, group-flushed with one write + one sync.
+pub struct Wal {
+    path: PathBuf,
+    len: Cell<u64>,
+    seq: Cell<u64>,
+}
+
+impl Wal {
+    /// Name of the log file inside a store directory.
+    pub const FILE_NAME: &'static str = "wal.log";
+
+    /// Start a fresh (empty) log in `dir`.
+    pub fn create(dir: &Path) -> Result<Wal> {
+        let path = dir.join(Self::FILE_NAME);
+        fs::write(&path, []).map_err(|e| Error::io(format!("create {path:?}"), &e))?;
+        Ok(Wal { path, len: Cell::new(0), seq: Cell::new(0) })
+    }
+
+    /// Open the log in `dir` (created empty if absent).
+    pub fn open(dir: &Path) -> Result<Wal> {
+        let path = dir.join(Self::FILE_NAME);
+        let len = match fs::metadata(&path) {
+            Ok(m) => m.len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                fs::write(&path, []).map_err(|e| Error::io(format!("create {path:?}"), &e))?;
+                0
+            }
+            Err(e) => return Err(Error::io(format!("stat {path:?}"), &e)),
+        };
+        Ok(Wal { path, len: Cell::new(len), seq: Cell::new(0) })
+    }
+
+    /// Current log length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// Append `batch` (already encoded frames) and sync: the group
+    /// flush. Returns the bytes appended.
+    fn append_synced(&self, batch: &[u8]) -> Result<u64> {
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| Error::io(format!("open {:?}", self.path), &e))?;
+        f.write_all(batch).map_err(|e| Error::io("append wal batch", &e))?;
+        f.sync_all().map_err(|e| Error::io("sync wal", &e))?;
+        self.len.set(self.len.get() + batch.len() as u64);
+        Ok(batch.len() as u64)
+    }
+
+    /// Append only a strict byte prefix of `batch` *without* syncing —
+    /// the simulated mid-flush crash that leaves a torn tail.
+    fn append_torn(&self, batch: &[u8]) -> Result<()> {
+        let keep = batch.len() / 2;
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| Error::io(format!("open {:?}", self.path), &e))?;
+        f.write_all(&batch[..keep]).map_err(|e| Error::io("append torn wal batch", &e))?;
+        self.len.set(self.len.get() + keep as u64);
+        Ok(())
+    }
+
+    /// Truncate the log to `len` bytes (recovery discarding a torn tail,
+    /// or a checkpoint resetting it to zero) and sync the truncation.
+    fn truncate_to(&self, len: u64) -> Result<()> {
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| Error::io(format!("open {:?}", self.path), &e))?;
+        f.set_len(len).map_err(|e| Error::io("truncate wal", &e))?;
+        f.sync_all().map_err(|e| Error::io("sync wal truncation", &e))?;
+        self.len.set(len);
+        Ok(())
+    }
+
+    /// Read the whole log (recovery scan input).
+    fn read_all(&self) -> Result<Vec<u8>> {
+        fs::read(&self.path).map_err(|e| Error::io(format!("read {:?}", self.path), &e))
+    }
+}
+
+/// Uncommitted page images, keyed `(file, page)`. A `BTreeMap` so
+/// commit encodes frames in a deterministic order.
+type Overlay = BTreeMap<(u32, u32), Rc<Vec<u8>>>;
+
+/// [`FileBackend`] plus a WAL: atomic, durable commits with crash
+/// recovery. See the module docs for the protocol.
+pub struct DurableBackend {
+    inner: FileBackend,
+    wal: Wal,
+    overlay: RefCell<Overlay>,
+    /// Stats from the recovery pass `open` ran, consumed once.
+    recovery: Cell<Option<RecoveryStats>>,
+    /// Armed crash for the next commit (simulation harness).
+    sabotage: Cell<Option<CommitSabotage>>,
+}
+
+impl DurableBackend {
+    /// Create a fresh durable store in `dir`.
+    pub fn create(dir: &Path, page_size: usize) -> Result<DurableBackend> {
+        let inner = FileBackend::create(dir, page_size)?;
+        let wal = Wal::create(dir)?;
+        Ok(DurableBackend {
+            inner,
+            wal,
+            overlay: RefCell::new(BTreeMap::new()),
+            recovery: Cell::new(None),
+            sabotage: Cell::new(None),
+        })
+    }
+
+    /// Reopen a durable store, running crash recovery: replay committed
+    /// frame groups into the data files, discard any torn tail, sync,
+    /// and truncate the log (so recovery is idempotent — running it
+    /// again finds an empty log and changes nothing).
+    pub fn open(dir: &Path, page_size: usize) -> Result<DurableBackend> {
+        let inner = FileBackend::open(dir, page_size)?;
+        let wal = Wal::open(dir)?;
+        let log = wal.read_all()?;
+
+        let mut stats = RecoveryStats::default();
+        let mut pending: Vec<(PageId, Vec<u8>)> = Vec::new();
+        let mut at = 0usize;
+        let mut good_end = 0usize;
+        while at < log.len() {
+            match decode_frame(&log, at) {
+                Some((Frame::Page { pid, data }, next)) => {
+                    pending.push((pid, data));
+                    at = next;
+                }
+                Some((Frame::Commit { frames }, next)) => {
+                    if frames as usize != pending.len() {
+                        // A commit frame sealing the wrong number of
+                        // frames is corruption; stop here.
+                        break;
+                    }
+                    for (pid, data) in pending.drain(..) {
+                        inner.ensure_file(pid.file);
+                        inner.extend_to(pid.file, pid.page + 1)?;
+                        inner.write_page(pid, PageWrite::Borrowed(&data))?;
+                        stats.frames += 1;
+                    }
+                    stats.commits += 1;
+                    at = next;
+                    good_end = at;
+                }
+                None => break, // torn/corrupt tail
+            }
+        }
+        stats.torn_bytes = (log.len() - good_end) as u64;
+
+        // Make the replay durable, then bound the log: everything it
+        // held is now in the data files.
+        inner.sync_all_files()?;
+        wal.truncate_to(0)?;
+        let ran = stats.commits > 0 || stats.torn_bytes > 0;
+        Ok(DurableBackend {
+            inner,
+            wal,
+            overlay: RefCell::new(BTreeMap::new()),
+            recovery: Cell::new(ran.then_some(stats)),
+            sabotage: Cell::new(None),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        self.inner.dir()
+    }
+
+    /// Uncommitted pages currently buffered in the overlay (tests).
+    pub fn overlay_pages(&self) -> usize {
+        self.overlay.borrow().len()
+    }
+}
+
+impl StorageBackend for DurableBackend {
+    fn create_file(&self) -> FileId {
+        self.inner.create_file()
+    }
+
+    fn delete_file(&self, file: FileId) {
+        // Deletion passes through: only derived/scratch structures are
+        // ever deleted at runtime, and the catalog never names them
+        // across a crash boundary. Drop their uncommitted images too.
+        self.overlay.borrow_mut().retain(|&(f, _), _| f != file.0);
+        self.inner.delete_file(file);
+    }
+
+    fn file_count(&self) -> u32 {
+        self.inner.file_count()
+    }
+
+    fn num_pages(&self, file: FileId) -> Result<u32> {
+        self.inner.num_pages(file)
+    }
+
+    fn allocate_page(&self, file: FileId) -> Result<PageId> {
+        // Allocation is bookkeeping (a zeroed tail page): pass through.
+        // A crash can leave allocated-but-uncommitted tail pages behind;
+        // they are unreachable until a committed structure points at
+        // them, so they are garbage, not corruption.
+        self.inner.allocate_page(file)
+    }
+
+    fn read_page(&self, pid: PageId) -> Result<Rc<Vec<u8>>> {
+        if let Some(img) = self.overlay.borrow().get(&(pid.file.0, pid.page)) {
+            // Serve uncommitted writes back to their writer — but only
+            // for pages that still exist (delete_file purged its keys).
+            return Ok(Rc::clone(img));
+        }
+        self.inner.read_page(pid)
+    }
+
+    fn write_page(&self, pid: PageId, data: PageWrite<'_>) -> Result<()> {
+        // Validate against the inner store so out-of-range writes fail
+        // exactly like they would without the overlay.
+        let pages = self.inner.num_pages(pid.file)?;
+        if pid.page >= pages {
+            return Err(Error::PageNotFound { file: pid.file.0, page: pid.page });
+        }
+        self.overlay.borrow_mut().insert((pid.file.0, pid.page), data.to_rc());
+        Ok(())
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.inner.total_pages()
+    }
+
+    fn wal_enabled(&self) -> bool {
+        true
+    }
+
+    fn wal_len_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    fn commit(&self) -> Result<CommitStats> {
+        if self.overlay.borrow().is_empty() {
+            self.sabotage.set(None);
+            return Ok(CommitStats::default());
+        }
+        // Encode the whole group: page frames in (file, page) order,
+        // sealed by one commit frame.
+        let mut batch = Vec::new();
+        let frames = {
+            let overlay = self.overlay.borrow();
+            for (&(file, page), img) in overlay.iter() {
+                encode_page_frame(&mut batch, PageId::new(FileId(file), page), img);
+            }
+            overlay.len() as u64
+        };
+        let seq = self.wal.seq.get() + 1;
+        encode_commit_frame(&mut batch, seq, frames as u32);
+
+        match self.sabotage.take() {
+            Some(CommitSabotage::TornWal) => {
+                // Die mid-flush: a byte prefix of the batch reaches the
+                // log, no commit frame, nothing applied. The commit
+                // fails, and the overlay dies with the "process".
+                self.wal.append_torn(&batch)?;
+                self.overlay.borrow_mut().clear();
+                return Err(Error::io_kind("wal commit", "simulated crash during log flush"));
+            }
+            Some(CommitSabotage::SkipApply) => {
+                // Die between the log sync and the data-file apply: the
+                // commit IS durable; recovery must redo it. The overlay
+                // dies with the "process".
+                let bytes = self.wal.append_synced(&batch)?;
+                self.wal.seq.set(seq);
+                self.overlay.borrow_mut().clear();
+                return Ok(CommitStats { frames, bytes });
+            }
+            None => {}
+        }
+
+        // A real I/O failure below leaves the overlay in place: nothing
+        // is lost until the caller decides what to do with the error.
+        let bytes = self.wal.append_synced(&batch)?;
+        self.wal.seq.set(seq);
+        let overlay = std::mem::take(&mut *self.overlay.borrow_mut());
+        for (&(file, page), img) in &overlay {
+            self.inner.write_page(PageId::new(FileId(file), page), PageWrite::Shared(img))?;
+        }
+        Ok(CommitStats { frames, bytes })
+    }
+
+    fn checkpoint(&self) -> Result<CheckpointStats> {
+        // Flush any straggling uncommitted work first, then bound the
+        // log: once the data files are synced the log is redundant.
+        self.commit()?;
+        self.inner.sync_all_files()?;
+        let truncated = self.wal.len_bytes();
+        self.wal.truncate_to(0)?;
+        Ok(CheckpointStats { truncated_bytes: truncated })
+    }
+
+    fn take_recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery.take()
+    }
+
+    fn sabotage_next_commit(&self, mode: CommitSabotage) {
+        self.sabotage.set(Some(mode));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 256;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("trijoin-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn page(byte: u8) -> Vec<u8> {
+        vec![byte; PS]
+    }
+
+    #[test]
+    fn frame_codec_roundtrip_and_checksum() {
+        let mut buf = Vec::new();
+        encode_page_frame(&mut buf, PageId::new(FileId(3), 7), &page(0xEE));
+        encode_commit_frame(&mut buf, 1, 1);
+        let (frame, next) = decode_frame(&buf, 0).unwrap();
+        match frame {
+            Frame::Page { pid, data } => {
+                assert_eq!(pid, PageId::new(FileId(3), 7));
+                assert_eq!(data, page(0xEE));
+            }
+            Frame::Commit { .. } => panic!("expected a page frame"),
+        }
+        let (frame, end) = decode_frame(&buf, next).unwrap();
+        assert!(matches!(frame, Frame::Commit { frames: 1 }));
+        assert_eq!(end, buf.len());
+
+        // One flipped byte anywhere kills the frame.
+        let mut bent = buf.clone();
+        bent[20] ^= 0x40;
+        assert!(decode_frame(&bent, 0).is_none());
+        // A truncated frame is torn, not a panic.
+        assert!(decode_frame(&buf[..buf.len() - 1], next).is_none());
+        assert!(decode_frame(&buf[..5], 0).is_none());
+    }
+
+    #[test]
+    fn uncommitted_writes_stay_out_of_the_data_files() {
+        let dir = tmp("overlay");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let pid = b.allocate_page(f).unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0x11))).unwrap();
+        // The writer reads its own write back...
+        assert_eq!(b.read_page(pid).unwrap().as_slice(), page(0x11).as_slice());
+        assert_eq!(b.overlay_pages(), 1);
+        // ...but the medium still holds the allocated zero page.
+        assert_eq!(b.inner.read_page(pid).unwrap().as_slice(), &[0u8; PS]);
+
+        b.commit().unwrap();
+        assert_eq!(b.overlay_pages(), 0);
+        assert_eq!(b.inner.read_page(pid).unwrap().as_slice(), page(0x11).as_slice());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_without_commit_recovers_to_last_commit() {
+        let dir = tmp("crash-mid-batch");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let pid = b.allocate_page(f).unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0xAA))).unwrap();
+        b.commit().unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0xBB))).unwrap();
+        drop(b); // crash: overlay (0xBB) dies with the process
+
+        let b = DurableBackend::open(&dir, PS).unwrap();
+        assert_eq!(b.read_page(pid).unwrap().as_slice(), page(0xAA).as_slice());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_but_unapplied_batch_is_redone() {
+        let dir = tmp("redo");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let pid = b.allocate_page(f).unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0xCC))).unwrap();
+        b.sabotage_next_commit(CommitSabotage::SkipApply);
+        let stats = b.commit().unwrap();
+        assert_eq!(stats.frames, 1, "the commit is durable");
+        // The data file never saw the image...
+        assert_eq!(b.inner.read_page(pid).unwrap().as_slice(), &[0u8; PS]);
+        drop(b);
+
+        // ...recovery redoes it from the log.
+        let b = DurableBackend::open(&dir, PS).unwrap();
+        let stats = b.take_recovery_stats().expect("recovery ran");
+        assert_eq!((stats.frames, stats.commits, stats.torn_bytes), (1, 1, 0));
+        assert_eq!(b.read_page(pid).unwrap().as_slice(), page(0xCC).as_slice());
+        assert_eq!(b.wal_len_bytes(), 0, "recovery bounds the log");
+
+        // Idempotent double recovery: nothing left to replay.
+        drop(b);
+        let b = DurableBackend::open(&dir, PS).unwrap();
+        assert!(b.take_recovery_stats().is_none());
+        assert_eq!(b.read_page(pid).unwrap().as_slice(), page(0xCC).as_slice());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_log_tail_is_truncated_not_replayed() {
+        let dir = tmp("torn-tail");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let p0 = b.allocate_page(f).unwrap();
+        let p1 = b.allocate_page(f).unwrap();
+        b.write_page(p0, PageWrite::Borrowed(&page(0x01))).unwrap();
+        b.commit().unwrap();
+
+        // Second batch dies mid-flush: torn tail after a good commit.
+        b.write_page(p0, PageWrite::Borrowed(&page(0x02))).unwrap();
+        b.write_page(p1, PageWrite::Borrowed(&page(0x03))).unwrap();
+        b.sabotage_next_commit(CommitSabotage::TornWal);
+        let err = b.commit().unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err}");
+        assert!(b.wal_len_bytes() > 0, "the torn prefix reached the log");
+        drop(b);
+
+        let b = DurableBackend::open(&dir, PS).unwrap();
+        let stats = b.take_recovery_stats().expect("recovery ran");
+        assert!(stats.torn_bytes > 0, "the tail was detected and measured");
+        // The first commit is still in the log (no checkpoint ran), so
+        // recovery redoes it — idempotently — and stops at the tear.
+        assert_eq!(stats.commits, 1);
+        // The torn batch never happened; the first commit survives.
+        assert_eq!(b.read_page(p0).unwrap().as_slice(), page(0x01).as_slice());
+        assert_eq!(b.read_page(p1).unwrap().as_slice(), &[0u8; PS]);
+        assert_eq!(b.wal_len_bytes(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log() {
+        let dir = tmp("checkpoint");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        for i in 0..4u8 {
+            let pid = b.allocate_page(f).unwrap();
+            b.write_page(pid, PageWrite::Borrowed(&page(i))).unwrap();
+            b.commit().unwrap();
+        }
+        let len = b.wal_len_bytes();
+        assert!(len > 0, "four commits accumulated log bytes");
+        let stats = b.checkpoint().unwrap();
+        assert_eq!(stats.truncated_bytes, len);
+        assert_eq!(b.wal_len_bytes(), 0);
+        // State intact after the truncation.
+        for i in 0..4u8 {
+            let pid = PageId::new(f, i as u32);
+            assert_eq!(b.read_page(pid).unwrap().as_slice(), page(i).as_slice());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let dir = tmp("empty-commit");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let stats = b.commit().unwrap();
+        assert_eq!(stats, CommitStats::default());
+        assert_eq!(b.wal_len_bytes(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

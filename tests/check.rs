@@ -27,22 +27,36 @@ fn corpus_scripts_pass() {
     paths.sort();
     assert!(paths.len() >= 3, "corpus too small: {paths:?}");
 
-    let cfg = CheckConfig::default();
     let mut checkpoints = 0;
     let mut faults = 0;
+    let mut crashes = 0;
     for path in &paths {
         let text = std::fs::read_to_string(path).expect("corpus file is readable");
         let script =
             Script::from_json_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Crash ops are inert in memory: crash-bearing scripts replay on
+        // the WAL-backed file backend so the recovery cycles really run.
+        let mut cfg = CheckConfig::default();
+        if script.ops.iter().any(|op| matches!(op, ScriptOp::Crash { .. })) {
+            cfg.durable_root = Some(std::env::temp_dir().join(format!(
+                "trijoin-corpus-{}-{}",
+                std::process::id(),
+                script.name
+            )));
+        }
         let outcome =
             run_script(&script, &cfg).unwrap_or_else(|f| panic!("{}: {f}", path.display()));
         assert!(outcome.checkpoints > 0, "{}: no checkpoints verified", path.display());
         checkpoints += outcome.checkpoints;
         faults += outcome.faults_installed;
+        crashes += outcome.crashes;
     }
     // The corpus as a whole must exercise the fault-recovery path, or the
     // §8 half of the equivalence claim goes untested.
     assert!(faults > 0, "corpus installs no fault plans");
+    // Likewise the crash-recovery path: at least one committed script
+    // must drive durable crash/recover cycles.
+    assert!(crashes > 0, "corpus runs no crash-recovery cycles");
     assert!(checkpoints >= 20, "corpus only verifies {checkpoints} checkpoints");
 }
 

@@ -1,0 +1,241 @@
+//! Durability acceptance: the WAL-backed file backend must recover to
+//! *equivalence* — after any crash (cold drop, torn log tail, sealed-but-
+//! unapplied log), reopening a store yields exactly the last committed
+//! state, every strategy answers the oracle join over it, recovery is
+//! idempotent under repetition, and checkpoints bound the log.
+//!
+//! The driver-level tests replay generated crash-heavy scripts through
+//! `trijoin_check::run_script` with a durable root, covering all three
+//! strategies and every configured shard count in one sweep.
+
+use std::path::PathBuf;
+
+use trijoin::{Database, Mutation, SystemParams};
+use trijoin_check::{generate, run_script, CheckConfig, GenConfig};
+use trijoin_common::{BaseTuple, Surrogate, ViewTuple};
+use trijoin_exec::oracle;
+use trijoin_model::Method;
+use trijoin_serve::{ServeConfig, Server};
+use trijoin_storage::CommitSabotage;
+
+fn params() -> SystemParams {
+    SystemParams { page_size: 512, mem_pages: 24, ..SystemParams::paper_defaults() }
+}
+
+/// A per-test scratch directory, wiped at the start so reruns are clean
+/// and left on disk afterwards for post-mortem inspection.
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("trijoin-durability-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tuples(n: u32, base: u32) -> Vec<BaseTuple> {
+    (0..n).map(|i| BaseTuple::padded(Surrogate(base + i), (i % 7) as u64, 64)).collect()
+}
+
+fn canon(mut v: Vec<ViewTuple>) -> Vec<ViewTuple> {
+    v.sort_by_key(|t| (t.r_sur.0, t.s_sur.0));
+    v
+}
+
+/// Query the recovered database with all three freshly rebuilt
+/// strategies and assert each answers the oracle join over `(r, s)`.
+fn assert_all_strategies_agree(db: &Database, r: &[BaseTuple], s: &[BaseTuple]) {
+    let want = canon(oracle::join_tuples(r, s));
+    let mut mv = db.materialized_view().expect("rebuild MV on recovered store");
+    assert_eq!(canon(db.query(&mut mv).unwrap()), want, "materialized view diverges");
+    let mut ji = db.join_index().expect("rebuild JI on recovered store");
+    assert_eq!(canon(db.query(&mut ji).unwrap()), want, "join index diverges");
+    let mut hh = db.hybrid_hash();
+    assert_eq!(canon(db.query(&mut hh).unwrap()), want, "hybrid hash diverges");
+}
+
+/// Mutations applied on top of the initial load: a committed batch and an
+/// uncommitted tail, with the mirror updated alongside.
+fn apply_batch(db: &mut Database, mirror: &mut Vec<BaseTuple>, base: u32) {
+    for i in 0..8u32 {
+        let t = BaseTuple::padded(Surrogate(base + i), (i % 7) as u64, 64);
+        db.r_mut().apply_mutation(&Mutation::Insert(t.clone())).unwrap();
+        mirror.push(t);
+    }
+    let victim = mirror.remove(3);
+    db.r_mut().apply_mutation(&Mutation::Delete(victim)).unwrap();
+}
+
+/// Recover-to-equivalence under every crash flavour: the reopened store
+/// holds exactly what was durable at the kill point, and all three
+/// strategies reproduce the oracle join over it.
+#[test]
+fn every_crash_flavour_recovers_to_the_committed_state() {
+    for (name, mode) in [
+        ("cold", None),
+        ("torn", Some(CommitSabotage::TornWal)),
+        ("skip-apply", Some(CommitSabotage::SkipApply)),
+    ] {
+        let dir = fresh_dir(&format!("flavour-{name}"));
+        let (r0, s0) = (tuples(40, 0), tuples(30, 0));
+        let mut committed = r0.clone();
+        let mut db = Database::create_durable(&params(), r0, s0.clone(), &dir).unwrap();
+
+        apply_batch(&mut db, &mut committed, 1000);
+        db.commit().unwrap();
+
+        // The in-flight tail: durable only when the sabotage seals the log.
+        let mut tail_state = committed.clone();
+        apply_batch(&mut db, &mut tail_state, 2000);
+        match mode {
+            None => {} // die cold: overlay dropped with the process
+            Some(CommitSabotage::TornWal) => {
+                db.sabotage_next_commit(CommitSabotage::TornWal);
+                assert!(db.commit().is_err(), "torn-WAL commit must fail");
+            }
+            Some(CommitSabotage::SkipApply) => {
+                db.sabotage_next_commit(CommitSabotage::SkipApply);
+                db.commit().unwrap();
+                committed = tail_state.clone();
+            }
+        }
+        drop(db);
+
+        let db = Database::open_durable(&params(), &dir).unwrap();
+        if mode == Some(CommitSabotage::TornWal) {
+            assert!(
+                db.metrics().counter("wal.recovered.torn_bytes") > 0,
+                "recovery must report the truncated torn tail"
+            );
+        }
+        if mode == Some(CommitSabotage::SkipApply) {
+            assert!(
+                db.metrics().counter("wal.recovered.commits") > 0,
+                "recovery must redo the sealed-but-unapplied commit"
+            );
+        }
+        assert_all_strategies_agree(&db, &committed, &s0);
+    }
+}
+
+/// Running recovery twice must be a fixpoint: the first open replays and
+/// truncates the log, so a second open (another "crash" before any new
+/// commit) replays nothing and answers identically.
+#[test]
+fn double_recovery_is_idempotent() {
+    let dir = fresh_dir("double");
+    let (r0, s0) = (tuples(40, 0), tuples(30, 0));
+    let mut committed = r0.clone();
+    let mut db = Database::create_durable(&params(), r0, s0.clone(), &dir).unwrap();
+    apply_batch(&mut db, &mut committed, 1000);
+    db.sabotage_next_commit(CommitSabotage::SkipApply);
+    db.commit().unwrap();
+    drop(db);
+
+    let first = Database::open_durable(&params(), &dir).unwrap();
+    assert!(first.metrics().counter("wal.recovered.frames") > 0, "first open replays the log");
+    let mut hh = first.hybrid_hash();
+    let answer = canon(first.query(&mut hh).unwrap());
+    drop(hh);
+    drop(first); // no commit: simulates dying again right after recovery
+
+    let second = Database::open_durable(&params(), &dir).unwrap();
+    assert_eq!(
+        second.metrics().counter("wal.recovered.frames"),
+        0,
+        "recovery already truncated the log; a second pass replays nothing"
+    );
+    let mut hh = second.hybrid_hash();
+    assert_eq!(canon(second.query(&mut hh).unwrap()), answer);
+    assert_all_strategies_agree(&second, &committed, &s0);
+}
+
+/// Checkpoints bound the log: after `checkpoint()` the WAL is empty, the
+/// truncated bytes are reported, and a reopen replays nothing.
+#[test]
+fn checkpoint_truncates_the_log() {
+    let dir = fresh_dir("checkpoint");
+    let (r0, s0) = (tuples(40, 0), tuples(30, 0));
+    let mut committed = r0.clone();
+    let mut db = Database::create_durable(&params(), r0, s0.clone(), &dir).unwrap();
+    for base in [1000u32, 2000, 3000] {
+        apply_batch(&mut db, &mut committed, base);
+        let stats = db.commit().unwrap();
+        assert!(stats.frames > 0, "each commit seals page frames");
+    }
+    assert!(db.metrics().gauge("wal.len_bytes").unwrap_or(0.0) > 0.0, "log grew across commits");
+
+    let stats = db.checkpoint().unwrap();
+    assert!(stats.truncated_bytes > 0, "checkpoint reports the bytes it dropped");
+    assert_eq!(db.metrics().gauge("wal.len_bytes"), Some(0.0), "log restarts empty");
+    assert!(db.metrics().counter("wal.checkpoints") > 0);
+    drop(db);
+
+    let db = Database::open_durable(&params(), &dir).unwrap();
+    assert_eq!(db.metrics().counter("wal.recovered.frames"), 0, "nothing left to replay");
+    assert_all_strategies_agree(&db, &committed, &s0);
+}
+
+/// Shard-local serve recovery: kill a durable 4-shard server with an
+/// applied-but-uncommitted tail; `Server::recover` must come back to the
+/// last commit barrier and answer the oracle join for every method.
+#[test]
+fn serve_recovers_shard_locally_to_the_last_barrier() {
+    let dir = fresh_dir("serve");
+    let (r0, s0) = (tuples(40, 0), tuples(30, 0));
+    let config = ServeConfig { batch: 4, durable_dir: Some(dir), ..ServeConfig::new(params(), 4) };
+    let server = Server::start(&config, r0.clone(), s0.clone()).unwrap();
+    let session = server.session().unwrap();
+
+    let mut committed = r0;
+    for i in 0..8u32 {
+        let t = BaseTuple::padded(Surrogate(1000 + i), (i % 7) as u64, 64);
+        session.update_r(Mutation::Insert(t.clone())).unwrap();
+        committed.push(t);
+    }
+    session.commit().unwrap();
+
+    // Applied (flushed to the shards) but never committed: rolled back.
+    for i in 0..8u32 {
+        let t = BaseTuple::padded(Surrogate(2000 + i), (i % 7) as u64, 64);
+        session.update_r(Mutation::Insert(t)).unwrap();
+    }
+    session.flush().unwrap();
+    drop(session);
+    drop(server); // shard threads exit without committing — the "crash"
+
+    let recovered = Server::recover(&config).unwrap();
+    let session = recovered.session().unwrap();
+    let want = canon(oracle::join_tuples(&committed, &s0));
+    for method in Method::all() {
+        assert_eq!(canon(session.query(method).unwrap()), want, "{method} diverges after recovery");
+    }
+    let report = session.report().unwrap();
+    assert_eq!(report.shards.len(), 4, "all four shards recovered");
+    let recovered_commits: u64 =
+        report.shards.iter().map(|s| s.metrics.counter("wal.recovered.commits")).sum();
+    assert!(recovered_commits > 0, "recovery replayed the sealed barriers shard-locally");
+}
+
+/// End-to-end crash-heavy replay: a generated script with crash ops runs
+/// on the durable backend through the full differential harness — three
+/// engines, the oracle, and 1/2/4-shard servers — and every checkpoint
+/// after every recovery still agrees.
+#[test]
+fn crash_heavy_generated_script_replays_to_equivalence() {
+    let gen_cfg = GenConfig { crash_pct: 100, ..GenConfig::new(33, 90) };
+    let script = generate(&gen_cfg);
+    assert!(
+        script.ops.iter().any(|op| matches!(op, trijoin_common::ScriptOp::Crash { .. })),
+        "generator must emit crash ops at crash_pct=100"
+    );
+
+    let cfg = CheckConfig { durable_root: Some(fresh_dir("crash-heavy")), ..Default::default() };
+    let outcome =
+        run_script(&script, &cfg).unwrap_or_else(|f| panic!("durable replay failed: {f}"));
+    assert!(outcome.crashes >= 1, "no crash-recovery cycle ran");
+    assert!(outcome.checkpoints >= 1, "no checkpoint verified after recovery");
+
+    // The same script on the in-memory backend treats crashes as no-ops.
+    let inert = run_script(&script, &CheckConfig::default())
+        .unwrap_or_else(|f| panic!("in-memory replay failed: {f}"));
+    assert_eq!(inert.crashes, 0, "crash ops are inert without a durable root");
+}
