@@ -82,10 +82,11 @@ cargo run --release -q -p trijoin-check --bin trijoin -- report-validate results
 cargo test -q --release -p trijoin-serve --test golden_ledger
 
 echo "==> bench-regression gate"
-# Full-scale serve benches against the committed comparison file: more
-# than 20% qps below the committed after-numbers fails CI. (Generous
-# margin — the serve loops pin a 2 s floor precisely so scheduler noise
-# stays well inside it.)
+# Full-scale benches against the committed comparison file: a serve row
+# more than 20% qps below the committed after-numbers — or a cycle row
+# (including the durable mv_query_cycle_wal) more than 20% above its
+# committed seconds — fails CI. (Generous margin — the serve loops pin
+# a 2 s floor precisely so scheduler noise stays well inside it.)
 cargo run --release -q -p trijoin-bench --bin wallclock -- \
     --baseline BENCH_wallclock.json --gate 20 > /dev/null
 rm -f results/wallclock_gate.json
@@ -116,6 +117,16 @@ cargo run --release -q -p trijoin-check --bin trijoin -- \
     serve --shards 4 --clients 3 --batch 16 --queries 3 \
     --scale 300 --durable "$crashdir/serve" --report "$report" > /dev/null
 grep -q '"wal.commits"' "$report" || { echo "durable serve report lacks wal.commits"; exit 1; }
+grep -q '"wal.fsyncs"' "$report" || { echo "durable serve report lacks wal.fsyncs"; exit 1; }
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
+rm -f "$report"
+# Group commit: the same serve run under --deferred must coalesce commit
+# barriers (its report still validates, and carries the fsync/skip-clean
+# accounting the validator now requires of any wal.enabled report).
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    serve --shards 4 --clients 3 --batch 16 --queries 3 \
+    --scale 300 --durable "$crashdir/deferred" --deferred --report "$report" > /dev/null
+grep -q '"wal.frames_skipped"' "$report" || { echo "deferred serve report lacks wal.frames_skipped"; exit 1; }
 cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
 rm -f "$report"
 rm -rf "$crashdir"

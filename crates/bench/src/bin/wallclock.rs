@@ -34,14 +34,19 @@
 //! acceptance check that sampling costs <5% of 4-shard throughput.
 //!
 //! Durability is priced the same way: `mv_query_cycle_wal` re-runs the MV
-//! query cycle on the WAL-guarded file backend with a commit per cycle,
-//! and `serve_qps_4shard_wal` backs every shard with its own WAL and
-//! commits once per round — each against its in-memory twin row.
+//! query cycle on the WAL-guarded file backend with a *deferred* commit
+//! per cycle plus one barrier seal amortized over the loop (the
+//! group-commit fast path), and `serve_qps_4shard_wal` backs every shard
+//! with its own WAL, issues a deferred commit barrier per round, and
+//! seals once at the end — each against its in-memory twin row.
+//! `serve_qps_4shard_barrier` runs the same per-round commit cadence on a
+//! *non-durable* server: its qps pins "commit barriers cost nothing when
+//! there is nothing to make durable".
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use trijoin::{Database, JoinStrategy, Method, SystemParams, WorkloadSpec};
+use trijoin::{Database, Durability, JoinStrategy, Method, SystemParams, WorkloadSpec};
 use trijoin_bench::{emit_json, paper_params};
 use trijoin_common::Json;
 use trijoin_serve::{ClientTraffic, ServeConfig, Server};
@@ -112,8 +117,11 @@ fn cycle_spec(n: u32) -> WorkloadSpec {
 /// Mean wall seconds of (one epoch of updates + one query) for `method`,
 /// after one untimed warmup cycle. Setup (load + cache build) is untimed.
 /// With `wal`, the store is the WAL-guarded file backend and every timed
-/// cycle ends in a commit — the `_wal` row prices durability against its
-/// in-memory twin.
+/// cycle ends in a **deferred** commit (append, no fsync); one barrier
+/// seal inside the timed region closes the loop, so its fsync is
+/// amortized across the iterations exactly as group commit amortizes it
+/// in production. The `_wal` row prices durability against its in-memory
+/// twin.
 fn query_cycle(method: Method, scale: &Scale, wal: bool) -> Row {
     let bench = match (method, wal) {
         (Method::MaterializedView, false) => "mv_query_cycle",
@@ -149,7 +157,7 @@ fn query_cycle(method: Method, scale: &Scale, wal: bool) -> Row {
         }
         db.query(strategy.as_mut()).expect("query");
         if wal {
-            db.commit().expect("commit cycle");
+            db.commit_with(Durability::Deferred).expect("commit cycle");
         }
         if timed {
             at.elapsed().as_secs_f64()
@@ -158,20 +166,38 @@ fn query_cycle(method: Method, scale: &Scale, wal: bool) -> Row {
         }
     };
     cycle(false); // warmup: touches every path once, faults in lazy state
+
+    // The durable row's final seal is one device fsync amortized into
+    // the mean; at 20 iters a single ~100 ms device stall would swing
+    // the row 2×, so run it 3× longer to keep the stall inside the
+    // regression gate's margin.
+    let iters = if wal { scale.cycle_iters * 3 } else { scale.cycle_iters };
     let mut total = 0.0;
-    for _ in 0..scale.cycle_iters {
+    for _ in 0..iters {
         total += cycle(true);
     }
-    Row { bench, secs: total / scale.cycle_iters as f64, iters: scale.cycle_iters, qps: None }
+    if wal {
+        // Seal the deferred groups: one fsync for the whole timed loop,
+        // charged into the mean so the row never reports throughput the
+        // durability contract hasn't paid for.
+        let at = Instant::now();
+        db.commit().expect("seal deferred commits");
+        total += at.elapsed().as_secs_f64();
+    }
+    Row { bench, secs: total / iters as f64, iters, qps: None }
 }
 
 /// The serve_bench inner loop (wide tuples, spilling HH) at `shards`
 /// shards: wall seconds of the whole query loop plus derived qps.
 /// `telemetry` toggles the default-on windowed sampler so the 4-shard
 /// pair of rows exposes its overhead; `wal` backs every shard with the
-/// WAL-guarded file backend and commits once per round, pricing the
-/// durable serving path against the in-memory row.
-fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool) -> Row {
+/// WAL-guarded file backend, issues a **deferred** commit barrier per
+/// round, and seals once inside the timed region — pricing the
+/// group-committed durable serving path against the in-memory row.
+/// `barrier` keeps the server non-durable but still commits every round:
+/// that row pins the no-op cost of the barrier machinery itself, i.e.
+/// "turning durability off really pays zero durability overhead".
+fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool, barrier: bool) -> Row {
     const CLIENTS: usize = 4;
     let spec = WorkloadSpec {
         r_tuples: scale.serve_tuples,
@@ -196,6 +222,7 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool) -> Row {
             .join(format!("trijoin-wallclock-{}-serve{shards}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         config.durable_dir = Some(dir);
+        config.durability = Durability::Deferred;
     }
     let server = Server::start(&config, gen.r.clone(), gen.s.clone())
         .unwrap_or_else(|e| panic!("start {shards}-shard server: {e}"));
@@ -210,7 +237,7 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool) -> Row {
             session.update_r(traffic[c].next_mutation()).expect("update");
         }
         session.query(Method::HybridHash).expect("query");
-        if wal {
+        if wal || barrier {
             session.commit().expect("commit round");
         }
     };
@@ -225,12 +252,18 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool) -> Row {
         round(done + 1);
         done += 1;
     }
+    if wal {
+        // Seal every deferred barrier — one fsync per shard for the whole
+        // loop, inside the timed region so the qps includes it.
+        session.sync().expect("seal deferred barriers");
+    }
     let wall = started.elapsed().as_secs_f64();
-    let bench = match (shards, telemetry, wal) {
-        (_, _, true) => "serve_qps_4shard_wal",
-        (1, _, _) => "serve_qps_1shard",
-        (_, true, _) => "serve_qps_4shard",
-        (_, false, _) => "serve_qps_4shard_notel",
+    let bench = match (shards, telemetry, wal, barrier) {
+        (_, _, true, _) => "serve_qps_4shard_wal",
+        (_, _, _, true) => "serve_qps_4shard_barrier",
+        (1, _, _, _) => "serve_qps_1shard",
+        (_, true, _, _) => "serve_qps_4shard",
+        (_, false, _, _) => "serve_qps_4shard_notel",
     };
     Row { bench, secs: wall, iters: done, qps: Some(done as f64 / wall.max(1e-9)) }
 }
@@ -243,8 +276,11 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool) -> Row {
 /// accepted too: their `after_*` fields are the baseline numbers.
 ///
 /// With `gate_pct`, a serve bench whose fresh qps fell more than that
-/// many percent below the baseline fails the run — the CI regression
-/// gate. Returns the names of the benches that failed it.
+/// many percent below the baseline — or a cycle bench whose seconds rose
+/// more than that many percent above it — fails the run: the CI
+/// regression gate covers throughput and latency rows alike (so the
+/// durable `mv_query_cycle_wal` path is gated, not just the serve qps).
+/// Returns the names of the benches that failed it.
 fn write_comparison(rows: &[Row], baseline_path: &str, gate_pct: Option<f64>) -> Vec<String> {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
@@ -278,14 +314,28 @@ fn write_comparison(rows: &[Row], baseline_path: &str, gate_pct: Option<f64>) ->
             "{:>18}  {:>11.4}s  {:>11.4}s  {:>7.2}x",
             row.bench, before_secs, row.secs, speedup
         );
-        if let (Some(pct), Some(after_qps), Some(before_qps)) = (gate_pct, row.qps, before_qps) {
-            if after_qps < before_qps * (1.0 - pct / 100.0) {
-                println!(
-                    "  GATE: {} qps {after_qps:.1} is more than {pct:.0}% below \
-                     baseline {before_qps:.1}",
-                    row.bench
-                );
-                regressed.push(row.bench.to_string());
+        if let Some(pct) = gate_pct {
+            match (row.qps, before_qps) {
+                (Some(after_qps), Some(before_qps)) => {
+                    if after_qps < before_qps * (1.0 - pct / 100.0) {
+                        println!(
+                            "  GATE: {} qps {after_qps:.1} is more than {pct:.0}% below \
+                             baseline {before_qps:.1}",
+                            row.bench
+                        );
+                        regressed.push(row.bench.to_string());
+                    }
+                }
+                _ => {
+                    if row.secs > before_secs * (1.0 + pct / 100.0) {
+                        println!(
+                            "  GATE: {} {:.4}s is more than {pct:.0}% above baseline \
+                             {before_secs:.4}s",
+                            row.bench, row.secs
+                        );
+                        regressed.push(row.bench.to_string());
+                    }
+                }
             }
         }
         let mut j = Json::obj()
@@ -333,6 +383,18 @@ fn main() {
     );
     println!("{:>18}  {:>12}  {:>6}  {:>10}", "bench", "secs/iter", "iters", "qps");
 
+    // Durable rows fsync against a real device, whose occasional
+    // ~100 ms stalls would swamp one 20-iter (or one 2 s) measurement
+    // and trip the 20% regression gate on pure device noise: take the
+    // median of three runs so a single hiccup cannot decide the row.
+    let median3 = |mut runs: Vec<Row>| -> Row {
+        runs.sort_by(|a, b| match (a.qps, b.qps) {
+            (Some(x), Some(y)) => y.total_cmp(&x),
+            _ => a.secs.total_cmp(&b.secs),
+        });
+        runs.swap_remove(1)
+    };
+
     let mut rows: Vec<Row> = Vec::new();
     for (method, wal) in [
         (Method::MaterializedView, false),
@@ -340,14 +402,26 @@ fn main() {
         (Method::JoinIndex, false),
         (Method::HybridHash, false),
     ] {
-        let row = query_cycle(method, &scale, wal);
+        let row = if wal {
+            median3((0..3).map(|_| query_cycle(method, &scale, wal)).collect())
+        } else {
+            query_cycle(method, &scale, wal)
+        };
         println!("{:>20}  {:>11.4}s  {:>6}  {:>10}", row.bench, row.secs, row.iters, "-");
         rows.push(row);
     }
-    for (shards, telemetry, wal) in
-        [(1usize, true, false), (4, true, false), (4, false, false), (4, true, true)]
-    {
-        let row = serve_qps(shards, &scale, telemetry, wal);
+    for (shards, telemetry, wal, barrier) in [
+        (1usize, true, false, false),
+        (4, true, false, false),
+        (4, false, false, false),
+        (4, true, false, true),
+        (4, true, true, false),
+    ] {
+        let row = if wal {
+            median3((0..3).map(|_| serve_qps(shards, &scale, telemetry, wal, barrier)).collect())
+        } else {
+            serve_qps(shards, &scale, telemetry, wal, barrier)
+        };
         println!(
             "{:>20}  {:>11.4}s  {:>6}  {:>10.1}",
             row.bench,

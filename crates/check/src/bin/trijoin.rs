@@ -16,22 +16,26 @@
 //! trijoin serve --shards 4 --clients 4 --batch 64 --queries 10
 //!               [--scale 200] [--sr 0.01] [--activity 0.06] [--pra 0.1]
 //!               [--mem 80] [--strategy mv|ji|hh] [--seed 42] [--report <path>]
-//!               [--durable <dir>]
+//!               [--durable <dir>] [--deferred]
 //!     run the sharded serving layer on a scaled paper workload: clients
 //!     submit batched updates between queries, answers are checked against
 //!     the single-engine oracle, and `--report` writes the per-shard
 //!     reports plus their rollup as JSON; `--durable <dir>` gives every
-//!     shard a WAL-backed store with a commit barrier per query round
+//!     shard a WAL-backed store with a commit barrier per query round, and
+//!     `--deferred` makes those barriers group-commit (append per round,
+//!     one coalesced fsync per shard at the next seal)
 //! trijoin top --shards 4 --clients 4 [--batch 64] [--ring 1024]
 //!             [--scale 200] [--queries 4] [--refreshes 0] [--mem 80]
 //!             [--strategy mv|ji|hh] [--seed 42] [--once] [--json]
-//!             [--report <path>]
+//!             [--report <path>] [--durable <dir>] [--deferred]
 //!     live serving-stack monitor: spawns a server plus client traffic and
 //!     renders qps, latency percentiles, ring backpressure, pool hit rate,
 //!     per-shard update/query ratio and key skew, cost-drift counts, and
 //!     the telemetry window series. `--once` renders a single frame and
 //!     exits; `--json` emits the sharded run report as JSON (scriptable,
-//!     `report-validate`-clean) instead of the dashboard
+//!     `report-validate`-clean) instead of the dashboard; `--durable`/
+//!     `--deferred` mirror `trijoin serve` and add a `wal` dashboard row
+//!     (commits, fsyncs, skip-clean frames, apply lag, log bytes)
 //! trijoin report-validate <path> [--min-series-windows <n>]
 //!     check that <path> holds a well-formed report (CI schema gate); the
 //!     schema is sniffed: a run report, a sharded serve report (per-shard
@@ -69,7 +73,7 @@ use trijoin_model::all_costs;
 use trijoin_serve::{ClientTraffic, ServeConfig, Server};
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["trace", "once", "json"];
+const BOOL_FLAGS: &[&str] = &["trace", "once", "json", "deferred"];
 
 struct Args {
     flags: HashMap<String, String>,
@@ -119,7 +123,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>] [--durable <dir>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n                 [--durable <dir>]\n  trijoin top    --shards <n> --clients <n> [--batch <n>] [--ring <n>]\n                 [--scale <n>] [--queries <n>] [--refreshes <n>] [--mem <pages>]\n                 [--strategy mv|ji|hh] [--seed <n>] [--once] [--json] [--report <path>]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--crash-pct <n>] [--durable <dir>]\n                 [--emit <path>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path> [--min-series-windows <n>]"
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>] [--durable <dir>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n                 [--durable <dir>] [--deferred]\n  trijoin top    --shards <n> --clients <n> [--batch <n>] [--ring <n>]\n                 [--scale <n>] [--queries <n>] [--refreshes <n>] [--mem <pages>]\n                 [--strategy mv|ji|hh] [--seed <n>] [--once] [--json] [--report <path>]\n                 [--durable <dir>] [--deferred]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--crash-pct <n>] [--durable <dir>]\n                 [--emit <path>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path> [--min-series-windows <n>]"
 }
 
 fn main() -> ExitCode {
@@ -391,7 +395,20 @@ fn serve(args: &Args) -> Result<(), String> {
     let gen = spec.generate();
     let durable_dir = args.opt_str("durable").map(std::path::PathBuf::from);
     let durable = durable_dir.is_some();
-    let config = ServeConfig { batch, ring, seed, durable_dir, ..ServeConfig::new(params, shards) };
+    let deferred = args.flag("deferred");
+    if deferred && !durable {
+        return Err("--deferred needs --durable".into());
+    }
+    let durability =
+        if deferred { trijoin_storage::Durability::Deferred } else { Default::default() };
+    let config = ServeConfig {
+        batch,
+        ring,
+        seed,
+        durable_dir,
+        durability,
+        ..ServeConfig::new(params, shards)
+    };
     let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
     let session = server.session().map_err(err)?;
     let mut traffic = ClientTraffic::split(&gen, &config, clients);
@@ -400,7 +417,11 @@ fn serve(args: &Args) -> Result<(), String> {
         "serve: ‖R‖=‖S‖={} shards={shards} clients={clients} batch={batch} ring={ring} \
          strategy={method} ‖iR‖={updates_per_query}/query{}",
         gen.r.len(),
-        if durable { " (durable)" } else { "" }
+        match (durable, deferred) {
+            (true, true) => " (durable, deferred commits)",
+            (true, false) => " (durable)",
+            _ => "",
+        }
     );
     let started = std::time::Instant::now();
     let mut total_updates = 0u64;
@@ -445,6 +466,19 @@ fn serve(args: &Args) -> Result<(), String> {
         rollup.metrics.counter("serve.updates.cross_shard"),
         rollup.totals.ios
     );
+    if durable {
+        // Group-commit accounting across all shard WALs: under --deferred
+        // the fsync count trails the commit count — that gap is the
+        // coalescing win.
+        println!(
+            "wal: {} commits, {} fsyncs, {} frames ({} skipped clean), apply lag {:.0}",
+            rollup.metrics.counter("wal.commits"),
+            rollup.metrics.counter("wal.fsyncs"),
+            rollup.metrics.counter("wal.frames"),
+            rollup.metrics.counter("wal.frames_skipped"),
+            rollup.metrics.gauge("wal.apply_lag").unwrap_or(0.0),
+        );
+    }
     if let Some(path) = args.opt_str("report") {
         std::fs::write(&path, report.to_json().pretty())
             .map_err(|e| format!("--report {path}: {e}"))?;
@@ -507,7 +541,22 @@ fn top(args: &Args) -> Result<(), String> {
     let params =
         SystemParams { mem_pages: args.u64("mem", 80)? as usize, ..SystemParams::paper_defaults() };
     let gen = spec.generate();
-    let config = ServeConfig { batch, ring, seed, ..ServeConfig::new(params, shards) };
+    let durable_dir = args.opt_str("durable").map(std::path::PathBuf::from);
+    let durable = durable_dir.is_some();
+    let deferred = args.flag("deferred");
+    if deferred && !durable {
+        return Err("--deferred needs --durable".into());
+    }
+    let durability =
+        if deferred { trijoin_storage::Durability::Deferred } else { Default::default() };
+    let config = ServeConfig {
+        batch,
+        ring,
+        seed,
+        durable_dir,
+        durability,
+        ..ServeConfig::new(params, shards)
+    };
     let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
     let session = server.session().map_err(err)?;
     let mut traffic = ClientTraffic::split(&gen, &config, clients);
@@ -525,6 +574,9 @@ fn top(args: &Args) -> Result<(), String> {
                 session.update_r(traffic[c].next_mutation()).map_err(err)?;
             }
             session.query(method).map_err(err)?;
+            if durable {
+                session.commit().map_err(err)?;
+            }
         }
         sent += queries * updates_per_query;
         let wall = round_start.elapsed().as_secs_f64();
@@ -576,6 +628,22 @@ fn render_top_frame(
         gauge("serve.ring.full_waits"),
         rollup.pool_hit_rate() * 100.0
     );
+    if gauge("wal.enabled") >= 1.0 {
+        // Durable serving: group-commit accounting summed across shard
+        // WALs. fsyncs < commits means deferred barriers coalesced; the
+        // skipped count is frames dropped by the skip-clean encoder; the
+        // apply lag is committed-but-unapplied pages awaiting checkpoint.
+        println!(
+            "  wal  commits {:>6}   fsyncs {:>6}   frames {:>7} ({} skipped clean)   \
+             apply lag {:>5.0}   log {:>9.0} B",
+            m.counter("wal.commits"),
+            m.counter("wal.fsyncs"),
+            m.counter("wal.frames"),
+            m.counter("wal.frames_skipped"),
+            gauge("wal.apply_lag"),
+            gauge("wal.len_bytes"),
+        );
+    }
     let mean_r = safe_div(
         report.shards.iter().map(|s| s.metrics.gauge("shard.r_tuples").unwrap_or(0.0)).sum(),
         report.shards.len() as f64,

@@ -72,4 +72,4 @@ pub use trijoin_exec::{
     Update,
 };
 pub use trijoin_model::{Method, Workload};
-pub use trijoin_storage::{FaultPlan, FaultSpec};
+pub use trijoin_storage::{Durability, FaultPlan, FaultSpec};

@@ -10,6 +10,7 @@
 use std::path::{Path, PathBuf};
 
 use trijoin_common::{rng, SystemParams, TelemetryConfig};
+use trijoin_storage::Durability;
 
 /// Configuration of a [`crate::Server`].
 #[derive(Debug, Clone)]
@@ -47,6 +48,15 @@ pub struct ServeConfig {
     /// commits only ever happen at server-wide barriers (every shard's
     /// last commit is the same logical barrier).
     pub durable_dir: Option<PathBuf>,
+    /// Durability level of commit barriers ([`crate::ClientSession::commit`]).
+    /// [`Durability::Barrier`] (the default) fsyncs every shard's WAL
+    /// inside the barrier; [`Durability::Deferred`] turns barriers into
+    /// group-commit appends — consecutive barriers coalesce into one
+    /// fsync per shard, issued when the scheduler goes idle, at the next
+    /// report, or at an explicit [`crate::ClientSession::sync`]. A crash
+    /// before that seal rolls the deferred barriers back wholesale.
+    /// Irrelevant without `durable_dir`.
+    pub durability: Durability,
 }
 
 impl ServeConfig {
@@ -61,6 +71,7 @@ impl ServeConfig {
             seed: 42,
             telemetry: Some(TelemetryConfig::default()),
             durable_dir: None,
+            durability: Durability::Barrier,
         }
     }
 

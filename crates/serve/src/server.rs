@@ -47,7 +47,7 @@ use trijoin_common::{
 };
 use trijoin_exec::sort::KWayMerge;
 use trijoin_exec::Mutation;
-use trijoin_storage::FaultPlan;
+use trijoin_storage::{Durability, FaultPlan};
 
 use crate::config::ServeConfig;
 use crate::router;
@@ -92,7 +92,19 @@ pub enum Request {
     /// Because shards *only* commit here, every shard's last sealed commit
     /// is the same logical barrier — which is what makes shard-local
     /// recovery globally consistent.
+    ///
+    /// Under [`Durability::Deferred`] (see [`ServeConfig::durability`])
+    /// the barrier appends each shard's commit group to its WAL buffer
+    /// without fsyncing; consecutive barriers coalesce until a *seal* —
+    /// an explicit [`Request::Sync`], the next [`Request::Report`], or
+    /// the scheduler going idle — pays one fsync per shard for all of
+    /// them. A crash before the seal rolls the deferred barriers back.
     Commit,
+    /// Seal every deferred commit barrier now: one `Durability::Barrier`
+    /// round fsyncs each shard's buffered commit groups. A no-op ack when
+    /// nothing is pending (including on non-durable or always-`Barrier`
+    /// servers).
+    Sync,
 }
 
 /// A server response.
@@ -264,11 +276,20 @@ impl Ring {
 
     /// Scheduler: take every queued submission, blocking until at least
     /// one arrives. Returns `false` once the ring is closed and drained.
-    fn drain_wait(&self, out: &mut Vec<Slot>) -> bool {
+    ///
+    /// `on_idle` fires at most once per call, outside the lock, right
+    /// before the scheduler would park on the condvar — i.e. when the
+    /// yield-spin budget expired without any client producing work. This
+    /// is the hook the scheduler uses to seal deferred commit barriers:
+    /// an idle ring means no further barrier is imminent to coalesce
+    /// with, so the fsync is paid now rather than holding client data
+    /// volatile across an unbounded quiet period.
+    fn drain_wait(&self, out: &mut Vec<Slot>, mut on_idle: impl FnMut()) -> bool {
         // Same poll-then-park shape as `call`: a client that just received
         // a completion typically submits its next round immediately, so a
         // short yield-spin catches it without a park/wake pair.
         let mut spins = 0u32;
+        let mut idled = false;
         let mut st = self.lock();
         loop {
             if !st.queue.is_empty() {
@@ -287,6 +308,11 @@ impl Ring {
                 spins += 1;
                 drop(st);
                 std::thread::yield_now();
+                st = self.lock();
+            } else if !idled {
+                idled = true;
+                drop(st);
+                on_idle();
                 st = self.lock();
             } else {
                 st = self.wait(&self.submitted, st);
@@ -404,6 +430,14 @@ impl ClientSession {
     pub fn commit(&self) -> Result<()> {
         self.call(Request::Commit).map(|_| ())
     }
+
+    /// Seal every deferred commit barrier: one fsync per shard covers all
+    /// commit groups buffered since the last seal. A no-op ack when
+    /// nothing is pending (non-durable servers, `Durability::Barrier`
+    /// servers, or simply no deferred barrier since the last seal).
+    pub fn sync(&self) -> Result<()> {
+        self.call(Request::Sync).map(|_| ())
+    }
 }
 
 /// The sharded serving instance: N shard threads plus one scheduler.
@@ -490,6 +524,7 @@ impl Server {
         let batch = config.batch.max(1);
         let params = config.params.clone();
         let tel_cfg = config.telemetry;
+        let durability = config.durability;
         let scheduler = std::thread::Builder::new()
             .name("trijoin-serve-scheduler".into())
             .spawn(move || {
@@ -518,6 +553,8 @@ impl Server {
                     telemetry,
                     deferred: None,
                     latencies_us: Vec::new(),
+                    durability,
+                    sync_pending: false,
                 };
                 sched.run();
             })
@@ -566,12 +603,15 @@ impl Drop for Server {
 /// scheduler emits is a pure function of the submission order and stays
 /// bit-identical across reruns; consumers that pin reports byte-for-byte
 /// scrub exactly this set.
-pub const VOLATILE_METRICS: [&str; 5] = [
+pub const VOLATILE_METRICS: [&str; 6] = [
     "serve.ring.drains",
     "serve.ring.drain.len",
     "serve.ring.full_waits",
     "serve.latency.p50_us",
     "serve.latency.p99_us",
+    // Idle-triggered seals of deferred commit barriers depend on when the
+    // scheduler's poll budget ran out relative to client submissions.
+    "serve.seals",
 ];
 
 /// The single-threaded admission scheduler: owns the shard channels, the
@@ -609,6 +649,12 @@ struct Scheduler {
     /// Submission-to-completion latency of every blocking call, in µs;
     /// powers the `serve.latency.p50_us`/`p99_us` gauges.
     latencies_us: Vec<u64>,
+    /// Durability level of commit barriers (from [`ServeConfig`]).
+    durability: Durability,
+    /// True when deferred commit barriers are buffered but not yet
+    /// fsynced on the shards; cleared by the next seal (explicit
+    /// [`Request::Sync`], a report, scheduler idle, or exit).
+    sync_pending: bool,
 }
 
 /// Receive a shard reply, yielding the CPU to the computing shards before
@@ -633,10 +679,18 @@ fn recv_yielding<T>(rx: &Receiver<T>) -> Option<T> {
 
 impl Scheduler {
     fn run(&mut self) {
+        // Register the seal counter up front (a zero-delta add pins the
+        // name into the registry): consumers that scrub the volatile set
+        // assert presence first, and a `Barrier`-mode run never seals.
+        self.metrics.counter_add("serve.seals", 0);
         loop {
             if self.work.is_empty() {
                 let mut fresh = Vec::new();
-                if !self.ring.drain_wait(&mut fresh) {
+                // The ring handle is cloned out so the idle hook can
+                // borrow `self` mutably (it fans a Barrier commit out to
+                // the shards).
+                let ring = Arc::clone(&self.ring);
+                if !ring.drain_wait(&mut fresh, || self.idle_seal()) {
                     break;
                 }
                 self.drained(&fresh);
@@ -659,6 +713,13 @@ impl Scheduler {
         // Normal exit only happens after `close`, but make it
         // unconditional so no client can ever be left blocked.
         self.ring.close();
+        // Seal any still-deferred commit barriers before the shard
+        // channels close: an orderly shutdown must not roll back commits
+        // the client was promised would reach a seal point. (A *crash*
+        // before this line is exactly the case deferred durability
+        // documents as rolling back.) Best-effort — there is no client
+        // left to report an error to.
+        let _ = self.seal_pending();
         // Dropping `shard_txs` (with `self`) closes every shard channel;
         // the shard threads drain what was sent and exit.
     }
@@ -731,6 +792,11 @@ impl Scheduler {
             Request::Query(method) => self.query(method).map(Response::Rows),
             Request::Report => {
                 self.flush()?;
+                // A report is a durability point: seal deferred barriers
+                // first so the shard snapshots carry settled `wal.*`
+                // accounting (fsyncs ≤ commits, but never an unsealed
+                // tail the report's reader could mistake for durable).
+                self.seal_pending()?;
                 self.report().map(|r| Response::Report(Box::new(r)))
             }
             Request::InstallFaultPlan { shard, plan } => {
@@ -747,9 +813,42 @@ impl Scheduler {
             }
             Request::Commit => {
                 self.flush()?;
-                self.commit_barrier()?;
+                self.commit_barrier(self.durability)?;
+                if self.durability == Durability::Deferred {
+                    self.sync_pending = true;
+                }
                 Ok(Response::Ack)
             }
+            Request::Sync => {
+                self.flush()?;
+                self.seal_pending()?;
+                Ok(Response::Ack)
+            }
+        }
+    }
+
+    /// Seal deferred commit barriers, if any are pending: one
+    /// `Durability::Barrier` round fsyncs every shard's buffered commit
+    /// groups at once. The coalescing win of deferred durability lives
+    /// here — N barriers since the last seal cost N appends and exactly
+    /// one fsync per shard.
+    fn seal_pending(&mut self) -> Result<()> {
+        if !self.sync_pending {
+            return Ok(());
+        }
+        self.metrics.incr("serve.seals");
+        self.commit_barrier(Durability::Barrier)?;
+        self.sync_pending = false;
+        Ok(())
+    }
+
+    /// Idle hook (see [`Ring::drain_wait`]): the ring went quiet with
+    /// deferred barriers still buffered, so pay the fsync now. There is
+    /// no requester to report to — an error defers to the next blocking
+    /// call, like a failed batch flush.
+    fn idle_seal(&mut self) {
+        if let Err(e) = self.seal_pending() {
+            self.deferred.get_or_insert(e);
         }
     }
 
@@ -759,11 +858,16 @@ impl Scheduler {
     /// covers exactly the batches flushed before the barrier — all WALs
     /// agree on which barrier was last sealed, which is the invariant
     /// shard-local recovery relies on.
-    fn commit_barrier(&mut self) -> Result<()> {
+    ///
+    /// The barrier is *pipelined*: the command fans out to every shard
+    /// before any acknowledgement is collected, so the per-shard WAL
+    /// appends (and fsyncs, under `Durability::Barrier`) overlap across
+    /// shard threads instead of running one after another.
+    fn commit_barrier(&mut self, durability: Durability) -> Result<()> {
         self.metrics.incr("serve.commits");
         let (reply, rx) = channel();
         for (i, tx) in self.shard_txs.iter().enumerate() {
-            tx.send(ShardCommand::Commit { reply: reply.clone() })
+            tx.send(ShardCommand::Commit { durability, reply: reply.clone() })
                 .map_err(|_| Error::Invariant(format!("serve: shard {i} is down")))?;
         }
         drop(reply);

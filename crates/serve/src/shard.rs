@@ -18,7 +18,7 @@ use trijoin_common::{
     BaseTuple, Error, Result, RunReport, SystemParams, TelemetryConfig, ViewTuple,
 };
 use trijoin_exec::{HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, Mutation};
-use trijoin_storage::FaultPlan;
+use trijoin_storage::{Durability, FaultPlan};
 
 /// A command processed by a shard thread, in arrival order.
 pub enum ShardCommand {
@@ -74,7 +74,14 @@ pub enum ShardCommand {
     /// issues this to every shard at once (a commit *barrier*) and waits
     /// for all acknowledgements, so the set of WALs always agrees on which
     /// barrier was last sealed. A no-op ack on non-durable shards.
+    ///
+    /// Under [`Durability::Deferred`] the shard appends the commit group to
+    /// its WAL buffer but skips the fsync — the scheduler later seals all
+    /// pending groups at once with a [`Durability::Barrier`] commit (one
+    /// fsync per shard regardless of how many barriers it covers).
     Commit {
+        /// Whether this barrier must fsync or may defer to a later seal.
+        durability: Durability,
         /// Where to send `(shard_index, result)`.
         reply: Sender<(usize, Result<()>)>,
     },
@@ -244,8 +251,8 @@ impl ShardWorker {
                     self.db.install_fault_plan(plan);
                 }
                 ShardCommand::ClearFaults => self.db.clear_faults(),
-                ShardCommand::Commit { reply } => {
-                    let result = self.db.commit().map(|_| ());
+                ShardCommand::Commit { durability, reply } => {
+                    let result = self.db.commit_with(durability).map(|_| ());
                     let _ = reply.send((self.index, result));
                 }
             }

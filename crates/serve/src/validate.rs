@@ -134,8 +134,12 @@ fn check_wal_marker(
     if metrics.gauge("wal.enabled").unwrap_or(0.0) < 1.0 {
         return Ok(());
     }
-    if !metrics.counters.iter().any(|(k, _)| k == "wal.commits") {
-        return Err(format!("{path}: {owner} sets wal.enabled but carries no wal.commits counter"));
+    for counter in ["wal.commits", "wal.fsyncs", "wal.frames_skipped"] {
+        if !metrics.counters.iter().any(|(k, _)| k == counter) {
+            return Err(format!(
+                "{path}: {owner} sets wal.enabled but carries no {counter} counter"
+            ));
+        }
     }
     if metrics.gauge("wal.len_bytes").is_none() {
         return Err(format!("{path}: {owner} sets wal.enabled but carries no wal.len_bytes gauge"));
@@ -412,7 +416,17 @@ mod tests {
         assert!(err.contains("wal.commits"), "{err}");
         assert!(err.contains("d.json"), "{err}");
 
+        // The group-commit counters are part of the contract too: a
+        // durable report must say how many fsyncs its commits cost and
+        // how many clean frames the skip-clean encoder dropped.
         metrics.counters.push(("wal.commits".into(), 3));
+        let err = check_wal_marker("d.json", "run report", &metrics).unwrap_err();
+        assert!(err.contains("wal.fsyncs"), "{err}");
+        metrics.counters.push(("wal.fsyncs".into(), 2));
+        let err = check_wal_marker("d.json", "run report", &metrics).unwrap_err();
+        assert!(err.contains("wal.frames_skipped"), "{err}");
+        metrics.counters.push(("wal.frames_skipped".into(), 0));
+
         let err = check_wal_marker("d.json", "run report", &metrics).unwrap_err();
         assert!(err.contains("wal.len_bytes"), "{err}");
 

@@ -58,6 +58,26 @@ impl<'a> PageWrite<'a> {
     }
 }
 
+/// How durable a commit must be before it returns.
+///
+/// * [`Durability::Barrier`] — the classic contract: the sealed frame
+///   group (and every deferred group buffered before it) is written and
+///   fsynced before `commit` returns. Survives any crash.
+/// * [`Durability::Deferred`] — group commit: the sealed frame group is
+///   appended to the in-memory log buffer only. A later barrier (an
+///   explicit `Barrier` commit, a checkpoint, or a serve-side seal)
+///   flushes and fsyncs every buffered group at once. A crash before
+///   that barrier rolls the deferred commits back — recovery replays a
+///   *prefix* of sealed groups, never a mix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Fsync this commit (and all deferred ones) before returning.
+    #[default]
+    Barrier,
+    /// Append the sealed group to the log buffer; fsync later.
+    Deferred,
+}
+
 /// What a durable backend's commit reports back for `wal.*` accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommitStats {
@@ -65,6 +85,11 @@ pub struct CommitStats {
     pub frames: u64,
     /// Log bytes appended (frames plus the commit frame).
     pub bytes: u64,
+    /// Overlay pages dropped because their bytes equal the committed
+    /// image (skip-clean framing).
+    pub frames_skipped: u64,
+    /// Fsyncs issued by this commit (0 under [`Durability::Deferred`]).
+    pub fsyncs: u64,
 }
 
 /// What startup recovery reports back for `wal.*` accounting.
@@ -150,16 +175,40 @@ pub trait StorageBackend {
         0
     }
 
-    /// Make everything written so far durable and atomic: group-flush
-    /// the dirty pages to the log, sync it, apply. No-op without a WAL.
-    fn commit(&self) -> Result<CommitStats> {
+    /// Make everything written so far durable and atomic: encode the
+    /// dirty pages as one sealed frame group and append it to the log.
+    /// Under [`Durability::Barrier`] the group (plus any deferred
+    /// groups) is flushed and fsynced before returning; under
+    /// [`Durability::Deferred`] it stays in the log buffer until the
+    /// next barrier. Images are *not* applied to the data files here —
+    /// a checkpoint does that off the hot path. No-op without a WAL.
+    fn commit(&self, _durability: Durability) -> Result<CommitStats> {
         Ok(CommitStats::default())
     }
 
-    /// Bound the log: sync data files, truncate the log. No-op without
-    /// a WAL.
+    /// The cheap, frequent half of a checkpoint: seal any buffered
+    /// deferred groups (one log fsync — the log must always cover
+    /// every image the data files may hold) and write the committed
+    /// backlog into the data files *without* syncing them or
+    /// truncating the log. A crash at any point replays the intact
+    /// log to the same state, so this bounds the apply backlog and
+    /// the group-commit buffer at a fraction of a full checkpoint's
+    /// cost. Returns `(pages_applied, log_fsyncs)`. No-op without a
+    /// WAL.
+    fn apply_backlog(&self) -> Result<(u64, u64)> {
+        Ok((0, 0))
+    }
+
+    /// Bound the log: seal stragglers, apply committed images to the
+    /// data files, sync them, truncate the log. No-op without a WAL.
     fn checkpoint(&self) -> Result<CheckpointStats> {
         Ok(CheckpointStats::default())
+    }
+
+    /// Committed page images not yet applied to the data files (the
+    /// backlog the next checkpoint will drain). 0 without a WAL.
+    fn wal_apply_lag(&self) -> u64 {
+        0
     }
 
     /// Startup-recovery stats, consumed once by the simulator for
@@ -373,9 +422,12 @@ impl FileBackend {
     }
 
     /// Sync one file's data to the medium (used at checkpoint).
+    /// `fdatasync`, not `fsync`: the data — and, per POSIX, any metadata
+    /// needed to retrieve it, a grown size included — reaches the
+    /// medium without paying for a journaled timestamp flush.
     pub(crate) fn sync_file(&self, file: FileId) -> Result<()> {
         self.with_handle(file, |h, _| {
-            h.sync_all().map_err(|e| Error::io(format!("sync f{}", file.0), &e))
+            h.sync_data().map_err(|e| Error::io(format!("sync f{}", file.0), &e))
         })
     }
 

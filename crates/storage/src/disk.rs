@@ -17,7 +17,7 @@
 //! the backend, so they are identical whichever medium is plugged in —
 //! the ledger is the paper's model regardless of where the bytes go.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::rc::Rc;
 
@@ -26,7 +26,7 @@ use trijoin_common::{
 };
 
 use crate::backend::{
-    CheckpointStats, CommitSabotage, CommitStats, MemBackend, PageWrite, StorageBackend,
+    CheckpointStats, CommitSabotage, CommitStats, Durability, MemBackend, PageWrite, StorageBackend,
 };
 
 /// Identifier of a simulated file (a growable array of pages).
@@ -140,10 +140,91 @@ impl FaultPlan {
     }
 }
 
+/// The disk's storage medium, dispatched statically for the default
+/// in-memory store and dynamically for everything else. The page
+/// read/write hot paths run once per simulated I/O; routing the common
+/// [`MemBackend`] case through a concrete type (instead of a
+/// `Box<dyn StorageBackend>` vtable) lets those calls inline, so the
+/// non-durable path pays zero dispatch overhead for the durability
+/// machinery's pluggability.
+enum BackendKind {
+    /// The in-memory default (`SimDisk::new`) — statically dispatched.
+    Mem(MemBackend),
+    /// Any other medium (file-backed, WAL) — dynamically dispatched;
+    /// these paths are dominated by real syscalls, not dispatch.
+    Dyn(Box<dyn StorageBackend>),
+}
+
+impl BackendKind {
+    /// The medium as a trait object, for cold (non-per-page) verbs.
+    fn as_dyn(&self) -> &dyn StorageBackend {
+        match self {
+            BackendKind::Mem(m) => m,
+            BackendKind::Dyn(d) => d.as_ref(),
+        }
+    }
+
+    #[inline]
+    fn read_page(&self, pid: PageId) -> Result<Rc<Vec<u8>>> {
+        match self {
+            BackendKind::Mem(m) => m.read_page(pid),
+            BackendKind::Dyn(d) => d.read_page(pid),
+        }
+    }
+
+    #[inline]
+    fn write_page(&self, pid: PageId, data: PageWrite<'_>) -> Result<()> {
+        match self {
+            BackendKind::Mem(m) => m.write_page(pid, data),
+            BackendKind::Dyn(d) => d.write_page(pid, data),
+        }
+    }
+
+    #[inline]
+    fn num_pages(&self, file: FileId) -> Result<u32> {
+        match self {
+            BackendKind::Mem(m) => m.num_pages(file),
+            BackendKind::Dyn(d) => d.num_pages(file),
+        }
+    }
+
+    #[inline]
+    fn allocate_page(&self, file: FileId) -> Result<PageId> {
+        match self {
+            BackendKind::Mem(m) => m.allocate_page(file),
+            BackendKind::Dyn(d) => d.allocate_page(file),
+        }
+    }
+
+    #[inline]
+    fn wal_enabled(&self) -> bool {
+        match self {
+            BackendKind::Mem(_) => false,
+            BackendKind::Dyn(d) => d.wal_enabled(),
+        }
+    }
+}
+
+/// Auto-checkpoint policy: after this many frame-carrying commits the
+/// disk checkpoints itself, bounding both the log length and the
+/// committed-overlay apply backlog without ever putting the data-file
+/// apply on an individual commit's path.
+const AUTO_CHECKPOINT_EVERY: u64 = 512;
+
+/// Async-apply policy: every this many frame-carrying *barrier*
+/// commits the committed overlay is written into the data files
+/// without syncing them or truncating the log. Spreads the apply work
+/// so a checkpoint never has to drain [`AUTO_CHECKPOINT_EVERY`]
+/// commits' worth of pages in one stall, and keeps the read path's
+/// overlay small. Only fsynced commits qualify: right after a barrier
+/// the apply's own log seal is a no-op, so the drain is pure page
+/// writes.
+const AUTO_APPLY_EVERY: u64 = 64;
+
 /// Page store with paper-accurate I/O accounting over a pluggable
 /// [`StorageBackend`].
 pub struct SimDisk {
-    backend: Box<dyn StorageBackend>,
+    backend: BackendKind,
     page_size: usize,
     cost: Cost,
     /// Remaining charged I/Os before the next one fails (fault injection
@@ -172,6 +253,12 @@ pub struct SimDisk {
     /// Per-file `(read, write)` counter handles, indexed by `FileId`,
     /// interned at `create_file` time.
     file_counters: RefCell<Vec<(CounterId, CounterId)>>,
+    /// Frame-carrying commits since the last checkpoint (drives the
+    /// every-N auto-checkpoint policy on WAL backends).
+    commits_since_ckpt: Cell<u64>,
+    /// Set when a crash sabotage is armed: the "process" dies inside
+    /// that commit, so the background checkpointer must not run on it.
+    sabotaged: Cell<bool>,
 }
 
 /// Shared handle to a [`SimDisk`]; the simulator is single-threaded.
@@ -182,7 +269,7 @@ impl SimDisk {
     /// `params`, charging into `cost`. This is the golden-ledger path:
     /// byte-for-byte identical behaviour to the pre-backend `SimDisk`.
     pub fn new(params: &SystemParams, cost: Cost) -> Disk {
-        Self::with_backend(params, cost, Box::new(MemBackend::new(params.page_size)))
+        Self::assemble(params, cost, BackendKind::Mem(MemBackend::new(params.page_size)))
     }
 
     /// Create a disk over an arbitrary [`StorageBackend`]. Per-file I/O
@@ -195,10 +282,15 @@ impl SimDisk {
         cost: Cost,
         backend: Box<dyn StorageBackend>,
     ) -> Disk {
+        Self::assemble(params, cost, BackendKind::Dyn(backend))
+    }
+
+    fn assemble(params: &SystemParams, cost: Cost, backend: BackendKind) -> Disk {
         let metrics = Metrics::new();
+        let backend_dyn = backend.as_dyn();
         let c_reads = metrics.counter_handle("disk.reads");
         let c_writes = metrics.counter_handle("disk.writes");
-        let file_counters = (0..backend.file_count())
+        let file_counters = (0..backend_dyn.file_count())
             .map(|n| {
                 (
                     metrics.counter_handle(&format!("disk.read.f{n}")),
@@ -207,11 +299,11 @@ impl SimDisk {
             })
             .collect();
         let events = EventLog::new();
-        if backend.wal_enabled() {
+        if backend_dyn.wal_enabled() {
             metrics.gauge_set("wal.enabled", 1.0);
-            metrics.gauge_set("wal.len_bytes", backend.wal_len_bytes() as f64);
+            metrics.gauge_set("wal.len_bytes", backend_dyn.wal_len_bytes() as f64);
         }
-        if let Some(stats) = backend.take_recovery_stats() {
+        if let Some(stats) = backend_dyn.take_recovery_stats() {
             metrics.counter_add("wal.recovered.frames", stats.frames);
             metrics.counter_add("wal.recovered.commits", stats.commits);
             metrics.counter_add("wal.recovered.torn_bytes", stats.torn_bytes);
@@ -242,6 +334,8 @@ impl SimDisk {
             c_reads,
             c_writes,
             file_counters: RefCell::new(file_counters),
+            commits_since_ckpt: Cell::new(0),
+            sabotaged: Cell::new(false),
         })
     }
 
@@ -252,49 +346,113 @@ impl SimDisk {
 
     /// Current log length in bytes (0 without a WAL).
     pub fn wal_len_bytes(&self) -> u64 {
-        self.backend.wal_len_bytes()
+        self.backend.as_dyn().wal_len_bytes()
     }
 
-    /// Commit everything written since the last commit: group-flush the
-    /// dirty pages to the log, sync, apply. A no-op `Ok` on backends
-    /// without a WAL. Surfaces `wal.*` counters and charges the group
-    /// flush (one I/O per frame plus the commit frame) into the ledger.
+    /// Committed page images awaiting the checkpointer's data-file
+    /// apply (0 without a WAL).
+    pub fn wal_apply_lag(&self) -> u64 {
+        self.backend.as_dyn().wal_apply_lag()
+    }
+
+    /// Commit everything written since the last commit with the classic
+    /// barrier contract (append + fsync before returning). A no-op `Ok`
+    /// on backends without a WAL.
     pub fn commit(&self) -> Result<CommitStats> {
-        let stats = self.backend.commit()?;
+        self.commit_with(Durability::Barrier)
+    }
+
+    /// Commit with an explicit durability level: [`Durability::Barrier`]
+    /// appends the sealed group and fsyncs it (plus every deferred group
+    /// before it); [`Durability::Deferred`] appends to the group-commit
+    /// buffer only, sharing a later barrier's fsync. Surfaces `wal.*`
+    /// counters and charges the group flush (one I/O per frame plus the
+    /// commit frame) into the ledger; the charge models the log append
+    /// and is durability-independent, so golden ledgers cannot tell the
+    /// two levels apart.
+    pub fn commit_with(&self, durability: Durability) -> Result<CommitStats> {
+        let sabotaged = self.sabotaged.replace(false);
+        let stats = self.backend.as_dyn().commit(durability)?;
         if self.backend.wal_enabled() {
             self.metrics.incr("wal.commits");
             self.metrics.counter_add("wal.frames", stats.frames);
             self.metrics.counter_add("wal.bytes", stats.bytes);
+            self.metrics.counter_add("wal.fsyncs", stats.fsyncs);
+            self.metrics.counter_add("wal.frames_skipped", stats.frames_skipped);
             // Re-stamped (not only set at construction) so a
             // `reset_observability` measurement boundary cannot strip the
             // WAL marker from subsequent reports.
             self.metrics.gauge_set("wal.enabled", 1.0);
-            self.metrics.gauge_set("wal.len_bytes", self.backend.wal_len_bytes() as f64);
+            self.stamp_wal_gauges();
             if stats.frames > 0 {
                 self.cost.io(stats.frames + 1);
+                // Every-N-commits checkpoint policy: bound the log and
+                // the apply backlog off the per-commit path. A sabotaged
+                // commit simulates the process dying inside it — no
+                // background checkpointer gets to run after that.
+                let n = self.commits_since_ckpt.get() + 1;
+                self.commits_since_ckpt.set(n);
+                if n >= AUTO_CHECKPOINT_EVERY && !sabotaged {
+                    self.checkpoint()?;
+                } else if n.is_multiple_of(AUTO_APPLY_EVERY) && !sabotaged && stats.fsyncs > 0 {
+                    // Piggyback the apply on a commit that already
+                    // fsynced the log: the apply's own log seal then
+                    // finds an empty buffer and the whole drain is
+                    // pure page writes. Deferred streams skip this (an
+                    // apply would force the fsync they deferred) and
+                    // stay bounded by the checkpoint interval alone.
+                    self.apply_backlog()?;
+                }
             }
         }
         Ok(stats)
     }
 
-    /// Checkpoint: commit any pending work, sync the data files, and
-    /// truncate the log. A no-op `Ok` on backends without a WAL.
+    /// Apply the committed backlog into the data files without syncing
+    /// them or truncating the log (the cheap, frequent half of a
+    /// checkpoint — one log fsync at most). A no-op `Ok` on backends
+    /// without a WAL.
+    pub fn apply_backlog(&self) -> Result<(u64, u64)> {
+        let (pages, fsyncs) = self.backend.as_dyn().apply_backlog()?;
+        if self.backend.wal_enabled() {
+            self.metrics.incr("wal.applies");
+            self.metrics.counter_add("wal.fsyncs", fsyncs);
+            self.metrics.counter_add("wal.pages_applied", pages);
+            self.stamp_wal_gauges();
+        }
+        Ok((pages, fsyncs))
+    }
+
+    /// Checkpoint: commit any pending work, apply the committed overlay
+    /// to the data files, sync them, and truncate the log. A no-op `Ok`
+    /// on backends without a WAL.
     pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        // Reset the auto-checkpoint countdown first so the routed
+        // commit below cannot re-trigger a checkpoint.
+        self.commits_since_ckpt.set(0);
         // Route the flush through `commit` so its wal.* accounting and
         // ledger charges are identical to a caller-issued commit.
         self.commit()?;
-        let stats = self.backend.checkpoint()?;
+        let stats = self.backend.as_dyn().checkpoint()?;
         if self.backend.wal_enabled() {
             self.metrics.incr("wal.checkpoints");
             self.metrics.counter_add("wal.truncated_bytes", stats.truncated_bytes);
-            self.metrics.gauge_set("wal.len_bytes", self.backend.wal_len_bytes() as f64);
+            self.stamp_wal_gauges();
         }
         Ok(stats)
     }
 
+    /// Re-stamp the WAL state gauges (log length, apply backlog).
+    fn stamp_wal_gauges(&self) {
+        let backend = self.backend.as_dyn();
+        self.metrics.gauge_set("wal.len_bytes", backend.wal_len_bytes() as f64);
+        self.metrics.gauge_set("wal.apply_lag", backend.wal_apply_lag() as f64);
+    }
+
     /// Arm a simulated crash inside the next commit (harness only).
     pub fn sabotage_next_commit(&self, mode: CommitSabotage) {
-        self.backend.sabotage_next_commit(mode);
+        self.sabotaged.set(true);
+        self.backend.as_dyn().sabotage_next_commit(mode);
     }
 
     /// The engine-wide metrics registry (the disk is the one object every
@@ -459,7 +617,7 @@ impl SimDisk {
 
     /// Create a new, empty file.
     pub fn create_file(&self) -> FileId {
-        let id = self.backend.create_file();
+        let id = self.backend.as_dyn().create_file();
         // Intern this file's per-file I/O counters once, here, so the
         // read/write hot paths never format a name again. Resolving a
         // handle does not register the counter: an untouched file still
@@ -474,7 +632,7 @@ impl SimDisk {
     /// Delete a file, releasing its pages and any damage marks on them.
     /// Idempotent.
     pub fn delete_file(&self, file: FileId) {
-        self.backend.delete_file(file);
+        self.backend.as_dyn().delete_file(file);
         self.poisoned.borrow_mut().retain(|&(f, _)| f != file.0);
         self.torn.borrow_mut().retain(|&(f, _)| f != file.0);
     }
@@ -718,7 +876,7 @@ impl SimDisk {
     /// Total pages currently allocated across all live files (for tests and
     /// space reporting).
     pub fn total_pages(&self) -> u64 {
-        self.backend.total_pages()
+        self.backend.as_dyn().total_pages()
     }
 }
 

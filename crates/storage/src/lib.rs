@@ -25,7 +25,7 @@ pub mod pool;
 pub mod wal;
 
 pub use backend::{
-    CheckpointStats, CommitSabotage, CommitStats, FileBackend, MemBackend, PageWrite,
+    CheckpointStats, CommitSabotage, CommitStats, Durability, FileBackend, MemBackend, PageWrite,
     RecoveryStats, StorageBackend,
 };
 pub use disk::{Disk, FaultPlan, FaultSpec, FileId, PageId, SimDisk};

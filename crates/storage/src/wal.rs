@@ -1,22 +1,32 @@
 //! Write-ahead logging: the durability sidecar over [`FileBackend`].
 //!
 //! [`DurableBackend`] wraps a real-file [`FileBackend`] with an
-//! *apply-at-commit* protocol:
+//! *apply-at-checkpoint* protocol built for change-proportional,
+//! batched, overlapped I/O:
 //!
 //! * page writes land in an in-memory **overlay** (uncommitted state) —
-//!   the data files on disk only ever hold committed images;
-//! * [`StorageBackend::commit`] encodes every overlay page as a
-//!   checksummed page-image frame, appends one **commit frame**, flushes
-//!   and syncs the log in a single group write, then applies the images
-//!   to the data files and clears the overlay;
-//! * [`StorageBackend::checkpoint`] syncs the data files and truncates
-//!   the log to zero — the log length is bounded by the work since the
-//!   last checkpoint;
+//!   the data files on disk only ever hold checkpointed images;
+//! * [`StorageBackend::commit`] encodes the overlay as one sealed frame
+//!   group — **skip-clean**: pages whose bytes equal the committed
+//!   image (checksum compare against a per-page FNV cache) are dropped,
+//!   so repeated-touch workloads log only real deltas — and appends it
+//!   to the log. Under [`Durability::Barrier`] the group (plus every
+//!   deferred group before it) is flushed and fsynced before returning;
+//!   under [`Durability::Deferred`] it stays in the **group-commit
+//!   buffer** until the next barrier, so consecutive commits share one
+//!   fsync. Surviving images are promoted to a **committed overlay**
+//!   read layer instead of being applied to the data files;
+//! * [`StorageBackend::checkpoint`] drains the backlog: it seals
+//!   stragglers, applies the committed overlay to the data files, syncs
+//!   them, and truncates the log — eager apply is off the commit hot
+//!   path entirely;
 //! * [`DurableBackend::open`] runs **recovery**: scan the log, replay
 //!   every frame group that is sealed by a valid commit frame (redo is
 //!   idempotent — frames are full page images), and truncate whatever
-//!   torn tail a mid-flush crash left behind; the store then checkpoints
-//!   itself, so a second recovery is a no-op.
+//!   torn tail a mid-flush crash left behind. Deferred groups that
+//!   never reached a barrier were only ever in the in-memory buffer, so
+//!   a crash rolls them back wholesale: recovery always yields a
+//!   *prefix* of sealed groups, never a mix.
 //!
 //! File creation/deletion and page allocation pass straight through to
 //! the inner backend: they are bookkeeping, and any stale files or tail
@@ -36,17 +46,16 @@
 //! tail and is discarded by recovery.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 use trijoin_common::{Error, Result};
 
 use crate::backend::{
-    CheckpointStats, CommitSabotage, CommitStats, FileBackend, PageWrite, RecoveryStats,
-    StorageBackend,
+    CheckpointStats, CommitSabotage, CommitStats, Durability, FileBackend, PageWrite,
+    RecoveryStats, StorageBackend,
 };
 use crate::disk::{FileId, PageId};
 
@@ -54,8 +63,9 @@ use crate::disk::{FileId, PageId};
 const TAG_PAGE: u8 = b'P';
 const TAG_COMMIT: u8 = b'C';
 
-/// FNV-1a 64 — the frame checksum. Not cryptographic; it detects torn
-/// and bit-rotted frames, which is all recovery needs.
+/// FNV-1a 64 — the frame checksum and the skip-clean page fingerprint.
+/// Not cryptographic; it detects torn and bit-rotted frames, which is
+/// all recovery needs.
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -126,11 +136,24 @@ fn decode_frame(log: &[u8], at: usize) -> Option<(Frame, usize)> {
     }
 }
 
-/// A write-ahead log file: append-only batches, each sealed by a commit
-/// frame, group-flushed with one write + one sync.
+/// A write-ahead log file with a group-commit buffer: sealed frame
+/// groups are *appended* to an in-memory buffer (pure memcpy, no
+/// syscall) and a later *sync* flushes every buffered group with one
+/// positional write + one fsync. The handle is opened once and reused —
+/// the commit hot path never reopens the file.
 pub struct Wal {
     path: PathBuf,
-    len: Cell<u64>,
+    file: fs::File,
+    /// Bytes written to the OS file (the buffer flushes at this offset).
+    flushed: Cell<u64>,
+    /// Sealed frame groups not yet flushed+fsynced. Deferred commits
+    /// live only here; dropping the process loses them — which is
+    /// exactly the [`Durability::Deferred`] rollback contract.
+    buf: RefCell<Vec<u8>>,
+    /// Bytes of `flushed` known to be on the device (covered by an
+    /// fdatasync). `synced < flushed` means early-written-back groups
+    /// are waiting for the next barrier's sync.
+    synced: Cell<u64>,
     seq: Cell<u64>,
 }
 
@@ -138,79 +161,136 @@ impl Wal {
     /// Name of the log file inside a store directory.
     pub const FILE_NAME: &'static str = "wal.log";
 
+    /// Buffered deferred groups beyond this many bytes are written to
+    /// the file early — *without* an fsync — so OS writeback can drain
+    /// them in the background between barriers; the sealing sync then
+    /// has little left to wait on. Early writeback is compatible with
+    /// the [`Durability::Deferred`] contract: a deferred group may
+    /// become durable any time up to its sealing barrier, and the log
+    /// stays an in-order group sequence either way.
+    const WRITEBACK_THRESHOLD: usize = 256 * 1024;
+
+    fn open_handle(path: &Path, truncate: bool) -> Result<fs::File> {
+        fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(truncate)
+            .open(path)
+            .map_err(|e| Error::io(format!("open {path:?}"), &e))
+    }
+
     /// Start a fresh (empty) log in `dir`.
     pub fn create(dir: &Path) -> Result<Wal> {
         let path = dir.join(Self::FILE_NAME);
-        fs::write(&path, []).map_err(|e| Error::io(format!("create {path:?}"), &e))?;
-        Ok(Wal { path, len: Cell::new(0), seq: Cell::new(0) })
+        let file = Self::open_handle(&path, true)?;
+        Ok(Wal {
+            path,
+            file,
+            flushed: Cell::new(0),
+            buf: RefCell::new(Vec::new()),
+            synced: Cell::new(0),
+            seq: Cell::new(0),
+        })
     }
 
     /// Open the log in `dir` (created empty if absent).
     pub fn open(dir: &Path) -> Result<Wal> {
         let path = dir.join(Self::FILE_NAME);
-        let len = match fs::metadata(&path) {
-            Ok(m) => m.len(),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                fs::write(&path, []).map_err(|e| Error::io(format!("create {path:?}"), &e))?;
-                0
-            }
-            Err(e) => return Err(Error::io(format!("stat {path:?}"), &e)),
-        };
-        Ok(Wal { path, len: Cell::new(len), seq: Cell::new(0) })
+        let file = Self::open_handle(&path, false)?;
+        let len = file.metadata().map_err(|e| Error::io(format!("stat {path:?}"), &e))?.len();
+        Ok(Wal {
+            path,
+            file,
+            flushed: Cell::new(len),
+            buf: RefCell::new(Vec::new()),
+            // Pre-existing bytes were this store's last session's
+            // problem; recovery re-syncs everything it keeps.
+            synced: Cell::new(len),
+            seq: Cell::new(0),
+        })
     }
 
-    /// Current log length in bytes.
+    /// Current log length in bytes, buffered groups included.
     pub fn len_bytes(&self) -> u64 {
-        self.len.get()
+        self.flushed.get() + self.buf.borrow().len() as u64
     }
 
-    /// Append `batch` (already encoded frames) and sync: the group
-    /// flush. Returns the bytes appended.
-    fn append_synced(&self, batch: &[u8]) -> Result<u64> {
-        let mut f = fs::OpenOptions::new()
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| Error::io(format!("open {:?}", self.path), &e))?;
-        f.write_all(batch).map_err(|e| Error::io("append wal batch", &e))?;
-        f.sync_all().map_err(|e| Error::io("sync wal", &e))?;
-        self.len.set(self.len.get() + batch.len() as u64);
-        Ok(batch.len() as u64)
+    /// Append `batch` (already encoded, sealed frames) to the group
+    /// buffer. No syscall: durability comes from the next [`Wal::sync`].
+    fn append(&self, batch: &[u8]) {
+        self.buf.borrow_mut().extend_from_slice(batch);
     }
 
-    /// Append only a strict byte prefix of `batch` *without* syncing —
-    /// the simulated mid-flush crash that leaves a torn tail.
+    /// Write the buffered groups into the file *without* syncing —
+    /// early writeback the OS drains in the background. Durability
+    /// still comes from the next [`Wal::sync`].
+    fn flush(&self) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        let mut buf = self.buf.borrow_mut();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all_at(&buf, self.flushed.get())
+            .map_err(|e| Error::io("flush wal batch", &e))?;
+        self.flushed.set(self.flushed.get() + buf.len() as u64);
+        buf.clear();
+        Ok(())
+    }
+
+    /// Flush every buffered group with one positional write and fsync
+    /// the log: the group-commit barrier. Returns the fsyncs issued
+    /// (0 when nothing was buffered *and* no early-written-back bytes
+    /// await their sync).
+    fn sync(&self) -> Result<u64> {
+        if self.buf.borrow().is_empty() && self.synced.get() == self.flushed.get() {
+            return Ok(0);
+        }
+        self.flush()?;
+        // `fdatasync`: the appended bytes and the grown file size are
+        // what recovery reads; a timestamp journal flush buys nothing.
+        self.file.sync_data().map_err(|e| Error::io("sync wal", &e))?;
+        self.synced.set(self.flushed.get());
+        Ok(1)
+    }
+
+    /// Flush any buffered groups plus only a strict byte prefix of
+    /// `batch`, *without* syncing — the simulated mid-flush crash that
+    /// leaves a torn tail.
     fn append_torn(&self, batch: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        let mut buf = self.buf.borrow_mut();
         let keep = batch.len() / 2;
-        let mut f = fs::OpenOptions::new()
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| Error::io(format!("open {:?}", self.path), &e))?;
-        f.write_all(&batch[..keep]).map_err(|e| Error::io("append torn wal batch", &e))?;
-        self.len.set(self.len.get() + keep as u64);
+        buf.extend_from_slice(&batch[..keep]);
+        self.file
+            .write_all_at(&buf, self.flushed.get())
+            .map_err(|e| Error::io("append torn wal batch", &e))?;
+        self.flushed.set(self.flushed.get() + buf.len() as u64);
+        buf.clear();
         Ok(())
     }
 
     /// Truncate the log to `len` bytes (recovery discarding a torn tail,
-    /// or a checkpoint resetting it to zero) and sync the truncation.
+    /// or a checkpoint resetting it to zero), discard any buffered
+    /// groups, and sync the truncation.
     fn truncate_to(&self, len: u64) -> Result<()> {
-        let f = fs::OpenOptions::new()
-            .write(true)
-            .open(&self.path)
-            .map_err(|e| Error::io(format!("open {:?}", self.path), &e))?;
-        f.set_len(len).map_err(|e| Error::io("truncate wal", &e))?;
-        f.sync_all().map_err(|e| Error::io("sync wal truncation", &e))?;
-        self.len.set(len);
+        self.buf.borrow_mut().clear();
+        self.file.set_len(len).map_err(|e| Error::io("truncate wal", &e))?;
+        self.file.sync_all().map_err(|e| Error::io("sync wal truncation", &e))?;
+        self.flushed.set(len);
+        self.synced.set(len);
         Ok(())
     }
 
-    /// Read the whole log (recovery scan input).
+    /// Read the whole on-medium log (recovery scan input).
     fn read_all(&self) -> Result<Vec<u8>> {
         fs::read(&self.path).map_err(|e| Error::io(format!("read {:?}", self.path), &e))
     }
 }
 
-/// Uncommitted page images, keyed `(file, page)`. A `BTreeMap` so
-/// commit encodes frames in a deterministic order.
+/// Page images keyed `(file, page)`. A `BTreeMap` so commit encodes
+/// frames in a deterministic order.
 type Overlay = BTreeMap<(u32, u32), Rc<Vec<u8>>>;
 
 /// [`FileBackend`] plus a WAL: atomic, durable commits with crash
@@ -218,7 +298,20 @@ type Overlay = BTreeMap<(u32, u32), Rc<Vec<u8>>>;
 pub struct DurableBackend {
     inner: FileBackend,
     wal: Wal,
+    /// Uncommitted page images.
     overlay: RefCell<Overlay>,
+    /// Committed-but-unapplied page images: the read layer between the
+    /// overlay and the data files. Drained by [`Self::checkpoint`].
+    committed: RefCell<Overlay>,
+    /// FNV fingerprint of each page's committed image — the skip-clean
+    /// cache. A hit means the overlay write re-created identical bytes
+    /// and carries no information for redo.
+    clean: RefCell<HashMap<(u32, u32), u64>>,
+    /// Files dirtied by [`StorageBackend::apply_backlog`] since the
+    /// last checkpoint: the only files a checkpoint has to fsync.
+    dirty: RefCell<BTreeSet<u32>>,
+    /// Reusable frame-group encode buffer (no per-commit allocation).
+    scratch: RefCell<Vec<u8>>,
     /// Stats from the recovery pass `open` ran, consumed once.
     recovery: Cell<Option<RecoveryStats>>,
     /// Armed crash for the next commit (simulation harness).
@@ -226,23 +319,33 @@ pub struct DurableBackend {
 }
 
 impl DurableBackend {
+    fn assemble(inner: FileBackend, wal: Wal, recovery: Option<RecoveryStats>) -> DurableBackend {
+        DurableBackend {
+            inner,
+            wal,
+            overlay: RefCell::new(BTreeMap::new()),
+            committed: RefCell::new(BTreeMap::new()),
+            clean: RefCell::new(HashMap::new()),
+            dirty: RefCell::new(BTreeSet::new()),
+            scratch: RefCell::new(Vec::new()),
+            recovery: Cell::new(recovery),
+            sabotage: Cell::new(None),
+        }
+    }
+
     /// Create a fresh durable store in `dir`.
     pub fn create(dir: &Path, page_size: usize) -> Result<DurableBackend> {
         let inner = FileBackend::create(dir, page_size)?;
         let wal = Wal::create(dir)?;
-        Ok(DurableBackend {
-            inner,
-            wal,
-            overlay: RefCell::new(BTreeMap::new()),
-            recovery: Cell::new(None),
-            sabotage: Cell::new(None),
-        })
+        Ok(Self::assemble(inner, wal, None))
     }
 
     /// Reopen a durable store, running crash recovery: replay committed
     /// frame groups into the data files, discard any torn tail, sync,
     /// and truncate the log (so recovery is idempotent — running it
-    /// again finds an empty log and changes nothing).
+    /// again finds an empty log and changes nothing). Deferred groups
+    /// that never reached a barrier were only buffered in memory, so
+    /// the replayed log is always a clean prefix of sealed groups.
     pub fn open(dir: &Path, page_size: usize) -> Result<DurableBackend> {
         let inner = FileBackend::open(dir, page_size)?;
         let wal = Wal::open(dir)?;
@@ -284,13 +387,7 @@ impl DurableBackend {
         inner.sync_all_files()?;
         wal.truncate_to(0)?;
         let ran = stats.commits > 0 || stats.torn_bytes > 0;
-        Ok(DurableBackend {
-            inner,
-            wal,
-            overlay: RefCell::new(BTreeMap::new()),
-            recovery: Cell::new(ran.then_some(stats)),
-            sabotage: Cell::new(None),
-        })
+        Ok(Self::assemble(inner, wal, ran.then_some(stats)))
     }
 
     /// The store directory.
@@ -312,8 +409,11 @@ impl StorageBackend for DurableBackend {
     fn delete_file(&self, file: FileId) {
         // Deletion passes through: only derived/scratch structures are
         // ever deleted at runtime, and the catalog never names them
-        // across a crash boundary. Drop their uncommitted images too.
+        // across a crash boundary. Drop their uncommitted and
+        // committed-but-unapplied images and fingerprints too.
         self.overlay.borrow_mut().retain(|&(f, _), _| f != file.0);
+        self.committed.borrow_mut().retain(|&(f, _), _| f != file.0);
+        self.clean.borrow_mut().retain(|&(f, _), _| f != file.0);
         self.inner.delete_file(file);
     }
 
@@ -334,9 +434,15 @@ impl StorageBackend for DurableBackend {
     }
 
     fn read_page(&self, pid: PageId) -> Result<Rc<Vec<u8>>> {
-        if let Some(img) = self.overlay.borrow().get(&(pid.file.0, pid.page)) {
+        let key = (pid.file.0, pid.page);
+        if let Some(img) = self.overlay.borrow().get(&key) {
             // Serve uncommitted writes back to their writer — but only
             // for pages that still exist (delete_file purged its keys).
+            return Ok(Rc::clone(img));
+        }
+        if let Some(img) = self.committed.borrow().get(&key) {
+            // Committed but not yet applied to the data file: the
+            // checkpoint backlog is a read layer, not a stall.
             return Ok(Rc::clone(img));
         }
         self.inner.read_page(pid)
@@ -365,61 +471,155 @@ impl StorageBackend for DurableBackend {
         self.wal.len_bytes()
     }
 
-    fn commit(&self) -> Result<CommitStats> {
+    fn wal_apply_lag(&self) -> u64 {
+        self.committed.borrow().len() as u64
+    }
+
+    fn commit(&self, durability: Durability) -> Result<CommitStats> {
+        let sabotage = self.sabotage.take();
         if self.overlay.borrow().is_empty() {
-            self.sabotage.set(None);
+            // Nothing new this commit; a barrier still seals whatever
+            // deferred groups are waiting in the log buffer.
+            if durability == Durability::Barrier {
+                let fsyncs = self.wal.sync()?;
+                return Ok(CommitStats { fsyncs, ..CommitStats::default() });
+            }
             return Ok(CommitStats::default());
         }
-        // Encode the whole group: page frames in (file, page) order,
-        // sealed by one commit frame.
-        let mut batch = Vec::new();
-        let frames = {
-            let overlay = self.overlay.borrow();
-            for (&(file, page), img) in overlay.iter() {
-                encode_page_frame(&mut batch, PageId::new(FileId(file), page), img);
-            }
-            overlay.len() as u64
-        };
-        let seq = self.wal.seq.get() + 1;
-        encode_commit_frame(&mut batch, seq, frames as u32);
 
-        match self.sabotage.take() {
+        // Encode the group into the reusable scratch buffer: page
+        // frames in (file, page) order, sealed by one commit frame.
+        // Skip-clean: a page whose bytes equal its committed image
+        // carries no information for redo and is dropped — unless a
+        // sabotage is armed, where the full group is logged so the
+        // crash corpus stays deterministic.
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clear();
+        let mut skipped = 0u64;
+        let mut sealed: Vec<((u32, u32), u64)> = Vec::new();
+        {
+            let overlay = self.overlay.borrow();
+            let clean = self.clean.borrow();
+            for (&key, img) in overlay.iter() {
+                let sum = fnv64(img);
+                if sabotage.is_none() && clean.get(&key) == Some(&sum) {
+                    skipped += 1;
+                    continue;
+                }
+                encode_page_frame(&mut scratch, PageId::new(FileId(key.0), key.1), img);
+                sealed.push((key, sum));
+            }
+        }
+        let frames = sealed.len() as u64;
+
+        if frames == 0 {
+            // Every page matched its committed image: nothing to log or
+            // promote. A barrier still seals pending deferred groups.
+            self.overlay.borrow_mut().clear();
+            let fsyncs = if durability == Durability::Barrier { self.wal.sync()? } else { 0 };
+            return Ok(CommitStats { frames: 0, bytes: 0, frames_skipped: skipped, fsyncs });
+        }
+
+        let seq = self.wal.seq.get() + 1;
+        encode_commit_frame(&mut scratch, seq, frames as u32);
+        let bytes = scratch.len() as u64;
+
+        match sabotage {
             Some(CommitSabotage::TornWal) => {
                 // Die mid-flush: a byte prefix of the batch reaches the
-                // log, no commit frame, nothing applied. The commit
+                // log, no commit frame, nothing promoted. The commit
                 // fails, and the overlay dies with the "process".
-                self.wal.append_torn(&batch)?;
+                self.wal.append_torn(&scratch)?;
+                drop(scratch);
                 self.overlay.borrow_mut().clear();
                 return Err(Error::io_kind("wal commit", "simulated crash during log flush"));
             }
             Some(CommitSabotage::SkipApply) => {
-                // Die between the log sync and the data-file apply: the
-                // commit IS durable; recovery must redo it. The overlay
-                // dies with the "process".
-                let bytes = self.wal.append_synced(&batch)?;
+                // Die between the log sync and the overlay promotion:
+                // the commit IS durable; recovery must redo it from the
+                // log. The overlay dies with the "process".
+                self.wal.append(&scratch);
+                let fsyncs = self.wal.sync()?;
                 self.wal.seq.set(seq);
+                drop(scratch);
                 self.overlay.borrow_mut().clear();
-                return Ok(CommitStats { frames, bytes });
+                return Ok(CommitStats { frames, bytes, frames_skipped: skipped, fsyncs });
             }
             None => {}
         }
 
-        // A real I/O failure below leaves the overlay in place: nothing
-        // is lost until the caller decides what to do with the error.
-        let bytes = self.wal.append_synced(&batch)?;
+        // Append the sealed group; a barrier flushes and fsyncs every
+        // group buffered since the last one in a single write. A real
+        // I/O failure leaves the overlay in place: nothing is lost
+        // until the caller decides what to do with the error.
+        self.wal.append(&scratch);
+        let fsyncs = match durability {
+            Durability::Barrier => self.wal.sync()?,
+            Durability::Deferred => {
+                if self.wal.buf.borrow().len() >= Wal::WRITEBACK_THRESHOLD {
+                    self.wal.flush()?;
+                }
+                0
+            }
+        };
         self.wal.seq.set(seq);
-        let overlay = std::mem::take(&mut *self.overlay.borrow_mut());
-        for (&(file, page), img) in &overlay {
-            self.inner.write_page(PageId::new(FileId(file), page), PageWrite::Shared(img))?;
+        drop(scratch);
+
+        // Promote the logged images to the committed read layer — the
+        // checkpointer applies them to the data files off the hot path.
+        // Skipped pages already equal their committed image: dropped.
+        let mut overlay = self.overlay.borrow_mut();
+        let mut committed = self.committed.borrow_mut();
+        let mut clean = self.clean.borrow_mut();
+        for (key, sum) in sealed {
+            if let Some(img) = overlay.remove(&key) {
+                clean.insert(key, sum);
+                committed.insert(key, img);
+            }
         }
-        Ok(CommitStats { frames, bytes })
+        overlay.clear();
+        Ok(CommitStats { frames, bytes, frames_skipped: skipped, fsyncs })
+    }
+
+    fn apply_backlog(&self) -> Result<(u64, u64)> {
+        // The log must always cover every image the data files may
+        // hold: seal any buffered deferred groups before a page
+        // leaves the committed overlay, or an OS page-cache flush
+        // could persist images whose commit record a crash erases.
+        let fsyncs = self.wal.sync()?;
+        let mut committed = self.committed.borrow_mut();
+        if committed.is_empty() {
+            return Ok((0, fsyncs));
+        }
+        let mut dirty = self.dirty.borrow_mut();
+        let mut pages = 0u64;
+        for (&(file, page), img) in committed.iter() {
+            self.inner.write_page(PageId::new(FileId(file), page), PageWrite::Shared(img))?;
+            dirty.insert(file);
+            pages += 1;
+        }
+        committed.clear();
+        Ok((pages, fsyncs))
     }
 
     fn checkpoint(&self) -> Result<CheckpointStats> {
-        // Flush any straggling uncommitted work first, then bound the
+        // Seal stragglers first: uncommitted overlay pages and any
+        // deferred groups still in the log buffer.
+        self.commit(Durability::Barrier)?;
+        // Drain the apply backlog into the data files, then bound the
         // log: once the data files are synced the log is redundant.
-        self.commit()?;
-        self.inner.sync_all_files()?;
+        // Only files that received images since the last checkpoint
+        // need an fsync — any other file's on-disk state was already
+        // durable then, and the truncated log holds no frames for it.
+        self.apply_backlog()?;
+        let dirty: Vec<u32> = std::mem::take(&mut *self.dirty.borrow_mut()).into_iter().collect();
+        for file in dirty {
+            // A file applied to and then deleted needs no sync; its
+            // directory entry is gone.
+            if self.inner.num_pages(FileId(file)).is_ok() {
+                self.inner.sync_file(FileId(file))?;
+            }
+        }
         let truncated = self.wal.len_bytes();
         self.wal.truncate_to(0)?;
         Ok(CheckpointStats { truncated_bytes: truncated })
@@ -489,8 +689,16 @@ mod tests {
         // ...but the medium still holds the allocated zero page.
         assert_eq!(b.inner.read_page(pid).unwrap().as_slice(), &[0u8; PS]);
 
-        b.commit().unwrap();
+        // Commit promotes the image to the committed read layer; the
+        // data file is applied lazily, at checkpoint.
+        b.commit(Durability::Barrier).unwrap();
         assert_eq!(b.overlay_pages(), 0);
+        assert_eq!(b.wal_apply_lag(), 1, "committed image awaits the checkpointer");
+        assert_eq!(b.read_page(pid).unwrap().as_slice(), page(0x11).as_slice());
+        assert_eq!(b.inner.read_page(pid).unwrap().as_slice(), &[0u8; PS]);
+
+        b.checkpoint().unwrap();
+        assert_eq!(b.wal_apply_lag(), 0);
         assert_eq!(b.inner.read_page(pid).unwrap().as_slice(), page(0x11).as_slice());
         let _ = fs::remove_dir_all(&dir);
     }
@@ -502,7 +710,7 @@ mod tests {
         let f = b.create_file();
         let pid = b.allocate_page(f).unwrap();
         b.write_page(pid, PageWrite::Borrowed(&page(0xAA))).unwrap();
-        b.commit().unwrap();
+        b.commit(Durability::Barrier).unwrap();
         b.write_page(pid, PageWrite::Borrowed(&page(0xBB))).unwrap();
         drop(b); // crash: overlay (0xBB) dies with the process
 
@@ -519,8 +727,9 @@ mod tests {
         let pid = b.allocate_page(f).unwrap();
         b.write_page(pid, PageWrite::Borrowed(&page(0xCC))).unwrap();
         b.sabotage_next_commit(CommitSabotage::SkipApply);
-        let stats = b.commit().unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
         assert_eq!(stats.frames, 1, "the commit is durable");
+        assert_eq!(stats.fsyncs, 1, "the sealed group reached the medium");
         // The data file never saw the image...
         assert_eq!(b.inner.read_page(pid).unwrap().as_slice(), &[0u8; PS]);
         drop(b);
@@ -548,13 +757,13 @@ mod tests {
         let p0 = b.allocate_page(f).unwrap();
         let p1 = b.allocate_page(f).unwrap();
         b.write_page(p0, PageWrite::Borrowed(&page(0x01))).unwrap();
-        b.commit().unwrap();
+        b.commit(Durability::Barrier).unwrap();
 
         // Second batch dies mid-flush: torn tail after a good commit.
         b.write_page(p0, PageWrite::Borrowed(&page(0x02))).unwrap();
         b.write_page(p1, PageWrite::Borrowed(&page(0x03))).unwrap();
         b.sabotage_next_commit(CommitSabotage::TornWal);
-        let err = b.commit().unwrap_err();
+        let err = b.commit(Durability::Barrier).unwrap_err();
         assert!(matches!(err, Error::Io { .. }), "{err}");
         assert!(b.wal_len_bytes() > 0, "the torn prefix reached the log");
         drop(b);
@@ -580,14 +789,16 @@ mod tests {
         for i in 0..4u8 {
             let pid = b.allocate_page(f).unwrap();
             b.write_page(pid, PageWrite::Borrowed(&page(i))).unwrap();
-            b.commit().unwrap();
+            b.commit(Durability::Barrier).unwrap();
         }
         let len = b.wal_len_bytes();
         assert!(len > 0, "four commits accumulated log bytes");
         let stats = b.checkpoint().unwrap();
         assert_eq!(stats.truncated_bytes, len);
         assert_eq!(b.wal_len_bytes(), 0);
-        // State intact after the truncation.
+        // State intact after the truncation — now straight from the
+        // data files (the committed read layer drained).
+        assert_eq!(b.wal_apply_lag(), 0);
         for i in 0..4u8 {
             let pid = PageId::new(f, i as u32);
             assert_eq!(b.read_page(pid).unwrap().as_slice(), page(i).as_slice());
@@ -599,9 +810,113 @@ mod tests {
     fn empty_commit_is_free() {
         let dir = tmp("empty-commit");
         let b = DurableBackend::create(&dir, PS).unwrap();
-        let stats = b.commit().unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
         assert_eq!(stats, CommitStats::default());
         assert_eq!(b.wal_len_bytes(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skip_clean_drops_rewrites_of_identical_bytes() {
+        let dir = tmp("skip-clean");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let pid = b.allocate_page(f).unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0x11))).unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
+        assert_eq!((stats.frames, stats.frames_skipped), (1, 0), "first image always logs");
+        let len = b.wal_len_bytes();
+
+        // Rewrite the same bytes: the commit logs zero page frames and
+        // the log does not grow.
+        b.write_page(pid, PageWrite::Borrowed(&page(0x11))).unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
+        assert_eq!((stats.frames, stats.frames_skipped), (0, 1));
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(b.wal_len_bytes(), len, "clean rewrite appends nothing");
+        assert_eq!(b.overlay_pages(), 0, "the overlay still drains");
+
+        // Changed-then-reverted: the overlay holds only the final image,
+        // which equals the committed one — nothing is logged.
+        b.write_page(pid, PageWrite::Borrowed(&page(0x22))).unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0x11))).unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
+        assert_eq!((stats.frames, stats.frames_skipped), (0, 1));
+        assert_eq!(b.wal_len_bytes(), len);
+
+        // A genuine change still logs.
+        b.write_page(pid, PageWrite::Borrowed(&page(0x33))).unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
+        assert_eq!((stats.frames, stats.frames_skipped), (1, 0));
+        assert!(b.wal_len_bytes() > len);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deferred_commits_roll_back_without_a_barrier() {
+        let dir = tmp("deferred-rollback");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let pid = b.allocate_page(f).unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0xAA))).unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
+        assert_eq!(stats.fsyncs, 1);
+
+        // A deferred commit appends to the group buffer only: no fsync,
+        // but the image is visible through the committed read layer.
+        b.write_page(pid, PageWrite::Borrowed(&page(0xBB))).unwrap();
+        let stats = b.commit(Durability::Deferred).unwrap();
+        assert_eq!((stats.frames, stats.fsyncs), (1, 0), "deferred commit issues no fsync");
+        assert_eq!(b.read_page(pid).unwrap().as_slice(), page(0xBB).as_slice());
+        drop(b); // crash before any barrier: the buffered group is lost
+
+        let b = DurableBackend::open(&dir, PS).unwrap();
+        assert_eq!(
+            b.read_page(pid).unwrap().as_slice(),
+            page(0xAA).as_slice(),
+            "the deferred commit rolled back to the last barrier"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn barrier_seals_every_deferred_group_with_one_fsync() {
+        let dir = tmp("deferred-seal");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let p0 = b.allocate_page(f).unwrap();
+        let p1 = b.allocate_page(f).unwrap();
+        b.write_page(p0, PageWrite::Borrowed(&page(0xBB))).unwrap();
+        assert_eq!(b.commit(Durability::Deferred).unwrap().fsyncs, 0);
+        b.write_page(p1, PageWrite::Borrowed(&page(0xCC))).unwrap();
+        let stats = b.commit(Durability::Barrier).unwrap();
+        assert_eq!(stats.fsyncs, 1, "one fsync seals both groups");
+        drop(b); // crash after the barrier: everything survives
+
+        let b = DurableBackend::open(&dir, PS).unwrap();
+        let stats = b.take_recovery_stats().expect("recovery ran");
+        assert_eq!(stats.commits, 2, "both sealed groups replayed");
+        assert_eq!(b.read_page(p0).unwrap().as_slice(), page(0xBB).as_slice());
+        assert_eq!(b.read_page(p1).unwrap().as_slice(), page(0xCC).as_slice());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_barrier_commit_seals_pending_deferred_groups() {
+        let dir = tmp("empty-barrier");
+        let b = DurableBackend::create(&dir, PS).unwrap();
+        let f = b.create_file();
+        let pid = b.allocate_page(f).unwrap();
+        b.write_page(pid, PageWrite::Borrowed(&page(0xDD))).unwrap();
+        assert_eq!(b.commit(Durability::Deferred).unwrap().fsyncs, 0);
+        // No new writes: the barrier has nothing to log but must still
+        // flush the buffered group.
+        let stats = b.commit(Durability::Barrier).unwrap();
+        assert_eq!((stats.frames, stats.fsyncs), (0, 1));
+        drop(b);
+
+        let b = DurableBackend::open(&dir, PS).unwrap();
+        assert_eq!(b.read_page(pid).unwrap().as_slice(), page(0xDD).as_slice());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::path::PathBuf;
 
-use trijoin::{Database, Mutation, SystemParams};
+use trijoin::{Database, Durability, Mutation, SystemParams};
 use trijoin_check::{generate, run_script, CheckConfig, GenConfig};
 use trijoin_common::{BaseTuple, Surrogate, ViewTuple};
 use trijoin_exec::oracle;
@@ -146,6 +146,80 @@ fn double_recovery_is_idempotent() {
     let mut hh = second.hybrid_hash();
     assert_eq!(canon(second.query(&mut hh).unwrap()), answer);
     assert_all_strategies_agree(&second, &committed, &s0);
+}
+
+/// Group commit's crash contract: a [`Durability::Deferred`] commit is
+/// buffered, not fsynced — dying before a barrier rolls it back cleanly,
+/// while a later barrier seals every buffered group at once.
+#[test]
+fn deferred_commits_roll_back_unless_a_barrier_seals_them() {
+    let dir = fresh_dir("deferred");
+    let (r0, s0) = (tuples(40, 0), tuples(30, 0));
+    let committed = r0.clone();
+    let mut db = Database::create_durable(&params(), r0, s0.clone(), &dir).unwrap();
+
+    // A deferred batch reaches the log buffer only: no fsync, and a
+    // crash before any barrier loses the whole group, not part of it.
+    let mut lost = committed.clone();
+    apply_batch(&mut db, &mut lost, 1000);
+    let stats = db.commit_with(Durability::Deferred).unwrap();
+    assert!(stats.frames > 0, "the deferred group carries page frames");
+    assert_eq!(stats.fsyncs, 0, "a deferred commit must not fsync");
+    drop(db); // crash before the barrier: the group never reached disk
+
+    let mut db = Database::open_durable(&params(), &dir).unwrap();
+    assert_all_strategies_agree(&db, &committed, &s0);
+
+    // Deferred then Barrier: the barrier seals *both* groups in one
+    // fsync, and both survive the next crash.
+    let mut sealed = committed.clone();
+    apply_batch(&mut db, &mut sealed, 2000);
+    db.commit_with(Durability::Deferred).unwrap();
+    apply_batch(&mut db, &mut sealed, 3000);
+    let barrier = db.commit().unwrap();
+    assert!(barrier.fsyncs >= 1, "the barrier seals the buffered groups");
+    drop(db);
+
+    let db = Database::open_durable(&params(), &dir).unwrap();
+    assert!(
+        db.metrics().counter("wal.recovered.commits") >= 2,
+        "recovery replays both groups the barrier sealed"
+    );
+    assert_all_strategies_agree(&db, &sealed, &s0);
+}
+
+/// Skip-clean framing at the database level: every durable commit
+/// rewrites the catalog, but when its bytes match the committed image
+/// the page is dropped from the group — a no-op commit logs nothing.
+#[test]
+fn skip_clean_framing_drops_byte_identical_pages() {
+    let dir = fresh_dir("skip-clean");
+    let (r0, s0) = (tuples(40, 0), tuples(30, 0));
+    let mut committed = r0.clone();
+    let mut db = Database::create_durable(&params(), r0, s0.clone(), &dir).unwrap();
+    apply_batch(&mut db, &mut committed, 1000);
+    let first = db.commit().unwrap();
+    assert!(first.frames > 0, "a real batch seals page frames");
+
+    // Nothing changed since: the catalog rewrite is byte-identical to
+    // its committed image, so the whole group collapses to zero bytes.
+    let noop = db.commit().unwrap();
+    assert_eq!(noop.frames, 0, "a no-op commit must log no page frames");
+    assert_eq!(noop.bytes, 0, "a no-op commit must append no log bytes");
+    assert!(noop.frames_skipped > 0, "the clean catalog pages are skipped, not logged");
+    assert!(
+        db.metrics().counter("wal.frames_skipped") >= noop.frames_skipped,
+        "skipped frames surface in the wal.* accounting"
+    );
+
+    // Skipping clean pages must not weaken recovery: the next real
+    // batch commits, and a crash replays to the full committed state.
+    apply_batch(&mut db, &mut committed, 2000);
+    assert!(db.commit().unwrap().frames > 0);
+    drop(db);
+
+    let db = Database::open_durable(&params(), &dir).unwrap();
+    assert_all_strategies_agree(&db, &committed, &s0);
 }
 
 /// Checkpoints bound the log: after `checkpoint()` the WAL is empty, the

@@ -1,0 +1,122 @@
+//! Torn-tail fuzz: truncate the write-ahead log at **every byte offset**
+//! and prove recovery always lands on a prefix of committed states.
+//!
+//! The durable contract is prefix-atomicity: a crash may lose the last
+//! commit groups (a torn tail is truncated; deferred groups that never
+//! reached a barrier simply are not in the file), but it must never
+//! surface a *mix* — some pages from commit `n+1` alongside commit `n`'s
+//! view. This harness makes that exhaustive for a multi-commit group
+//! file: every possible crash point in the log, byte by byte, reopens
+//! the store and checks the recovered image against the exact state the
+//! longest sealed prefix defines.
+//!
+//! It also pins a structural property of group commit: a run that
+//! commits with `Durability::Deferred` and seals once at the end writes
+//! the **byte-identical** log a barrier-per-commit run writes — deferred
+//! durability moves *when* bytes reach disk, never *what* bytes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use trijoin_storage::{Durability, DurableBackend, FileId, PageId, PageWrite, StorageBackend, Wal};
+
+const PS: usize = 256;
+/// Commit groups in the log; commit `k` (1-based) rewrites page 0 and
+/// writes page `k`, both filled with byte `k` — so every commit is
+/// visible at two places and a half-applied group cannot hide.
+const COMMITS: u8 = 4;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trijoin-walfuzz-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build the store: `COMMITS` groups under the given cadence, returning
+/// the cumulative log length after each sealed group (`cum[0] == 0`).
+/// Under `Deferred` a final empty barrier seals the buffered groups.
+fn build(dir: &Path, durability: Durability) -> (FileId, Vec<u64>) {
+    let backend = DurableBackend::create(dir, PS).unwrap();
+    let file = backend.create_file();
+    for _ in 0..=COMMITS as u32 {
+        backend.allocate_page(file).unwrap();
+    }
+    let mut cum = vec![0u64];
+    for k in 1..=COMMITS {
+        let img = vec![k; PS];
+        backend.write_page(PageId::new(file, 0), PageWrite::Borrowed(&img)).unwrap();
+        backend.write_page(PageId::new(file, k as u32), PageWrite::Borrowed(&img)).unwrap();
+        let stats = backend.commit(durability).unwrap();
+        assert_eq!(stats.frames, 2, "commit {k} must log both distinct pages");
+        cum.push(cum.last().unwrap() + stats.bytes);
+    }
+    if durability == Durability::Deferred {
+        let seal = backend.commit(Durability::Barrier).unwrap();
+        assert_eq!((seal.frames, seal.fsyncs), (0, 1), "one fsync seals every deferred group");
+    }
+    assert_eq!(backend.wal_len_bytes(), *cum.last().unwrap());
+    (file, cum)
+}
+
+/// Copy the store into a fresh directory with its log truncated to
+/// `log_len` — the on-disk image an OS crash at that byte would leave
+/// (data files untouched: nothing was checkpointed).
+fn crashed_copy(src: &Path, dst: &Path, log_len: u64) {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    let log = fs::OpenOptions::new().write(true).open(dst.join(Wal::FILE_NAME)).unwrap();
+    log.set_len(log_len).unwrap();
+}
+
+#[test]
+fn recovery_from_every_truncation_offset_is_a_committed_prefix() {
+    let src = tmp("src");
+    let (file, cum) = build(&src, Durability::Barrier);
+    let total = *cum.last().unwrap();
+    let crash = tmp("crash");
+
+    for len in 0..=total {
+        crashed_copy(&src, &crash, len);
+        let backend = DurableBackend::open(&crash, PS).unwrap();
+        // The longest sealed prefix the truncated log still contains.
+        let n = cum.iter().rposition(|&end| end <= len).unwrap() as u8;
+
+        let stats = backend.take_recovery_stats().unwrap_or_default();
+        assert_eq!(stats.commits, n as u64, "len {len}: wrong replay depth");
+        assert_eq!(stats.frames, 2 * n as u64, "len {len}: wrong frame count");
+        assert_eq!(stats.torn_bytes, len - cum[n as usize], "len {len}: wrong torn tail");
+
+        // Page 0 shows the *last* sealed commit, pages 1..=k exactly the
+        // sealed ones, later pages still zero — a prefix state, no mix.
+        let want_head = vec![n; PS];
+        assert_eq!(
+            *backend.read_page(PageId::new(file, 0)).unwrap(),
+            if n == 0 { vec![0u8; PS] } else { want_head },
+            "len {len}: page 0 is not commit {n}'s image"
+        );
+        for k in 1..=COMMITS {
+            let want = if k <= n { vec![k; PS] } else { vec![0u8; PS] };
+            assert_eq!(
+                *backend.read_page(PageId::new(file, k as u32)).unwrap(),
+                want,
+                "len {len}: page {k} mixes commit states (prefix is {n})"
+            );
+        }
+    }
+}
+
+#[test]
+fn deferred_group_commit_writes_the_same_log_bytes_as_barriers() {
+    let barrier = tmp("cadence-barrier");
+    let deferred = tmp("cadence-deferred");
+    let (_, cum_b) = build(&barrier, Durability::Barrier);
+    let (_, cum_d) = build(&deferred, Durability::Deferred);
+    assert_eq!(cum_b, cum_d, "group boundaries must not depend on the commit cadence");
+    let log_b = fs::read(barrier.join(Wal::FILE_NAME)).unwrap();
+    let log_d = fs::read(deferred.join(Wal::FILE_NAME)).unwrap();
+    assert_eq!(log_b, log_d, "deferred commits must change when bytes land, not which bytes");
+}
