@@ -99,6 +99,21 @@ echo "==> simulation gate"
 cargo run --release -q -p trijoin-check --bin trijoin -- check --corpus tests/corpus
 cargo run --release -q -p trijoin-check --bin trijoin -- check --seed 2026 --ops 160
 
+echo "==> adaptive-serving gate"
+# Online strategy migration: a fresh adversarial script (hot-key zipf
+# traffic shaped to force migrations) must stay oracle-green at every
+# checkpoint with migrations in flight, and an adaptive serve report
+# must carry the migrate.* accounting that report-validate requires
+# whenever serve.adaptive is set.
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    check --adversary zipf --seed 2028 --ops 120
+cargo run --release -q -p trijoin-check --bin trijoin -- \
+    serve --shards 4 --clients 3 --batch 16 --queries 3 \
+    --scale 300 --adaptive --report "$report" > /dev/null
+grep -q '"migrate.count"' "$report" || { echo "adaptive serve report lacks migrate.count"; exit 1; }
+cargo run --release -q -p trijoin-check --bin trijoin -- report-validate "$report"
+rm -f "$report"
+
 echo "==> crash-recovery gate"
 # Durability end to end on the real file backend: a fresh crash-heavy
 # script (seeded kills mid-batch: cold drops, torn WAL tails, sealed-but-

@@ -197,7 +197,17 @@ fn query_cycle(method: Method, scale: &Scale, wal: bool) -> Row {
 /// `barrier` keeps the server non-durable but still commits every round:
 /// that row pins the no-op cost of the barrier machinery itself, i.e.
 /// "turning durability off really pays zero durability overhead".
-fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool, barrier: bool) -> Row {
+/// `adaptive` turns on the per-shard strategy controller (§17): its row
+/// prices the steady-state monitoring — signal windows, skew sketch,
+/// per-epoch re-pricing — against the pinned-strategy row.
+fn serve_qps(
+    shards: usize,
+    scale: &Scale,
+    telemetry: bool,
+    wal: bool,
+    barrier: bool,
+    adaptive: bool,
+) -> Row {
     const CLIENTS: usize = 4;
     let spec = WorkloadSpec {
         r_tuples: scale.serve_tuples,
@@ -213,7 +223,8 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool, barrier: 
     let gen = spec.generate();
     let updates_per_query = gen.updates_per_epoch();
 
-    let mut config = ServeConfig { batch: 32, seed: 42, ..ServeConfig::new(params, shards) };
+    let mut config =
+        ServeConfig { batch: 32, seed: 42, adaptive, ..ServeConfig::new(params, shards) };
     if !telemetry {
         config.telemetry = None;
     }
@@ -258,12 +269,13 @@ fn serve_qps(shards: usize, scale: &Scale, telemetry: bool, wal: bool, barrier: 
         session.sync().expect("seal deferred barriers");
     }
     let wall = started.elapsed().as_secs_f64();
-    let bench = match (shards, telemetry, wal, barrier) {
-        (_, _, true, _) => "serve_qps_4shard_wal",
-        (_, _, _, true) => "serve_qps_4shard_barrier",
-        (1, _, _, _) => "serve_qps_1shard",
-        (_, true, _, _) => "serve_qps_4shard",
-        (_, false, _, _) => "serve_qps_4shard_notel",
+    let bench = match (shards, telemetry, wal, barrier, adaptive) {
+        (_, _, true, _, _) => "serve_qps_4shard_wal",
+        (_, _, _, true, _) => "serve_qps_4shard_barrier",
+        (_, _, _, _, true) => "serve_qps_4shard_adaptive",
+        (1, _, _, _, _) => "serve_qps_1shard",
+        (_, true, _, _, _) => "serve_qps_4shard",
+        (_, false, _, _, _) => "serve_qps_4shard_notel",
     };
     Row { bench, secs: wall, iters: done, qps: Some(done as f64 / wall.max(1e-9)) }
 }
@@ -410,17 +422,22 @@ fn main() {
         println!("{:>20}  {:>11.4}s  {:>6}  {:>10}", row.bench, row.secs, row.iters, "-");
         rows.push(row);
     }
-    for (shards, telemetry, wal, barrier) in [
-        (1usize, true, false, false),
-        (4, true, false, false),
-        (4, false, false, false),
-        (4, true, false, true),
-        (4, true, true, false),
+    for (shards, telemetry, wal, barrier, adaptive) in [
+        (1usize, true, false, false, false),
+        (4, true, false, false, false),
+        (4, false, false, false, false),
+        (4, true, false, true, false),
+        (4, true, false, false, true),
+        (4, true, true, false, false),
     ] {
         let row = if wal {
-            median3((0..3).map(|_| serve_qps(shards, &scale, telemetry, wal, barrier)).collect())
+            median3(
+                (0..3)
+                    .map(|_| serve_qps(shards, &scale, telemetry, wal, barrier, adaptive))
+                    .collect(),
+            )
         } else {
-            serve_qps(shards, &scale, telemetry, wal, barrier)
+            serve_qps(shards, &scale, telemetry, wal, barrier, adaptive)
         };
         println!(
             "{:>20}  {:>11.4}s  {:>6}  {:>10.1}",
@@ -443,6 +460,22 @@ fn main() {
              {without_tel:.1} off)",
             (with_tel / without_tel - 1.0) * 100.0
         );
+    }
+    // Adaptive monitoring overhead: the §17 acceptance bar is that the
+    // per-shard controller (signal windows, skew sketch, re-pricing)
+    // costs <20% of pinned-strategy throughput in steady state. Gated
+    // alongside the baseline comparison so CI fails if it slides.
+    let adaptive_qps = qps_of("serve_qps_4shard_adaptive");
+    if with_tel > 0.0 && adaptive_qps > 0.0 {
+        println!(
+            "adaptive overhead at 4 shards: {:+.2}% qps ({adaptive_qps:.1} adaptive vs \
+             {with_tel:.1} pinned)",
+            (adaptive_qps / with_tel - 1.0) * 100.0
+        );
+        if gate_pct.is_some() && !smoke && adaptive_qps < with_tel * 0.8 {
+            eprintln!("bench-regression gate FAILED: serve_qps_4shard_adaptive vs pinned");
+            std::process::exit(1);
+        }
     }
 
     let json = Json::obj()

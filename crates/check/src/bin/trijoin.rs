@@ -16,18 +16,21 @@
 //! trijoin serve --shards 4 --clients 4 --batch 64 --queries 10
 //!               [--scale 200] [--sr 0.01] [--activity 0.06] [--pra 0.1]
 //!               [--mem 80] [--strategy mv|ji|hh] [--seed 42] [--report <path>]
-//!               [--durable <dir>] [--deferred]
+//!               [--durable <dir>] [--deferred] [--adaptive]
 //!     run the sharded serving layer on a scaled paper workload: clients
 //!     submit batched updates between queries, answers are checked against
 //!     the single-engine oracle, and `--report` writes the per-shard
 //!     reports plus their rollup as JSON; `--durable <dir>` gives every
 //!     shard a WAL-backed store with a commit barrier per query round, and
 //!     `--deferred` makes those barriers group-commit (append per round,
-//!     one coalesced fsync per shard at the next seal)
+//!     one coalesced fsync per shard at the next seal); `--adaptive` lets
+//!     every shard pick and *migrate* its own strategy online from the §3
+//!     cost model (the `--strategy` flag then only names the advisory
+//!     method; answers are still oracle-checked every query)
 //! trijoin top --shards 4 --clients 4 [--batch 64] [--ring 1024]
 //!             [--scale 200] [--queries 4] [--refreshes 0] [--mem 80]
 //!             [--strategy mv|ji|hh] [--seed 42] [--once] [--json]
-//!             [--report <path>] [--durable <dir>] [--deferred]
+//!             [--report <path>] [--durable <dir>] [--deferred] [--adaptive]
 //!     live serving-stack monitor: spawns a server plus client traffic and
 //!     renders qps, latency percentiles, ring backpressure, pool hit rate,
 //!     per-shard update/query ratio and key skew, cost-drift counts, and
@@ -35,7 +38,9 @@
 //!     exits; `--json` emits the sharded run report as JSON (scriptable,
 //!     `report-validate`-clean) instead of the dashboard; `--durable`/
 //!     `--deferred` mirror `trijoin serve` and add a `wal` dashboard row
-//!     (commits, fsyncs, skip-clean frames, apply lag, log bytes)
+//!     (commits, fsyncs, skip-clean frames, apply lag, log bytes);
+//!     `--adaptive` turns on per-shard online strategy migration and adds
+//!     a per-shard strategy/migration-state column plus a `migrate` row
 //! trijoin report-validate <path> [--min-series-windows <n>]
 //!     check that <path> holds a well-formed report (CI schema gate); the
 //!     schema is sniffed: a run report, a sharded serve report (per-shard
@@ -45,6 +50,7 @@
 //!     least that many closed windows
 //! trijoin check --seed 7 --ops 160 [--shards 1,2,4] [--batch 8] [--mem 64]
 //!               [--crash-pct <n>] [--durable <dir>] [--emit <path>]
+//!               [--adversary bursty|zipf|phase|imbalance] [--adaptive]
 //!               [--out <path>] | --corpus <dir>
 //!     deterministic simulation check: generate a workload script from the
 //!     seed, replay it against MV/JI/HH, the brute-force oracle, and the
@@ -55,7 +61,12 @@
 //!     chosen when none is given), `--emit` writes the generated script for
 //!     corpus curation, and `--corpus <dir>` instead replays every
 //!     committed `*.json` script in the directory (crash-bearing scripts
-//!     get a scratch durable root automatically)
+//!     get a scratch durable root automatically). `--adversary <shape>`
+//!     generates shaped traffic (update bursts, zipf skew, phase flips,
+//!     or shard imbalance) and implies `--adaptive`, which adds a second
+//!     serving fleet per shard count running online strategy migration —
+//!     checked against the same oracle at every checkpoint, with a
+//!     flapping cap on per-shard migration counts
 //! trijoin repro <file>
 //!     replay a JSON repro file produced by `trijoin check`
 //! ```
@@ -68,12 +79,12 @@ use std::process::ExitCode;
 
 use trijoin::{Advisor, Database, JoinStrategy, Method, SystemParams, Workload, WorkloadSpec};
 use trijoin_check::{generate, run_script, shrink, CheckConfig, GenConfig};
-use trijoin_common::{ModelDelta, RunReport, Script};
+use trijoin_common::{AdversaryShape, ModelDelta, RunReport, Script};
 use trijoin_model::all_costs;
 use trijoin_serve::{ClientTraffic, ServeConfig, Server};
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["trace", "once", "json", "deferred"];
+const BOOL_FLAGS: &[&str] = &["trace", "once", "json", "deferred", "adaptive"];
 
 struct Args {
     flags: HashMap<String, String>,
@@ -123,7 +134,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>] [--durable <dir>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n                 [--durable <dir>] [--deferred]\n  trijoin top    --shards <n> --clients <n> [--batch <n>] [--ring <n>]\n                 [--scale <n>] [--queries <n>] [--refreshes <n>] [--mem <pages>]\n                 [--strategy mv|ji|hh] [--seed <n>] [--once] [--json] [--report <path>]\n                 [--durable <dir>] [--deferred]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--crash-pct <n>] [--durable <dir>]\n                 [--emit <path>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path> [--min-series-windows <n>]"
+    "usage:\n  trijoin advise --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin model  --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n  trijoin run    --scale <n> --sr <f> --activity <f> [--pra <f>] [--mem <pages>]\n                 [--strategy mv|ji|hh|eager|all] [--seed <n>] [--epochs <n>]\n                 [--trace] [--report <path>] [--durable <dir>]\n  trijoin serve  --shards <n> --clients <n> --batch <n> --queries <n>\n                 [--scale <n>] [--sr <f>] [--activity <f>] [--pra <f>]\n                 [--mem <pages>] [--strategy mv|ji|hh] [--seed <n>] [--report <path>]\n                 [--durable <dir>] [--deferred] [--adaptive]\n  trijoin top    --shards <n> --clients <n> [--batch <n>] [--ring <n>]\n                 [--scale <n>] [--queries <n>] [--refreshes <n>] [--mem <pages>]\n                 [--strategy mv|ji|hh] [--seed <n>] [--once] [--json] [--report <path>]\n                 [--durable <dir>] [--deferred] [--adaptive]\n  trijoin check  --seed <n> --ops <n> [--shards <a,b,c>] [--batch <n>]\n                 [--mem <pages>] [--crash-pct <n>] [--durable <dir>]\n                 [--adversary bursty|zipf|phase|imbalance] [--adaptive]\n                 [--emit <path>] [--out <path>] | --corpus <dir>\n  trijoin repro  <file>\n  trijoin report-validate <path> [--min-series-windows <n>]"
 }
 
 fn main() -> ExitCode {
@@ -401,12 +412,14 @@ fn serve(args: &Args) -> Result<(), String> {
     }
     let durability =
         if deferred { trijoin_storage::Durability::Deferred } else { Default::default() };
+    let adaptive = args.flag("adaptive");
     let config = ServeConfig {
         batch,
         ring,
         seed,
         durable_dir,
         durability,
+        adaptive,
         ..ServeConfig::new(params, shards)
     };
     let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
@@ -415,8 +428,9 @@ fn serve(args: &Args) -> Result<(), String> {
     let updates_per_query = gen.updates_per_epoch();
     println!(
         "serve: ‖R‖=‖S‖={} shards={shards} clients={clients} batch={batch} ring={ring} \
-         strategy={method} ‖iR‖={updates_per_query}/query{}",
+         strategy={} ‖iR‖={updates_per_query}/query{}",
         gen.r.len(),
+        if adaptive { "adaptive".to_string() } else { method.to_string() },
         match (durable, deferred) {
             (true, true) => " (durable, deferred commits)",
             (true, false) => " (durable)",
@@ -479,12 +493,48 @@ fn serve(args: &Args) -> Result<(), String> {
             rollup.metrics.gauge("wal.apply_lag").unwrap_or(0.0),
         );
     }
+    if adaptive {
+        println!(
+            "migrate: {} switches over {} steps, {} pages rebuilt, {} rollbacks; \
+             per-shard strategies [{}]",
+            rollup.metrics.counter("migrate.count"),
+            rollup.metrics.counter("migrate.steps"),
+            rollup.metrics.counter("migrate.rebuild_pages"),
+            rollup.metrics.counter("migrate.rollbacks"),
+            report
+                .shards
+                .iter()
+                .map(|s| shard_strategy_label(&s.metrics))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
     if let Some(path) = args.opt_str("report") {
         std::fs::write(&path, report.to_json().pretty())
             .map_err(|e| format!("--report {path}: {e}"))?;
         println!("sharded run report written to {path}");
     }
     Ok(())
+}
+
+/// Compact per-shard strategy cell for adaptive output: the method the
+/// shard currently serves with (the `shard.strategy` gauge indexes
+/// [`Method::all`]) plus any in-flight migration phase, e.g. `ji+build`.
+fn shard_strategy_label(m: &trijoin_common::MetricsSnapshot) -> String {
+    let Some(idx) = m.gauge("shard.strategy") else {
+        return "-".to_string();
+    };
+    let strategy = match Method::all().get(idx as usize) {
+        Some(Method::MaterializedView) => "mv",
+        Some(Method::JoinIndex) => "ji",
+        Some(Method::HybridHash) => "hh",
+        None => "?",
+    };
+    match m.gauge("shard.migration_state").unwrap_or(0.0) as u64 {
+        1 => format!("{strategy}+build"),
+        2 => format!("{strategy}+drain"),
+        _ => strategy.to_string(),
+    }
 }
 
 /// `trijoin report-validate <path>` — the CI schema gate, implemented in
@@ -549,12 +599,14 @@ fn top(args: &Args) -> Result<(), String> {
     }
     let durability =
         if deferred { trijoin_storage::Durability::Deferred } else { Default::default() };
+    let adaptive = args.flag("adaptive");
     let config = ServeConfig {
         batch,
         ring,
         seed,
         durable_dir,
         durability,
+        adaptive,
         ..ServeConfig::new(params, shards)
     };
     let server = Server::start(&config, gen.r.clone(), gen.s.clone()).map_err(err)?;
@@ -618,7 +670,12 @@ fn render_top_frame(
     let rollup = &report.rollup;
     let m = &rollup.metrics;
     let gauge = |name: &str| m.gauge(name).unwrap_or(0.0);
-    println!("trijoin top — frame {frame}: {} shards, strategy {method}", report.shards.len());
+    let adaptive = gauge("serve.adaptive") >= 1.0;
+    println!(
+        "trijoin top — frame {frame}: {} shards, strategy {}",
+        report.shards.len(),
+        if adaptive { "adaptive".to_string() } else { method.to_string() }
+    );
     println!(
         "  qps {qps:>8.1}   p50 {:>7.0}us   p99 {:>7.0}us   ring cap {:>5.0} \
          ({:.0} full-waits)   pool hit {:>5.1}%",
@@ -644,17 +701,32 @@ fn render_top_frame(
             gauge("wal.len_bytes"),
         );
     }
+    if adaptive {
+        // Rollup migration accounting: switches completed, incremental
+        // steps taken, pages written into migration targets, rollbacks
+        // (faults or S-churn landing mid-migration).
+        println!(
+            "  migrate  switches {:>4}   steps {:>6}   rebuilt {:>7} pages   rollbacks {:>3}",
+            m.counter("migrate.count"),
+            m.counter("migrate.steps"),
+            m.counter("migrate.rebuild_pages"),
+            m.counter("migrate.rollbacks"),
+        );
+    }
     let mean_r = safe_div(
         report.shards.iter().map(|s| s.metrics.gauge("shard.r_tuples").unwrap_or(0.0)).sum(),
         report.shards.len() as f64,
     );
-    println!("  shard   r_tuples   s_tuples   upd/query   skew   drift");
+    let strategy_header = if adaptive { "   strategy" } else { "" };
+    println!("  shard   r_tuples   s_tuples   upd/query   skew   drift{strategy_header}");
     for shard in &report.shards {
         let sm = &shard.metrics;
         let drift =
             shard.events.iter().filter(|e| e.kind == trijoin_common::EventKind::CostDrift).count();
+        let strategy =
+            if adaptive { format!("   {:>8}", shard_strategy_label(sm)) } else { String::new() };
         println!(
-            "  {:>5}   {:>8.0}   {:>8.0}   {:>9.1}   {:>4.2}   {drift:>5}",
+            "  {:>5}   {:>8.0}   {:>8.0}   {:>9.1}   {:>4.2}   {drift:>5}{strategy}",
             shard.name.trim_start_matches("shard"),
             sm.gauge("shard.r_tuples").unwrap_or(0.0),
             sm.gauge("shard.s_tuples").unwrap_or(0.0),
@@ -690,7 +762,23 @@ fn check(args: &Args) -> Result<(), String> {
         return check_corpus(&dir, &cfg);
     }
     let seed = args.u64("seed", 42)?;
-    let mut gen_cfg = GenConfig::new(seed, args.u64("ops", 160)? as usize);
+    let ops = args.u64("ops", 160)? as usize;
+    let mut gen_cfg = match args.opt_str("adversary") {
+        // A shaped stream without adaptive replay would stress nothing:
+        // --adversary therefore implies --adaptive.
+        Some(name) => match AdversaryShape::from_wire(&name) {
+            Some(shape) => GenConfig::adversarial(seed, ops, shape),
+            None => {
+                return Err(format!(
+                    "--adversary: unknown shape {name:?} (bursty|zipf|phase|imbalance)"
+                ))
+            }
+        },
+        None => GenConfig::new(seed, ops),
+    };
+    if args.flag("adaptive") {
+        gen_cfg.adaptive = true;
+    }
     gen_cfg.batch = args.u64("batch", gen_cfg.batch as u64)? as usize;
     gen_cfg.crash_pct = args.u64("crash-pct", 0)? as u32;
     if gen_cfg.crash_pct > 100 {
@@ -714,11 +802,16 @@ fn check(args: &Args) -> Result<(), String> {
     }
     let script = generate(&gen_cfg);
     println!(
-        "check: script {} — {} ops, {} checkpoints, shards {:?}",
+        "check: script {} — {} ops, {} checkpoints, shards {:?}{}{}",
         script.name,
         script.ops.len(),
         script.checkpoints(),
-        script.shard_counts
+        script.shard_counts,
+        match &script.spec.adversary {
+            Some(a) => format!(", adversary {}", a.shape.as_str()),
+            None => String::new(),
+        },
+        if script.spec.adaptive { ", adaptive" } else { "" }
     );
     if let Some(path) = args.opt_str("emit") {
         std::fs::write(&path, script.to_json_string())
@@ -736,6 +829,19 @@ fn check(args: &Args) -> Result<(), String> {
                 outcome.faults_installed,
                 outcome.crashes
             );
+            if script.spec.adaptive {
+                let per: Vec<String> = outcome
+                    .migrations_by_server
+                    .iter()
+                    .map(|(shards, n)| format!("{shards}-shard:{n}"))
+                    .collect();
+                println!(
+                    "adaptive ok: {} migrations ({} rollbacks) under the same oracle [{}]",
+                    outcome.migrations,
+                    outcome.migration_rollbacks,
+                    per.join(" ")
+                );
+            }
             Ok(())
         }
         Err(failure) => {
@@ -776,8 +882,16 @@ fn check_corpus(dir: &str, cfg: &CheckConfig) -> Result<(), String> {
         let cfg = durable_cfg_for(&script, cfg, "corpus");
         let outcome = run_script(&script, &cfg).map_err(|f| format!("{shown}: {f}"))?;
         println!(
-            "{shown}: ok — {} checkpoints, {} ops applied, {} fault plans, {} crashes",
-            outcome.checkpoints, outcome.applied, outcome.faults_installed, outcome.crashes
+            "{shown}: ok — {} checkpoints, {} ops applied, {} fault plans, {} crashes{}",
+            outcome.checkpoints,
+            outcome.applied,
+            outcome.faults_installed,
+            outcome.crashes,
+            if script.spec.adaptive {
+                format!(", {} migrations", outcome.migrations)
+            } else {
+                String::new()
+            }
         );
         checkpoints += outcome.checkpoints;
     }

@@ -115,6 +115,16 @@ pub struct CheckOutcome {
     /// Crash-recovery cycles performed (durable mode; `crash` ops are
     /// inert — and uncounted — on the in-memory backend).
     pub crashes: usize,
+    /// Completed strategy migrations across every adaptive server
+    /// (adaptive scripts only; 0 when `spec.adaptive` is off).
+    pub migrations: usize,
+    /// Migration rollbacks across every adaptive server (device faults or
+    /// `S` mutations landing mid-migration).
+    pub migration_rollbacks: usize,
+    /// Per-adaptive-server migration totals as `(shard_count, migrations)`,
+    /// in `shard_counts` order — lets callers assert that every
+    /// configured shard count actually exercised the migration machinery.
+    pub migrations_by_server: Vec<(usize, usize)>,
 }
 
 /// A failed replay: which checkpoint, which implementation, and why.
@@ -318,6 +328,8 @@ impl Engine {
 /// recovery, the configuration to reopen it with).
 struct Serving {
     shards: usize,
+    /// Failure-site label: `serve:<shards>` or `serve-adaptive:<shards>`.
+    site: String,
     config: ServeConfig,
     _server: Server,
     session: ClientSession,
@@ -364,6 +376,12 @@ struct Driver<'a> {
     cfg: &'a CheckConfig,
     engines: Vec<Engine>,
     servers: Vec<Serving>,
+    /// Adaptive-mode servers (`spec.adaptive` scripts only): same shard
+    /// counts, `ServeConfig::adaptive` set, own seed stream. They receive
+    /// every mutation and are checked against the oracle at every
+    /// checkpoint with migrations in flight — the metamorphic claim that
+    /// migration never changes answers.
+    adaptive_servers: Vec<Serving>,
     r_mirror: BTreeMap<u32, BaseTuple>,
     s_mirror: BTreeMap<u32, BaseTuple>,
     armed_faults: Vec<u64>,
@@ -473,14 +491,12 @@ impl Driver<'_> {
                 fail(i, &format!("engine:{}", e.method), format!("apply failed: {err}"))
             })?;
         }
-        for srv in &self.servers {
+        for srv in self.servers.iter().chain(&self.adaptive_servers) {
             let res = match side {
                 Side::R => srv.session.update_r(m.clone()),
                 Side::S => srv.session.update_s(m.clone()),
             };
-            res.map_err(|err| {
-                fail(i, &format!("serve:{}", srv.shards), format!("update failed: {err}"))
-            })?;
+            res.map_err(|err| fail(i, &srv.site, format!("update failed: {err}")))?;
         }
         match (side, m) {
             (Side::R, Mutation::Insert(t)) => {
@@ -520,10 +536,8 @@ impl Driver<'_> {
                 fail(i, &format!("engine:{}", e.method), format!("commit: {err}"))
             })?;
         }
-        for srv in &self.servers {
-            srv.session.commit().map_err(|e| {
-                fail(i, &format!("serve:{}", srv.shards), format!("commit barrier: {e}"))
-            })?;
+        for srv in self.servers.iter().chain(&self.adaptive_servers) {
+            srv.session.commit().map_err(|e| fail(i, &srv.site, format!("commit barrier: {e}")))?;
         }
         self.tail.clear();
         Ok(())
@@ -548,15 +562,20 @@ impl Driver<'_> {
         }
         // Servers always die cold: shard threads exit on channel close
         // without committing, so their recovery point is the last commit
-        // barrier regardless of the engines' sabotage flavour.
-        let old = std::mem::take(&mut self.servers);
-        for srv in old {
-            let Serving { shards, config, .. } = srv; // drops session + server (threads join)
-            let site = format!("serve:{shards}");
-            let server =
-                Server::recover(&config).map_err(|e| fail(i, &site, format!("recover: {e}")))?;
-            let session = server.session().map_err(|e| fail(i, &site, format!("session: {e}")))?;
-            self.servers.push(Serving { shards, config, _server: server, session });
+        // barrier regardless of the engines' sabotage flavour. Adaptive
+        // servers additionally lose any in-flight migration (migration
+        // state is derived, never persisted) — they restart Stable on the
+        // recovered relations, which the checkpoint equivalence verifies.
+        for list in [&mut self.servers, &mut self.adaptive_servers] {
+            let old = std::mem::take(list);
+            for srv in old {
+                let Serving { shards, site, config, .. } = srv; // drops session + server
+                let server = Server::recover(&config)
+                    .map_err(|e| fail(i, &site, format!("recover: {e}")))?;
+                let session =
+                    server.session().map_err(|e| fail(i, &site, format!("session: {e}")))?;
+                list.push(Serving { shards, site, config, _server: server, session });
+            }
         }
         // Re-apply the tail recovery rolled back. Engines whose in-flight
         // commit was sealed (`SkipApply`) already hold it via log redo.
@@ -574,14 +593,12 @@ impl Driver<'_> {
                     })?;
                 }
             }
-            for srv in &self.servers {
+            for srv in self.servers.iter().chain(&self.adaptive_servers) {
                 let res = match side {
                     Side::R => srv.session.update_r(m.clone()),
                     Side::S => srv.session.update_s(m.clone()),
                 };
-                res.map_err(|e| {
-                    fail(i, &format!("serve:{}", srv.shards), format!("tail replay: {e}"))
-                })?;
+                res.map_err(|e| fail(i, &srv.site, format!("tail replay: {e}")))?;
             }
         }
         if engines_committed {
@@ -602,14 +619,12 @@ impl Driver<'_> {
         //    apply-phase damage is unrecoverable by design. The warm-up
         //    query also forces the lazy S rebuild inside each shard.
         let arming = !self.armed_faults.is_empty();
-        for srv in &self.servers {
-            srv.session
-                .flush()
-                .map_err(|e| fail(i, &format!("serve:{}", srv.shards), format!("flush: {e}")))?;
+        for srv in self.servers.iter().chain(&self.adaptive_servers) {
+            srv.session.flush().map_err(|e| fail(i, &srv.site, format!("flush: {e}")))?;
             if arming {
-                srv.session.query(Method::MaterializedView).map_err(|e| {
-                    fail(i, &format!("serve:{}", srv.shards), format!("warm-up query: {e}"))
-                })?;
+                srv.session
+                    .query(Method::MaterializedView)
+                    .map_err(|e| fail(i, &srv.site, format!("warm-up query: {e}")))?;
             }
         }
         for e in &mut self.engines {
@@ -626,7 +641,7 @@ impl Driver<'_> {
             for e in &mut self.engines {
                 self.outcome.faults_installed += e.install_faults(fault_seed);
             }
-            for srv in &self.servers {
+            for srv in self.servers.iter().chain(&self.adaptive_servers) {
                 let stream = rng::derive_indexed(fault_seed, "check/serve", srv.shards as u64);
                 let mut rn = rng::seeded(stream);
                 let shard = rn.gen_range(0u64..srv.shards as u64) as usize;
@@ -634,7 +649,7 @@ impl Driver<'_> {
                 for _ in 0..rn.gen_range(1u32..=2) {
                     plan = plan.fail_nth_read(None, rn.gen_range(0u64..32));
                 }
-                let site = format!("serve:{}", srv.shards);
+                let site = srv.site.clone();
                 srv.session
                     .install_fault_plan(shard, plan)
                     .map_err(|e| fail(i, &site, format!("install faults: {e}")))?;
@@ -669,6 +684,19 @@ impl Driver<'_> {
             }
         }
 
+        // 5b. Every adaptive server agrees too — the metamorphic claim
+        //     that online migration never changes a checkpoint answer.
+        //     The requested method is advisory on adaptive shards; each
+        //     shard answers with its current structure, mid-migration or
+        //     not, and the answer must still be the oracle's.
+        for srv in &self.adaptive_servers {
+            let got = srv
+                .session
+                .query(Method::MaterializedView)
+                .map_err(|e| fail(i, &srv.site, format!("query: {e}")))?;
+            diff_join(&canon(got), &want).map_err(|msg| fail(i, &srv.site, msg))?;
+        }
+
         // 6. Cost-model metamorphic relations at the live workload point.
         if self.cfg.model_checks {
             self.model_checks(i)?;
@@ -679,9 +707,9 @@ impl Driver<'_> {
             for e in &self.engines {
                 e.db.clear_faults();
             }
-            for srv in &self.servers {
+            for srv in self.servers.iter().chain(&self.adaptive_servers) {
                 for shard in 0..srv.shards {
-                    let site = format!("serve:{}", srv.shards);
+                    let site = srv.site.clone();
                     srv.session
                         .clear_faults(shard)
                         .map_err(|e| fail(i, &site, format!("clear faults: {e}")))?;
@@ -817,6 +845,7 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
         );
     }
     let mut servers = Vec::with_capacity(script.shard_counts.len());
+    let mut adaptive_servers = Vec::new();
     for (idx, &shards) in script.shard_counts.iter().enumerate() {
         let serve_cfg = ServeConfig {
             batch: script.batch,
@@ -832,7 +861,40 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
         let session = server
             .session()
             .map_err(|e| bad_input(format!("server({shards} shards) session: {e}")))?;
-        servers.push(Serving { shards, config: serve_cfg, _server: server, session });
+        servers.push(Serving {
+            shards,
+            site: format!("serve:{shards}"),
+            config: serve_cfg,
+            _server: server,
+            session,
+        });
+        if script.spec.adaptive {
+            // A second fleet in adaptive mode, replaying identical traffic:
+            // its shards re-price and migrate online while the fixed fleet
+            // (and the oracle) pins what the answers must be.
+            let adaptive_cfg = ServeConfig {
+                batch: script.batch,
+                seed: rng::derive_indexed(script.spec.seed, "check/serve-adaptive", shards as u64),
+                durable_dir: cfg
+                    .durable_root
+                    .as_ref()
+                    .map(|root| root.join(format!("serve-adaptive-{idx}-{shards}"))),
+                adaptive: true,
+                ..ServeConfig::new(cfg.params.clone(), shards)
+            };
+            let server = Server::start(&adaptive_cfg, generated.r.clone(), generated.s.clone())
+                .map_err(|e| bad_input(format!("adaptive server({shards} shards) start: {e}")))?;
+            let session = server
+                .session()
+                .map_err(|e| bad_input(format!("adaptive server({shards} shards) session: {e}")))?;
+            adaptive_servers.push(Serving {
+                shards,
+                site: format!("serve-adaptive:{shards}"),
+                config: adaptive_cfg,
+                _server: server,
+                session,
+            });
+        }
     }
 
     let mut driver = Driver {
@@ -840,6 +902,7 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
         cfg,
         engines,
         servers,
+        adaptive_servers,
         r_mirror: generated.r.iter().map(|t| (t.sur.0, t.clone())).collect(),
         s_mirror: generated.s.iter().map(|t| (t.sur.0, t.clone())).collect(),
         armed_faults: Vec::new(),
@@ -853,10 +916,8 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
             ScriptOp::Checkpoint => driver.checkpoint(i)?,
             ScriptOp::Fault { seed } => driver.armed_faults.push(*seed),
             ScriptOp::Batch => {
-                for srv in &driver.servers {
-                    srv.session.flush().map_err(|e| {
-                        fail(i, &format!("serve:{}", srv.shards), format!("flush: {e}"))
-                    })?;
+                for srv in driver.servers.iter().chain(&driver.adaptive_servers) {
+                    srv.session.flush().map_err(|e| fail(i, &srv.site, format!("flush: {e}")))?;
                 }
                 driver.commit_all(i)?;
             }
@@ -885,6 +946,37 @@ pub fn run_script(script: &Script, cfg: &CheckConfig) -> Result<CheckOutcome, Bo
         let report = e.db.run_report(format!("check:{}", e.method));
         driver.outcome.cost_drift_events +=
             report.events.iter().filter(|ev| ev.kind == EventKind::CostDrift).count();
+    }
+    // Adaptive fleet post-mortem: total the migration accounting and
+    // enforce the liveness bound — a shard may migrate at most once per
+    // two checkpoint decisions (the cooldown makes faster flapping a
+    // controller bug, not a workload property).
+    let last_op = script.ops.len().saturating_sub(1);
+    let per_shard_cap = (driver.outcome.checkpoints as u64).div_ceil(2).max(1);
+    for srv in &driver.adaptive_servers {
+        let report = srv
+            .session
+            .report()
+            .map_err(|e| fail(last_op, &srv.site, format!("final report: {e}")))?;
+        let count = report.rollup.metrics.counter("migrate.count") as usize;
+        driver.outcome.migrations += count;
+        driver.outcome.migration_rollbacks +=
+            report.rollup.metrics.counter("migrate.rollbacks") as usize;
+        driver.outcome.migrations_by_server.push((srv.shards, count));
+        for shard in &report.shards {
+            let count = shard.metrics.counter("migrate.count");
+            if count > per_shard_cap {
+                return Err(fail(
+                    last_op,
+                    &srv.site,
+                    format!(
+                        "{} migrated {count} times over {} checkpoints (cap {per_shard_cap}) — \
+                         the hysteresis/cooldown guard is flapping",
+                        shard.name, driver.outcome.checkpoints
+                    ),
+                ));
+            }
+        }
     }
     Ok(driver.outcome)
 }

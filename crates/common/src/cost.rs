@@ -74,6 +74,14 @@ impl OpCounts {
     pub fn is_zero(&self) -> bool {
         *self == OpCounts::default()
     }
+
+    /// The ledger tick: total primitive operations charged, across all four
+    /// kinds. The engine has no wall clock, so this is its monotone "when"
+    /// — switch logs and event timestamps use it to order observations
+    /// within a run.
+    pub fn ticks(&self) -> u64 {
+        self.ios + self.comps + self.hashes + self.moves
+    }
 }
 
 /// One node of the span tree, in the serializable pre-order form returned by

@@ -29,6 +29,9 @@ pub enum EventKind {
     RecoveryTriggered,
     /// The adaptive planner changed strategy.
     StrategySwitch,
+    /// One step of an incremental strategy migration advanced (build
+    /// chunk processed, pending log drained, rollback on fault, ...).
+    MigrationStep,
     /// A telemetry window's predicted-vs-actual cost error exceeded the
     /// configured drift threshold (see `telemetry::DriftAlert`).
     CostDrift,
@@ -43,6 +46,7 @@ impl EventKind {
             EventKind::FaultFired => "fault_fired",
             EventKind::RecoveryTriggered => "recovery_triggered",
             EventKind::StrategySwitch => "strategy_switch",
+            EventKind::MigrationStep => "migration_step",
             EventKind::CostDrift => "cost_drift",
         }
     }
@@ -55,6 +59,7 @@ impl EventKind {
             "fault_fired" => EventKind::FaultFired,
             "recovery_triggered" => EventKind::RecoveryTriggered,
             "strategy_switch" => EventKind::StrategySwitch,
+            "migration_step" => EventKind::MigrationStep,
             "cost_drift" => EventKind::CostDrift,
             _ => return None,
         })
@@ -250,6 +255,7 @@ mod tests {
             EventKind::FaultFired,
             EventKind::RecoveryTriggered,
             EventKind::StrategySwitch,
+            EventKind::MigrationStep,
             EventKind::CostDrift,
         ] {
             assert_eq!(EventKind::from_wire(kind.as_str()), Some(kind));

@@ -21,6 +21,7 @@ pub mod metrics;
 pub mod params;
 pub mod rng;
 pub mod script;
+pub mod sketch;
 pub mod telemetry;
 pub mod trace;
 pub mod types;
@@ -32,7 +33,8 @@ pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::Json;
 pub use metrics::{CounterId, Histogram, Metrics, MetricsSnapshot};
 pub use params::SystemParams;
-pub use script::{Script, ScriptOp, ScriptSpec};
+pub use script::{Adversary, AdversaryShape, Script, ScriptOp, ScriptSpec};
+pub use sketch::{KeyCount, TopKSketch};
 pub use telemetry::{DriftAlert, SeriesSnapshot, Telemetry, TelemetryConfig};
 pub use trace::{ModelDelta, RunReport, ShardedRunReport};
 pub use types::{shard_of_key, BaseTuple, JiEntry, JoinKey, Surrogate, ViewTuple};

@@ -26,6 +26,72 @@
 
 use crate::json::Json;
 
+/// The adversarial traffic shapes the check generator can emit (schema
+/// v3). Each shape stresses a different axis of the adaptive serving
+/// layer's strategy selection; see `trijoin_check::gen` for the op-level
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryShape {
+    /// Dense update trains separated by query-heavy lulls.
+    Bursty,
+    /// Zipf-distributed hot-key skew with a tunable exponent.
+    Zipf,
+    /// Alternating query-dominant and update-dominant regimes.
+    Phase,
+    /// Per-shard key-range bias: one shard's partition soaks the churn.
+    Imbalance,
+}
+
+impl AdversaryShape {
+    /// Stable wire name (also the CLI `--adversary` spelling).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AdversaryShape::Bursty => "bursty",
+            AdversaryShape::Zipf => "zipf",
+            AdversaryShape::Phase => "phase",
+            AdversaryShape::Imbalance => "imbalance",
+        }
+    }
+
+    /// Inverse of [`AdversaryShape::as_str`].
+    pub fn from_wire(name: &str) -> Option<AdversaryShape> {
+        Some(match name {
+            "bursty" => AdversaryShape::Bursty,
+            "zipf" => AdversaryShape::Zipf,
+            "phase" => AdversaryShape::Phase,
+            "imbalance" => AdversaryShape::Imbalance,
+            _ => return None,
+        })
+    }
+
+    /// Every shape, in wire-name order.
+    pub fn all() -> [AdversaryShape; 4] {
+        [
+            AdversaryShape::Bursty,
+            AdversaryShape::Zipf,
+            AdversaryShape::Phase,
+            AdversaryShape::Imbalance,
+        ]
+    }
+}
+
+/// Adversarial-generator configuration carried by a v3 script spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adversary {
+    /// Traffic shape.
+    pub shape: AdversaryShape,
+    /// Skew exponent (`zipf` only; the others ignore it). Serialized for
+    /// every shape so scripts stay self-describing.
+    pub exponent: f64,
+}
+
+impl Adversary {
+    /// The given shape with the default skew exponent (1.2).
+    pub fn new(shape: AdversaryShape) -> Adversary {
+        Adversary { shape, exponent: 1.2 }
+    }
+}
+
 /// Initial-relation specification embedded in every script. Mirrors the
 /// core crate's `WorkloadSpec` (the driver converts; `trijoin-common`
 /// cannot depend on it) with the update-model fields omitted — a script's
@@ -44,6 +110,12 @@ pub struct ScriptSpec {
     pub group_size: u32,
     /// Seed of the initial-relation generator.
     pub seed: u64,
+    /// Adversarial traffic shape the op stream was generated under
+    /// (schema v3; `None` on every older script and on uniform traffic).
+    pub adversary: Option<Adversary>,
+    /// Replay the serving layers in adaptive mode (schema v3): shards
+    /// start on one strategy and migrate online as the traffic shifts.
+    pub adaptive: bool,
 }
 
 /// One step of a script.
@@ -172,10 +244,14 @@ impl ScriptOp {
     }
 }
 
-/// Schema version stamped into every serialized script. Version 2 added
-/// the `crash` op; readers accept [`SCRIPT_VERSION_MIN`]`..=SCRIPT_VERSION`
-/// so version-1 corpus files stay replayable forever.
-pub const SCRIPT_VERSION: u64 = 2;
+/// Newest script schema version this build writes and reads. Version 2
+/// added the `crash` op; version 3 added the adversarial-generator spec
+/// extensions (`adversary`, `adaptive`). Readers accept
+/// [`SCRIPT_VERSION_MIN`]`..=SCRIPT_VERSION` so older corpus files stay
+/// replayable forever, and writers stamp the *oldest* version that can
+/// carry the script ([`Script::version`]) so pre-v3 scripts keep
+/// serializing byte-identically.
+pub const SCRIPT_VERSION: u64 = 3;
 
 /// Oldest script schema version this build still reads.
 pub const SCRIPT_VERSION_MIN: u64 = 1;
@@ -234,17 +310,54 @@ fn num_f64(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
 }
 
 impl ScriptSpec {
+    /// Whether this spec uses any schema-v3 extension. Version stamping
+    /// keys off this so pre-adversary scripts re-serialize byte-for-byte
+    /// as version 2 (the committed corpus and `--emit` regeneration are
+    /// pinned on that).
+    pub fn uses_v3(&self) -> bool {
+        self.adversary.is_some() || self.adaptive
+    }
+
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut j = Json::obj()
             .set("r_tuples", self.r_tuples as u64)
             .set("s_tuples", self.s_tuples as u64)
             .set("tuple_bytes", self.tuple_bytes as u64)
             .set("sr", self.sr)
             .set("group_size", self.group_size as u64)
-            .set("seed", seed_json(self.seed))
+            .set("seed", seed_json(self.seed));
+        if let Some(adv) = &self.adversary {
+            j = j.set(
+                "adversary",
+                Json::obj().set("shape", adv.shape.as_str()).set("exponent", adv.exponent),
+            );
+        }
+        if self.adaptive {
+            j = j.set("adaptive", true);
+        }
+        j
     }
 
     fn from_json(j: &Json) -> Result<ScriptSpec, String> {
+        let adversary = match j.get("adversary") {
+            None => None,
+            Some(a) => {
+                let shape = field(a, "shape", "adversary")?
+                    .as_str()
+                    .and_then(AdversaryShape::from_wire)
+                    .ok_or_else(|| "script: adversary: unknown shape".to_string())?;
+                let exponent = num_f64(a, "exponent", "adversary")?;
+                if !(exponent.is_finite() && exponent >= 0.0) {
+                    return Err(format!("script: adversary: bad exponent {exponent}"));
+                }
+                Some(Adversary { shape, exponent })
+            }
+        };
+        let adaptive = match j.get("adaptive") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err("script: spec: field \"adaptive\" must be a bool".into()),
+        };
         let spec = ScriptSpec {
             r_tuples: num_u64(j, "r_tuples", "spec")? as u32,
             s_tuples: num_u64(j, "s_tuples", "spec")? as u32,
@@ -252,6 +365,8 @@ impl ScriptSpec {
             sr: num_f64(j, "sr", "spec")?,
             group_size: num_u64(j, "group_size", "spec")? as u32,
             seed: seed_from(field(j, "seed", "spec")?, "spec")?,
+            adversary,
+            adaptive,
         };
         if spec.r_tuples == 0 || spec.s_tuples == 0 {
             return Err("script: spec: relations must be non-empty".into());
@@ -328,10 +443,22 @@ impl ScriptOp {
 }
 
 impl Script {
+    /// The schema version this script serializes under: the oldest
+    /// version whose grammar carries it (v3 only when a spec extension is
+    /// in play), so adding extensions never perturbed older scripts'
+    /// bytes.
+    pub fn version(&self) -> u64 {
+        if self.spec.uses_v3() {
+            3
+        } else {
+            2
+        }
+    }
+
     /// Serialize to the versioned JSON form.
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .set("version", SCRIPT_VERSION)
+            .set("version", self.version())
             .set("name", self.name.as_str())
             .set("spec", self.spec.to_json())
             .set(
@@ -411,6 +538,8 @@ mod tests {
                 sr: 0.25,
                 group_size: 4,
                 seed: 0xdead_beef_cafe_f00d, // > 2^53: exercises hex encoding
+                adversary: None,
+                adaptive: false,
             },
             shard_counts: vec![1, 2, 4],
             batch: 8,
@@ -484,6 +613,59 @@ mod tests {
         script.ops.retain(|op| !matches!(op, ScriptOp::Crash { .. }));
         let j = script.to_json().set("version", SCRIPT_VERSION_MIN);
         assert_eq!(Script::from_json(&j).unwrap(), script);
+    }
+
+    #[test]
+    fn pre_adversary_scripts_still_stamp_version_2() {
+        // The committed corpus and `--emit` regeneration are pinned on
+        // this: a spec without v3 extensions serializes exactly as before
+        // the extensions existed — version 2, no extra spec fields.
+        let script = sample();
+        let j = script.to_json();
+        assert_eq!(j.get("version").and_then(Json::as_u64), Some(2));
+        assert!(j.get("spec").unwrap().get("adversary").is_none());
+        assert!(j.get("spec").unwrap().get("adaptive").is_none());
+    }
+
+    #[test]
+    fn adversary_specs_round_trip_as_version_3() {
+        for shape in AdversaryShape::all() {
+            let mut script = sample();
+            script.spec.adversary = Some(Adversary { shape, exponent: 1.5 });
+            script.spec.adaptive = true;
+            let j = script.to_json();
+            assert_eq!(j.get("version").and_then(Json::as_u64), Some(3));
+            let back = Script::from_json(&j).unwrap();
+            assert_eq!(back, script);
+            // And the text form is stable under a re-dump.
+            let text = script.to_json_string();
+            assert_eq!(Script::from_json_str(&text).unwrap().to_json_string(), text);
+        }
+        // `adaptive` alone is enough to force v3.
+        let mut script = sample();
+        script.spec.adaptive = true;
+        assert_eq!(script.version(), 3);
+        assert_eq!(Script::from_json(&script.to_json()).unwrap(), script);
+    }
+
+    #[test]
+    fn malformed_adversary_specs_are_rejected() {
+        let good = sample().to_json();
+        let spec = sample().spec.to_json();
+        // Unknown shape.
+        let bad_spec =
+            spec.clone().set("adversary", Json::obj().set("shape", "chaotic").set("exponent", 1.0));
+        let err = Script::from_json(&good.clone().set("spec", bad_spec)).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+        // Negative exponent (NaN/Infinity degrade to 0 at the Json layer).
+        let bad_spec = spec
+            .clone()
+            .set("adversary", Json::obj().set("shape", "zipf").set("exponent", Json::Num(-1.0)));
+        assert!(Script::from_json(&good.clone().set("spec", bad_spec)).is_err());
+        // Non-bool adaptive flag.
+        let bad_spec = spec.set("adaptive", 1u64);
+        let err = Script::from_json(&good.set("spec", bad_spec)).unwrap_err();
+        assert!(err.contains("adaptive"), "{err}");
     }
 
     #[test]

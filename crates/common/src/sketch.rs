@@ -1,0 +1,322 @@
+//! Space-saving top-k frequency sketch for per-shard skew tracking.
+//!
+//! The adaptive serving layer needs to know whether a shard's update
+//! stream is hitting a few hot join keys (a skewed differential keeps the
+//! same view buckets dirty, which favours cached structures with cheap
+//! log appends) or spraying uniformly. Exact counting is off the table —
+//! the key domain is unbounded — so each shard keeps a bounded
+//! [`TopKSketch`] in its rolling window: the classic space-saving
+//! algorithm of Metwally et al., which guarantees for every key
+//!
+//! ```text
+//! estimate(k) - error(k)  ≤  true_count(k)  ≤  estimate(k)
+//! ```
+//!
+//! and bounds every error by `N / capacity` over `N` observed items. Keys
+//! absent from the sketch have a true count of at most the smallest
+//! retained estimate.
+//!
+//! Three operations cover the serving use:
+//!
+//! - [`TopKSketch::observe`] — one key occurrence (a routed mutation);
+//! - [`TopKSketch::merge`] — combine window sketches (commutative up to
+//!   the deterministic truncation order, so rollups do not depend on
+//!   shard enumeration order);
+//! - [`TopKSketch::decay`] — halve every counter at a window boundary,
+//!   aging out stale hot keys the way the telemetry windows age ticks.
+
+/// One retained counter: the key, its overestimate, and the maximum
+/// amount by which the estimate may exceed the true count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyCount {
+    /// The tracked join-key value.
+    pub key: u64,
+    /// Count estimate (never an underestimate).
+    pub count: u64,
+    /// Overestimation bound: `count - error ≤ true ≤ count`.
+    pub error: u64,
+}
+
+/// Bounded space-saving frequency sketch (see module docs).
+#[derive(Debug, Clone)]
+pub struct TopKSketch {
+    /// Maximum number of counters retained.
+    capacity: usize,
+    /// Retained counters, unordered.
+    slots: Vec<KeyCount>,
+    /// Total observations folded in (including merged ones).
+    observed: u64,
+}
+
+impl TopKSketch {
+    /// An empty sketch retaining at most `capacity` keys (min 1).
+    pub fn new(capacity: usize) -> TopKSketch {
+        let capacity = capacity.max(1);
+        TopKSketch { capacity, slots: Vec::with_capacity(capacity), observed: 0 }
+    }
+
+    /// Number of counters retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total observations folded into this sketch.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Record one occurrence of `key`.
+    pub fn observe(&mut self, key: u64) {
+        self.observed += 1;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.key == key) {
+            slot.count += 1;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push(KeyCount { key, count: 1, error: 0 });
+            return;
+        }
+        // Evict the smallest counter: the newcomer inherits its estimate
+        // as error (it may have occurred up to that many times unseen).
+        let min = self
+            .slots
+            .iter_mut()
+            .min_by_key(|s| (s.count, s.key))
+            .expect("capacity ≥ 1 and the sketch is full");
+        *min = KeyCount { key, count: min.count + 1, error: min.count };
+    }
+
+    /// Count estimate for `key`: `Some((count, error))` when retained.
+    /// Absent keys have a true count of at most [`TopKSketch::floor`].
+    pub fn estimate(&self, key: u64) -> Option<(u64, u64)> {
+        self.slots.iter().find(|s| s.key == key).map(|s| (s.count, s.error))
+    }
+
+    /// Upper bound on the true count of any key *not* retained (the
+    /// smallest retained estimate; 0 while the sketch has spare slots).
+    pub fn floor(&self) -> u64 {
+        if self.slots.len() < self.capacity {
+            return 0;
+        }
+        self.slots.iter().map(|s| s.count).min().unwrap_or(0)
+    }
+
+    /// Retained counters, hottest first (ties broken by key for a
+    /// deterministic order independent of insertion history).
+    pub fn top(&self) -> Vec<KeyCount> {
+        let mut out = self.slots.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Fraction of all observations attributable to the hottest `n` keys
+    /// (an upper-bound mass: estimates overcount). 0.0 when empty.
+    pub fn top_mass(&self, n: usize) -> f64 {
+        if self.observed == 0 {
+            return 0.0;
+        }
+        let hot: u64 = self.top().iter().take(n).map(|s| s.count).sum();
+        (hot as f64 / self.observed as f64).min(1.0)
+    }
+
+    /// Fold `other` into `self`. Counts of shared keys add; a key held by
+    /// only one side additionally absorbs the other side's [`floor`] into
+    /// both count and error (it may have occurred that often unseen
+    /// there), preserving the space-saving bound. The result is then
+    /// truncated back to capacity by `(count desc, key)`, so merging is
+    /// commutative: `a.merge(&b)` equals `b.merge(&a)` slot for slot.
+    ///
+    /// [`floor`]: TopKSketch::floor
+    pub fn merge(&mut self, other: &TopKSketch) {
+        let mine = std::mem::take(&mut self.slots);
+        let my_floor = if mine.len() < self.capacity {
+            0
+        } else {
+            mine.iter().map(|s| s.count).min().unwrap_or(0)
+        };
+        let their_floor = other.floor();
+        let mut merged: Vec<KeyCount> = Vec::with_capacity(mine.len() + other.slots.len());
+        for s in &mine {
+            let (c, e) = match other.estimate(s.key) {
+                Some((oc, oe)) => (s.count + oc, s.error + oe),
+                None => (s.count + their_floor, s.error + their_floor),
+            };
+            merged.push(KeyCount { key: s.key, count: c, error: e });
+        }
+        for s in &other.slots {
+            if mine.iter().any(|m| m.key == s.key) {
+                continue;
+            }
+            merged.push(KeyCount {
+                key: s.key,
+                count: s.count + my_floor,
+                error: s.error + my_floor,
+            });
+        }
+        merged.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        merged.truncate(self.capacity);
+        self.slots = merged;
+        self.observed += other.observed;
+    }
+
+    /// Halve every counter (rounding down) and drop emptied slots — the
+    /// window-boundary aging step. The observation total halves too, so
+    /// [`TopKSketch::top_mass`] keeps measuring the *recent* mix.
+    pub fn decay(&mut self) {
+        for s in &mut self.slots {
+            s.count /= 2;
+            s.error /= 2;
+        }
+        self.slots.retain(|s| s.count > 0);
+        self.observed /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn exact(stream: &[u64]) -> BTreeMap<u64, u64> {
+        let mut m = BTreeMap::new();
+        for &k in stream {
+            *m.entry(k).or_insert(0u64) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut sk = TopKSketch::new(8);
+        for k in [1u64, 2, 1, 3, 1, 2] {
+            sk.observe(k);
+        }
+        assert_eq!(sk.estimate(1), Some((3, 0)));
+        assert_eq!(sk.estimate(2), Some((2, 0)));
+        assert_eq!(sk.estimate(3), Some((1, 0)));
+        assert_eq!(sk.estimate(9), None);
+        assert_eq!(sk.floor(), 0, "spare slots: absent keys truly have count 0");
+        assert_eq!(sk.top()[0], KeyCount { key: 1, count: 3, error: 0 });
+    }
+
+    #[test]
+    fn hot_keys_survive_eviction_pressure() {
+        let mut sk = TopKSketch::new(4);
+        // 100 occurrences of the hot key drowned in 64 singletons.
+        for i in 0..100u64 {
+            sk.observe(7);
+            if i < 64 {
+                sk.observe(1000 + i);
+            }
+        }
+        let (count, error) = sk.estimate(7).expect("hot key retained");
+        assert!(count >= 100, "estimate never undercounts: {count}");
+        assert!(count - error <= 100, "count - error lower-bounds truth");
+        assert!(sk.top_mass(1) > 0.5, "one key carries most of the mass");
+    }
+
+    #[test]
+    fn decay_halves_and_drops() {
+        let mut sk = TopKSketch::new(4);
+        for _ in 0..5 {
+            sk.observe(1);
+        }
+        sk.observe(2);
+        sk.decay();
+        assert_eq!(sk.estimate(1), Some((2, 0)));
+        assert_eq!(sk.estimate(2), None, "a halved singleton ages out");
+        assert_eq!(sk.observed(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Space-saving bound: for every retained key,
+        /// `count - error ≤ true ≤ count`; for absent keys `true ≤ floor`;
+        /// every error is at most `N / capacity`.
+        #[test]
+        fn estimates_bracket_exact_counts(
+            stream in prop::collection::vec(0u64..32, 0..400),
+            capacity in 1usize..12,
+        ) {
+            let truth = exact(&stream);
+            let mut sk = TopKSketch::new(capacity);
+            for &k in &stream {
+                sk.observe(k);
+            }
+            prop_assert_eq!(sk.observed(), stream.len() as u64);
+            let bound = stream.len() as u64 / capacity as u64;
+            for (&k, &t) in &truth {
+                match sk.estimate(k) {
+                    Some((count, error)) => {
+                        prop_assert!(count >= t, "key {} overestimates: {} < {}", k, count, t);
+                        prop_assert!(
+                            count - error <= t,
+                            "key {}: lower bound {} exceeds truth {}",
+                            k, count - error, t
+                        );
+                        prop_assert!(error <= bound, "error {} beyond N/k {}", error, bound);
+                    }
+                    None => prop_assert!(
+                        t <= sk.floor(),
+                        "absent key {} has count {} above floor {}",
+                        k, t, sk.floor()
+                    ),
+                }
+            }
+        }
+
+        /// Merging is commutative: both orders yield the same retained
+        /// slots, and merged estimates still never undercount.
+        #[test]
+        fn merge_commutes_and_keeps_the_bound(
+            left in prop::collection::vec(0u64..24, 0..200),
+            right in prop::collection::vec(0u64..24, 0..200),
+            capacity in 1usize..10,
+        ) {
+            let mut a = TopKSketch::new(capacity);
+            let mut b = TopKSketch::new(capacity);
+            for &k in &left { a.observe(k); }
+            for &k in &right { b.observe(k); }
+
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab.top(), ba.top());
+            prop_assert_eq!(ab.observed(), (left.len() + right.len()) as u64);
+
+            let mut both = left.clone();
+            both.extend_from_slice(&right);
+            let truth = exact(&both);
+            for (&k, &t) in &truth {
+                if let Some((count, _)) = ab.estimate(k) {
+                    prop_assert!(count >= t, "merged key {} undercounts: {} < {}", k, count, t);
+                }
+            }
+        }
+
+        /// Decay preserves the over-estimate invariant relative to a
+        /// stream where every occurrence count is halved.
+        #[test]
+        fn decay_never_creates_undercounts_of_the_halved_stream(
+            stream in prop::collection::vec(0u64..16, 0..200),
+            capacity in 1usize..8,
+        ) {
+            let truth = exact(&stream);
+            let mut sk = TopKSketch::new(capacity);
+            for &k in &stream { sk.observe(k); }
+            sk.decay();
+            for (&k, &t) in &truth {
+                if let Some((count, _)) = sk.estimate(k) {
+                    prop_assert!(
+                        count >= t / 2,
+                        "halved key {}: {} < {}",
+                        k, count, t / 2
+                    );
+                }
+            }
+        }
+    }
+}

@@ -8,9 +8,10 @@
 //! every query, re-estimates the workload from what it just observed —
 //! mutation counts, the measured `Pr_A` fraction, and the *exact* semijoin
 //! selectivities read off the result stream — prices all three methods
-//! with the §3 cost model, and switches (rebuilding the cache, at full
-//! charged cost) when another method is predicted to win by more than a
-//! hysteresis factor.
+//! with the §3 cost model, and switches when another method is predicted
+//! to win by more than a hysteresis factor. The switch is *incremental*:
+//! the target cache is built from the rows the incumbent just produced
+//! (see [`CachedStrategy::from_rows`]), never from a base-relation rescan.
 
 use std::collections::HashSet;
 
@@ -21,13 +22,102 @@ use trijoin_exec::{
 use trijoin_model::{all_costs, Method, Workload};
 use trijoin_storage::Disk;
 
+/// One concrete cached strategy, known by variant — the shape a strategy
+/// hand-off needs. `Box<dyn JoinStrategy>` hides which cache is live, so a
+/// migration could only rebuild from the base relations; this enum lets the
+/// owner snapshot the incumbent's structure and destroy it after a switch.
+pub enum CachedStrategy {
+    /// The materialized view of §3.1.
+    Mv(MaterializedView),
+    /// The join index of §3.2.
+    Ji(JoinIndexStrategy),
+    /// The cache-less hybrid-hash join of §3.3.
+    Hh(HybridHash),
+}
+
+impl CachedStrategy {
+    /// Which method this cache implements.
+    pub fn method(&self) -> Method {
+        match self {
+            CachedStrategy::Mv(_) => Method::MaterializedView,
+            CachedStrategy::Ji(_) => Method::JoinIndex,
+            CachedStrategy::Hh(_) => Method::HybridHash,
+        }
+    }
+
+    /// The strategy as a trait object (queries, mutation logging).
+    pub fn as_dyn(&mut self) -> &mut dyn JoinStrategy {
+        match self {
+            CachedStrategy::Mv(mv) => mv,
+            CachedStrategy::Ji(ji) => ji,
+            CachedStrategy::Hh(hh) => hh,
+        }
+    }
+
+    /// Incremental hand-off: build the `target` cache from join rows the
+    /// incumbent already produced (a fresh query answer *is* the view
+    /// contents with every pending differential folded in). The only I/O
+    /// charged is writing the target structure — no base-relation rescan.
+    pub fn from_rows(
+        disk: &Disk,
+        params: &SystemParams,
+        cost: &Cost,
+        target: Method,
+        rows: &[ViewTuple],
+        r_tuple_bytes: usize,
+        s_tuple_bytes: usize,
+    ) -> Result<CachedStrategy> {
+        Ok(match target {
+            Method::MaterializedView => CachedStrategy::Mv(MaterializedView::build_from_tuples(
+                disk,
+                params,
+                cost,
+                rows,
+                r_tuple_bytes,
+                s_tuple_bytes,
+            )?),
+            Method::JoinIndex => {
+                let entries = rows.iter().map(ViewTuple::ji_entry).collect();
+                CachedStrategy::Ji(JoinIndexStrategy::build_from_entries(
+                    disk,
+                    params,
+                    cost,
+                    entries,
+                    r_tuple_bytes,
+                    s_tuple_bytes,
+                )?)
+            }
+            Method::HybridHash => CachedStrategy::Hh(HybridHash::new(disk, params, cost)),
+        })
+    }
+
+    /// Pages the cached structure occupies (0 for hybrid hash) — what a
+    /// hand-off to this cache had to write, and what `migrate.rebuild_pages`
+    /// accounts.
+    pub fn cached_pages(&self) -> u64 {
+        match self {
+            CachedStrategy::Mv(mv) => mv.view_pages(),
+            CachedStrategy::Ji(ji) => ji.index_pages(),
+            CachedStrategy::Hh(_) => 0,
+        }
+    }
+
+    /// Release the cache's files (view/index plus differential logs).
+    pub fn destroy(self) {
+        match self {
+            CachedStrategy::Mv(mv) => mv.destroy(),
+            CachedStrategy::Ji(ji) => ji.destroy(),
+            CachedStrategy::Hh(_) => {}
+        }
+    }
+}
+
 /// A strategy that re-selects itself from observed statistics.
 pub struct AdaptiveStrategy {
     disk: Disk,
     params: SystemParams,
     cost: Cost,
-    current: Box<dyn JoinStrategy>,
-    kind: Method,
+    current: CachedStrategy,
     /// Predicted-cost advantage another method must show before a switch
     /// (e.g. 1.3 = 30% better). Guards against boundary flapping.
     pub hysteresis: f64,
@@ -43,19 +133,12 @@ pub struct AdaptiveStrategy {
 impl AdaptiveStrategy {
     /// Start with `initial` (built and charged by the caller via
     /// `Database`), typically the advisor's heuristic pick.
-    pub fn new(
-        disk: &Disk,
-        params: &SystemParams,
-        cost: &Cost,
-        initial: Box<dyn JoinStrategy>,
-        kind: Method,
-    ) -> Self {
+    pub fn new(disk: &Disk, params: &SystemParams, cost: &Cost, initial: CachedStrategy) -> Self {
         AdaptiveStrategy {
             disk: disk.clone(),
             params: params.clone(),
             cost: cost.clone(),
             current: initial,
-            kind,
             hysteresis: 1.3,
             mutations: 0,
             a_changes: 0,
@@ -67,29 +150,16 @@ impl AdaptiveStrategy {
 
     /// The method currently in use.
     pub fn current_method(&self) -> Method {
-        self.kind
+        self.current.method()
     }
 
-    /// Every switch performed: `(epoch, from, to)`.
+    /// Every switch performed: `(ledger_tick, from, to)`. The tick is the
+    /// cost ledger's total primitive-op count at the moment of the switch
+    /// (see `OpCounts::ticks`) — *not* the query ordinal, so switch points
+    /// line up with event timestamps and are comparable across runs with
+    /// different query cadence.
     pub fn switch_log(&self) -> &[(u64, Method, Method)] {
         &self.switch_log
-    }
-
-    fn build(
-        &self,
-        kind: Method,
-        r: &StoredRelation,
-        s: &StoredRelation,
-    ) -> Result<Box<dyn JoinStrategy>> {
-        Ok(match kind {
-            Method::MaterializedView => {
-                Box::new(MaterializedView::build(&self.disk, &self.params, &self.cost, r, s)?)
-            }
-            Method::JoinIndex => {
-                Box::new(JoinIndexStrategy::build(&self.disk, &self.params, &self.cost, r, s)?)
-            }
-            Method::HybridHash => Box::new(HybridHash::new(&self.disk, &self.params, &self.cost)),
-        })
     }
 
     /// Workload estimate from the epoch just observed.
@@ -127,7 +197,7 @@ impl JoinStrategy for AdaptiveStrategy {
         if m.affects_join_index() {
             self.a_changes += 1;
         }
-        self.current.on_mutation(m)
+        self.current.as_dyn().on_mutation(m)
     }
 
     fn execute(
@@ -136,12 +206,16 @@ impl JoinStrategy for AdaptiveStrategy {
         s: &StoredRelation,
         sink: &mut dyn FnMut(ViewTuple),
     ) -> Result<u64> {
-        // Answer the query, measuring exact selectivities off the stream.
+        // Answer the query, measuring exact selectivities off the stream
+        // and buffering the rows: if this epoch triggers a switch, they are
+        // the hand-off source for the new cache (no base-relation rescan).
         let mut distinct_r: HashSet<Surrogate> = HashSet::new();
         let mut distinct_s: HashSet<Surrogate> = HashSet::new();
-        let n = self.current.execute(r, s, &mut |v| {
+        let mut rows: Vec<ViewTuple> = Vec::new();
+        let n = self.current.as_dyn().execute(r, s, &mut |v| {
             distinct_r.insert(v.r_sur);
             distinct_s.insert(v.s_sur);
+            rows.push(v.clone());
             sink(v);
         })?;
         self.epoch += 1;
@@ -155,29 +229,40 @@ impl JoinStrategy for AdaptiveStrategy {
         self.mutations = 0;
         self.a_changes = 0;
 
-        // Re-select. Switching rebuilds the cache at full charged cost.
+        // Re-select. A switch builds the winner from the rows just
+        // streamed — the incumbent's answer with all pending differential
+        // folded in — and is charged under `adaptive.switch`.
         let costs = all_costs(&self.params, &w);
-        let current_pred = costs
-            .iter()
-            .find(|c| c.method == self.kind)
-            .map(|c| c.total())
-            .unwrap_or(f64::INFINITY);
+        let kind = self.current.method();
+        let current_pred =
+            costs.iter().find(|c| c.method == kind).map(|c| c.total()).unwrap_or(f64::INFINITY);
         let (best, best_pred) =
             costs.iter().map(|c| (c.method, c.total())).min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
-        if best != self.kind && current_pred > self.hysteresis * best_pred {
+        if best != kind && current_pred > self.hysteresis * best_pred {
+            let tick = self.cost.total();
             self.disk.metrics().incr("adaptive.switches");
             self.disk.events().emit(
                 EventKind::StrategySwitch,
                 format!(
                     "epoch {}: {:?} -> {:?} (predicted {:.2}s vs {:.2}s)",
-                    self.epoch, self.kind, best, current_pred, best_pred
+                    self.epoch, kind, best, current_pred, best_pred
                 ),
-                self.cost.total(),
+                tick,
             );
-            let _g = self.cost.section("adaptive.switch");
-            self.current = self.build(best, r, s)?;
-            self.switch_log.push((self.epoch, self.kind, best));
-            self.kind = best;
+            let next = {
+                let _g = self.cost.section("adaptive.switch");
+                CachedStrategy::from_rows(
+                    &self.disk,
+                    &self.params,
+                    &self.cost,
+                    best,
+                    &rows,
+                    r.tuple_bytes(),
+                    s.tuple_bytes(),
+                )?
+            };
+            std::mem::replace(&mut self.current, next).destroy();
+            self.switch_log.push((tick.ticks(), kind, best));
         }
         Ok(n)
     }
@@ -204,12 +289,12 @@ mod tests {
     }
 
     fn adaptive_over(db: &Database, kind: Method) -> AdaptiveStrategy {
-        let initial: Box<dyn JoinStrategy> = match kind {
-            Method::MaterializedView => Box::new(db.materialized_view().unwrap()),
-            Method::JoinIndex => Box::new(db.join_index().unwrap()),
-            Method::HybridHash => Box::new(db.hybrid_hash()),
+        let initial = match kind {
+            Method::MaterializedView => CachedStrategy::Mv(db.materialized_view().unwrap()),
+            Method::JoinIndex => CachedStrategy::Ji(db.join_index().unwrap()),
+            Method::HybridHash => CachedStrategy::Hh(db.hybrid_hash()),
         };
-        AdaptiveStrategy::new(db.disk(), db.params(), db.cost(), initial, kind)
+        AdaptiveStrategy::new(db.disk(), db.params(), db.cost(), initial)
     }
 
     #[test]
@@ -279,5 +364,90 @@ mod tests {
             let want = oracle::join_tuples(stream.current(), &gen.s);
             oracle::assert_same_join(&format!("epoch {epoch}"), got, want);
         }
+    }
+
+    /// The switch log records the ledger tick of each switch, not the query
+    /// ordinal. On a deterministic workload the switch points are pinned:
+    /// they match the `StrategySwitch` event timestamps exactly, they are
+    /// strictly increasing, and they sit far above the handful of query
+    /// ordinals the old accounting would have recorded.
+    #[test]
+    fn switch_log_records_ledger_ticks_not_query_ordinals() {
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let run = || {
+            let s = spec(0.005, 0.02, 401);
+            let gen = s.generate();
+            let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+            let mut adaptive = adaptive_over(&db, Method::HybridHash);
+            let mut stream = gen.update_stream();
+            db.reset_cost();
+            db.disk().events().reset();
+            let mut queries = 0u64;
+            for _ in 0..3 {
+                for _ in 0..gen.updates_per_epoch() {
+                    let u = stream.next_update();
+                    adaptive.on_update(&u).unwrap();
+                    db.r_mut().apply_update(&u.old, &u.new).unwrap();
+                }
+                execute_collect(&mut adaptive, db.r(), db.s()).unwrap();
+                queries += 1;
+            }
+            let events: Vec<u64> = db
+                .disk()
+                .events()
+                .events()
+                .into_iter()
+                .filter(|e| e.kind == EventKind::StrategySwitch)
+                .map(|e| e.at.ticks())
+                .collect();
+            (adaptive.switch_log().to_vec(), events, queries)
+        };
+        let (log, event_ticks, queries) = run();
+        assert!(!log.is_empty(), "seed 401 must switch off hybrid hash");
+        let log_ticks: Vec<u64> = log.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(
+            log_ticks, event_ticks,
+            "switch log and StrategySwitch events must agree on the ledger tick"
+        );
+        for (tick, _, _) in &log {
+            assert!(
+                *tick > queries,
+                "tick {tick} looks like a query ordinal (ran {queries} queries)"
+            );
+        }
+        assert!(log_ticks.windows(2).all(|w| w[0] < w[1]), "ticks are monotone: {log_ticks:?}");
+        // Pinned: the deterministic workload reproduces the exact switch points.
+        let (log2, _, _) = run();
+        assert_eq!(log, log2);
+    }
+
+    /// A switch is a hand-off, not a rebuild: the new cache is written from
+    /// the incumbent's rows, so the switch section charges no base-relation
+    /// read I/O beyond the target's own write path.
+    #[test]
+    fn switching_builds_from_rows_not_base_rescan() {
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let s = spec(0.005, 0.02, 404);
+        let gen = s.generate();
+        let mut db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+        let mut adaptive = adaptive_over(&db, Method::HybridHash);
+        let mut stream = gen.update_stream();
+        db.reset_cost();
+        for _ in 0..3 {
+            for _ in 0..gen.updates_per_epoch() {
+                let u = stream.next_update();
+                adaptive.on_update(&u).unwrap();
+                db.r_mut().apply_update(&u.old, &u.new).unwrap();
+            }
+            execute_collect(&mut adaptive, db.r(), db.s()).unwrap();
+        }
+        assert!(!adaptive.switch_log().is_empty());
+        let switch_ios = db.cost().section_counts("adaptive.switch").ios;
+        let base_pages = db.r().data_pages() + db.s().data_pages();
+        assert!(switch_ios > 0, "the hand-off still charges the target's writes");
+        assert!(
+            switch_ios < base_pages,
+            "hand-off charged {switch_ios} I/Os, a base rescan would need ≥ {base_pages}"
+        );
     }
 }

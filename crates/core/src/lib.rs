@@ -56,7 +56,7 @@ pub mod db;
 pub mod experiment;
 pub mod workload;
 
-pub use adaptive::AdaptiveStrategy;
+pub use adaptive::{AdaptiveStrategy, CachedStrategy};
 pub use advisor::{Advisor, Recommendation};
 pub use breakdown::Fig5Breakdown;
 pub use db::Database;

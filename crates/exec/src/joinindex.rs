@@ -353,6 +353,61 @@ impl JoinIndexStrategy {
         &self.ji
     }
 
+    // === Incremental-migration surface ==================================
+    // Mirror of `MaterializedView`'s migration hooks: a chunked snapshot
+    // of the cached structure (one index page per chunk) and a
+    // constructor from already-known join pairs, so an online strategy
+    // switch never rescans the base relations.
+
+    /// Decode one page of the index (one chunk of a migration snapshot).
+    /// Requires a *clean* index: snapshots are taken right after a query,
+    /// when the differential logs have just been folded in.
+    pub fn snapshot_page(&self, page: usize) -> Result<Vec<JiEntry>> {
+        if self.pending_updates() > 0 || !self.del_log.is_empty() {
+            return Err(trijoin_common::Error::Infeasible(format!(
+                "{} deferred updates pending; snapshot only a clean index",
+                self.pending_updates().max(self.del_log.len())
+            )));
+        }
+        self.ji.read_page(page)
+    }
+
+    /// Build a join index directly from already-known join pairs — the
+    /// receiving end of a migration hand-off. All I/O lands in the
+    /// caller's open ledger section.
+    pub fn build_from_entries(
+        disk: &Disk,
+        params: &SystemParams,
+        cost: &Cost,
+        mut entries: Vec<JiEntry>,
+        r_tuple_bytes: usize,
+        s_tuple_bytes: usize,
+    ) -> Result<Self> {
+        entries.sort();
+        let distinct_r = distinct_r_count(&entries);
+        let ji = JiFile::build(disk, params, &entries)?;
+        let (ins_log, del_log) = Self::fresh_logs(disk, cost, params, r_tuple_bytes);
+        Ok(JoinIndexStrategy {
+            disk: disk.clone(),
+            params: params.clone(),
+            cost: cost.clone(),
+            ji,
+            ins_log,
+            del_log,
+            r_tuple_bytes,
+            s_tuple_bytes,
+            distinct_r,
+        })
+    }
+
+    /// Delete the index file and both log files — the superseded side of
+    /// a completed migration.
+    pub fn destroy(self) {
+        self.ji.destroy();
+        self.ins_log.destroy();
+        self.del_log.destroy();
+    }
+
     /// The index's backing file (fault-injection targeting).
     pub fn index_file(&self) -> FileId {
         self.ji.file_id()

@@ -335,6 +335,79 @@ impl MaterializedView {
         out.extend(answer);
         Ok(count)
     }
+
+    // === Incremental-migration surface ==================================
+    // Online strategy migration builds the *new* cached structure from the
+    // *old* one plus its pending differential logs — never from a
+    // base-relation rescan. The old structure exposes a chunked snapshot
+    // (per hash bucket here, per index page for the join index) and a
+    // from-rows constructor; the serving layer drives the state machine.
+
+    /// Buckets in the cached view file — the snapshot chunk count.
+    pub fn num_view_buckets(&self) -> u64 {
+        self.v.num_buckets()
+    }
+
+    /// Decode one bucket of the cached view (one chunk of a migration
+    /// snapshot). Requires a *clean* view: snapshots are taken right
+    /// after a query, when the differential logs have just been folded.
+    pub fn snapshot_bucket(&self, bucket: u64) -> Result<Vec<ViewTuple>> {
+        if self.pending_updates() > 0 {
+            return Err(trijoin_common::Error::Infeasible(format!(
+                "{} deferred updates pending; snapshot only a clean view",
+                self.pending_updates()
+            )));
+        }
+        let rows = self.v.scan_bucket(bucket)?;
+        let mut out = Vec::with_capacity(rows.len());
+        for (_hash, bytes) in rows {
+            out.push(ViewTuple::from_bytes(&bytes)?);
+        }
+        Ok(out)
+    }
+
+    /// Build a full view directly from already-joined tuples — the
+    /// receiving end of a migration hand-off. All I/O lands in the
+    /// caller's open ledger section (the serving layer wraps this in its
+    /// `migrate.build` span).
+    pub fn build_from_tuples(
+        disk: &Disk,
+        params: &SystemParams,
+        cost: &Cost,
+        tuples: &[ViewTuple],
+        r_tuple_bytes: usize,
+        s_tuple_bytes: usize,
+    ) -> Result<Self> {
+        let records: Vec<(u64, Vec<u8>)> =
+            tuples.iter().map(|vt| (hash_key(vt.key), vt.to_bytes())).collect();
+        let count = records.len() as u64;
+        let def = ViewDef::full();
+        let tv = def.view_tuple_bytes(r_tuple_bytes, s_tuple_bytes);
+        let v = LinearHash::build(disk, params, records, count, tv)?;
+        let addressing = v.addressing();
+        let (ins_log, del_log) = Self::fresh_logs(disk, cost, params, r_tuple_bytes, addressing);
+        Ok(MaterializedView {
+            disk: disk.clone(),
+            params: params.clone(),
+            cost: cost.clone(),
+            v,
+            addressing,
+            ins_log,
+            del_log,
+            r_tuple_bytes,
+            s_tuple_bytes,
+            def,
+        })
+    }
+
+    /// Delete the view file and both log files — the superseded side of a
+    /// completed migration (fault-recovery paths replace-and-destroy
+    /// internally instead).
+    pub fn destroy(self) {
+        self.v.destroy();
+        self.ins_log.destroy();
+        self.del_log.destroy();
+    }
 }
 
 impl JoinStrategy for MaterializedView {

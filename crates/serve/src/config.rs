@@ -57,6 +57,15 @@ pub struct ServeConfig {
     /// before that seal rolls the deferred barriers back wholesale.
     /// Irrelevant without `durable_dir`.
     pub durability: Durability,
+    /// True to serve adaptively: every shard tracks its own observed
+    /// update/query mix, `Pr_A`, and key skew, re-prices MV/JI/HH with
+    /// the §3 cost model after each query, and *migrates* incrementally
+    /// (old structure serves until the new one is caught up) when a
+    /// different method wins by the hysteresis margin. The `Method` of
+    /// query requests becomes advisory only. Off by default — the fixed
+    /// serving path (and its golden ledgers) is byte-identical to a build
+    /// without this field.
+    pub adaptive: bool,
 }
 
 impl ServeConfig {
@@ -72,6 +81,7 @@ impl ServeConfig {
             telemetry: Some(TelemetryConfig::default()),
             durable_dir: None,
             durability: Durability::Barrier,
+            adaptive: false,
         }
     }
 

@@ -41,6 +41,7 @@
 //! streaming k-way merge yields one total order — any shard count and
 //! any client interleaving produce the same answers at batch boundaries.
 
+pub mod adaptive;
 pub mod config;
 pub mod router;
 pub mod server;
@@ -48,6 +49,7 @@ pub mod shard;
 pub mod traffic;
 pub mod validate;
 
+pub use adaptive::{AdaptiveShard, MigrationState};
 pub use config::ServeConfig;
 pub use server::{ClientSession, Request, Response, Server};
 pub use shard::{ShardCommand, ShardSpec};

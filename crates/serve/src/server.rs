@@ -502,6 +502,7 @@ impl Server {
                 telemetry: config.telemetry,
                 durable_dir: config.shard_dir(index),
                 recover,
+                adaptive: config.adaptive,
             };
             match shard::spawn(spec) {
                 Ok((tx, handle)) => {
@@ -525,6 +526,7 @@ impl Server {
         let params = config.params.clone();
         let tel_cfg = config.telemetry;
         let durability = config.durability;
+        let adaptive = config.adaptive;
         let scheduler = std::thread::Builder::new()
             .name("trijoin-serve-scheduler".into())
             .spawn(move || {
@@ -555,6 +557,7 @@ impl Server {
                     latencies_us: Vec::new(),
                     durability,
                     sync_pending: false,
+                    adaptive,
                 };
                 sched.run();
             })
@@ -655,6 +658,10 @@ struct Scheduler {
     /// fsynced on the shards; cleared by the next seal (explicit
     /// [`Request::Sync`], a report, scheduler idle, or exit).
     sync_pending: bool,
+    /// True when the shards serve adaptively (from [`ServeConfig`]);
+    /// stamped into reports as the `serve.adaptive` gauge so downstream
+    /// validation knows to require the `migrate.*` counters.
+    adaptive: bool,
 }
 
 /// Receive a shard reply, yielding the CPU to the computing shards before
@@ -1103,6 +1110,11 @@ impl Scheduler {
         let (p50, p99) = percentiles(&mut self.latencies_us);
         self.metrics.gauge_set("serve.latency.p50_us", p50 as f64);
         self.metrics.gauge_set("serve.latency.p99_us", p99 as f64);
+        // Only stamped when on: a non-adaptive run's report (and the
+        // golden ledgers pinning it) carries no trace of the feature.
+        if self.adaptive {
+            self.metrics.gauge_set("serve.adaptive", 1.0);
+        }
     }
 }
 

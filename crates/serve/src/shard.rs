@@ -13,12 +13,14 @@ use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use trijoin::{Database, Method};
+use trijoin::{CachedStrategy, Database, Method};
 use trijoin_common::{
     BaseTuple, Error, Result, RunReport, SystemParams, TelemetryConfig, ViewTuple,
 };
 use trijoin_exec::{HybridHash, JoinIndexStrategy, JoinStrategy, MaterializedView, Mutation};
 use trijoin_storage::{Durability, FaultPlan};
+
+use crate::adaptive::AdaptiveShard;
 
 /// A command processed by a shard thread, in arrival order.
 pub enum ShardCommand {
@@ -108,6 +110,12 @@ pub struct ShardSpec {
     /// runs WAL recovery and reattaches its relations from its catalog.
     /// `r`/`s` must be empty — the tuples live on disk already.
     pub recover: bool,
+    /// True to serve adaptively: the shard holds *one* cached structure,
+    /// re-prices the three methods from observed traffic after every
+    /// query, and migrates incrementally when a different method wins by
+    /// the hysteresis margin. The `method` of query commands is ignored —
+    /// the shard serves with whatever it currently holds.
+    pub adaptive: bool,
 }
 
 /// Spawn a shard thread. Blocks until the shard has built its engine and
@@ -145,13 +153,25 @@ pub fn spawn(spec: ShardSpec) -> Result<(Sender<ShardCommand>, JoinHandle<()>)> 
     }
 }
 
-/// The per-thread state: one engine, one cached strategy per method.
+/// How a shard serves queries.
+// One instance per shard thread, held for the thread's lifetime — the
+// variant size gap buys nothing to box away.
+#[allow(clippy::large_enum_variant)]
+enum Mode {
+    /// One cached strategy instance per method; the scheduler picks which
+    /// answers each query. This is the original serving path and stays
+    /// byte-identical when `adaptive` is off.
+    Fixed { mv: MaterializedView, ji: JoinIndexStrategy, hh: HybridHash },
+    /// One *current* structure plus the online selection and migration
+    /// machinery of [`AdaptiveShard`].
+    Adaptive(AdaptiveShard),
+}
+
+/// The per-thread state: one engine plus its serving mode.
 struct ShardWorker {
     index: usize,
     db: Database,
-    mv: MaterializedView,
-    ji: JoinIndexStrategy,
-    hh: HybridHash,
+    mode: Mode,
     /// Set when `S` has been mutated since the cached view and join index
     /// were (re)built; they are rebuilt lazily before the next query that
     /// uses them.
@@ -171,17 +191,30 @@ impl ShardWorker {
             Some(dir) => Database::create_durable(&spec.params, spec.r, spec.s, dir)?,
             None => Database::new(&spec.params, spec.r, spec.s)?,
         };
-        let mv = db.materialized_view()?;
-        let ji = db.join_index()?;
-        let hh = db.hybrid_hash();
+        let mode = Self::build_mode(&db, spec.adaptive)?;
         // Loading and cache construction are setup, not serving work: start
         // the shard's observable life from a clean slate.
         db.reset_observability();
+        if let Mode::Adaptive(a) = &mode {
+            a.register_metrics(&db);
+        }
         if let (Some(cfg), Some(workload)) = (spec.telemetry, workload) {
             db.enable_telemetry(cfg);
             db.enable_cost_audit(workload, 1.0);
         }
-        Ok(ShardWorker { index: spec.index, db, mv, ji, hh, s_dirty: false })
+        Ok(ShardWorker { index: spec.index, db, mode, s_dirty: false })
+    }
+
+    /// Build the serving mode. Adaptive shards start from the cached view
+    /// — the paper's favourite at low update rates — and migrate away as
+    /// soon as observed traffic says otherwise.
+    fn build_mode(db: &Database, adaptive: bool) -> Result<Mode> {
+        Ok(if adaptive {
+            let initial = CachedStrategy::Mv(db.materialized_view()?);
+            Mode::Adaptive(AdaptiveShard::new(initial))
+        } else {
+            Mode::Fixed { mv: db.materialized_view()?, ji: db.join_index()?, hh: db.hybrid_hash() }
+        })
     }
 
     /// Recover-mode construction: reopen this shard's durable directory
@@ -202,10 +235,11 @@ impl ShardWorker {
             db.metrics().counter("wal.recovered.commits"),
             db.metrics().counter("wal.recovered.torn_bytes"),
         );
-        let mv = db.materialized_view()?;
-        let ji = db.join_index()?;
-        let hh = db.hybrid_hash();
+        let mode = Self::build_mode(&db, spec.adaptive)?;
         db.reset_observability();
+        if let Mode::Adaptive(a) = &mode {
+            a.register_metrics(&db);
+        }
         let metrics = db.metrics();
         metrics.counter_add("wal.recovered.frames", recovered.0);
         metrics.counter_add("wal.recovered.commits", recovered.1);
@@ -223,7 +257,7 @@ impl ShardWorker {
             db.enable_telemetry(cfg);
             db.enable_cost_audit(workload, 1.0);
         }
-        Ok(ShardWorker { index: spec.index, db, mv, ji, hh, s_dirty: false })
+        Ok(ShardWorker { index: spec.index, db, mode, s_dirty: false })
     }
 
     /// Process commands until every sender is gone. Errors degrade (they
@@ -247,8 +281,18 @@ impl ShardWorker {
                 }
                 ShardCommand::InstallFaultPlan(plan) => self.db.install_fault_plan(plan),
                 ShardCommand::PoisonCachedView => {
-                    let plan = FaultPlan::new().poison_nth_read(Some(self.mv.view_file()), 0);
-                    self.db.install_fault_plan(plan);
+                    // The poisoned file is whatever cached structure would
+                    // serve the next read: the fixed-mode view, or the
+                    // adaptive incumbent's cache (a no-op for hybrid-hash,
+                    // which caches nothing).
+                    let file = match &self.mode {
+                        Mode::Fixed { mv, .. } => Some(mv.view_file()),
+                        Mode::Adaptive(a) => a.cached_file(),
+                    };
+                    if let Some(file) = file {
+                        let plan = FaultPlan::new().poison_nth_read(Some(file), 0);
+                        self.db.install_fault_plan(plan);
+                    }
                 }
                 ShardCommand::ClearFaults => self.db.clear_faults(),
                 ShardCommand::Commit { durability, reply } => {
@@ -260,7 +304,9 @@ impl ShardWorker {
     }
 
     /// Fold one differential batch. Each mutation that fails is counted in
-    /// `shard.apply_errors` and skipped; the shard keeps serving.
+    /// `shard.apply_errors` and skipped; the shard keeps serving. An
+    /// adaptive shard also advances any in-flight migration by one step —
+    /// migrations make progress on every command, not just queries.
     fn apply(&mut self, r: Vec<Mutation>, s: Vec<Mutation>) {
         for m in &s {
             if self.apply_s(m).is_err() {
@@ -272,24 +318,37 @@ impl ShardWorker {
                 self.count_apply_error("R");
             }
         }
+        if let Mode::Adaptive(a) = &mut self.mode {
+            a.advance(&self.db);
+        }
     }
 
     /// The paper's deferred-maintenance contract: caching strategies log
     /// the mutation first, then the stored relation changes.
     fn apply_r(&mut self, m: &Mutation) -> Result<()> {
-        self.mv.on_mutation(m)?;
-        self.ji.on_mutation(m)?;
-        self.hh.on_mutation(m)?;
+        match &mut self.mode {
+            Mode::Fixed { mv, ji, hh } => {
+                mv.on_mutation(m)?;
+                ji.on_mutation(m)?;
+                hh.on_mutation(m)?;
+            }
+            Mode::Adaptive(a) => a.on_mutation(&self.db, m)?,
+        }
         self.db.apply_r_mutation(m)
     }
 
     /// `S` mutations invalidate the cached view and join index (they cache
     /// joins against the old `S`); the stored relation and its join-key
-    /// index are updated in place and the caches marked for rebuild.
+    /// index are updated in place and the caches marked for rebuild. On an
+    /// adaptive shard this also aborts any in-flight migration — the
+    /// structure it was staging is stale the moment `S` changes.
     fn apply_s(&mut self, m: &Mutation) -> Result<()> {
         self.db.metrics().incr("shard.s_mutations");
         self.db.s_mut()?.apply_mutation(m)?;
         self.s_dirty = true;
+        if let Mode::Adaptive(a) = &mut self.mode {
+            a.on_s_mutation(&self.db);
+        }
         Ok(())
     }
 
@@ -300,38 +359,82 @@ impl ShardWorker {
     }
 
     fn query(&mut self, method: Method) -> Result<Vec<ViewTuple>> {
-        if self.s_dirty && method != Method::HybridHash {
-            self.rebuild_caches()?;
+        match &self.mode {
+            Mode::Fixed { .. } => {
+                if self.s_dirty && method != Method::HybridHash {
+                    self.rebuild_caches()?;
+                }
+            }
+            Mode::Adaptive(a) => {
+                if self.s_dirty && a.current_method() != Method::HybridHash {
+                    self.rebuild_caches()?;
+                }
+                // A hybrid-hash incumbent caches nothing, so an `S`
+                // mutation leaves nothing stale; should the shard later
+                // migrate, the target is staged from a fresh answer.
+                self.s_dirty = false;
+            }
         }
-        let strategy: &mut dyn JoinStrategy = match method {
-            Method::MaterializedView => &mut self.mv,
-            Method::JoinIndex => &mut self.ji,
-            Method::HybridHash => &mut self.hh,
+        let mut rows = match &mut self.mode {
+            Mode::Fixed { mv, ji, hh } => {
+                let strategy: &mut dyn JoinStrategy = match method {
+                    Method::MaterializedView => mv,
+                    Method::JoinIndex => ji,
+                    Method::HybridHash => hh,
+                };
+                self.db.query(strategy)?
+            }
+            // Adaptive shards ignore the requested method: the incumbent
+            // serves, and the freshly produced answer feeds the selection
+            // statistics (and, if a migration starts, the staging source).
+            Mode::Adaptive(a) => self.db.query(a.strategy())?,
         };
-        let mut rows = self.db.query(strategy)?;
         // Sort the shard-local answer so the server can k-way merge the
         // per-shard runs instead of re-sorting the concatenation. This is
         // presentation work on the serving path, not simulated strategy
         // work, so it is deliberately uncharged (the strategy's own ledger
         // stays identical to a non-sharded run of the same query).
         rows.sort_by_key(|t| (t.r_sur, t.s_sur));
+        if let Mode::Adaptive(a) = &mut self.mode {
+            a.after_query(&self.db, &rows);
+            a.advance(&self.db);
+        }
         Ok(rows)
     }
 
-    /// Rebuild the cached view and join index from the current stored
-    /// relations (all applied `R` mutations are already reflected there, so
-    /// any not-yet-folded differential entries in the old caches are
-    /// subsumed by the rebuild). Old cache files are released.
+    /// Rebuild the cached structures from the current stored relations
+    /// (all applied `R` mutations are already reflected there, so any
+    /// not-yet-folded differential entries in the old caches are subsumed
+    /// by the rebuild). Old cache files are released.
     fn rebuild_caches(&mut self) -> Result<()> {
-        let old_view = self.mv.view_file();
-        let old_index = self.ji.index_file();
-        {
-            let _section = self.db.cost().section("shard.s_rebuild");
-            self.mv = self.db.materialized_view()?;
-            self.ji = self.db.join_index()?;
+        match &mut self.mode {
+            Mode::Fixed { mv, ji, .. } => {
+                let old_view = mv.view_file();
+                let old_index = ji.index_file();
+                {
+                    let _section = self.db.cost().section("shard.s_rebuild");
+                    *mv = self.db.materialized_view()?;
+                    *ji = self.db.join_index()?;
+                }
+                self.db.disk().delete_file(old_view);
+                self.db.disk().delete_file(old_index);
+            }
+            // Adaptive shards rebuild only the incumbent (never called
+            // with a hybrid-hash incumbent — it caches nothing).
+            Mode::Adaptive(a) => {
+                let next = {
+                    let _section = self.db.cost().section("shard.s_rebuild");
+                    match a.current_method() {
+                        Method::MaterializedView => {
+                            CachedStrategy::Mv(self.db.materialized_view()?)
+                        }
+                        Method::JoinIndex => CachedStrategy::Ji(self.db.join_index()?),
+                        Method::HybridHash => CachedStrategy::Hh(self.db.hybrid_hash()),
+                    }
+                };
+                a.replace_current(next);
+            }
         }
-        self.db.disk().delete_file(old_view);
-        self.db.disk().delete_file(old_index);
         self.db.metrics().incr("shard.s_rebuilds");
         self.s_dirty = false;
         Ok(())
@@ -346,6 +449,9 @@ impl ShardWorker {
         metrics.gauge_set("shard.s_tuples", self.db.s().len() as f64);
         metrics.gauge_set("shard.damaged_pages", self.db.disk().damaged_pages() as f64);
         metrics.gauge_set("shard.faults_fired", self.db.faults_fired() as f64);
+        if let Mode::Adaptive(a) = &self.mode {
+            a.stamp_gauges(&self.db);
+        }
         self.db.run_report(format!("shard{}", self.index))
     }
 }
@@ -373,6 +479,7 @@ mod tests {
             telemetry: Some(TelemetryConfig::default()),
             durable_dir: None,
             recover: false,
+            adaptive: false,
         })
         .unwrap();
         let (reply, rx) = channel();
@@ -405,6 +512,7 @@ mod tests {
             telemetry: None,
             durable_dir: None,
             recover: false,
+            adaptive: false,
         })
         .unwrap();
         // Delete one S tuple, then ask the cached MV for the join.
@@ -439,6 +547,7 @@ mod tests {
             telemetry: None,
             durable_dir: None,
             recover: false,
+            adaptive: false,
         });
         assert!(result.is_err());
     }

@@ -147,6 +147,30 @@ fn check_wal_marker(
     Ok(())
 }
 
+/// When a sharded report advertises adaptive serving (the
+/// `serve.adaptive` rollup gauge), the migration instrumentation
+/// contract applies: the rollup must carry the migration count and the
+/// incremental-rebuild page accounting. Adaptive shards register both
+/// counters at construction, so even a run that never migrates reports
+/// them — their absence means the report was captured from a build
+/// without the migration machinery.
+fn check_adaptive_marker(
+    path: &str,
+    metrics: &trijoin_common::MetricsSnapshot,
+) -> Result<(), String> {
+    if metrics.gauge("serve.adaptive").unwrap_or(0.0) < 1.0 {
+        return Ok(());
+    }
+    for counter in ["migrate.count", "migrate.rebuild_pages"] {
+        if !metrics.counters.iter().any(|(k, _)| k == counter) {
+            return Err(format!(
+                "{path}: rollup sets serve.adaptive but carries no {counter} counter"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Validate a plain run report (`trijoin run --report`).
 pub fn validate_run_report(path: &str, json: &Json) -> Result<String, String> {
     validate_run_report_with(path, json, 0)
@@ -269,6 +293,7 @@ pub fn validate_sharded_report_with(
             return Err(format!("{path}: rollup is missing required serve gauge {key:?}"));
         }
     }
+    check_adaptive_marker(path, &report.rollup.metrics)?;
     Ok(format!(
         "{path}: ok — sharded report {:?} with {} shards, {} rollup counters, {} rollup events",
         report.name,

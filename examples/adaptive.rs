@@ -14,7 +14,9 @@
 //!
 //! Run with: `cargo run --release --example adaptive`
 
-use trijoin::{AdaptiveStrategy, Database, JoinStrategy, Method, SystemParams, WorkloadSpec};
+use trijoin::{
+    AdaptiveStrategy, CachedStrategy, Database, JoinStrategy, Method, SystemParams, WorkloadSpec,
+};
 
 fn main() {
     let params = SystemParams { mem_pages: 80, ..SystemParams::paper_defaults() };
@@ -49,14 +51,8 @@ fn main() {
             Some(Method::JoinIndex) => Box::new(db.join_index().unwrap()),
             Some(Method::HybridHash) => Box::new(db.hybrid_hash()),
             None => {
-                let initial: Box<dyn JoinStrategy> = Box::new(db.materialized_view().unwrap());
-                Box::new(AdaptiveStrategy::new(
-                    db.disk(),
-                    db.params(),
-                    db.cost(),
-                    initial,
-                    Method::MaterializedView,
-                ))
+                let initial = CachedStrategy::Mv(db.materialized_view().unwrap());
+                Box::new(AdaptiveStrategy::new(db.disk(), db.params(), db.cost(), initial))
             }
         };
         let mut stream = gen.update_stream();

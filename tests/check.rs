@@ -30,6 +30,7 @@ fn corpus_scripts_pass() {
     let mut checkpoints = 0;
     let mut faults = 0;
     let mut crashes = 0;
+    let mut shapes_seen: std::collections::BTreeSet<&'static str> = Default::default();
     for path in &paths {
         let text = std::fs::read_to_string(path).expect("corpus file is readable");
         let script =
@@ -50,6 +51,22 @@ fn corpus_scripts_pass() {
         checkpoints += outcome.checkpoints;
         faults += outcome.faults_installed;
         crashes += outcome.crashes;
+        // Adaptive scripts are only worth committing if they make the
+        // serving layer migrate — at every configured shard count — while
+        // the checkpoints stay oracle-green.
+        if script.spec.adaptive {
+            assert!(outcome.migrations >= 1, "{}: adaptive script never migrated", path.display());
+            for (shards, n) in &outcome.migrations_by_server {
+                assert!(
+                    *n >= 1,
+                    "{}: the {shards}-shard adaptive fleet never migrated",
+                    path.display()
+                );
+            }
+        }
+        if let Some(adv) = &script.spec.adversary {
+            shapes_seen.insert(adv.shape.as_str());
+        }
     }
     // The corpus as a whole must exercise the fault-recovery path, or the
     // §8 half of the equivalence claim goes untested.
@@ -58,6 +75,16 @@ fn corpus_scripts_pass() {
     // must drive durable crash/recover cycles.
     assert!(crashes > 0, "corpus runs no crash-recovery cycles");
     assert!(checkpoints >= 20, "corpus only verifies {checkpoints} checkpoints");
+    // And the adversary grammar: every traffic shape has committed seeds
+    // driving the adaptive migration machinery.
+    let mut want_shapes: Vec<&str> =
+        trijoin_common::AdversaryShape::all().iter().map(|s| s.as_str()).collect();
+    want_shapes.sort_unstable();
+    assert_eq!(
+        shapes_seen.iter().copied().collect::<Vec<_>>(),
+        want_shapes,
+        "corpus must carry seeds for every adversary shape"
+    );
 }
 
 /// The acceptance criterion from the issue: plant a bug (payload-only
@@ -136,6 +163,8 @@ fn cross_shard_splits_never_straddle_a_batch_checkpoint() {
             sr: 1.0,
             group_size: 2,
             seed: 1234,
+            adversary: None,
+            adaptive: false,
         },
         shard_counts: vec![1, 2, 4],
         // Flush on every admitted mutation: if the serve layer could
@@ -163,6 +192,47 @@ fn generated_scripts_replay_deterministically() {
     assert_eq!(oa, ob);
 }
 
+/// Every adversary shape must drive the adaptive serving fleet into at
+/// least one migration per shard count — with every checkpoint still
+/// oracle-green while those migrations are in flight. This is the fresh
+/// generation counterpart of the committed-corpus gate above, so the
+/// property holds beyond the eight committed seeds.
+#[test]
+fn fresh_adversarial_scripts_migrate_and_stay_oracle_green() {
+    for shape in trijoin_common::AdversaryShape::all() {
+        let cfg = GenConfig::adversarial(3, 120, shape);
+        let (a, b) = (generate(&cfg), generate(&cfg));
+        assert_eq!(a, b, "{shape:?}: adversarial generation must be deterministic");
+        let outcome =
+            run_script(&a, &CheckConfig::default()).unwrap_or_else(|f| panic!("{shape:?}: {f}"));
+        assert!(outcome.checkpoints > 0, "{shape:?}: no checkpoints verified");
+        assert!(outcome.migrations >= 1, "{shape:?}: adaptive fleet never migrated");
+        for (shards, n) in &outcome.migrations_by_server {
+            assert!(*n >= 1, "{shape:?}: the {shards}-shard fleet never migrated");
+        }
+    }
+}
+
+/// Metamorphic: turning adaptive serving on must never change checkpoint
+/// answers. The same plain (v2-shaped) script replays oracle-green with
+/// and without migrations enabled, and with identical apply/skip counts —
+/// migration is a serving-layer concern, invisible to query results.
+#[test]
+fn enabling_adaptive_serving_never_changes_checkpoint_answers() {
+    let plain = generate(&GenConfig::new(11, 80));
+    assert!(!plain.spec.adaptive);
+    let mut adaptive = plain.clone();
+    adaptive.spec.adaptive = true;
+    adaptive.name = format!("{}-adaptive", plain.name);
+
+    let check = CheckConfig::default();
+    let base = run_script(&plain, &check).expect("plain script replays clean");
+    let live = run_script(&adaptive, &check).expect("adaptive flip replays clean");
+    assert_eq!(base.checkpoints, live.checkpoints);
+    assert_eq!(base.applied, live.applied);
+    assert_eq!(base.skipped, live.skipped);
+}
+
 /// Shrinking is only defined for failing scripts.
 #[test]
 fn shrink_of_a_passing_script_is_none() {
@@ -184,6 +254,8 @@ fn inert_ops_are_skipped_deterministically() {
             sr: 1.0,
             group_size: 2,
             seed: 99,
+            adversary: None,
+            adaptive: false,
         },
         shard_counts: vec![1, 2],
         batch: 4,

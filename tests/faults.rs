@@ -10,7 +10,9 @@
 //! (view buckets, index pages, differential runs, spilled runs), and
 //! transient reads clear on retry wherever they land.
 
-use trijoin::{Database, JoinStrategy, Mutation, SystemParams};
+use trijoin::{
+    AdaptiveStrategy, CachedStrategy, Database, JoinStrategy, Method, Mutation, SystemParams,
+};
 use trijoin_common::{BaseTuple, Surrogate, ViewTuple};
 use trijoin_exec::{execute_collect, oracle};
 use trijoin_storage::FaultPlan;
@@ -225,6 +227,81 @@ fn matrix_hh_torn_spill_writes() {
         let plan = FaultPlan::new().torn_write(None, after);
         check(&format!("hh/torn-write@{after}"), db, &mut hh, plan, true);
     }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive wrapper: the matrix composes with online strategy selection.
+// The wrapper serves through whatever it currently caches, so each fault
+// must be absorbed by the incumbent's documented recovery path exactly as
+// it is when the strategy is used bare.
+// ---------------------------------------------------------------------
+
+fn adaptive_over(db: &Database, kind: Method) -> AdaptiveStrategy {
+    let initial = match kind {
+        Method::MaterializedView => CachedStrategy::Mv(db.materialized_view().unwrap()),
+        Method::JoinIndex => CachedStrategy::Ji(db.join_index().unwrap()),
+        Method::HybridHash => CachedStrategy::Hh(db.hybrid_hash()),
+    };
+    AdaptiveStrategy::new(db.disk(), db.params(), db.cost(), initial)
+}
+
+#[test]
+fn matrix_adaptive_transient_reads() {
+    for kind in Method::all() {
+        for after in [0u64, 5] {
+            let db = fresh_db();
+            let mut adaptive = adaptive_over(&db, kind);
+            let plan = FaultPlan::new().fail_nth_read(None, after);
+            check(
+                &format!("adaptive[{kind}]/transient-read@{after}"),
+                db,
+                &mut adaptive,
+                plan,
+                true,
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_adaptive_transient_writes() {
+    for kind in Method::all() {
+        for after in [0u64, 1] {
+            let db = fresh_db();
+            let mut adaptive = adaptive_over(&db, kind);
+            let plan = FaultPlan::new().fail_nth_write(None, after);
+            check(
+                &format!("adaptive[{kind}]/transient-write@{after}"),
+                db,
+                &mut adaptive,
+                plan,
+                true,
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_adaptive_torn_writes() {
+    for kind in Method::all() {
+        let db = fresh_db();
+        let mut adaptive = adaptive_over(&db, kind);
+        let plan = FaultPlan::new().torn_write(None, 2);
+        check(&format!("adaptive[{kind}]/torn-write@2"), db, &mut adaptive, plan, true);
+    }
+}
+
+#[test]
+fn matrix_adaptive_poisoned_cache_reads() {
+    // Poison the incumbent's cached file specifically: the recovery must
+    // run through the wrapper without disturbing its statistics.
+    let db = fresh_db();
+    let mv = db.materialized_view().unwrap();
+    let view_file = mv.view_file();
+    let mut adaptive =
+        AdaptiveStrategy::new(db.disk(), db.params(), db.cost(), CachedStrategy::Mv(mv));
+    let plan = FaultPlan::new().poison_nth_read(Some(view_file), 0);
+    check("adaptive[mv]/poison-view@0", db, &mut adaptive, plan, true);
 }
 
 // ---------------------------------------------------------------------

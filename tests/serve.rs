@@ -17,10 +17,12 @@
 //!   strategies' documented recovery paths) and the recovery shows up,
 //!   shard-tagged, in the rolled-up event log.
 
-use trijoin::{Method, WorkloadSpec};
+use trijoin::{CachedStrategy, Database, Method, WorkloadSpec};
 use trijoin_common::{BaseTuple, EventKind, SystemParams, ViewTuple};
 use trijoin_exec::{oracle, Mutation};
-use trijoin_serve::{merged_current, ClientTraffic, ServeConfig, Server};
+use trijoin_serve::{
+    merged_current, AdaptiveShard, ClientTraffic, MigrationState, ServeConfig, Server,
+};
 use trijoin_storage::FaultPlan;
 
 fn params() -> SystemParams {
@@ -286,6 +288,208 @@ fn updates_coalesce_into_differential_batches() {
     assert_eq!(hist.count, 3);
     assert_eq!(hist.sum, 20);
     assert_eq!(hist.max, 8);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive serving: per-shard online strategy migration. The contract is
+// the fixed path's, plus: migrations are incremental, never change an
+// answer, and roll back cleanly when a device fault lands mid-flight.
+// ---------------------------------------------------------------------
+
+/// Update-heavy workload that reliably pulls a shard off its initial
+/// materialized view (same shape the adaptive unit tests pin).
+fn adaptive_spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        r_tuples: 1_500,
+        s_tuples: 1_500,
+        tuple_bytes: 96,
+        sr: 0.01,
+        group_size: 4,
+        pra: 0.1,
+        update_rate: 0.3,
+        seed,
+    }
+}
+
+#[test]
+fn adaptive_server_migrates_and_stays_oracle_equivalent() {
+    let w = adaptive_spec(31).generate();
+    let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+    let cfg = ServeConfig { batch: 32, seed: 7, adaptive: true, ..ServeConfig::new(params, 2) };
+    let server = Server::start(&cfg, w.r.clone(), w.s.clone()).unwrap();
+    let session = server.session().unwrap();
+    let mut clients = ClientTraffic::split(&w, &cfg, 2);
+    for round in 0..6 {
+        for _ in 0..w.updates_per_epoch() / 2 {
+            for c in clients.iter_mut() {
+                session.update_r(c.next_mutation()).unwrap();
+            }
+        }
+        let want = oracle_answer(&clients, &w.s);
+        // The requested method is advisory under --adaptive; whatever the
+        // shards currently hold must produce the oracle's rows.
+        let got = session.query(Method::HybridHash).unwrap();
+        assert_eq!(got, want, "round {round}: adaptive answer diverged mid-migration");
+    }
+    // A device fault on a shard mid-run: still available, still exact.
+    session.install_fault_plan(0, FaultPlan::new().fail_nth_read(None, 0)).unwrap();
+    let want = oracle_answer(&clients, &w.s);
+    assert_eq!(session.query(Method::MaterializedView).unwrap(), want);
+    session.clear_faults(0).unwrap();
+
+    let report = session.report().unwrap();
+    let m = &report.rollup.metrics;
+    assert_eq!(m.gauge("serve.adaptive"), Some(1.0));
+    assert!(m.counter("migrate.count") >= 1, "no shard migrated under an update storm");
+    assert!(
+        report.shards.iter().any(|s| s.metrics.gauge("shard.strategy").unwrap_or(0.0) != 0.0),
+        "at least one shard must have left the initial materialized view"
+    );
+    for shard in &report.shards {
+        assert!(shard.metrics.gauge("shard.migration_state").is_some());
+    }
+    // The incremental contract at the serving layer: across all completed
+    // migrations, pages written for target structures stay under one
+    // base-relation pass per migration.
+    let ps = cfg.params.page_size as u64;
+    let page_bound = |tuples: u64| (tuples * 96).div_ceil(ps);
+    let full_rebuild = page_bound(w.r.len() as u64) + page_bound(w.s.len() as u64);
+    let rebuilt = m.counter("migrate.rebuild_pages");
+    assert!(
+        rebuilt < m.counter("migrate.count") * full_rebuild,
+        "{rebuilt} pages rebuilt over {} migrations vs {full_rebuild} pages per base rescan",
+        m.counter("migrate.count")
+    );
+    // Migration activity is visible in the rolled-up event log.
+    assert!(report.rollup.events.iter().any(|e| e.kind == EventKind::MigrationStep));
+    assert!(report.rollup.events.iter().any(|e| e.kind == EventKind::StrategySwitch));
+}
+
+/// Direct harness over one shard's controller, so faults can be armed at
+/// an exact [`MigrationState`] phase.
+struct PhaseHarness {
+    db: Database,
+    shard: AdaptiveShard,
+    gen: trijoin::GeneratedWorkload,
+}
+
+impl PhaseHarness {
+    fn new(seed: u64) -> (PhaseHarness, trijoin::UpdateStream) {
+        let params = SystemParams { mem_pages: 64, ..SystemParams::paper_defaults() };
+        let gen = adaptive_spec(seed).generate();
+        let db = Database::new(&params, gen.r.clone(), gen.s.clone()).unwrap();
+        let shard = AdaptiveShard::new(CachedStrategy::Mv(db.materialized_view().unwrap()));
+        db.reset_observability();
+        shard.register_metrics(&db);
+        let stream = gen.update_stream();
+        (PhaseHarness { db, shard, gen }, stream)
+    }
+
+    fn apply(&mut self, m: &Mutation) {
+        self.shard.on_mutation(&self.db, m).unwrap();
+        self.db.apply_r_mutation(m).unwrap();
+    }
+
+    fn query(&mut self, stream: &trijoin::UpdateStream) -> Vec<ViewTuple> {
+        let mut rows = self.db.query(self.shard.strategy()).unwrap();
+        rows.sort_by_key(|t| (t.r_sur, t.s_sur));
+        let want = oracle::join_tuples(stream.current(), &self.gen.s);
+        oracle::assert_same_join("phase harness", rows.clone(), want);
+        self.shard.after_query(&self.db, &rows);
+        rows
+    }
+
+    /// Run whole epochs (mutations, then an oracle-checked query) until a
+    /// migration starts; the controller is left in `Building` because no
+    /// advance step has run yet.
+    fn walk_to_building(&mut self, stream: &mut trijoin::UpdateStream) {
+        for _ in 0..6 {
+            for _ in 0..self.gen.updates_per_epoch() {
+                let m = Mutation::Update(stream.next_update());
+                self.apply(&m);
+            }
+            self.query(stream);
+            if matches!(self.shard.state(), MigrationState::Building { .. }) {
+                return;
+            }
+        }
+        panic!("the update storm never started a migration");
+    }
+}
+
+#[test]
+fn write_fault_while_building_rolls_back_to_the_incumbent() {
+    let (mut h, mut stream) = PhaseHarness::new(811);
+    h.walk_to_building(&mut stream);
+    let incumbent = h.shard.current_method();
+
+    // Arm the fault now: staging chunks are in-memory, so the first write
+    // the migration issues is the target structure's build — it must fail,
+    // and the failure must roll the migration back, not poison the shard.
+    h.db.install_fault_plan(FaultPlan::new().fail_nth_write(None, 0));
+    for _ in 0..64 {
+        h.shard.advance(&h.db);
+        if matches!(h.shard.state(), MigrationState::Stable) {
+            break;
+        }
+    }
+    assert!(matches!(h.shard.state(), MigrationState::Stable), "rollback must reach Stable");
+    assert_eq!(h.db.metrics().counter("migrate.rollbacks"), 1, "the abort must be counted");
+    assert_eq!(h.db.metrics().counter("migrate.count"), 0, "no migration completed");
+    assert_eq!(h.shard.current_method(), incumbent, "the incumbent must keep serving");
+    h.db.clear_faults();
+
+    // The incumbent is undamaged and the controller retries: driving the
+    // same traffic on must eventually complete a migration, oracle-green.
+    for _ in 0..6 {
+        for _ in 0..h.gen.updates_per_epoch() {
+            let m = Mutation::Update(stream.next_update());
+            h.apply(&m);
+        }
+        h.query(&stream);
+        for _ in 0..64 {
+            h.shard.advance(&h.db);
+        }
+        if h.shard.migrations() >= 1 {
+            break;
+        }
+    }
+    assert!(h.shard.migrations() >= 1, "the controller must retry after a rollback");
+    assert_eq!(h.db.metrics().counter("migrate.count"), 1);
+    h.query(&stream);
+}
+
+#[test]
+fn abort_while_draining_destroys_the_built_target_and_keeps_the_incumbent() {
+    let (mut h, mut stream) = PhaseHarness::new(812);
+    h.walk_to_building(&mut stream);
+    let incumbent = h.shard.current_method();
+
+    // Advance cleanly through Building until the target is fully built and
+    // the controller sits in Draining — the phase where a rollback has a
+    // real structure to tear down, not just staged rows.
+    for _ in 0..64 {
+        h.shard.advance(&h.db);
+        if matches!(h.shard.state(), MigrationState::Draining { .. }) {
+            break;
+        }
+    }
+    assert!(matches!(h.shard.state(), MigrationState::Draining { .. }), "never reached Draining");
+
+    // Mutations arriving now go to the incumbent and the pending log.
+    for _ in 0..48 {
+        let m = Mutation::Update(stream.next_update());
+        h.apply(&m);
+    }
+    // An `S` mutation lands before the swap: the migration must abort,
+    // destroying the built-but-never-serving target, and the incumbent
+    // (plus its pending differential) keeps answering exactly.
+    h.shard.on_s_mutation(&h.db);
+    assert!(matches!(h.shard.state(), MigrationState::Stable), "drain abort must roll back");
+    assert_eq!(h.db.metrics().counter("migrate.rollbacks"), 1);
+    assert_eq!(h.db.metrics().counter("migrate.count"), 0);
+    assert_eq!(h.shard.current_method(), incumbent);
+    h.query(&stream);
 }
 
 #[test]
